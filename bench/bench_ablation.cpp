@@ -1,0 +1,97 @@
+// Ablation bench for MOSS design choices beyond the paper's Table I
+// variants (the knobs DESIGN.md calls out):
+//   1. propagation rounds K (paper uses ~10; diminishing returns expected),
+//   2. attention vs mean aggregation,
+//   3. adaptive-aggregator cluster budget.
+// Each row: accuracy on the Table-I circuits after identical training.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace moss;
+using bench::Scale;
+using bench::Workbench;
+
+namespace {
+
+core::TaskAccuracy run_variant(const Workbench& wb, core::MossConfig cfg) {
+  // Alignment off: this bench isolates the GNN design choices.
+  cfg.alignment = false;
+  const bench::TrainedMoss tm = bench::train_moss(wb, cfg);
+  core::TaskAccuracy avg;
+  for (std::size_t i = 0; i < wb.test.size(); ++i) {
+    const auto a =
+        core::evaluate_tasks(tm.model, tm.test_batches[i], wb.test[i]);
+    avg.atp += a.atp;
+    avg.trp += a.trp;
+    avg.pp += a.pp;
+  }
+  const double n = static_cast<double>(wb.test.size());
+  avg.atp /= n;
+  avg.trp /= n;
+  avg.pp /= n;
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::from_env();
+  std::printf("=== Ablations: rounds / aggregation / cluster budget ===\n\n");
+  Workbench wb = Workbench::make(scale);
+
+  std::printf("%-34s %6s %6s %6s\n", "configuration", "ATP", "TRP", "PP");
+  bench::print_rule(56);
+
+  const auto row = [&](const char* name, const core::TaskAccuracy& a) {
+    std::printf("%-34s %6.1f %6.1f %6.1f\n", name, 100 * a.atp, 100 * a.trp,
+                100 * a.pp);
+  };
+
+  {  // rounds sweep (overrides the Scale default through the workbench)
+    for (const int k : {1, 2, 3}) {
+      Workbench& w = wb;
+      const int saved = w.scale.rounds;
+      w.scale.rounds = k;
+      core::MossConfig cfg;
+      char name[64];
+      std::snprintf(name, sizeof name, "rounds K=%d", k);
+      row(name, run_variant(w, cfg));
+      w.scale.rounds = saved;
+    }
+  }
+  {  // aggregation type
+    core::MossConfig mean_cfg;
+    mean_cfg.attention = false;
+    row("mean aggregation (no attention)", run_variant(wb, mean_cfg));
+    core::MossConfig attn_cfg;
+    row("attention aggregation", run_variant(wb, attn_cfg));
+  }
+  {  // cluster budget
+    for (const std::size_t g : {std::size_t{2}, std::size_t{6}}) {
+      core::MossConfig cfg;
+      cfg.features.max_clusters = g;
+      char name[64];
+      std::snprintf(name, sizeof name, "adaptive clusters <= %zu", g);
+      row(name, run_variant(wb, cfg));
+    }
+  }
+  {  // node feature content: what does each information source buy?
+    core::MossConfig none = core::MossConfig::without_features();
+    row("features: none (bias only)", run_variant(wb, none));
+    core::MossConfig structural;
+    structural.features.lm_features = false;
+    row("features: structural only", run_variant(wb, structural));
+    core::MossConfig onehot;
+    onehot.features.lm_features = false;
+    onehot.features.type_onehot = true;
+    row("features: structural + one-hot", run_variant(wb, onehot));
+    core::MossConfig lm;
+    row("features: structural + LM", run_variant(wb, lm));
+  }
+  std::printf("\nExpected shapes: K>=2 beats K=1 (feedback needs a second "
+              "pass); attention >= mean; more clusters >= fewer; each added "
+              "feature source helps.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 1(a): prediction error of a DeepSeq2-style GNN grows with
+// circuit size. The paper plots the toggle-rate and arrival-time error
+// ratios (mean per-node |pred-true|/true) against gate count, with errors
+// exceeding ~40% around 2,000 gates.
+//
+// Setup: the baseline is trained on small circuits only (the regime such
+// models are trained in) and evaluated on circuits of increasing size.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace moss;
+using bench::Scale;
+
+int main() {
+  Scale scale = Scale::from_env();
+  scale.max_train_size = 2;  // train on small circuits only
+  std::printf("=== Fig. 1(a): baseline error ratio vs circuit size ===\n\n");
+  const bench::Workbench wb = bench::Workbench::make(scale);
+  const bench::TrainedBaseline tb = bench::train_baseline(wb);
+
+  // Evaluation sweep: each family at growing sizes.
+  struct Bucket {
+    std::size_t cells;
+    double toggle_err;
+    double at_err;
+  };
+  std::vector<Bucket> buckets;
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = scale.sim_cycles;
+  Rng rng(0xF19);
+  for (int size = 1; size <= 6; ++size) {
+    double tog = 0, at = 0;
+    std::size_t cells = 0;
+    int count = 0;
+    for (const auto& fam : {"alu", "signed_mac", "wb_data_mux",
+                            "pipeline_reg", "mult", "prbs_generator"}) {
+      data::DesignSpec s{fam, size, 0xE00 + static_cast<std::uint64_t>(size),
+                         std::string(fam) + "_f1s" + std::to_string(size)};
+      const auto lc = data::label_circuit(s, cell::standard_library(), dcfg);
+      const auto ab = baseline::build_aig_batch(lc, 1, scale.sim_cycles);
+      const auto acc = baseline::evaluate_baseline(tb.model, ab, lc);
+      tog += 1.0 - acc.trp;  // error ratio = 1 - accuracy
+      at += 1.0 - acc.atp;
+      cells += lc.netlist.num_cells();
+      ++count;
+    }
+    buckets.push_back(Bucket{cells / static_cast<std::size_t>(count),
+                             tog / count, at / count});
+  }
+
+  std::printf("%-12s %-14s %-14s\n", "avg #cells", "toggle err %",
+              "arrival err %");
+  bench::print_rule(42);
+  for (const auto& b : buckets) {
+    std::printf("%-12zu %-14.1f %-14.1f\n", b.cells, 100 * b.toggle_err,
+                100 * b.at_err);
+  }
+  std::printf("\nPaper shape: both error ratios rise with size; >40%% near "
+              "2,000 gates.\n");
+
+  const bool rises = buckets.back().at_err > buckets.front().at_err;
+  std::printf("arrival error rises with size: %s\n", rises ? "yes" : "NO");
+  return 0;
+}

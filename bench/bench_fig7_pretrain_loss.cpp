@@ -1,0 +1,57 @@
+// Reproduces Fig. 7: losses during the pre-training phase — total,
+// probability, toggle and arrival-time — all decreasing steadily.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace moss;
+using bench::Scale;
+
+int main() {
+  Scale scale = Scale::from_env();
+  scale.pretrain_epochs = std::max(scale.pretrain_epochs, 45);  // paper: 45
+  std::printf("=== Fig. 7: pre-training losses (45 epochs) ===\n\n");
+  const bench::Workbench wb = bench::Workbench::make(scale);
+  core::MossConfig cfg = core::MossConfig::without_alignment();
+  cfg.hidden = scale.hidden;
+  cfg.rounds = scale.rounds;
+  core::MossModel model(cfg, cell::standard_library(), wb.encoder);
+  std::vector<core::CircuitBatch> batches;
+  for (const auto& lc : wb.train) {
+    batches.push_back(core::build_batch(lc, wb.encoder, cfg.features));
+  }
+  core::PretrainConfig pcfg;
+  pcfg.epochs = scale.pretrain_epochs;
+  pcfg.lr = scale.lr;
+  const core::PretrainReport rep = core::pretrain(model, batches, pcfg);
+
+  const auto print_curve = [](const char* name,
+                              const std::vector<double>& v) {
+    std::printf("%-22s %s  (%.4f -> %.4f)\n", name,
+                bench::sparkline(v).c_str(), v.front(), v.back());
+  };
+  print_curve("(a) total loss", rep.total);
+  print_curve("(b) probability loss", rep.prob);
+  print_curve("(c) toggle loss", rep.toggle);
+  print_curve("(d) arrival-time loss", rep.arrival);
+
+  std::printf("\nepoch  total     prob      toggle    arrival\n");
+  bench::print_rule(46);
+  for (std::size_t e = 0; e < rep.total.size();
+       e += std::max<std::size_t>(1, rep.total.size() / 15)) {
+    std::printf("%5zu  %.6f  %.6f  %.6f  %.6f\n", e, rep.total[e],
+                rep.prob[e], rep.toggle[e], rep.arrival[e]);
+  }
+  std::printf("%5zu  %.6f  %.6f  %.6f  %.6f\n", rep.total.size() - 1,
+              rep.total.back(), rep.prob.back(), rep.toggle.back(),
+              rep.arrival.back());
+
+  const bool all_drop = rep.total.back() < rep.total.front() &&
+                        rep.prob.back() < rep.prob.front() &&
+                        rep.toggle.back() < rep.toggle.front() &&
+                        rep.arrival.back() < rep.arrival.front();
+  std::printf("\nall loss components decrease (paper shape): %s\n",
+              all_drop ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks of the substrate pipeline (google-benchmark): synthesis,
+// gate-level simulation, STA, AIG conversion, LM encoding and GNN forward —
+// the per-stage costs behind the experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/deepseq.hpp"
+#include "core/evaluate.hpp"
+#include "core/trainer.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace moss;
+
+namespace {
+
+const data::LabeledCircuit& labeled(int size) {
+  static std::unordered_map<int, data::LabeledCircuit> cache;
+  const auto it = cache.find(size);
+  if (it != cache.end()) return it->second;
+  data::DesignSpec s{"alu", size, 77, "alu_bench" + std::to_string(size)};
+  data::DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  return cache.emplace(size, data::label_circuit(
+                                 s, cell::standard_library(), cfg))
+      .first->second;
+}
+
+lm::TextEncoder& encoder() {
+  static lm::TextEncoder enc({4096, 24, 7});
+  return enc;
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  data::DesignSpec s{"alu", static_cast<int>(state.range(0)), 77, "alu_s"};
+  const rtl::Module m = data::generate(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::synthesize(m, cell::standard_library()));
+  }
+  state.SetLabel(std::to_string(
+      synth::synthesize(m, cell::standard_library()).num_cells()) +
+      " cells");
+}
+BENCHMARK(BM_Synthesize)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_SimulateCycle(benchmark::State& state) {
+  const auto& lc = labeled(static_cast<int>(state.range(0)));
+  moss::sim::Simulator simulator(lc.netlist);
+  std::vector<std::uint8_t> pis(lc.netlist.inputs().size(), 0);
+  Rng rng(1);
+  for (auto _ : state) {
+    for (auto& p : pis) p = rng.bernoulli(0.5) ? 1 : 0;
+    simulator.step(pis);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lc.netlist.num_cells()));
+}
+BENCHMARK(BM_SimulateCycle)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_Sta(benchmark::State& state) {
+  const auto& lc = labeled(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sta::TimingAnalysis ta(lc.netlist);
+    benchmark::DoNotOptimize(ta.worst_arrival());
+  }
+}
+BENCHMARK(BM_Sta)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_AigConversion(benchmark::State& state) {
+  const auto& lc = labeled(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aig::from_netlist(lc.netlist));
+  }
+}
+BENCHMARK(BM_AigConversion)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_LmEncode(benchmark::State& state) {
+  const auto& lc = labeled(2);
+  for (auto _ : state) {
+    encoder().invalidate_cache();  // measure the un-cached path
+    benchmark::DoNotOptimize(encoder().encode(lc.module_text));
+  }
+}
+BENCHMARK(BM_LmEncode);
+
+void BM_BuildBatch(benchmark::State& state) {
+  const auto& lc = labeled(static_cast<int>(state.range(0)));
+  core::FeatureConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_batch(lc, encoder(), cfg));
+  }
+}
+BENCHMARK(BM_BuildBatch)->Arg(1)->Arg(3);
+
+void BM_GnnForward(benchmark::State& state) {
+  const auto& lc = labeled(static_cast<int>(state.range(0)));
+  core::MossConfig cfg;
+  cfg.hidden = 32;
+  cfg.rounds = 2;
+  core::MossModel model(cfg, cell::standard_library(), encoder());
+  const core::CircuitBatch batch =
+      core::build_batch(lc, encoder(), cfg.features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.node_embeddings(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.graph.num_nodes));
+}
+BENCHMARK(BM_GnnForward)->Arg(1)->Arg(3);
+
+void BM_TrainStep(benchmark::State& state) {
+  const auto& lc = labeled(2);
+  core::MossConfig cfg;
+  cfg.hidden = 32;
+  cfg.rounds = 2;
+  core::MossModel model(cfg, cell::standard_library(), encoder());
+  std::vector<core::CircuitBatch> data{
+      core::build_batch(lc, encoder(), cfg.features)};
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pretrain(model, data, pcfg));
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

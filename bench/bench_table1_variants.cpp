@@ -1,0 +1,120 @@
+// Reproduces Table I: ATP / TRP / PP accuracy of DeepSeq2, MOSS w/o FAA,
+// MOSS w/o AA, MOSS w/o A and full MOSS on the eight evaluation circuits.
+//
+// Paper reference (DAC'25 Table I, averages):
+//   DeepSeq2      ATP 79.1  TRP 76.4  PP 88.4
+//   MOSS w/o FAA  ATP 45.6  TRP 57.1  PP 75.1
+//   MOSS w/o AA   ATP 80.3  TRP 81.0  PP 90.7
+//   MOSS w/o A    ATP 94.9  TRP 87.0  PP 95.1
+//   MOSS          ATP 95.2  TRP 87.5  PP 96.3
+//
+// Absolute numbers here come from this repo's own EDA flow and CPU-scale
+// training; the shape to check is the ordering of the variants and the
+// baseline's degradation on the larger circuits.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace moss;
+using bench::Scale;
+using bench::Workbench;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  std::vector<core::TaskAccuracy> per_circuit;
+  core::TaskAccuracy avg;
+};
+
+VariantResult eval_moss(const char* name, const Workbench& wb,
+                        const core::MossConfig& cfg) {
+  const bench::TrainedMoss tm = bench::train_moss(wb, cfg);
+  VariantResult r;
+  r.name = name;
+  for (std::size_t i = 0; i < wb.test.size(); ++i) {
+    r.per_circuit.push_back(
+        core::evaluate_tasks(tm.model, tm.test_batches[i], wb.test[i]));
+    r.avg.atp += r.per_circuit.back().atp;
+    r.avg.trp += r.per_circuit.back().trp;
+    r.avg.pp += r.per_circuit.back().pp;
+  }
+  const double n = static_cast<double>(wb.test.size());
+  r.avg.atp /= n;
+  r.avg.trp /= n;
+  r.avg.pp /= n;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  std::printf("=== Table I: performance comparison of MOSS variants ===\n");
+  std::printf("(scale: %zu train circuits, %d+%d epochs, hidden=%zu)\n\n",
+              scale.train_circuits, scale.pretrain_epochs, scale.align_epochs,
+              scale.hidden);
+  const Workbench wb = Workbench::make(scale);
+
+  std::vector<VariantResult> results;
+
+  {  // DeepSeq2-style baseline
+    const bench::TrainedBaseline tb = bench::train_baseline(wb);
+    VariantResult r;
+    r.name = "DeepSeq2";
+    for (std::size_t i = 0; i < wb.test.size(); ++i) {
+      r.per_circuit.push_back(baseline::evaluate_baseline(
+          tb.model, tb.test_batches[i], wb.test[i]));
+      r.avg.atp += r.per_circuit.back().atp;
+      r.avg.trp += r.per_circuit.back().trp;
+      r.avg.pp += r.per_circuit.back().pp;
+    }
+    const double n = static_cast<double>(wb.test.size());
+    r.avg.atp /= n;
+    r.avg.trp /= n;
+    r.avg.pp /= n;
+    results.push_back(std::move(r));
+    std::printf("[trained DeepSeq2 baseline]\n");
+  }
+  results.push_back(
+      eval_moss("MOSS w/o FAA", wb, core::MossConfig::without_features()));
+  std::printf("[trained MOSS w/o FAA]\n");
+  results.push_back(
+      eval_moss("MOSS w/o AA", wb, core::MossConfig::without_adaptive_agg()));
+  std::printf("[trained MOSS w/o AA]\n");
+  results.push_back(
+      eval_moss("MOSS w/o A", wb, core::MossConfig::without_alignment()));
+  std::printf("[trained MOSS w/o A]\n");
+  results.push_back(eval_moss("MOSS", wb, core::MossConfig::full()));
+  std::printf("[trained MOSS]\n\n");
+
+  std::printf("%-18s %6s |", "Circuit", "#Cells");
+  for (const auto& r : results) std::printf(" %-22s |", r.name.c_str());
+  std::printf("\n%-18s %6s |", "", "");
+  for (std::size_t v = 0; v < results.size(); ++v) {
+    std::printf("  ATP   TRP    PP      |");
+  }
+  std::printf("\n");
+  bench::print_rule(26 + 24 * static_cast<int>(results.size()));
+  for (std::size_t i = 0; i < wb.test.size(); ++i) {
+    std::printf("%-18s %6zu |", wb.test[i].netlist.name().c_str(),
+                wb.test[i].netlist.num_cells());
+    for (const auto& r : results) {
+      const auto& a = r.per_circuit[i];
+      std::printf(" %5.1f %5.1f %5.1f      |", 100 * a.atp, 100 * a.trp,
+                  100 * a.pp);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(26 + 24 * static_cast<int>(results.size()));
+  std::printf("%-18s %6s |", "Average", "-");
+  for (const auto& r : results) {
+    std::printf(" %5.1f %5.1f %5.1f      |", 100 * r.avg.atp, 100 * r.avg.trp,
+                100 * r.avg.pp);
+  }
+  std::printf("\n\nPaper averages: DeepSeq2 79.1/76.4/88.4 | w/o FAA "
+              "45.6/57.1/75.1 | w/o AA 80.3/81.0/90.7 | w/o A 94.9/87.0/95.1 "
+              "| MOSS 95.2/87.5/96.3\n");
+  return 0;
+}

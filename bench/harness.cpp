@@ -1,0 +1,140 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace moss::bench {
+
+Scale Scale::from_env() {
+  Scale s;
+  const char* env = std::getenv("MOSS_BENCH_SCALE");
+  const int level = env ? std::atoi(env) : 1;
+  if (level <= 0) {  // smoke
+    s.train_circuits = 8;
+    s.max_train_size = 2;
+    s.sim_cycles = 400;
+    s.pretrain_epochs = 4;
+    s.align_epochs = 6;
+    s.baseline_epochs = 10;
+    s.lm_epochs = 1;
+    s.lm_pairs = 15000;
+    s.hidden = 16;
+    s.rounds = 1;
+  } else if (level >= 2) {  // extended
+    s.train_circuits = 42;
+    s.sim_cycles = 4000;
+    s.pretrain_epochs = 30;
+    s.align_epochs = 80;
+    s.baseline_epochs = 110;
+    s.hidden = 40;
+    s.rounds = 3;
+  }
+  return s;
+}
+
+Workbench Workbench::make(const Scale& scale) {
+  Workbench wb;
+  wb.scale = scale;
+  const auto& lib = cell::standard_library();
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = scale.sim_cycles;
+  wb.train = data::build_dataset(
+      data::corpus_specs(scale.train_circuits, 99, 1, scale.max_train_size),
+      lib, dcfg);
+  wb.test = data::build_dataset(data::table1_specs(), lib, dcfg);
+
+  std::vector<std::string> corpus;
+  corpus.reserve(wb.train.size());
+  for (const auto& lc : wb.train) corpus.push_back(lc.module_text);
+  lm::FineTuneConfig ftc;
+  ftc.epochs = scale.lm_epochs;
+  ftc.max_pairs_per_epoch = scale.lm_pairs;
+  Rng rng(5);
+  lm::fine_tune(wb.encoder, corpus, ftc, rng);
+  return wb;
+}
+
+TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg_in) {
+  core::MossConfig cfg = cfg_in;
+  cfg.hidden = wb.scale.hidden;
+  cfg.rounds = wb.scale.rounds;
+  TrainedMoss out{core::MossModel(cfg, cell::standard_library(), wb.encoder),
+                  {},
+                  {},
+                  {},
+                  {}};
+  for (const auto& lc : wb.train) {
+    out.train_batches.push_back(
+        core::build_batch(lc, wb.encoder, cfg.features));
+  }
+  for (const auto& lc : wb.test) {
+    out.test_batches.push_back(
+        core::build_batch(lc, wb.encoder, cfg.features));
+  }
+  core::PretrainConfig pcfg;
+  pcfg.lr = wb.scale.lr;
+  pcfg.epochs = cfg.alignment
+                    ? wb.scale.pretrain_epochs
+                    : wb.scale.pretrain_epochs + wb.scale.align_epochs;
+  out.pretrain_report = core::pretrain(out.model, out.train_batches, pcfg);
+  if (cfg.alignment) {
+    core::AlignConfig acfg;
+    acfg.epochs = wb.scale.align_epochs;
+    acfg.lr = wb.scale.lr;
+    acfg.batch_size = std::min<std::size_t>(8, out.train_batches.size());
+    Rng rng(6);
+    out.align_report = core::align(out.model, out.train_batches, acfg, rng);
+  }
+  return out;
+}
+
+TrainedBaseline train_baseline(const Workbench& wb) {
+  baseline::DeepSeqConfig bcfg;
+  bcfg.hidden = wb.scale.hidden;
+  bcfg.rounds = wb.scale.rounds;
+  TrainedBaseline out{baseline::DeepSeqModel(bcfg), {}, {}, {}};
+  for (const auto& lc : wb.train) {
+    out.train_batches.push_back(
+        baseline::build_aig_batch(lc, 1, wb.scale.sim_cycles));
+  }
+  for (const auto& lc : wb.test) {
+    out.test_batches.push_back(
+        baseline::build_aig_batch(lc, 1, wb.scale.sim_cycles));
+  }
+  std::vector<core::CircuitBatch> data;
+  for (const auto& ab : out.train_batches) data.push_back(ab.batch);
+  core::PretrainConfig pcfg;
+  pcfg.epochs = wb.scale.baseline_epochs;
+  pcfg.lr = wb.scale.lr;
+  out.report = core::pretrain_model(out.model, data, pcfg);
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values, int width) {
+  if (values.empty()) return "(empty)";
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = std::max(hi - lo, 1e-12);
+  std::string out;
+  const int n = std::min<int>(width, static_cast<int>(values.size()));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t idx =
+        static_cast<std::size_t>(i) * values.size() / static_cast<std::size_t>(n);
+    const int lvl = static_cast<int>((values[idx] - lo) / span * 7.999);
+    out += kLevels[std::clamp(lvl, 0, 7)];
+  }
+  return out;
+}
+
+void print_rule(int cols) {
+  for (int i = 0; i < cols; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace moss::bench

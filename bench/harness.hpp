@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/deepseq.hpp"
+#include "core/evaluate.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "lm/encoder.hpp"
+
+namespace moss::bench {
+
+/// Experiment scale. Controlled by the MOSS_BENCH_SCALE environment
+/// variable: 0 = smoke (seconds, loose numbers), 1 = paper run (default,
+/// minutes), 2 = extended (longer training, tighter numbers).
+struct Scale {
+  std::size_t train_circuits = 32;
+  int max_train_size = 5;
+  std::uint64_t sim_cycles = 1500;
+  int pretrain_epochs = 20;
+  int align_epochs = 60;
+  int baseline_epochs = 80;
+  int lm_epochs = 3;
+  std::size_t lm_pairs = 60000;
+  std::size_t hidden = 32;
+  int rounds = 2;
+  float lr = 2e-3f;
+
+  static Scale from_env();
+};
+
+/// Everything the experiment benches share: a fine-tuned encoder and the
+/// labeled train/test datasets.
+struct Workbench {
+  lm::TextEncoder encoder{{4096, 24, 7}};
+  std::vector<data::LabeledCircuit> train;
+  std::vector<data::LabeledCircuit> test;  ///< the Table-I circuits
+  Scale scale;
+
+  static Workbench make(const Scale& scale);
+};
+
+/// Train a MOSS variant end-to-end (pretrain + align when enabled; when
+/// alignment is off, the pretraining budget is extended by the alignment
+/// epochs so every variant sees the same number of optimization passes).
+struct TrainedMoss {
+  core::MossModel model;
+  std::vector<core::CircuitBatch> train_batches;
+  std::vector<core::CircuitBatch> test_batches;
+  core::PretrainReport pretrain_report;
+  core::AlignReport align_report;
+};
+
+TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg);
+
+/// Train the DeepSeq2-style baseline on the same circuits (AIG modality).
+struct TrainedBaseline {
+  baseline::DeepSeqModel model;
+  std::vector<baseline::AigBatch> train_batches;
+  std::vector<baseline::AigBatch> test_batches;
+  core::PretrainReport report;
+};
+
+TrainedBaseline train_baseline(const Workbench& wb);
+
+/// Render a loss curve as a compact ASCII sparkline row (for the figure
+/// benches' output).
+std::string sparkline(const std::vector<double>& values, int width = 45);
+
+/// Printf helper writing a row of a markdown-ish table.
+void print_rule(int cols);
+
+}  // namespace moss::bench

@@ -1,0 +1,81 @@
+// Test-engineering workflow on a synthesized design: dump a VCD waveform of
+// a random simulation, then run a stuck-at fault campaign and report
+// coverage — the flow a DFT engineer runs before trusting a test set.
+//
+// Usage: ./build/examples/fault_and_waves [family] [size] [vcd_path]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "data/generators.hpp"
+#include "sim/fault.hpp"
+#include "sim/vcd.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace moss;
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "ctrl_fsm";
+  const int size = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::string vcd_path =
+      argc > 3 ? argv[3] : "/tmp/moss_" + family + ".vcd";
+
+  const auto& lib = cell::standard_library();
+  data::DesignSpec spec{family, size, 77, family + "_dft"};
+  const auto nl = synth::synthesize(data::generate(spec), lib);
+  std::printf("Design %s: %zu cells, %zu PIs, %zu POs\n\n",
+              nl.name().c_str(), nl.num_cells(), nl.inputs().size(),
+              nl.outputs().size());
+
+  // 1. Waveform dump of 64 random cycles.
+  {
+    std::ofstream out(vcd_path);
+    sim::VcdWriter vcd(out, nl);
+    vcd.add_ports();
+    sim::Simulator s(nl);
+    Rng rng(1);
+    std::vector<std::uint8_t> pis(nl.inputs().size());
+    for (int c = 0; c < 64; ++c) {
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        const std::string& n = nl.node(nl.inputs()[i]).name;
+        pis[i] = (n == "rst" && c < 2) ? 1 : (rng.bernoulli(0.5) ? 1 : 0);
+      }
+      s.step(pis);
+      vcd.sample(s);
+    }
+    vcd.finish();
+    std::printf("Wrote %s (open with gtkwave)\n\n", vcd_path.c_str());
+  }
+
+  // 2. Stuck-at fault campaign under growing pattern budgets.
+  const auto faults = sim::enumerate_faults(nl);
+  std::printf("Fault universe: %zu stuck-at faults\n", faults.size());
+  std::printf("%-10s %-10s %-10s\n", "patterns", "detected", "coverage");
+  for (const std::uint64_t cycles : {8u, 32u, 128u, 512u}) {
+    Rng rng(2);
+    const auto campaign = sim::simulate_faults(nl, faults, cycles, rng);
+    std::printf("%-10llu %-10zu %-9.1f%%\n",
+                static_cast<unsigned long long>(cycles), campaign.detected,
+                100 * campaign.coverage);
+  }
+
+  // 3. The hardest faults (undetected at the largest budget).
+  Rng rng(2);
+  const auto campaign = sim::simulate_faults(nl, faults, 512, rng);
+  std::printf("\nUndetected faults (potentially redundant logic):\n");
+  int shown = 0;
+  for (const auto& r : campaign.results) {
+    if (r.detected) continue;
+    std::printf("  %s stuck-at-%d\n",
+                nl.node(r.fault.node).name.c_str(),
+                r.fault.stuck_value ? 1 : 0);
+    if (++shown >= 10) {
+      std::printf("  ...\n");
+      break;
+    }
+  }
+  if (shown == 0) std::printf("  none — fully testable under this stimulus\n");
+  return 0;
+}

@@ -1,0 +1,222 @@
+// moss_cli — command-line driver for the EDA substrate flow.
+//
+//   moss_cli lint   <design>             RTL lint warnings
+//   moss_cli synth  <design> [out.v]     synthesize, write structural Verilog
+//   moss_cli report <design>             stats + timing + power report
+//   moss_cli fault  <design> [cycles]    stuck-at coverage
+//   moss_cli formal <design_a> <design_b>  equivalence (BDD, sim fallback)
+//   moss_cli vcd    <design> <out.vcd> [cycles]  waveform dump
+//
+// <design> is either a path to a Verilog file or "family:size" (e.g.
+// "alu:2") naming a generated design.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "moss.hpp"
+
+using namespace moss;
+
+namespace {
+
+rtl::Module load_design(const std::string& arg) {
+  const auto colon = arg.find(':');
+  if (arg.size() > 2 && arg.substr(arg.size() - 2) == ".v") {
+    std::ifstream in(arg);
+    MOSS_CHECK(in.is_open(), "cannot open " + arg);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return rtl::parse_verilog(ss.str());
+  }
+  data::DesignSpec spec;
+  spec.family = colon == std::string::npos ? arg : arg.substr(0, colon);
+  spec.size_hint =
+      colon == std::string::npos ? 2 : std::atoi(arg.c_str() + colon + 1);
+  spec.seed = 1;
+  spec.name = spec.family + "_cli";
+  return data::generate(spec);
+}
+
+netlist::Netlist synth_design(const std::string& arg) {
+  return synth::synthesize(load_design(arg), cell::standard_library());
+}
+
+int cmd_lint(const std::string& arg) {
+  const rtl::Module m = load_design(arg);
+  const auto issues = rtl::lint(m);
+  if (issues.empty()) {
+    std::printf("%s: clean (no lint warnings)\n", m.name.c_str());
+    return 0;
+  }
+  std::fputs(rtl::to_string(issues).c_str(), stdout);
+  return 1;
+}
+
+int cmd_synth(const std::string& arg, const char* out_path) {
+  const netlist::Netlist nl = synth_design(arg);
+  const auto st = netlist::stats(nl);
+  std::printf("%s: %zu cells (%zu flops), %d levels, area %.1f\n",
+              nl.name().c_str(), st.cells, st.flops, st.levels, st.area);
+  const std::string v = netlist::to_structural_verilog(nl);
+  if (out_path) {
+    std::ofstream out(out_path);
+    MOSS_CHECK(out.is_open(), std::string("cannot write ") + out_path);
+    out << v;
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fputs(v.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_report(const std::string& arg) {
+  const netlist::Netlist nl = synth_design(arg);
+  const auto st = netlist::stats(nl);
+  std::printf("== %s ==\n%zu cells, %zu flops, %zu PIs, %zu POs, %d levels\n\n",
+              nl.name().c_str(), st.cells, st.flops, st.inputs, st.outputs,
+              st.levels);
+  const sta::TimingAnalysis ta(nl);
+  std::fputs(ta.report_timing(2).c_str(), stdout);
+  Rng rng(1);
+  const auto act = sim::random_activity(nl, 2000, rng);
+  const auto pw = power::analyze_power(nl, act.toggle);
+  std::printf("\npower @1GHz: %.1f uW (dynamic %.1f, leakage %.1f)\n",
+              pw.total_uw, pw.dynamic_uw, pw.leakage_uw);
+  return 0;
+}
+
+int cmd_fault(const std::string& arg, std::uint64_t cycles) {
+  const netlist::Netlist nl = synth_design(arg);
+  Rng rng(2);
+  const auto faults = sim::enumerate_faults(nl);
+  const auto campaign = sim::simulate_faults(nl, faults, cycles, rng);
+  std::printf("%s: %zu faults, %zu detected in %llu cycles -> %.1f%% "
+              "coverage\n",
+              nl.name().c_str(), faults.size(), campaign.detected,
+              static_cast<unsigned long long>(cycles),
+              100 * campaign.coverage);
+  return 0;
+}
+
+int cmd_formal(const std::string& a_arg, const std::string& b_arg) {
+  const rtl::Module ma = load_design(a_arg);
+  const rtl::Module mb = load_design(b_arg);
+  const netlist::Netlist a =
+      synth::synthesize(ma, cell::standard_library());
+  const netlist::Netlist b =
+      synth::synthesize(mb, cell::standard_library());
+  const bdd::FormalResult res = bdd::check_equivalence_formal(a, b);
+  switch (res.status) {
+    case bdd::FormalResult::Status::kEquivalent:
+      std::printf("EQUIVALENT (formal): %s\n", res.detail.c_str());
+      return 0;
+    case bdd::FormalResult::Status::kNotEquivalent:
+      std::printf("NOT EQUIVALENT: %s\n", res.detail.c_str());
+      return 1;
+    case bdd::FormalResult::Status::kResourceLimit: {
+      std::printf("BDD limit hit (%s); falling back to co-simulation\n",
+                  res.detail.c_str());
+      Rng rng(3);
+      const auto sim_res = sim::check_equivalence(ma, b, 2000, rng);
+      std::printf("%s (simulation, %llu cycles)\n",
+                  sim_res.equivalent ? "no mismatch found" : "MISMATCH",
+                  static_cast<unsigned long long>(sim_res.cycles_checked));
+      return sim_res.equivalent ? 0 : 1;
+    }
+  }
+  return 2;
+}
+
+int cmd_reset(const std::string& arg) {
+  const netlist::Netlist nl = synth_design(arg);
+  const sim::ResetCoverage cov = sim::analyze_reset(nl);
+  std::printf("%s: %zu/%zu flops initialized by reset (%.1f%%)\n",
+              nl.name().c_str(), cov.initialized, cov.total_flops,
+              100 * cov.coverage);
+  for (const auto& name : cov.uninitialized) {
+    std::printf("  X after reset: %s\n", name.c_str());
+  }
+  return cov.uninitialized.empty() ? 0 : 1;
+}
+
+int cmd_vcd(const std::string& arg, const char* out_path,
+            std::uint64_t cycles) {
+  const netlist::Netlist nl = synth_design(arg);
+  std::ofstream out(out_path);
+  MOSS_CHECK(out.is_open(), std::string("cannot write ") + out_path);
+  sim::VcdWriter vcd(out, nl);
+  vcd.add_ports();
+  sim::Simulator s(nl);
+  Rng rng(4);
+  std::vector<std::uint8_t> pis(nl.inputs().size());
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      const std::string& n = nl.node(nl.inputs()[i]).name;
+      pis[i] = (n == "rst" && c < 2) ? 1 : (rng.bernoulli(0.5) ? 1 : 0);
+    }
+    s.step(pis);
+    vcd.sample(s);
+  }
+  vcd.finish();
+  std::printf("wrote %s (%llu cycles, %zu signals)\n", out_path,
+              static_cast<unsigned long long>(cycles),
+              nl.inputs().size() + nl.outputs().size());
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: moss_cli <command> ...\n"
+      "  lint   <design>\n"
+      "  synth  <design> [out.v]\n"
+      "  report <design>\n"
+      "  fault  <design> [cycles]\n"
+      "  formal <design_a> <design_b>\n"
+      "  reset  <design>\n"
+      "  vcd    <design> <out.vcd> [cycles]\n"
+      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "lint") return cmd_lint(argv[2]);
+    if (cmd == "synth") return cmd_synth(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "report") return cmd_report(argv[2]);
+    if (cmd == "fault") {
+      return cmd_fault(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                         : 256);
+    }
+    if (cmd == "reset") return cmd_reset(argv[2]);
+    if (cmd == "formal") {
+      if (argc < 4) {
+        usage();
+        return 2;
+      }
+      return cmd_formal(argv[2], argv[3]);
+    }
+    if (cmd == "vcd") {
+      if (argc < 4) {
+        usage();
+        return 2;
+      }
+      return cmd_vcd(argv[2], argv[3],
+                     argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,79 @@
+// Timing explorer: synthesize a design under different optimization
+// recipes, run STA on each and print worst paths — the classic
+// "what did the flow do to my timing" loop, entirely with the in-repo
+// substrates.
+//
+// Usage: ./build/examples/timing_explorer [family] [size]
+//        (default: signed_mac 3)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/generators.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace moss;
+
+namespace {
+
+void report(const char* recipe, const netlist::Netlist& nl) {
+  const sta::TimingAnalysis ta(nl);
+  const auto st = netlist::stats(nl);
+  std::printf("%-22s %6zu cells  %3d levels  area %7.1f  worst arrival "
+              "%7.1f ps\n",
+              recipe, st.cells, st.levels, st.area, ta.worst_arrival());
+
+  const auto path = ta.critical_path(ta.worst_endpoint());
+  std::printf("  critical path (%zu stages), endpoint first:\n", path.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(path.size(), 8); ++i) {
+    const auto& n = nl.node(path[i].node);
+    const char* type =
+        n.kind == netlist::NodeKind::kCell
+            ? nl.library().type(n.type).name.c_str()
+            : (n.kind == netlist::NodeKind::kPrimaryInput ? "PI" : "PO");
+    std::printf("    %-24s %-8s @ %7.1f ps\n", n.name.c_str(), type,
+                path[i].arrival_ps);
+  }
+  if (path.size() > 8) std::printf("    ... %zu more\n", path.size() - 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "signed_mac";
+  const int size = argc > 2 ? std::atoi(argv[2]) : 3;
+  const auto& lib = cell::standard_library();
+
+  data::DesignSpec spec{family, size, 2024, family + "_explore"};
+  const rtl::Module m = data::generate(spec);
+  std::printf("Design: %s (size %d) — %zu registers, %zu outputs\n\n",
+              family.c_str(), size, m.regs.size(), m.outputs.size());
+
+  synth::SynthOptions raw;
+  raw.merge_gate_trees = false;
+  raw.fuse_inverters = false;
+  raw.insert_buffers = false;
+  raw.sweep_dead_logic = true;
+  report("elaborated only", synth::synthesize(m, lib, raw));
+  std::printf("\n");
+
+  synth::SynthOptions no_buf;
+  no_buf.insert_buffers = false;
+  report("mapped, no buffering", synth::synthesize(m, lib, no_buf));
+  std::printf("\n");
+
+  report("full flow", synth::synthesize(m, lib));
+
+  // Show how the flow traded area for drive fixes.
+  const auto full = synth::synthesize(m, lib);
+  int buffers = 0;
+  for (const auto& n : full.nodes()) {
+    if (n.kind != netlist::NodeKind::kCell) continue;
+    const auto& t = full.library().type(n.type);
+    if (t.name == "BUF" || t.name == "BUFX4") ++buffers;
+  }
+  std::printf("\nBuffers inserted by the full flow: %d\n", buffers);
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+#include "core_util/check.hpp"
+
+namespace moss::aig {
+
+std::uint32_t Aig::add_pi() {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(AigNode{AigKind::kPi, 0, 0});
+  pis_.push_back(id);
+  return id;
+}
+
+Lit Aig::and2(Lit a, Lit b) {
+  // Constant folding and trivial cases.
+  if (a > b) std::swap(a, b);
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(AigNode{AigKind::kAnd, a, b});
+  ++num_ands_;
+  const Lit out = make_lit(id, false);
+  strash_.emplace(key, out);
+  return out;
+}
+
+Lit Aig::xor2(Lit a, Lit b) {
+  // a^b = !(!(a&!b) & !(!a&b))
+  return lit_not(and2(lit_not(and2(a, lit_not(b))),
+                      lit_not(and2(lit_not(a), b))));
+}
+
+Lit Aig::mux(Lit sel, Lit t, Lit f) {
+  return lit_not(and2(lit_not(and2(sel, t)), lit_not(and2(lit_not(sel), f))));
+}
+
+std::uint32_t Aig::add_latch() {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(AigNode{AigKind::kLatch, 0, 0});
+  latches_.push_back(id);
+  return id;
+}
+
+void Aig::set_latch_next(std::uint32_t latch, Lit next) {
+  MOSS_CHECK(latch < nodes_.size() && nodes_[latch].kind == AigKind::kLatch,
+             "not a latch");
+  nodes_[latch].fanin0 = next;
+}
+
+std::vector<int> Aig::levels() const {
+  std::vector<int> lvl(nodes_.size(), 0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == AigKind::kAnd) {
+      lvl[i] = 1 + std::max(lvl[lit_node(nodes_[i].fanin0)],
+                            lvl[lit_node(nodes_[i].fanin1)]);
+    }
+  }
+  return lvl;
+}
+
+namespace {
+
+/// Build an AIG literal for a truth table over already-computed input
+/// literals, by Shannon expansion on the highest variable.
+Lit tt_to_aig(Aig& g, std::uint64_t table, const std::vector<Lit>& ins,
+              int num_vars) {
+  if (num_vars == 0) return (table & 1ull) ? kLitTrue : kLitFalse;
+  const int v = num_vars - 1;
+  const std::uint32_t half = 1u << v;
+  // Split rows by variable v.
+  std::uint64_t lo = 0, hi = 0;
+  for (std::uint32_t row = 0; row < (1u << num_vars); ++row) {
+    const bool bit = (table >> row) & 1ull;
+    if (!bit) continue;
+    if (row & half) {
+      hi |= 1ull << (row & (half - 1));
+    } else {
+      lo |= 1ull << (row & (half - 1));
+    }
+  }
+  const Lit f0 = tt_to_aig(g, lo, ins, v);
+  const Lit f1 = tt_to_aig(g, hi, ins, v);
+  if (f0 == f1) return f0;
+  return g.mux(ins[static_cast<std::size_t>(v)], f1, f0);
+}
+
+}  // namespace
+
+AigConversion from_netlist(const netlist::Netlist& nl) {
+  MOSS_CHECK(nl.finalized(), "AIG conversion needs a finalized netlist");
+  AigConversion conv;
+  Aig& g = conv.aig;
+  conv.node_lit.assign(nl.num_nodes(), kLitFalse);
+
+  using netlist::NodeId;
+  using netlist::NodeKind;
+
+  // PIs and latches first so feedback resolves.
+  for (const NodeId id : nl.inputs()) {
+    conv.node_lit[static_cast<std::size_t>(id)] = make_lit(g.add_pi(), false);
+  }
+  for (const NodeId id : nl.flops()) {
+    conv.node_lit[static_cast<std::size_t>(id)] =
+        make_lit(g.add_latch(), false);
+  }
+
+  for (const NodeId id : nl.topo_order()) {
+    const netlist::Node& n = nl.node(id);
+    if (n.kind == NodeKind::kPrimaryInput) continue;
+    if (n.kind == NodeKind::kPrimaryOutput) {
+      conv.node_lit[static_cast<std::size_t>(id)] =
+          conv.node_lit[static_cast<std::size_t>(n.fanin[0])];
+      continue;
+    }
+    const cell::CellType& t = nl.library().type(n.type);
+    if (t.is_flop()) continue;  // handled below
+    std::vector<Lit> ins;
+    ins.reserve(n.fanin.size());
+    for (const NodeId f : n.fanin) {
+      ins.push_back(conv.node_lit[static_cast<std::size_t>(f)]);
+    }
+    conv.node_lit[static_cast<std::size_t>(id)] =
+        tt_to_aig(g, t.truth_table, ins, t.num_inputs);
+  }
+
+  // Latch next-state functions, with enable/reset semantics folded in:
+  //   next = R ? reset_value : (E ? D : Q)
+  for (const NodeId id : nl.flops()) {
+    const netlist::Node& n = nl.node(id);
+    const cell::CellType& t = nl.library().type(n.type);
+    const Lit q = conv.node_lit[static_cast<std::size_t>(id)];
+    const auto pin_lit = [&](const char* name) {
+      const int p = t.pin_index(name);
+      MOSS_CHECK(p >= 0, "missing flop pin");
+      return conv.node_lit[static_cast<std::size_t>(
+          n.fanin[static_cast<std::size_t>(p)])];
+    };
+    Lit next = pin_lit("D");
+    if (t.has_enable) next = g.mux(pin_lit("E"), next, q);
+    if (t.has_reset) {
+      next = g.mux(pin_lit("R"), t.reset_value ? kLitTrue : kLitFalse, next);
+    }
+    g.set_latch_next(lit_node(q), next);
+  }
+
+  for (const NodeId id : nl.outputs()) {
+    g.add_po(conv.node_lit[static_cast<std::size_t>(id)]);
+  }
+  return conv;
+}
+
+}  // namespace moss::aig

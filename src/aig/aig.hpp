@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::aig {
+
+/// Literal: 2*node + complement. Node 0 is constant false, so literal 0 is
+/// false and literal 1 is true.
+using Lit = std::uint32_t;
+inline constexpr Lit kLitFalse = 0;
+inline constexpr Lit kLitTrue = 1;
+
+inline Lit make_lit(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+inline std::uint32_t lit_node(Lit l) { return l >> 1; }
+inline bool lit_compl(Lit l) { return (l & 1u) != 0; }
+inline Lit lit_not(Lit l) { return l ^ 1u; }
+
+enum class AigKind : std::uint8_t { kConst0, kPi, kAnd, kLatch };
+
+struct AigNode {
+  AigKind kind = AigKind::kConst0;
+  Lit fanin0 = 0;  ///< kAnd both; kLatch: next-state literal
+  Lit fanin1 = 0;
+};
+
+/// And-Inverter Graph with latches — the representation DeepSeq-style
+/// baselines learn on. Nodes have uniform function (2-input AND) with
+/// complemented edges; latches are the sequential elements.
+class Aig {
+ public:
+  Aig() { nodes_.push_back(AigNode{AigKind::kConst0, 0, 0}); }
+
+  std::uint32_t add_pi();
+  /// Structurally hashed AND with constant folding and trivial identities.
+  Lit and2(Lit a, Lit b);
+  Lit or2(Lit a, Lit b) { return lit_not(and2(lit_not(a), lit_not(b))); }
+  Lit xor2(Lit a, Lit b);
+  Lit mux(Lit sel, Lit t, Lit f);
+  /// Create a latch (its next-state literal is set later via set_latch_next
+  /// so feedback can reference the latch output).
+  std::uint32_t add_latch();
+  void set_latch_next(std::uint32_t latch, Lit next);
+  void add_po(Lit l) { pos_.push_back(l); }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const AigNode& node(std::uint32_t id) const { return nodes_[id]; }
+  const std::vector<std::uint32_t>& pis() const { return pis_; }
+  const std::vector<std::uint32_t>& latches() const { return latches_; }
+  const std::vector<Lit>& pos() const { return pos_; }
+  std::size_t num_ands() const { return num_ands_; }
+
+  /// AND nodes in creation order are already topological (fanins precede).
+  /// Levels: PIs/latches/const at 0, ANDs at 1+max(fanin levels).
+  std::vector<int> levels() const;
+
+ private:
+  std::vector<AigNode> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<std::uint32_t> latches_;
+  std::vector<Lit> pos_;
+  std::unordered_map<std::uint64_t, Lit> strash_;
+  std::size_t num_ands_ = 0;
+};
+
+/// Conversion result: the AIG plus, for every netlist node, the literal
+/// realizing its output function (used to map cell-level labels onto AIG
+/// nodes for the baseline — with the inevitable distortion the paper
+/// criticizes: inverters vanish, complex cells shatter into several ANDs).
+struct AigConversion {
+  Aig aig;
+  std::vector<Lit> node_lit;  ///< indexed by netlist NodeId
+};
+
+AigConversion from_netlist(const netlist::Netlist& nl);
+
+}  // namespace moss::aig

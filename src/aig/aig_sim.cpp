@@ -1,0 +1,32 @@
+#include "aig/aig_sim.hpp"
+
+#include "core_util/check.hpp"
+
+namespace moss::aig {
+
+void AigSimulator::step(const std::vector<std::uint8_t>& pi_values) {
+  const Aig& g = *g_;
+  MOSS_CHECK(pi_values.size() == g.pis().size(), "AIG sim: PI count mismatch");
+  for (std::size_t i = 0; i < g.pis().size(); ++i) {
+    values_[g.pis()[i]] = pi_values[i] & 1u;
+  }
+  for (const std::uint32_t l : g.latches()) values_[l] = latch_state_[l];
+  // Creation order is topological for AND nodes.
+  for (std::uint32_t i = 0; i < g.num_nodes(); ++i) {
+    if (g.node(i).kind != AigKind::kAnd) continue;
+    values_[i] = static_cast<std::uint8_t>(value(g.node(i).fanin0) &
+                                           value(g.node(i).fanin1));
+  }
+  for (const std::uint32_t l : g.latches()) {
+    latch_state_[l] = value(g.node(l).fanin0);
+  }
+}
+
+std::vector<std::uint8_t> AigSimulator::output_values() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(g_->pos().size());
+  for (const Lit l : g_->pos()) out.push_back(value(l));
+  return out;
+}
+
+}  // namespace moss::aig

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace moss::aig {
+
+/// Cycle-based AIG simulator (verifies netlist→AIG conversion and provides
+/// AIG-level activity for the baseline's supervision).
+class AigSimulator {
+ public:
+  explicit AigSimulator(const Aig& g)
+      : g_(&g), values_(g.num_nodes(), 0), latch_state_(g.num_nodes(), 0) {}
+
+  void step(const std::vector<std::uint8_t>& pi_values);
+
+  std::uint8_t value(Lit l) const {
+    const std::uint8_t v = values_[lit_node(l)];
+    return lit_compl(l) ? static_cast<std::uint8_t>(1 - v) : v;
+  }
+  std::vector<std::uint8_t> output_values() const;
+
+ private:
+  const Aig* g_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> latch_state_;
+};
+
+}  // namespace moss::aig

@@ -1,0 +1,143 @@
+#include "aig/balance.hpp"
+
+#include <algorithm>
+
+#include "core_util/check.hpp"
+
+namespace moss::aig {
+
+int depth(const Aig& g) {
+  int d = 0;
+  for (const int l : g.levels()) d = std::max(d, l);
+  return d;
+}
+
+namespace {
+
+/// Number of AND/latch consumers of each node (POs and latch next-state
+/// references count too — a node feeding anything outside one AND tree
+/// must stay a tree boundary).
+std::vector<int> fanout_counts(const Aig& g) {
+  std::vector<int> out(g.num_nodes(), 0);
+  for (std::uint32_t i = 0; i < g.num_nodes(); ++i) {
+    const AigNode& n = g.node(i);
+    if (n.kind == AigKind::kAnd) {
+      ++out[lit_node(n.fanin0)];
+      ++out[lit_node(n.fanin1)];
+    } else if (n.kind == AigKind::kLatch) {
+      ++out[lit_node(n.fanin0)];
+    }
+  }
+  for (const Lit l : g.pos()) ++out[lit_node(l)];
+  return out;
+}
+
+struct Balancer {
+  const Aig& src;
+  Aig& dst;
+  const std::vector<int>& fanout;
+  std::vector<Lit>& map;  // old node -> new lit (for uncomplemented node)
+  std::vector<int> new_level;  // level per new node, maintained incrementally
+
+  int level_of(Lit l) {
+    const std::uint32_t n = lit_node(l);
+    if (n >= new_level.size()) new_level.resize(dst.num_nodes(), 0);
+    return new_level[n];
+  }
+
+  Lit make_and(Lit a, Lit b) {
+    const Lit r = dst.and2(a, b);
+    if (new_level.size() < dst.num_nodes()) {
+      new_level.resize(dst.num_nodes(), 0);
+    }
+    // For AND nodes level = 1 + max(children); constants/PIs stay 0.
+    if (dst.node(lit_node(r)).kind == AigKind::kAnd) {
+      new_level[lit_node(r)] =
+          1 + std::max(level_of(dst.node(lit_node(r)).fanin0),
+                       level_of(dst.node(lit_node(r)).fanin1));
+    }
+    return r;
+  }
+
+  Lit lit_of(Lit old_lit) const {
+    const Lit base = map[lit_node(old_lit)];
+    return lit_compl(old_lit) ? lit_not(base) : base;
+  }
+
+  /// Collect the leaves of the maximal AND tree rooted at old node `root`:
+  /// descend through uncomplemented, single-fanout AND children.
+  void collect_leaves(Lit old_lit, Lit root_node_check,
+                      std::vector<Lit>& leaves) const {
+    const std::uint32_t node = lit_node(old_lit);
+    const AigNode& n = src.node(node);
+    const bool absorbable =
+        !lit_compl(old_lit) && n.kind == AigKind::kAnd &&
+        fanout[node] == 1 && make_lit(node, false) != root_node_check;
+    if (!absorbable) {
+      leaves.push_back(old_lit);
+      return;
+    }
+    collect_leaves(n.fanin0, root_node_check, leaves);
+    collect_leaves(n.fanin1, root_node_check, leaves);
+  }
+
+  /// Build a balanced AND over already-mapped leaves, pairing the two
+  /// shallowest operands first (Huffman-style on depth).
+  Lit build_balanced(std::vector<Lit> new_leaves) {
+    MOSS_CHECK(!new_leaves.empty(), "balance: empty leaf set");
+    while (new_leaves.size() > 1) {
+      // Sort descending by level; combine the two shallowest (back).
+      std::sort(new_leaves.begin(), new_leaves.end(), [&](Lit a, Lit b) {
+        return level_of(a) > level_of(b);
+      });
+      const Lit x = new_leaves.back();
+      new_leaves.pop_back();
+      const Lit y = new_leaves.back();
+      new_leaves.pop_back();
+      new_leaves.push_back(make_and(x, y));
+    }
+    return new_leaves[0];
+  }
+};
+
+}  // namespace
+
+RebuiltAig balance(const Aig& src) {
+  RebuiltAig out;
+  out.old_to_new.assign(src.num_nodes(), kLitFalse);
+  const std::vector<int> fanout = fanout_counts(src);
+  Balancer bal{src, out.aig, fanout, out.old_to_new};
+
+  // PIs and latches keep their order.
+  for (const std::uint32_t p : src.pis()) {
+    out.old_to_new[p] = make_lit(out.aig.add_pi(), false);
+  }
+  for (const std::uint32_t l : src.latches()) {
+    out.old_to_new[l] = make_lit(out.aig.add_latch(), false);
+  }
+
+  // AND nodes in creation (topological) order. Nodes absorbed into a
+  // parent's leaf set never get queried via map (their only consumer
+  // rebuilds from the leaves), but mapping them anyway is harmless and
+  // keeps old_to_new total.
+  for (std::uint32_t i = 0; i < src.num_nodes(); ++i) {
+    if (src.node(i).kind != AigKind::kAnd) continue;
+    std::vector<Lit> leaves;
+    const Lit root = make_lit(i, false);
+    bal.collect_leaves(src.node(i).fanin0, root, leaves);
+    bal.collect_leaves(src.node(i).fanin1, root, leaves);
+    std::vector<Lit> new_leaves;
+    new_leaves.reserve(leaves.size());
+    for (const Lit l : leaves) new_leaves.push_back(bal.lit_of(l));
+    out.old_to_new[i] = bal.build_balanced(std::move(new_leaves));
+  }
+
+  for (const std::uint32_t l : src.latches()) {
+    out.aig.set_latch_next(lit_node(out.old_to_new[l]),
+                           bal.lit_of(src.node(l).fanin0));
+  }
+  for (const Lit po : src.pos()) out.aig.add_po(bal.lit_of(po));
+  return out;
+}
+
+}  // namespace moss::aig

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace moss::aig {
+
+/// Result of rebuilding an AIG through an optimization pass: the new graph
+/// plus, for every old node, the literal realizing it in the new graph.
+struct RebuiltAig {
+  Aig aig;
+  std::vector<Lit> old_to_new;  ///< indexed by old node id
+};
+
+/// Depth-balance the AIG (the classic `balance` pass): every maximal
+/// single-fanout AND tree is collected into its leaf set and rebuilt as a
+/// balanced tree ordered by leaf depth, minimizing the rebuilt tree's
+/// depth. Functionally equivalent by construction; structural hashing in
+/// the rebuilt graph also re-shares merged subtrees.
+RebuiltAig balance(const Aig& src);
+
+/// Maximum AND depth of the graph (levels() maximum).
+int depth(const Aig& g);
+
+}  // namespace moss::aig

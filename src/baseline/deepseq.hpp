@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/evaluate.hpp"
+#include "core/features.hpp"
+#include "core/trainer.hpp"
+#include "gnn/two_phase_gnn.hpp"
+
+namespace moss::baseline {
+
+/// DeepSeq2-style baseline: a two-phase asynchronous GNN over the
+/// And-Inverter Graph (not the standard-cell netlist), with one uniform
+/// aggregator, no LM features and no global alignment — embodying the
+/// design the paper compares against (and criticizes: AIG-level models
+/// cannot see standard-cell identity or loads, so cell-level labels such as
+/// timing are distorted).
+struct DeepSeqConfig {
+  std::size_t hidden = 32;
+  int rounds = 2;
+  bool attention = true;
+  std::uint64_t seed = 2;
+};
+
+/// Bookkeeping to map netlist-level labels and predictions onto AIG nodes.
+struct AigMapping {
+  aig::AigConversion conv;
+  /// For each netlist cell row (core::CircuitBatch::cell_rows order used at
+  /// eval): the AIG graph row realizing that cell's function.
+  std::vector<int> net_cell_to_aig_row;
+  std::vector<int> net_cell_ids;  ///< netlist NodeIds, aligned with above
+};
+
+/// Build a core::CircuitBatch over the AIG graph (so the shared trainer
+/// applies), plus the netlist↔AIG mapping for evaluation. Supervision is
+/// collected by simulating the AIG itself (DeepSeq-style node-level
+/// supervision); latch arrival labels are the netlist flop arrivals mapped
+/// 1:1 onto latches.
+struct AigBatch {
+  core::CircuitBatch batch;
+  AigMapping mapping;
+};
+
+AigBatch build_aig_batch(const data::LabeledCircuit& lc, std::uint64_t seed,
+                         std::uint64_t sim_cycles = 2000);
+
+/// The baseline model. Exposes the same surface as core::MossModel's local
+/// part, so core::pretrain_model<> trains it.
+class DeepSeqModel {
+ public:
+  explicit DeepSeqModel(const DeepSeqConfig& cfg);
+
+  tensor::ParameterSet& params() { return params_; }
+  tensor::Tensor node_embeddings(const core::CircuitBatch& batch) const;
+  core::LocalPredictions predict_local(const core::CircuitBatch& batch,
+                                       const tensor::Tensor& node_h) const;
+  tensor::Tensor predict_arrival(const core::CircuitBatch& batch,
+                                 const tensor::Tensor& node_h,
+                                 const std::vector<int>& rows) const;
+
+ private:
+  DeepSeqConfig cfg_;
+  tensor::ParameterSet params_;
+  gnn::TwoPhaseGnn gnn_;
+  tensor::Linear prob_head_;
+  tensor::Linear toggle_head_;
+  tensor::Mlp arrival_head_;
+};
+
+/// Feature width of the AIG graphs built by build_aig_batch.
+std::size_t aig_feature_dim();
+
+/// Evaluate the baseline at the *standard-cell* level: per-cell toggle read
+/// from each cell's AIG image; per-flop arrival read from its latch; power
+/// derived from predicted toggles — the same metrics as MOSS (Table I).
+core::TaskAccuracy evaluate_baseline(const DeepSeqModel& model,
+                                     const AigBatch& ab,
+                                     const data::LabeledCircuit& lc);
+
+}  // namespace moss::baseline

@@ -1,0 +1,134 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace moss::bdd {
+
+namespace {
+
+/// Exact (collision-free) packing of (var, lo, hi) / (f, g, h): each field
+/// fits in 21 bits because the manager caps nodes at 2^21 − 1. The unique
+/// and ITE tables require exact keys — a collision would merge distinct
+/// functions.
+std::uint64_t triple_key(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return (static_cast<std::uint64_t>(a) << 42) |
+         (static_cast<std::uint64_t>(b) << 21) | c;
+}
+
+}  // namespace
+
+Manager::Manager(std::size_t num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(max_nodes) {
+  MOSS_CHECK(num_vars < (1u << 21) && max_nodes < (1u << 21),
+             "Manager fields must fit 21 bits (exact table keys)");
+  // Terminals: var index = num_vars (below every variable).
+  nodes_.push_back(Node{static_cast<std::uint32_t>(num_vars), kFalse, kFalse});
+  nodes_.push_back(Node{static_cast<std::uint32_t>(num_vars), kTrue, kTrue});
+}
+
+Ref Manager::make(std::uint32_t var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;  // redundant test
+  const std::uint64_t key = triple_key(var, lo, hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) {
+    throw ResourceLimit("BDD node limit (" + std::to_string(max_nodes_) +
+                        ") exceeded");
+  }
+  nodes_.push_back(Node{var, lo, hi});
+  const Ref r = static_cast<Ref>(nodes_.size() - 1);
+  unique_.emplace(key, r);
+  return r;
+}
+
+Ref Manager::var(std::size_t index) {
+  MOSS_CHECK(index < num_vars_, "variable index out of range");
+  return make(static_cast<std::uint32_t>(index), kFalse, kTrue);
+}
+
+Ref Manager::nvar(std::size_t index) {
+  MOSS_CHECK(index < num_vars_, "variable index out of range");
+  return make(static_cast<std::uint32_t>(index), kTrue, kFalse);
+}
+
+Ref Manager::not_(Ref f) { return ite(f, kFalse, kTrue); }
+Ref Manager::and_(Ref f, Ref g) { return ite(f, g, kFalse); }
+Ref Manager::or_(Ref f, Ref g) { return ite(f, kTrue, g); }
+Ref Manager::xor_(Ref f, Ref g) { return ite(f, not_(g), g); }
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = triple_key(f, g, h);
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  // Split on the top variable of f, g, h.
+  const std::uint32_t v =
+      std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  const auto cofactor = [&](Ref r, bool hi) {
+    return nodes_[r].var == v ? (hi ? nodes_[r].hi : nodes_[r].lo) : r;
+  };
+  const Ref lo = ite(cofactor(f, false), cofactor(g, false),
+                     cofactor(h, false));
+  const Ref hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Ref r = make(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+bool Manager::eval(Ref f, const std::vector<bool>& assignment) const {
+  MOSS_CHECK(assignment.size() == num_vars_, "assignment size mismatch");
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+double Manager::probability(Ref f, const std::vector<double>& p) const {
+  MOSS_CHECK(p.size() == num_vars_, "probability vector size mismatch");
+  std::unordered_map<Ref, double> memo;
+  const std::function<double(Ref)> walk = [&](Ref r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    const auto it = memo.find(r);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[r];
+    const double val =
+        p[n.var] * walk(n.hi) + (1.0 - p[n.var]) * walk(n.lo);
+    memo.emplace(r, val);
+    return val;
+  };
+  return walk(f);
+}
+
+double Manager::sat_count(Ref f) const {
+  const std::vector<double> half(num_vars_, 0.5);
+  double scale = 1.0;
+  for (std::size_t i = 0; i < num_vars_; ++i) scale *= 2.0;
+  return probability(f, half) * scale;
+}
+
+std::optional<std::vector<bool>> Manager::any_sat(Ref f) const {
+  if (f == kFalse) return std::nullopt;
+  std::vector<bool> assignment(num_vars_, false);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      assignment[n.var] = true;
+      f = n.hi;
+    } else {
+      assignment[n.var] = false;
+      f = n.lo;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace moss::bdd

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core_util/check.hpp"
+
+namespace moss::bdd {
+
+/// Node reference within a Manager. 0 and 1 are the terminal constants.
+using Ref = std::uint32_t;
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// Reduced Ordered Binary Decision Diagram manager with unique and computed
+/// tables — the classic formal backbone for combinational equivalence and
+/// exact signal probability. Complemented edges are not used; reduction
+/// (no redundant nodes, full sharing) makes equivalence a pointer compare.
+///
+/// Variable order is fixed at construction time (index = order position).
+class Manager {
+ public:
+  /// `num_vars` variables, ordered by index. `max_nodes` bounds growth;
+  /// exceeding it throws ResourceLimit (callers degrade gracefully).
+  explicit Manager(std::size_t num_vars, std::size_t max_nodes = 1u << 20);
+
+  class ResourceLimit : public Error {
+   public:
+    using Error::Error;
+  };
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  Ref var(std::size_t index);         ///< the function x_index
+  Ref nvar(std::size_t index);        ///< ¬x_index
+  Ref not_(Ref f);
+  Ref and_(Ref f, Ref g);
+  Ref or_(Ref f, Ref g);
+  Ref xor_(Ref f, Ref g);
+  Ref ite(Ref f, Ref g, Ref h);       ///< if-then-else, the core operator
+
+  bool is_const(Ref f) const { return f <= kTrue; }
+
+  /// Evaluate under a complete assignment (bit i = variable i).
+  bool eval(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Exact probability that f = 1 when each variable independently has
+  /// P(x_i = 1) = p[i].
+  double probability(Ref f, const std::vector<double>& p) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  double sat_count(Ref f) const;
+
+  /// A satisfying assignment if one exists.
+  std::optional<std::vector<bool>> any_sat(Ref f) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  ///< variable index; terminals use num_vars()
+    Ref lo;             ///< cofactor var=0
+    Ref hi;             ///< cofactor var=1
+  };
+
+  Ref make(std::uint32_t var, Ref lo, Ref hi);
+
+  std::size_t num_vars_;
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  mutable std::unordered_map<std::uint64_t, Ref> ite_cache_;
+};
+
+}  // namespace moss::bdd

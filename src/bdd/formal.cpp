@@ -1,0 +1,205 @@
+#include "bdd/formal.hpp"
+
+#include <map>
+
+namespace moss::bdd {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+namespace {
+
+/// Shared variable space for one or two netlists: PIs by name, then flops
+/// by provenance key.
+struct VarSpace {
+  std::map<std::string, std::size_t> pi_vars;
+  std::map<std::string, std::size_t> flop_vars;
+  std::size_t count = 0;
+
+  std::size_t pi(const std::string& name) {
+    const auto it = pi_vars.find(name);
+    if (it != pi_vars.end()) return it->second;
+    pi_vars.emplace(name, count);
+    return count++;
+  }
+  std::size_t flop(const std::string& key) {
+    const auto it = flop_vars.find(key);
+    if (it != flop_vars.end()) return it->second;
+    flop_vars.emplace(key, count);
+    return count++;
+  }
+};
+
+std::string flop_key(const Netlist& nl, NodeId f) {
+  const auto& n = nl.node(f);
+  return n.rtl_register.empty() ? n.name : n.rtl_register;
+}
+
+/// Build BDDs for all node outputs of `nl` over the shared variable space.
+std::vector<Ref> build_functions(Manager& mgr, const Netlist& nl,
+                                 VarSpace& vars) {
+  std::vector<Ref> fn(nl.num_nodes(), kFalse);
+  for (const NodeId id : nl.topo_order()) {
+    const auto& n = nl.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        fn[static_cast<std::size_t>(id)] = mgr.var(vars.pi(n.name));
+        break;
+      case NodeKind::kPrimaryOutput:
+        fn[static_cast<std::size_t>(id)] =
+            fn[static_cast<std::size_t>(n.fanin[0])];
+        break;
+      case NodeKind::kCell: {
+        const cell::CellType& t = nl.library().type(n.type);
+        if (t.is_flop()) {
+          fn[static_cast<std::size_t>(id)] =
+              mgr.var(vars.flop(flop_key(nl, id)));
+          break;
+        }
+        if (t.is_tie()) {
+          fn[static_cast<std::size_t>(id)] = t.eval(0) ? kTrue : kFalse;
+          break;
+        }
+        // Shannon-expand the truth table over the fanin BDDs.
+        const std::uint32_t rows = 1u << t.num_inputs;
+        Ref acc = kFalse;
+        for (std::uint32_t row = 0; row < rows; ++row) {
+          if (!t.eval(row)) continue;
+          Ref minterm = kTrue;
+          for (int p = 0; p < t.num_inputs; ++p) {
+            const Ref in = fn[static_cast<std::size_t>(
+                n.fanin[static_cast<std::size_t>(p)])];
+            minterm = mgr.and_(minterm,
+                               ((row >> p) & 1u) ? in : mgr.not_(in));
+          }
+          acc = mgr.or_(acc, minterm);
+        }
+        fn[static_cast<std::size_t>(id)] = acc;
+        break;
+      }
+    }
+  }
+  return fn;
+}
+
+/// Effective next-state function of a flop: R ? reset : (E ? D : Q).
+Ref flop_next(Manager& mgr, const Netlist& nl, NodeId f,
+              const std::vector<Ref>& fn, Ref q_var) {
+  const auto& n = nl.node(f);
+  const cell::CellType& t = nl.library().type(n.type);
+  const auto pin = [&](const char* name) {
+    const int p = t.pin_index(name);
+    MOSS_CHECK(p >= 0, "missing flop pin");
+    return fn[static_cast<std::size_t>(n.fanin[static_cast<std::size_t>(p)])];
+  };
+  Ref next = pin("D");
+  if (t.has_enable) next = mgr.ite(pin("E"), next, q_var);
+  if (t.has_reset) {
+    next = mgr.ite(pin("R"), t.reset_value ? kTrue : kFalse, next);
+  }
+  return next;
+}
+
+}  // namespace
+
+FormalResult check_equivalence_formal(const Netlist& a, const Netlist& b,
+                                      std::size_t max_nodes) {
+  FormalResult res;
+
+  // Interface correspondence first.
+  VarSpace vars;
+  for (const NodeId id : a.inputs()) vars.pi(a.node(id).name);
+  for (const NodeId id : a.flops()) vars.flop(flop_key(a, id));
+  const std::size_t a_vars = vars.count;
+  for (const NodeId id : b.inputs()) vars.pi(b.node(id).name);
+  for (const NodeId id : b.flops()) vars.flop(flop_key(b, id));
+  if (vars.count != a_vars || a.inputs().size() != b.inputs().size() ||
+      a.flops().size() != b.flops().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    res.status = FormalResult::Status::kNotEquivalent;
+    res.detail = "interface mismatch (ports or state elements differ)";
+    return res;
+  }
+
+  try {
+    Manager mgr(vars.count, max_nodes);
+    const std::vector<Ref> fa = build_functions(mgr, a, vars);
+    const std::vector<Ref> fb = build_functions(mgr, b, vars);
+
+    const auto report_diff = [&](const std::string& what, Ref x, Ref y) {
+      res.status = FormalResult::Status::kNotEquivalent;
+      res.detail = what;
+      const Ref miter = mgr.xor_(x, y);
+      if (const auto sat = mgr.any_sat(miter)) res.counterexample = *sat;
+    };
+
+    // Primary outputs by name.
+    for (const NodeId oa : a.outputs()) {
+      const NodeId ob = b.find(a.node(oa).name);
+      if (ob == netlist::kInvalidNode ||
+          b.node(ob).kind != NodeKind::kPrimaryOutput) {
+        res.status = FormalResult::Status::kNotEquivalent;
+        res.detail = "output '" + a.node(oa).name + "' missing in b";
+        return res;
+      }
+      const Ref x = fa[static_cast<std::size_t>(oa)];
+      const Ref y = fb[static_cast<std::size_t>(ob)];
+      if (x != y) {
+        report_diff("output '" + a.node(oa).name + "' differs", x, y);
+        return res;
+      }
+    }
+
+    // Flop next-state functions by provenance key.
+    std::map<std::string, NodeId> b_flops;
+    for (const NodeId f : b.flops()) b_flops.emplace(flop_key(b, f), f);
+    for (const NodeId f : a.flops()) {
+      const auto key = flop_key(a, f);
+      const auto it = b_flops.find(key);
+      if (it == b_flops.end()) {
+        res.status = FormalResult::Status::kNotEquivalent;
+        res.detail = "state element '" + key + "' missing in b";
+        return res;
+      }
+      const Ref q = mgr.var(vars.flop(key));
+      const Ref x = flop_next(mgr, a, f, fa, q);
+      const Ref y = flop_next(mgr, b, it->second, fb, q);
+      if (x != y) {
+        report_diff("next-state of '" + key + "' differs", x, y);
+        return res;
+      }
+    }
+
+    res.status = FormalResult::Status::kEquivalent;
+    res.detail = "all " + std::to_string(a.outputs().size()) +
+                 " outputs and " + std::to_string(a.flops().size()) +
+                 " state elements proven equal";
+    return res;
+  } catch (const Manager::ResourceLimit& e) {
+    res.status = FormalResult::Status::kResourceLimit;
+    res.detail = e.what();
+    return res;
+  }
+}
+
+std::vector<double> exact_one_probability(const Netlist& nl,
+                                          double input_one_prob,
+                                          std::size_t max_nodes) {
+  VarSpace vars;
+  for (const NodeId id : nl.inputs()) vars.pi(nl.node(id).name);
+  for (const NodeId id : nl.flops()) vars.flop(flop_key(nl, id));
+  Manager mgr(vars.count, max_nodes);
+  const std::vector<Ref> fn = build_functions(mgr, nl, vars);
+
+  std::vector<double> p(vars.count, 0.5);
+  for (const auto& [name, v] : vars.pi_vars) p[v] = input_one_prob;
+
+  std::vector<double> out(nl.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    out[i] = mgr.probability(fn[i], p);
+  }
+  return out;
+}
+
+}  // namespace moss::bdd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace moss::bdd {
+
+/// Outcome of a formal check.
+struct FormalResult {
+  enum class Status {
+    kEquivalent,     ///< proven equal for all input/state assignments
+    kNotEquivalent,  ///< a distinguishing assignment exists
+    kResourceLimit,  ///< BDD blow-up; fall back to simulation
+  };
+  Status status = Status::kResourceLimit;
+  std::string detail;  ///< mismatching signal, or limit note
+  /// For kNotEquivalent: an assignment (over a's PIs then flops, in order)
+  /// that distinguishes the two circuits.
+  std::vector<bool> counterexample;
+};
+
+/// Formal combinational equivalence of two netlists synthesized from the
+/// same design: primary inputs correspond by name, flops by rtl_register
+/// provenance (falling back to instance name). The sequential boundary is
+/// cut — flop outputs become free variables — and every primary output and
+/// effective flop next-state function (R ? reset : (E ? D : Q)) must match,
+/// which for identical reset states implies sequential equivalence.
+FormalResult check_equivalence_formal(const netlist::Netlist& a,
+                                      const netlist::Netlist& b,
+                                      std::size_t max_nodes = 1u << 20);
+
+/// Exact signal probability of every node under independent inputs:
+/// P(PI = 1) = input_one_prob, flop outputs treated as free variables with
+/// probability 0.5 (the combinational view). Returns one probability per
+/// NodeId. Throws Manager::ResourceLimit on blow-up.
+std::vector<double> exact_one_probability(const netlist::Netlist& nl,
+                                          double input_one_prob = 0.5,
+                                          std::size_t max_nodes = 1u << 20);
+
+}  // namespace moss::bdd

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moss::cell {
+
+/// Broad functional class of a standard cell.
+enum class CellClass : std::uint8_t {
+  kCombinational,  ///< pure boolean function of its inputs
+  kFlop,           ///< D-type flip-flop variant (sequential anchor point)
+  kTie,            ///< constant driver (tie-high / tie-low)
+};
+
+/// Identifier of a cell type within a CellLibrary.
+using CellTypeId = std::int32_t;
+inline constexpr CellTypeId kInvalidCellType = -1;
+
+/// One standard cell: boolean function, NLDM-style timing, power and a
+/// natural-language description (consumed by the moss::lm encoder, standing
+/// in for the Liberty description the paper feeds the LLM).
+///
+/// Combinational functions with up to 6 inputs are stored as a truth table
+/// packed into a 64-bit word: bit i holds the output for the input
+/// assignment whose bit k is input pin k's value.
+struct CellType {
+  std::string name;
+  CellClass klass = CellClass::kCombinational;
+  int num_inputs = 0;
+  std::uint64_t truth_table = 0;  ///< combinational only
+
+  // Flop behaviour (klass == kFlop). Semantics per cycle:
+  //   if (reset asserted)      state <- reset_value     (synchronous)
+  //   else if (enable low)     state <- state
+  //   else                     state <- D
+  bool has_enable = false;
+  bool has_reset = false;
+  bool reset_value = false;
+
+  // Timing (linear NLDM approximation):
+  //   delay(pin -> out) = intrinsic_delay[pin] + drive_res * C_load
+  // Units: picoseconds and femtofarads (drive_res in ps/fF).
+  std::vector<double> intrinsic_delay;
+  double drive_res = 0.0;
+  std::vector<double> pin_cap;  ///< input pin capacitance, fF
+  double max_load = 120.0;      ///< fF, synthesis buffering threshold
+
+  // Power.
+  double leakage_nw = 0.0;         ///< static leakage, nW
+  double internal_energy_fj = 0.0; ///< energy per output toggle, fJ
+
+  double area = 1.0;  ///< normalized area units
+
+  /// English description of structure + function, the text the language
+  /// model encodes for this cell ("cell description prompt").
+  std::string description;
+
+  /// Names of input pins, e.g. {"A","B"} or {"D","E","R"}.
+  std::vector<std::string> pin_names;
+
+  bool is_flop() const { return klass == CellClass::kFlop; }
+  bool is_tie() const { return klass == CellClass::kTie; }
+  bool is_comb() const { return klass == CellClass::kCombinational; }
+
+  /// Evaluate the combinational function. `inputs` bit k = pin k value.
+  bool eval(std::uint32_t inputs) const {
+    return (truth_table >> inputs) & 1u;
+  }
+
+  /// Index of a named pin, or -1.
+  int pin_index(const std::string& pin) const {
+    for (std::size_t i = 0; i < pin_names.size(); ++i) {
+      if (pin_names[i] == pin) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace moss::cell

@@ -1,0 +1,330 @@
+#include "cell/library.hpp"
+
+#include <cmath>
+
+#include "core_util/check.hpp"
+
+namespace moss::cell {
+
+CellTypeId CellLibrary::add(CellType type) {
+  MOSS_CHECK(!type.name.empty(), "cell type needs a name");
+  MOSS_CHECK(by_name_.find(type.name) == by_name_.end(),
+             "duplicate cell type name: " + type.name);
+  MOSS_CHECK(type.num_inputs >= 0 && type.num_inputs <= 6,
+             "cell " + type.name + ": inputs must be 0..6");
+  MOSS_CHECK(static_cast<int>(type.pin_names.size()) == type.num_inputs,
+             "cell " + type.name + ": pin_names/num_inputs mismatch");
+  MOSS_CHECK(static_cast<int>(type.intrinsic_delay.size()) == type.num_inputs,
+             "cell " + type.name + ": intrinsic_delay per input pin");
+  MOSS_CHECK(static_cast<int>(type.pin_cap.size()) == type.num_inputs,
+             "cell " + type.name + ": pin_cap per input pin");
+  const auto id = static_cast<CellTypeId>(types_.size());
+  by_name_.emplace(type.name, id);
+  types_.push_back(std::move(type));
+  return id;
+}
+
+CellTypeId CellLibrary::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidCellType : it->second;
+}
+
+const CellType& CellLibrary::by_name(const std::string& name) const {
+  const CellTypeId id = find(name);
+  MOSS_CHECK(id != kInvalidCellType, "unknown cell type: " + name);
+  return types_[static_cast<std::size_t>(id)];
+}
+
+std::vector<CellTypeId> CellLibrary::flop_types() const {
+  std::vector<CellTypeId> out;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].is_flop()) out.push_back(static_cast<CellTypeId>(i));
+  }
+  return out;
+}
+
+std::vector<CellTypeId> CellLibrary::comb_types() const {
+  std::vector<CellTypeId> out;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].is_comb()) out.push_back(static_cast<CellTypeId>(i));
+  }
+  return out;
+}
+
+std::uint64_t make_truth_table(
+    int num_inputs, const std::function<bool(std::uint32_t)>& fn) {
+  MOSS_CHECK(num_inputs >= 0 && num_inputs <= 6, "0..6 inputs supported");
+  std::uint64_t table = 0;
+  const std::uint32_t rows = 1u << num_inputs;
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    if (fn(row)) table |= (1ull << row);
+  }
+  return table;
+}
+
+namespace {
+
+std::vector<std::string> default_pins(int n) {
+  static const char* kNames[] = {"A", "B", "C", "D", "E", "F"};
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.emplace_back(kNames[i]);
+  return out;
+}
+
+/// Factory for a combinational cell with pin-count-scaled default timing.
+/// `speed` scales delay (1.0 = typical inverting stage); `drive` scales the
+/// output resistance (bigger cells drive larger loads faster).
+CellType comb(std::string name, int n,
+              const std::function<bool(std::uint32_t)>& fn, double speed,
+              double drive, double area, std::string description) {
+  CellType t;
+  t.name = std::move(name);
+  t.klass = CellClass::kCombinational;
+  t.num_inputs = n;
+  t.truth_table = make_truth_table(n, fn);
+  t.pin_names = default_pins(n);
+  t.intrinsic_delay.assign(static_cast<std::size_t>(n), 0.0);
+  // Later pins of a CMOS stack are slightly faster (closer to the output
+  // node); this asymmetry is what the positional edge encoding must learn.
+  for (int i = 0; i < n; ++i) {
+    t.intrinsic_delay[static_cast<std::size_t>(i)] =
+        speed * (22.0 + 4.0 * (n - 1) - 2.5 * i);
+  }
+  t.drive_res = 1.9 / drive;  // ps per fF
+  t.pin_cap.assign(static_cast<std::size_t>(n), 1.6 + 0.25 * n);
+  t.max_load = 90.0 * drive;
+  t.leakage_nw = 2.1 * area;
+  t.internal_energy_fj = 0.9 + 0.55 * area;
+  t.area = area;
+  t.description = std::move(description);
+  return t;
+}
+
+bool bit(std::uint32_t v, int i) { return (v >> i) & 1u; }
+
+CellType flop(std::string name, bool enable, bool reset, bool reset_value,
+              std::string description) {
+  CellType t;
+  t.name = std::move(name);
+  t.klass = CellClass::kFlop;
+  t.pin_names = {"D"};
+  if (enable) t.pin_names.push_back("E");
+  if (reset) t.pin_names.push_back("R");
+  t.num_inputs = static_cast<int>(t.pin_names.size());
+  t.has_enable = enable;
+  t.has_reset = reset;
+  t.reset_value = reset_value;
+  // Clock-to-Q intrinsic; listed per input pin for uniformity (input pins of
+  // a flop do not create combinational arcs — STA treats flops as path
+  // endpoints/startpoints).
+  t.intrinsic_delay.assign(static_cast<std::size_t>(t.num_inputs), 78.0);
+  t.drive_res = 1.6;
+  t.pin_cap.assign(static_cast<std::size_t>(t.num_inputs), 2.2);
+  t.max_load = 110.0;
+  t.leakage_nw = 9.5;
+  t.internal_energy_fj = 4.2;  // includes internal clock toggling
+  t.area = 6.0;
+  t.description = std::move(description);
+  return t;
+}
+
+CellType tie(std::string name, bool value) {
+  CellType t;
+  t.name = std::move(name);
+  t.klass = CellClass::kTie;
+  t.num_inputs = 0;
+  t.truth_table = value ? 1u : 0u;
+  t.drive_res = 2.5;
+  t.leakage_nw = 0.4;
+  t.internal_energy_fj = 0.0;
+  t.area = 0.5;
+  t.description = value
+      ? "Tie-high cell: constantly drives logic one; no switching activity."
+      : "Tie-low cell: constantly drives logic zero; no switching activity.";
+  return t;
+}
+
+CellLibrary build_standard_library() {
+  CellLibrary lib;
+
+  lib.add(tie("TIE0", false));
+  lib.add(tie("TIE1", true));
+
+  lib.add(comb("INV", 1, [](std::uint32_t v) { return !bit(v, 0); }, 0.72,
+               1.0, 0.8,
+               "Inverter: single-stage inverting gate, output is the logical "
+               "complement of input A. Fastest cell in the library, used for "
+               "logic inversion and signal restoration."));
+  lib.add(comb("INVX4", 1, [](std::uint32_t v) { return !bit(v, 0); }, 0.78,
+               3.2, 2.2,
+               "High-drive inverter: inverting gate with 4x drive strength "
+               "for driving large fanout or long wires with low delay."));
+  lib.add(comb("BUF", 1, [](std::uint32_t v) { return bit(v, 0); }, 1.35, 1.4,
+               1.2,
+               "Buffer: non-inverting two-stage driver, output equals input "
+               "A. Used to repair slew and split heavy fanout."));
+  lib.add(comb("BUFX4", 1, [](std::uint32_t v) { return bit(v, 0); }, 1.4,
+               3.6, 2.8,
+               "High-drive buffer: non-inverting driver with 4x drive "
+               "strength for clock-like or high-fanout nets."));
+
+  const auto nand_fn = [](int n) {
+    return [n](std::uint32_t v) {
+      for (int i = 0; i < n; ++i) {
+        if (!bit(v, i)) return true;
+      }
+      return false;
+    };
+  };
+  const auto nor_fn = [](int n) {
+    return [n](std::uint32_t v) {
+      for (int i = 0; i < n; ++i) {
+        if (bit(v, i)) return false;
+      }
+      return true;
+    };
+  };
+  const auto and_fn = [](int n) {
+    return [n](std::uint32_t v) {
+      for (int i = 0; i < n; ++i) {
+        if (!bit(v, i)) return false;
+      }
+      return true;
+    };
+  };
+  const auto or_fn = [](int n) {
+    return [n](std::uint32_t v) {
+      for (int i = 0; i < n; ++i) {
+        if (bit(v, i)) return true;
+      }
+      return false;
+    };
+  };
+
+  for (int n = 2; n <= 4; ++n) {
+    const std::string sn = std::to_string(n);
+    lib.add(comb("NAND" + sn, n, nand_fn(n), 0.85, 1.0, 0.9 + 0.35 * n,
+                 sn + "-input NAND gate: inverting gate whose output is low "
+                 "only when all " + sn + " inputs are high. Primitive "
+                 "inverting CMOS stage with series NMOS stack."));
+    lib.add(comb("NOR" + sn, n, nor_fn(n), 0.95, 0.9, 0.9 + 0.35 * n,
+                 sn + "-input NOR gate: inverting gate whose output is high "
+                 "only when all " + sn + " inputs are low. Series PMOS stack "
+                 "makes it slightly slower than NAND."));
+    lib.add(comb("AND" + sn, n, and_fn(n), 1.45, 1.2, 1.3 + 0.4 * n,
+                 sn + "-input AND gate: output is high only when all " + sn +
+                 " inputs are high. Non-inverting, built as NAND plus "
+                 "inverter."));
+    lib.add(comb("OR" + sn, n, or_fn(n), 1.5, 1.2, 1.3 + 0.4 * n,
+                 sn + "-input OR gate: output is high when any of the " + sn +
+                 " inputs is high. Non-inverting, built as NOR plus "
+                 "inverter."));
+  }
+
+  lib.add(comb("XOR2", 2,
+               [](std::uint32_t v) { return bit(v, 0) != bit(v, 1); }, 1.75,
+               0.9, 2.6,
+               "2-input XOR gate: output is high when exactly one input is "
+               "high. Parity / sum logic; both inputs always control the "
+               "output, giving high switching activity."));
+  lib.add(comb("XNOR2", 2,
+               [](std::uint32_t v) { return bit(v, 0) == bit(v, 1); }, 1.75,
+               0.9, 2.6,
+               "2-input XNOR gate: output is high when both inputs are "
+               "equal. Equality comparison / inverted parity logic."));
+  lib.add(comb("XOR3", 3,
+               [](std::uint32_t v) {
+                 return (bit(v, 0) ^ bit(v, 1) ^ bit(v, 2)) != 0;
+               },
+               2.3, 0.85, 4.1,
+               "3-input XOR gate: odd-parity function of three inputs, the "
+               "sum output of a full adder."));
+
+  lib.add(comb("MAJ3", 3,
+               [](std::uint32_t v) {
+                 const int s = bit(v, 0) + bit(v, 1) + bit(v, 2);
+                 return s >= 2;
+               },
+               1.6, 1.0, 3.4,
+               "3-input majority gate: output is high when at least two of "
+               "the three inputs are high; the carry output of a full "
+               "adder."));
+
+  lib.add(comb("AOI21", 3,
+               [](std::uint32_t v) {
+                 return !((bit(v, 0) && bit(v, 1)) || bit(v, 2));
+               },
+               0.95, 0.9, 1.9,
+               "AND-OR-invert 2-1 gate: output = NOT((A AND B) OR C). "
+               "Single-stage complex gate merging an AND into a NOR."));
+  lib.add(comb("AOI22", 4,
+               [](std::uint32_t v) {
+                 return !((bit(v, 0) && bit(v, 1)) ||
+                          (bit(v, 2) && bit(v, 3)));
+               },
+               1.0, 0.85, 2.3,
+               "AND-OR-invert 2-2 gate: output = NOT((A AND B) OR (C AND "
+               "D)). Merges two AND terms into an inverting OR, common in "
+               "mux and compare logic."));
+  lib.add(comb("OAI21", 3,
+               [](std::uint32_t v) {
+                 return !((bit(v, 0) || bit(v, 1)) && bit(v, 2));
+               },
+               0.95, 0.9, 1.9,
+               "OR-AND-invert 2-1 gate: output = NOT((A OR B) AND C). "
+               "Single-stage complex gate merging an OR into a NAND."));
+  lib.add(comb("OAI22", 4,
+               [](std::uint32_t v) {
+                 return !((bit(v, 0) || bit(v, 1)) &&
+                          (bit(v, 2) || bit(v, 3)));
+               },
+               1.0, 0.85, 2.3,
+               "OR-AND-invert 2-2 gate: output = NOT((A OR B) AND (C OR "
+               "D)). Dual of AOI22, used for inverted sum-of-products."));
+
+  // MUX2: pins A (select=0 data), B (select=1 data), S (select).
+  {
+    CellType t = comb("MUX2", 3,
+                      [](std::uint32_t v) {
+                        return bit(v, 2) ? bit(v, 1) : bit(v, 0);
+                      },
+                      1.55, 1.0, 3.0,
+                      "2-to-1 multiplexer: output follows data input A when "
+                      "select S is low and data input B when S is high. Core "
+                      "cell of datapath steering and register enables.");
+    t.pin_names = {"A", "B", "S"};
+    // Select pin has a distinct (slower) arc — positional encoding target.
+    t.intrinsic_delay = {26.0, 24.0, 34.0};
+    lib.add(std::move(t));
+  }
+
+  lib.add(flop("DFF", false, false, false,
+               "Positive-edge-triggered D flip-flop: on each clock edge the "
+               "register captures data input D and holds it for one cycle. "
+               "Sequential state element; the anchor point dividing "
+               "combinational stages."));
+  lib.add(flop("DFFR", false, true, false,
+               "D flip-flop with synchronous reset: when reset R is asserted "
+               "the register clears to zero on the clock edge, otherwise it "
+               "captures data input D. State element with initialization."));
+  lib.add(flop("DFFE", true, false, false,
+               "D flip-flop with clock enable: the register captures data "
+               "input D only when enable E is high, otherwise it holds its "
+               "previous state. Used for stallable pipeline registers."));
+  lib.add(flop("DFFRE", true, true, false,
+               "D flip-flop with clock enable and synchronous reset: clears "
+               "to zero when R is asserted, captures D when E is high, holds "
+               "otherwise. General-purpose control/status register bit."));
+
+  return lib;
+}
+
+}  // namespace
+
+const CellLibrary& standard_library() {
+  static const CellLibrary lib = build_standard_library();
+  return lib;
+}
+
+}  // namespace moss::cell

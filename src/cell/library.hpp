@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/celltype.hpp"
+
+namespace moss::cell {
+
+/// A standard-cell library: an indexed registry of CellType definitions.
+/// Stands in for a Liberty (.lib) file; synthesis maps onto it and STA/power
+/// read timing/energy data from it.
+class CellLibrary {
+ public:
+  /// Register a cell type; returns its id. Name must be unique.
+  CellTypeId add(CellType type);
+
+  const CellType& type(CellTypeId id) const { return types_.at(static_cast<std::size_t>(id)); }
+  CellTypeId find(const std::string& name) const;
+  const CellType& by_name(const std::string& name) const;
+  bool contains(const std::string& name) const { return find(name) != kInvalidCellType; }
+
+  std::size_t size() const { return types_.size(); }
+  const std::vector<CellType>& types() const { return types_; }
+
+  /// Ids of all flop cell types in the library.
+  std::vector<CellTypeId> flop_types() const;
+  /// Ids of all combinational cell types.
+  std::vector<CellTypeId> comb_types() const;
+
+ private:
+  std::vector<CellType> types_;
+  std::unordered_map<std::string, CellTypeId> by_name_;
+};
+
+/// Build the default ~40-cell library used throughout the repo: inverters,
+/// buffers, NAND/NOR/AND/OR (2-4 inputs), XOR/XNOR, AOI/OAI complex gates,
+/// MUX2, majority/adder cells, tie cells and four DFF variants, each with
+/// linear-NLDM timing, power data and an English description.
+const CellLibrary& standard_library();
+
+/// Truth-table helper: build the packed table for an n-input function.
+std::uint64_t make_truth_table(int num_inputs,
+                               const std::function<bool(std::uint32_t)>& fn);
+
+}  // namespace moss::cell

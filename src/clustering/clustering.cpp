@@ -1,0 +1,190 @@
+#include "clustering/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "core_util/check.hpp"
+
+namespace moss::clustering {
+
+namespace {
+
+double dist(const std::vector<float>& a, const std::vector<float>& b) {
+  MOSS_CHECK(a.size() == b.size(), "clustering: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+std::vector<int> dbscan(const Points& pts, const DbscanConfig& cfg) {
+  const std::size_t n = pts.size();
+  std::vector<int> labels(n, kNoise);
+  std::vector<char> visited(n, 0);
+
+  const auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && dist(pts[i], pts[j]) <= cfg.eps) out.push_back(j);
+    }
+    return out;
+  };
+
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = 1;
+    auto nb = neighbors(i);
+    if (nb.size() + 1 < cfg.min_pts) continue;  // noise (may be claimed later)
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<std::size_t> frontier(nb.begin(), nb.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kNoise) labels[j] = cluster;  // border point
+      if (visited[j]) continue;
+      visited[j] = 1;
+      labels[j] = cluster;
+      auto nb_j = neighbors(j);
+      if (nb_j.size() + 1 >= cfg.min_pts) {
+        for (const std::size_t k : nb_j) frontier.push_back(k);
+      }
+    }
+  }
+  return labels;
+}
+
+double suggest_eps(const Points& pts, double quantile) {
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double d = dist(pts[i], pts[j]);
+      if (d > 1e-12) dists.push_back(d);
+    }
+  }
+  if (dists.empty()) return 1.0;
+  std::sort(dists.begin(), dists.end());
+  const std::size_t k = std::min(
+      dists.size() - 1,
+      static_cast<std::size_t>(quantile * static_cast<double>(dists.size())));
+  return dists[k];
+}
+
+std::vector<int> agglomerate(const Points& pts, std::size_t target,
+                             const std::vector<int>& initial_labels) {
+  const std::size_t n = pts.size();
+  MOSS_CHECK(target >= 1, "agglomerate: target must be >= 1");
+  std::vector<int> labels(n);
+  if (initial_labels.empty()) {
+    for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i);
+  } else {
+    MOSS_CHECK(initial_labels.size() == n, "agglomerate: label size mismatch");
+    labels = initial_labels;
+    // Noise becomes singleton clusters.
+    int next = 0;
+    for (const int l : labels) next = std::max(next, l + 1);
+    for (int& l : labels) {
+      if (l == kNoise) l = next++;
+    }
+  }
+
+  // Build cluster means and sizes.
+  struct Cluster {
+    std::vector<double> sum;
+    std::size_t count = 0;
+    bool alive = false;
+  };
+  std::unordered_map<int, Cluster> clusters;
+  const std::size_t dim = n ? pts[0].size() : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Cluster& c = clusters[labels[i]];
+    if (c.sum.empty()) c.sum.assign(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) c.sum[d] += pts[i][d];
+    ++c.count;
+    c.alive = true;
+  }
+
+  const auto mean_dist = [&](const Cluster& a, const Cluster& b) {
+    double s = 0.0;
+    for (std::size_t d = 0; d < a.sum.size(); ++d) {
+      const double da = a.sum[d] / static_cast<double>(a.count);
+      const double db = b.sum[d] / static_cast<double>(b.count);
+      s += (da - db) * (da - db);
+    }
+    return std::sqrt(s);
+  };
+
+  while (true) {
+    std::vector<int> ids;
+    for (const auto& [id, c] : clusters) {
+      if (c.alive) ids.push_back(id);
+    }
+    if (ids.size() <= target) break;
+    std::sort(ids.begin(), ids.end());  // determinism
+    double best = std::numeric_limits<double>::max();
+    int ba = -1, bb = -1;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        const double d = mean_dist(clusters[ids[i]], clusters[ids[j]]);
+        if (d < best) {
+          best = d;
+          ba = ids[i];
+          bb = ids[j];
+        }
+      }
+    }
+    // Merge bb into ba.
+    Cluster& a = clusters[ba];
+    Cluster& b = clusters[bb];
+    for (std::size_t d = 0; d < a.sum.size(); ++d) a.sum[d] += b.sum[d];
+    a.count += b.count;
+    b.alive = false;
+    for (int& l : labels) {
+      if (l == bb) l = ba;
+    }
+  }
+
+  // Compact labels to 0..G-1 (ordered by first occurrence).
+  std::unordered_map<int, int> remap;
+  int next = 0;
+  for (int& l : labels) {
+    const auto it = remap.find(l);
+    if (it == remap.end()) {
+      remap.emplace(l, next);
+      l = next++;
+    } else {
+      l = it->second;
+    }
+  }
+  return labels;
+}
+
+std::vector<int> adaptive_clusters(const Points& pts,
+                                   std::size_t max_clusters) {
+  if (pts.empty()) return {};
+  DbscanConfig cfg;
+  cfg.eps = suggest_eps(pts);
+  cfg.min_pts = 2;
+  const std::vector<int> coarse = dbscan(pts, cfg);
+  return agglomerate(pts, max_clusters, coarse);
+}
+
+std::size_t num_clusters(const std::vector<int>& labels) {
+  std::vector<int> seen;
+  for (const int l : labels) {
+    if (l >= 0 && std::find(seen.begin(), seen.end(), l) == seen.end()) {
+      seen.push_back(l);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace moss::clustering

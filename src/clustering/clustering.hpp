@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moss::clustering {
+
+/// A point set: N rows of equal dimension.
+using Points = std::vector<std::vector<float>>;
+
+/// Labels: one cluster id per point (>= 0), or kNoise for DBSCAN outliers.
+inline constexpr int kNoise = -1;
+
+struct DbscanConfig {
+  double eps = 0.5;
+  std::size_t min_pts = 2;
+};
+
+/// Classic DBSCAN with Euclidean distance. Deterministic: points are
+/// scanned in index order. Returns per-point labels; noise stays kNoise.
+std::vector<int> dbscan(const Points& pts, const DbscanConfig& cfg);
+
+/// Suggest an eps for dbscan as a quantile of the non-zero pairwise
+/// distance distribution (MOSS "detects clusters of varying density
+/// without specifying the number in advance" — this keeps it parameter-free
+/// for the caller).
+double suggest_eps(const Points& pts, double quantile = 0.25);
+
+/// Average-linkage agglomerative clustering down to `target` clusters.
+/// Starting labels may be provided (e.g. DBSCAN output with noise as
+/// singletons); merging proceeds on cluster-mean distances.
+std::vector<int> agglomerate(const Points& pts, std::size_t target,
+                             const std::vector<int>& initial_labels = {});
+
+/// MOSS's adaptive grouping (Fig. 5): DBSCAN over the LM-derived embeddings
+/// finds natural functional groups; hierarchical clustering then refines to
+/// at most `max_clusters` (merging over-fragmented groups, folding noise
+/// into singletons first). Labels are compacted to 0..G-1.
+std::vector<int> adaptive_clusters(const Points& pts,
+                                   std::size_t max_clusters);
+
+/// Number of distinct non-negative labels.
+std::size_t num_clusters(const std::vector<int>& labels);
+
+}  // namespace moss::clustering

@@ -1,0 +1,96 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/power.hpp"
+
+namespace moss::core {
+
+using tensor::Tensor;
+
+double accuracy_from_errors(const std::vector<double>& pred,
+                            const std::vector<double>& truth, double floor) {
+  MOSS_CHECK(pred.size() == truth.size(), "accuracy: size mismatch");
+  if (pred.empty()) return 1.0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    err += std::abs(pred[i] - truth[i]) / std::max(std::abs(truth[i]), floor);
+  }
+  return std::clamp(1.0 - err / static_cast<double>(pred.size()), 0.0, 1.0);
+}
+
+TaskAccuracy evaluate_tasks(const MossModel& model, const CircuitBatch& batch,
+                            const data::LabeledCircuit& lc) {
+  const Tensor h = model.node_embeddings(batch);
+  const LocalPredictions pred = model.predict_local(batch, h);
+
+  TaskAccuracy acc;
+
+  // ATP: per-DFF arrival times, de-normalized.
+  if (!batch.flop_rows.empty()) {
+    const Tensor flop_pred =
+        model.predict_arrival(batch, h, batch.flop_rows);
+    std::vector<double> p, t;
+    for (std::size_t i = 0; i < batch.flop_rows.size(); ++i) {
+      p.push_back(static_cast<double>(flop_pred.at(i, 0)) * kArrivalScale);
+      t.push_back(static_cast<double>(batch.flop_arrival_norm[i]) *
+                  kArrivalScale);
+    }
+    acc.atp = accuracy_from_errors(p, t, /*floor=*/60.0);
+  } else {
+    acc.atp = 1.0;
+  }
+
+  // TRP: per-cell toggle rates.
+  {
+    std::vector<double> p, t;
+    for (std::size_t i = 0; i < batch.cell_rows.size(); ++i) {
+      p.push_back(static_cast<double>(pred.toggle.at(i, 0)));
+      t.push_back(static_cast<double>(batch.toggle[i]));
+    }
+    acc.trp = accuracy_from_errors(p, t, /*floor=*/0.08);
+  }
+
+  // PP: run the power model on predicted rates (ports contribute nothing).
+  {
+    std::vector<double> rates(lc.netlist.num_nodes(), 0.0);
+    for (std::size_t i = 0; i < batch.cell_rows.size(); ++i) {
+      rates[static_cast<std::size_t>(batch.cell_rows[i])] =
+          static_cast<double>(pred.toggle.at(i, 0));
+    }
+    const double p = power::analyze_power(lc.netlist, rates).total_uw;
+    acc.pp = accuracy_from_errors({p}, {lc.power_uw}, 1.0);
+  }
+  return acc;
+}
+
+double evaluate_fep(const MossModel& model,
+                    const std::vector<CircuitBatch>& pool) {
+  MOSS_CHECK(pool.size() >= 2, "FEP pool needs at least two circuits");
+  // Precompute embeddings.
+  std::vector<Tensor> n_e, r_e;
+  n_e.reserve(pool.size());
+  r_e.reserve(pool.size());
+  for (const CircuitBatch& b : pool) {
+    const Tensor h = model.node_embeddings(b);
+    n_e.push_back(model.netlist_embedding(b, h).detach());
+    r_e.push_back(model.rtl_embedding(b.module_text).detach());
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    float best = -1e30f;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const float s = model.pair_score(r_e[i], n_e[j]);
+      if (s > best) {
+        best = s;
+        best_j = j;
+      }
+    }
+    if (best_j == i) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pool.size());
+}
+
+}  // namespace moss::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace moss::core {
+
+/// Per-circuit task accuracies (paper Eq. 3: accuracy = 1 − mean relative
+/// error, clamped to [0, 1]).
+struct TaskAccuracy {
+  double atp = 0.0;  ///< arrival-time prediction, per DFF
+  double trp = 0.0;  ///< toggle-rate prediction, per cell
+  double pp = 0.0;   ///< circuit power prediction
+};
+
+/// Evaluate ATP/TRP on a batch; PP is derived by running the power model on
+/// the predicted toggle rates (so its accuracy is physically consistent
+/// with TRP, as in a real flow).
+TaskAccuracy evaluate_tasks(const MossModel& model, const CircuitBatch& batch,
+                            const data::LabeledCircuit& lc);
+
+/// Functional-equivalence prediction (Table II): for each circuit's RTL,
+/// rank all candidate netlists in the pool by pair score; accuracy is the
+/// fraction where the true netlist ranks first (retrieval@1 over the pool,
+/// the paper's "correctly identifying functionally equivalent pairs").
+double evaluate_fep(const MossModel& model,
+                    const std::vector<CircuitBatch>& pool);
+
+/// Relative-error helper shared by benches: 1 - mean(|p-t|/max(|t|,floor)).
+double accuracy_from_errors(const std::vector<double>& pred,
+                            const std::vector<double>& truth, double floor);
+
+}  // namespace moss::core

@@ -1,0 +1,217 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+#include "clustering/clustering.hpp"
+#include "core_util/check.hpp"
+
+namespace moss::core {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+using tensor::Tensor;
+
+namespace {
+
+constexpr std::size_t kStructuralDim = 8;
+
+/// Structural features shared by every variant: pure topology only —
+/// node class, degrees, capacitive load, combinational level and input
+/// depth. Deliberately *no* per-cell-type data (area, drive, function):
+/// in MOSS, all cell identity comes from the LLM embeddings, so the
+/// w/o-FAA ablation must genuinely lose it.
+void fill_structural(const Netlist& nl, NodeId id, float* out) {
+  const netlist::Node& n = nl.node(id);
+  const bool is_cell = n.kind == NodeKind::kCell;
+  out[0] = n.kind == NodeKind::kPrimaryInput ? 1.0f : 0.0f;
+  out[1] = is_cell && nl.library().type(n.type).is_flop() ? 1.0f : 0.0f;
+  out[2] = is_cell && nl.library().type(n.type).is_tie() ? 1.0f : 0.0f;
+  out[3] = static_cast<float>(n.fanin.size()) / 4.0f;
+  out[4] = static_cast<float>(n.fanout.size()) / 8.0f;
+  out[5] = static_cast<float>(nl.output_load(id)) / 50.0f;
+  out[6] = static_cast<float>(n.level) / 20.0f;
+  std::int32_t in_depth = 0;
+  for (const netlist::NodeId f : n.fanin) {
+    in_depth = std::max(in_depth, nl.node(f).level + 1);
+  }
+  out[7] = static_cast<float>(in_depth) / 20.0f;
+}
+
+std::string register_base(const std::string& register_bit) {
+  const auto pos = register_bit.find('[');
+  return pos == std::string::npos ? register_bit : register_bit.substr(0, pos);
+}
+
+}  // namespace
+
+std::size_t structural_feature_dim() { return kStructuralDim; }
+
+std::size_t feature_dim(const cell::CellLibrary& lib,
+                        const lm::TextEncoder& enc, const FeatureConfig& cfg) {
+  const std::size_t base = cfg.structural_features ? kStructuralDim : 1;
+  if (cfg.lm_features) {
+    return base + 2 * enc.dim();  // cell text + register prompt
+  }
+  return base + (cfg.type_onehot ? lib.size() : 0);
+}
+
+std::vector<int> cluster_cell_types(const cell::CellLibrary& lib,
+                                    const lm::TextEncoder& enc,
+                                    std::size_t max_clusters) {
+  clustering::Points pts;
+  pts.reserve(lib.size());
+  for (const cell::CellType& t : lib.types()) {
+    const Tensor e = enc.encode(t.description);
+    std::vector<float> p(e.data());
+    // Structural coordinates (fan-in, sequential/tie class, drive) join the
+    // functional embedding, mirroring the paper's hierarchical refinement.
+    p.push_back(static_cast<float>(t.num_inputs));
+    p.push_back(t.is_flop() ? 3.0f : 0.0f);
+    p.push_back(t.is_tie() ? 3.0f : 0.0f);
+    p.push_back(static_cast<float>(t.drive_res));
+    pts.push_back(std::move(p));
+  }
+  return clustering::adaptive_clusters(pts, max_clusters);
+}
+
+std::size_t num_aggregators(const cell::CellLibrary& lib,
+                            const lm::TextEncoder& enc,
+                            const FeatureConfig& cfg) {
+  if (!cfg.adaptive_agg) return 2;  // one for cells, one for ports
+  const auto labels = cluster_cell_types(lib, enc, cfg.max_clusters);
+  return clustering::num_clusters(labels) + 1;  // +1 for ports/PIs
+}
+
+CircuitBatch build_batch(const data::LabeledCircuit& lc,
+                         const lm::TextEncoder& enc,
+                         const FeatureConfig& cfg) {
+  const Netlist& nl = lc.netlist;
+  const cell::CellLibrary& lib = nl.library();
+  const std::size_t N = nl.num_nodes();
+  const std::size_t F = feature_dim(lib, enc, cfg);
+
+  CircuitBatch batch;
+  batch.name = nl.name();
+  batch.num_cells = nl.num_cells();
+  batch.module_text = lc.module_text;
+  batch.power_uw = lc.power_uw;
+
+  // --- cluster assignment -------------------------------------------------
+  std::vector<int> type_cluster;
+  std::size_t port_cluster;
+  if (cfg.adaptive_agg) {
+    type_cluster = cluster_cell_types(lib, enc, cfg.max_clusters);
+    port_cluster = clustering::num_clusters(type_cluster);
+  } else {
+    type_cluster.assign(lib.size(), 0);
+    port_cluster = 1;
+  }
+
+  // --- register prompt embeddings ------------------------------------------
+  std::unordered_map<std::string, Tensor> prompt_emb;
+  for (const rtl::RegisterPrompt& p : lc.reg_prompts) {
+    prompt_emb.emplace(p.register_name, enc.encode(p.text));
+  }
+
+  // --- features -------------------------------------------------------------
+  Tensor features = Tensor::zeros(N, F);
+  const std::size_t base = cfg.structural_features ? kStructuralDim : 1;
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    float* row = features.data().data() + i * F;
+    if (cfg.structural_features) {
+      fill_structural(nl, id, row);
+    } else {
+      row[0] = 1.0f;  // bias only: featureless nodes
+    }
+    const netlist::Node& n = nl.node(id);
+    if (n.kind != NodeKind::kCell) continue;
+    const cell::CellType& t = lib.type(n.type);
+    if (cfg.lm_features) {
+      const Tensor cell_e = enc.encode(t.description);
+      std::copy(cell_e.data().begin(), cell_e.data().end(), row + base);
+      if (t.is_flop() && !n.rtl_register.empty()) {
+        const auto it = prompt_emb.find(register_base(n.rtl_register));
+        if (it != prompt_emb.end()) {
+          // Overlay the register description embedding (anchor enrichment).
+          std::copy(it->second.data().begin(), it->second.data().end(),
+                    row + base + enc.dim());
+        }
+      }
+    } else if (cfg.type_onehot) {
+      row[base + static_cast<std::size_t>(n.type)] = 1.0f;
+    }
+  }
+
+  // --- graph schedule --------------------------------------------------------
+  gnn::GraphBuilder gb(N, port_cluster + 1);
+  gb.set_features(std::move(features));
+  std::vector<std::vector<int>> by_level;
+  std::vector<int> readout;
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const netlist::Node& n = nl.node(id);
+    if (n.kind == NodeKind::kPrimaryOutput) continue;  // excluded from GNN
+    readout.push_back(static_cast<int>(i));
+    if (n.kind == NodeKind::kPrimaryInput) {
+      gb.set_cluster(static_cast<int>(i), static_cast<int>(port_cluster));
+      continue;
+    }
+    const cell::CellType& t = lib.type(n.type);
+    gb.set_cluster(static_cast<int>(i),
+                   t.is_tie() ? static_cast<int>(port_cluster)
+                              : type_cluster[static_cast<std::size_t>(n.type)]);
+    if (t.is_tie()) continue;
+    std::vector<std::pair<int, int>> fanins;
+    for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+      fanins.emplace_back(n.fanin[p], static_cast<int>(p));
+    }
+    gb.set_fanins(static_cast<int>(i), std::move(fanins));
+    if (t.is_comb()) {
+      const auto lvl = static_cast<std::size_t>(n.level);
+      if (by_level.size() <= lvl) by_level.resize(lvl + 1);
+      by_level[lvl].push_back(static_cast<int>(i));
+    }
+  }
+  for (std::size_t l = 1; l < by_level.size(); ++l) {
+    if (!by_level[l].empty()) gb.schedule_forward(by_level[l]);
+  }
+  std::vector<int> flop_nodes;
+  for (const NodeId f : nl.flops()) flop_nodes.push_back(f);
+  if (!flop_nodes.empty()) gb.schedule_turnaround(flop_nodes);
+  gb.set_readout(std::move(readout));
+  batch.graph = gb.build();
+
+  // --- rows and labels -------------------------------------------------------
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (nl.node(id).kind != NodeKind::kCell) continue;
+    batch.cell_rows.push_back(static_cast<int>(i));
+    batch.toggle.push_back(static_cast<float>(lc.toggle[i]));
+    batch.one_prob.push_back(static_cast<float>(lc.one_prob[i]));
+    // Dense arrival supervision: STA's per-node arrival (flops carry their
+    // D-pin data arrival, the paper's ATP label).
+    batch.arrival_rows.push_back(static_cast<int>(i));
+    batch.arrival_norm.push_back(
+        static_cast<float>(lc.arrival[i] / kArrivalScale));
+  }
+  Tensor reg_emb = Tensor::zeros(nl.flops().size(), enc.dim());
+  for (std::size_t fi = 0; fi < nl.flops().size(); ++fi) {
+    const NodeId f = nl.flops()[fi];
+    batch.flop_rows.push_back(f);
+    batch.flop_arrival_norm.push_back(
+        static_cast<float>(lc.flop_arrival[fi] / kArrivalScale));
+    const auto it =
+        prompt_emb.find(register_base(nl.node(f).rtl_register));
+    if (it != prompt_emb.end()) {
+      std::copy(it->second.data().begin(), it->second.data().end(),
+                reg_emb.data().begin() +
+                    static_cast<std::ptrdiff_t>(fi * enc.dim()));
+    }
+  }
+  batch.reg_prompt_emb = std::move(reg_emb);
+  return batch;
+}
+
+}  // namespace moss::core

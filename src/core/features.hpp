@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "gnn/graph.hpp"
+#include "lm/encoder.hpp"
+
+namespace moss::core {
+
+/// Feature construction options (ablation axes of Table I).
+struct FeatureConfig {
+  /// LM feature enhancement (the "F" in the w/o-FAA ablation): cell nodes
+  /// get the LM embedding of their cell description, DFF nodes additionally
+  /// get the LM embedding of their register prompt. In MOSS *all* node
+  /// identity comes from the LLM (the paper replaces manual labels with LLM
+  /// embeddings), so disabling this removes cell identity entirely.
+  bool lm_features = true;
+  /// Structural features (degrees, level, load). In the paper's w/o-FAA
+  /// variant the nodes are left with no features at all (a bias constant);
+  /// keeping structural features here is an extra mode for the ablation
+  /// bench, which shows how much of the task this substrate's structure
+  /// alone already determines.
+  bool structural_features = true;
+  /// Optional DeepSeq-style cell-type one-hot when lm_features is off
+  /// (not part of the paper's w/o-FAA ablation; used by the ablation
+  /// bench to quantify how much of the LM feature value is mere identity).
+  bool type_onehot = false;
+  /// Adaptive aggregator (the extra "A"): DBSCAN+HAC over cell-type
+  /// embeddings assigns one aggregator cluster per type. When false, all
+  /// nodes share one aggregator.
+  bool adaptive_agg = true;
+  std::size_t max_clusters = 6;
+};
+
+/// A circuit prepared for the model: graph + row bookkeeping + label
+/// tensors, all indexed by netlist NodeId (graph row == NodeId).
+struct CircuitBatch {
+  gnn::Graph graph;
+  std::vector<int> cell_rows;  ///< activity-supervised rows (cells)
+  /// Rows with arrival-time supervision (for the netlist: all cells;
+  /// arrival labels come from STA, per-node — dense supervision).
+  std::vector<int> arrival_rows;
+  std::vector<int> flop_rows;  ///< netlist flop order (ATP eval + RrNdM)
+  /// Per-flop RTL register prompt embedding rows (|flops| × d_lm); the
+  /// RrNdM alignment target. Zero rows where no prompt matched.
+  tensor::Tensor reg_prompt_emb;
+  /// Labels aligned with cell_rows / arrival_rows / flop_rows.
+  std::vector<float> toggle;             ///< per cell_rows entry
+  std::vector<float> one_prob;           ///< per cell_rows entry
+  std::vector<float> arrival_norm;       ///< per arrival_rows entry
+  std::vector<float> flop_arrival_norm;  ///< per flop_rows entry
+  double power_uw = 0.0;
+  std::string module_text;
+  std::string name;
+  std::size_t num_cells = 0;
+};
+
+/// Arrival-time normalization scale (ps). Predictions are trained on
+/// arrival/kArrivalScale.
+inline constexpr double kArrivalScale = 1000.0;
+
+/// Assign an aggregator cluster to every cell type in the library by
+/// clustering LM description embeddings joined with structural stats
+/// (Fig. 5). Returns per-type cluster ids in [0, num_clusters); the number
+/// of clusters is num_clusters() of the result.
+std::vector<int> cluster_cell_types(const cell::CellLibrary& lib,
+                                    const lm::TextEncoder& enc,
+                                    std::size_t max_clusters);
+
+/// Build the model-ready batch for one labeled circuit.
+CircuitBatch build_batch(const data::LabeledCircuit& lc,
+                         const lm::TextEncoder& enc,
+                         const FeatureConfig& cfg);
+
+/// Feature width produced by build_batch for a given config and library.
+std::size_t feature_dim(const cell::CellLibrary& lib,
+                        const lm::TextEncoder& enc, const FeatureConfig& cfg);
+
+/// Width of the structural block at the front of every feature row.
+std::size_t structural_feature_dim();
+
+/// Number of aggregators build_batch will reference (clusters + 1 for
+/// ports/ties), for sizing the GNN.
+std::size_t num_aggregators(const cell::CellLibrary& lib,
+                            const lm::TextEncoder& enc,
+                            const FeatureConfig& cfg);
+
+}  // namespace moss::core

@@ -1,0 +1,130 @@
+#include "core/model.hpp"
+
+#include <cmath>
+
+namespace moss::core {
+
+using tensor::Tensor;
+
+namespace {
+
+gnn::GnnConfig make_gnn_config(const MossConfig& cfg,
+                               const cell::CellLibrary& lib,
+                               const lm::TextEncoder& enc) {
+  gnn::GnnConfig g;
+  g.feature_dim = feature_dim(lib, enc, cfg.features);
+  g.hidden = cfg.hidden;
+  g.num_aggregators = num_aggregators(lib, enc, cfg.features);
+  g.rounds = cfg.rounds;
+  g.attention = cfg.attention;
+  return g;
+}
+
+}  // namespace
+
+MossModel::MossModel(const MossConfig& cfg, const cell::CellLibrary& lib,
+                     const lm::TextEncoder& enc)
+    : cfg_(cfg), enc_(&enc), gnn_([&] {
+        Rng rng(cfg.seed);
+        return gnn::TwoPhaseGnn(make_gnn_config(cfg, lib, enc), rng, params_,
+                                "gnn");
+      }()) {
+  Rng rng(cfg.seed ^ 0xabcdef);
+  const std::size_t head_in =
+      cfg.hidden + feature_dim(lib, enc, cfg.features);
+  prob_head_ = tensor::Linear(head_in, 1, rng, params_, "prob_head");
+  toggle_head_ = tensor::Linear(head_in, 1, rng, params_, "toggle_head");
+  arrival_head_ =
+      tensor::Mlp(head_in, cfg.hidden, 1, rng, params_, "arrival_head");
+  netlist_proj_ =
+      tensor::Linear(cfg.hidden, enc.dim(), rng, params_, "netlist_proj",
+                     /*bias=*/false);
+  rnm_head_ = tensor::Mlp(2 * enc.dim(), enc.dim(), 1, rng, params_, "rnm");
+  temperature_ = params_.add("temperature", Tensor::scalar(1.0f, true));
+}
+
+Tensor MossModel::node_embeddings(const CircuitBatch& batch) const {
+  return gnn_.run(batch.graph);
+}
+
+namespace {
+
+/// Head input: node embedding with a raw-feature skip connection.
+Tensor head_input(const CircuitBatch& batch, const Tensor& node_h,
+                  const std::vector<int>& rows) {
+  return tensor::concat_cols(tensor::gather_rows(node_h, rows),
+                             tensor::gather_rows(batch.graph.features, rows));
+}
+
+}  // namespace
+
+LocalPredictions MossModel::predict_local(const CircuitBatch& batch,
+                                          const Tensor& node_h) const {
+  LocalPredictions out;
+  const Tensor cell_in = head_input(batch, node_h, batch.cell_rows);
+  out.one_prob = tensor::sigmoid(prob_head_(cell_in));
+  out.toggle = tensor::sigmoid(toggle_head_(cell_in));
+  if (!batch.arrival_rows.empty()) {
+    out.arrival = predict_arrival(batch, node_h, batch.arrival_rows);
+  }
+  return out;
+}
+
+Tensor MossModel::predict_arrival(const CircuitBatch& batch,
+                                  const Tensor& node_h,
+                                  const std::vector<int>& rows) const {
+  // Arrival times are nonnegative; softplus keeps the head in range
+  // without saturating like a sigmoid for deep circuits, and (unlike a relu
+  // output) never has a dead gradient.
+  return tensor::softplus(arrival_head_(head_input(batch, node_h, rows)));
+}
+
+Tensor MossModel::netlist_embedding(const CircuitBatch& batch,
+                                    const Tensor& node_h) const {
+  const Tensor pooled = tensor::mean_rows(
+      tensor::gather_rows(node_h, batch.graph.readout_nodes));
+  return tensor::l2_normalize_rows(netlist_proj_(pooled));
+}
+
+Tensor MossModel::rtl_embedding(const std::string& module_text) const {
+  // Centered embeddings: retrieval needs the boilerplate-free geometry.
+  return tensor::l2_normalize_rows(enc_->encode_centered(module_text));
+}
+
+Tensor MossModel::dff_projections(const CircuitBatch& batch,
+                                  const Tensor& node_h) const {
+  MOSS_CHECK(!batch.flop_rows.empty(), "circuit has no flops");
+  const Tensor flop_h = tensor::gather_rows(node_h, batch.flop_rows);
+  return tensor::l2_normalize_rows(netlist_proj_(flop_h));
+}
+
+Tensor MossModel::rnm_logits(const Tensor& r_e, const Tensor& n_e) const {
+  const std::size_t R = r_e.rows(), N = n_e.rows();
+  // Build all (i, j) concatenations via row gathers so gradients flow.
+  std::vector<int> ri, nj;
+  ri.reserve(R * N);
+  nj.reserve(R * N);
+  for (std::size_t i = 0; i < R; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      ri.push_back(static_cast<int>(i));
+      nj.push_back(static_cast<int>(j));
+    }
+  }
+  const Tensor pairs = tensor::concat_cols(tensor::gather_rows(r_e, ri),
+                                           tensor::gather_rows(n_e, nj));
+  return rnm_head_(pairs);
+}
+
+float MossModel::pair_score(const Tensor& r_e, const Tensor& n_e) const {
+  float cosine = 0.0f;
+  for (std::size_t i = 0; i < r_e.size(); ++i) {
+    cosine += r_e.data()[i] * n_e.data()[i];
+  }
+  float score = cosine;
+  if (cfg_.alignment) {
+    score += rnm_logits(r_e, n_e).item();
+  }
+  return score;
+}
+
+}  // namespace moss::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace moss::core {
+
+/// Loss curves of the local pre-training phase (Fig. 7): total, probability,
+/// toggle and arrival-time losses per epoch.
+struct PretrainReport {
+  std::vector<double> total;
+  std::vector<double> prob;
+  std::vector<double> toggle;
+  std::vector<double> arrival;
+};
+
+struct PretrainConfig {
+  int epochs = 20;
+  float lr = 6e-4f;  ///< paper: Adam, 6e-4
+};
+
+/// Local pre-training (Fig. 7): per-circuit multi-task loss
+///   L = λ_p·L_prob + λ_t·L_toggle + λ_a·L_arrival  (smooth-L1 each)
+/// with dynamic λ_i ∝ 1/EMA(L_i) so no task dominates (Eq. 2).
+PretrainReport pretrain(MossModel& model, std::vector<CircuitBatch>& data,
+                        const PretrainConfig& cfg);
+
+/// Generic version of the same loop, shared with the DeepSeq2-style
+/// baseline: any model exposing node_embeddings(batch),
+/// predict_local(batch, h) and params() can be pre-trained.
+template <typename Model>
+PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
+                              const PretrainConfig& cfg);
+
+/// Loss curves of the global multimodal alignment phase (Fig. 8).
+struct AlignReport {
+  std::vector<double> total;
+  std::vector<double> rnc;
+  std::vector<double> rnm;
+  std::vector<double> rrndm;
+};
+
+struct AlignConfig {
+  int epochs = 20;
+  std::size_t batch_size = 8;
+  float lr = 6e-4f;
+};
+
+/// Global alignment (Fig. 6/8): RNC (CLIP-style symmetric contrastive),
+/// RNM (pairwise matching MLP against the identity matrix, smooth-L1 per
+/// the paper's pseudocode) and the local RrNdM register-to-DFF matching
+/// loss. No-op (empty report) if the model was built without alignment.
+AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
+                  const AlignConfig& cfg, Rng& rng);
+
+}  // namespace moss::core
+
+#include "core/trainer_impl.hpp"  // template definition of pretrain_model

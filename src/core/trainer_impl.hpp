@@ -1,0 +1,121 @@
+#pragma once
+
+// Template implementation of the shared pre-training loop; included at the
+// bottom of trainer.hpp. Not a public header.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/trainer.hpp"
+
+namespace moss::core {
+
+namespace detail {
+
+/// Dynamic task weights λ_i ∝ 1/EMA(L_i), normalized to sum to the task
+/// count — the Eq. 2 balancing strategy.
+class DynamicWeights {
+ public:
+  explicit DynamicWeights(std::size_t n) : ema_(n, -1.0) {}
+
+  void observe(std::size_t i, double loss) {
+    ema_[i] = ema_[i] < 0 ? loss : 0.9 * ema_[i] + 0.1 * loss;
+  }
+
+  std::vector<float> weights() const {
+    std::vector<float> w(ema_.size(), 1.0f);
+    for (const double e : ema_) {
+      if (e <= 0) return w;  // warm-up: uniform until every task observed
+    }
+    double sum = 0;
+    for (std::size_t i = 0; i < ema_.size(); ++i) {
+      w[i] = static_cast<float>(1.0 / std::max(ema_[i], 1e-4));
+      sum += w[i];
+    }
+    const float norm = static_cast<float>(static_cast<double>(ema_.size()) / sum);
+    for (float& x : w) x *= norm;
+    return w;
+  }
+
+ private:
+  std::vector<double> ema_;
+};
+
+inline tensor::Tensor label_column(const std::vector<float>& v) {
+  return tensor::Tensor::from(v, v.size(), 1);
+}
+
+/// Toggle loss: absolute smooth-L1 plus a relative-error term (deviation
+/// scaled by 1/max(t, floor)). The evaluation metric is mean *relative*
+/// error, so the relative term optimizes low-toggle cells directly, while
+/// the absolute term keeps the high-toggle cells (which dominate power)
+/// accurate.
+inline tensor::Tensor toggle_loss(const tensor::Tensor& pred,
+                                  const std::vector<float>& target,
+                                  float rel_floor = 0.08f,
+                                  float rel_weight = 0.5f) {
+  const tensor::Tensor t = label_column(target);
+  std::vector<float> w(target.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0f / std::max(target[i], rel_floor);
+  }
+  const tensor::Tensor rel = tensor::smooth_l1_loss(
+      tensor::mul_colvec(tensor::sub(pred, t),
+                         tensor::Tensor::from(w, w.size(), 1)),
+      tensor::Tensor::zeros(target.size(), 1));
+  return tensor::add(tensor::smooth_l1_loss(pred, t),
+                     tensor::scale(rel, rel_weight));
+}
+
+}  // namespace detail
+
+template <typename Model>
+PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
+                              const PretrainConfig& cfg) {
+  MOSS_CHECK(!data.empty(), "pretrain: empty dataset");
+  tensor::Adam opt(model.params(), cfg.lr);
+  detail::DynamicWeights lambdas(3);
+  PretrainReport rep;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double e_total = 0, e_prob = 0, e_tog = 0, e_at = 0;
+    for (CircuitBatch& batch : data) {
+      model.params().zero_grad();
+      const tensor::Tensor h = model.node_embeddings(batch);
+      const LocalPredictions pred = model.predict_local(batch, h);
+
+      const tensor::Tensor l_prob = tensor::smooth_l1_loss(
+          pred.one_prob, detail::label_column(batch.one_prob));
+      const tensor::Tensor l_tog = detail::toggle_loss(pred.toggle,
+                                                       batch.toggle);
+      tensor::Tensor l_at = tensor::Tensor::scalar(0.0f);
+      if (pred.arrival.defined()) {
+        l_at = tensor::smooth_l1_loss(
+            pred.arrival, detail::label_column(batch.arrival_norm));
+      }
+      const auto w = lambdas.weights();
+      tensor::Tensor loss = tensor::add(
+          tensor::add(tensor::scale(l_prob, w[0]),
+                      tensor::scale(l_tog, w[1])),
+          tensor::scale(l_at, w[2]));
+      loss.backward();
+      opt.step();
+
+      lambdas.observe(0, l_prob.item());
+      lambdas.observe(1, l_tog.item());
+      lambdas.observe(2, l_at.item());
+      e_total += loss.item();
+      e_prob += l_prob.item();
+      e_tog += l_tog.item();
+      e_at += l_at.item();
+    }
+    const double n = static_cast<double>(data.size());
+    rep.total.push_back(e_total / n);
+    rep.prob.push_back(e_prob / n);
+    rep.toggle.push_back(e_tog / n);
+    rep.arrival.push_back(e_at / n);
+  }
+  return rep;
+}
+
+}  // namespace moss::core

@@ -1,0 +1,130 @@
+#include "core/workflow.hpp"
+
+#include "tensor/serialize.hpp"
+
+namespace moss::core {
+
+MossWorkflow::MossWorkflow(WorkflowConfig cfg)
+    : cfg_(std::move(cfg)), encoder_(cfg_.encoder) {}
+
+void MossWorkflow::add_design(const data::DesignSpec& spec) {
+  add_circuit(
+      data::label_circuit(spec, cell::standard_library(), cfg_.dataset));
+}
+
+void MossWorkflow::add_module(rtl::Module m) {
+  add_circuit(data::label_module(std::move(m), cell::standard_library(),
+                                 cfg_.dataset));
+}
+
+void MossWorkflow::add_circuit(data::LabeledCircuit lc) {
+  MOSS_CHECK(model_ == nullptr,
+             "add circuits before training begins (features are built "
+             "against the fine-tuned encoder)");
+  circuits_.push_back(std::move(lc));
+  batches_.emplace_back();
+}
+
+lm::FineTuneReport MossWorkflow::fine_tune_encoder() {
+  MOSS_CHECK(!circuits_.empty(), "no circuits added");
+  std::vector<std::string> corpus;
+  corpus.reserve(circuits_.size());
+  for (const auto& lc : circuits_) corpus.push_back(lc.module_text);
+  Rng rng(cfg_.seed ^ 0xF17E);
+  const auto report =
+      lm::fine_tune(encoder_, corpus, cfg_.fine_tune, rng);
+  encoder_tuned_ = true;
+  return report;
+}
+
+void MossWorkflow::ensure_model() {
+  if (model_) return;
+  if (!encoder_tuned_) fine_tune_encoder();
+  model_ = std::make_unique<MossModel>(cfg_.model, cell::standard_library(),
+                                       encoder_);
+}
+
+CircuitBatch& MossWorkflow::batch_for(std::size_t index) {
+  auto& slot = batches_.at(index);
+  if (!slot.has_value()) {
+    slot = build_batch(circuits_[index], encoder_, cfg_.model.features);
+  }
+  return *slot;
+}
+
+PretrainReport MossWorkflow::pretrain_model() {
+  ensure_model();
+  std::vector<CircuitBatch> batches;
+  for (std::size_t i = 0; i < circuits_.size(); ++i) {
+    batches.push_back(batch_for(i));
+  }
+  return pretrain(*model_, batches, cfg_.pretrain);
+}
+
+AlignReport MossWorkflow::align_model() {
+  ensure_model();
+  std::vector<CircuitBatch> batches;
+  for (std::size_t i = 0; i < circuits_.size(); ++i) {
+    batches.push_back(batch_for(i));
+  }
+  Rng rng(cfg_.seed ^ 0xA117);
+  return align(*model_, batches, cfg_.align, rng);
+}
+
+void MossWorkflow::fit() {
+  fine_tune_encoder();
+  pretrain_model();
+  align_model();
+}
+
+TaskAccuracy MossWorkflow::evaluate(std::size_t index) {
+  ensure_model();
+  return evaluate_tasks(*model_, batch_for(index), circuits_[index]);
+}
+
+TaskAccuracy MossWorkflow::evaluate(const data::LabeledCircuit& lc) {
+  ensure_model();
+  const CircuitBatch batch = build_batch(lc, encoder_, cfg_.model.features);
+  return evaluate_tasks(*model_, batch, lc);
+}
+
+double MossWorkflow::fep() {
+  ensure_model();
+  std::vector<CircuitBatch> batches;
+  for (std::size_t i = 0; i < circuits_.size(); ++i) {
+    batches.push_back(batch_for(i));
+  }
+  return evaluate_fep(*model_, batches);
+}
+
+std::vector<double> MossWorkflow::predict_flop_arrivals(
+    const data::LabeledCircuit& lc) {
+  ensure_model();
+  const CircuitBatch batch = build_batch(lc, encoder_, cfg_.model.features);
+  const tensor::Tensor h = model_->node_embeddings(batch);
+  const tensor::Tensor at =
+      model_->predict_arrival(batch, h, batch.flop_rows);
+  std::vector<double> out;
+  out.reserve(batch.flop_rows.size());
+  for (std::size_t i = 0; i < batch.flop_rows.size(); ++i) {
+    out.push_back(static_cast<double>(at.at(i, 0)) * kArrivalScale);
+  }
+  return out;
+}
+
+void MossWorkflow::save_checkpoint(const std::string& path) {
+  ensure_model();
+  tensor::save_parameters_file(path, model_->params());
+}
+
+void MossWorkflow::load_checkpoint(const std::string& path) {
+  ensure_model();
+  tensor::load_parameters_file(path, model_->params());
+}
+
+MossModel& MossWorkflow::model() {
+  ensure_model();
+  return *model_;
+}
+
+}  // namespace moss::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/trainer.hpp"
+
+namespace moss::core {
+
+/// One-stop configuration for the end-to-end MOSS pipeline.
+struct WorkflowConfig {
+  MossConfig model;
+  data::DatasetConfig dataset;
+  lm::EncoderConfig encoder{4096, 24, 0xC0DE};
+  lm::FineTuneConfig fine_tune;
+  PretrainConfig pretrain;
+  AlignConfig align;
+  std::uint64_t seed = 1;
+};
+
+/// High-level facade wiring the whole pipeline:
+///
+///   MossWorkflow wf(cfg);
+///   wf.add_design({"alu", 2, 7, ""});     // generate + label
+///   wf.add_module(parse_verilog(src));    // or bring your own RTL
+///   wf.fit();                             // fine-tune LM, pretrain, align
+///   auto acc = wf.evaluate(0);
+///   wf.save_checkpoint("moss.ckpt");
+///
+/// The model is constructed lazily after the encoder is fine-tuned (the
+/// adaptive clustering depends on encoder geometry).
+class MossWorkflow {
+ public:
+  explicit MossWorkflow(WorkflowConfig cfg = {});
+
+  // -- data ------------------------------------------------------------------
+  void add_design(const data::DesignSpec& spec);
+  void add_module(rtl::Module m);
+  void add_circuit(data::LabeledCircuit lc);
+  std::size_t num_circuits() const { return circuits_.size(); }
+  const data::LabeledCircuit& circuit(std::size_t i) const {
+    return circuits_.at(i);
+  }
+
+  // -- training ---------------------------------------------------------------
+  /// Fine-tune the encoder on the collected module texts (idempotent —
+  /// re-running retrains from the current state).
+  lm::FineTuneReport fine_tune_encoder();
+  /// Local pre-training; fine-tunes the encoder first if not done yet.
+  PretrainReport pretrain_model();
+  /// Global alignment (no-op for variants without alignment).
+  AlignReport align_model();
+  /// fine_tune_encoder + pretrain_model + align_model.
+  void fit();
+
+  // -- inference ---------------------------------------------------------------
+  TaskAccuracy evaluate(std::size_t index);
+  /// Evaluate a circuit not in the training set.
+  TaskAccuracy evaluate(const data::LabeledCircuit& lc);
+  /// Retrieval accuracy over the workflow's own circuits.
+  double fep();
+  /// Per-DFF arrival predictions (ps) for any labeled circuit.
+  std::vector<double> predict_flop_arrivals(const data::LabeledCircuit& lc);
+
+  // -- persistence ---------------------------------------------------------------
+  void save_checkpoint(const std::string& path);
+  /// Requires the same config (model shapes must match).
+  void load_checkpoint(const std::string& path);
+
+  lm::TextEncoder& encoder() { return encoder_; }
+  MossModel& model();
+
+ private:
+  void ensure_model();
+  CircuitBatch& batch_for(std::size_t index);
+
+  WorkflowConfig cfg_;
+  lm::TextEncoder encoder_;
+  std::vector<data::LabeledCircuit> circuits_;
+  std::vector<std::optional<CircuitBatch>> batches_;
+  std::unique_ptr<MossModel> model_;
+  bool encoder_tuned_ = false;
+};
+
+}  // namespace moss::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace moss {
+
+/// Error type for precondition/invariant violations in library code.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace moss
+
+/// Precondition / invariant check that stays on in release builds.
+/// Library consumers get a typed exception with file:line context instead of
+/// UB when they violate an API contract.
+#define MOSS_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::moss::fail(std::string(__FILE__) + ":" + std::to_string(__LINE__) + \
+                   ": check failed: " #cond " — " + (msg));                 \
+    }                                                                       \
+  } while (0)

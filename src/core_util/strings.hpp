@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moss {
+
+/// Split `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit hash of a string (stable across platforms/runs).
+std::uint64_t fnv1a64(std::string_view s);
+
+}  // namespace moss

@@ -1,0 +1,60 @@
+#include "data/dataset.hpp"
+
+#include "core_util/strings.hpp"
+#include "power/power.hpp"
+#include "rtl/printer.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::data {
+
+LabeledCircuit label_circuit(const DesignSpec& spec,
+                             const cell::CellLibrary& lib,
+                             const DatasetConfig& cfg) {
+  LabeledCircuit lc = label_module(generate(spec), lib, cfg);
+  lc.spec = spec;
+  return lc;
+}
+
+LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
+                            const DatasetConfig& cfg) {
+  LabeledCircuit lc{.spec = DesignSpec{"custom", 1, cfg.seed, m.name},
+                    .module = std::move(m),
+                    .netlist = netlist::Netlist(lib)};
+  lc.netlist = synth::synthesize(lc.module, lib);
+
+  Rng rng(cfg.seed ^ fnv1a64(lc.netlist.name()));
+  const sim::ActivityReport act =
+      sim::random_activity(lc.netlist, cfg.sim_cycles, rng,
+                           cfg.input_one_prob);
+  lc.toggle = act.toggle;
+  lc.one_prob = act.one_prob;
+
+  const sta::TimingAnalysis ta(lc.netlist);
+  lc.flop_arrival = ta.all_flop_arrivals();
+  lc.arrival = ta.arrivals();
+  for (std::size_t fi = 0; fi < lc.netlist.flops().size(); ++fi) {
+    lc.arrival[static_cast<std::size_t>(lc.netlist.flops()[fi])] =
+        lc.flop_arrival[fi];
+  }
+
+  lc.power_uw = power::analyze_power(lc.netlist, lc.toggle).total_uw;
+
+  lc.module_text = rtl::module_prompt(lc.module);
+  lc.reg_prompts = rtl::register_prompts(lc.module);
+  return lc;
+}
+
+std::vector<LabeledCircuit> build_dataset(const std::vector<DesignSpec>& specs,
+                                          const cell::CellLibrary& lib,
+                                          const DatasetConfig& cfg) {
+  std::vector<LabeledCircuit> out;
+  out.reserve(specs.size());
+  for (const DesignSpec& s : specs) {
+    out.push_back(label_circuit(s, lib, cfg));
+  }
+  return out;
+}
+
+}  // namespace moss::data

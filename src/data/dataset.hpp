@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "netlist/netlist.hpp"
+#include "rtl/prompts.hpp"
+
+namespace moss::data {
+
+/// One fully labeled circuit: both modalities plus all ground-truth labels
+/// the tasks train against (collected with the in-repo EDA flow standing in
+/// for DC / VCS / PrimePower).
+struct LabeledCircuit {
+  DesignSpec spec;
+  rtl::Module module;         ///< RTL modality (golden functional model)
+  netlist::Netlist netlist;   ///< structural modality (synthesized)
+
+  // Ground truth labels.
+  std::vector<double> toggle;        ///< per node (by NodeId)
+  std::vector<double> one_prob;      ///< per node (by NodeId)
+  /// Per-node arrival time (ps, by NodeId): output arrival for
+  /// combinational cells, D-pin data arrival for flops (the ATP label).
+  std::vector<double> arrival;
+  std::vector<double> flop_arrival;  ///< per flop, netlist flop order (ps)
+  double power_uw = 0.0;
+
+  // Texts for the language model.
+  std::string module_text;                      ///< module prompt (global)
+  std::vector<rtl::RegisterPrompt> reg_prompts; ///< per RTL register
+};
+
+struct DatasetConfig {
+  std::uint64_t sim_cycles = 4000;  ///< paper uses 60k; configurable
+  double input_one_prob = 0.5;
+  std::uint64_t seed = 7;
+};
+
+/// Generate, synthesize and label one circuit.
+LabeledCircuit label_circuit(const DesignSpec& spec,
+                             const cell::CellLibrary& lib,
+                             const DatasetConfig& cfg);
+
+/// Synthesize and label an existing RTL module (e.g. parsed from user
+/// Verilog) through the same flow.
+LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
+                            const DatasetConfig& cfg);
+
+/// Label a whole corpus.
+std::vector<LabeledCircuit> build_dataset(const std::vector<DesignSpec>& specs,
+                                          const cell::CellLibrary& lib,
+                                          const DatasetConfig& cfg);
+
+}  // namespace moss::data

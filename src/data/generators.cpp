@@ -1,0 +1,790 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss::data {
+
+using rtl::ExprId;
+using rtl::ExprOp;
+using rtl::Module;
+
+namespace {
+
+/// Convenience wrapper over rtl::Module for generators: fresh wire names,
+/// expression helpers that respect the printer's "selects apply to named
+/// symbols" rule by materializing wires where needed.
+class Mod {
+ public:
+  explicit Mod(std::string name) { m.name = std::move(name); }
+
+  Module m;
+
+  ExprId in(const std::string& n, int w) { return m.add_input(n, w); }
+  ExprId reg(const std::string& n, int w, std::uint64_t rv = 0) {
+    return m.add_reg(n, w, /*has_reset=*/true, rv);
+  }
+  void next(const std::string& r, ExprId e, ExprId en = rtl::kInvalidExpr) {
+    m.set_next(r, e, en);
+  }
+  void out(const std::string& n, ExprId e) {
+    m.assign_output(n, m.arena.at(e).width, e);
+  }
+  ExprId wire(ExprId e, const std::string& base = "w") {
+    const std::string n = base + std::to_string(counter_++);
+    return m.add_wire(n, m.arena.at(e).width, e);
+  }
+  /// Ensure `e` is a named symbol (needed before bit/part selects).
+  ExprId named(ExprId e) {
+    return m.arena.at(e).op == ExprOp::kVar ? e : wire(e);
+  }
+
+  ExprId c(int w, std::uint64_t v) { return m.arena.constant(w, v); }
+  ExprId bit(ExprId e, int i) { return m.arena.bit(named(e), i); }
+  ExprId slice(ExprId e, int hi, int lo) {
+    return m.arena.slice(named(e), hi, lo);
+  }
+  ExprId cat(std::vector<ExprId> msb_first) {
+    return m.arena.concat(std::move(msb_first));
+  }
+  ExprId zext(ExprId e, int w) { return m.arena.zext(e, w); }
+  ExprId sext(ExprId e, int w) { return m.arena.sext(named(e), w); }
+
+  ExprId band(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kAnd, a, b); }
+  ExprId bor(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kOr, a, b); }
+  ExprId bxor(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kXor, a, b); }
+  ExprId bnot(ExprId a) { return m.arena.unary(ExprOp::kNot, a); }
+  ExprId add(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kAdd, a, b); }
+  ExprId sub(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kSub, a, b); }
+  ExprId mul(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kMul, a, b); }
+  ExprId eq(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kEq, a, b); }
+  ExprId ne(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kNe, a, b); }
+  ExprId lt(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kLt, a, b); }
+  ExprId le(ExprId a, ExprId b) { return m.arena.binary(ExprOp::kLe, a, b); }
+  ExprId mux(ExprId s, ExprId t, ExprId f) { return m.arena.mux(s, t, f); }
+  ExprId redxor(ExprId a) { return m.arena.unary(ExprOp::kRedXor, a); }
+  ExprId redor(ExprId a) { return m.arena.unary(ExprOp::kRedOr, a); }
+  ExprId redand(ExprId a) { return m.arena.unary(ExprOp::kRedAnd, a); }
+
+  /// Rotate left by k (constant).
+  ExprId rotl(ExprId e, int k) {
+    const int w = m.arena.at(e).width;
+    k %= w;
+    if (k == 0) return e;
+    const ExprId v = named(e);
+    return cat({m.arena.slice(v, w - k - 1, 0), m.arena.slice(v, w - 1, w - k)});
+  }
+
+  /// Balanced mux tree selecting options[sel].
+  ExprId mux_tree(ExprId sel, const std::vector<ExprId>& options) {
+    MOSS_CHECK(!options.empty(), "mux_tree of nothing");
+    std::vector<ExprId> cur = options;
+    int bit_idx = 0;
+    const ExprId sel_v = named(sel);
+    while (cur.size() > 1) {
+      const ExprId s = m.arena.bit(sel_v, bit_idx++);
+      std::vector<ExprId> nextv;
+      for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+        nextv.push_back(mux(s, cur[i + 1], cur[i]));
+      }
+      if (cur.size() % 2) nextv.push_back(cur.back());
+      cur = std::move(nextv);
+    }
+    return cur[0];
+  }
+
+ private:
+  std::size_t counter_ = 0;
+};
+
+std::string default_name(const DesignSpec& s) {
+  return !s.name.empty()
+             ? s.name
+             : s.family + "_s" + std::to_string(s.size_hint) + "_" +
+                   std::to_string(s.seed % 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------------
+
+/// N W-bit inputs; a compare tree selects the maximum, registered with its
+/// index. (Table I: max_selector)
+Module gen_max_selector(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int n = std::clamp(2 + spec.size_hint + static_cast<int>(rng.uniform_int(0, 1)), 2, 12);
+  const int w = std::clamp(6 + 2 * spec.size_hint, 4, 32);
+  const int iw = 4;  // index width
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  std::vector<ExprId> vals, idxs;
+  for (int i = 0; i < n; ++i) {
+    vals.push_back(b.in("in" + std::to_string(i), w));
+    idxs.push_back(b.c(iw, static_cast<std::uint64_t>(i)));
+  }
+  // Pairwise tournament.
+  while (vals.size() > 1) {
+    std::vector<ExprId> nv, ni;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      const ExprId gt = b.wire(b.lt(vals[i], vals[i + 1]), "cmp");
+      nv.push_back(b.wire(b.mux(gt, vals[i + 1], vals[i]), "maxv"));
+      ni.push_back(b.wire(b.mux(gt, idxs[i + 1], idxs[i]), "maxi"));
+    }
+    if (vals.size() % 2) {
+      nv.push_back(vals.back());
+      ni.push_back(idxs.back());
+    }
+    vals = std::move(nv);
+    idxs = std::move(ni);
+  }
+  const ExprId rv = b.reg("max_val", w);
+  const ExprId ri = b.reg("max_idx", iw);
+  b.m.set_role("max_val", "maximum-value capture register");
+  b.m.set_role("max_idx", "argmax index register");
+  b.next("max_val", vals[0], en);
+  b.next("max_idx", idxs[0], en);
+  b.out("val", rv);
+  b.out("idx", ri);
+  return std::move(b.m);
+}
+
+/// Deep register pipeline with light combinational work per stage.
+/// (Table I: pipeline_reg)
+Module gen_pipeline_reg(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int depth = std::clamp(3 + 2 * spec.size_hint, 2, 24);
+  const int w = std::clamp(8 + 2 * spec.size_hint, 8, 48);
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  ExprId cur = b.in("din", w);
+  for (int s = 0; s < depth; ++s) {
+    const std::string rn = "stage" + std::to_string(s);
+    const ExprId q = b.reg(rn, w);
+    b.m.set_role(rn, "pipeline register");
+    ExprId nxt;
+    switch (rng.index(4)) {
+      case 0:
+        nxt = b.bxor(cur, b.rotl(cur, 1 + static_cast<int>(rng.index(3))));
+        break;
+      case 1:
+        nxt = b.add(cur, b.c(w, rng() & rtl::width_mask(w)));
+        break;
+      case 2:
+        nxt = b.band(b.rotl(cur, 1), b.bnot(cur));
+        break;
+      default:
+        nxt = b.bor(cur, b.rotl(cur, 2));
+        break;
+    }
+    b.next(rn, nxt, en);
+    cur = q;
+  }
+  b.out("dout", cur);
+  return std::move(b.m);
+}
+
+/// LFSR-based PRBS generator with an output scrambling network.
+/// (Table I: prbs_generator)
+Module gen_prbs_generator(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int l = std::clamp(10 + 8 * spec.size_hint, 8, 48);
+  const int outw = std::clamp(4 + 6 * spec.size_hint, 4, 48);
+  const int scramble_terms = 2 + 3 * spec.size_hint;
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId seed_in = b.in("seed", l);
+  const ExprId load = b.in("load", 1);
+
+  const ExprId lfsr = b.reg("lfsr", l, 1);  // reset to nonzero
+  b.m.set_role("lfsr", "linear feedback shift register");
+  // Feedback: xor of 3-4 taps.
+  const int num_taps = 3 + static_cast<int>(rng.index(2));
+  ExprId fb = b.bit(lfsr, l - 1);
+  for (int t = 0; t < num_taps - 1; ++t) {
+    fb = b.bxor(fb, b.bit(lfsr, static_cast<int>(rng.index(static_cast<std::size_t>(l - 1)))));
+  }
+  const ExprId shifted = b.cat({b.slice(lfsr, l - 2, 0), b.wire(fb, "fb")});
+  b.next("lfsr", b.mux(load, seed_in, shifted), en);
+
+  // Scramble: each output bit = parity of a random subset of LFSR bits.
+  std::vector<ExprId> obits;
+  for (int o = 0; o < outw; ++o) {
+    ExprId p = b.bit(lfsr, static_cast<int>(rng.index(static_cast<std::size_t>(l))));
+    const int terms = scramble_terms + static_cast<int>(rng.index(3));
+    for (int t = 0; t < terms; ++t) {
+      p = b.bxor(p, b.bit(lfsr, static_cast<int>(rng.index(static_cast<std::size_t>(l)))));
+    }
+    obits.push_back(b.wire(p, "scr"));
+  }
+  std::vector<ExprId> msb_first(obits.rbegin(), obits.rend());
+  const ExprId word = b.cat(std::move(msb_first));
+  const ExprId oreg = b.reg("prbs_out", outw);
+  b.m.set_role("prbs_out", "scrambled output register");
+  b.next("prbs_out", word, en);
+  b.out("dout", oreg);
+  b.out("raw", lfsr);
+  return std::move(b.m);
+}
+
+/// Word-wide multi-stage shift register with enable, parallel load and a
+/// selectable tap. (Table I: shift_reg_24)
+Module gen_shift_reg(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int stages = std::clamp(4 + 3 * spec.size_hint, 3, 32);
+  const int w = std::clamp(4 + 2 * spec.size_hint, 2, 24);
+  const int sw = 5;  // tap select width
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId din = b.in("din", w);
+  const ExprId tap_sel = b.in("tap", sw);
+  (void)rng;
+
+  ExprId cur = din;
+  std::vector<ExprId> taps;
+  for (int s = 0; s < stages; ++s) {
+    const std::string rn = "sh" + std::to_string(s);
+    const ExprId q = b.reg(rn, w);
+    b.m.set_role(rn, "shift register stage");
+    b.next(rn, cur, en);
+    cur = q;
+    taps.push_back(q);
+  }
+  b.out("dout", cur);
+  b.out("tap_out", b.mux_tree(tap_sel, taps));
+  // Parity across the whole register chain.
+  ExprId par = b.redxor(taps[0]);
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    par = b.bxor(par, b.redxor(taps[i]));
+  }
+  b.out("parity", par);
+  return std::move(b.m);
+}
+
+/// Sticky error flags, saturating error counter, last-error capture and a
+/// threshold alarm. (Table I: error_logger)
+Module gen_error_logger(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int wc = std::clamp(4 + 2 * spec.size_hint, 4, 16);   // code width
+  const int cnt_w = std::clamp(6 + 2 * spec.size_hint, 6, 24);
+  const int classes = std::clamp(2 + 2 * spec.size_hint, 2, 16);
+  const int history = std::clamp(1 + spec.size_hint, 1, 8);
+
+  b.in("rst", 1);
+  const ExprId valid = b.in("err_valid", 1);
+  const ExprId code = b.in("err_code", wc);
+  const ExprId clear = b.in("clear", 1);
+  const ExprId thresh = b.in("threshold", cnt_w);
+  const ExprId class_sel = b.in("class_sel", 4);
+
+  const ExprId count = b.reg("err_count", cnt_w);
+  b.m.set_role("err_count", "saturating error counter");
+  const ExprId maxed = b.wire(b.redand(count), "sat");
+  const ExprId inc = b.add(count, b.zext(b.bnot(maxed), cnt_w));
+  b.next("err_count",
+         b.mux(clear, b.c(cnt_w, 0), b.mux(valid, inc, count)));
+
+  const ExprId last = b.reg("last_code", wc);
+  b.m.set_role("last_code", "last error code capture");
+  b.next("last_code", code, valid);
+
+  // Shift-register history of the most recent error codes.
+  ExprId prev = last;
+  for (int h = 0; h < history; ++h) {
+    const std::string hn = "hist" + std::to_string(h);
+    const ExprId hq = b.reg(hn, wc);
+    b.m.set_role(hn, "error-code history stage");
+    b.next(hn, prev, valid);
+    prev = hq;
+  }
+
+  // Per-class sticky flags and saturating class counters. Class decode
+  // compares the low code bits.
+  std::vector<ExprId> flags;
+  std::vector<ExprId> class_counts;
+  const int class_cnt_w = std::clamp(3 + spec.size_hint, 3, 12);
+  for (int c = 0; c < classes; ++c) {
+    const int sel_bits = std::min(wc, 3);
+    const ExprId hit = b.wire(
+        b.band(valid,
+               b.eq(b.slice(code, sel_bits - 1, 0),
+                    b.c(sel_bits, static_cast<std::uint64_t>(c) &
+                                      rtl::width_mask(sel_bits)))),
+        "hit");
+
+    const std::string rn = "sticky" + std::to_string(c);
+    const ExprId f = b.reg(rn, 1);
+    b.m.set_role(rn, "sticky status flag");
+    b.next(rn, b.mux(clear, b.c(1, 0), b.bor(f, hit)));
+    flags.push_back(f);
+
+    const std::string cn = "class_cnt" + std::to_string(c);
+    const ExprId cc = b.reg(cn, class_cnt_w);
+    b.m.set_role(cn, "per-class saturating error counter");
+    const ExprId cmax = b.wire(b.redand(cc), "cmax");
+    const ExprId cinc =
+        b.add(cc, b.zext(b.band(hit, b.bnot(cmax)), class_cnt_w));
+    b.next(cn, b.mux(clear, b.c(class_cnt_w, 0), cinc));
+    class_counts.push_back(cc);
+  }
+  (void)rng;
+
+  const ExprId alarm = b.reg("alarm", 1);
+  b.m.set_role("alarm", "threshold alarm flag");
+  b.next("alarm", b.mux(clear, b.c(1, 0), b.bor(alarm, b.lt(thresh, count))));
+
+  b.out("count", count);
+  b.out("last", last);
+  b.out("hist_o", prev);
+  b.out("alarm_o", alarm);
+  b.out("class_cnt_o", b.mux_tree(class_sel, class_counts));
+  std::vector<ExprId> msb_first(flags.rbegin(), flags.rend());
+  b.out("flags", classes == 1 ? flags[0] : b.cat(std::move(msb_first)));
+  return std::move(b.m);
+}
+
+/// Signed multiply-accumulate with clear and enable. (Table I: signed_mac)
+Module gen_signed_mac(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int wa = std::clamp(4 + 2 * spec.size_hint, 4, 16);
+  const int wb = std::clamp(4 + 2 * spec.size_hint, 4, 16);
+  const int wacc = std::min(wa + wb + 4, 48);
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId clear = b.in("clear", 1);
+  const ExprId a = b.in("a", wa);
+  const ExprId bb = b.in("b", wb);
+
+  const ExprId ax = b.sext(a, wacc);
+  const ExprId bx = b.sext(bb, wacc);
+  const ExprId prod = b.wire(b.mul(ax, bx), "prod");
+
+  const ExprId acc = b.reg("acc", wacc);
+  b.m.set_role("acc", "signed multiply-accumulate register");
+  b.next("acc", b.mux(clear, b.c(wacc, 0), b.add(acc, prod)), en);
+
+  const ExprId ovf = b.reg("ovf_sticky", 1);
+  b.m.set_role("ovf_sticky", "overflow sticky flag");
+  // Crude overflow detect: sign of acc and prod agree but sum's sign flips.
+  const ExprId sum = b.wire(b.add(acc, prod), "sum");
+  const ExprId same_sign =
+      b.eq(b.bit(acc, wacc - 1), b.bit(prod, wacc - 1));
+  const ExprId flipped = b.ne(b.bit(sum, wacc - 1), b.bit(acc, wacc - 1));
+  b.next("ovf_sticky",
+         b.mux(clear, b.c(1, 0), b.bor(ovf, b.band(same_sign, flipped))));
+
+  b.out("acc_o", acc);
+  b.out("ovf", ovf);
+  return std::move(b.m);
+}
+
+/// Wishbone-style registered data mux: N sources selected by decoded
+/// address, with byte enables and parity. (Table I: wb_data_mux)
+Module gen_wb_data_mux(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int n = std::clamp(2 + 2 * spec.size_hint, 2, 16);
+  const int w = std::clamp(8 + 8 * spec.size_hint, 8, 48);
+  const int aw = 4;
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId stb = b.in("stb", 1);
+  const ExprId addr = b.in("addr", aw);
+  const int bytes = std::max(1, w / 8);
+  const ExprId be = b.in("be", bytes);
+
+  std::vector<ExprId> srcs;
+  for (int i = 0; i < n; ++i) {
+    srcs.push_back(b.in("src" + std::to_string(i), w));
+  }
+  const ExprId selected = b.wire(b.mux_tree(addr, srcs), "sel");
+
+  // Byte-enable masking.
+  std::vector<ExprId> mask_bits;
+  for (int bit = w - 1; bit >= 0; --bit) {
+    mask_bits.push_back(b.bit(be, std::min(bit / 8, bytes - 1)));
+  }
+  const ExprId mask = b.cat(std::move(mask_bits));
+  const ExprId masked = b.band(selected, mask);
+
+  const ExprId dreg = b.reg("dat_r", w);
+  b.m.set_role("dat_r", "registered read-data mux output");
+  b.next("dat_r", masked, stb);
+
+  const ExprId vreg = b.reg("ack", 1);
+  b.m.set_role("ack", "acknowledge flag");
+  b.next("ack", stb);
+
+  const ExprId preg = b.reg("parity", 1);
+  b.m.set_role("parity", "data parity register");
+  b.next("parity", b.redxor(masked), stb);
+
+  // Running checksum over returned data (rotate-xor-add), and per-source
+  // parity status flags — the kind of bus-health logic real interconnect
+  // wrappers carry.
+  const ExprId csum = b.reg("checksum", w);
+  b.m.set_role("checksum", "running read-data checksum");
+  b.next("checksum", b.add(b.rotl(csum, 3), masked), stb);
+
+  std::vector<ExprId> perr;
+  for (int i = 0; i < n; ++i) {
+    const std::string pn = "src_par" + std::to_string(i);
+    const ExprId pf = b.reg(pn, 1);
+    b.m.set_role(pn, "per-source parity flag");
+    b.next(pn, b.redxor(srcs[static_cast<std::size_t>(i)]), stb);
+    perr.push_back(pf);
+  }
+  std::vector<ExprId> perr_msb(perr.rbegin(), perr.rend());
+
+  b.out("dat_o", dreg);
+  b.out("ack_o", vreg);
+  b.out("par_o", preg);
+  b.out("csum_o", csum);
+  b.out("perr_o", n == 1 ? perr[0] : b.cat(std::move(perr_msb)));
+  return std::move(b.m);
+}
+
+/// Widening multiplier with registered product; signed at larger sizes
+/// (sign-extended operands keep every partial-product row full-width, as a
+/// production multiplier netlist would be). (Table I: mult_16x32_to_48)
+Module gen_mult(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int wa = std::clamp(4 + 3 * spec.size_hint, 4, 16);
+  const int wb = std::clamp(8 + 6 * spec.size_hint, 4, 32);
+  const int wo = std::min(wa + wb, 48);
+  const bool is_signed = spec.size_hint >= 4;
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId a = b.in("a", wa);
+  const ExprId bb = b.in("b", wb);
+
+  const ExprId prod = is_signed
+                          ? b.mul(b.sext(a, wo), b.sext(bb, wo))
+                          : b.mul(b.zext(a, wo), b.zext(bb, wo));
+  const ExprId preg = b.reg("p", wo);
+  b.m.set_role("p", "product register");
+  b.next("p", prod, en);
+  b.out("p_o", preg);
+  return std::move(b.m);
+}
+
+/// Gray-code counter with binary shadow and parity outputs.
+Module gen_gray_counter(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int w = std::clamp(4 + 2 * spec.size_hint, 4, 32);
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId bin = b.reg("bin", w);
+  b.m.set_role("bin", "binary counter");
+  b.next("bin", b.add(bin, b.c(w, 1)), en);
+  const ExprId gray = b.bxor(bin, b.cat({b.c(1, 0), b.slice(bin, w - 1, 1)}));
+  const ExprId greg = b.reg("gray", w);
+  b.m.set_role("gray", "gray-code shadow register");
+  b.next("gray", gray, en);
+  b.out("gray_o", greg);
+  b.out("parity", b.redxor(greg));
+  b.out("wrap", b.redand(bin));
+  return std::move(b.m);
+}
+
+/// Registered ALU: op-selected arithmetic/logic with flags.
+Module gen_alu(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int w = std::clamp(8 + 4 * spec.size_hint, 8, 48);
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId op = b.in("op", 3);
+  const ExprId a = b.in("a", w);
+  const ExprId bb = b.in("b", w);
+
+  std::vector<ExprId> results{
+      b.add(a, bb),
+      b.sub(a, bb),
+      b.band(a, bb),
+      b.bor(a, bb),
+      b.bxor(a, bb),
+      b.bnot(a),
+      b.mux(b.lt(a, bb), bb, a),                  // max
+      b.rotl(a, 1),
+  };
+  const ExprId res = b.wire(b.mux_tree(op, results), "res");
+
+  const ExprId rr = b.reg("result", w);
+  b.m.set_role("result", "ALU result register");
+  b.next("result", res);
+  const ExprId zf = b.reg("zero_flag", 1);
+  b.m.set_role("zero_flag", "zero flag");
+  b.next("zero_flag", b.eq(res, b.c(w, 0)));
+  const ExprId nf = b.reg("neg_flag", 1);
+  b.m.set_role("neg_flag", "sign flag");
+  b.next("neg_flag", b.bit(res, w - 1));
+
+  b.out("y", rr);
+  b.out("zf", zf);
+  b.out("nf", nf);
+  return std::move(b.m);
+}
+
+/// Parallel CRC update over a data word (serial LFSR unrolled).
+Module gen_crc(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int crc_w = spec.size_hint >= 3 ? 32 : 16;
+  const int data_w = std::clamp(4 + 4 * spec.size_hint, 4, 32);
+  const std::uint64_t poly =
+      crc_w == 32 ? 0x04C11DB7ull : 0x1021ull;  // CRC-32 / CCITT
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId en = b.in("en", 1);
+  const ExprId init = b.in("init", 1);
+  const ExprId data = b.in("data", data_w);
+
+  const ExprId crc = b.reg("crc", crc_w, rtl::width_mask(crc_w));
+  b.m.set_role("crc", "cyclic redundancy check register");
+
+  // Unroll the serial CRC over all data bits symbolically.
+  std::vector<ExprId> state(static_cast<std::size_t>(crc_w));
+  for (int i = 0; i < crc_w; ++i) state[static_cast<std::size_t>(i)] = b.bit(crc, i);
+  for (int k = data_w - 1; k >= 0; --k) {
+    const ExprId fb = b.wire(
+        b.bxor(state[static_cast<std::size_t>(crc_w - 1)], b.bit(data, k)),
+        "fb");
+    std::vector<ExprId> ns(static_cast<std::size_t>(crc_w));
+    for (int i = 0; i < crc_w; ++i) {
+      ExprId v = i == 0 ? fb : state[static_cast<std::size_t>(i - 1)];
+      if (i > 0 && ((poly >> i) & 1ull)) v = b.bxor(v, fb);
+      ns[static_cast<std::size_t>(i)] = v;
+    }
+    state = std::move(ns);
+  }
+  std::vector<ExprId> msb_first(state.rbegin(), state.rend());
+  const ExprId next_crc = b.cat(std::move(msb_first));
+  b.next("crc",
+         b.mux(init, b.c(crc_w, rtl::width_mask(crc_w)), next_crc), en);
+  b.out("crc_o", crc);
+  b.out("match", b.eq(crc, b.c(crc_w, 0)));
+  return std::move(b.m);
+}
+
+/// One-hot control FSM with input-dependent transitions and decoded outputs.
+Module gen_ctrl_fsm(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int states = std::clamp(3 + spec.size_hint, 3, 10);
+  const int dw = std::clamp(4 + 2 * spec.size_hint, 4, 16);
+
+  b.in("rst", 1);
+  const ExprId go = b.in("go", 1);
+  const ExprId stop = b.in("stop", 1);
+  const ExprId dat = b.in("dat", dw);
+
+  const ExprId st = b.reg("state", states, 1);  // one-hot, reset to S0
+  b.m.set_role("state", "one-hot FSM state register");
+
+  const ExprId cond = b.wire(b.redxor(dat), "cond");
+  std::vector<ExprId> next_bits(static_cast<std::size_t>(states));
+  // S0 leaves on go; each Si advances on cond (else holds); any state
+  // returns to S0 on stop.
+  for (int s = 0; s < states; ++s) {
+    ExprId setter;
+    if (s == 0) {
+      setter = b.bor(b.band(b.bit(st, 0), b.bnot(go)),
+                     b.band(b.bit(st, states - 1), cond));
+      setter = b.bor(setter, stop);
+    } else {
+      const ExprId from_prev = b.band(b.bit(st, s - 1),
+                                      s == 1 ? go : cond);
+      const ExprId hold = b.band(b.bit(st, s),
+                                 s == states - 1 ? b.bnot(cond) : b.bnot(cond));
+      setter = b.band(b.bor(from_prev, hold), b.bnot(stop));
+    }
+    next_bits[static_cast<std::size_t>(s)] = b.wire(setter, "ns");
+  }
+  std::vector<ExprId> msb_first(next_bits.rbegin(), next_bits.rend());
+  b.next("state", b.cat(std::move(msb_first)));
+
+  // A data register written in a specific state.
+  const ExprId cap = b.reg("captured", dw);
+  b.m.set_role("captured", "state-gated capture register");
+  b.next("captured", dat, b.bit(st, states / 2));
+
+  const ExprId busy = b.reg("busy", 1);
+  b.m.set_role("busy", "busy flag");
+  b.next("busy", b.bnot(b.bit(st, 0)));
+  (void)rng;
+
+  b.out("state_o", st);
+  b.out("cap_o", cap);
+  b.out("busy_o", busy);
+  return std::move(b.m);
+}
+
+/// Round-robin arbiter with request masking and grant registers.
+Module gen_arbiter(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int n = std::clamp(3 + spec.size_hint, 2, 12);
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId req = b.in("req", n);
+  const ExprId en = b.in("en", 1);
+
+  const ExprId grant = b.reg("grant", n);
+  b.m.set_role("grant", "one-hot grant register");
+  const ExprId last = b.reg("last", n, 1);
+  b.m.set_role("last", "round-robin pointer register");
+
+  // Priority chain starting after `last` (simplified rotate-by-1 scheme).
+  const ExprId rot_req = b.bxor(req, b.band(req, last));  // mask last winner
+  std::vector<ExprId> gbits;
+  ExprId taken = b.c(1, 0);
+  for (int i = 0; i < n; ++i) {
+    const ExprId r = b.bit(rot_req, i);
+    const ExprId g = b.wire(b.band(r, b.bnot(taken)), "g");
+    gbits.push_back(g);
+    if (i + 1 < n) taken = b.wire(b.bor(taken, r), "t");
+  }
+  std::vector<ExprId> msb_first(gbits.rbegin(), gbits.rend());
+  const ExprId new_grant = b.wire(b.cat(std::move(msb_first)), "ng");
+  b.next("grant", new_grant, en);
+  b.next("last", b.mux(b.redor(new_grant), new_grant, last), en);
+
+  const ExprId any = b.reg("any_grant", 1);
+  b.m.set_role("any_grant", "grant-valid flag");
+  b.next("any_grant", b.redor(new_grant), en);
+
+  b.out("grant_o", grant);
+  b.out("valid", any);
+  return std::move(b.m);
+}
+
+/// FIFO control logic (pointers, occupancy, full/empty) without the RAM.
+Module gen_fifo_ctrl(const DesignSpec& spec, Rng& rng) {
+  Mod b(default_name(spec));
+  const int aw = std::clamp(2 + spec.size_hint, 3, 10);
+  (void)rng;
+
+  b.in("rst", 1);
+  const ExprId push = b.in("push", 1);
+  const ExprId pop = b.in("pop", 1);
+
+  const ExprId wp = b.reg("wptr", aw);
+  b.m.set_role("wptr", "write pointer");
+  const ExprId rp = b.reg("rptr", aw);
+  b.m.set_role("rptr", "read pointer");
+  const ExprId occ = b.reg("occupancy", aw + 1);
+  b.m.set_role("occupancy", "occupancy counter");
+
+  const ExprId full = b.wire(b.eq(occ, b.c(aw + 1, 1ull << aw)), "fullw");
+  const ExprId empty = b.wire(b.eq(occ, b.c(aw + 1, 0)), "emptyw");
+  const ExprId do_push = b.wire(b.band(push, b.bnot(full)), "dp");
+  const ExprId do_pop = b.wire(b.band(pop, b.bnot(empty)), "dq");
+
+  b.next("wptr", b.add(wp, b.zext(do_push, aw)));
+  b.next("rptr", b.add(rp, b.zext(do_pop, aw)));
+  b.next("occupancy",
+         b.add(b.sub(occ, b.zext(do_pop, aw + 1)), b.zext(do_push, aw + 1)));
+
+  const ExprId ovf = b.reg("overflow", 1);
+  b.m.set_role("overflow", "overflow sticky flag");
+  b.next("overflow", b.bor(ovf, b.band(push, full)));
+
+  b.out("full_o", full);
+  b.out("empty_o", empty);
+  b.out("occ_o", occ);
+  b.out("ovf_o", ovf);
+  // RAM address ports (the controller's raison d'être).
+  b.out("waddr", wp);
+  b.out("raddr", rp);
+  return std::move(b.m);
+}
+
+using GenFn = Module (*)(const DesignSpec&, Rng&);
+
+const std::vector<std::pair<std::string, GenFn>>& registry() {
+  static const std::vector<std::pair<std::string, GenFn>> kFamilies{
+      {"max_selector", gen_max_selector},
+      {"pipeline_reg", gen_pipeline_reg},
+      {"prbs_generator", gen_prbs_generator},
+      {"shift_reg", gen_shift_reg},
+      {"error_logger", gen_error_logger},
+      {"signed_mac", gen_signed_mac},
+      {"wb_data_mux", gen_wb_data_mux},
+      {"mult", gen_mult},
+      {"gray_counter", gen_gray_counter},
+      {"alu", gen_alu},
+      {"crc", gen_crc},
+      {"ctrl_fsm", gen_ctrl_fsm},
+      {"arbiter", gen_arbiter},
+      {"fifo_ctrl", gen_fifo_ctrl},
+  };
+  return kFamilies;
+}
+
+}  // namespace
+
+std::vector<std::string> families() {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : registry()) out.push_back(name);
+  return out;
+}
+
+Module generate(const DesignSpec& spec) {
+  for (const auto& [name, fn] : registry()) {
+    if (name == spec.family) {
+      Rng rng(spec.seed ^ fnv1a64(spec.family) ^
+              (static_cast<std::uint64_t>(spec.size_hint) << 32));
+      Module m = fn(spec, rng);
+      m.validate();
+      return m;
+    }
+  }
+  fail("unknown design family: " + spec.family);
+}
+
+std::vector<DesignSpec> table1_specs() {
+  // size_hint values tuned so synthesized cell counts approximate Table I
+  // (278..4144 in the paper) and keep the same row ordering by size.
+  return {
+      {"max_selector", 4, 101, "max_selector"},
+      {"pipeline_reg", 4, 102, "pipeline_reg"},
+      {"prbs_generator", 4, 103, "prbs_generator"},
+      {"shift_reg", 5, 104, "shift_reg_24"},
+      {"error_logger", 5, 105, "error_logger"},
+      {"signed_mac", 4, 106, "signed_mac"},
+      {"wb_data_mux", 6, 107, "wb_data_mux"},
+      {"mult", 4, 108, "mult_16x32_to_48"},
+  };
+}
+
+std::vector<DesignSpec> corpus_specs(std::size_t count, std::uint64_t seed,
+                                     int min_size, int max_size) {
+  std::vector<DesignSpec> out;
+  Rng rng(seed);
+  const auto fams = families();
+  for (std::size_t i = 0; i < count; ++i) {
+    DesignSpec s;
+    s.family = fams[i % fams.size()];
+    s.size_hint =
+        static_cast<int>(rng.uniform_int(min_size, max_size));
+    s.seed = rng();
+    s.name = s.family + "_c" + std::to_string(i);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace moss::data

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core_util/rng.hpp"
+#include "rtl/module.hpp"
+
+namespace moss::data {
+
+/// Specification of one generated design. `size_hint` scales widths/depths
+/// (1 = smallest); `seed` adds structural variation within a family, so one
+/// family yields many distinct circuits — standing in for the paper's
+/// 31,701 collected RTL designs.
+struct DesignSpec {
+  std::string family;
+  int size_hint = 1;
+  std::uint64_t seed = 0;
+  std::string name;  ///< module name; defaults to family_sizeN_seedM
+};
+
+/// All registered family names.
+std::vector<std::string> families();
+
+/// Generate the RTL for a spec. Throws on unknown family.
+rtl::Module generate(const DesignSpec& spec);
+
+/// The eight Table-I circuits (family + size tuned so synthesized cell
+/// counts land near the paper's: 278..4144 cells).
+std::vector<DesignSpec> table1_specs();
+
+/// A training corpus: `count` specs cycling through all families with
+/// varied sizes and seeds.
+std::vector<DesignSpec> corpus_specs(std::size_t count, std::uint64_t seed,
+                                     int min_size = 1, int max_size = 4);
+
+}  // namespace moss::data

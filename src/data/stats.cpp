@@ -1,0 +1,85 @@
+#include "data/stats.hpp"
+
+#include <algorithm>
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss::data {
+
+DatasetStats compute_stats(const std::vector<LabeledCircuit>& dataset) {
+  DatasetStats s;
+  s.circuits = dataset.size();
+  if (dataset.empty()) return s;
+  s.min_cells = dataset[0].netlist.num_cells();
+  double toggle_sum = 0.0;
+  std::size_t toggle_count = 0;
+  for (const LabeledCircuit& lc : dataset) {
+    ++s.per_family[lc.spec.family];
+    const std::size_t cells = lc.netlist.num_cells();
+    s.min_cells = std::min(s.min_cells, cells);
+    s.max_cells = std::max(s.max_cells, cells);
+    s.total_cells += cells;
+    s.total_flops += lc.netlist.flops().size();
+    for (std::size_t i = 0; i < lc.netlist.num_nodes(); ++i) {
+      if (lc.netlist.node(static_cast<netlist::NodeId>(i)).kind ==
+          netlist::NodeKind::kCell) {
+        toggle_sum += lc.toggle[i];
+        ++toggle_count;
+      }
+    }
+    for (const double at : lc.flop_arrival) {
+      s.max_arrival_ps = std::max(s.max_arrival_ps, at);
+    }
+    s.mean_power_uw += lc.power_uw;
+  }
+  s.mean_cells =
+      static_cast<double>(s.total_cells) / static_cast<double>(s.circuits);
+  s.mean_toggle = toggle_count ? toggle_sum / static_cast<double>(toggle_count)
+                               : 0.0;
+  s.mean_power_uw /= static_cast<double>(s.circuits);
+  return s;
+}
+
+std::string to_string(const DatasetStats& s) {
+  std::string out;
+  out += strprintf("dataset: %zu circuits, %zu cells total (%zu..%zu, mean "
+                   "%.0f), %zu flops\n",
+                   s.circuits, s.total_cells, s.min_cells, s.max_cells,
+                   s.mean_cells, s.total_flops);
+  out += strprintf("labels: mean toggle %.3f, max arrival %.0f ps, mean "
+                   "power %.1f uW\n",
+                   s.mean_toggle, s.max_arrival_ps, s.mean_power_uw);
+  out += "families:";
+  for (const auto& [fam, count] : s.per_family) {
+    out += strprintf(" %s=%zu", fam.c_str(), count);
+  }
+  out += "\n";
+  return out;
+}
+
+Split split_dataset(const std::vector<LabeledCircuit>& dataset,
+                    double test_fraction, std::uint64_t salt) {
+  MOSS_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0,
+             "test_fraction must be in [0, 1]");
+  Split split;
+  // Scale into [0, 2^64). Casting a double >= 2^64 to uint64 is UB, so
+  // saturate the top end explicitly.
+  const double scaled = test_fraction * 18446744073709551616.0;  // 2^64
+  const std::uint64_t threshold =
+      scaled >= 18446744073709551615.0
+          ? ~0ull
+          : static_cast<std::uint64_t>(scaled);
+  for (const LabeledCircuit& lc : dataset) {
+    const std::uint64_t h = fnv1a64(lc.netlist.name()) ^ salt;
+    // A second mix so that salt actually permutes the assignment.
+    std::uint64_t z = h + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    (z <= threshold ? split.test : split.train).push_back(&lc);
+  }
+  return split;
+}
+
+}  // namespace moss::data

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace moss::data {
+
+/// Aggregate statistics of a labeled dataset — the sanity report generated
+/// before training (family mix, size distribution, label ranges).
+struct DatasetStats {
+  std::size_t circuits = 0;
+  std::map<std::string, std::size_t> per_family;
+  std::size_t min_cells = 0;
+  std::size_t max_cells = 0;
+  double mean_cells = 0.0;
+  std::size_t total_cells = 0;
+  std::size_t total_flops = 0;
+  double mean_toggle = 0.0;       ///< over all cells of all circuits
+  double max_arrival_ps = 0.0;
+  double mean_power_uw = 0.0;
+};
+
+DatasetStats compute_stats(const std::vector<LabeledCircuit>& dataset);
+
+/// Human-readable rendering of the stats.
+std::string to_string(const DatasetStats& stats);
+
+/// Deterministically split a dataset into train/test by hashing circuit
+/// names (stable across runs and insertion order).
+struct Split {
+  std::vector<const LabeledCircuit*> train;
+  std::vector<const LabeledCircuit*> test;
+};
+Split split_dataset(const std::vector<LabeledCircuit>& dataset,
+                    double test_fraction, std::uint64_t salt = 0);
+
+}  // namespace moss::data

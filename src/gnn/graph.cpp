@@ -1,0 +1,31 @@
+#include "gnn/graph.hpp"
+
+#include <map>
+
+namespace moss::gnn {
+
+UpdateStep GraphBuilder::make_step(const std::vector<int>& nodes) const {
+  std::map<int, UpdateGroup> by_cluster;
+  for (const int v : nodes) {
+    MOSS_CHECK(v >= 0 && static_cast<std::size_t>(v) < g_.num_nodes,
+               "scheduled node out of range");
+    const auto& fi = fanins_[static_cast<std::size_t>(v)];
+    MOSS_CHECK(!fi.empty(), "scheduled node has no fanins");
+    UpdateGroup& grp = by_cluster[cluster_[static_cast<std::size_t>(v)]];
+    grp.cluster = cluster_[static_cast<std::size_t>(v)];
+    const int local = static_cast<int>(grp.nodes.size());
+    grp.nodes.push_back(v);
+    for (const auto& [src, pos] : fi) {
+      grp.edge_src.push_back(src);
+      grp.edge_dst.push_back(v);
+      grp.edge_dst_local.push_back(local);
+      grp.edge_pos.push_back(pos);
+    }
+  }
+  UpdateStep step;
+  step.groups.reserve(by_cluster.size());
+  for (auto& [c, grp] : by_cluster) step.groups.push_back(std::move(grp));
+  return step;
+}
+
+}  // namespace moss::gnn

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "core_util/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace moss::gnn {
+
+/// One cluster's share of an update step: the nodes (all in one aggregator
+/// cluster) plus their incoming edges. `edge_dst_local` indexes into
+/// `nodes`; `edge_src` / `edge_dst` are global node ids.
+struct UpdateGroup {
+  int cluster = 0;
+  std::vector<int> nodes;
+  std::vector<int> edge_src;
+  std::vector<int> edge_dst;
+  std::vector<int> edge_dst_local;
+  std::vector<int> edge_pos;  ///< pin position per edge (clamped)
+};
+
+/// One asynchronous update step: all groups in a step read the same h and
+/// are written back with a single scatter — e.g. one combinational level.
+struct UpdateStep {
+  std::vector<UpdateGroup> groups;
+};
+
+/// A circuit graph prepared for the two-phase asynchronous GNN.
+/// `forward_steps` run in order (levelized combinational logic, PIs→DFF.D);
+/// `turnaround_steps` then update the DFFs from their input pins, feeding
+/// state back for the next round (the paper's Turnaround Propagation).
+struct Graph {
+  std::size_t num_nodes = 0;
+  std::size_t num_clusters = 1;
+  tensor::Tensor features;  ///< N×F static node features
+  std::vector<UpdateStep> forward_steps;
+  std::vector<UpdateStep> turnaround_steps;
+  /// Rows to include in the mean-pool readout (typically all cells+PIs).
+  std::vector<int> readout_nodes;
+};
+
+/// Incrementally assembles a Graph. The caller provides per-node cluster
+/// ids and fanin (src, pin) lists, then schedules update sets in execution
+/// order; the builder splits each set by cluster.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::size_t num_nodes, std::size_t num_clusters)
+      : num_clusters_(num_clusters),
+        cluster_(num_nodes, 0),
+        fanins_(num_nodes) {
+    g_.num_nodes = num_nodes;
+    g_.num_clusters = num_clusters;
+  }
+
+  void set_cluster(int node, int cluster) {
+    MOSS_CHECK(cluster >= 0 &&
+                   static_cast<std::size_t>(cluster) < num_clusters_,
+               "cluster id out of range");
+    cluster_[static_cast<std::size_t>(node)] = cluster;
+  }
+
+  void set_fanins(int node, std::vector<std::pair<int, int>> src_pos) {
+    fanins_[static_cast<std::size_t>(node)] = std::move(src_pos);
+  }
+
+  void set_features(tensor::Tensor f) {
+    MOSS_CHECK(f.rows() == g_.num_nodes, "feature row count mismatch");
+    g_.features = std::move(f);
+  }
+
+  void set_readout(std::vector<int> nodes) {
+    g_.readout_nodes = std::move(nodes);
+  }
+
+  /// Schedule a forward-phase step updating `nodes` (each must have fanins).
+  void schedule_forward(const std::vector<int>& nodes) {
+    g_.forward_steps.push_back(make_step(nodes));
+  }
+  /// Schedule a turnaround-phase step (DFF updates).
+  void schedule_turnaround(const std::vector<int>& nodes) {
+    g_.turnaround_steps.push_back(make_step(nodes));
+  }
+
+  Graph build() {
+    if (g_.readout_nodes.empty()) {
+      g_.readout_nodes.resize(g_.num_nodes);
+      for (std::size_t i = 0; i < g_.num_nodes; ++i) {
+        g_.readout_nodes[i] = static_cast<int>(i);
+      }
+    }
+    return std::move(g_);
+  }
+
+ private:
+  UpdateStep make_step(const std::vector<int>& nodes) const;
+
+  std::size_t num_clusters_;
+  std::vector<int> cluster_;
+  std::vector<std::vector<std::pair<int, int>>> fanins_;
+  Graph g_;
+};
+
+}  // namespace moss::gnn

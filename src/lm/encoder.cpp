@@ -1,0 +1,194 @@
+#include "lm/encoder.hpp"
+
+#include <cmath>
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss::lm {
+
+using tensor::Tensor;
+
+TextEncoder::TextEncoder(EncoderConfig cfg) : cfg_(cfg) {
+  Rng rng(cfg_.seed);
+  table_ = Tensor::randn(cfg_.vocab_size, cfg_.dim, rng,
+                         1.0f / std::sqrt(static_cast<float>(cfg_.dim)),
+                         /*requires_grad=*/false);
+}
+
+void TextEncoder::set_token_weights(std::vector<float> w) {
+  MOSS_CHECK(w.size() == cfg_.vocab_size,
+             "token weights must cover the vocabulary");
+  token_weight_ = std::move(w);
+  invalidate_cache();
+}
+
+Tensor TextEncoder::encode(std::string_view text) const {
+  const std::uint64_t key = fnv1a64(text);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const TokenizerConfig tok_cfg{cfg_.vocab_size};
+  const std::vector<int> ids = tokenize(text, tok_cfg);
+  Tensor out = Tensor::zeros(1, cfg_.dim);
+  if (!ids.empty()) {
+    float total_w = 0.0f;
+    for (const int id : ids) {
+      const float w =
+          token_weight_.empty()
+              ? 1.0f
+              : token_weight_[static_cast<std::size_t>(id)];
+      total_w += w;
+      for (std::size_t d = 0; d < cfg_.dim; ++d) {
+        out.data()[d] +=
+            table_.data()[static_cast<std::size_t>(id) * cfg_.dim + d] * w;
+      }
+    }
+    if (total_w > 0.0f) {
+      for (std::size_t d = 0; d < cfg_.dim; ++d) out.data()[d] /= total_w;
+    }
+  }
+  cache_.emplace(key, out);
+  return out;
+}
+
+Tensor TextEncoder::encode_centered(std::string_view text) const {
+  Tensor out = encode(text).detach();
+  if (!center_.empty()) {
+    for (std::size_t d = 0; d < cfg_.dim; ++d) out.data()[d] -= center_[d];
+  }
+  return out;
+}
+
+void TextEncoder::set_center(std::vector<float> center) {
+  MOSS_CHECK(center.size() == cfg_.dim, "center must have encoder dim");
+  center_ = std::move(center);
+  invalidate_cache();
+}
+
+Tensor TextEncoder::encode_batch(const std::vector<std::string>& texts) const {
+  MOSS_CHECK(!texts.empty(), "encode_batch of nothing");
+  Tensor out = Tensor::zeros(texts.size(), cfg_.dim);
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const Tensor e = encode(texts[i]);
+    std::copy(e.data().begin(), e.data().end(),
+              out.data().begin() +
+                  static_cast<std::ptrdiff_t>(i * cfg_.dim));
+  }
+  return out;
+}
+
+FineTuneReport fine_tune(TextEncoder& enc,
+                         const std::vector<std::string>& corpus,
+                         const FineTuneConfig& cfg, Rng& rng) {
+  const std::size_t V = enc.config().vocab_size;
+  const std::size_t D = enc.config().dim;
+  const TokenizerConfig tok_cfg{V};
+
+  // Tokenize the whole corpus once; each document is its own window scope.
+  std::vector<std::vector<int>> docs;
+  docs.reserve(corpus.size());
+  for (const std::string& text : corpus) {
+    auto ids = tokenize(text, tok_cfg);
+    if (ids.size() >= 2) docs.push_back(std::move(ids));
+  }
+  MOSS_CHECK(!docs.empty(), "fine_tune: corpus has no usable documents");
+
+  // IDF pooling weights: idf(t) = log(1 + N/(1 + df(t))).
+  {
+    std::vector<std::size_t> df(V, 0);
+    for (const auto& doc : docs) {
+      std::vector<char> seen(V, 0);
+      for (const int id : doc) {
+        if (!seen[static_cast<std::size_t>(id)]) {
+          seen[static_cast<std::size_t>(id)] = 1;
+          ++df[static_cast<std::size_t>(id)];
+        }
+      }
+    }
+    std::vector<float> idf(V, 1.0f);
+    const double n_docs = static_cast<double>(docs.size());
+    for (std::size_t t = 0; t < V; ++t) {
+      idf[t] = static_cast<float>(
+          std::log(1.0 + n_docs / (1.0 + static_cast<double>(df[t]))));
+    }
+    enc.set_token_weights(std::move(idf));
+  }
+
+  // Separate "context" table (standard SGNS uses two tables; the input
+  // table becomes the embedding).
+  Rng init_rng(enc.config().seed ^ 0x5eed);
+  std::vector<float> ctx(V * D);
+  for (float& v : ctx) {
+    v = static_cast<float>(init_rng.normal(0.0, 0.01));
+  }
+  auto& emb = enc.table().data();
+
+  FineTuneReport report;
+  const auto sigmoid = [](float x) {
+    return 1.0f / (1.0f + std::exp(-x));
+  };
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::size_t pairs = 0;
+    // Sample (doc, position, offset) uniformly until budget is spent.
+    while (pairs < cfg.max_pairs_per_epoch) {
+      const auto& doc = docs[rng.index(docs.size())];
+      const std::size_t pos = rng.index(doc.size());
+      const int off =
+          static_cast<int>(rng.uniform_int(1, cfg.window)) *
+          (rng.bernoulli(0.5) ? 1 : -1);
+      const std::int64_t cpos = static_cast<std::int64_t>(pos) + off;
+      if (cpos < 0 || cpos >= static_cast<std::int64_t>(doc.size())) continue;
+      const std::size_t center = static_cast<std::size_t>(doc[pos]);
+      const std::size_t context =
+          static_cast<std::size_t>(doc[static_cast<std::size_t>(cpos)]);
+      ++pairs;
+
+      float* u = emb.data() + center * D;
+
+      // One positive + negatives; SGD on the pairwise logistic loss.
+      for (int k = -1; k < cfg.negatives; ++k) {
+        const std::size_t c =
+            k < 0 ? context : static_cast<std::size_t>(rng.index(V));
+        const float label = k < 0 ? 1.0f : 0.0f;
+        float* v = ctx.data() + c * D;
+        float dot = 0.0f;
+        for (std::size_t d = 0; d < D; ++d) dot += u[d] * v[d];
+        const float p = sigmoid(dot);
+        const float g = cfg.lr * (label - p);
+        for (std::size_t d = 0; d < D; ++d) {
+          const float ud = u[d];
+          u[d] += g * v[d];
+          v[d] += g * ud;
+        }
+        if (k < 0) {
+          loss_sum -= std::log(std::max(p, 1e-12f));
+        } else {
+          loss_sum -= std::log(std::max(1.0f - p, 1e-12f));
+        }
+      }
+    }
+    report.epoch_loss.push_back(loss_sum / static_cast<double>(pairs));
+  }
+  enc.invalidate_cache();
+
+  // Corpus-mean centering vector for encode_centered().
+  {
+    std::vector<double> mean(D, 0.0);
+    for (const std::string& text : corpus) {
+      const tensor::Tensor e = enc.encode(text);
+      for (std::size_t d = 0; d < D; ++d) mean[d] += e.data()[d];
+    }
+    std::vector<float> center(D);
+    for (std::size_t d = 0; d < D; ++d) {
+      center[d] =
+          static_cast<float>(mean[d] / static_cast<double>(corpus.size()));
+    }
+    enc.set_center(std::move(center));
+  }
+  return report;
+}
+
+}  // namespace moss::lm

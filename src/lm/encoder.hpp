@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core_util/rng.hpp"
+#include "lm/tokenizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace moss::lm {
+
+/// Configuration of the RTL language model stand-in.
+struct EncoderConfig {
+  std::size_t vocab_size = 4096;
+  std::size_t dim = 32;          ///< embedding dimension d_r
+  std::uint64_t seed = 0xC0DE;   ///< init seed (determinism)
+};
+
+/// Text encoder standing in for the fine-tuned Yi-Coder LLM of the paper.
+/// Architecture: hashed-token embedding table -> mean pooling over tokens.
+/// What MOSS consumes from the LLM is exactly this interface: a fixed-size
+/// deterministic embedding per text snippet whose geometry reflects
+/// functional similarity — which fine_tune() (skip-gram over the RTL
+/// corpus) provides.
+///
+/// encode() results are cached by content hash; the cache is cleared when
+/// the table changes (fine-tuning invalidates it).
+class TextEncoder {
+ public:
+  explicit TextEncoder(EncoderConfig cfg = {});
+
+  const EncoderConfig& config() const { return cfg_; }
+  std::size_t dim() const { return cfg_.dim; }
+
+  /// Embedding of one text: 1×d, detached (the LLM is frozen downstream).
+  tensor::Tensor encode(std::string_view text) const;
+  /// Batch encode: N×d.
+  tensor::Tensor encode_batch(const std::vector<std::string>& texts) const;
+  /// Corpus-mean-centered embedding (see set_center): the variant used for
+  /// cross-modal retrieval, where shared boilerplate must not dominate the
+  /// angular geometry. Features keep the raw encode() embeddings.
+  tensor::Tensor encode_centered(std::string_view text) const;
+
+  /// Trainable embedding table (vocab × d) — exposed for fine-tuning.
+  tensor::Tensor& table() { return table_; }
+  const tensor::Tensor& table() const { return table_; }
+  void invalidate_cache() { cache_.clear(); }
+
+  /// Per-token pooling weights (IDF-style). fine_tune() sets these from
+  /// corpus statistics so ubiquitous tokens ("module", "assign", "=") stop
+  /// dominating the mean pool and text embeddings become discriminative —
+  /// the practical effect of fine-tuning a real LM on domain text.
+  void set_token_weights(std::vector<float> w);
+  const std::vector<float>& token_weights() const { return token_weight_; }
+
+  /// Centering vector used by encode_centered() ("all-but-the-top"
+  /// post-processing). fine_tune() sets it to the corpus mean so embeddings
+  /// of different designs spread out angularly for retrieval.
+  void set_center(std::vector<float> center);
+  const std::vector<float>& center() const { return center_; }
+
+ private:
+  EncoderConfig cfg_;
+  tensor::Tensor table_;
+  std::vector<float> token_weight_;  ///< empty = uniform
+  std::vector<float> center_;        ///< empty = no centering
+  mutable std::unordered_map<std::uint64_t, tensor::Tensor> cache_;
+};
+
+/// Skip-gram-with-negative-sampling fine-tuning over an RTL corpus: tokens
+/// that co-occur in RTL text (register names with their roles, operators
+/// with their operand patterns, cell names with their functions) end up
+/// close in embedding space — the property the paper obtains by LoRA
+/// fine-tuning the LLM on 31,701 RTL designs.
+struct FineTuneConfig {
+  int epochs = 3;
+  int window = 4;          ///< context window (tokens each side)
+  int negatives = 4;       ///< negative samples per positive
+  float lr = 0.05f;
+  std::size_t max_pairs_per_epoch = 200000;
+};
+
+struct FineTuneReport {
+  std::vector<double> epoch_loss;
+};
+
+FineTuneReport fine_tune(TextEncoder& enc,
+                         const std::vector<std::string>& corpus,
+                         const FineTuneConfig& cfg, Rng& rng);
+
+}  // namespace moss::lm

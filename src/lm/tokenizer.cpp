@@ -1,0 +1,68 @@
+#include "lm/tokenizer.hpp"
+
+#include <cctype>
+
+#include "core_util/strings.hpp"
+
+namespace moss::lm {
+
+std::vector<std::string> tokenize_words(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident(c)) {
+      std::size_t e = i;
+      while (e < text.size() && is_ident(text[e])) ++e;
+      std::string word = to_lower(text.substr(i, e - i));
+      // Split a trailing digit run: "s1" -> "s","1"; keeps pure numbers.
+      std::size_t d = word.size();
+      while (d > 0 && std::isdigit(static_cast<unsigned char>(word[d - 1]))) {
+        --d;
+      }
+      if (d > 0 && d < word.size()) {
+        out.push_back(word.substr(0, d));
+        out.push_back(word.substr(d));
+      } else {
+        out.push_back(std::move(word));
+      }
+      i = e;
+      continue;
+    }
+    // Two-char operators first.
+    static const char* kTwo[] = {"<=", ">=", "==", "!=", "<<", ">>"};
+    bool matched = false;
+    for (const char* p : kTwo) {
+      if (text.substr(i, 2) == p) {
+        out.emplace_back(p);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    // Single punctuation becomes its own token (skip pure noise).
+    if (c != ',' && c != ';' && c != '.') out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+std::vector<int> tokenize(std::string_view text, const TokenizerConfig& cfg) {
+  const auto words = tokenize_words(text);
+  std::vector<int> ids;
+  ids.reserve(words.size());
+  for (const std::string& w : words) {
+    ids.push_back(static_cast<int>(fnv1a64(w) % cfg.vocab_size));
+  }
+  return ids;
+}
+
+}  // namespace moss::lm

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moss::lm {
+
+/// Hashing word tokenizer for RTL text and cell descriptions. Splits on
+/// whitespace/punctuation (keeping operators like "<=", "^" as tokens),
+/// lowercases, splits trailing digit runs off identifiers ("count3" ->
+/// "count", "3") so bit indices and sized literals share tokens, then hashes
+/// each token into a fixed vocabulary of buckets.
+///
+/// Deterministic and dependency-free — the stand-in for the LLM's BPE
+/// tokenizer; collisions are rare enough at the default vocab size for the
+/// embedding geometry to stay informative.
+struct TokenizerConfig {
+  std::size_t vocab_size = 4096;
+};
+
+/// Split text into string tokens (exposed for tests and corpus statistics).
+std::vector<std::string> tokenize_words(std::string_view text);
+
+/// Full pipeline: words -> hashed token ids in [0, vocab_size).
+std::vector<int> tokenize(std::string_view text, const TokenizerConfig& cfg);
+
+}  // namespace moss::lm

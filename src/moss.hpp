@@ -1,0 +1,47 @@
+#pragma once
+
+/// Umbrella header: the public API of the MOSS library.
+///
+///   #include "moss.hpp"
+///
+/// brings in the full pipeline — RTL parsing/lint, synthesis, simulation
+/// (with VCD dump and fault injection), STA, power, formal equivalence,
+/// the language-model encoder, the MOSS model with training/evaluation/
+/// checkpointing, the workflow facade, and the DeepSeq2-style baseline.
+/// Individual headers can be included instead for faster builds.
+
+#include "baseline/deepseq.hpp"      // IWYU pragma: export
+#include "bdd/bdd.hpp"               // IWYU pragma: export
+#include "bdd/formal.hpp"            // IWYU pragma: export
+#include "cell/library.hpp"          // IWYU pragma: export
+#include "clustering/clustering.hpp" // IWYU pragma: export
+#include "core/evaluate.hpp"         // IWYU pragma: export
+#include "core/features.hpp"         // IWYU pragma: export
+#include "core/model.hpp"            // IWYU pragma: export
+#include "core/trainer.hpp"          // IWYU pragma: export
+#include "core/workflow.hpp"         // IWYU pragma: export
+#include "core_util/rng.hpp"         // IWYU pragma: export
+#include "core_util/strings.hpp"     // IWYU pragma: export
+#include "data/dataset.hpp"          // IWYU pragma: export
+#include "data/generators.hpp"       // IWYU pragma: export
+#include "data/stats.hpp"            // IWYU pragma: export
+#include "gnn/two_phase_gnn.hpp"     // IWYU pragma: export
+#include "lm/encoder.hpp"            // IWYU pragma: export
+#include "netlist/netlist.hpp"       // IWYU pragma: export
+#include "netlist/writer.hpp"        // IWYU pragma: export
+#include "power/power.hpp"           // IWYU pragma: export
+#include "rtl/eval.hpp"              // IWYU pragma: export
+#include "rtl/lint.hpp"              // IWYU pragma: export
+#include "rtl/parser.hpp"            // IWYU pragma: export
+#include "rtl/printer.hpp"           // IWYU pragma: export
+#include "rtl/prompts.hpp"           // IWYU pragma: export
+#include "sim/activity_io.hpp"       // IWYU pragma: export
+#include "sim/equivalence.hpp"       // IWYU pragma: export
+#include "sim/fault.hpp"             // IWYU pragma: export
+#include "sim/simulator.hpp"         // IWYU pragma: export
+#include "sim/vcd.hpp"               // IWYU pragma: export
+#include "sim/xsim.hpp"              // IWYU pragma: export
+#include "sta/sta.hpp"               // IWYU pragma: export
+#include "synth/synthesize.hpp"      // IWYU pragma: export
+#include "tensor/serialize.hpp"      // IWYU pragma: export
+#include "tensor/tensor.hpp"         // IWYU pragma: export

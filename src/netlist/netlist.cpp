@@ -1,0 +1,237 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core_util/check.hpp"
+
+namespace moss::netlist {
+
+NodeId Netlist::add_input(const std::string& name) {
+  MOSS_CHECK(!finalized_, "netlist already finalized");
+  MOSS_CHECK(by_name_.find(name) == by_name_.end(),
+             "duplicate node name: " + name);
+  Node n;
+  n.kind = NodeKind::kPrimaryInput;
+  n.name = name;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  inputs_.push_back(id);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::add_output(const std::string& name, NodeId driver) {
+  MOSS_CHECK(!finalized_, "netlist already finalized");
+  MOSS_CHECK(by_name_.find(name) == by_name_.end(),
+             "duplicate node name: " + name);
+  Node n;
+  n.kind = NodeKind::kPrimaryOutput;
+  n.name = name;
+  n.fanin.push_back(driver);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  outputs_.push_back(id);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::add_cell(cell::CellTypeId type, const std::string& name,
+                         std::vector<NodeId> fanins) {
+  MOSS_CHECK(!finalized_, "netlist already finalized");
+  MOSS_CHECK(by_name_.find(name) == by_name_.end(),
+             "duplicate node name: " + name);
+  const cell::CellType& t = lib_->type(type);
+  MOSS_CHECK(fanins.size() == static_cast<std::size_t>(t.num_inputs),
+             "cell " + name + " (" + t.name + "): expected " +
+                 std::to_string(t.num_inputs) + " fanins, got " +
+                 std::to_string(fanins.size()));
+  Node n;
+  n.kind = NodeKind::kCell;
+  n.type = type;
+  n.name = name;
+  n.fanin = std::move(fanins);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  by_name_.emplace(name, id);
+  ++num_cells_;
+  if (t.is_flop()) flops_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_cell(const std::string& type_name, const std::string& name,
+                         std::vector<NodeId> fanins) {
+  const cell::CellTypeId t = lib_->find(type_name);
+  MOSS_CHECK(t != cell::kInvalidCellType, "unknown cell type " + type_name);
+  return add_cell(t, name, std::move(fanins));
+}
+
+void Netlist::connect(NodeId sink, int pin, NodeId driver) {
+  MOSS_CHECK(!finalized_, "netlist already finalized");
+  Node& n = mut(sink);
+  MOSS_CHECK(pin >= 0 && static_cast<std::size_t>(pin) < n.fanin.size(),
+             "pin index out of range on " + n.name);
+  n.fanin[static_cast<std::size_t>(pin)] = driver;
+}
+
+void Netlist::set_rtl_register(NodeId flop, std::string register_bit) {
+  Node& n = mut(flop);
+  MOSS_CHECK(n.kind == NodeKind::kCell && lib_->type(n.type).is_flop(),
+             "set_rtl_register on non-flop node " + n.name);
+  n.rtl_register = std::move(register_bit);
+}
+
+void Netlist::finalize() {
+  MOSS_CHECK(!finalized_, "finalize() called twice");
+
+  // Validate connectivity and build fanout lists.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+      MOSS_CHECK(n.fanin[p] != kInvalidNode,
+                 "unconnected pin " + std::to_string(p) + " on " + n.name);
+      MOSS_CHECK(n.fanin[p] >= 0 &&
+                     static_cast<std::size_t>(n.fanin[p]) < nodes_.size(),
+                 "fanin id out of range on " + n.name);
+      MOSS_CHECK(nodes_[static_cast<std::size_t>(n.fanin[p])].kind !=
+                     NodeKind::kPrimaryOutput,
+                 "primary output cannot drive " + n.name);
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const NodeId d : nodes_[i].fanin) {
+      nodes_[static_cast<std::size_t>(d)].fanout.push_back(
+          static_cast<NodeId>(i));
+    }
+  }
+  for (Node& n : nodes_) {
+    std::sort(n.fanout.begin(), n.fanout.end());
+    n.fanout.erase(std::unique(n.fanout.begin(), n.fanout.end()),
+                   n.fanout.end());
+  }
+
+  // Kahn levelization of the combinational graph. Sources: PIs, tie cells
+  // and flop outputs (a flop's Q is a new value each cycle, so its input
+  // pins do not contribute to combinational depth).
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  std::vector<int> pending(nodes_.size(), 0);
+  std::deque<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const bool source =
+        n.kind == NodeKind::kPrimaryInput ||
+        (n.kind == NodeKind::kCell &&
+         (lib_->type(n.type).is_flop() || lib_->type(n.type).is_tie()));
+    if (source) {
+      ready.push_back(static_cast<NodeId>(i));
+      pending[i] = 0;
+    } else {
+      pending[i] = static_cast<int>(n.fanin.size());
+      if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+    }
+  }
+  max_level_ = 0;
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    topo_.push_back(id);
+    Node& n = mut(id);
+    const bool source =
+        n.kind == NodeKind::kPrimaryInput ||
+        (n.kind == NodeKind::kCell &&
+         (lib_->type(n.type).is_flop() || lib_->type(n.type).is_tie()));
+    if (source) {
+      n.level = 0;
+    } else if (n.kind == NodeKind::kPrimaryOutput) {
+      // Ports don't add logic depth: a PO sits at its driver's level.
+      n.level = nodes_[static_cast<std::size_t>(n.fanin[0])].level;
+    } else {
+      std::int32_t lvl = 0;
+      for (const NodeId d : n.fanin) {
+        lvl = std::max(lvl, nodes_[static_cast<std::size_t>(d)].level + 1);
+      }
+      n.level = lvl;
+      max_level_ = std::max(max_level_, lvl);
+    }
+    for (const NodeId s : n.fanout) {
+      const Node& sink = nodes_[static_cast<std::size_t>(s)];
+      const bool sink_source =
+          sink.kind == NodeKind::kCell &&
+          (lib_->type(sink.type).is_flop() || lib_->type(sink.type).is_tie());
+      if (sink_source) continue;  // flops were already enqueued as sources
+      // A node with multiple pins fed by `id` decrements once per pin.
+      int arcs = 0;
+      for (const NodeId d : sink.fanin) {
+        if (d == id) ++arcs;
+      }
+      pending[static_cast<std::size_t>(s)] -= arcs;
+      if (pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  MOSS_CHECK(topo_.size() == nodes_.size(),
+             "combinational cycle detected in netlist " + name_);
+  finalized_ = true;
+}
+
+bool Netlist::is_flop(NodeId id) const {
+  const Node& n = node(id);
+  return n.kind == NodeKind::kCell && lib_->type(n.type).is_flop();
+}
+
+bool Netlist::is_comb_cell(NodeId id) const {
+  const Node& n = node(id);
+  return n.kind == NodeKind::kCell && lib_->type(n.type).is_comb();
+}
+
+const cell::CellType& Netlist::type_of(NodeId id) const {
+  const Node& n = node(id);
+  MOSS_CHECK(n.kind == NodeKind::kCell, "node " + n.name + " is a port");
+  return lib_->type(n.type);
+}
+
+double Netlist::output_load(NodeId id) const {
+  const Node& n = node(id);
+  double load = 0.0;
+  for (const NodeId s : n.fanout) {
+    const Node& sink = node(s);
+    if (sink.kind == NodeKind::kPrimaryOutput) {
+      load += 4.0;  // assumed external pin load, fF
+      continue;
+    }
+    const cell::CellType& t = lib_->type(sink.type);
+    for (std::size_t p = 0; p < sink.fanin.size(); ++p) {
+      if (sink.fanin[p] == id) load += t.pin_cap[p];
+    }
+  }
+  // Simple wire-load model: 0.8 fF per fanout branch.
+  load += 0.8 * static_cast<double>(n.fanout.size());
+  return load;
+}
+
+double Netlist::total_area() const {
+  double a = 0.0;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kCell) a += lib_->type(n.type).area;
+  }
+  return a;
+}
+
+NodeId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+NetlistStats stats(const Netlist& nl) {
+  NetlistStats s;
+  s.cells = nl.num_cells();
+  s.flops = nl.flops().size();
+  s.comb = nl.num_comb_cells();
+  s.inputs = nl.inputs().size();
+  s.outputs = nl.outputs().size();
+  s.levels = nl.max_level();
+  s.area = nl.total_area();
+  return s;
+}
+
+}  // namespace moss::netlist

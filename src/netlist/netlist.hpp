@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/library.hpp"
+
+namespace moss::netlist {
+
+/// Node identifier within a Netlist (primary ports and cell instances share
+/// one id space, so the netlist is directly usable as a graph).
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind : std::uint8_t {
+  kPrimaryInput,
+  kPrimaryOutput,
+  kCell,
+};
+
+/// One node of the gate-level netlist graph. Every cell has exactly one
+/// output net, so "node" and "net driver" coincide; edges are (driver,
+/// sink-pin) pairs recoverable from the ordered `fanin` list.
+struct Node {
+  NodeKind kind = NodeKind::kCell;
+  cell::CellTypeId type = cell::kInvalidCellType;  ///< kCell only
+  std::string name;
+
+  /// Ordered by sink pin index (pin k of the cell is driven by fanin[k]).
+  /// Primary outputs have exactly one fanin; primary inputs none.
+  std::vector<NodeId> fanin;
+  /// Derived on finalize(): every node this node drives (deduplicated).
+  std::vector<NodeId> fanout;
+
+  /// For flop cells: the RTL register bit this DFF implements (e.g.
+  /// "count[3]"). Provenance used by the RrNdM register-to-DFF alignment.
+  std::string rtl_register;
+
+  /// Combinational level: 0 for PIs/ties/flops (cycle sources), otherwise
+  /// 1 + max(level of fanins). Set by finalize().
+  std::int32_t level = 0;
+};
+
+/// Gate-level netlist over a standard-cell library: the structural modality
+/// MOSS models with its GNN. Build with the add_* calls, then finalize()
+/// to derive fanouts/levels and validate invariants.
+class Netlist {
+ public:
+  explicit Netlist(const cell::CellLibrary& lib, std::string name = "top")
+      : lib_(&lib), name_(std::move(name)) {}
+
+  NodeId add_input(const std::string& name);
+  NodeId add_output(const std::string& name, NodeId driver = kInvalidNode);
+  /// Fanins may contain kInvalidNode placeholders patched later via connect().
+  NodeId add_cell(cell::CellTypeId type, const std::string& name,
+                  std::vector<NodeId> fanins);
+  NodeId add_cell(const std::string& type_name, const std::string& name,
+                  std::vector<NodeId> fanins);
+
+  /// Set pin `pin` of node `sink` to be driven by `driver`.
+  void connect(NodeId sink, int pin, NodeId driver);
+  /// Record flop provenance (RTL register bit name).
+  void set_rtl_register(NodeId flop, std::string register_bit);
+
+  /// Derive fanout lists and levels; verifies that every pin is connected,
+  /// pin counts match the cell types, and the combinational logic is acyclic
+  /// (cycles through flops are fine — flops break them).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- Queries ------------------------------------------------------------
+  const cell::CellLibrary& library() const { return *lib_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& flops() const { return flops_; }
+
+  /// Cell instances only (excludes primary ports).
+  std::size_t num_cells() const { return num_cells_; }
+  /// Combinational cell instances.
+  std::size_t num_comb_cells() const { return num_cells_ - flops_.size(); }
+
+  bool is_flop(NodeId id) const;
+  bool is_comb_cell(NodeId id) const;
+  const cell::CellType& type_of(NodeId id) const;
+
+  /// Nodes in topological order for one combinational phase: PIs, ties and
+  /// flops first (level 0), then combinational cells by ascending level.
+  /// Available after finalize().
+  const std::vector<NodeId>& topo_order() const { return topo_; }
+  std::int32_t max_level() const { return max_level_; }
+
+  /// Estimated capacitive load (fF) seen by a node's output: sum of driven
+  /// pin caps plus a per-fanout wire estimate. Available after finalize().
+  double output_load(NodeId id) const;
+
+  /// Total cell area.
+  double total_area() const;
+
+  NodeId find(const std::string& name) const;
+
+ private:
+  Node& mut(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  const cell::CellLibrary* lib_;
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> flops_;
+  std::vector<NodeId> topo_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::size_t num_cells_ = 0;
+  std::int32_t max_level_ = 0;
+  bool finalized_ = false;
+};
+
+/// Summary statistics used by dataset reports and benches.
+struct NetlistStats {
+  std::size_t cells = 0;
+  std::size_t flops = 0;
+  std::size_t comb = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::int32_t levels = 0;
+  double area = 0.0;
+};
+
+NetlistStats stats(const Netlist& nl);
+
+}  // namespace moss::netlist

@@ -1,0 +1,70 @@
+#include "netlist/writer.hpp"
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss::netlist {
+
+namespace {
+
+/// Bracketed bit names ("a[3]") become escaped identifiers in structural
+/// Verilog; emit the simple escaped form "\a[3] " which all tools accept.
+std::string net_name(const std::string& name) {
+  if (name.find('[') == std::string::npos) return name;
+  return "\\" + name + " ";
+}
+
+}  // namespace
+
+std::string to_structural_verilog(const Netlist& nl) {
+  MOSS_CHECK(nl.finalized(), "structural writer needs a finalized netlist");
+  std::string out;
+  out += "module " + nl.name() + " (\n";
+  std::vector<std::string> ports;
+  if (!nl.flops().empty()) ports.push_back("  input clk");
+  for (const NodeId id : nl.inputs()) {
+    ports.push_back("  input " + net_name(nl.node(id).name));
+  }
+  for (const NodeId id : nl.outputs()) {
+    ports.push_back("  output " + net_name(nl.node(id).name));
+  }
+  out += join(ports, ",\n");
+  out += "\n);\n";
+
+  // One wire per cell output.
+  for (const Node& n : nl.nodes()) {
+    if (n.kind == NodeKind::kCell) {
+      out += "  wire " + net_name("n_" + n.name) + ";\n";
+    }
+  }
+
+  const auto driver_net = [&](NodeId id) {
+    const Node& n = nl.node(id);
+    return n.kind == NodeKind::kPrimaryInput ? net_name(n.name)
+                                             : net_name("n_" + n.name);
+  };
+
+  for (const Node& n : nl.nodes()) {
+    if (n.kind != NodeKind::kCell) continue;
+    const cell::CellType& t = nl.library().type(n.type);
+    out += "  " + t.name + " " + net_name(n.name) + " (";
+    std::vector<std::string> pins;
+    for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+      pins.push_back("." + t.pin_names[p] + "(" + driver_net(n.fanin[p]) +
+                     ")");
+    }
+    if (t.is_flop()) pins.push_back(".CK(clk)");
+    pins.push_back(".Y(" + net_name("n_" + n.name) + ")");
+    out += join(pins, ", ");
+    out += ");\n";
+  }
+
+  for (const NodeId id : nl.outputs()) {
+    out += "  assign " + net_name(nl.node(id).name) + " = " +
+           driver_net(nl.node(id).fanin[0]) + ";\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+}  // namespace moss::netlist

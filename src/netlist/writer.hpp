@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::netlist {
+
+/// Emit a finalized netlist as structural (gate-level) Verilog: one
+/// instance per cell with named pin connections, plus the implicit clock
+/// wired to every flop — the hand-off format real flows exchange.
+///
+/// Example output fragment:
+///   module top (input clk, input a, output y);
+///     wire n_u3_inv;
+///     INV u3_inv (.A(a), .Y(n_u3_inv));
+///     DFF r_q (.D(n_u3_inv), .CK(clk), .Q(n_r_q));
+///     assign y = n_r_q;
+///   endmodule
+std::string to_structural_verilog(const Netlist& nl);
+
+}  // namespace moss::netlist

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::power {
+
+/// Operating point for power evaluation.
+struct PowerOptions {
+  double vdd = 0.9;            ///< volts
+  double clock_ghz = 1.0;      ///< toggle rates are per cycle of this clock
+};
+
+/// Per-cell and total power (the PrimePower stand-in). Dynamic power uses
+/// toggle rates measured by the simulator:
+///   P_dyn(cell) = rate · f · (E_internal + ½ · C_load · Vdd²)
+/// plus per-cell leakage. Units: microwatts.
+struct PowerReport {
+  std::vector<double> cell_power_uw;  ///< indexed by NodeId (0 for ports)
+  double dynamic_uw = 0.0;
+  double leakage_uw = 0.0;
+  double total_uw = 0.0;
+};
+
+/// Compute the power report given per-node toggle rates (indexed by NodeId,
+/// as produced by sim::random_activity / Simulator::toggle_rates()).
+PowerReport analyze_power(const netlist::Netlist& nl,
+                          const std::vector<double>& toggle_rates,
+                          PowerOptions opts = {});
+
+}  // namespace moss::power

@@ -1,0 +1,180 @@
+#include "rtl/eval.hpp"
+
+namespace moss::rtl {
+
+Evaluator::Evaluator(const Module& m) : m_(&m) {
+  m.validate();
+  wire_order_ = m.wire_topo_order();
+  // Power-on state is all-zero, matching a gate-level netlist before the
+  // reset pulse; testbenches assert the reset input to reach reset values.
+  reg_values_.assign(m.regs.size(), 0);
+  outputs_.assign(m.outputs.size(), 0);
+}
+
+void Evaluator::reset() {
+  for (std::size_t i = 0; i < m_->regs.size(); ++i) {
+    const Register& r = m_->regs[i];
+    reg_values_[i] = r.has_reset ? r.reset_value : 0;
+  }
+}
+
+Evaluator::Env Evaluator::make_env(
+    const std::vector<std::uint64_t>& input_values) const {
+  MOSS_CHECK(input_values.size() == m_->inputs.size(),
+             "evaluator: wrong number of input values");
+  Env env;
+  env.inputs = &input_values;
+  env.wires.assign(m_->wires.size(), 0);
+  for (const int wi : wire_order_) {
+    env.wires[static_cast<std::size_t>(wi)] =
+        eval(m_->wires[static_cast<std::size_t>(wi)].expr, env);
+  }
+  return env;
+}
+
+void Evaluator::step(const std::vector<std::uint64_t>& input_values) {
+  const Env env = make_env(input_values);
+
+  for (std::size_t i = 0; i < m_->outputs.size(); ++i) {
+    // output_assigns is aligned with outputs by validate()'s invariant that
+    // each output has exactly one assignment; look it up by name to be safe.
+    for (const auto& [name, e] : m_->output_assigns) {
+      if (name == m_->outputs[i].name) {
+        outputs_[i] = eval(e, env);
+        break;
+      }
+    }
+  }
+
+  // Compute all next-state values against the pre-edge state, then commit.
+  std::vector<std::uint64_t> next = reg_values_;
+  const Symbol* rst_sym = m_->find_symbol(m_->reset_port);
+  const bool rst =
+      rst_sym && rst_sym->kind == SymbolKind::kInput &&
+      ((*env.inputs)[static_cast<std::size_t>(rst_sym->index)] & 1ull) != 0;
+  for (std::size_t i = 0; i < m_->regs.size(); ++i) {
+    const Register& r = m_->regs[i];
+    if (r.has_reset && rst) {
+      next[i] = r.reset_value;
+      continue;
+    }
+    if (r.enable != kInvalidExpr && (eval(r.enable, env) & 1ull) == 0) {
+      continue;  // hold
+    }
+    next[i] = eval(r.next, env) & width_mask(r.width);
+  }
+  reg_values_ = std::move(next);
+}
+
+std::vector<std::uint64_t> Evaluator::outputs_now(
+    const std::vector<std::uint64_t>& input_values) const {
+  const Env env = make_env(input_values);
+  std::vector<std::uint64_t> out(m_->outputs.size(), 0);
+  for (std::size_t i = 0; i < m_->outputs.size(); ++i) {
+    for (const auto& [name, e] : m_->output_assigns) {
+      if (name == m_->outputs[i].name) {
+        out[i] = eval(e, env);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Evaluator::eval(ExprId id, const Env& env) const {
+  const Expr& e = m_->arena.at(id);
+  const std::uint64_t mask = width_mask(e.width);
+  switch (e.op) {
+    case ExprOp::kConst:
+      return e.value;
+    case ExprOp::kVar: {
+      const Symbol* s = m_->find_symbol(e.var);
+      MOSS_CHECK(s != nullptr, "unresolved symbol " + e.var);
+      switch (s->kind) {
+        case SymbolKind::kInput:
+          return (*env.inputs)[static_cast<std::size_t>(s->index)] &
+                 width_mask(s->width);
+        case SymbolKind::kWire:
+          return env.wires[static_cast<std::size_t>(s->index)];
+        case SymbolKind::kRegister:
+          return reg_values_[static_cast<std::size_t>(s->index)];
+      }
+      return 0;
+    }
+    case ExprOp::kNot:
+      return ~eval(e.args[0], env) & mask;
+    case ExprOp::kNeg:
+      return (~eval(e.args[0], env) + 1ull) & mask;
+    case ExprOp::kRedAnd: {
+      const Expr& a = m_->arena.at(e.args[0]);
+      return eval(e.args[0], env) == width_mask(a.width) ? 1ull : 0ull;
+    }
+    case ExprOp::kRedOr:
+      return eval(e.args[0], env) != 0 ? 1ull : 0ull;
+    case ExprOp::kRedXor: {
+      std::uint64_t v = eval(e.args[0], env);
+      v ^= v >> 32;
+      v ^= v >> 16;
+      v ^= v >> 8;
+      v ^= v >> 4;
+      v ^= v >> 2;
+      v ^= v >> 1;
+      return v & 1ull;
+    }
+    case ExprOp::kAnd:
+      return eval(e.args[0], env) & eval(e.args[1], env);
+    case ExprOp::kOr:
+      return eval(e.args[0], env) | eval(e.args[1], env);
+    case ExprOp::kXor:
+      return eval(e.args[0], env) ^ eval(e.args[1], env);
+    case ExprOp::kAdd:
+      return (eval(e.args[0], env) + eval(e.args[1], env)) & mask;
+    case ExprOp::kSub:
+      return (eval(e.args[0], env) - eval(e.args[1], env)) & mask;
+    case ExprOp::kMul:
+      return (eval(e.args[0], env) * eval(e.args[1], env)) & mask;
+    case ExprOp::kShl: {
+      const std::uint64_t sh = eval(e.args[1], env);
+      return sh >= 64 ? 0 : (eval(e.args[0], env) << sh) & mask;
+    }
+    case ExprOp::kShr: {
+      const std::uint64_t sh = eval(e.args[1], env);
+      return sh >= 64 ? 0 : (eval(e.args[0], env) >> sh);
+    }
+    case ExprOp::kEq:
+      return eval(e.args[0], env) == eval(e.args[1], env) ? 1ull : 0ull;
+    case ExprOp::kNe:
+      return eval(e.args[0], env) != eval(e.args[1], env) ? 1ull : 0ull;
+    case ExprOp::kLt:
+      return eval(e.args[0], env) < eval(e.args[1], env) ? 1ull : 0ull;
+    case ExprOp::kLe:
+      return eval(e.args[0], env) <= eval(e.args[1], env) ? 1ull : 0ull;
+    case ExprOp::kMux:
+      return (eval(e.args[0], env) & 1ull) ? eval(e.args[1], env)
+                                           : eval(e.args[2], env);
+    case ExprOp::kBit:
+      return (eval(e.args[0], env) >> e.lo) & 1ull;
+    case ExprOp::kSlice:
+      return (eval(e.args[0], env) >> e.lo) & mask;
+    case ExprOp::kConcat: {
+      std::uint64_t v = 0;
+      for (const ExprId a : e.args) {  // MSB first
+        const Expr& part = m_->arena.at(a);
+        v = (v << part.width) | eval(a, env);
+      }
+      return v & mask;
+    }
+    case ExprOp::kZext:
+      return eval(e.args[0], env);
+    case ExprOp::kSext: {
+      const Expr& a = m_->arena.at(e.args[0]);
+      std::uint64_t v = eval(e.args[0], env);
+      const std::uint64_t sign = (v >> (a.width - 1)) & 1ull;
+      if (sign) v |= mask & ~width_mask(a.width);
+      return v;
+    }
+  }
+  fail("unreachable expression op");
+}
+
+}  // namespace moss::rtl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace moss::rtl {
+
+/// Word-level cycle-accurate evaluator of an RTL Module. This is the golden
+/// functional model: synthesis correctness and RTL↔netlist functional
+/// equivalence (the FEP task's ground truth) are defined against it.
+class Evaluator {
+ public:
+  explicit Evaluator(const Module& m);
+
+  /// Jump all registers to their reset values (registers without reset go
+  /// to 0). The constructor instead powers on at all-zero, matching the
+  /// gate-level simulator; drive the reset input to initialize properly.
+  void reset();
+
+  /// Advance one clock cycle with the given input values (by input port
+  /// order; values are masked to port width). Wires/outputs are evaluated
+  /// with the *pre-edge* register state, then registers commit.
+  void step(const std::vector<std::uint64_t>& input_values);
+
+  /// Output values as of the most recent step() (post-edge wires are not
+  /// re-evaluated; call outputs_now() for combinational outputs of the
+  /// current state and inputs).
+  const std::vector<std::uint64_t>& outputs() const { return outputs_; }
+
+  /// Current register values (by module register order).
+  const std::vector<std::uint64_t>& state() const { return reg_values_; }
+
+  /// Evaluate outputs for the current state and the given inputs, without
+  /// advancing the clock.
+  std::vector<std::uint64_t> outputs_now(
+      const std::vector<std::uint64_t>& input_values) const;
+
+ private:
+  struct Env {
+    const std::vector<std::uint64_t>* inputs;
+    std::vector<std::uint64_t> wires;
+  };
+
+  std::uint64_t eval(ExprId id, const Env& env) const;
+  Env make_env(const std::vector<std::uint64_t>& input_values) const;
+
+  const Module* m_;
+  std::vector<int> wire_order_;
+  std::vector<std::uint64_t> reg_values_;
+  std::vector<std::uint64_t> outputs_;
+};
+
+}  // namespace moss::rtl

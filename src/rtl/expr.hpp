@@ -1,0 +1,222 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core_util/check.hpp"
+
+namespace moss::rtl {
+
+/// Expression id inside an ExprArena.
+using ExprId = std::int32_t;
+inline constexpr ExprId kInvalidExpr = -1;
+
+/// Word-level RTL operators (a pragmatic synthesizable Verilog subset).
+enum class ExprOp : std::uint8_t {
+  kConst,   ///< literal, `value` holds the bits
+  kVar,     ///< reference to an input / wire / register by name
+  kNot,     ///< ~a (bitwise)
+  kNeg,     ///< -a (two's complement)
+  kRedAnd,  ///< &a  -> 1 bit
+  kRedOr,   ///< |a  -> 1 bit
+  kRedXor,  ///< ^a  -> 1 bit
+  kAnd,     ///< a & b
+  kOr,      ///< a | b
+  kXor,     ///< a ^ b
+  kAdd,     ///< a + b  (mod 2^w)
+  kSub,     ///< a - b  (mod 2^w)
+  kMul,     ///< a * b  (mod 2^w; pre-extend operands for widening mul)
+  kShl,     ///< a << b (b is an expression; result width = width(a))
+  kShr,     ///< a >> b (logical)
+  kEq,      ///< a == b -> 1 bit
+  kNe,      ///< a != b -> 1 bit
+  kLt,      ///< a <  b (unsigned) -> 1 bit
+  kLe,      ///< a <= b (unsigned) -> 1 bit
+  kMux,     ///< args {sel, t, f}: sel ? t : f
+  kBit,     ///< a[lo] -> 1 bit
+  kSlice,   ///< a[hi:lo]
+  kConcat,  ///< {args...} MSB-first
+  kZext,    ///< zero-extend a to `width`
+  kSext,    ///< sign-extend a to `width`
+};
+
+/// One expression node. Nodes are immutable once created and live in an
+/// ExprArena owned by the Module; sharing (DAG) is allowed and encouraged.
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  int width = 1;              ///< result width in bits (1..64)
+  std::uint64_t value = 0;    ///< kConst
+  std::string var;            ///< kVar: symbol name
+  std::vector<ExprId> args;   ///< operands
+  int lo = 0;                 ///< kBit (bit index) / kSlice (low bit)
+  int hi = 0;                 ///< kSlice (high bit)
+};
+
+/// Mask with the low `w` bits set.
+inline std::uint64_t width_mask(int w) {
+  return w >= 64 ? ~0ull : ((1ull << w) - 1ull);
+}
+
+/// Arena of expression nodes plus a typed builder API that validates widths
+/// at construction time, so a Module can never hold an ill-formed tree.
+class ExprArena {
+ public:
+  const Expr& at(ExprId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return nodes_.size(); }
+
+  ExprId constant(int width, std::uint64_t value) {
+    check_width(width);
+    Expr e;
+    e.op = ExprOp::kConst;
+    e.width = width;
+    e.value = value & width_mask(width);
+    return push(std::move(e));
+  }
+
+  ExprId var(const std::string& name, int width) {
+    check_width(width);
+    MOSS_CHECK(!name.empty(), "variable reference needs a name");
+    Expr e;
+    e.op = ExprOp::kVar;
+    e.width = width;
+    e.var = name;
+    return push(std::move(e));
+  }
+
+  ExprId unary(ExprOp op, ExprId a) {
+    const int aw = at(a).width;
+    Expr e;
+    e.op = op;
+    e.args = {a};
+    switch (op) {
+      case ExprOp::kNot:
+      case ExprOp::kNeg:
+        e.width = aw;
+        break;
+      case ExprOp::kRedAnd:
+      case ExprOp::kRedOr:
+      case ExprOp::kRedXor:
+        e.width = 1;
+        break;
+      default:
+        fail("not a unary op");
+    }
+    return push(std::move(e));
+  }
+
+  ExprId binary(ExprOp op, ExprId a, ExprId b) {
+    const int aw = at(a).width;
+    const int bw = at(b).width;
+    Expr e;
+    e.op = op;
+    e.args = {a, b};
+    switch (op) {
+      case ExprOp::kAnd:
+      case ExprOp::kOr:
+      case ExprOp::kXor:
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul:
+        MOSS_CHECK(aw == bw, "operand width mismatch (" +
+                                 std::to_string(aw) + " vs " +
+                                 std::to_string(bw) + ")");
+        e.width = aw;
+        break;
+      case ExprOp::kShl:
+      case ExprOp::kShr:
+        e.width = aw;
+        break;
+      case ExprOp::kEq:
+      case ExprOp::kNe:
+      case ExprOp::kLt:
+      case ExprOp::kLe:
+        MOSS_CHECK(aw == bw, "comparison width mismatch");
+        e.width = 1;
+        break;
+      default:
+        fail("not a binary op");
+    }
+    return push(std::move(e));
+  }
+
+  ExprId mux(ExprId sel, ExprId t, ExprId f) {
+    MOSS_CHECK(at(sel).width == 1, "mux select must be 1 bit");
+    MOSS_CHECK(at(t).width == at(f).width, "mux arm width mismatch");
+    Expr e;
+    e.op = ExprOp::kMux;
+    e.width = at(t).width;
+    e.args = {sel, t, f};
+    return push(std::move(e));
+  }
+
+  ExprId bit(ExprId a, int index) {
+    MOSS_CHECK(index >= 0 && index < at(a).width, "bit index out of range");
+    Expr e;
+    e.op = ExprOp::kBit;
+    e.width = 1;
+    e.args = {a};
+    e.lo = index;
+    return push(std::move(e));
+  }
+
+  ExprId slice(ExprId a, int hi, int lo) {
+    MOSS_CHECK(lo >= 0 && hi >= lo && hi < at(a).width,
+               "slice range out of bounds");
+    Expr e;
+    e.op = ExprOp::kSlice;
+    e.width = hi - lo + 1;
+    e.args = {a};
+    e.hi = hi;
+    e.lo = lo;
+    return push(std::move(e));
+  }
+
+  ExprId concat(std::vector<ExprId> parts_msb_first) {
+    MOSS_CHECK(!parts_msb_first.empty(), "empty concat");
+    int w = 0;
+    for (const ExprId p : parts_msb_first) w += at(p).width;
+    check_width(w);
+    Expr e;
+    e.op = ExprOp::kConcat;
+    e.width = w;
+    e.args = std::move(parts_msb_first);
+    return push(std::move(e));
+  }
+
+  ExprId zext(ExprId a, int width) {
+    MOSS_CHECK(width >= at(a).width, "zext must not narrow");
+    check_width(width);
+    if (width == at(a).width) return a;
+    Expr e;
+    e.op = ExprOp::kZext;
+    e.width = width;
+    e.args = {a};
+    return push(std::move(e));
+  }
+
+  ExprId sext(ExprId a, int width) {
+    MOSS_CHECK(width >= at(a).width, "sext must not narrow");
+    check_width(width);
+    if (width == at(a).width) return a;
+    Expr e;
+    e.op = ExprOp::kSext;
+    e.width = width;
+    e.args = {a};
+    return push(std::move(e));
+  }
+
+ private:
+  static void check_width(int w) {
+    MOSS_CHECK(w >= 1 && w <= 64, "widths must be 1..64 bits");
+  }
+  ExprId push(Expr e) {
+    nodes_.push_back(std::move(e));
+    return static_cast<ExprId>(nodes_.size() - 1);
+  }
+  std::vector<Expr> nodes_;
+};
+
+}  // namespace moss::rtl

@@ -1,0 +1,93 @@
+#include "rtl/lint.hpp"
+
+#include <set>
+
+namespace moss::rtl {
+
+namespace {
+
+void collect_vars(const Module& m, ExprId root, std::set<std::string>& out) {
+  if (root == kInvalidExpr) return;
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    const Expr& e = m.arena.at(stack.back());
+    stack.pop_back();
+    if (e.op == ExprOp::kVar) out.insert(e.var);
+    for (const ExprId a : e.args) stack.push_back(a);
+  }
+}
+
+}  // namespace
+
+std::vector<LintIssue> lint(const Module& m) {
+  m.validate();
+  std::vector<LintIssue> issues;
+
+  // Who reads what — per consumer kind, excluding self-reads of registers.
+  std::set<std::string> read_anywhere;
+  std::set<std::string> read_outside_self;  // for registers
+  for (const Wire& w : m.wires) {
+    std::set<std::string> deps;
+    collect_vars(m, w.expr, deps);
+    read_anywhere.insert(deps.begin(), deps.end());
+    read_outside_self.insert(deps.begin(), deps.end());
+  }
+  for (const Register& r : m.regs) {
+    std::set<std::string> deps;
+    collect_vars(m, r.next, deps);
+    collect_vars(m, r.enable, deps);
+    read_anywhere.insert(deps.begin(), deps.end());
+    for (const std::string& d : deps) {
+      if (d != r.name) read_outside_self.insert(d);
+    }
+  }
+  for (const auto& [name, e] : m.output_assigns) {
+    std::set<std::string> deps;
+    collect_vars(m, e, deps);
+    read_anywhere.insert(deps.begin(), deps.end());
+    read_outside_self.insert(deps.begin(), deps.end());
+  }
+
+  for (const Port& p : m.inputs) {
+    if (p.name == m.reset_port) continue;  // consumed implicitly
+    if (!read_anywhere.count(p.name)) {
+      issues.push_back({LintIssue::Kind::kUnusedInput, p.name,
+                        "input '" + p.name + "' is never read"});
+    }
+  }
+  for (const Wire& w : m.wires) {
+    if (!read_anywhere.count(w.name)) {
+      issues.push_back({LintIssue::Kind::kUnreadWire, w.name,
+                        "wire '" + w.name + "' is never read"});
+    }
+  }
+  for (const Register& r : m.regs) {
+    if (!read_outside_self.count(r.name)) {
+      issues.push_back(
+          {LintIssue::Kind::kUnreadRegister, r.name,
+           "register '" + r.name +
+               "' is read by nothing outside its own update"});
+    }
+    if (r.next != kInvalidExpr &&
+        m.arena.at(r.next).op == ExprOp::kConst) {
+      issues.push_back({LintIssue::Kind::kConstantRegister, r.name,
+                        "register '" + r.name +
+                            "' always loads a constant"});
+    }
+  }
+  if (m.outputs.empty()) {
+    issues.push_back({LintIssue::Kind::kNoOutputs, "",
+                      "module '" + m.name + "' has no outputs"});
+  }
+  return issues;
+}
+
+std::string to_string(const std::vector<LintIssue>& issues) {
+  std::string out;
+  for (const LintIssue& i : issues) {
+    out += "warning: " + i.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace moss::rtl

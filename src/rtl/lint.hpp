@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace moss::rtl {
+
+/// A lint finding on an RTL module.
+struct LintIssue {
+  enum class Kind {
+    kUnusedInput,      ///< input port read by nothing
+    kUnreadRegister,   ///< register consumed only by itself (or nothing)
+    kUnreadWire,       ///< wire referenced by nothing
+    kConstantRegister, ///< next-value is a constant (state never varies
+                       ///< after the first cycle)
+    kNoOutputs,        ///< module drives nothing
+  };
+  Kind kind;
+  std::string symbol;   ///< offending symbol ("" for module-level issues)
+  std::string message;  ///< human-readable description
+};
+
+/// Static checks a synthesis front-end would warn about. The module must
+/// validate() cleanly first. Findings are ordered by declaration order.
+std::vector<LintIssue> lint(const Module& m);
+
+/// Render issues as "warning: ..." lines.
+std::string to_string(const std::vector<LintIssue>& issues);
+
+}  // namespace moss::rtl

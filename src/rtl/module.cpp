@@ -1,0 +1,205 @@
+#include "rtl/module.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace moss::rtl {
+
+void Module::declare(const std::string& n, SymbolKind kind, int width,
+                     int index) {
+  MOSS_CHECK(!n.empty(), "empty symbol name");
+  MOSS_CHECK(symbols_.find(n) == symbols_.end(), "duplicate symbol: " + n);
+  symbols_.emplace(n, Symbol{kind, width, index});
+}
+
+ExprId Module::add_input(const std::string& n, int width) {
+  declare(n, SymbolKind::kInput, width, static_cast<int>(inputs.size()));
+  inputs.push_back(Port{n, width});
+  return arena.var(n, width);
+}
+
+ExprId Module::add_wire(const std::string& n, int width, ExprId expr) {
+  MOSS_CHECK(arena.at(expr).width == width,
+             "wire " + n + ": width mismatch with expression");
+  declare(n, SymbolKind::kWire, width, static_cast<int>(wires.size()));
+  wires.push_back(Wire{n, width, expr});
+  return arena.var(n, width);
+}
+
+ExprId Module::add_reg(const std::string& n, int width, bool has_reset,
+                       std::uint64_t reset_value) {
+  declare(n, SymbolKind::kRegister, width, static_cast<int>(regs.size()));
+  Register r;
+  r.name = n;
+  r.width = width;
+  r.has_reset = has_reset;
+  r.reset_value = reset_value & width_mask(width);
+  regs.push_back(std::move(r));
+  return arena.var(n, width);
+}
+
+void Module::set_next(const std::string& reg, ExprId next, ExprId enable) {
+  const Symbol* s = find_symbol(reg);
+  MOSS_CHECK(s && s->kind == SymbolKind::kRegister, "not a register: " + reg);
+  Register& r = regs[static_cast<std::size_t>(s->index)];
+  MOSS_CHECK(arena.at(next).width == r.width,
+             "register " + reg + ": next-value width mismatch");
+  if (enable != kInvalidExpr) {
+    MOSS_CHECK(arena.at(enable).width == 1,
+               "register " + reg + ": enable must be 1 bit");
+  }
+  r.next = next;
+  r.enable = enable;
+}
+
+void Module::set_role(const std::string& reg, std::string role_hint) {
+  const Symbol* s = find_symbol(reg);
+  MOSS_CHECK(s && s->kind == SymbolKind::kRegister, "not a register: " + reg);
+  regs[static_cast<std::size_t>(s->index)].role_hint = std::move(role_hint);
+}
+
+void Module::assign_output(const std::string& n, int width, ExprId expr) {
+  MOSS_CHECK(arena.at(expr).width == width,
+             "output " + n + ": width mismatch with expression");
+  for (const auto& [existing, _] : output_assigns) {
+    MOSS_CHECK(existing != n, "output assigned twice: " + n);
+  }
+  // The port may have been declared already (parser path) or not (builder
+  // path).
+  bool declared = false;
+  for (const Port& p : outputs) {
+    if (p.name == n) {
+      MOSS_CHECK(p.width == width, "output " + n + ": redeclared width");
+      declared = true;
+      break;
+    }
+  }
+  if (!declared) outputs.push_back(Port{n, width});
+  output_assigns.emplace_back(n, expr);
+}
+
+ExprId Module::declare_wire(const std::string& n, int width) {
+  declare(n, SymbolKind::kWire, width, static_cast<int>(wires.size()));
+  wires.push_back(Wire{n, width, kInvalidExpr});
+  return arena.var(n, width);
+}
+
+void Module::set_wire_expr(const std::string& n, ExprId expr) {
+  const Symbol* s = find_symbol(n);
+  MOSS_CHECK(s && s->kind == SymbolKind::kWire, "not a wire: " + n);
+  Wire& w = wires[static_cast<std::size_t>(s->index)];
+  MOSS_CHECK(w.expr == kInvalidExpr, "wire assigned twice: " + n);
+  MOSS_CHECK(arena.at(expr).width == w.width,
+             "wire " + n + ": width mismatch with expression");
+  w.expr = expr;
+}
+
+void Module::declare_output(const std::string& n, int width) {
+  for (const Port& p : outputs) {
+    MOSS_CHECK(p.name != n, "output declared twice: " + n);
+  }
+  outputs.push_back(Port{n, width});
+}
+
+const Symbol* Module::find_symbol(const std::string& n) const {
+  const auto it = symbols_.find(n);
+  return it == symbols_.end() ? nullptr : &it->second;
+}
+
+bool Module::has_input(const std::string& n) const {
+  const Symbol* s = find_symbol(n);
+  return s && s->kind == SymbolKind::kInput;
+}
+
+int Module::total_reg_bits() const {
+  int bits = 0;
+  for (const Register& r : regs) bits += r.width;
+  return bits;
+}
+
+namespace {
+
+/// Walk an expression, invoking `visit` on every kVar node.
+void for_each_var(const ExprArena& arena, ExprId root,
+                  const std::function<void(const Expr&)>& visit) {
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    const ExprId id = stack.back();
+    stack.pop_back();
+    const Expr& e = arena.at(id);
+    if (e.op == ExprOp::kVar) visit(e);
+    for (const ExprId a : e.args) stack.push_back(a);
+  }
+}
+
+}  // namespace
+
+void Module::validate() const {
+  const auto check_expr = [&](ExprId root, const std::string& where) {
+    for_each_var(arena, root, [&](const Expr& e) {
+      const Symbol* s = find_symbol(e.var);
+      MOSS_CHECK(s != nullptr, where + ": unresolved symbol " + e.var);
+      MOSS_CHECK(s->width == e.width,
+                 where + ": symbol " + e.var + " declared " +
+                     std::to_string(s->width) + " bits, referenced as " +
+                     std::to_string(e.width));
+    });
+  };
+
+  for (const Wire& w : wires) {
+    MOSS_CHECK(w.expr != kInvalidExpr, "wire " + w.name + " never assigned");
+    check_expr(w.expr, "wire " + w.name);
+  }
+  for (const Register& r : regs) {
+    MOSS_CHECK(r.next != kInvalidExpr,
+               "register " + r.name + " has no next-value assignment");
+    MOSS_CHECK(arena.at(r.next).width == r.width,
+               "register " + r.name + ": next width mismatch");
+    check_expr(r.next, "register " + r.name);
+    if (r.enable != kInvalidExpr) check_expr(r.enable, "enable of " + r.name);
+    if (r.has_reset) {
+      const Symbol* s = find_symbol(reset_port);
+      MOSS_CHECK(s && s->kind == SymbolKind::kInput && s->width == 1,
+                 "module uses synchronous reset but has no 1-bit input '" +
+                     reset_port + "'");
+    }
+  }
+  MOSS_CHECK(output_assigns.size() == outputs.size(),
+             "every output needs exactly one assignment");
+  for (const auto& [n, e] : output_assigns) {
+    check_expr(e, "output " + n);
+  }
+  (void)wire_topo_order();  // throws on combinational wire cycles
+}
+
+std::vector<int> Module::wire_topo_order() const {
+  // Dependencies: wire -> wires referenced by its expression.
+  const int n = static_cast<int>(wires.size());
+  std::vector<std::vector<int>> deps(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for_each_var(arena, wires[static_cast<std::size_t>(i)].expr,
+                 [&](const Expr& e) {
+                   const Symbol* s = find_symbol(e.var);
+                   if (s && s->kind == SymbolKind::kWire) {
+                     deps[static_cast<std::size_t>(i)].push_back(s->index);
+                   }
+                 });
+  }
+  std::vector<int> state(static_cast<std::size_t>(n), 0);  // 0 new 1 open 2 done
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  const std::function<void(int)> dfs = [&](int i) {
+    if (state[static_cast<std::size_t>(i)] == 2) return;
+    MOSS_CHECK(state[static_cast<std::size_t>(i)] != 1,
+               "combinational cycle through wire " +
+                   wires[static_cast<std::size_t>(i)].name);
+    state[static_cast<std::size_t>(i)] = 1;
+    for (const int d : deps[static_cast<std::size_t>(i)]) dfs(d);
+    state[static_cast<std::size_t>(i)] = 2;
+    order.push_back(i);
+  };
+  for (int i = 0; i < n; ++i) dfs(i);
+  return order;
+}
+
+}  // namespace moss::rtl

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/expr.hpp"
+
+namespace moss::rtl {
+
+/// A module port or declared net.
+struct Port {
+  std::string name;
+  int width = 1;
+};
+
+/// A named combinational net: `assign name = expr;`.
+struct Wire {
+  std::string name;
+  int width = 1;
+  ExprId expr = kInvalidExpr;
+};
+
+/// One RTL register (a whole vector, not a bit). Semantics per clock edge:
+///   if (has_reset && rst)  q <= reset_value;
+///   else if (enable != kInvalidExpr && !enable)  q <= q;
+///   else  q <= next;
+/// `rst` is the module input named by Module::reset_port.
+struct Register {
+  std::string name;
+  int width = 1;
+  bool has_reset = false;
+  std::uint64_t reset_value = 0;
+  ExprId enable = kInvalidExpr;  ///< 1-bit expression, optional
+  ExprId next = kInvalidExpr;
+
+  /// Optional short role hint emitted into the register description prompt
+  /// (e.g. "accumulator", "shift stage"). Generators set this.
+  std::string role_hint;
+};
+
+/// Symbol kinds visible inside expressions.
+enum class SymbolKind : std::uint8_t { kInput, kWire, kRegister };
+
+struct Symbol {
+  SymbolKind kind;
+  int width;
+  int index;  ///< index into the corresponding Module vector
+};
+
+/// A synthesizable RTL module: the textual/functional modality of MOSS.
+/// All registers share one implicit clock `clk`; synchronous reset uses the
+/// input named `reset_port` (when any register has_reset).
+class Module {
+ public:
+  std::string name = "top";
+  std::string reset_port = "rst";
+
+  ExprArena arena;
+  std::vector<Port> inputs;
+  std::vector<Port> outputs;
+  std::vector<Wire> wires;
+  std::vector<Register> regs;
+  /// output port name -> driving expression
+  std::vector<std::pair<std::string, ExprId>> output_assigns;
+
+  // -- Construction helpers ------------------------------------------------
+  ExprId add_input(const std::string& n, int width);
+  /// Declares the wire and returns a kVar expression referring to it.
+  ExprId add_wire(const std::string& n, int width, ExprId expr);
+  /// Declares the register and returns a kVar expression for its Q value.
+  /// Set `next` later via set_next() (allows feedback through the var).
+  ExprId add_reg(const std::string& n, int width, bool has_reset = true,
+                 std::uint64_t reset_value = 0);
+  void set_next(const std::string& reg, ExprId next,
+                ExprId enable = kInvalidExpr);
+  void set_role(const std::string& reg, std::string role_hint);
+  void assign_output(const std::string& n, int width, ExprId expr);
+
+  // Declare-then-define API (used by the parser's two-pass flow).
+  /// Declare a wire without a driving expression yet; returns its var.
+  ExprId declare_wire(const std::string& n, int width);
+  void set_wire_expr(const std::string& n, ExprId expr);
+  /// Declare an output port without an assignment yet.
+  void declare_output(const std::string& n, int width);
+
+  // -- Queries --------------------------------------------------------------
+  const Symbol* find_symbol(const std::string& n) const;
+  bool has_input(const std::string& n) const;
+
+  /// Total register bits (== DFF count after synthesis, pre-optimization).
+  int total_reg_bits() const;
+
+  /// Full validation: every var resolves with matching width, every register
+  /// has a next expression of its width, enables are 1 bit, outputs are
+  /// assigned exactly once, wire dependencies are acyclic.
+  void validate() const;
+
+  /// Wire evaluation order (wires may reference other wires; this is the
+  /// topological order of those dependencies). Computed by validate(); also
+  /// available directly.
+  std::vector<int> wire_topo_order() const;
+
+ private:
+  void declare(const std::string& n, SymbolKind kind, int width, int index);
+  std::unordered_map<std::string, Symbol> symbols_;
+};
+
+}  // namespace moss::rtl

@@ -1,0 +1,666 @@
+#include "rtl/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "core_util/strings.hpp"
+
+namespace moss::rtl {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kNumber,       // unsized decimal
+  kSizedNumber,  // W'dNNN etc.
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;          // ident or punct spelling
+  std::uint64_t value = 0;   // numbers
+  int width = 0;             // sized numbers
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space_and_comments();
+      if (pos_ >= s_.size()) break;
+      out.push_back(next());
+    }
+    out.push_back(Token{Tok::kEnd, "", 0, 0, line_});
+    return out;
+  }
+
+ private:
+  [[noreturn]] void err(const std::string& msg) const {
+    throw ParseError("verilog parse error at line " + std::to_string(line_) +
+                     ": " + msg);
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+        while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < s_.size() &&
+               !(s_[pos_] == '*' && s_[pos_ + 1] == '/')) {
+          if (s_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= s_.size()) err("unterminated block comment");
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token next() {
+    const char c = s_[pos_];
+    Token t;
+    t.line = line_;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t e = pos_;
+      while (e < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[e])) ||
+                               s_[e] == '_')) {
+        ++e;
+      }
+      t.kind = Tok::kIdent;
+      t.text = std::string(s_.substr(pos_, e - pos_));
+      pos_ = e;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = pos_;
+      std::uint64_t v = 0;
+      while (e < s_.size() && std::isdigit(static_cast<unsigned char>(s_[e]))) {
+        v = v * 10 + static_cast<std::uint64_t>(s_[e] - '0');
+        ++e;
+      }
+      if (e < s_.size() && s_[e] == '\'') {
+        // sized literal: WIDTH ' BASE DIGITS
+        ++e;
+        if (e >= s_.size()) err("truncated sized literal");
+        const char base = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s_[e])));
+        ++e;
+        int radix = 0;
+        if (base == 'd') radix = 10;
+        else if (base == 'b') radix = 2;
+        else if (base == 'h') radix = 16;
+        else err(std::string("unsupported literal base '") + base + "'");
+        std::uint64_t lv = 0;
+        bool any = false;
+        while (e < s_.size()) {
+          const char d = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(s_[e])));
+          int dv;
+          if (d >= '0' && d <= '9') dv = d - '0';
+          else if (d >= 'a' && d <= 'f') dv = 10 + (d - 'a');
+          else if (d == '_') { ++e; continue; }
+          else break;
+          if (dv >= radix) break;
+          lv = lv * static_cast<std::uint64_t>(radix) +
+               static_cast<std::uint64_t>(dv);
+          any = true;
+          ++e;
+        }
+        if (!any) err("sized literal with no digits");
+        if (v < 1 || v > 64) err("literal width must be 1..64");
+        t.kind = Tok::kSizedNumber;
+        t.width = static_cast<int>(v);
+        t.value = lv & width_mask(t.width);
+        pos_ = e;
+        return t;
+      }
+      t.kind = Tok::kNumber;
+      t.value = v;
+      pos_ = e;
+      return t;
+    }
+    // punctuation, longest-match first
+    static const char* kTwo[] = {"<=", ">=", "==", "!=", "<<", ">>"};
+    for (const char* p : kTwo) {
+      if (s_.substr(pos_, 2) == p) {
+        t.kind = Tok::kPunct;
+        t.text = p;
+        pos_ += 2;
+        return t;
+      }
+    }
+    static const std::string kOne = "()[]{}<>,;:=@?~^&|+-*/";
+    if (kOne.find(c) != std::string::npos) {
+      t.kind = Tok::kPunct;
+      t.text = std::string(1, c);
+      ++pos_;
+      return t;
+    }
+    err(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : toks_(Lexer(text).run()) {}
+
+  Module run() {
+    collect_declarations();
+    parse_bodies();
+    m_.validate();
+    return std::move(m_);
+  }
+
+ private:
+  [[noreturn]] void err(const std::string& msg) const {
+    throw ParseError("verilog parse error at line " +
+                     std::to_string(peek().line) + ": " + msg);
+  }
+
+  const Token& peek(int k = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(k);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& take() {
+    const Token& t = peek();
+    if (t.kind != Tok::kEnd) ++pos_;
+    return t;
+  }
+  bool at_punct(const char* p) const {
+    return peek().kind == Tok::kPunct && peek().text == p;
+  }
+  bool at_ident(const char* w) const {
+    return peek().kind == Tok::kIdent && peek().text == w;
+  }
+  void expect_punct(const char* p) {
+    if (!at_punct(p)) err(std::string("expected '") + p + "', got '" +
+                          peek().text + "'");
+    ++pos_;
+  }
+  std::string expect_ident() {
+    if (peek().kind != Tok::kIdent) err("expected identifier");
+    return take().text;
+  }
+
+  /// Parse optional `[hi:lo]`; returns width (lo must be 0).
+  int parse_range() {
+    if (!at_punct("[")) return 1;
+    ++pos_;
+    if (peek().kind != Tok::kNumber) err("expected constant range bound");
+    const int hi = static_cast<int>(take().value);
+    expect_punct(":");
+    if (peek().kind != Tok::kNumber) err("expected constant range bound");
+    const int lo = static_cast<int>(take().value);
+    expect_punct("]");
+    if (lo != 0) err("declarations must use [N:0] ranges");
+    return hi + 1;
+  }
+
+  // ---- pass 1: declarations ----------------------------------------------
+  void collect_declarations() {
+    pos_ = 0;
+    if (!at_ident("module")) err("expected 'module'");
+    ++pos_;
+    m_.name = expect_ident();
+    while (peek().kind != Tok::kEnd) {
+      if (at_ident("input") || at_ident("output") || at_ident("wire") ||
+          at_ident("reg")) {
+        const std::string kind = take().text;
+        const int width = parse_range();
+        while (true) {
+          const std::string name = expect_ident();
+          declare(kind, name, width);
+          // `input a, b;` — continue only when a bare identifier follows.
+          if (at_punct(",") && peek(1).kind == Tok::kIdent &&
+              !is_decl_keyword(peek(1).text)) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  static bool is_decl_keyword(const std::string& s) {
+    return s == "input" || s == "output" || s == "wire" || s == "reg";
+  }
+
+  void declare(const std::string& kind, const std::string& name, int width) {
+    if (kind == "input") {
+      if (name == "clk" && width == 1) return;  // implicit clock
+      m_.add_input(name, width);
+      if ((name == "rst" || name == "reset" || name == "rst_n") &&
+          width == 1 && !saw_reset_) {
+        m_.reset_port = name;
+        saw_reset_ = true;
+      }
+    } else if (kind == "output") {
+      m_.declare_output(name, width);
+    } else if (kind == "wire") {
+      m_.declare_wire(name, width);
+    } else {  // reg
+      m_.add_reg(name, width, /*has_reset=*/false);
+    }
+  }
+
+  // ---- pass 2: bodies -----------------------------------------------------
+  void parse_bodies() {
+    pos_ = 0;
+    while (peek().kind != Tok::kEnd) {
+      if (at_ident("assign")) {
+        ++pos_;
+        parse_assign();
+      } else if (at_ident("always")) {
+        ++pos_;
+        parse_always();
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  void parse_assign() {
+    const std::string name = expect_ident();
+    expect_punct("=");
+    const ExprId e = parse_expr();
+    expect_punct(";");
+    const Symbol* s = m_.find_symbol(name);
+    if (s && s->kind == SymbolKind::kWire) {
+      m_.set_wire_expr(name, e);
+      return;
+    }
+    // Must be an output.
+    for (const Port& p : m_.outputs) {
+      if (p.name == name) {
+        m_.assign_output(name, p.width, e);
+        return;
+      }
+    }
+    err("assign target '" + name + "' is not a wire or output");
+  }
+
+  void parse_always() {
+    expect_punct("@");
+    expect_punct("(");
+    if (!at_ident("posedge")) err("only posedge-clocked always supported");
+    ++pos_;
+    const std::string clk = expect_ident();
+    if (clk != "clk") err("clock must be named 'clk'");
+    expect_punct(")");
+    const bool block = at_ident("begin");
+    if (block) ++pos_;
+    if (block) {
+      while (!at_ident("end")) {
+        if (peek().kind == Tok::kEnd) err("unterminated always block");
+        parse_seq_statement();
+      }
+      ++pos_;  // end
+    } else {
+      parse_seq_statement();
+    }
+  }
+
+  struct Nba {
+    std::string reg;
+    ExprId value;
+  };
+
+  Nba parse_nba() {
+    const std::string name = expect_ident();
+    const Symbol* s = m_.find_symbol(name);
+    if (!s || s->kind != SymbolKind::kRegister) {
+      err("nonblocking assignment to non-register '" + name + "'");
+    }
+    expect_punct("<=");
+    const ExprId v = parse_expr();
+    expect_punct(";");
+    if (m_.arena.at(v).width != s->width) {
+      err("register '" + name + "': assigned width mismatch");
+    }
+    return Nba{name, v};
+  }
+
+  Register& reg_of(const std::string& name) {
+    const Symbol* s = m_.find_symbol(name);
+    MOSS_CHECK(s && s->kind == SymbolKind::kRegister, "not a register");
+    return m_.regs[static_cast<std::size_t>(s->index)];
+  }
+
+  void parse_seq_statement() {
+    if (at_ident("case")) {
+      parse_case_statement();
+      return;
+    }
+    if (!at_ident("if")) {
+      const Nba a = parse_nba();
+      m_.set_next(a.reg, a.value);
+      return;
+    }
+    ++pos_;  // if
+    expect_punct("(");
+    const ExprId cond1 = parse_expr();
+    expect_punct(")");
+    const bool is_reset = is_reset_ref(cond1);
+    const Nba a1 = parse_nba();
+
+    if (!at_ident("else")) {
+      if (is_reset) {
+        // `if (rst) r <= C;` — reset with hold otherwise.
+        set_reset(a1);
+        m_.set_next(a1.reg, m_.arena.var(a1.reg, reg_of(a1.reg).width));
+      } else {
+        // `if (en) r <= x;` — enabled update.
+        m_.set_next(a1.reg, a1.value, cond1);
+      }
+      return;
+    }
+    ++pos_;  // else
+
+    if (at_ident("if")) {
+      // `if (rst) r <= C; else if (en) r <= x;`
+      if (!is_reset) err("nested if-chains only supported after a reset arm");
+      ++pos_;
+      expect_punct("(");
+      const ExprId en = parse_expr();
+      expect_punct(")");
+      const Nba a2 = parse_nba();
+      if (a2.reg != a1.reg) err("if-chain arms assign different registers");
+      set_reset(a1);
+      m_.set_next(a1.reg, a2.value, en);
+      return;
+    }
+
+    const Nba a2 = parse_nba();
+    if (a2.reg != a1.reg) err("if/else arms assign different registers");
+    if (is_reset) {
+      // `if (rst) r <= C; else r <= x;`
+      set_reset(a1);
+      m_.set_next(a1.reg, a2.value);
+    } else {
+      // `if (c) r <= x; else r <= y;`  ->  r <= c ? x : y
+      m_.set_next(a1.reg, m_.arena.mux(cond1, a1.value, a2.value));
+    }
+  }
+
+  /// `case (sel) C0: r <= e0; ... default: r <= ed; endcase` — all arms
+  /// must assign the same register; a missing default means hold. Lowers to
+  /// a chain of equality-muxes (priority order is irrelevant for constant,
+  /// distinct case labels).
+  void parse_case_statement() {
+    ++pos_;  // case
+    expect_punct("(");
+    const ExprId sel = parse_expr();
+    expect_punct(")");
+    struct Arm {
+      ExprId match;  // kInvalidExpr for default
+      Nba assign;
+    };
+    std::vector<Arm> arms;
+    std::string target;
+    bool has_default = false;
+    while (!at_ident("endcase")) {
+      if (peek().kind == Tok::kEnd) err("unterminated case statement");
+      ExprId match = kInvalidExpr;
+      if (at_ident("default")) {
+        ++pos_;
+        has_default = true;
+      } else {
+        if (peek().kind != Tok::kSizedNumber) {
+          err("case labels must be sized literals");
+        }
+        const Token& t = take();
+        if (t.width != m_.arena.at(sel).width) {
+          err("case label width must match the selector");
+        }
+        match = m_.arena.constant(t.width, t.value);
+      }
+      expect_punct(":");
+      Arm arm{match, parse_nba()};
+      if (target.empty()) {
+        target = arm.assign.reg;
+      } else if (arm.assign.reg != target) {
+        err("case arms must all assign the same register");
+      }
+      arms.push_back(std::move(arm));
+    }
+    ++pos_;  // endcase
+    if (arms.empty()) err("empty case statement");
+
+    // Fold from the fallback value backwards.
+    const Symbol* s = m_.find_symbol(target);
+    ExprId value = m_.arena.var(target, s->width);  // hold by default
+    if (has_default) {
+      for (const Arm& a : arms) {
+        if (a.match == kInvalidExpr) value = a.assign.value;
+      }
+    }
+    for (auto it = arms.rbegin(); it != arms.rend(); ++it) {
+      if (it->match == kInvalidExpr) continue;
+      value = m_.arena.mux(m_.arena.binary(ExprOp::kEq, sel, it->match),
+                           it->assign.value, value);
+    }
+    m_.set_next(target, value);
+  }
+
+  bool is_reset_ref(ExprId e) const {
+    const Expr& x = m_.arena.at(e);
+    return x.op == ExprOp::kVar && x.var == m_.reset_port && saw_reset_;
+  }
+
+  void set_reset(const Nba& arm) {
+    const Expr& v = m_.arena.at(arm.value);
+    if (v.op != ExprOp::kConst) err("reset value must be a constant literal");
+    Register& r = reg_of(arm.reg);
+    r.has_reset = true;
+    r.reset_value = v.value;
+  }
+
+  // ---- expressions (Verilog precedence, lowest first) ---------------------
+  ExprId parse_expr() { return parse_ternary(); }
+
+  ExprId parse_ternary() {
+    const ExprId c = parse_bor();
+    if (!at_punct("?")) return c;
+    ++pos_;
+    const ExprId t = parse_ternary();
+    expect_punct(":");
+    const ExprId f = parse_ternary();
+    return m_.arena.mux(c, t, f);
+  }
+
+  ExprId parse_bor() {
+    ExprId a = parse_bxor();
+    while (at_punct("|")) {
+      ++pos_;
+      a = m_.arena.binary(ExprOp::kOr, a, parse_bxor());
+    }
+    return a;
+  }
+
+  ExprId parse_bxor() {
+    ExprId a = parse_band();
+    while (at_punct("^")) {
+      ++pos_;
+      a = m_.arena.binary(ExprOp::kXor, a, parse_band());
+    }
+    return a;
+  }
+
+  ExprId parse_band() {
+    ExprId a = parse_equality();
+    while (at_punct("&")) {
+      ++pos_;
+      a = m_.arena.binary(ExprOp::kAnd, a, parse_equality());
+    }
+    return a;
+  }
+
+  ExprId parse_equality() {
+    ExprId a = parse_relational();
+    while (at_punct("==") || at_punct("!=")) {
+      const bool eq = take().text == "==";
+      a = m_.arena.binary(eq ? ExprOp::kEq : ExprOp::kNe, a,
+                          parse_relational());
+    }
+    return a;
+  }
+
+  ExprId parse_relational() {
+    ExprId a = parse_shift();
+    while (at_punct("<") || at_punct("<=") || at_punct(">") || at_punct(">=")) {
+      const std::string op = take().text;
+      const ExprId b = parse_shift();
+      if (op == "<") a = m_.arena.binary(ExprOp::kLt, a, b);
+      else if (op == "<=") a = m_.arena.binary(ExprOp::kLe, a, b);
+      else if (op == ">") a = m_.arena.binary(ExprOp::kLt, b, a);
+      else a = m_.arena.binary(ExprOp::kLe, b, a);
+    }
+    return a;
+  }
+
+  ExprId parse_shift() {
+    ExprId a = parse_additive();
+    while (at_punct("<<") || at_punct(">>")) {
+      const bool left = take().text == "<<";
+      a = m_.arena.binary(left ? ExprOp::kShl : ExprOp::kShr, a,
+                          parse_additive());
+    }
+    return a;
+  }
+
+  ExprId parse_additive() {
+    ExprId a = parse_mul();
+    while (at_punct("+") || at_punct("-")) {
+      const bool add = take().text == "+";
+      a = m_.arena.binary(add ? ExprOp::kAdd : ExprOp::kSub, a, parse_mul());
+    }
+    return a;
+  }
+
+  ExprId parse_mul() {
+    ExprId a = parse_unary();
+    while (at_punct("*")) {
+      ++pos_;
+      a = m_.arena.binary(ExprOp::kMul, a, parse_unary());
+    }
+    return a;
+  }
+
+  ExprId parse_unary() {
+    if (at_punct("~")) {
+      ++pos_;
+      return m_.arena.unary(ExprOp::kNot, parse_unary());
+    }
+    if (at_punct("-")) {
+      ++pos_;
+      return m_.arena.unary(ExprOp::kNeg, parse_unary());
+    }
+    if (at_punct("&")) {
+      ++pos_;
+      return m_.arena.unary(ExprOp::kRedAnd, parse_unary());
+    }
+    if (at_punct("|")) {
+      ++pos_;
+      return m_.arena.unary(ExprOp::kRedOr, parse_unary());
+    }
+    if (at_punct("^")) {
+      ++pos_;
+      return m_.arena.unary(ExprOp::kRedXor, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprId parse_primary() {
+    if (at_punct("(")) {
+      ++pos_;
+      const ExprId e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (at_punct("{")) return parse_concat();
+    if (peek().kind == Tok::kSizedNumber) {
+      const Token& t = take();
+      return m_.arena.constant(t.width, t.value);
+    }
+    if (peek().kind == Tok::kNumber) err("unsized literal in expression");
+    if (peek().kind == Tok::kIdent) {
+      const std::string name = take().text;
+      const Symbol* s = m_.find_symbol(name);
+      if (!s) err("unknown symbol '" + name + "'");
+      ExprId v = m_.arena.var(name, s->width);
+      if (at_punct("[")) {
+        ++pos_;
+        if (peek().kind != Tok::kNumber) err("expected constant bit index");
+        const int hi = static_cast<int>(take().value);
+        if (at_punct(":")) {
+          ++pos_;
+          if (peek().kind != Tok::kNumber) err("expected constant low index");
+          const int lo = static_cast<int>(take().value);
+          expect_punct("]");
+          return m_.arena.slice(v, hi, lo);
+        }
+        expect_punct("]");
+        return m_.arena.bit(v, hi);
+      }
+      return v;
+    }
+    err("expected expression");
+  }
+
+  ExprId parse_concat() {
+    expect_punct("{");
+    // Replication `{k{expr}}`?
+    if (peek().kind == Tok::kNumber && peek(1).kind == Tok::kPunct &&
+        peek(1).text == "{") {
+      const int k = static_cast<int>(take().value);
+      if (k < 1) err("replication count must be >= 1");
+      expect_punct("{");
+      const ExprId e = parse_expr();
+      expect_punct("}");
+      expect_punct("}");
+      std::vector<ExprId> parts(static_cast<std::size_t>(k), e);
+      return m_.arena.concat(std::move(parts));
+    }
+    std::vector<ExprId> parts;
+    parts.push_back(parse_expr());
+    while (at_punct(",")) {
+      ++pos_;
+      parts.push_back(parse_expr());
+    }
+    expect_punct("}");
+    return parts.size() == 1 ? parts[0] : m_.arena.concat(std::move(parts));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  Module m_;
+  bool saw_reset_ = false;
+};
+
+}  // namespace
+
+Module parse_verilog(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace moss::rtl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rtl/module.hpp"
+
+namespace moss::rtl {
+
+/// Error raised on malformed input, with line information in the message.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Parse a synthesizable Verilog subset into a Module. Supported grammar
+/// (everything rtl::to_verilog emits, plus modest hand-written flexibility):
+///
+///   module NAME ( port_decl, ... );
+///     input [W-1:0] a;  output [W-1:0] y;   // also inline in port list
+///     wire [W-1:0] w;   reg [W-1:0] r;
+///     assign w = expr;  assign y = expr;
+///     always @(posedge clk) begin
+///       r <= expr;
+///       if (rst) r <= 8'd0; else r <= expr;
+///       if (rst) r <= 8'd0; else if (en) r <= expr;
+///       if (en) r <= expr;
+///     end
+///   endmodule
+///
+/// Expressions: sized literals (8'd255, 4'b1010, 8'hFF), identifiers,
+/// bit/part selects on identifiers, concatenation {a, b}, replication
+/// {4{x}}, unary ~ - & | ^, binary & | ^ + - * << >> == != < <= > >=,
+/// ternary ?:, parentheses. Verilog precedence. All literals must be sized;
+/// binary operands must have equal widths (shift amounts excepted).
+///
+/// The 1-bit input named "clk" is treated as the implicit clock and is not
+/// added to Module::inputs.
+Module parse_verilog(std::string_view text);
+
+}  // namespace moss::rtl

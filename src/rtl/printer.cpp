@@ -1,0 +1,244 @@
+#include "rtl/printer.hpp"
+
+#include "core_util/strings.hpp"
+
+namespace moss::rtl {
+
+namespace {
+
+/// Verilog operator precedence (higher binds tighter).
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::kMux:
+      return 1;
+    case ExprOp::kOr:
+      return 2;
+    case ExprOp::kXor:
+      return 3;
+    case ExprOp::kAnd:
+      return 4;
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+      return 5;
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+      return 6;
+    case ExprOp::kShl:
+    case ExprOp::kShr:
+      return 7;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+      return 8;
+    case ExprOp::kMul:
+      return 9;
+    case ExprOp::kNot:
+    case ExprOp::kNeg:
+    case ExprOp::kRedAnd:
+    case ExprOp::kRedOr:
+    case ExprOp::kRedXor:
+      return 10;
+    default:
+      return 11;  // primary
+  }
+}
+
+const char* op_token(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAnd:
+      return "&";
+    case ExprOp::kOr:
+      return "|";
+    case ExprOp::kXor:
+      return "^";
+    case ExprOp::kAdd:
+      return "+";
+    case ExprOp::kSub:
+      return "-";
+    case ExprOp::kMul:
+      return "*";
+    case ExprOp::kShl:
+      return "<<";
+    case ExprOp::kShr:
+      return ">>";
+    case ExprOp::kEq:
+      return "==";
+    case ExprOp::kNe:
+      return "!=";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    default:
+      return "?";
+  }
+}
+
+class Printer {
+ public:
+  explicit Printer(const Module& m) : m_(m) {}
+
+  std::string expr(ExprId id, int parent_prec) const {
+    const Expr& e = m_.arena.at(id);
+    const int prec = precedence(e.op);
+    std::string s;
+    switch (e.op) {
+      case ExprOp::kConst:
+        s = strprintf("%d'd%llu", e.width,
+                      static_cast<unsigned long long>(e.value));
+        break;
+      case ExprOp::kVar:
+        s = e.var;
+        break;
+      case ExprOp::kNot:
+        s = "~" + expr(e.args[0], prec);
+        break;
+      case ExprOp::kNeg:
+        s = "-" + expr(e.args[0], prec);
+        break;
+      case ExprOp::kRedAnd:
+        s = "&" + expr(e.args[0], prec);
+        break;
+      case ExprOp::kRedOr:
+        s = "|" + expr(e.args[0], prec);
+        break;
+      case ExprOp::kRedXor:
+        s = "^" + expr(e.args[0], prec);
+        break;
+      case ExprOp::kAnd:
+      case ExprOp::kOr:
+      case ExprOp::kXor:
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul:
+      case ExprOp::kShl:
+      case ExprOp::kShr:
+      case ExprOp::kEq:
+      case ExprOp::kNe:
+      case ExprOp::kLt:
+      case ExprOp::kLe:
+        // Print left-associatively; give the right child a higher bar so
+        // chains like a - b - c re-parse with the same shape.
+        s = expr(e.args[0], prec - 1) + " " + op_token(e.op) + " " +
+            expr(e.args[1], prec);
+        break;
+      case ExprOp::kMux:
+        s = expr(e.args[0], prec) + " ? " + expr(e.args[1], prec) + " : " +
+            expr(e.args[2], prec - 1);
+        break;
+      case ExprOp::kBit: {
+        const Expr& a = m_.arena.at(e.args[0]);
+        MOSS_CHECK(a.op == ExprOp::kVar,
+                   "printer: bit-select must apply to a named symbol");
+        s = a.var + strprintf("[%d]", e.lo);
+        break;
+      }
+      case ExprOp::kSlice: {
+        const Expr& a = m_.arena.at(e.args[0]);
+        MOSS_CHECK(a.op == ExprOp::kVar,
+                   "printer: part-select must apply to a named symbol");
+        s = a.var + strprintf("[%d:%d]", e.hi, e.lo);
+        break;
+      }
+      case ExprOp::kConcat: {
+        std::vector<std::string> parts;
+        parts.reserve(e.args.size());
+        for (const ExprId a : e.args) parts.push_back(expr(a, 0));
+        s = "{" + join(parts, ", ") + "}";
+        break;
+      }
+      case ExprOp::kZext: {
+        const Expr& a = m_.arena.at(e.args[0]);
+        const int k = e.width - a.width;
+        s = strprintf("{%d'd0, ", k) + expr(e.args[0], 0) + "}";
+        break;
+      }
+      case ExprOp::kSext: {
+        const Expr& a = m_.arena.at(e.args[0]);
+        MOSS_CHECK(a.op == ExprOp::kVar,
+                   "printer: sign-extension must apply to a named symbol");
+        const int k = e.width - a.width;
+        s = strprintf("{{%d{%s[%d]}}, %s}", k, a.var.c_str(), a.width - 1,
+                      a.var.c_str());
+        break;
+      }
+    }
+    if (prec < parent_prec && prec <= 10) s = "(" + s + ")";
+    return s;
+  }
+
+ private:
+  const Module& m_;
+};
+
+std::string range_decl(int width) {
+  return width == 1 ? "" : strprintf("[%d:0] ", width - 1);
+}
+
+std::string const_literal(int width, std::uint64_t value) {
+  return strprintf("%d'd%llu", width, static_cast<unsigned long long>(value));
+}
+
+}  // namespace
+
+std::string expr_to_string(const Module& m, ExprId id) {
+  return Printer(m).expr(id, 0);
+}
+
+std::string to_verilog(const Module& m) {
+  const Printer pr(m);
+  std::string out;
+  out += "module " + m.name + " (\n";
+  std::vector<std::string> ports;
+  if (!m.regs.empty()) ports.push_back("  input clk");
+  for (const Port& p : m.inputs) {
+    ports.push_back("  input " + range_decl(p.width) + p.name);
+  }
+  for (const Port& p : m.outputs) {
+    ports.push_back("  output " + range_decl(p.width) + p.name);
+  }
+  out += join(ports, ",\n");
+  out += "\n);\n";
+
+  for (const Wire& w : m.wires) {
+    out += "  wire " + range_decl(w.width) + w.name + ";\n";
+  }
+  for (const Register& r : m.regs) {
+    out += "  reg " + range_decl(r.width) + r.name + ";\n";
+  }
+  out += "\n";
+  for (const Wire& w : m.wires) {
+    out += "  assign " + w.name + " = " + pr.expr(w.expr, 0) + ";\n";
+  }
+
+  if (!m.regs.empty()) {
+    out += "\n  always @(posedge clk) begin\n";
+    for (const Register& r : m.regs) {
+      const std::string next = pr.expr(r.next, 0);
+      if (r.has_reset && r.enable != kInvalidExpr) {
+        out += "    if (" + m.reset_port + ") " + r.name + " <= " +
+               const_literal(r.width, r.reset_value) + ";\n";
+        out += "    else if (" + pr.expr(r.enable, 0) + ") " + r.name +
+               " <= " + next + ";\n";
+      } else if (r.has_reset) {
+        out += "    if (" + m.reset_port + ") " + r.name + " <= " +
+               const_literal(r.width, r.reset_value) + ";\n";
+        out += "    else " + r.name + " <= " + next + ";\n";
+      } else if (r.enable != kInvalidExpr) {
+        out += "    if (" + pr.expr(r.enable, 0) + ") " + r.name + " <= " +
+               next + ";\n";
+      } else {
+        out += "    " + r.name + " <= " + next + ";\n";
+      }
+    }
+    out += "  end\n";
+  }
+
+  out += "\n";
+  for (const auto& [name, e] : m.output_assigns) {
+    out += "  assign " + name + " = " + pr.expr(e, 0) + ";\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+}  // namespace moss::rtl

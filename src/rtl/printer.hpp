@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "rtl/module.hpp"
+
+namespace moss::rtl {
+
+/// Emit a Module as synthesizable Verilog text. This text is the RTL
+/// modality fed to the language model (and can be parsed back by
+/// rtl::parse_verilog, giving a lossless-up-to-structure round trip).
+///
+/// Restrictions: bit/part selects must apply directly to named symbols
+/// (the builder API and generators satisfy this); all literals are printed
+/// with explicit sizes.
+std::string to_verilog(const Module& m);
+
+/// Render a single expression as Verilog (for prompts and debugging).
+std::string expr_to_string(const Module& m, ExprId id);
+
+}  // namespace moss::rtl

@@ -1,0 +1,148 @@
+#include "rtl/prompts.hpp"
+
+#include <functional>
+#include <set>
+
+#include "core_util/strings.hpp"
+#include "rtl/printer.hpp"
+
+namespace moss::rtl {
+
+namespace {
+
+/// Collect the names of all symbols referenced by an expression tree.
+std::set<std::string> referenced_symbols(const Module& m, ExprId root) {
+  std::set<std::string> out;
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    const Expr& e = m.arena.at(stack.back());
+    stack.pop_back();
+    if (e.op == ExprOp::kVar) out.insert(e.var);
+    for (const ExprId a : e.args) stack.push_back(a);
+  }
+  return out;
+}
+
+bool contains_op(const Module& m, ExprId root, ExprOp op) {
+  std::vector<ExprId> stack{root};
+  while (!stack.empty()) {
+    const Expr& e = m.arena.at(stack.back());
+    stack.pop_back();
+    if (e.op == op) return true;
+    for (const ExprId a : e.args) stack.push_back(a);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string infer_register_role(const Module& m, const Register& r) {
+  if (!r.role_hint.empty()) return r.role_hint;
+  if (r.next == kInvalidExpr) return "state register";
+  const auto deps = referenced_symbols(m, r.next);
+  const bool self = deps.count(r.name) > 0;
+  const Expr& top = m.arena.at(r.next);
+
+  if (self && top.op == ExprOp::kConcat) return "shift register stage";
+  if (self && top.op == ExprOp::kAdd) {
+    // `r + const` is a counter; `r + something` an accumulator.
+    const Expr& rhs = m.arena.at(top.args[1]);
+    const Expr& lhs = m.arena.at(top.args[0]);
+    if (rhs.op == ExprOp::kConst || lhs.op == ExprOp::kConst) return "counter";
+    return "accumulator";
+  }
+  if (self && contains_op(m, r.next, ExprOp::kAdd)) return "accumulator";
+  if (self && contains_op(m, r.next, ExprOp::kXor) && r.width >= 3) {
+    return "linear feedback shift register";
+  }
+  if (!self && top.op == ExprOp::kMux) return "selected data register";
+  if (!self && top.op == ExprOp::kVar) return "pipeline register";
+  if (!self && contains_op(m, r.next, ExprOp::kMul)) {
+    return "product register";
+  }
+  if (r.width == 1 && self && contains_op(m, r.next, ExprOp::kOr)) {
+    return "sticky status flag";
+  }
+  if (r.width == 1) return "control flag";
+  return "data register";
+}
+
+std::vector<RegisterPrompt> register_prompts(const Module& m) {
+  // Precompute consumers: which wires / registers / outputs read each reg.
+  std::vector<RegisterPrompt> out;
+  out.reserve(m.regs.size());
+
+  const auto consumers_of = [&](const std::string& reg) {
+    std::vector<std::string> users;
+    for (const Wire& w : m.wires) {
+      if (w.expr != kInvalidExpr && referenced_symbols(m, w.expr).count(reg)) {
+        users.push_back("wire " + w.name);
+      }
+    }
+    for (const Register& r2 : m.regs) {
+      if (r2.next != kInvalidExpr &&
+          referenced_symbols(m, r2.next).count(reg)) {
+        users.push_back(r2.name == reg ? "itself" : "register " + r2.name);
+      }
+    }
+    for (const auto& [name, e] : m.output_assigns) {
+      if (referenced_symbols(m, e).count(reg)) {
+        users.push_back("output " + name);
+      }
+    }
+    return users;
+  };
+
+  for (const Register& r : m.regs) {
+    std::string t;
+    t += "In module '" + m.name + "', register '" + r.name + "' is " +
+         std::to_string(r.width) + (r.width == 1 ? " bit" : " bits") +
+         " wide. ";
+    t += "Role: " + infer_register_role(m, r) + ". ";
+    if (r.next != kInvalidExpr) {
+      t += "Next value: " + expr_to_string(m, r.next) + ". ";
+      auto deps = referenced_symbols(m, r.next);
+      deps.erase(r.name);
+      if (!deps.empty()) {
+        std::vector<std::string> dv(deps.begin(), deps.end());
+        t += "Depends on: " + join(dv, ", ") + ". ";
+      }
+    }
+    if (r.has_reset) {
+      t += strprintf("Synchronously reset to %llu when '%s' is high. ",
+                     static_cast<unsigned long long>(r.reset_value),
+                     m.reset_port.c_str());
+    }
+    if (r.enable != kInvalidExpr) {
+      t += "Updates only when enable condition (" +
+           expr_to_string(m, r.enable) + ") holds, otherwise keeps its "
+           "value. ";
+    }
+    const auto users = consumers_of(r.name);
+    if (!users.empty()) {
+      t += "Consumed by: " + join(users, ", ") + ".";
+    } else {
+      t += "Not consumed downstream.";
+    }
+    out.push_back(RegisterPrompt{r.name, std::move(t)});
+  }
+  return out;
+}
+
+std::string module_prompt(const Module& m) {
+  std::string t;
+  t += "Module '" + m.name + "': " + std::to_string(m.inputs.size()) +
+       " inputs, " + std::to_string(m.outputs.size()) + " outputs, " +
+       std::to_string(m.regs.size()) + " registers (" +
+       std::to_string(m.total_reg_bits()) + " state bits). ";
+  std::vector<std::string> roles;
+  for (const Register& r : m.regs) {
+    roles.push_back(r.name + ": " + infer_register_role(m, r));
+  }
+  if (!roles.empty()) t += "Register roles — " + join(roles, "; ") + ". ";
+  t += "RTL source follows.\n";
+  t += to_verilog(m);
+  return t;
+}
+
+}  // namespace moss::rtl

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace moss::rtl {
+
+/// The "Register Description Prompt" of the paper (Fig. 3a): for each RTL
+/// register, a textual description of its context and functionality that the
+/// language model encodes; the resulting embedding is overlaid onto the
+/// netlist DFFs implementing that register.
+struct RegisterPrompt {
+  std::string register_name;
+  std::string text;
+};
+
+/// Build one prompt per register of the module. The prompt includes the
+/// module name, register width, reset/enable behaviour, its next-value
+/// expression, which signals it depends on, which wires/registers/outputs
+/// consume it, and an inferred functional role.
+std::vector<RegisterPrompt> register_prompts(const Module& m);
+
+/// Global functionality text for the whole module: a structural summary
+/// followed by the full RTL source. Encoded by the LM to produce the global
+/// RTL embedding used for RNC/RNM alignment.
+std::string module_prompt(const Module& m);
+
+/// Heuristic functional role of a register ("counter", "shift register",
+/// "accumulator", ...), derived from the shape of its next-value expression.
+/// Used when the generator did not set an explicit role hint.
+std::string infer_register_role(const Module& m, const Register& r);
+
+}  // namespace moss::rtl

@@ -1,0 +1,65 @@
+#include "sim/activity_io.hpp"
+
+#include <sstream>
+
+#include "core_util/check.hpp"
+
+namespace moss::sim {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+
+void write_activity(std::ostream& out, const netlist::Netlist& nl,
+                    const Simulator& sim) {
+  MOSS_CHECK(sim.cycles() > 0, "no activity recorded yet");
+  out << "MOSSACT v1 " << nl.name() << ' ' << sim.cycles() << '\n';
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto& n = nl.node(id);
+    if (n.kind == NodeKind::kPrimaryOutput) continue;  // mirrors its driver
+    const auto ones = static_cast<std::uint64_t>(
+        sim.one_rate(id) * static_cast<double>(sim.cycles()) + 0.5);
+    out << n.name << ' ' << sim.transitions(id) << ' ' << ones << '\n';
+  }
+  MOSS_CHECK(out.good(), "activity write failed");
+}
+
+ActivityFile read_activity(std::istream& in, const netlist::Netlist& nl) {
+  std::string magic, version, design;
+  std::uint64_t cycles = 0;
+  in >> magic >> version >> design >> cycles;
+  MOSS_CHECK(in.good() && magic == "MOSSACT" && version == "v1",
+             "not a MOSSACT v1 activity file");
+  MOSS_CHECK(design == nl.name(),
+             "activity file is for design '" + design + "', netlist is '" +
+                 nl.name() + "'");
+  MOSS_CHECK(cycles > 1, "activity file has no cycles");
+
+  ActivityFile act;
+  act.cycles = cycles;
+  act.toggle.assign(nl.num_nodes(), 0.0);
+  act.one_prob.assign(nl.num_nodes(), 0.0);
+
+  std::string name;
+  std::uint64_t transitions = 0, ones = 0;
+  while (in >> name >> transitions >> ones) {
+    const NodeId id = nl.find(name);
+    MOSS_CHECK(id != netlist::kInvalidNode,
+               "activity file names unknown net '" + name + "'");
+    act.toggle[static_cast<std::size_t>(id)] =
+        static_cast<double>(transitions) / static_cast<double>(cycles - 1);
+    act.one_prob[static_cast<std::size_t>(id)] =
+        static_cast<double>(ones) / static_cast<double>(cycles);
+  }
+  // Primary outputs mirror their drivers.
+  for (const NodeId o : nl.outputs()) {
+    const NodeId d = nl.node(o).fanin[0];
+    act.toggle[static_cast<std::size_t>(o)] =
+        act.toggle[static_cast<std::size_t>(d)];
+    act.one_prob[static_cast<std::size_t>(o)] =
+        act.one_prob[static_cast<std::size_t>(d)];
+  }
+  return act;
+}
+
+}  // namespace moss::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace moss::sim {
+
+/// SAIF-style activity interchange: persist per-net switching activity
+/// (toggle counts and time-at-1) so power analysis can run without
+/// re-simulating — the handshake real flows do between the simulator and
+/// the power tool.
+///
+/// Format (line-oriented, human-readable):
+///   MOSSACT v1 <design> <cycles>
+///   <net-name> <transitions> <ones>
+///   ...
+void write_activity(std::ostream& out, const netlist::Netlist& nl,
+                    const Simulator& sim);
+
+/// Parse an activity file back into per-node toggle/one rates (indexed by
+/// NodeId). Nets missing from the file get zero activity; unknown net
+/// names are an error (stale file). The design name must match.
+struct ActivityFile {
+  std::uint64_t cycles = 0;
+  std::vector<double> toggle;
+  std::vector<double> one_prob;
+};
+
+ActivityFile read_activity(std::istream& in, const netlist::Netlist& nl);
+
+}  // namespace moss::sim

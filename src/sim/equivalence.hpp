@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "core_util/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "rtl/module.hpp"
+
+namespace moss::sim {
+
+/// Result of a randomized RTL-vs-netlist co-simulation.
+struct EquivalenceResult {
+  bool equivalent = true;
+  std::uint64_t cycles_checked = 0;
+  std::string first_mismatch;  ///< human-readable description, if any
+};
+
+/// Co-simulate the RTL golden model (rtl::Evaluator) against the gate-level
+/// netlist for `cycles` random-stimulus cycles and compare all outputs each
+/// cycle. This is the ground-truth for the FEP task and the acceptance test
+/// for synthesis. The netlist's bit-blasted ports must follow synthesize()'s
+/// naming ("port" or "port[i]").
+EquivalenceResult check_equivalence(const rtl::Module& m,
+                                    const netlist::Netlist& nl,
+                                    std::uint64_t cycles, Rng& rng);
+
+}  // namespace moss::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core_util/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace moss::sim {
+
+/// A stuck-at fault on a node's output net.
+struct Fault {
+  netlist::NodeId node = netlist::kInvalidNode;
+  bool stuck_value = false;  ///< stuck-at-0 or stuck-at-1
+};
+
+/// Fault-simulation result for one fault.
+struct FaultResult {
+  Fault fault;
+  bool detected = false;
+  std::uint64_t first_detect_cycle = 0;
+};
+
+/// Summary of a fault-simulation campaign.
+struct FaultCampaign {
+  std::vector<FaultResult> results;
+  std::size_t detected = 0;
+  double coverage = 0.0;  ///< detected / total
+};
+
+/// Enumerate the standard stuck-at fault universe: both polarities on every
+/// cell output and primary input.
+std::vector<Fault> enumerate_faults(const netlist::Netlist& nl);
+
+/// Serial fault simulation: for each fault, run the faulty circuit against
+/// the good circuit under the same random stimulus for up to `cycles`
+/// cycles; a fault is detected when any primary output diverges. This is
+/// the classic test-coverage measurement (and doubles as failure-injection
+/// testing for the simulator itself).
+FaultCampaign simulate_faults(const netlist::Netlist& nl,
+                              const std::vector<Fault>& faults,
+                              std::uint64_t cycles, Rng& rng);
+
+}  // namespace moss::sim

@@ -1,0 +1,192 @@
+#include "sim/simulator.hpp"
+
+#include "core_util/check.hpp"
+
+namespace moss::sim {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  MOSS_CHECK(nl.finalized(), "simulator needs a finalized netlist");
+  values_.assign(nl.num_nodes(), 0);
+  flop_state_.assign(nl.num_nodes(), 0);
+  transitions_.assign(nl.num_nodes(), 0);
+  ones_.assign(nl.num_nodes(), 0);
+}
+
+void Simulator::reset_state() {
+  std::fill(flop_state_.begin(), flop_state_.end(), 0);
+  std::fill(values_.begin(), values_.end(), 0);
+}
+
+void Simulator::step(const std::vector<std::uint8_t>& pi_values) {
+  const Netlist& nl = *nl_;
+  MOSS_CHECK(pi_values.size() == nl.inputs().size(),
+             "simulator: wrong number of PI values");
+
+  std::vector<std::uint8_t> next(values_.size(), 0);
+
+  // Drive PIs.
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    next[static_cast<std::size_t>(nl.inputs()[i])] = pi_values[i] & 1u;
+  }
+  // Combinational settle in topological order (flops output held state).
+  for (const NodeId id : nl.topo_order()) {
+    if (id == stuck_node_) {
+      next[static_cast<std::size_t>(id)] = stuck_value_;
+      continue;
+    }
+    const netlist::Node& n = nl.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        break;  // already driven
+      case NodeKind::kPrimaryOutput:
+        next[static_cast<std::size_t>(id)] =
+            next[static_cast<std::size_t>(n.fanin[0])];
+        break;
+      case NodeKind::kCell: {
+        const cell::CellType& t = nl.library().type(n.type);
+        if (t.is_flop()) {
+          next[static_cast<std::size_t>(id)] =
+              flop_state_[static_cast<std::size_t>(id)];
+        } else {  // tie or combinational
+          std::uint32_t in = 0;
+          for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+            in |= static_cast<std::uint32_t>(
+                      next[static_cast<std::size_t>(n.fanin[p])])
+                  << p;
+          }
+          next[static_cast<std::size_t>(id)] = t.eval(in) ? 1 : 0;
+        }
+        break;
+      }
+    }
+  }
+
+  // Count transitions against the previous settled values (skip cycle 0,
+  // where everything "transitions" from the arbitrary power-on state).
+  if (cycles_ > 0) {
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      transitions_[i] += (next[i] != values_[i]) ? 1u : 0u;
+    }
+  }
+  for (std::size_t i = 0; i < next.size(); ++i) ones_[i] += next[i];
+
+  // Clock edge: flops capture.
+  for (const NodeId id : nl.flops()) {
+    const netlist::Node& n = nl.node(id);
+    const cell::CellType& t = nl.library().type(n.type);
+    const auto pin = [&](const char* name) -> std::uint8_t {
+      const int p = t.pin_index(name);
+      MOSS_CHECK(p >= 0, "missing flop pin");
+      return next[static_cast<std::size_t>(n.fanin[static_cast<std::size_t>(p)])];
+    };
+    std::uint8_t q = flop_state_[static_cast<std::size_t>(id)];
+    if (t.has_reset && pin("R")) {
+      q = t.reset_value ? 1 : 0;
+    } else if (t.has_enable && !pin("E")) {
+      // hold
+    } else {
+      q = pin("D");
+    }
+    flop_state_[static_cast<std::size_t>(id)] = q;
+  }
+
+  values_ = std::move(next);
+  ++cycles_;
+}
+
+std::vector<std::uint8_t> Simulator::output_values() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(nl_->outputs().size());
+  for (const NodeId id : nl_->outputs()) {
+    out.push_back(values_[static_cast<std::size_t>(id)]);
+  }
+  return out;
+}
+
+double Simulator::toggle_rate(netlist::NodeId id) const {
+  if (cycles_ <= 1) return 0.0;
+  return static_cast<double>(transitions_[static_cast<std::size_t>(id)]) /
+         static_cast<double>(cycles_ - 1);
+}
+
+std::vector<double> Simulator::toggle_rates() const {
+  std::vector<double> out(values_.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = toggle_rate(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+double Simulator::one_rate(netlist::NodeId id) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(ones_[static_cast<std::size_t>(id)]) /
+         static_cast<double>(cycles_);
+}
+
+std::vector<double> Simulator::one_rates() const {
+  std::vector<double> out(values_.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = one_rate(static_cast<netlist::NodeId>(i));
+  }
+  return out;
+}
+
+void Simulator::set_stuck_at(netlist::NodeId id, std::uint8_t value) {
+  MOSS_CHECK(id >= 0 && static_cast<std::size_t>(id) < values_.size(),
+             "stuck-at node out of range");
+  MOSS_CHECK(nl_->node(id).kind != netlist::NodeKind::kPrimaryOutput,
+             "inject faults on driving nodes, not POs");
+  stuck_node_ = id;
+  stuck_value_ = value & 1u;
+}
+
+void Simulator::clear_stuck_at() { stuck_node_ = netlist::kInvalidNode; }
+
+void Simulator::clear_activity() {
+  std::fill(transitions_.begin(), transitions_.end(), 0);
+  std::fill(ones_.begin(), ones_.end(), 0);
+  cycles_ = 0;
+}
+
+ActivityReport random_activity(const netlist::Netlist& nl,
+                               std::uint64_t cycles, Rng& rng,
+                               double input_one_prob) {
+  Simulator sim(nl);
+  // Locate reset-like inputs to assert during warm-up.
+  std::vector<bool> is_reset(nl.inputs().size(), false);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const std::string& n = nl.node(nl.inputs()[i]).name;
+    is_reset[i] = (n == "rst" || n == "reset" || n == "rst_n");
+  }
+  std::vector<std::uint8_t> pis(nl.inputs().size(), 0);
+
+  // Warm-up with reset asserted (not counted in activity).
+  for (int c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      pis[i] = is_reset[i] ? 1 : (rng.bernoulli(input_one_prob) ? 1 : 0);
+    }
+    sim.step(pis);
+  }
+  sim.clear_activity();
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      // Occasional mid-run reset pulses, as a real testbench would apply.
+      pis[i] = is_reset[i] ? (rng.bernoulli(0.002) ? 1 : 0)
+                           : (rng.bernoulli(input_one_prob) ? 1 : 0);
+    }
+    sim.step(pis);
+  }
+
+  ActivityReport rep;
+  rep.cycles = cycles;
+  rep.toggle = sim.toggle_rates();
+  rep.one_prob = sim.one_rates();
+  return rep;
+}
+
+}  // namespace moss::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core_util/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace moss::sim {
+
+/// Cycle-based 2-value gate-level simulator (the VCS stand-in). Evaluates
+/// the finalized netlist in topological order once per clock cycle and
+/// counts output transitions per node to produce toggle rates.
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  /// Power-on: flops go to 0 (reset-style initialization happens by driving
+  /// the reset input pattern, exactly like an RTL testbench would).
+  void reset_state();
+
+  /// Evaluate one cycle: combinational settle with `pi_values` (bit per
+  /// primary input, in netlist input order), then clock edge (flops load).
+  void step(const std::vector<std::uint8_t>& pi_values);
+
+  /// Value of any node after the latest step's combinational settle.
+  std::uint8_t value(netlist::NodeId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  /// Primary output values after the latest step.
+  std::vector<std::uint8_t> output_values() const;
+
+  std::uint64_t cycles() const { return cycles_; }
+  /// Transitions of a node's output since construction/clear_activity().
+  std::uint64_t transitions(netlist::NodeId id) const {
+    return transitions_[static_cast<std::size_t>(id)];
+  }
+  /// Toggle rate = transitions / cycles (0 if no cycles yet).
+  double toggle_rate(netlist::NodeId id) const;
+  /// Toggle rates for all nodes.
+  std::vector<double> toggle_rates() const;
+  /// Fraction of cycles a node's output was logic 1 ("signal probability",
+  /// the supervision behind the paper's probability loss).
+  double one_rate(netlist::NodeId id) const;
+  std::vector<double> one_rates() const;
+
+  void clear_activity();
+
+  /// Force a node's output net to a constant (stuck-at fault injection).
+  /// Applies during combinational settle, so the fault propagates.
+  void set_stuck_at(netlist::NodeId id, std::uint8_t value);
+  void clear_stuck_at();
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint8_t> values_;       ///< current settled values
+  std::vector<std::uint8_t> flop_state_;   ///< Q of each flop node (by id)
+  std::vector<std::uint64_t> transitions_;
+  std::vector<std::uint64_t> ones_;
+  std::uint64_t cycles_ = 0;
+  netlist::NodeId stuck_node_ = netlist::kInvalidNode;
+  std::uint8_t stuck_value_ = 0;
+};
+
+/// Result of a random-stimulus activity run.
+struct ActivityReport {
+  std::uint64_t cycles = 0;
+  /// per-node toggle rate, indexed by NodeId
+  std::vector<double> toggle;
+  /// per-node probability of logic 1, indexed by NodeId
+  std::vector<double> one_prob;
+};
+
+/// Drive the netlist with random primary inputs for `cycles` cycles
+/// (asserting any input literally named "rst"/"reset" for the first few
+/// cycles) and report per-node toggle rates. `input_one_prob` is the
+/// probability of a 1 on each PI each cycle.
+ActivityReport random_activity(const netlist::Netlist& nl, std::uint64_t cycles,
+                               Rng& rng, double input_one_prob = 0.5);
+
+}  // namespace moss::sim

@@ -1,0 +1,102 @@
+#include "sim/vcd.hpp"
+
+#include "core_util/check.hpp"
+
+namespace moss::sim {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+
+VcdWriter::VcdWriter(std::ostream& out, const netlist::Netlist& nl,
+                     Options opts)
+    : out_(&out), nl_(&nl), opts_(opts) {
+  MOSS_CHECK(nl.finalized(), "VCD writer needs a finalized netlist");
+}
+
+void VcdWriter::add_signal(NodeId id) {
+  MOSS_CHECK(!header_written_, "add signals before the first sample");
+  signals_.push_back(id);
+}
+
+void VcdWriter::add_ports() {
+  for (const NodeId id : nl_->inputs()) add_signal(id);
+  for (const NodeId id : nl_->outputs()) add_signal(id);
+}
+
+void VcdWriter::add_all() {
+  for (std::size_t i = 0; i < nl_->num_nodes(); ++i) {
+    add_signal(static_cast<NodeId>(i));
+  }
+}
+
+std::string VcdWriter::id_code(std::size_t index) const {
+  // Printable identifier characters per the VCD grammar: '!' .. '~'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+namespace {
+
+/// VCD identifiers may not contain spaces; netlist names are already
+/// space-free, but escape the bracket form for wide-port bits.
+std::string vcd_name(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += (c == '[' ? '_' : c == ']' ? '\0' : c);
+  }
+  std::string cleaned;
+  for (const char c : out) {
+    if (c != '\0') cleaned += c;
+  }
+  return cleaned;
+}
+
+}  // namespace
+
+void VcdWriter::write_header() {
+  MOSS_CHECK(!header_written_, "header already written");
+  MOSS_CHECK(!signals_.empty(), "no signals selected");
+  auto& os = *out_;
+  os << "$date MOSS cycle simulator $end\n";
+  os << "$version moss::sim::VcdWriter $end\n";
+  os << "$timescale " << opts_.timescale << " $end\n";
+  os << "$scope module " << nl_->name() << " $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    os << "$var wire 1 " << id_code(i) << " "
+       << vcd_name(nl_->node(signals_[i]).name) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  last_.assign(signals_.size(), 0xFF);  // force first dump
+  header_written_ = true;
+}
+
+void VcdWriter::sample(const Simulator& sim) {
+  if (!header_written_) write_header();
+  auto& os = *out_;
+  os << '#'
+     << static_cast<std::uint64_t>(static_cast<double>(sample_count_) *
+                                   opts_.cycle_ps)
+     << '\n';
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const std::uint8_t v = sim.value(signals_[i]);
+    if (v != last_[i]) {
+      os << static_cast<char>('0' + v) << id_code(i) << '\n';
+      last_[i] = v;
+    }
+  }
+  ++sample_count_;
+}
+
+void VcdWriter::finish() {
+  if (!header_written_) return;
+  *out_ << '#'
+        << static_cast<std::uint64_t>(static_cast<double>(sample_count_) *
+                                      opts_.cycle_ps)
+        << '\n';
+}
+
+}  // namespace moss::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace moss::sim {
+
+/// Value-Change-Dump writer: records selected netlist signals from a
+/// Simulator into the standard VCD format (viewable with GTKWave & co.),
+/// so the cycle simulator doubles as a real debugging tool.
+///
+/// Usage:
+///   VcdWriter vcd(out, nl, {"clk period ps"});
+///   vcd.add_signal(node_id);            // or add_ports()
+///   loop { sim.step(pis); vcd.sample(sim); }
+///   vcd.finish();
+class VcdWriter {
+ public:
+  struct Options {
+    std::string timescale = "1ps";
+    double cycle_ps = 1000.0;  ///< timestamp advance per sample
+  };
+
+  VcdWriter(std::ostream& out, const netlist::Netlist& nl, Options opts);
+  VcdWriter(std::ostream& out, const netlist::Netlist& nl)
+      : VcdWriter(out, nl, Options{}) {}
+
+  /// Track a node's output value under its netlist name.
+  void add_signal(netlist::NodeId id);
+  /// Track all primary inputs and outputs.
+  void add_ports();
+  /// Track everything (ports, flops and gates) — small designs only.
+  void add_all();
+
+  /// Write the header (automatic on first sample()).
+  void write_header();
+  /// Record the current simulator values; emits only changed signals.
+  void sample(const Simulator& sim);
+  /// Final timestamp.
+  void finish();
+
+ private:
+  std::string id_code(std::size_t index) const;
+
+  std::ostream* out_;
+  const netlist::Netlist* nl_;
+  Options opts_;
+  std::vector<netlist::NodeId> signals_;
+  std::vector<std::uint8_t> last_;
+  bool header_written_ = false;
+  std::uint64_t sample_count_ = 0;
+};
+
+}  // namespace moss::sim

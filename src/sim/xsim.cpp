@@ -1,0 +1,152 @@
+#include "sim/xsim.hpp"
+
+#include "core_util/check.hpp"
+
+namespace moss::sim {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+namespace {
+
+/// Conservative 3-valued evaluation of a cell: enumerate all resolutions of
+/// the X inputs; if every resolution yields the same output, that value is
+/// known, otherwise X. Cells have at most 6 inputs, so at most 64 rows.
+XValue eval_cell(const cell::CellType& t, const std::vector<XValue>& ins) {
+  std::uint32_t base = 0;
+  std::vector<int> x_pins;
+  for (int p = 0; p < t.num_inputs; ++p) {
+    switch (ins[static_cast<std::size_t>(p)]) {
+      case XValue::k1:
+        base |= 1u << p;
+        break;
+      case XValue::k0:
+        break;
+      case XValue::kX:
+        x_pins.push_back(p);
+        break;
+    }
+  }
+  const std::uint32_t combos = 1u << x_pins.size();
+  bool first = t.eval(base);
+  for (std::uint32_t c = 1; c < combos; ++c) {
+    std::uint32_t row = base;
+    for (std::size_t k = 0; k < x_pins.size(); ++k) {
+      if ((c >> k) & 1u) row |= 1u << x_pins[k];
+    }
+    if (t.eval(row) != first) return XValue::kX;
+  }
+  return first ? XValue::k1 : XValue::k0;
+}
+
+}  // namespace
+
+XSimulator::XSimulator(const Netlist& nl) : nl_(&nl) {
+  MOSS_CHECK(nl.finalized(), "X simulator needs a finalized netlist");
+  values_.assign(nl.num_nodes(), XValue::kX);
+  flop_state_.assign(nl.num_nodes(), XValue::kX);  // power-on unknown
+}
+
+void XSimulator::step(const std::vector<XValue>& pi_values) {
+  const Netlist& nl = *nl_;
+  MOSS_CHECK(pi_values.size() == nl.inputs().size(),
+             "X simulator: wrong number of PI values");
+  std::vector<XValue> next(values_.size(), XValue::kX);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    next[static_cast<std::size_t>(nl.inputs()[i])] = pi_values[i];
+  }
+  for (const NodeId id : nl.topo_order()) {
+    const netlist::Node& n = nl.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        break;
+      case NodeKind::kPrimaryOutput:
+        next[static_cast<std::size_t>(id)] =
+            next[static_cast<std::size_t>(n.fanin[0])];
+        break;
+      case NodeKind::kCell: {
+        const cell::CellType& t = nl.library().type(n.type);
+        if (t.is_flop()) {
+          next[static_cast<std::size_t>(id)] =
+              flop_state_[static_cast<std::size_t>(id)];
+        } else {
+          std::vector<XValue> ins(n.fanin.size());
+          for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+            ins[p] = next[static_cast<std::size_t>(n.fanin[p])];
+          }
+          next[static_cast<std::size_t>(id)] = eval_cell(t, ins);
+        }
+        break;
+      }
+    }
+  }
+
+  // Clock edge with 3-valued reset/enable semantics.
+  for (const NodeId id : nl.flops()) {
+    const netlist::Node& n = nl.node(id);
+    const cell::CellType& t = nl.library().type(n.type);
+    const auto pin = [&](const char* name) {
+      const int p = t.pin_index(name);
+      MOSS_CHECK(p >= 0, "missing flop pin");
+      return next[static_cast<std::size_t>(
+          n.fanin[static_cast<std::size_t>(p)])];
+    };
+    const XValue q = flop_state_[static_cast<std::size_t>(id)];
+    const XValue d = pin("D");
+    XValue captured = d;
+    if (t.has_enable) {
+      const XValue e = pin("E");
+      if (e == XValue::k0) captured = q;
+      else if (e == XValue::kX) captured = (d == q) ? d : XValue::kX;
+    }
+    if (t.has_reset) {
+      const XValue rv = t.reset_value ? XValue::k1 : XValue::k0;
+      const XValue r = pin("R");
+      if (r == XValue::k1) captured = rv;
+      else if (r == XValue::kX) captured = (captured == rv) ? rv : XValue::kX;
+    }
+    flop_state_[static_cast<std::size_t>(id)] = captured;
+  }
+  values_ = std::move(next);
+}
+
+std::size_t XSimulator::unknown_flops() const {
+  std::size_t n = 0;
+  for (const NodeId f : nl_->flops()) {
+    if (flop_state_[static_cast<std::size_t>(f)] == XValue::kX) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> XSimulator::unknown_flop_names() const {
+  std::vector<std::string> out;
+  for (const NodeId f : nl_->flops()) {
+    if (flop_state_[static_cast<std::size_t>(f)] == XValue::kX) {
+      out.push_back(nl_->node(f).name);
+    }
+  }
+  return out;
+}
+
+ResetCoverage analyze_reset(const Netlist& nl, int reset_cycles) {
+  XSimulator sim(nl);
+  std::vector<XValue> pis(nl.inputs().size(), XValue::kX);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const std::string& n = nl.node(nl.inputs()[i]).name;
+    if (n == "rst" || n == "reset" || n == "rst_n") pis[i] = XValue::k1;
+  }
+  for (int c = 0; c < reset_cycles; ++c) sim.step(pis);
+
+  ResetCoverage cov;
+  cov.total_flops = nl.flops().size();
+  cov.uninitialized = sim.unknown_flop_names();
+  cov.initialized = cov.total_flops - cov.uninitialized.size();
+  cov.coverage = cov.total_flops == 0
+                     ? 1.0
+                     : static_cast<double>(cov.initialized) /
+                           static_cast<double>(cov.total_flops);
+  return cov;
+}
+
+}  // namespace moss::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::sim {
+
+/// Three-valued logic level: 0, 1 or unknown.
+enum class XValue : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+/// Three-valued (0/1/X) cycle simulator: flops power on X, and X propagates
+/// conservatively through every cell (the output is X unless all
+/// resolutions of the X inputs agree). The classic tool for answering "does
+/// my reset sequence actually initialize the design?" — which a two-valued
+/// simulator silently gets wrong by powering flops on at 0.
+class XSimulator {
+ public:
+  explicit XSimulator(const netlist::Netlist& nl);
+
+  /// One cycle; X in `pi_values` marks undriven inputs.
+  void step(const std::vector<XValue>& pi_values);
+
+  XValue value(netlist::NodeId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  /// Number of flops whose state is still X.
+  std::size_t unknown_flops() const;
+  /// Names of flops still at X.
+  std::vector<std::string> unknown_flop_names() const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<XValue> values_;
+  std::vector<XValue> flop_state_;
+};
+
+/// Reset-coverage analysis: drive the reset input(s) active and all other
+/// inputs X for `reset_cycles` cycles; report which flops are still X
+/// (i.e. not initialized by the reset sequence alone).
+struct ResetCoverage {
+  std::size_t total_flops = 0;
+  std::size_t initialized = 0;
+  std::vector<std::string> uninitialized;  ///< flop names still X
+  double coverage = 0.0;
+};
+
+ResetCoverage analyze_reset(const netlist::Netlist& nl,
+                            int reset_cycles = 4);
+
+}  // namespace moss::sim

@@ -1,0 +1,200 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core_util/check.hpp"
+
+namespace moss::sta {
+
+using netlist::kInvalidNode;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+TimingAnalysis::TimingAnalysis(const Netlist& nl, StaOptions opts)
+    : nl_(&nl), opts_(opts) {
+  MOSS_CHECK(nl.finalized(), "STA needs a finalized netlist");
+  arrival_.assign(nl.num_nodes(), 0.0);
+  slew_.assign(nl.num_nodes(), 0.0);
+  crit_pin_.assign(nl.num_nodes(), -1);
+
+  // In slew-aware mode each arc's delay gets a derating proportional to the
+  // driving net's transition time (the second NLDM axis).
+  const auto arc_derate = [&](NodeId driver) {
+    return opts_.slew_aware
+               ? opts_.slew_sensitivity * slew_[static_cast<std::size_t>(driver)]
+               : 0.0;
+  };
+  const auto output_slew = [&](const cell::CellType& t, double load) {
+    return opts_.slew_aware ? 8.0 + 2.0 * t.drive_res * load : 0.0;
+  };
+
+  for (const NodeId id : nl.topo_order()) {
+    const netlist::Node& n = nl.node(id);
+    double at = 0.0;
+    double sl = 0.0;
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        at = opts_.input_arrival_ps +
+             opts_.input_drive_res * nl.output_load(id);
+        sl = opts_.slew_aware ? opts_.input_slew_ps : 0.0;
+        break;
+      case NodeKind::kPrimaryOutput:
+        at = arrival_[static_cast<std::size_t>(n.fanin[0])];
+        sl = slew_[static_cast<std::size_t>(n.fanin[0])];
+        crit_pin_[static_cast<std::size_t>(id)] = 0;
+        break;
+      case NodeKind::kCell: {
+        const cell::CellType& t = nl.library().type(n.type);
+        const double load_delay = t.drive_res * nl.output_load(id);
+        if (t.is_flop()) {
+          // Launch: clock edge at 0, clk->q then drive the load. (D-pin
+          // arrival of the *previous* cycle is an endpoint, not part of the
+          // launch path.)
+          at = t.intrinsic_delay.empty() ? load_delay
+                                         : t.intrinsic_delay[0] + load_delay;
+          sl = output_slew(t, nl.output_load(id));
+        } else if (t.is_tie()) {
+          at = 0.0;  // constants are always there
+        } else {
+          for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+            const double cand =
+                arrival_[static_cast<std::size_t>(n.fanin[p])] +
+                t.intrinsic_delay[p] + load_delay + arc_derate(n.fanin[p]);
+            if (crit_pin_[static_cast<std::size_t>(id)] < 0 || cand > at) {
+              at = cand;
+              crit_pin_[static_cast<std::size_t>(id)] = static_cast<int>(p);
+            }
+          }
+          sl = output_slew(t, nl.output_load(id));
+        }
+        break;
+      }
+    }
+    arrival_[static_cast<std::size_t>(id)] = at;
+    slew_[static_cast<std::size_t>(id)] = sl;
+  }
+
+  // Endpoints: flop D pins and primary outputs.
+  worst_ = 0.0;
+  worst_endpoint_ = kInvalidNode;
+  for (const NodeId f : nl.flops()) {
+    const double at = flop_data_arrival(f);
+    if (worst_endpoint_ == kInvalidNode || at > worst_) {
+      worst_ = at;
+      worst_endpoint_ = f;
+    }
+  }
+  for (const NodeId o : nl.outputs()) {
+    const double at = arrival_[static_cast<std::size_t>(o)];
+    if (worst_endpoint_ == kInvalidNode || at > worst_) {
+      worst_ = at;
+      worst_endpoint_ = o;
+    }
+  }
+  period_ = opts_.clock_period_ps > 0.0
+                ? opts_.clock_period_ps
+                : worst_ + opts_.setup_margin_ps;
+}
+
+double TimingAnalysis::endpoint_slack(NodeId endpoint) const {
+  if (nl_->is_flop(endpoint)) {
+    return period_ - opts_.setup_margin_ps - flop_data_arrival(endpoint);
+  }
+  const netlist::Node& n = nl_->node(endpoint);
+  MOSS_CHECK(n.kind == NodeKind::kPrimaryOutput,
+             "endpoint must be a flop or primary output: " + n.name);
+  return period_ - arrival_[static_cast<std::size_t>(endpoint)];
+}
+
+std::vector<TimingAnalysis::EndpointSlack> TimingAnalysis::slacks() const {
+  std::vector<EndpointSlack> out;
+  for (const NodeId f : nl_->flops()) {
+    out.push_back(EndpointSlack{f, flop_data_arrival(f), endpoint_slack(f)});
+  }
+  for (const NodeId o : nl_->outputs()) {
+    out.push_back(EndpointSlack{o, arrival_[static_cast<std::size_t>(o)],
+                                endpoint_slack(o)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              return a.slack_ps < b.slack_ps;
+            });
+  return out;
+}
+
+std::size_t TimingAnalysis::violations() const {
+  std::size_t n = 0;
+  for (const auto& s : slacks()) {
+    if (s.slack_ps < 0) ++n;
+  }
+  return n;
+}
+
+std::string TimingAnalysis::report_timing(std::size_t n) const {
+  std::string out;
+  out += "Timing report for '" + nl_->name() + "'\n";
+  out += "  clock period: " + std::to_string(period_) + " ps, setup " +
+         std::to_string(opts_.setup_margin_ps) + " ps\n";
+  const auto eps = slacks();
+  for (std::size_t k = 0; k < std::min(n, eps.size()); ++k) {
+    const auto& ep = eps[k];
+    out += "\nPath " + std::to_string(k + 1) + ": endpoint " +
+           nl_->node(ep.node).name +
+           (ep.slack_ps < 0 ? "  (VIOLATED)" : "") + "\n";
+    out += "  arrival " + std::to_string(ep.arrival_ps) + " ps, slack " +
+           std::to_string(ep.slack_ps) + " ps\n";
+    for (const PathStep& step : critical_path(ep.node)) {
+      const netlist::Node& node = nl_->node(step.node);
+      const char* type =
+          node.kind == NodeKind::kCell
+              ? nl_->library().type(node.type).name.c_str()
+              : (node.kind == NodeKind::kPrimaryInput ? "PI" : "PO");
+      out += "    " + node.name + " (" + type + ") @ " +
+             std::to_string(step.arrival_ps) + " ps\n";
+    }
+  }
+  return out;
+}
+
+double TimingAnalysis::flop_data_arrival(NodeId flop) const {
+  const netlist::Node& n = nl_->node(flop);
+  MOSS_CHECK(nl_->is_flop(flop), "not a flop: " + n.name);
+  const cell::CellType& t = nl_->library().type(n.type);
+  const int d = t.pin_index("D");
+  return arrival_[static_cast<std::size_t>(
+      n.fanin[static_cast<std::size_t>(d)])];
+}
+
+std::vector<double> TimingAnalysis::all_flop_arrivals() const {
+  std::vector<double> out;
+  out.reserve(nl_->flops().size());
+  for (const NodeId f : nl_->flops()) out.push_back(flop_data_arrival(f));
+  return out;
+}
+
+std::vector<PathStep> TimingAnalysis::critical_path(NodeId endpoint) const {
+  std::vector<PathStep> path;
+  NodeId cur = endpoint;
+  if (nl_->is_flop(endpoint)) {
+    path.push_back(PathStep{endpoint, flop_data_arrival(endpoint)});
+    const cell::CellType& t = nl_->library().type(nl_->node(endpoint).type);
+    cur = nl_->node(endpoint).fanin[static_cast<std::size_t>(
+        t.pin_index("D"))];
+  }
+  while (cur != kInvalidNode) {
+    path.push_back(PathStep{cur, arrival_[static_cast<std::size_t>(cur)]});
+    const netlist::Node& n = nl_->node(cur);
+    if (n.kind == NodeKind::kPrimaryOutput) {
+      cur = n.fanin[0];
+      continue;
+    }
+    const int pin = crit_pin_[static_cast<std::size_t>(cur)];
+    if (n.kind != NodeKind::kCell || nl_->is_flop(cur) || pin < 0) break;
+    cur = n.fanin[static_cast<std::size_t>(pin)];
+  }
+  return path;
+}
+
+}  // namespace moss::sta

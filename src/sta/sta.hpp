@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::sta {
+
+/// Configuration of the timing model.
+struct StaOptions {
+  double input_arrival_ps = 0.0;  ///< arrival time at primary inputs
+  double input_drive_res = 1.2;   ///< ps/fF drive of the external driver
+  double clock_period_ps = 0.0;   ///< 0 = auto (worst arrival + margin)
+  double setup_margin_ps = 20.0;  ///< flop setup time for slack analysis
+
+  /// Second-parameter NLDM mode: propagate transition times and derate each
+  /// arc by the input slew —
+  ///   slew_out = slew_intrinsic + 2·R_drive·C_load
+  ///   delay   += slew_sensitivity · slew_in
+  /// Off by default (the labels the models learn use the slew-less model).
+  bool slew_aware = false;
+  double input_slew_ps = 25.0;       ///< transition time at primary inputs
+  double slew_sensitivity = 0.15;    ///< delay penalty per ps of input slew
+};
+
+/// One step of a critical path, endpoint first.
+struct PathStep {
+  netlist::NodeId node;
+  double arrival_ps;
+};
+
+/// Static timing analysis over a finalized standard-cell netlist — the
+/// PrimeTime/DC stand-in that produces the arrival-time labels MOSS learns.
+///
+/// Linear NLDM model: delay(pin->out) = intrinsic[pin] + drive_res * C_load.
+/// Flops are cycle sources: Q arrival = clk-to-q + drive · load. The
+/// "arrival time of a DFF" (the paper's per-DFF label) is the arrival of the
+/// signal at its D pin.
+class TimingAnalysis {
+ public:
+  explicit TimingAnalysis(const netlist::Netlist& nl, StaOptions opts = {});
+
+  /// Arrival time at a node's output, ps.
+  double arrival(netlist::NodeId id) const {
+    return arrival_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<double>& arrivals() const { return arrival_; }
+
+  /// Transition time (slew) at a node's output, ps. Zero unless
+  /// options.slew_aware.
+  double slew(netlist::NodeId id) const {
+    return slew_[static_cast<std::size_t>(id)];
+  }
+
+  /// Arrival at a flop's D pin (max over required data input).
+  double flop_data_arrival(netlist::NodeId flop) const;
+  /// Per-flop data arrival times in netlist flop order.
+  std::vector<double> all_flop_arrivals() const;
+
+  /// Worst data arrival over flop D pins and primary outputs — the minimum
+  /// usable clock period (ignoring setup margin).
+  double worst_arrival() const { return worst_; }
+
+  /// Critical path to the given endpoint (a flop or primary output),
+  /// endpoint first, walking back to a cycle source.
+  std::vector<PathStep> critical_path(netlist::NodeId endpoint) const;
+
+  /// Endpoint (flop D pin or PO) with the worst arrival.
+  netlist::NodeId worst_endpoint() const { return worst_endpoint_; }
+
+  // -- Required times and slack ---------------------------------------------
+  /// Effective clock period used for slack: options.clock_period_ps, or
+  /// worst arrival + setup margin when auto.
+  double clock_period() const { return period_; }
+  /// Slack of an endpoint (flop: period − setup − data arrival;
+  /// PO: period − arrival). Negative = violated.
+  double endpoint_slack(netlist::NodeId endpoint) const;
+  /// All endpoints (flop D pins then POs) sorted by ascending slack.
+  struct EndpointSlack {
+    netlist::NodeId node;
+    double arrival_ps;
+    double slack_ps;
+  };
+  std::vector<EndpointSlack> slacks() const;
+  /// Number of endpoints with negative slack at the current period.
+  std::size_t violations() const;
+
+  /// PrimeTime-style text report of the `n` worst paths.
+  std::string report_timing(std::size_t n = 3) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  StaOptions opts_;
+  std::vector<double> arrival_;
+  std::vector<double> slew_;
+  /// fanin index (into node.fanin) realizing each node's arrival
+  std::vector<int> crit_pin_;
+  double worst_ = 0.0;
+  double period_ = 0.0;
+  netlist::NodeId worst_endpoint_ = netlist::kInvalidNode;
+};
+
+}  // namespace moss::sta

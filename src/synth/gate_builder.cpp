@@ -1,0 +1,335 @@
+#include "synth/gate_builder.hpp"
+
+#include <algorithm>
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss::synth {
+
+using netlist::kInvalidNode;
+
+NodeId GateBuilder::bit_const(bool v) {
+  NodeId& tie = v ? tie1_ : tie0_;
+  if (tie == kInvalidNode) {
+    tie = nl_->add_cell(v ? "TIE1" : "TIE0", fresh_name(v ? "tie1" : "tie0"),
+                        {});
+  }
+  return tie;
+}
+
+std::vector<NodeId> GateBuilder::word_const(int width, std::uint64_t value) {
+  std::vector<NodeId> out(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    out[static_cast<std::size_t>(i)] = bit_const((value >> i) & 1ull);
+  }
+  return out;
+}
+
+std::optional<bool> GateBuilder::const_value(NodeId n) const {
+  if (n == tie0_ && n != kInvalidNode) return false;
+  if (n == tie1_ && n != kInvalidNode) return true;
+  return std::nullopt;
+}
+
+std::string GateBuilder::fresh_name(const std::string& type) {
+  return "u" + std::to_string(name_counter_++) + "_" + to_lower(type);
+}
+
+NodeId GateBuilder::emit(const std::string& type, std::vector<NodeId> fanins) {
+  const cell::CellTypeId tid = nl_->library().find(type);
+  MOSS_CHECK(tid != cell::kInvalidCellType, "unknown cell " + type);
+  // Canonicalize commutative gates for structural hashing.
+  const cell::CellType& t = nl_->library().type(tid);
+  std::vector<NodeId> canon = fanins;
+  const bool commutative = type != "MUX2";
+  if (commutative && t.num_inputs > 1) {
+    std::sort(canon.begin(), canon.end());
+  }
+  const auto key = std::make_pair(tid, canon);
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const NodeId id = nl_->add_cell(tid, fresh_name(type), std::move(canon));
+  strash_.emplace(key, id);
+  return id;
+}
+
+NodeId GateBuilder::not_(NodeId a) {
+  if (const auto c = const_value(a)) return bit_const(!*c);
+  // Double inversion cancels.
+  const netlist::Node& n = nl_->node(a);
+  if (n.kind == netlist::NodeKind::kCell &&
+      nl_->library().type(n.type).name == "INV") {
+    return n.fanin[0];
+  }
+  return emit("INV", {a});
+}
+
+NodeId GateBuilder::and2(NodeId a, NodeId b) {
+  const auto ca = const_value(a), cb = const_value(b);
+  if (ca) return *ca ? b : bit_const(false);
+  if (cb) return *cb ? a : bit_const(false);
+  if (a == b) return a;
+  return emit("AND2", {a, b});
+}
+
+NodeId GateBuilder::or2(NodeId a, NodeId b) {
+  const auto ca = const_value(a), cb = const_value(b);
+  if (ca) return *ca ? bit_const(true) : b;
+  if (cb) return *cb ? bit_const(true) : a;
+  if (a == b) return a;
+  return emit("OR2", {a, b});
+}
+
+NodeId GateBuilder::xor2(NodeId a, NodeId b) {
+  const auto ca = const_value(a), cb = const_value(b);
+  if (ca) return *ca ? not_(b) : b;
+  if (cb) return *cb ? not_(a) : a;
+  if (a == b) return bit_const(false);
+  return emit("XOR2", {a, b});
+}
+
+NodeId GateBuilder::xnor2(NodeId a, NodeId b) {
+  const auto ca = const_value(a), cb = const_value(b);
+  if (ca) return *ca ? b : not_(b);
+  if (cb) return *cb ? a : not_(a);
+  if (a == b) return bit_const(true);
+  return emit("XNOR2", {a, b});
+}
+
+NodeId GateBuilder::mux2(NodeId sel, NodeId f, NodeId t) {
+  if (const auto cs = const_value(sel)) return *cs ? t : f;
+  if (f == t) return f;
+  const auto cf = const_value(f), ct = const_value(t);
+  if (cf && ct) return *ct ? sel : not_(sel);  // (f,t) = (0,1) or (1,0)
+  if (cf) return *cf ? or2(not_(sel), t) : and2(sel, t);
+  if (ct) return *ct ? or2(sel, f) : and2(not_(sel), f);
+  return emit("MUX2", {f, t, sel});  // pin order A(=sel0), B(=sel1), S
+}
+
+NodeId GateBuilder::xor3(NodeId a, NodeId b, NodeId c) {
+  if (const_value(a) || const_value(b) || const_value(c) || a == b || b == c ||
+      a == c) {
+    return xor2(xor2(a, b), c);  // fold via 2-input rules
+  }
+  return emit("XOR3", {a, b, c});
+}
+
+NodeId GateBuilder::maj3(NodeId a, NodeId b, NodeId c) {
+  const auto ca = const_value(a), cb = const_value(b), cc = const_value(c);
+  if (ca) return *ca ? or2(b, c) : and2(b, c);
+  if (cb) return *cb ? or2(a, c) : and2(a, c);
+  if (cc) return *cc ? or2(a, b) : and2(a, b);
+  if (a == b) return a;
+  if (b == c) return b;
+  if (a == c) return a;
+  return emit("MAJ3", {a, b, c});
+}
+
+NodeId GateBuilder::and_n(std::vector<NodeId> bits) {
+  MOSS_CHECK(!bits.empty(), "and_n of nothing");
+  while (bits.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(and2(bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+NodeId GateBuilder::or_n(std::vector<NodeId> bits) {
+  MOSS_CHECK(!bits.empty(), "or_n of nothing");
+  while (bits.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(or2(bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+NodeId GateBuilder::xor_n(std::vector<NodeId> bits) {
+  MOSS_CHECK(!bits.empty(), "xor_n of nothing");
+  while (bits.size() > 1) {
+    std::vector<NodeId> next;
+    std::size_t i = 0;
+    for (; i + 2 < bits.size(); i += 3) {
+      next.push_back(xor3(bits[i], bits[i + 1], bits[i + 2]));
+    }
+    if (i + 1 < bits.size()) {
+      next.push_back(xor2(bits[i], bits[i + 1]));
+    } else if (i < bits.size()) {
+      next.push_back(bits[i]);
+    }
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+std::vector<NodeId> GateBuilder::not_word(const std::vector<NodeId>& a) {
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  for (const NodeId b : a) out.push_back(not_(b));
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::and_word(const std::vector<NodeId>& a,
+                                          const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "word width mismatch");
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and2(a[i], b[i]));
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::or_word(const std::vector<NodeId>& a,
+                                         const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "word width mismatch");
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(or2(a[i], b[i]));
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::xor_word(const std::vector<NodeId>& a,
+                                          const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "word width mismatch");
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor2(a[i], b[i]));
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::mux_word(NodeId sel,
+                                          const std::vector<NodeId>& f,
+                                          const std::vector<NodeId>& t) {
+  MOSS_CHECK(f.size() == t.size(), "mux arm width mismatch");
+  std::vector<NodeId> out;
+  out.reserve(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    out.push_back(mux2(sel, f[i], t[i]));
+  }
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::add(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b,
+                                     NodeId carry_in) {
+  MOSS_CHECK(a.size() == b.size(), "adder width mismatch");
+  std::vector<NodeId> out;
+  out.reserve(a.size());
+  NodeId carry = carry_in == kInvalidNode ? bit_const(false) : carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(xor3(a[i], b[i], carry));
+    if (i + 1 < a.size()) carry = maj3(a[i], b[i], carry);
+  }
+  return out;
+}
+
+std::vector<NodeId> GateBuilder::sub(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b) {
+  return add(a, not_word(b), bit_const(true));
+}
+
+std::vector<NodeId> GateBuilder::neg(const std::vector<NodeId>& a) {
+  return add(not_word(a), word_const(static_cast<int>(a.size()), 0),
+             bit_const(true));
+}
+
+std::vector<NodeId> GateBuilder::mul(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "multiplier width mismatch");
+  const std::size_t w = a.size();
+  // Row accumulation of partial products, truncated to w bits. Constant
+  // operand bits (from zext) fold the corresponding gates away entirely.
+  std::vector<NodeId> acc = word_const(static_cast<int>(w), 0);
+  for (std::size_t i = 0; i < w; ++i) {
+    if (const auto cb = const_value(b[i]); cb && !*cb) continue;
+    std::vector<NodeId> pp = word_const(static_cast<int>(w), 0);
+    for (std::size_t j = 0; j + i < w; ++j) {
+      pp[j + i] = and2(a[j], b[i]);
+    }
+    acc = add(acc, pp);
+  }
+  return acc;
+}
+
+NodeId GateBuilder::eq(const std::vector<NodeId>& a,
+                       const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "comparator width mismatch");
+  std::vector<NodeId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(xnor2(a[i], b[i]));
+  }
+  return and_n(std::move(bits));
+}
+
+NodeId GateBuilder::ult(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+  MOSS_CHECK(a.size() == b.size(), "comparator width mismatch");
+  // Borrow chain of a - b: borrow_out(i) = maj(~a_i, b_i, borrow_in).
+  NodeId borrow = bit_const(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    borrow = maj3(not_(a[i]), b[i], borrow);
+  }
+  return borrow;
+}
+
+NodeId GateBuilder::ule(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+  return not_(ult(b, a));
+}
+
+std::vector<NodeId> GateBuilder::shl(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& amount) {
+  std::vector<NodeId> cur = a;
+  const int w = static_cast<int>(a.size());
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const int k = 1 << s;
+    if (k >= w) {
+      // Shifting by >= w zeroes everything when this amount bit is set.
+      for (int i = 0; i < w; ++i) {
+        cur[static_cast<std::size_t>(i)] =
+            and2(cur[static_cast<std::size_t>(i)], not_(amount[s]));
+      }
+      continue;
+    }
+    std::vector<NodeId> shifted(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      shifted[static_cast<std::size_t>(i)] =
+          i >= k ? cur[static_cast<std::size_t>(i - k)] : bit_const(false);
+    }
+    cur = mux_word(amount[s], cur, shifted);
+  }
+  return cur;
+}
+
+std::vector<NodeId> GateBuilder::shr(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& amount) {
+  std::vector<NodeId> cur = a;
+  const int w = static_cast<int>(a.size());
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const int k = 1 << s;
+    if (k >= w) {
+      for (int i = 0; i < w; ++i) {
+        cur[static_cast<std::size_t>(i)] =
+            and2(cur[static_cast<std::size_t>(i)], not_(amount[s]));
+      }
+      continue;
+    }
+    std::vector<NodeId> shifted(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      shifted[static_cast<std::size_t>(i)] =
+          i + k < w ? cur[static_cast<std::size_t>(i + k)] : bit_const(false);
+    }
+    cur = mux_word(amount[s], cur, shifted);
+  }
+  return cur;
+}
+
+}  // namespace moss::synth

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace moss::synth {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Bit-level construction kit over a Netlist. All combinational primitives
+/// constant-fold (through TIE cells), simplify trivial identities
+/// (x&x, x^x, mux with equal arms, ...) and structurally hash, so the
+/// emitted netlist is already lightly optimized — mirroring what Design
+/// Compiler does during elaboration.
+///
+/// A "word" is a vector of bit NodeIds, LSB first.
+class GateBuilder {
+ public:
+  explicit GateBuilder(Netlist& nl) : nl_(&nl) {}
+
+  Netlist& netlist() { return *nl_; }
+
+  // -- constants ------------------------------------------------------------
+  NodeId bit_const(bool v);
+  std::vector<NodeId> word_const(int width, std::uint64_t value);
+  /// If the node is a tie cell, its constant value.
+  std::optional<bool> const_value(NodeId n) const;
+
+  // -- bit primitives ---------------------------------------------------------
+  NodeId not_(NodeId a);
+  NodeId and2(NodeId a, NodeId b);
+  NodeId or2(NodeId a, NodeId b);
+  NodeId xor2(NodeId a, NodeId b);
+  NodeId xnor2(NodeId a, NodeId b);
+  NodeId mux2(NodeId sel, NodeId f, NodeId t);  ///< sel ? t : f
+  NodeId xor3(NodeId a, NodeId b, NodeId c);
+  NodeId maj3(NodeId a, NodeId b, NodeId c);
+  NodeId and_n(std::vector<NodeId> bits);  ///< tree reduction
+  NodeId or_n(std::vector<NodeId> bits);
+  NodeId xor_n(std::vector<NodeId> bits);
+
+  // -- word operations (widths must match where applicable) ----------------
+  std::vector<NodeId> not_word(const std::vector<NodeId>& a);
+  std::vector<NodeId> and_word(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b);
+  std::vector<NodeId> or_word(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b);
+  std::vector<NodeId> xor_word(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b);
+  /// sel ? t : f, bitwise.
+  std::vector<NodeId> mux_word(NodeId sel, const std::vector<NodeId>& f,
+                               const std::vector<NodeId>& t);
+  /// a + b (+ carry_in), truncated to width(a).
+  std::vector<NodeId> add(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b,
+                          NodeId carry_in = netlist::kInvalidNode);
+  std::vector<NodeId> sub(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b);
+  std::vector<NodeId> neg(const std::vector<NodeId>& a);
+  /// a * b truncated to width(a) (widths must match; pre-extend for
+  /// widening multiplication — constant high bits fold away).
+  std::vector<NodeId> mul(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b);
+  NodeId eq(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  /// unsigned a < b
+  NodeId ult(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  /// unsigned a <= b
+  NodeId ule(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  /// Shift by a variable amount (logarithmic barrel shifter).
+  std::vector<NodeId> shl(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& amount);
+  std::vector<NodeId> shr(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& amount);
+
+  /// Number of cells created so far (excluding ports).
+  std::size_t cells_created() const { return nl_->num_cells(); }
+
+ private:
+  NodeId emit(const std::string& type, std::vector<NodeId> fanins);
+  std::string fresh_name(const std::string& type);
+
+  Netlist* nl_;
+  NodeId tie0_ = netlist::kInvalidNode;
+  NodeId tie1_ = netlist::kInvalidNode;
+  /// structural-hash table: (cell type id, canonical fanins) -> node
+  std::map<std::pair<cell::CellTypeId, std::vector<NodeId>>, NodeId> strash_;
+  std::size_t name_counter_ = 0;
+};
+
+}  // namespace moss::synth

@@ -1,0 +1,618 @@
+#include "synth/synthesize.hpp"
+
+#include <unordered_map>
+
+#include "core_util/check.hpp"
+#include "core_util/strings.hpp"
+#include "synth/gate_builder.hpp"
+
+namespace moss::synth {
+
+using netlist::kInvalidNode;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+namespace {
+
+using Word = std::vector<NodeId>;
+
+/// Lowers word-level RTL expressions into gates via a GateBuilder.
+class Lowerer {
+ public:
+  Lowerer(const rtl::Module& m, GateBuilder& gb) : m_(m), gb_(gb) {}
+
+  void define(const std::string& symbol, Word bits) {
+    env_.emplace(symbol, std::move(bits));
+  }
+
+  const Word& lookup(const std::string& symbol) const {
+    const auto it = env_.find(symbol);
+    MOSS_CHECK(it != env_.end(), "symbol not lowered yet: " + symbol);
+    return it->second;
+  }
+
+  Word lower(rtl::ExprId id) {
+    const rtl::Expr& e = m_.arena.at(id);
+    using rtl::ExprOp;
+    switch (e.op) {
+      case ExprOp::kConst:
+        return gb_.word_const(e.width, e.value);
+      case ExprOp::kVar: {
+        const Word& w = lookup(e.var);
+        MOSS_CHECK(static_cast<int>(w.size()) == e.width,
+                   "lowered width mismatch for " + e.var);
+        return w;
+      }
+      case ExprOp::kNot:
+        return gb_.not_word(lower(e.args[0]));
+      case ExprOp::kNeg:
+        return gb_.neg(lower(e.args[0]));
+      case ExprOp::kRedAnd:
+        return {gb_.and_n(lower(e.args[0]))};
+      case ExprOp::kRedOr:
+        return {gb_.or_n(lower(e.args[0]))};
+      case ExprOp::kRedXor:
+        return {gb_.xor_n(lower(e.args[0]))};
+      case ExprOp::kAnd:
+        return gb_.and_word(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kOr:
+        return gb_.or_word(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kXor:
+        return gb_.xor_word(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kAdd:
+        return gb_.add(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kSub:
+        return gb_.sub(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kMul:
+        return gb_.mul(lower(e.args[0]), lower(e.args[1]));
+      case ExprOp::kShl: {
+        const Word a = lower(e.args[0]);
+        const rtl::Expr& sh = m_.arena.at(e.args[1]);
+        if (sh.op == ExprOp::kConst) return const_shift(a, sh.value, true);
+        return gb_.shl(a, lower(e.args[1]));
+      }
+      case ExprOp::kShr: {
+        const Word a = lower(e.args[0]);
+        const rtl::Expr& sh = m_.arena.at(e.args[1]);
+        if (sh.op == ExprOp::kConst) return const_shift(a, sh.value, false);
+        return gb_.shr(a, lower(e.args[1]));
+      }
+      case ExprOp::kEq:
+        return {gb_.eq(lower(e.args[0]), lower(e.args[1]))};
+      case ExprOp::kNe:
+        return {gb_.not_(gb_.eq(lower(e.args[0]), lower(e.args[1])))};
+      case ExprOp::kLt:
+        return {gb_.ult(lower(e.args[0]), lower(e.args[1]))};
+      case ExprOp::kLe:
+        return {gb_.ule(lower(e.args[0]), lower(e.args[1]))};
+      case ExprOp::kMux: {
+        const Word sel = lower(e.args[0]);
+        return gb_.mux_word(sel[0], lower(e.args[2]), lower(e.args[1]));
+      }
+      case ExprOp::kBit: {
+        const Word a = lower(e.args[0]);
+        return {a[static_cast<std::size_t>(e.lo)]};
+      }
+      case ExprOp::kSlice: {
+        const Word a = lower(e.args[0]);
+        return Word(a.begin() + e.lo, a.begin() + e.hi + 1);
+      }
+      case ExprOp::kConcat: {
+        Word out;
+        out.reserve(static_cast<std::size_t>(e.width));
+        // args are MSB-first; words are LSB-first.
+        for (auto it = e.args.rbegin(); it != e.args.rend(); ++it) {
+          const Word part = lower(*it);
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      }
+      case ExprOp::kZext: {
+        Word a = lower(e.args[0]);
+        while (static_cast<int>(a.size()) < e.width) {
+          a.push_back(gb_.bit_const(false));
+        }
+        return a;
+      }
+      case ExprOp::kSext: {
+        Word a = lower(e.args[0]);
+        const NodeId sign = a.back();
+        while (static_cast<int>(a.size()) < e.width) a.push_back(sign);
+        return a;
+      }
+    }
+    fail("unreachable rtl op in lowering");
+  }
+
+ private:
+  Word const_shift(const Word& a, std::uint64_t k, bool left) {
+    const std::size_t w = a.size();
+    Word out(w, gb_.bit_const(false));
+    for (std::size_t i = 0; i < w; ++i) {
+      if (left) {
+        if (i >= k) out[i] = a[i - k];
+      } else {
+        if (i + k < w) out[i] = a[i + k];
+      }
+    }
+    return out;
+  }
+
+  const rtl::Module& m_;
+  GateBuilder& gb_;
+  std::unordered_map<std::string, Word> env_;
+};
+
+std::string bit_name(const std::string& base, int width, int i) {
+  return width == 1 ? base : base + "[" + std::to_string(i) + "]";
+}
+
+Netlist elaborate(const rtl::Module& m, const cell::CellLibrary& lib) {
+  m.validate();
+  Netlist nl(lib, m.name);
+  GateBuilder gb(nl);
+  Lowerer lo(m, gb);
+
+  // Primary inputs, bit-blasted.
+  for (const rtl::Port& p : m.inputs) {
+    Word bits(static_cast<std::size_t>(p.width));
+    for (int i = 0; i < p.width; ++i) {
+      bits[static_cast<std::size_t>(i)] =
+          nl.add_input(bit_name(p.name, p.width, i));
+    }
+    lo.define(p.name, std::move(bits));
+  }
+
+  // Flops first (with dangling pins) so feedback references resolve.
+  struct FlopPlan {
+    NodeId node;
+    bool fold_reset_high;  ///< reset-to-1 handled in D logic
+    bool has_enable_pin;
+    bool has_reset_pin;
+  };
+  std::vector<std::vector<FlopPlan>> flop_plans(m.regs.size());
+  for (std::size_t ri = 0; ri < m.regs.size(); ++ri) {
+    const rtl::Register& r = m.regs[ri];
+    Word q(static_cast<std::size_t>(r.width));
+    flop_plans[ri].resize(static_cast<std::size_t>(r.width));
+    for (int i = 0; i < r.width; ++i) {
+      const bool rv = (r.reset_value >> i) & 1ull;
+      const bool use_reset_pin = r.has_reset && !rv;
+      const bool fold_reset_high = r.has_reset && rv;
+      const bool use_enable_pin = r.enable != rtl::kInvalidExpr;
+      std::string type = "DFF";
+      if (use_enable_pin && use_reset_pin) type = "DFFRE";
+      else if (use_enable_pin) type = "DFFE";
+      else if (use_reset_pin) type = "DFFR";
+      const cell::CellType& t = lib.by_name(type);
+      const NodeId node =
+          nl.add_cell(type, r.name + "_reg" +
+                                (r.width == 1 ? std::string()
+                                              : "[" + std::to_string(i) + "]"),
+                      Word(static_cast<std::size_t>(t.num_inputs),
+                           kInvalidNode));
+      nl.set_rtl_register(node, bit_name(r.name, r.width, i));
+      q[static_cast<std::size_t>(i)] = node;
+      flop_plans[ri][static_cast<std::size_t>(i)] =
+          FlopPlan{node, fold_reset_high, use_enable_pin, use_reset_pin};
+    }
+    lo.define(r.name, std::move(q));
+  }
+
+  // Wires in dependency order.
+  for (const int wi : m.wire_topo_order()) {
+    const rtl::Wire& w = m.wires[static_cast<std::size_t>(wi)];
+    lo.define(w.name, lo.lower(w.expr));
+  }
+
+  // Register next-state logic; patch flop pins.
+  const rtl::Symbol* rst_sym = m.find_symbol(m.reset_port);
+  for (std::size_t ri = 0; ri < m.regs.size(); ++ri) {
+    const rtl::Register& r = m.regs[ri];
+    const Word next = lo.lower(r.next);
+    NodeId en = kInvalidNode;
+    if (r.enable != rtl::kInvalidExpr) en = lo.lower(r.enable)[0];
+    NodeId rst = kInvalidNode;
+    if (r.has_reset) {
+      MOSS_CHECK(rst_sym != nullptr, "reset port missing");
+      rst = lo.lookup(m.reset_port)[0];
+    }
+    for (int i = 0; i < r.width; ++i) {
+      const FlopPlan& plan = flop_plans[ri][static_cast<std::size_t>(i)];
+      NodeId d = next[static_cast<std::size_t>(i)];
+      if (plan.fold_reset_high) {
+        // reset-to-1: D = rst ? 1 : next. With an enable pin the flop holds
+        // when E=0, which would lose the reset, so force E high on reset.
+        d = gb.or2(d, rst);
+      }
+      const cell::CellType& t = nl.type_of(plan.node);
+      nl.connect(plan.node, t.pin_index("D"), d);
+      if (plan.has_enable_pin) {
+        NodeId e = en;
+        if (plan.fold_reset_high) e = gb.or2(en, rst);
+        nl.connect(plan.node, t.pin_index("E"), e);
+      }
+      if (plan.has_reset_pin) nl.connect(plan.node, t.pin_index("R"), rst);
+    }
+  }
+
+  // Primary outputs.
+  for (const auto& [name, e] : m.output_assigns) {
+    const Word bits = lo.lower(e);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      nl.add_output(bit_name(name, static_cast<int>(bits.size()),
+                             static_cast<int>(i)),
+                    bits[i]);
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild machinery shared by the optimization passes.
+// ---------------------------------------------------------------------------
+
+/// Copies `src` into a new netlist, letting hooks skip nodes or replace a
+/// node's image. Flops are created first with dangling pins (patched at the
+/// end), so arbitrary sequential feedback survives the rebuild.
+class Rebuilder {
+ public:
+  explicit Rebuilder(const Netlist& src)
+      : src_(src), dst_(src.library(), src.name()) {}
+
+  Netlist& dst() { return dst_; }
+  const Netlist& src() const { return src_; }
+
+  NodeId image(NodeId old) const {
+    const NodeId img = map_[static_cast<std::size_t>(old)];
+    MOSS_CHECK(img != kInvalidNode, "node has no image yet");
+    return img;
+  }
+
+  /// skip(old) -> true: node is fused into a consumer; no image created.
+  /// replace(old) -> kInvalidNode to copy verbatim, else the replacement
+  /// image (which the hook created in dst() using image() of fanins).
+  template <typename SkipFn, typename ReplaceFn>
+  Netlist run(const SkipFn& skip, const ReplaceFn& replace) {
+    map_.assign(src_.num_nodes(), kInvalidNode);
+
+    // Ports and flops first.
+    for (const NodeId id : src_.inputs()) {
+      set(id, dst_.add_input(src_.node(id).name));
+    }
+    for (const NodeId id : src_.flops()) {
+      if (skip(id)) continue;
+      const netlist::Node& n = src_.node(id);
+      const NodeId img = dst_.add_cell(
+          n.type, n.name,
+          std::vector<NodeId>(n.fanin.size(), kInvalidNode));
+      if (!n.rtl_register.empty()) dst_.set_rtl_register(img, n.rtl_register);
+      set(id, img);
+    }
+    // Combinational cells in topological order.
+    for (const NodeId id : src_.topo_order()) {
+      const netlist::Node& n = src_.node(id);
+      if (n.kind != NodeKind::kCell || src_.is_flop(id)) continue;
+      if (skip(id)) continue;
+      const NodeId repl = replace(id, *this);
+      if (repl != kInvalidNode) {
+        set(id, repl);
+        continue;
+      }
+      std::vector<NodeId> fanins;
+      fanins.reserve(n.fanin.size());
+      for (const NodeId f : n.fanin) fanins.push_back(image(f));
+      set(id, dst_.add_cell(n.type, n.name, std::move(fanins)));
+    }
+    // Patch flop pins.
+    for (const NodeId id : src_.flops()) {
+      if (skip(id)) continue;
+      const netlist::Node& n = src_.node(id);
+      for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+        dst_.connect(image(id), static_cast<int>(p), image(n.fanin[p]));
+      }
+    }
+    // Outputs.
+    for (const NodeId id : src_.outputs()) {
+      const netlist::Node& n = src_.node(id);
+      dst_.add_output(n.name, image(n.fanin[0]));
+    }
+    dst_.finalize();
+    return std::move(dst_);
+  }
+
+  void set(NodeId old, NodeId img) { map_[static_cast<std::size_t>(old)] = img; }
+
+ private:
+  const Netlist& src_;
+  Netlist dst_;
+  std::vector<NodeId> map_;
+};
+
+bool is_type(const Netlist& nl, NodeId id, const char* name) {
+  const netlist::Node& n = nl.node(id);
+  return n.kind == NodeKind::kCell && nl.library().type(n.type).name == name;
+}
+
+bool single_fanout(const Netlist& nl, NodeId id) {
+  return nl.node(id).fanout.size() == 1;
+}
+
+}  // namespace
+
+Netlist merge_gate_trees(const Netlist& src) {
+  // Identify AND2(AND2, x) / OR2(OR2, x) chains and widen them. A child is
+  // absorbed only if it has a single fanout (its only consumer is the root).
+  const std::size_t n = src.num_nodes();
+  std::vector<char> fused(n, 0);
+  // root -> widened input list (old ids)
+  std::unordered_map<NodeId, std::vector<NodeId>> widened;
+  std::unordered_map<NodeId, std::string> new_type;
+
+  for (const NodeId id : src.topo_order()) {
+    for (const char* base : {"AND2", "OR2"}) {
+      if (!is_type(src, id, base)) continue;
+      const netlist::Node& root = src.node(id);
+      std::vector<NodeId> leaves;
+      for (const NodeId f : root.fanin) {
+        if (is_type(src, f, base) && single_fanout(src, f) && !fused[static_cast<std::size_t>(f)] &&
+            widened.find(f) == widened.end()) {
+          // absorb child (only plain, un-widened children)
+          for (const NodeId g : src.node(f).fanin) leaves.push_back(g);
+          fused[static_cast<std::size_t>(f)] = 1;
+        } else {
+          leaves.push_back(f);
+        }
+      }
+      if (leaves.size() > 2 && leaves.size() <= 4) {
+        widened.emplace(id, std::move(leaves));
+        // "AND2"/"OR2" -> "AND"/"OR" + actual arity
+        std::string stem(base);
+        stem.pop_back();
+        new_type.emplace(id, stem + std::to_string(widened.at(id).size()));
+      }
+      break;
+    }
+  }
+
+  Rebuilder rb(src);
+  return rb.run(
+      [&](NodeId id) { return fused[static_cast<std::size_t>(id)] != 0; },
+      [&](NodeId id, Rebuilder& r) -> NodeId {
+        const auto it = widened.find(id);
+        if (it == widened.end()) return kInvalidNode;
+        std::vector<NodeId> fanins;
+        for (const NodeId f : it->second) fanins.push_back(r.image(f));
+        return r.dst().add_cell(new_type.at(id), src.node(id).name + "_w",
+                                std::move(fanins));
+      });
+}
+
+Netlist fuse_inverters(const Netlist& src) {
+  // INV(g) patterns -> complex inverting gates. The inner gate must have a
+  // single fanout (the INV).
+  std::vector<char> fused(src.num_nodes(), 0);
+  struct Recipe {
+    std::string type;
+    std::vector<NodeId> leaves;  // old ids
+  };
+  std::unordered_map<NodeId, Recipe> recipes;
+
+  const auto inner_ok = [&](NodeId g) {
+    return single_fanout(src, g) && !fused[static_cast<std::size_t>(g)];
+  };
+
+  for (const NodeId id : src.topo_order()) {
+    if (!is_type(src, id, "INV")) continue;
+    const NodeId g = src.node(id).fanin[0];
+    if (!inner_ok(g)) continue;
+    const netlist::Node& gn = src.node(g);
+    const auto gf = [&](std::size_t i) { return gn.fanin[i]; };
+
+    Recipe rec;
+    if (is_type(src, g, "AND2")) {
+      // Check for AOI/OAI shapes one level deeper first.
+      const NodeId x = gf(0), y = gf(1);
+      if (is_type(src, x, "OR2") && is_type(src, y, "OR2") && inner_ok(x) &&
+          inner_ok(y) && x != y) {
+        rec = {"OAI22",
+               {src.node(x).fanin[0], src.node(x).fanin[1],
+                src.node(y).fanin[0], src.node(y).fanin[1]}};
+        fused[static_cast<std::size_t>(x)] = 1;
+        fused[static_cast<std::size_t>(y)] = 1;
+      } else if (is_type(src, x, "OR2") && inner_ok(x)) {
+        rec = {"OAI21", {src.node(x).fanin[0], src.node(x).fanin[1], y}};
+        fused[static_cast<std::size_t>(x)] = 1;
+      } else if (is_type(src, y, "OR2") && inner_ok(y)) {
+        rec = {"OAI21", {src.node(y).fanin[0], src.node(y).fanin[1], x}};
+        fused[static_cast<std::size_t>(y)] = 1;
+      } else {
+        rec = {"NAND2", {x, y}};
+      }
+    } else if (is_type(src, g, "OR2")) {
+      const NodeId x = gf(0), y = gf(1);
+      if (is_type(src, x, "AND2") && is_type(src, y, "AND2") && inner_ok(x) &&
+          inner_ok(y) && x != y) {
+        rec = {"AOI22",
+               {src.node(x).fanin[0], src.node(x).fanin[1],
+                src.node(y).fanin[0], src.node(y).fanin[1]}};
+        fused[static_cast<std::size_t>(x)] = 1;
+        fused[static_cast<std::size_t>(y)] = 1;
+      } else if (is_type(src, x, "AND2") && inner_ok(x)) {
+        rec = {"AOI21", {src.node(x).fanin[0], src.node(x).fanin[1], y}};
+        fused[static_cast<std::size_t>(x)] = 1;
+      } else if (is_type(src, y, "AND2") && inner_ok(y)) {
+        rec = {"AOI21", {src.node(y).fanin[0], src.node(y).fanin[1], x}};
+        fused[static_cast<std::size_t>(y)] = 1;
+      } else {
+        rec = {"NOR2", {x, y}};
+      }
+    } else if (is_type(src, g, "XOR2")) {
+      rec = {"XNOR2", {gf(0), gf(1)}};
+    } else if (is_type(src, g, "XNOR2")) {
+      rec = {"XOR2", {gf(0), gf(1)}};
+    } else if (is_type(src, g, "AND3")) {
+      rec = {"NAND3", {gf(0), gf(1), gf(2)}};
+    } else if (is_type(src, g, "AND4")) {
+      rec = {"NAND4", {gf(0), gf(1), gf(2), gf(3)}};
+    } else if (is_type(src, g, "OR3")) {
+      rec = {"NOR3", {gf(0), gf(1), gf(2)}};
+    } else if (is_type(src, g, "OR4")) {
+      rec = {"NOR4", {gf(0), gf(1), gf(2), gf(3)}};
+    } else {
+      continue;
+    }
+    fused[static_cast<std::size_t>(g)] = 1;
+    recipes.emplace(id, std::move(rec));
+  }
+
+  Rebuilder rb(src);
+  return rb.run(
+      [&](NodeId id) { return fused[static_cast<std::size_t>(id)] != 0; },
+      [&](NodeId id, Rebuilder& r) -> NodeId {
+        const auto it = recipes.find(id);
+        if (it == recipes.end()) return kInvalidNode;
+        std::vector<NodeId> fanins;
+        for (const NodeId f : it->second.leaves) fanins.push_back(r.image(f));
+        return r.dst().add_cell(it->second.type, src.node(id).name + "_f",
+                                std::move(fanins));
+      });
+}
+
+Netlist sweep_dead_logic(const Netlist& src) {
+  // Keep everything with a path to a primary output. Flops on such paths
+  // keep their own fanin cones (including feedback).
+  std::vector<char> live(src.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  for (const NodeId id : src.outputs()) {
+    live[static_cast<std::size_t>(id)] = 1;
+    stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId f : src.node(id).fanin) {
+      if (!live[static_cast<std::size_t>(f)]) {
+        live[static_cast<std::size_t>(f)] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  // Primary inputs always survive (ports are part of the interface).
+  for (const NodeId id : src.inputs()) live[static_cast<std::size_t>(id)] = 1;
+
+  Rebuilder rb(src);
+  return rb.run(
+      [&](NodeId id) { return !live[static_cast<std::size_t>(id)]; },
+      [](NodeId, Rebuilder&) { return kInvalidNode; });
+}
+
+Netlist insert_buffers(const Netlist& src) {
+  // For each overloaded driver, plan a buffer bank; consumers are spread
+  // round-robin across the buffers.
+  struct Bank {
+    int num_buffers = 0;
+  };
+  std::unordered_map<NodeId, Bank> banks;
+  for (std::size_t i = 0; i < src.num_nodes(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const netlist::Node& n = src.node(id);
+    if (n.kind == NodeKind::kPrimaryOutput) continue;
+    double max_load = 140.0;  // assumed PI drive limit
+    if (n.kind == NodeKind::kCell) {
+      max_load = src.library().type(n.type).max_load;
+    }
+    const double load = src.output_load(id);
+    if (load > max_load && n.fanout.size() > 1) {
+      const auto& buf = src.library().by_name("BUFX4");
+      const int k = std::min<int>(
+          static_cast<int>(n.fanout.size()),
+          1 + static_cast<int>(load / buf.max_load));
+      banks.emplace(id, Bank{k});
+    }
+  }
+  if (banks.empty()) {
+    Rebuilder rb(src);
+    return rb.run([](NodeId) { return false; },
+                  [](NodeId, Rebuilder&) { return kInvalidNode; });
+  }
+
+  // Rebuild manually (the generic hook can't rewrite consumers' fanins).
+  Netlist dst(src.library(), src.name());
+  std::vector<NodeId> map(src.num_nodes(), kInvalidNode);
+  // driver -> its buffer images in dst, and a rotating cursor
+  std::unordered_map<NodeId, std::pair<std::vector<NodeId>, std::size_t>>
+      buf_images;
+
+  const auto driver_for = [&](NodeId old) -> NodeId {
+    const auto it = buf_images.find(old);
+    if (it == buf_images.end()) return map[static_cast<std::size_t>(old)];
+    auto& [bufs, cursor] = it->second;
+    const NodeId b = bufs[cursor % bufs.size()];
+    ++cursor;
+    return b;
+  };
+  const auto make_bank = [&](NodeId old) {
+    const auto it = banks.find(old);
+    if (it == banks.end()) return;
+    std::vector<NodeId> bufs;
+    for (int k = 0; k < it->second.num_buffers; ++k) {
+      bufs.push_back(dst.add_cell(
+          "BUFX4", src.node(old).name + "_buf" + std::to_string(k),
+          {map[static_cast<std::size_t>(old)]}));
+    }
+    buf_images.emplace(old, std::make_pair(std::move(bufs), std::size_t{0}));
+  };
+
+  for (const NodeId id : src.inputs()) {
+    map[static_cast<std::size_t>(id)] = dst.add_input(src.node(id).name);
+    make_bank(id);
+  }
+  for (const NodeId id : src.flops()) {
+    const netlist::Node& n = src.node(id);
+    map[static_cast<std::size_t>(id)] = dst.add_cell(
+        n.type, n.name, std::vector<NodeId>(n.fanin.size(), kInvalidNode));
+    if (!n.rtl_register.empty()) {
+      dst.set_rtl_register(map[static_cast<std::size_t>(id)], n.rtl_register);
+    }
+    make_bank(id);
+  }
+  for (const NodeId id : src.topo_order()) {
+    const netlist::Node& n = src.node(id);
+    if (n.kind != NodeKind::kCell || src.is_flop(id)) continue;
+    std::vector<NodeId> fanins;
+    fanins.reserve(n.fanin.size());
+    for (const NodeId f : n.fanin) fanins.push_back(driver_for(f));
+    map[static_cast<std::size_t>(id)] = dst.add_cell(n.type, n.name,
+                                                     std::move(fanins));
+    make_bank(id);
+  }
+  for (const NodeId id : src.flops()) {
+    const netlist::Node& n = src.node(id);
+    for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+      dst.connect(map[static_cast<std::size_t>(id)], static_cast<int>(p),
+                  driver_for(n.fanin[p]));
+    }
+  }
+  for (const NodeId id : src.outputs()) {
+    dst.add_output(src.node(id).name, driver_for(src.node(id).fanin[0]));
+  }
+  dst.finalize();
+  return dst;
+}
+
+Netlist synthesize(const rtl::Module& m, const cell::CellLibrary& lib,
+                   const SynthOptions& opts) {
+  Netlist nl = elaborate(m, lib);
+  if (opts.sweep_dead_logic) nl = sweep_dead_logic(nl);
+  if (opts.merge_gate_trees) nl = merge_gate_trees(nl);
+  if (opts.fuse_inverters) nl = fuse_inverters(nl);
+  if (opts.insert_buffers) nl = insert_buffers(nl);
+  if (!opts.name_suffix.empty()) nl.set_name(m.name + opts.name_suffix);
+  return nl;
+}
+
+}  // namespace moss::synth

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "rtl/module.hpp"
+
+namespace moss::synth {
+
+/// Options controlling the synthesis flow (the stand-in for Design Compiler
+/// compile_ultra). Each optimization can be toggled off for ablations and
+/// for generating "multiple rounds of optimization" dataset variants.
+struct SynthOptions {
+  bool merge_gate_trees = true;   ///< AND2/OR2 chains -> AND3/AND4/OR3/OR4
+  bool fuse_inverters = true;     ///< INV+gate -> NAND/NOR/XNOR/AOI/OAI
+  bool sweep_dead_logic = true;   ///< drop cells with no path to any output
+  bool insert_buffers = true;     ///< fix max-load violations with BUF trees
+  /// Suffix appended to the netlist name (dataset variants).
+  std::string name_suffix;
+};
+
+/// Synthesize an RTL module into a standard-cell netlist. The result is
+/// finalized, functionally equivalent to rtl::Evaluator semantics (verified
+/// by tests/synth_test.cpp), and carries per-DFF `rtl_register` provenance
+/// ("reg[bit]") used by the register-to-DFF alignment task.
+netlist::Netlist synthesize(const rtl::Module& m,
+                            const cell::CellLibrary& lib,
+                            const SynthOptions& opts = {});
+
+/// Individual rebuild passes (exposed for tests and ablation benches).
+/// Each takes a finalized netlist and returns a new finalized netlist.
+netlist::Netlist merge_gate_trees(const netlist::Netlist& src);
+netlist::Netlist fuse_inverters(const netlist::Netlist& src);
+netlist::Netlist sweep_dead_logic(const netlist::Netlist& src);
+netlist::Netlist insert_buffers(const netlist::Netlist& src);
+
+}  // namespace moss::synth

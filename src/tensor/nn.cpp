@@ -1,0 +1,41 @@
+#include "tensor/nn.hpp"
+
+#include <cmath>
+
+namespace moss::tensor {
+
+void Adam::step(float clip) {
+  ++t_;
+  auto& tensors = params_->tensors();
+
+  if (clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (Tensor& p : tensors) {
+      for (const float g : p.grad()) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > clip) {
+      const float s = static_cast<float>(clip / norm);
+      for (Tensor& p : tensors) {
+        for (float& g : p.grad()) g *= s;
+      }
+    }
+  }
+
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    Tensor& p = tensors[i];
+    auto& g = p.grad();
+    auto& d = p.data();
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      d[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace moss::tensor

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace moss::tensor {
+
+/// A named trainable parameter set. Modules register their parameters here
+/// so the optimizer can iterate them.
+class ParameterSet {
+ public:
+  Tensor& add(const std::string& name, Tensor t) {
+    names_.push_back(name);
+    params_.push_back(std::move(t));
+    return params_.back();
+  }
+  std::size_t size() const { return params_.size(); }
+  std::vector<Tensor>& tensors() { return params_; }
+  const std::vector<Tensor>& tensors() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  std::size_t num_scalars() const {
+    std::size_t n = 0;
+    for (const Tensor& p : params_) n += p.size();
+    return n;
+  }
+
+  void zero_grad() {
+    for (Tensor& p : params_) p.zero_grad();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Tensor> params_;
+};
+
+/// Fully connected layer y = x·W + b with Xavier-style init.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, Rng& rng, ParameterSet& params,
+         const std::string& name, bool bias = true) {
+    const float std = std::sqrt(2.0f / static_cast<float>(in + out));
+    w_ = params.add(name + ".w", Tensor::randn(in, out, rng, std, true));
+    if (bias) b_ = params.add(name + ".b", Tensor::zeros(1, out, true));
+  }
+
+  Tensor operator()(const Tensor& x) const {
+    Tensor y = matmul(x, w_);
+    if (b_.defined()) y = add(y, b_);
+    return y;
+  }
+
+  const Tensor& weight() const { return w_; }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+};
+
+/// Two-layer MLP with a nonlinearity, as used by the RNM matching head and
+/// the task prediction heads.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(std::size_t in, std::size_t hidden, std::size_t out, Rng& rng,
+      ParameterSet& params, const std::string& name)
+      : l1_(in, hidden, rng, params, name + ".l1"),
+        l2_(hidden, out, rng, params, name + ".l2") {}
+
+  Tensor operator()(const Tensor& x) const { return l2_(relu(l1_(x))); }
+
+ private:
+  Linear l1_;
+  Linear l2_;
+};
+
+/// Adam optimizer (the paper trains with Adam, lr 6e-4).
+class Adam {
+ public:
+  explicit Adam(ParameterSet& params, float lr = 6e-4f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f)
+      : params_(&params), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params.tensors()[i].size(), 0.0f);
+      v_[i].assign(params.tensors()[i].size(), 0.0f);
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+  /// Apply one update from the accumulated gradients, then the caller
+  /// typically calls params.zero_grad(). Gradients are clipped to a global
+  /// norm of `clip` first (0 disables clipping).
+  void step(float clip = 5.0f);
+
+ private:
+  ParameterSet* params_;
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<std::vector<float>> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace moss::tensor

@@ -1,0 +1,90 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core_util/check.hpp"
+
+namespace moss::tensor {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'S', 'S', 'C', 'K', 'P', 'T'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  MOSS_CHECK(in.good(), "checkpoint truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(std::ostream& out, const ParameterSet& params) {
+  out.write(kMagic, sizeof kMagic);
+  write_u64(out, params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::string& name = params.names()[i];
+    const Tensor& t = params.tensors()[i];
+    write_u64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(out, t.rows());
+    write_u64(out, t.cols());
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  MOSS_CHECK(out.good(), "checkpoint write failed");
+}
+
+void load_parameters(std::istream& in, ParameterSet& params) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  MOSS_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+             "not a MOSS checkpoint");
+  const std::uint64_t count = read_u64(in);
+  MOSS_CHECK(count == params.size(),
+             "checkpoint has " + std::to_string(count) +
+                 " parameters, model has " + std::to_string(params.size()));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    MOSS_CHECK(name == params.names()[i],
+               "checkpoint parameter order mismatch: expected '" +
+                   params.names()[i] + "', found '" + name + "'");
+    const std::uint64_t rows = read_u64(in);
+    const std::uint64_t cols = read_u64(in);
+    Tensor& t = params.tensors()[i];
+    MOSS_CHECK(rows == t.rows() && cols == t.cols(),
+               "checkpoint shape mismatch for " + name);
+    in.read(reinterpret_cast<char*>(t.data().data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    MOSS_CHECK(in.good(), "checkpoint truncated in " + name);
+  }
+}
+
+void save_parameters_file(const std::string& path,
+                          const ParameterSet& params) {
+  std::ofstream out(path, std::ios::binary);
+  MOSS_CHECK(out.is_open(), "cannot open " + path + " for writing");
+  save_parameters(out, params);
+}
+
+void load_parameters_file(const std::string& path, ParameterSet& params) {
+  std::ifstream in(path, std::ios::binary);
+  MOSS_CHECK(in.is_open(), "cannot open " + path);
+  load_parameters(in, params);
+}
+
+}  // namespace moss::tensor

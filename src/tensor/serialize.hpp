@@ -1,0 +1,23 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "tensor/nn.hpp"
+
+namespace moss::tensor {
+
+/// Binary checkpoint format for a ParameterSet:
+///   magic "MOSSCKPT" | u64 count | per param: u64 name_len, name,
+///   u64 rows, u64 cols, f32 data[rows*cols]
+/// Loading requires the destination set to have identical names/shapes
+/// (construct the same model first, then restore).
+void save_parameters(std::ostream& out, const ParameterSet& params);
+void load_parameters(std::istream& in, ParameterSet& params);
+
+/// Convenience file-path wrappers.
+void save_parameters_file(const std::string& path,
+                          const ParameterSet& params);
+void load_parameters_file(const std::string& path, ParameterSet& params);
+
+}  // namespace moss::tensor

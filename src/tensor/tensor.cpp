@@ -1,0 +1,858 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core_util/check.hpp"
+
+namespace moss::tensor {
+
+namespace {
+
+Tensor::Impl& deref(const std::shared_ptr<Tensor::Impl>& p) {
+  MOSS_CHECK(p != nullptr, "use of an undefined Tensor");
+  return *p;
+}
+
+}  // namespace
+
+Tensor Tensor::make(std::size_t rows, std::size_t cols,
+                    std::vector<Tensor> parents) {
+  Tensor t;
+  t.impl_ = std::make_shared<Impl>();
+  t.impl_->rows = rows;
+  t.impl_->cols = cols;
+  t.impl_->data.assign(rows * cols, 0.0f);
+  bool rg = false;
+  for (const Tensor& p : parents) rg = rg || p.requires_grad();
+  t.impl_->requires_grad = rg;
+  t.impl_->parents = std::move(parents);
+  return t;
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requires_grad) {
+  Tensor t = make(rows, cols, {});
+  t.impl_->requires_grad = requires_grad;
+  return t;
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float value,
+                    bool requires_grad) {
+  Tensor t = zeros(rows, cols, requires_grad);
+  std::fill(t.impl_->data.begin(), t.impl_->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<float> values, std::size_t rows,
+                    std::size_t cols, bool requires_grad) {
+  MOSS_CHECK(values.size() == rows * cols, "from(): size mismatch");
+  Tensor t = zeros(rows, cols, requires_grad);
+  t.impl_->data = std::move(values);
+  return t;
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return from({value}, 1, 1, requires_grad);
+}
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols, Rng& rng,
+                     float stddev, bool requires_grad) {
+  Tensor t = zeros(rows, cols, requires_grad);
+  for (float& v : t.impl_->data) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+std::size_t Tensor::rows() const { return deref(impl_).rows; }
+std::size_t Tensor::cols() const { return deref(impl_).cols; }
+bool Tensor::requires_grad() const { return deref(impl_).requires_grad; }
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  const Impl& i = deref(impl_);
+  MOSS_CHECK(r < i.rows && c < i.cols, "tensor index out of range");
+  return i.data[r * i.cols + c];
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  Impl& i = deref(impl_);
+  MOSS_CHECK(r < i.rows && c < i.cols, "tensor index out of range");
+  return i.data[r * i.cols + c];
+}
+
+float Tensor::item() const {
+  const Impl& i = deref(impl_);
+  MOSS_CHECK(i.rows == 1 && i.cols == 1, "item() needs a 1x1 tensor");
+  return i.data[0];
+}
+
+const std::vector<float>& Tensor::data() const { return deref(impl_).data; }
+std::vector<float>& Tensor::data() { return deref(impl_).data; }
+std::vector<float>& Tensor::grad() const { return deref(impl_).ensure_grad(); }
+
+void Tensor::zero_grad() {
+  Impl& i = deref(impl_);
+  std::fill(i.grad.begin(), i.grad.end(), 0.0f);
+}
+
+Tensor Tensor::detach() const {
+  const Impl& i = deref(impl_);
+  return Tensor::from(i.data, i.rows, i.cols, false);
+}
+
+void Tensor::backward() {
+  Impl& root = deref(impl_);
+  MOSS_CHECK(root.rows == 1 && root.cols == 1,
+             "backward() starts from a scalar loss");
+  // Topological order via iterative DFS.
+  std::vector<Impl*> topo;
+  std::unordered_set<Impl*> visited;
+  struct Frame {
+    Impl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack{{&root, 0}};
+  visited.insert(&root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Impl* p = f.node->parents[f.next_parent].impl().get();
+      ++f.next_parent;
+      if (p && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back(Frame{p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  root.ensure_grad()[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Impl* n = *it;
+    if (n->backward_fn && !n->grad.empty()) n->backward_fn(*n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Op helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Accumulate src into the grad buffer of `t` (no-op if !requires_grad).
+void accumulate(const Tensor& t, const float* src, std::size_t n) {
+  if (!t.requires_grad()) return;
+  auto& g = t.grad();
+  for (std::size_t i = 0; i < n; ++i) g[i] += src[i];
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) {
+    Tensor out = Tensor::make(a.rows(), a.cols(), {a, b});
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    auto& ov = out.data();
+    for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + bv[i];
+    out.impl()->backward_fn = [a, b](Tensor::Impl& self) mutable {
+      accumulate(a, self.grad.data(), self.grad.size());
+      accumulate(b, self.grad.data(), self.grad.size());
+    };
+    return out;
+  }
+  // Row-vector broadcast: b is 1×C.
+  MOSS_CHECK(b.rows() == 1 && b.cols() == a.cols(),
+             "add: shapes incompatible");
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a, b});
+  const std::size_t C = a.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      out.data()[r * C + c] = a.data()[r * C + c] + b.data()[c];
+    }
+  }
+  out.impl()->backward_fn = [a, b, C](Tensor::Impl& self) mutable {
+    accumulate(a, self.grad.data(), self.grad.size());
+    if (b.requires_grad()) {
+      auto& g = b.grad();
+      for (std::size_t r = 0; r < self.rows; ++r) {
+        for (std::size_t c = 0; c < C; ++c) g[c] += self.grad[r * C + c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  MOSS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "sub: shape mismatch");
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a, b});
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+  out.impl()->backward_fn = [a, b](Tensor::Impl& self) mutable {
+    accumulate(a, self.grad.data(), self.grad.size());
+    if (b.requires_grad()) {
+      auto& g = b.grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        g[i] -= self.grad[i];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  MOSS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "mul: shape mismatch");
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a, b});
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  out.impl()->backward_fn = [a, b](Tensor::Impl& self) mutable {
+    if (a.requires_grad()) {
+      auto& g = a.grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        g[i] += self.grad[i] * b.data()[i];
+      }
+    }
+    if (b.requires_grad()) {
+      auto& g = b.grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        g[i] += self.grad[i] * a.data()[i];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor mul_colvec(const Tensor& a, const Tensor& v) {
+  MOSS_CHECK(v.rows() == a.rows() && v.cols() == 1,
+             "mul_colvec: v must be N×1");
+  const std::size_t R = a.rows(), C = a.cols();
+  Tensor out = Tensor::make(R, C, {a, v});
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      out.data()[r * C + c] = a.data()[r * C + c] * v.data()[r];
+    }
+  }
+  Tensor ta = a, tv = v;
+  out.impl()->backward_fn = [ta, tv, R, C](Tensor::Impl& self) mutable {
+    if (ta.requires_grad()) {
+      auto& g = ta.grad();
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t c = 0; c < C; ++c) {
+          g[r * C + c] += self.grad[r * C + c] * tv.data()[r];
+        }
+      }
+    }
+    if (tv.requires_grad()) {
+      auto& g = tv.grad();
+      for (std::size_t r = 0; r < R; ++r) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < C; ++c) {
+          acc += self.grad[r * C + c] * ta.data()[r * C + c];
+        }
+        g[r] += acc;
+      }
+    }
+  };
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a});
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = a.data()[i] * s;
+  }
+  out.impl()->backward_fn = [a, s](Tensor::Impl& self) mutable {
+    if (a.requires_grad()) {
+      auto& g = a.grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        g[i] += self.grad[i] * s;
+      }
+    }
+  };
+  return out;
+}
+
+Tensor scale_by(const Tensor& a, const Tensor& s) {
+  MOSS_CHECK(s.rows() == 1 && s.cols() == 1, "scale_by: s must be 1x1");
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a, s});
+  const float sv = s.data()[0];
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = a.data()[i] * sv;
+  }
+  out.impl()->backward_fn = [a, s, sv](Tensor::Impl& self) mutable {
+    if (a.requires_grad()) {
+      auto& g = a.grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        g[i] += self.grad[i] * sv;
+      }
+    }
+    if (s.requires_grad()) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        acc += self.grad[i] * a.data()[i];
+      }
+      s.grad()[0] += acc;
+    }
+  };
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Dfn>
+Tensor unary_elementwise(const Tensor& a, Fwd fwd, Dfn dfn) {
+  Tensor out = Tensor::make(a.rows(), a.cols(), {a});
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = fwd(a.data()[i]);
+  }
+  out.impl()->backward_fn = [a, dfn](Tensor::Impl& self) mutable {
+    if (!a.requires_grad()) return;
+    auto& g = a.grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      // dfn receives (input, output)
+      g[i] += self.grad[i] * dfn(a.data()[i], self.data[i]);
+    }
+  };
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& a) {
+  return unary_elementwise(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return unary_elementwise(
+      a, [slope](float x) { return x > 0 ? x : slope * x; },
+      [slope](float x, float) { return x > 0 ? 1.0f : slope; });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unary_elementwise(
+      a,
+      [](float x) {
+        // numerically stable: max(x,0) + log1p(exp(-|x|))
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](float x, float) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_elementwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_elementwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary_elementwise(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MOSS_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
+  Tensor out = Tensor::make(M, N, {a, b});
+  const float* A = a.data().data();
+  const float* B = b.data().data();
+  float* O = out.data().data();
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = A[m * K + k];
+      if (av == 0.0f) continue;
+      const float* brow = B + k * N;
+      float* orow = O + m * N;
+      for (std::size_t n = 0; n < N; ++n) orow[n] += av * brow[n];
+    }
+  }
+  out.impl()->backward_fn = [a, b, M, K, N](Tensor::Impl& self) mutable {
+    const float* G = self.grad.data();
+    if (a.requires_grad()) {  // dA = G · Bᵀ
+      auto& g = a.grad();
+      const float* B = b.data().data();
+      for (std::size_t m = 0; m < M; ++m) {
+        for (std::size_t k = 0; k < K; ++k) {
+          float acc = 0.0f;
+          const float* grow = G + m * N;
+          const float* brow = B + k * N;
+          for (std::size_t n = 0; n < N; ++n) acc += grow[n] * brow[n];
+          g[m * K + k] += acc;
+        }
+      }
+    }
+    if (b.requires_grad()) {  // dB = Aᵀ · G
+      auto& g = b.grad();
+      const float* A = a.data().data();
+      for (std::size_t k = 0; k < K; ++k) {
+        for (std::size_t m = 0; m < M; ++m) {
+          const float av = A[m * K + k];
+          if (av == 0.0f) continue;
+          const float* grow = G + m * N;
+          float* grow_b = g.data() + k * N;
+          for (std::size_t n = 0; n < N; ++n) grow_b[n] += av * grow[n];
+        }
+      }
+    }
+  };
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  const std::size_t R = a.rows(), C = a.cols();
+  Tensor out = Tensor::make(C, R, {a});
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      out.data()[c * R + r] = a.data()[r * C + c];
+    }
+  }
+  out.impl()->backward_fn = [a, R, C](Tensor::Impl& self) mutable {
+    if (!a.requires_grad()) return;
+    auto& g = a.grad();
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        g[r * C + c] += self.grad[c * R + r];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  MOSS_CHECK(a.rows() == b.rows(), "concat_cols: row count mismatch");
+  const std::size_t R = a.rows(), CA = a.cols(), CB = b.cols();
+  Tensor out = Tensor::make(R, CA + CB, {a, b});
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < CA; ++c) {
+      out.data()[r * (CA + CB) + c] = a.data()[r * CA + c];
+    }
+    for (std::size_t c = 0; c < CB; ++c) {
+      out.data()[r * (CA + CB) + CA + c] = b.data()[r * CB + c];
+    }
+  }
+  out.impl()->backward_fn = [a, b, R, CA, CB](Tensor::Impl& self) mutable {
+    if (a.requires_grad()) {
+      auto& g = a.grad();
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t c = 0; c < CA; ++c) {
+          g[r * CA + c] += self.grad[r * (CA + CB) + c];
+        }
+      }
+    }
+    if (b.requires_grad()) {
+      auto& g = b.grad();
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t c = 0; c < CB; ++c) {
+          g[r * CB + c] += self.grad[r * (CA + CB) + CA + c];
+        }
+      }
+    }
+  };
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  MOSS_CHECK(!parts.empty(), "concat_rows of nothing");
+  const std::size_t C = parts[0].cols();
+  std::size_t R = 0;
+  for (const Tensor& p : parts) {
+    MOSS_CHECK(p.cols() == C, "concat_rows: column mismatch");
+    R += p.rows();
+  }
+  Tensor out = Tensor::make(R, C, parts);
+  std::size_t row = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(),
+              out.data().begin() + static_cast<std::ptrdiff_t>(row * C));
+    row += p.rows();
+  }
+  out.impl()->backward_fn = [parts, C](Tensor::Impl& self) {
+    std::size_t row = 0;
+    for (Tensor p : parts) {
+      const std::size_t n = p.rows() * C;
+      if (p.requires_grad()) {
+        auto& g = p.grad();
+        for (std::size_t i = 0; i < n; ++i) g[i] += self.grad[row * C + i];
+      }
+      row += p.rows();
+    }
+  };
+  return out;
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<int>& idx) {
+  const std::size_t C = x.cols();
+  Tensor out = Tensor::make(idx.size(), C, {x});
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    MOSS_CHECK(idx[r] >= 0 && static_cast<std::size_t>(idx[r]) < x.rows(),
+               "gather_rows: index out of range");
+    std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(
+                                       static_cast<std::size_t>(idx[r]) * C),
+                C, out.data().begin() + static_cast<std::ptrdiff_t>(r * C));
+  }
+  out.impl()->backward_fn = [x, idx, C](Tensor::Impl& self) mutable {
+    if (!x.requires_grad()) return;
+    auto& g = x.grad();
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        g[static_cast<std::size_t>(idx[r]) * C + c] += self.grad[r * C + c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor scatter_rows(const Tensor& base, const std::vector<int>& idx,
+                    const Tensor& rows) {
+  MOSS_CHECK(rows.rows() == idx.size(), "scatter_rows: one index per row");
+  MOSS_CHECK(rows.cols() == base.cols(), "scatter_rows: column mismatch");
+  const std::size_t C = base.cols();
+  Tensor out = Tensor::make(base.rows(), C, {base, rows});
+  out.data() = base.data();
+  std::vector<char> replaced(base.rows(), 0);
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    MOSS_CHECK(idx[r] >= 0 && static_cast<std::size_t>(idx[r]) < base.rows(),
+               "scatter_rows: index out of range");
+    MOSS_CHECK(!replaced[static_cast<std::size_t>(idx[r])],
+               "scatter_rows: duplicate index");
+    replaced[static_cast<std::size_t>(idx[r])] = 1;
+    std::copy_n(rows.data().begin() + static_cast<std::ptrdiff_t>(r * C), C,
+                out.data().begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(idx[r]) * C));
+  }
+  Tensor b = base, rw = rows;
+  out.impl()->backward_fn = [b, rw, idx, C,
+                             replaced](Tensor::Impl& self) mutable {
+    if (b.requires_grad()) {
+      auto& g = b.grad();
+      for (std::size_t r = 0; r < b.rows(); ++r) {
+        if (replaced[r]) continue;
+        for (std::size_t c = 0; c < C; ++c) {
+          g[r * C + c] += self.grad[r * C + c];
+        }
+      }
+    }
+    if (rw.requires_grad()) {
+      auto& g = rw.grad();
+      for (std::size_t r = 0; r < idx.size(); ++r) {
+        for (std::size_t c = 0; c < C; ++c) {
+          g[r * C + c] +=
+              self.grad[static_cast<std::size_t>(idx[r]) * C + c];
+        }
+      }
+    }
+  };
+  return out;
+}
+
+Tensor segment_sum(const Tensor& x, const std::vector<int>& seg,
+                   std::size_t num_segments) {
+  MOSS_CHECK(seg.size() == x.rows(), "segment_sum: one segment id per row");
+  const std::size_t C = x.cols();
+  Tensor out = Tensor::make(num_segments, C, {x});
+  for (std::size_t r = 0; r < seg.size(); ++r) {
+    MOSS_CHECK(seg[r] >= 0 && static_cast<std::size_t>(seg[r]) < num_segments,
+               "segment_sum: segment id out of range");
+    for (std::size_t c = 0; c < C; ++c) {
+      out.data()[static_cast<std::size_t>(seg[r]) * C + c] +=
+          x.data()[r * C + c];
+    }
+  }
+  out.impl()->backward_fn = [x, seg, C](Tensor::Impl& self) mutable {
+    if (!x.requires_grad()) return;
+    auto& g = x.grad();
+    for (std::size_t r = 0; r < seg.size(); ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        g[r * C + c] += self.grad[static_cast<std::size_t>(seg[r]) * C + c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg,
+                       std::size_t num_segments) {
+  MOSS_CHECK(scores.cols() == 1, "segment_softmax expects an N×1 column");
+  MOSS_CHECK(seg.size() == scores.rows(), "segment ids size mismatch");
+  const std::size_t N = scores.rows();
+  Tensor out = Tensor::make(N, 1, {scores});
+  // max per segment for numerical stability
+  std::vector<float> seg_max(num_segments, -1e30f);
+  for (std::size_t i = 0; i < N; ++i) {
+    seg_max[static_cast<std::size_t>(seg[i])] =
+        std::max(seg_max[static_cast<std::size_t>(seg[i])], scores.data()[i]);
+  }
+  std::vector<float> seg_sum(num_segments, 0.0f);
+  for (std::size_t i = 0; i < N; ++i) {
+    const float e =
+        std::exp(scores.data()[i] - seg_max[static_cast<std::size_t>(seg[i])]);
+    out.data()[i] = e;
+    seg_sum[static_cast<std::size_t>(seg[i])] += e;
+  }
+  for (std::size_t i = 0; i < N; ++i) {
+    out.data()[i] /= std::max(seg_sum[static_cast<std::size_t>(seg[i])],
+                              1e-20f);
+  }
+  Tensor s = scores;
+  out.impl()->backward_fn = [s, seg, num_segments](Tensor::Impl& self) mutable {
+    if (!s.requires_grad()) return;
+    // d/ds_i = y_i (g_i - Σ_j∈seg y_j g_j)
+    std::vector<float> seg_dot(num_segments, 0.0f);
+    for (std::size_t i = 0; i < self.rows; ++i) {
+      seg_dot[static_cast<std::size_t>(seg[i])] +=
+          self.data[i] * self.grad[i];
+    }
+    auto& g = s.grad();
+    for (std::size_t i = 0; i < self.rows; ++i) {
+      g[i] += self.data[i] *
+              (self.grad[i] - seg_dot[static_cast<std::size_t>(seg[i])]);
+    }
+  };
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  const std::size_t R = a.rows(), C = a.cols();
+  Tensor out = Tensor::make(R, C, {a});
+  for (std::size_t r = 0; r < R; ++r) {
+    float mx = -1e30f;
+    for (std::size_t c = 0; c < C; ++c) mx = std::max(mx, a.at(r, c));
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < C; ++c) {
+      const float e = std::exp(a.at(r, c) - mx);
+      out.data()[r * C + c] = e;
+      sum += e;
+    }
+    for (std::size_t c = 0; c < C; ++c) out.data()[r * C + c] /= sum;
+  }
+  Tensor in = a;
+  out.impl()->backward_fn = [in, R, C](Tensor::Impl& self) mutable {
+    if (!in.requires_grad()) return;
+    auto& g = in.grad();
+    for (std::size_t r = 0; r < R; ++r) {
+      float dot = 0.0f;
+      for (std::size_t c = 0; c < C; ++c) {
+        dot += self.data[r * C + c] * self.grad[r * C + c];
+      }
+      for (std::size_t c = 0; c < C; ++c) {
+        g[r * C + c] += self.data[r * C + c] * (self.grad[r * C + c] - dot);
+      }
+    }
+  };
+  return out;
+}
+
+Tensor mean_rows(const Tensor& a) {
+  const std::size_t R = a.rows(), C = a.cols();
+  Tensor out = Tensor::make(1, C, {a});
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) out.data()[c] += a.data()[r * C + c];
+  }
+  const float inv = 1.0f / static_cast<float>(R);
+  for (std::size_t c = 0; c < C; ++c) out.data()[c] *= inv;
+  Tensor in = a;
+  out.impl()->backward_fn = [in, R, C, inv](Tensor::Impl& self) mutable {
+    if (!in.requires_grad()) return;
+    auto& g = in.grad();
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) g[r * C + c] += self.grad[c] * inv;
+    }
+  };
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  Tensor out = Tensor::make(1, 1, {a});
+  float s = 0.0f;
+  for (const float v : a.data()) s += v;
+  out.data()[0] = s;
+  Tensor in = a;
+  out.impl()->backward_fn = [in](Tensor::Impl& self) mutable {
+    if (!in.requires_grad()) return;
+    auto& g = in.grad();
+    for (float& v : g) v += self.grad[0];
+  };
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor l2_normalize_rows(const Tensor& a, float eps) {
+  const std::size_t R = a.rows(), C = a.cols();
+  Tensor out = Tensor::make(R, C, {a});
+  std::vector<float> norms(R, 0.0f);
+  for (std::size_t r = 0; r < R; ++r) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < C; ++c) {
+      s += a.data()[r * C + c] * a.data()[r * C + c];
+    }
+    norms[r] = std::sqrt(s) + eps;
+    for (std::size_t c = 0; c < C; ++c) {
+      out.data()[r * C + c] = a.data()[r * C + c] / norms[r];
+    }
+  }
+  Tensor in = a;
+  out.impl()->backward_fn = [in, R, C, norms](Tensor::Impl& self) mutable {
+    if (!in.requires_grad()) return;
+    auto& g = in.grad();
+    for (std::size_t r = 0; r < R; ++r) {
+      float dot = 0.0f;  // y · grad
+      for (std::size_t c = 0; c < C; ++c) {
+        dot += self.data[r * C + c] * self.grad[r * C + c];
+      }
+      for (std::size_t c = 0; c < C; ++c) {
+        g[r * C + c] +=
+            (self.grad[r * C + c] - self.data[r * C + c] * dot) / norms[r];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor smooth_l1_loss(const Tensor& pred, const Tensor& target) {
+  MOSS_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols(),
+             "smooth_l1: shape mismatch");
+  Tensor out = Tensor::make(1, 1, {pred, target});
+  const std::size_t n = pred.size();
+  float total = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    total += std::abs(d) < 1.0f ? 0.5f * d * d : std::abs(d) - 0.5f;
+  }
+  out.data()[0] = total / static_cast<float>(n);
+  Tensor p = pred, t = target;
+  out.impl()->backward_fn = [p, t, n](Tensor::Impl& self) mutable {
+    const float go = self.grad[0] / static_cast<float>(n);
+    const auto d_of = [&](std::size_t i) {
+      const float d = p.data()[i] - t.data()[i];
+      return std::abs(d) < 1.0f ? d : (d > 0 ? 1.0f : -1.0f);
+    };
+    if (p.requires_grad()) {
+      auto& g = p.grad();
+      for (std::size_t i = 0; i < n; ++i) g[i] += go * d_of(i);
+    }
+    if (t.requires_grad()) {
+      auto& g = t.grad();
+      for (std::size_t i = 0; i < n; ++i) g[i] -= go * d_of(i);
+    }
+  };
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  MOSS_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols(),
+             "mse: shape mismatch");
+  Tensor out = Tensor::make(1, 1, {pred, target});
+  const std::size_t n = pred.size();
+  float total = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    total += d * d;
+  }
+  out.data()[0] = total / static_cast<float>(n);
+  Tensor p = pred, t = target;
+  out.impl()->backward_fn = [p, t, n](Tensor::Impl& self) mutable {
+    const float go = 2.0f * self.grad[0] / static_cast<float>(n);
+    if (p.requires_grad()) {
+      auto& g = p.grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        g[i] += go * (p.data()[i] - t.data()[i]);
+      }
+    }
+    if (t.requires_grad()) {
+      auto& g = t.grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        g[i] -= go * (p.data()[i] - t.data()[i]);
+      }
+    }
+  };
+  return out;
+}
+
+Tensor cross_entropy_rows(const Tensor& logits,
+                          const std::vector<int>& labels) {
+  MOSS_CHECK(labels.size() == logits.rows(), "cross_entropy: one label/row");
+  const std::size_t R = logits.rows(), C = logits.cols();
+  // Compute softmax probabilities (saved for backward).
+  Tensor out = Tensor::make(1, 1, {logits});
+  std::vector<float> probs(R * C);
+  float loss = 0.0f;
+  for (std::size_t r = 0; r < R; ++r) {
+    MOSS_CHECK(labels[r] >= 0 && static_cast<std::size_t>(labels[r]) < C,
+               "cross_entropy: label out of range");
+    float mx = -1e30f;
+    for (std::size_t c = 0; c < C; ++c) {
+      mx = std::max(mx, logits.data()[r * C + c]);
+    }
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < C; ++c) {
+      probs[r * C + c] = std::exp(logits.data()[r * C + c] - mx);
+      sum += probs[r * C + c];
+    }
+    for (std::size_t c = 0; c < C; ++c) probs[r * C + c] /= sum;
+    loss -= std::log(std::max(
+        probs[r * C + static_cast<std::size_t>(labels[r])], 1e-12f));
+  }
+  out.data()[0] = loss / static_cast<float>(R);
+  Tensor in = logits;
+  out.impl()->backward_fn = [in, labels, probs, R, C](
+                                Tensor::Impl& self) mutable {
+    if (!in.requires_grad()) return;
+    const float go = self.grad[0] / static_cast<float>(R);
+    auto& g = in.grad();
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        const float y =
+            c == static_cast<std::size_t>(labels[r]) ? 1.0f : 0.0f;
+        g[r * C + c] += go * (probs[r * C + c] - y);
+      }
+    }
+  };
+  return out;
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  MOSS_CHECK(logits.rows() == targets.rows() &&
+                 logits.cols() == targets.cols(),
+             "bce: shape mismatch");
+  Tensor out = Tensor::make(1, 1, {logits, targets});
+  const std::size_t n = logits.size();
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = logits.data()[i];
+    const float t = targets.data()[i];
+    // log(1+exp(-|x|)) + max(x,0) - x*t  (numerically stable)
+    loss += std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f) - x * t;
+  }
+  out.data()[0] = loss / static_cast<float>(n);
+  Tensor l = logits, t = targets;
+  out.impl()->backward_fn = [l, t, n](Tensor::Impl& self) mutable {
+    if (!l.requires_grad()) return;
+    const float go = self.grad[0] / static_cast<float>(n);
+    auto& g = l.grad();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float sig = 1.0f / (1.0f + std::exp(-l.data()[i]));
+      g[i] += go * (sig - t.data()[i]);
+    }
+  };
+  return out;
+}
+
+}  // namespace moss::tensor

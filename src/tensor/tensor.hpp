@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core_util/rng.hpp"
+
+namespace moss::tensor {
+
+/// Dense 2-D float tensor with reverse-mode autograd (the PyTorch stand-in
+/// all MOSS models train on). Value-semantics handle onto a shared node in
+/// the autograd tape; building an op records a backward closure, and
+/// Tensor::backward() on a scalar runs the tape in reverse topological
+/// order, accumulating into each leaf's grad buffer.
+///
+/// Vectors are 1×C or N×1 tensors; scalars are 1×1.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  static Tensor zeros(std::size_t rows, std::size_t cols,
+                      bool requires_grad = false);
+  static Tensor full(std::size_t rows, std::size_t cols, float value,
+                     bool requires_grad = false);
+  static Tensor from(std::vector<float> values, std::size_t rows,
+                     std::size_t cols, bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+  /// Gaussian init (mean 0) — used for parameter matrices.
+  static Tensor randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      float stddev, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  std::size_t rows() const;
+  std::size_t cols() const;
+  std::size_t size() const { return rows() * cols(); }
+  bool requires_grad() const;
+
+  float at(std::size_t r, std::size_t c) const;
+  float& at(std::size_t r, std::size_t c);
+  float item() const;  ///< value of a 1×1 tensor
+
+  const std::vector<float>& data() const;
+  std::vector<float>& data();
+  /// Gradient buffer (allocated zero on first use). Tensor is a
+  /// reference-semantics handle (like torch.Tensor), so gradient access is
+  /// allowed through const handles — backward closures rely on this.
+  std::vector<float>& grad() const;
+  void zero_grad();
+
+  /// Run reverse-mode autodiff from this scalar.
+  void backward();
+
+  /// Detach from the tape: same storage, no history.
+  Tensor detach() const;
+
+  // internal — used by op implementations
+  struct Impl;
+  const std::shared_ptr<Impl>& impl() const { return impl_; }
+  static Tensor make(std::size_t rows, std::size_t cols,
+                     std::vector<Tensor> parents);
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+struct Tensor::Impl {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  std::function<void(Impl&)> backward_fn;  ///< reads self.grad, writes parents
+
+  std::vector<float>& ensure_grad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+    return grad;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Elementwise & scalar ops
+// ---------------------------------------------------------------------------
+
+/// a + b. b may also be a 1×C row vector broadcast over a's rows.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  ///< elementwise (same shape)
+/// Row-scale: out[r,c] = a[r,c] * v[r,0] (v is N×1). Used to weight
+/// per-edge messages by attention coefficients.
+Tensor mul_colvec(const Tensor& a, const Tensor& v);
+Tensor scale(const Tensor& a, float s);
+/// a * s where s is a learnable 1×1 tensor.
+Tensor scale_by(const Tensor& a, const Tensor& s);
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float slope = 0.01f);
+/// log(1 + e^x): smooth nonnegative activation whose gradient never dies —
+/// use instead of relu at an output layer.
+Tensor softplus(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor exp_t(const Tensor& a);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+
+// ---------------------------------------------------------------------------
+// Linear algebra & shape ops
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+Tensor concat_rows(const std::vector<Tensor>& parts);
+/// Select rows by index (differentiable scatter-add on backward).
+Tensor gather_rows(const Tensor& x, const std::vector<int>& idx);
+/// Functional row update: copy of `base` with base[idx[i]] replaced by
+/// rows[i]. Indices must be unique. Gradient flows to the surviving rows of
+/// `base` and to `rows` — the core primitive of level-asynchronous GNN
+/// updates.
+Tensor scatter_rows(const Tensor& base, const std::vector<int>& idx,
+                    const Tensor& rows);
+/// Sum rows into segments: out[s] = Σ_{i: seg[i]==s} x[i].
+Tensor segment_sum(const Tensor& x, const std::vector<int>& seg,
+                   std::size_t num_segments);
+/// Per-segment softmax over an N×1 score column.
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg,
+                       std::size_t num_segments);
+Tensor softmax_rows(const Tensor& a);
+/// Mean over all rows -> 1×C.
+Tensor mean_rows(const Tensor& a);
+Tensor sum_all(const Tensor& a);
+Tensor mean_all(const Tensor& a);
+/// Row-wise L2 normalization (as in CLIP-style alignment).
+Tensor l2_normalize_rows(const Tensor& a, float eps = 1e-8f);
+
+// ---------------------------------------------------------------------------
+// Losses (all return 1×1 scalars)
+// ---------------------------------------------------------------------------
+
+/// Smooth-L1 (Huber, delta=1) between same-shape tensors, mean-reduced.
+Tensor smooth_l1_loss(const Tensor& pred, const Tensor& target);
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+/// Cross entropy over rows of logits (N×C) with integer labels (size N).
+Tensor cross_entropy_rows(const Tensor& logits, const std::vector<int>& labels);
+/// Binary cross entropy with logits (elementwise, mean-reduced).
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+}  // namespace moss::tensor

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core_util/check.hpp"
+#include "core_util/rng.hpp"
+#include "power/power.hpp"
+#include "rtl/parser.hpp"
+#include "sim/activity_io.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::sim {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+
+Netlist demo_netlist() {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module act (input clk, input rst, input [3:0] a, output [3:0] y);
+      reg [3:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 4'd0; else r <= r + a;
+      end
+      assign y = r;
+    endmodule)");
+  return synth::synthesize(m, standard_library());
+}
+
+TEST(ActivityIo, RoundTripPreservesRates) {
+  const Netlist nl = demo_netlist();
+  Simulator sim(nl);
+  Rng rng(1);
+  std::vector<std::uint8_t> pis(nl.inputs().size());
+  for (int c = 0; c < 500; ++c) {
+    for (auto& p : pis) p = rng.bernoulli(0.5) ? 1 : 0;
+    sim.step(pis);
+  }
+  std::stringstream ss;
+  write_activity(ss, nl, sim);
+  const ActivityFile act = read_activity(ss, nl);
+  EXPECT_EQ(act.cycles, 500u);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    EXPECT_NEAR(act.toggle[i],
+                sim.toggle_rate(static_cast<netlist::NodeId>(i)), 1e-9)
+        << nl.node(static_cast<netlist::NodeId>(i)).name;
+    EXPECT_NEAR(act.one_prob[i],
+                sim.one_rate(static_cast<netlist::NodeId>(i)), 2e-3);
+  }
+}
+
+TEST(ActivityIo, PowerFromFileMatchesDirect) {
+  const Netlist nl = demo_netlist();
+  Simulator sim(nl);
+  Rng rng(2);
+  std::vector<std::uint8_t> pis(nl.inputs().size());
+  for (int c = 0; c < 400; ++c) {
+    for (auto& p : pis) p = rng.bernoulli(0.5) ? 1 : 0;
+    sim.step(pis);
+  }
+  std::stringstream ss;
+  write_activity(ss, nl, sim);
+  const ActivityFile act = read_activity(ss, nl);
+  const double direct =
+      power::analyze_power(nl, sim.toggle_rates()).total_uw;
+  const double from_file = power::analyze_power(nl, act.toggle).total_uw;
+  EXPECT_NEAR(from_file, direct, 1e-9 * direct);
+}
+
+TEST(ActivityIo, RejectsWrongDesign) {
+  const Netlist nl = demo_netlist();
+  Simulator sim(nl);
+  sim.step(std::vector<std::uint8_t>(nl.inputs().size(), 0));
+  sim.step(std::vector<std::uint8_t>(nl.inputs().size(), 0));
+  std::stringstream ss;
+  write_activity(ss, nl, sim);
+  // Mutate the design name in the header.
+  std::string text = ss.str();
+  const auto pos = text.find("act");
+  text.replace(pos, 3, "zzz");
+  std::stringstream bad(text);
+  EXPECT_THROW(read_activity(bad, nl), Error);
+}
+
+TEST(ActivityIo, RejectsUnknownNetAndGarbage) {
+  const Netlist nl = demo_netlist();
+  std::stringstream garbage("not an activity file");
+  EXPECT_THROW(read_activity(garbage, nl), Error);
+  std::stringstream unknown("MOSSACT v1 " + nl.name() +
+                            " 100\nno_such_net 5 50\n");
+  EXPECT_THROW(read_activity(unknown, nl), Error);
+}
+
+TEST(ActivityIo, WriteRequiresActivity) {
+  const Netlist nl = demo_netlist();
+  Simulator sim(nl);
+  std::stringstream ss;
+  EXPECT_THROW(write_activity(ss, nl, sim), Error);
+}
+
+}  // namespace
+}  // namespace moss::sim

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "bdd/formal.hpp"
+#include "core_util/rng.hpp"
+#include "core_util/strings.hpp"
+#include "rtl/parser.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::bdd {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+
+TEST(Bdd, ConstantsAndVars) {
+  Manager mgr(2);
+  EXPECT_TRUE(mgr.is_const(kFalse));
+  EXPECT_TRUE(mgr.is_const(kTrue));
+  const Ref x = mgr.var(0);
+  EXPECT_FALSE(mgr.is_const(x));
+  EXPECT_EQ(mgr.nvar(0), mgr.not_(x));
+  EXPECT_THROW(mgr.var(5), Error);
+}
+
+TEST(Bdd, BooleanAlgebraIdentities) {
+  Manager mgr(3);
+  const Ref x = mgr.var(0), y = mgr.var(1), z = mgr.var(2);
+  // Canonicity: equal functions share the same node.
+  EXPECT_EQ(mgr.and_(x, y), mgr.and_(y, x));
+  EXPECT_EQ(mgr.or_(x, mgr.and_(y, z)),
+            mgr.and_(mgr.or_(x, y), mgr.or_(x, z)));  // distributivity
+  EXPECT_EQ(mgr.xor_(x, x), kFalse);
+  EXPECT_EQ(mgr.or_(x, mgr.not_(x)), kTrue);
+  EXPECT_EQ(mgr.not_(mgr.not_(y)), y);
+  // De Morgan.
+  EXPECT_EQ(mgr.not_(mgr.and_(x, y)),
+            mgr.or_(mgr.not_(x), mgr.not_(y)));
+}
+
+TEST(Bdd, EvalMatchesTruthTable) {
+  Manager mgr(3);
+  const Ref f = mgr.ite(mgr.var(0), mgr.var(1), mgr.xor_(mgr.var(1),
+                                                         mgr.var(2)));
+  for (int a = 0; a < 8; ++a) {
+    const bool x0 = a & 1, x1 = (a >> 1) & 1, x2 = (a >> 2) & 1;
+    const bool expect = x0 ? x1 : (x1 != x2);
+    EXPECT_EQ(mgr.eval(f, {x0, x1, x2}), expect) << a;
+  }
+}
+
+TEST(Bdd, SatCountAndAnySat) {
+  Manager mgr(3);
+  const Ref x = mgr.var(0), y = mgr.var(1), z = mgr.var(2);
+  const Ref f = mgr.or_(mgr.and_(x, y), z);  // 5 of 8 assignments
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 5.0);
+  const auto sat = mgr.any_sat(f);
+  ASSERT_TRUE(sat.has_value());
+  EXPECT_TRUE(mgr.eval(f, *sat));
+  EXPECT_FALSE(mgr.any_sat(kFalse).has_value());
+}
+
+TEST(Bdd, ProbabilityWeighted) {
+  Manager mgr(2);
+  const Ref f = mgr.and_(mgr.var(0), mgr.var(1));
+  EXPECT_NEAR(mgr.probability(f, {0.5, 0.5}), 0.25, 1e-12);
+  EXPECT_NEAR(mgr.probability(f, {0.1, 0.9}), 0.09, 1e-12);
+  EXPECT_NEAR(mgr.probability(mgr.not_(f), {0.1, 0.9}), 0.91, 1e-12);
+}
+
+TEST(Bdd, ResourceLimitThrows) {
+  // A function whose BDD needs more nodes than allowed.
+  Manager mgr(16, 40);
+  Ref acc = kFalse;
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i + 1 < 16; i += 2) {
+          acc = mgr.or_(acc, mgr.and_(mgr.var(i), mgr.var(i + 1)));
+        }
+      },
+      Manager::ResourceLimit);
+}
+
+// ---------------------------------------------------------------------------
+// Formal equivalence on synthesized netlists
+// ---------------------------------------------------------------------------
+
+rtl::Module demo_module() {
+  return rtl::parse_verilog(R"(
+    module d (input clk, input rst, input en, input [5:0] a, input [5:0] b,
+              output [5:0] y, output flag);
+      wire [5:0] s;
+      reg [5:0] r;
+      assign s = a + (b ^ {3'd0, a[5:3]});
+      always @(posedge clk) begin
+        if (rst) r <= 6'd0;
+        else if (en) r <= s;
+      end
+      assign y = r;
+      assign flag = r == 6'd63;
+    endmodule)");
+}
+
+TEST(Formal, OptimizationPassesAreEquivalent) {
+  const rtl::Module m = demo_module();
+  synth::SynthOptions raw;
+  raw.merge_gate_trees = false;
+  raw.fuse_inverters = false;
+  raw.insert_buffers = false;
+  const Netlist a = synth::synthesize(m, standard_library(), raw);
+  const Netlist b = synth::synthesize(m, standard_library());
+  const FormalResult res = check_equivalence_formal(a, b);
+  EXPECT_EQ(res.status, FormalResult::Status::kEquivalent) << res.detail;
+}
+
+TEST(Formal, DetectsFunctionalChange) {
+  const rtl::Module m1 = demo_module();
+  rtl::Module m2 = rtl::parse_verilog(R"(
+    module d (input clk, input rst, input en, input [5:0] a, input [5:0] b,
+              output [5:0] y, output flag);
+      wire [5:0] s;
+      reg [5:0] r;
+      assign s = a + (b ^ {3'd0, a[5:3]}) + 6'd1;
+      always @(posedge clk) begin
+        if (rst) r <= 6'd0;
+        else if (en) r <= s;
+      end
+      assign y = r;
+      assign flag = r == 6'd63;
+    endmodule)");
+  const Netlist a = synth::synthesize(m1, standard_library());
+  const Netlist b = synth::synthesize(m2, standard_library());
+  const FormalResult res = check_equivalence_formal(a, b);
+  EXPECT_EQ(res.status, FormalResult::Status::kNotEquivalent);
+  EXPECT_FALSE(res.counterexample.empty());
+}
+
+TEST(Formal, DetectsInterfaceMismatch) {
+  const rtl::Module m = demo_module();
+  const rtl::Module other = rtl::parse_verilog(R"(
+    module d (input [3:0] a, output [3:0] y);
+      assign y = ~a;
+    endmodule)");
+  const Netlist a = synth::synthesize(m, standard_library());
+  const Netlist b = synth::synthesize(other, standard_library());
+  const FormalResult res = check_equivalence_formal(a, b);
+  EXPECT_EQ(res.status, FormalResult::Status::kNotEquivalent);
+}
+
+TEST(Formal, ResourceLimitDegradesGracefully) {
+  // 12x12 multiplier: BDDs blow up under a tiny node budget.
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module big (input [11:0] a, input [11:0] b, output [11:0] p);
+      assign p = a * b;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  const FormalResult res = check_equivalence_formal(nl, nl, 2000);
+  EXPECT_EQ(res.status, FormalResult::Status::kResourceLimit);
+}
+
+TEST(Formal, ExactProbabilityMatchesSimulation) {
+  // Pure combinational circuit: the simulator's empirical one-rate must
+  // converge to the BDD's exact probability.
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module comb (input [3:0] a, input [3:0] b, output [3:0] y, output c);
+      assign y = (a & b) ^ (a + b);
+      assign c = a < b;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  const auto exact = exact_one_probability(nl);
+  Rng rng(3);
+  const auto act = sim::random_activity(nl, 20000, rng);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    if (nl.node(static_cast<netlist::NodeId>(i)).kind !=
+        netlist::NodeKind::kCell) {
+      continue;
+    }
+    EXPECT_NEAR(act.one_prob[i], exact[i], 0.02)
+        << nl.node(static_cast<netlist::NodeId>(i)).name;
+  }
+}
+
+TEST(Formal, ExactProbabilityRespectsInputBias) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module b2 (input x, input y, output z);
+      assign z = x & y;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  const auto p = exact_one_probability(nl, 0.9);
+  const auto z = nl.find("z");
+  EXPECT_NEAR(p[static_cast<std::size_t>(z)], 0.81, 1e-9);
+}
+
+}  // namespace
+}  // namespace moss::bdd

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cell/library.hpp"
+#include "core_util/check.hpp"
+
+namespace moss::cell {
+namespace {
+
+const CellLibrary& lib() { return standard_library(); }
+
+TEST(CellLibrary, HasCoreCells) {
+  for (const char* name :
+       {"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2",
+        "AOI21", "OAI21", "AOI22", "OAI22", "MUX2", "MAJ3", "XOR3", "DFF",
+        "DFFR", "DFFE", "DFFRE", "TIE0", "TIE1"}) {
+    EXPECT_TRUE(lib().contains(name)) << name;
+  }
+  EXPECT_GE(lib().size(), 30u);
+}
+
+TEST(CellLibrary, DuplicateNameRejected) {
+  CellLibrary l;
+  CellType t;
+  t.name = "X";
+  l.add(t);
+  CellType t2;
+  t2.name = "X";
+  EXPECT_THROW(l.add(t2), Error);
+}
+
+TEST(CellLibrary, UnknownLookup) {
+  EXPECT_EQ(lib().find("NO_SUCH_CELL"), kInvalidCellType);
+  EXPECT_THROW(lib().by_name("NO_SUCH_CELL"), Error);
+}
+
+TEST(CellLibrary, PinMetadataConsistent) {
+  for (const CellType& t : lib().types()) {
+    EXPECT_EQ(t.pin_names.size(), static_cast<std::size_t>(t.num_inputs));
+    EXPECT_EQ(t.intrinsic_delay.size(), static_cast<std::size_t>(t.num_inputs));
+    EXPECT_EQ(t.pin_cap.size(), static_cast<std::size_t>(t.num_inputs));
+    EXPECT_GT(t.drive_res, 0.0) << t.name;
+    EXPECT_FALSE(t.description.empty()) << t.name;
+    EXPECT_GT(t.area, 0.0) << t.name;
+  }
+}
+
+TEST(CellLibrary, FlopAndCombPartition) {
+  const auto flops = lib().flop_types();
+  const auto combs = lib().comb_types();
+  EXPECT_EQ(flops.size(), 4u);
+  // flops + combs + 2 tie cells == library size
+  EXPECT_EQ(flops.size() + combs.size() + 2, lib().size());
+}
+
+TEST(TruthTable, MakeTruthTableIdentity) {
+  const auto tt = make_truth_table(2, [](std::uint32_t v) { return v == 3; });
+  EXPECT_EQ(tt, 0b1000u);
+}
+
+struct GateCase {
+  const char* name;
+  int inputs;
+  std::uint64_t expected;  // packed truth table
+};
+
+class GateFunction : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateFunction, MatchesExpectedTable) {
+  const auto& p = GetParam();
+  const CellType& t = lib().by_name(p.name);
+  ASSERT_EQ(t.num_inputs, p.inputs);
+  for (std::uint32_t row = 0; row < (1u << p.inputs); ++row) {
+    EXPECT_EQ(t.eval(row), ((p.expected >> row) & 1u) != 0)
+        << p.name << " row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateFunction,
+    ::testing::Values(
+        GateCase{"INV", 1, 0b01},
+        GateCase{"BUF", 1, 0b10},
+        GateCase{"NAND2", 2, 0b0111},
+        GateCase{"NOR2", 2, 0b0001},
+        GateCase{"AND2", 2, 0b1000},
+        GateCase{"OR2", 2, 0b1110},
+        GateCase{"XOR2", 2, 0b0110},
+        GateCase{"XNOR2", 2, 0b1001},
+        GateCase{"AND3", 3, 0x80},
+        GateCase{"OR3", 3, 0xFE},
+        GateCase{"NAND3", 3, 0x7F},
+        GateCase{"NOR3", 3, 0x01},
+        GateCase{"AND4", 4, 0x8000},
+        GateCase{"NAND4", 4, 0x7FFF},
+        // MAJ3: high when >= 2 of 3 inputs high: rows 3,5,6,7
+        GateCase{"MAJ3", 3, 0b11101000},
+        // XOR3: odd parity rows 1,2,4,7
+        GateCase{"XOR3", 3, 0b10010110},
+        // AOI21: !((A&B)|C) -> rows where A&B or C: 3,4,5,6,7 low
+        GateCase{"AOI21", 3, 0b00000111},
+        // OAI21: !((A|B)&C) — low only on rows 5,6,7
+        GateCase{"OAI21", 3, 0b00011111},
+        // MUX2 pins A,B,S: S=0 -> A (rows 0..3: A=bit0), S=1 -> B
+        GateCase{"MUX2", 3, 0b11001010}),
+    [](const ::testing::TestParamInfo<GateCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FlopCells, Flags) {
+  EXPECT_FALSE(lib().by_name("DFF").has_reset);
+  EXPECT_FALSE(lib().by_name("DFF").has_enable);
+  EXPECT_TRUE(lib().by_name("DFFR").has_reset);
+  EXPECT_FALSE(lib().by_name("DFFR").has_enable);
+  EXPECT_TRUE(lib().by_name("DFFE").has_enable);
+  EXPECT_TRUE(lib().by_name("DFFRE").has_enable);
+  EXPECT_TRUE(lib().by_name("DFFRE").has_reset);
+  EXPECT_EQ(lib().by_name("DFFRE").pin_names,
+            (std::vector<std::string>{"D", "E", "R"}));
+}
+
+TEST(FlopCells, PinIndex) {
+  const CellType& t = lib().by_name("DFFRE");
+  EXPECT_EQ(t.pin_index("D"), 0);
+  EXPECT_EQ(t.pin_index("E"), 1);
+  EXPECT_EQ(t.pin_index("R"), 2);
+  EXPECT_EQ(t.pin_index("Z"), -1);
+}
+
+TEST(TieCells, ConstantOutputs) {
+  EXPECT_FALSE(lib().by_name("TIE0").eval(0));
+  EXPECT_TRUE(lib().by_name("TIE1").eval(0));
+}
+
+TEST(Timing, LaterPinsFaster) {
+  const CellType& t = lib().by_name("NAND3");
+  EXPECT_GT(t.intrinsic_delay[0], t.intrinsic_delay[2]);
+}
+
+TEST(Timing, MuxSelectPinSlowest) {
+  const CellType& t = lib().by_name("MUX2");
+  EXPECT_GT(t.intrinsic_delay[2], t.intrinsic_delay[0]);
+  EXPECT_GT(t.intrinsic_delay[2], t.intrinsic_delay[1]);
+}
+
+TEST(Timing, HighDriveHasLowerResistance) {
+  EXPECT_LT(lib().by_name("INVX4").drive_res, lib().by_name("INV").drive_res);
+  EXPECT_LT(lib().by_name("BUFX4").drive_res, lib().by_name("BUF").drive_res);
+}
+
+}  // namespace
+}  // namespace moss::cell

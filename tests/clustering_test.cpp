@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "clustering/clustering.hpp"
+#include "core_util/rng.hpp"
+
+namespace moss::clustering {
+namespace {
+
+/// Three well-separated Gaussian blobs.
+Points blobs(Rng& rng, int per_cluster = 10) {
+  Points pts;
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      pts.push_back({centers[c][0] + static_cast<float>(rng.normal(0, 0.3)),
+                     centers[c][1] + static_cast<float>(rng.normal(0, 0.3))});
+    }
+  }
+  return pts;
+}
+
+TEST(Dbscan, FindsSeparatedBlobs) {
+  Rng rng(1);
+  const Points pts = blobs(rng);
+  DbscanConfig cfg;
+  cfg.eps = 2.0;
+  cfg.min_pts = 3;
+  const auto labels = dbscan(pts, cfg);
+  EXPECT_EQ(num_clusters(labels), 3u);
+  // Points in the same blob share a label.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 1; i < 10; ++i) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(c * 10)],
+                labels[static_cast<std::size_t>(c * 10 + i)]);
+    }
+  }
+}
+
+TEST(Dbscan, OutlierIsNoise) {
+  Rng rng(2);
+  Points pts = blobs(rng);
+  pts.push_back({100.0f, 100.0f});
+  DbscanConfig cfg;
+  cfg.eps = 2.0;
+  cfg.min_pts = 3;
+  const auto labels = dbscan(pts, cfg);
+  EXPECT_EQ(labels.back(), kNoise);
+}
+
+TEST(Dbscan, MinPtsTooHighAllNoise) {
+  Points pts{{0, 0}, {10, 10}, {20, 20}};
+  DbscanConfig cfg;
+  cfg.eps = 1.0;
+  cfg.min_pts = 2;
+  const auto labels = dbscan(pts, cfg);
+  for (const int l : labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(Dbscan, ChainedDensityConnects) {
+  // A line of points, each within eps of the next: one cluster.
+  Points pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<float>(i) * 0.9f, 0.0f});
+  }
+  DbscanConfig cfg;
+  cfg.eps = 1.0;
+  cfg.min_pts = 2;
+  const auto labels = dbscan(pts, cfg);
+  EXPECT_EQ(num_clusters(labels), 1u);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(SuggestEps, WithinDistanceRange) {
+  Rng rng(3);
+  const Points pts = blobs(rng);
+  const double eps = suggest_eps(pts);
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LT(eps, 15.0);
+}
+
+TEST(Agglomerate, ReachesTargetCount) {
+  Rng rng(4);
+  const Points pts = blobs(rng);
+  const auto labels = agglomerate(pts, 3);
+  EXPECT_EQ(num_clusters(labels), 3u);
+  // Blob structure recovered.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 1; i < 10; ++i) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(c * 10)],
+                labels[static_cast<std::size_t>(c * 10 + i)]);
+    }
+  }
+}
+
+TEST(Agglomerate, TargetOneMergesAll) {
+  Rng rng(5);
+  const auto labels = agglomerate(blobs(rng), 1);
+  EXPECT_EQ(num_clusters(labels), 1u);
+}
+
+TEST(Agglomerate, RespectsInitialLabels) {
+  // Two DBSCAN clusters plus far noise. Merging to 2 joins the two nearby
+  // clusters (smallest mean distance); the outlier keeps its own cluster.
+  Points pts{{0, 0}, {0.1f, 0}, {5, 5}, {5.1f, 5}, {50, 50}};
+  std::vector<int> initial{0, 0, 1, 1, kNoise};
+  const auto labels = agglomerate(pts, 2, initial);
+  EXPECT_EQ(num_clusters(labels), 2u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+}
+
+TEST(AdaptiveClusters, CompactLabels) {
+  Rng rng(6);
+  const Points pts = blobs(rng);
+  const auto labels = adaptive_clusters(pts, 4);
+  const std::size_t g = num_clusters(labels);
+  EXPECT_GE(g, 1u);
+  EXPECT_LE(g, 4u);
+  for (const int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, static_cast<int>(g));
+  }
+}
+
+TEST(AdaptiveClusters, EmptyInput) {
+  EXPECT_TRUE(adaptive_clusters({}, 3).empty());
+}
+
+TEST(AdaptiveClusters, Deterministic) {
+  Rng rng(7);
+  const Points pts = blobs(rng);
+  EXPECT_EQ(adaptive_clusters(pts, 5), adaptive_clusters(pts, 5));
+}
+
+}  // namespace
+}  // namespace moss::clustering

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "clustering/clustering.hpp"
+#include "core/features.hpp"
+
+namespace moss::core {
+namespace {
+
+using cell::standard_library;
+
+const lm::TextEncoder& enc() {
+  static lm::TextEncoder e({2048, 16, 9});
+  return e;
+}
+
+data::LabeledCircuit labeled(const char* family, int size = 1) {
+  data::DesignSpec s{family, size, 11, ""};
+  data::DatasetConfig cfg;
+  cfg.sim_cycles = 300;
+  return data::label_circuit(s, standard_library(), cfg);
+}
+
+TEST(ClusterCellTypes, CoversAllTypesAndIsBounded) {
+  const auto labels = cluster_cell_types(standard_library(), enc(), 6);
+  EXPECT_EQ(labels.size(), standard_library().size());
+  const std::size_t g = clustering::num_clusters(labels);
+  EXPECT_GE(g, 2u);
+  EXPECT_LE(g, 6u);
+  for (const int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, static_cast<int>(g));
+  }
+}
+
+TEST(ClusterCellTypes, FlopsClusterTogether) {
+  const auto labels = cluster_cell_types(standard_library(), enc(), 6);
+  const auto& lib = standard_library();
+  const int dff = labels[static_cast<std::size_t>(lib.find("DFF"))];
+  EXPECT_EQ(labels[static_cast<std::size_t>(lib.find("DFFR"))], dff);
+  EXPECT_EQ(labels[static_cast<std::size_t>(lib.find("DFFE"))], dff);
+  // Flops separate from inverters.
+  EXPECT_NE(labels[static_cast<std::size_t>(lib.find("INV"))], dff);
+}
+
+TEST(FeatureDim, VariantsDiffer) {
+  FeatureConfig with_lm;
+  FeatureConfig without;
+  without.lm_features = false;
+  EXPECT_EQ(feature_dim(standard_library(), enc(), with_lm),
+            structural_feature_dim() + 2 * enc().dim());
+  EXPECT_EQ(feature_dim(standard_library(), enc(), without),
+            structural_feature_dim());
+  FeatureConfig onehot = without;
+  onehot.type_onehot = true;
+  EXPECT_EQ(feature_dim(standard_library(), enc(), onehot),
+            structural_feature_dim() + standard_library().size());
+}
+
+TEST(NumAggregators, AdaptiveVsUniform) {
+  FeatureConfig adaptive;
+  FeatureConfig uniform;
+  uniform.adaptive_agg = false;
+  EXPECT_GT(num_aggregators(standard_library(), enc(), adaptive), 2u);
+  EXPECT_EQ(num_aggregators(standard_library(), enc(), uniform), 2u);
+}
+
+TEST(BuildBatch, ShapesConsistent) {
+  const auto lc = labeled("gray_counter", 2);
+  FeatureConfig cfg;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  EXPECT_EQ(b.graph.num_nodes, lc.netlist.num_nodes());
+  EXPECT_EQ(b.graph.features.rows(), lc.netlist.num_nodes());
+  EXPECT_EQ(b.graph.features.cols(),
+            feature_dim(standard_library(), enc(), cfg));
+  EXPECT_EQ(b.cell_rows.size(), lc.netlist.num_cells());
+  EXPECT_EQ(b.flop_rows.size(), lc.netlist.flops().size());
+  EXPECT_EQ(b.toggle.size(), b.cell_rows.size());
+  EXPECT_EQ(b.arrival_rows.size(), b.cell_rows.size());
+  EXPECT_EQ(b.arrival_norm.size(), b.arrival_rows.size());
+  EXPECT_EQ(b.flop_arrival_norm.size(), b.flop_rows.size());
+  EXPECT_EQ(b.reg_prompt_emb.rows(), b.flop_rows.size());
+  EXPECT_GT(b.graph.forward_steps.size(), 0u);
+  EXPECT_EQ(b.graph.turnaround_steps.size(), 1u);
+  EXPECT_FALSE(b.module_text.empty());
+}
+
+TEST(BuildBatch, DffRowsGetRegisterPromptEmbedding) {
+  const auto lc = labeled("gray_counter", 1);
+  FeatureConfig cfg;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  // Every flop must have a nonzero prompt embedding row.
+  for (std::size_t fi = 0; fi < b.flop_rows.size(); ++fi) {
+    float s = 0;
+    for (std::size_t c = 0; c < enc().dim(); ++c) {
+      s += std::abs(b.reg_prompt_emb.at(fi, c));
+    }
+    EXPECT_GT(s, 0.0f) << "flop " << fi;
+  }
+  // And the DFF feature rows carry it too (last block nonzero).
+  const std::size_t F = b.graph.features.cols();
+  for (const int row : b.flop_rows) {
+    float s = 0;
+    for (std::size_t c = F - enc().dim(); c < F; ++c) {
+      s += std::abs(b.graph.features.at(static_cast<std::size_t>(row), c));
+    }
+    EXPECT_GT(s, 0.0f);
+  }
+}
+
+TEST(BuildBatch, NonFlopCellsHaveZeroRegisterBlock) {
+  const auto lc = labeled("alu", 1);
+  FeatureConfig cfg;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  const std::size_t F = b.graph.features.cols();
+  for (const int row : b.cell_rows) {
+    const auto id = static_cast<netlist::NodeId>(row);
+    if (lc.netlist.is_flop(id)) continue;
+    float s = 0;
+    for (std::size_t c = F - enc().dim(); c < F; ++c) {
+      s += std::abs(b.graph.features.at(static_cast<std::size_t>(row), c));
+    }
+    EXPECT_FLOAT_EQ(s, 0.0f);
+    break;  // one representative is enough
+  }
+}
+
+TEST(BuildBatch, OneHotVariant) {
+  const auto lc = labeled("alu", 1);
+  FeatureConfig cfg;
+  cfg.lm_features = false;
+  cfg.type_onehot = true;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  // Each cell row has exactly one 1 in the one-hot block.
+  for (const int row : b.cell_rows) {
+    float s = 0;
+    for (std::size_t c = structural_feature_dim();
+         c < b.graph.features.cols(); ++c) {
+      s += b.graph.features.at(static_cast<std::size_t>(row), c);
+    }
+    EXPECT_FLOAT_EQ(s, 1.0f);
+  }
+}
+
+TEST(BuildBatch, ArrivalNormalization) {
+  const auto lc = labeled("pipeline_reg", 1);
+  FeatureConfig cfg;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  for (std::size_t i = 0; i < b.flop_rows.size(); ++i) {
+    EXPECT_NEAR(b.flop_arrival_norm[i] * kArrivalScale,
+                lc.flop_arrival[i], 1e-3);
+  }
+}
+
+TEST(BuildBatch, UniformVariantHasTwoClusters) {
+  const auto lc = labeled("gray_counter", 1);
+  FeatureConfig cfg;
+  cfg.adaptive_agg = false;
+  const CircuitBatch b = build_batch(lc, enc(), cfg);
+  EXPECT_EQ(b.graph.num_clusters, 2u);
+}
+
+}  // namespace
+}  // namespace moss::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+
+namespace moss::core {
+namespace {
+
+using cell::standard_library;
+
+const lm::TextEncoder& enc() {
+  static lm::TextEncoder e({2048, 16, 13});
+  return e;
+}
+
+struct Fixture {
+  std::vector<data::LabeledCircuit> circuits;
+  std::vector<CircuitBatch> batches;
+};
+
+Fixture make_fixture(const FeatureConfig& fcfg, int n = 3) {
+  Fixture f;
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = 300;
+  const auto specs = data::corpus_specs(static_cast<std::size_t>(n), 21, 1, 1);
+  for (const auto& s : specs) {
+    f.circuits.push_back(data::label_circuit(s, standard_library(), dcfg));
+    f.batches.push_back(build_batch(f.circuits.back(), enc(), fcfg));
+  }
+  return f;
+}
+
+MossConfig small_config() {
+  MossConfig cfg;
+  cfg.hidden = 16;
+  cfg.rounds = 1;
+  return cfg;
+}
+
+TEST(MossConfig, VariantFlags) {
+  EXPECT_TRUE(MossConfig::full().alignment);
+  EXPECT_FALSE(MossConfig::without_alignment().alignment);
+  EXPECT_TRUE(MossConfig::without_alignment().features.adaptive_agg);
+  EXPECT_FALSE(MossConfig::without_adaptive_agg().features.adaptive_agg);
+  EXPECT_TRUE(MossConfig::without_adaptive_agg().features.lm_features);
+  EXPECT_FALSE(MossConfig::without_features().features.lm_features);
+}
+
+TEST(MossModel, ForwardShapes) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 1);
+  const auto& b = f.batches[0];
+  const auto h = model.node_embeddings(b);
+  EXPECT_EQ(h.rows(), b.graph.num_nodes);
+  EXPECT_EQ(h.cols(), cfg.hidden);
+  const auto pred = model.predict_local(b, h);
+  EXPECT_EQ(pred.one_prob.rows(), b.cell_rows.size());
+  EXPECT_EQ(pred.toggle.rows(), b.cell_rows.size());
+  EXPECT_EQ(pred.arrival.rows(), b.arrival_rows.size());
+  const auto flop_at = model.predict_arrival(b, h, b.flop_rows);
+  EXPECT_EQ(flop_at.rows(), b.flop_rows.size());
+  for (std::size_t i = 0; i < pred.toggle.rows(); ++i) {
+    EXPECT_GT(pred.toggle.at(i, 0), 0.0f);
+    EXPECT_LT(pred.toggle.at(i, 0), 1.0f);
+    EXPECT_GE(pred.arrival.defined() ? 0.0f : 0.0f, 0.0f);
+  }
+  const auto n_e = model.netlist_embedding(b, h);
+  EXPECT_EQ(n_e.rows(), 1u);
+  EXPECT_EQ(n_e.cols(), enc().dim());
+  float norm = 0;
+  for (const float v : n_e.data()) norm += v * v;
+  EXPECT_NEAR(norm, 1.0f, 1e-3f);
+}
+
+TEST(MossModel, RnmLogitsAllPairs) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  tensor::Tensor r = tensor::Tensor::full(3, enc().dim(), 0.1f);
+  tensor::Tensor n = tensor::Tensor::full(2, enc().dim(), 0.2f);
+  const auto logits = model.rnm_logits(r, n);
+  EXPECT_EQ(logits.rows(), 6u);
+  EXPECT_EQ(logits.cols(), 1u);
+}
+
+TEST(Accuracy, FromErrors) {
+  EXPECT_DOUBLE_EQ(accuracy_from_errors({1.0}, {1.0}, 0.1), 1.0);
+  EXPECT_NEAR(accuracy_from_errors({0.9}, {1.0}, 0.1), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(accuracy_from_errors({10.0}, {1.0}, 0.1), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(accuracy_from_errors({}, {}, 0.1), 1.0);
+}
+
+TEST(Trainer, PretrainLossDecreases) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 3);
+  PretrainConfig pcfg;
+  pcfg.epochs = 8;
+  pcfg.lr = 3e-3f;
+  const auto rep = pretrain(model, f.batches, pcfg);
+  ASSERT_EQ(rep.total.size(), 8u);
+  EXPECT_LT(rep.total.back(), rep.total.front());
+  EXPECT_LT(rep.toggle.back(), rep.toggle.front());
+  EXPECT_LT(rep.arrival.back(), rep.arrival.front());
+}
+
+TEST(Trainer, PretrainImprovesTaskAccuracy) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 3);
+  PretrainConfig pcfg;
+  pcfg.epochs = 60;
+  pcfg.lr = 3e-3f;
+  pretrain(model, f.batches, pcfg);
+  // Fitting three small circuits must reach solid train accuracy.
+  const TaskAccuracy after = evaluate_tasks(model, f.batches[0],
+                                            f.circuits[0]);
+  EXPECT_GT(after.atp, 0.5);
+  EXPECT_GT(after.trp, 0.5);
+  EXPECT_GT(after.pp, 0.6);
+}
+
+TEST(Trainer, AlignLossDecreasesAndFepImproves) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 4);
+  AlignConfig acfg;
+  acfg.epochs = 30;
+  acfg.batch_size = 4;
+  acfg.lr = 5e-3f;
+  Rng rng(3);
+  const double fep_before = evaluate_fep(model, f.batches);
+  const auto rep = align(model, f.batches, acfg, rng);
+  ASSERT_EQ(rep.total.size(), 30u);
+  EXPECT_LT(rep.total.back(), rep.total.front());
+  EXPECT_LT(rep.rnc.back(), rep.rnc.front());
+  const double fep_after = evaluate_fep(model, f.batches);
+  EXPECT_GE(fep_after, fep_before);
+  EXPECT_GT(fep_after, 0.7);  // 4 candidates, trained: should be easy
+}
+
+TEST(Trainer, AlignNoOpWithoutAlignment) {
+  const MossConfig cfg = MossConfig::without_alignment();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 2);
+  AlignConfig acfg;
+  Rng rng(4);
+  const auto rep = align(model, f.batches, acfg, rng);
+  EXPECT_TRUE(rep.total.empty());
+}
+
+TEST(Evaluate, TaskAccuracyInRange) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 1);
+  const TaskAccuracy acc = evaluate_tasks(model, f.batches[0], f.circuits[0]);
+  EXPECT_GE(acc.atp, 0.0);
+  EXPECT_LE(acc.atp, 1.0);
+  EXPECT_GE(acc.trp, 0.0);
+  EXPECT_LE(acc.trp, 1.0);
+  EXPECT_GE(acc.pp, 0.0);
+  EXPECT_LE(acc.pp, 1.0);
+}
+
+TEST(Evaluate, FepUntrainedIsWeak) {
+  const MossConfig cfg = small_config();
+  MossModel model(cfg, standard_library(), enc());
+  Fixture f = make_fixture(cfg.features, 4);
+  const double fep = evaluate_fep(model, f.batches);
+  EXPECT_GE(fep, 0.0);
+  EXPECT_LE(fep, 1.0);
+}
+
+}  // namespace
+}  // namespace moss::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core_util/check.hpp"
+#include "core_util/rng.hpp"
+#include "core_util/strings.hpp"
+
+namespace moss {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(5);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(3);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Strings, SplitBasic) {
+  const auto v = split("a,b;c", ",;");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strings, SplitDropsEmpty) {
+  const auto v = split(",,a,,b,", ",");
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("module foo", "module"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC_9"), "abc_9"); }
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 4, "x"), "4-x");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Strings, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64("a"));
+}
+
+TEST(Check, ThrowsTypedError) {
+  EXPECT_THROW(MOSS_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(MOSS_CHECK(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    MOSS_CHECK(1 == 2, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("custom detail"), std::string::npos);
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace moss

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core_util/rng.hpp"
+#include "core_util/strings.hpp"
+#include "data/dataset.hpp"
+#include "data/stats.hpp"
+#include "data/generators.hpp"
+#include "rtl/printer.hpp"
+#include "sim/equivalence.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::data {
+namespace {
+
+using cell::standard_library;
+
+class FamilyRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyRoundTrip, GeneratesValidAndSynthesizable) {
+  DesignSpec spec;
+  spec.family = GetParam();
+  spec.size_hint = 2;
+  spec.seed = 42;
+  const rtl::Module m = generate(spec);
+  EXPECT_FALSE(m.regs.empty() && m.wires.empty());
+  // Synthesize and verify cycle-exact equivalence against the RTL model.
+  const auto nl = synth::synthesize(m, standard_library());
+  EXPECT_GT(nl.num_cells(), 0u);
+  Rng rng(fnv1a64(spec.family));
+  const auto res = sim::check_equivalence(m, nl, 200, rng);
+  EXPECT_TRUE(res.equivalent) << res.first_mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyRoundTrip,
+    ::testing::ValuesIn(families()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+class FamilySeeds : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilySeeds, SeedsVaryStructure) {
+  DesignSpec a{GetParam(), 2, 1, "a"};
+  DesignSpec b{GetParam(), 3, 2, "b"};
+  const auto na = synth::synthesize(generate(a), standard_library());
+  const auto nb = synth::synthesize(generate(b), standard_library());
+  // Different size hints must give different circuit sizes.
+  EXPECT_NE(na.num_cells(), nb.num_cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilySeeds, ::testing::ValuesIn(families()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(Generators, DeterministicForSpec) {
+  DesignSpec s{"alu", 2, 77, "alu_d"};
+  const auto v1 = rtl::to_verilog(generate(s));
+  const auto v2 = rtl::to_verilog(generate(s));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Generators, UnknownFamilyThrows) {
+  DesignSpec s{"warp_drive", 1, 0, ""};
+  EXPECT_THROW(generate(s), Error);
+}
+
+TEST(Generators, Table1SpecsCoverPaperCircuits) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "max_selector");
+  EXPECT_EQ(specs[7].name, "mult_16x32_to_48");
+  // Cell counts increase from first to last (paper: 278 -> 4144).
+  const auto first =
+      synth::synthesize(generate(specs[0]), standard_library());
+  const auto last =
+      synth::synthesize(generate(specs[7]), standard_library());
+  EXPECT_LT(first.num_cells(), last.num_cells());
+  EXPECT_GT(first.num_cells(), 50u);
+  EXPECT_GT(last.num_cells(), 1000u);
+}
+
+TEST(Generators, CorpusSpecsCycleFamilies) {
+  const auto specs = corpus_specs(30, 5);
+  ASSERT_EQ(specs.size(), 30u);
+  EXPECT_NE(specs[0].family, specs[1].family);
+  // Names unique.
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_NE(specs[i].name, specs[i - 1].name);
+  }
+}
+
+TEST(Dataset, LabelsAreComplete) {
+  DesignSpec s{"gray_counter", 2, 3, "gc"};
+  DatasetConfig cfg;
+  cfg.sim_cycles = 500;
+  const LabeledCircuit lc = label_circuit(s, standard_library(), cfg);
+  EXPECT_EQ(lc.toggle.size(), lc.netlist.num_nodes());
+  EXPECT_EQ(lc.one_prob.size(), lc.netlist.num_nodes());
+  EXPECT_EQ(lc.flop_arrival.size(), lc.netlist.flops().size());
+  EXPECT_GT(lc.power_uw, 0.0);
+  EXPECT_FALSE(lc.module_text.empty());
+  EXPECT_EQ(lc.reg_prompts.size(), lc.module.regs.size());
+  for (const double t : lc.toggle) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+  for (const double at : lc.flop_arrival) EXPECT_GE(at, 0.0);
+}
+
+TEST(DatasetStats, SummarizesCorrectly) {
+  DatasetConfig cfg;
+  cfg.sim_cycles = 150;
+  const auto ds = build_dataset(corpus_specs(5, 17, 1, 2),
+                                standard_library(), cfg);
+  const DatasetStats s = compute_stats(ds);
+  EXPECT_EQ(s.circuits, 5u);
+  EXPECT_GE(s.max_cells, s.min_cells);
+  EXPECT_GT(s.total_flops, 0u);
+  EXPECT_GT(s.mean_toggle, 0.0);
+  EXPECT_LT(s.mean_toggle, 1.0);
+  EXPECT_GT(s.max_arrival_ps, 0.0);
+  std::size_t fam_total = 0;
+  for (const auto& [f, c] : s.per_family) fam_total += c;
+  EXPECT_EQ(fam_total, 5u);
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("5 circuits"), std::string::npos);
+}
+
+TEST(DatasetStats, EmptyDataset) {
+  const DatasetStats s = compute_stats({});
+  EXPECT_EQ(s.circuits, 0u);
+  EXPECT_EQ(s.total_cells, 0u);
+}
+
+TEST(SplitDataset, DeterministicAndComplete) {
+  DatasetConfig cfg;
+  cfg.sim_cycles = 100;
+  const auto ds = build_dataset(corpus_specs(10, 23, 1, 1),
+                                standard_library(), cfg);
+  const Split s1 = split_dataset(ds, 0.3, 7);
+  const Split s2 = split_dataset(ds, 0.3, 7);
+  EXPECT_EQ(s1.train.size(), s2.train.size());
+  EXPECT_EQ(s1.train.size() + s1.test.size(), ds.size());
+  // A different salt permutes the assignment (with 10 circuits, nearly
+  // always different).
+  const Split s3 = split_dataset(ds, 0.3, 99);
+  EXPECT_TRUE(s3.train.size() != s1.train.size() ||
+              !std::equal(s1.train.begin(), s1.train.end(),
+                          s3.train.begin()));
+  // Extremes.
+  EXPECT_TRUE(split_dataset(ds, 0.0).test.empty());
+  EXPECT_TRUE(split_dataset(ds, 1.0).train.empty());
+}
+
+TEST(Dataset, BuildDatasetMultiple) {
+  DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  const auto specs = corpus_specs(4, 9, 1, 1);
+  const auto ds = build_dataset(specs, standard_library(), cfg);
+  ASSERT_EQ(ds.size(), 4u);
+  for (const auto& lc : ds) {
+    EXPECT_GT(lc.netlist.num_cells(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace moss::data

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core_util/check.hpp"
+#include "rtl/parser.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::sim {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(StuckAt, ForcedValuePropagates) {
+  Netlist nl(standard_library(), "f");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_cell("AND2", "g", {a, b});
+  nl.add_output("y", g);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.set_stuck_at(a, 1);  // a stuck-at-1
+  sim.step({0, 1});        // would be 0 without the fault
+  EXPECT_EQ(sim.output_values()[0], 1);
+  sim.clear_stuck_at();
+  sim.step({0, 1});
+  EXPECT_EQ(sim.output_values()[0], 0);
+}
+
+TEST(StuckAt, RejectsPrimaryOutput) {
+  Netlist nl(standard_library(), "po");
+  const NodeId a = nl.add_input("a");
+  const NodeId y = nl.add_output("y", a);
+  nl.finalize();
+  Simulator sim(nl);
+  EXPECT_THROW(sim.set_stuck_at(y, 1), Error);
+}
+
+TEST(FaultEnum, UniverseSizeAndPolarity) {
+  Netlist nl(standard_library(), "u");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("INV", "g", {a});
+  nl.add_output("y", g);
+  nl.finalize();
+  const auto faults = enumerate_faults(nl);
+  // a and g, both polarities; PO excluded.
+  EXPECT_EQ(faults.size(), 4u);
+}
+
+TEST(FaultSim, InverterFullyTestable) {
+  Netlist nl(standard_library(), "inv");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("INV", "g", {a});
+  nl.add_output("y", g);
+  nl.finalize();
+  Rng rng(1);
+  const auto campaign =
+      simulate_faults(nl, enumerate_faults(nl), 32, rng);
+  EXPECT_DOUBLE_EQ(campaign.coverage, 1.0);  // every stuck-at detectable
+  for (const auto& r : campaign.results) EXPECT_TRUE(r.detected);
+}
+
+TEST(FaultSim, RedundantLogicIsUndetectable) {
+  // y = a | (a & b): the AND is redundant; its stuck-at-0 can't be seen.
+  Netlist nl(standard_library(), "red");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_cell("AND2", "g1", {a, b});
+  const NodeId g2 = nl.add_cell("OR2", "g2", {a, g1});
+  nl.add_output("y", g2);
+  nl.finalize();
+  Rng rng(2);
+  const auto campaign = simulate_faults(
+      nl, {Fault{g1, false}, Fault{g1, true}}, 64, rng);
+  EXPECT_FALSE(campaign.results[0].detected);  // stuck-at-0: masked by OR
+  EXPECT_TRUE(campaign.results[1].detected);   // stuck-at-1: y=1 when a=0
+}
+
+TEST(FaultSim, SequentialFaultNeedsPropagationCycles) {
+  // Fault before a flop needs a clock edge to reach the output.
+  Netlist nl(standard_library(), "seq");
+  const NodeId d = nl.add_input("d");
+  const NodeId q = nl.add_cell("DFF", "q", {d});
+  nl.add_output("y", q);
+  nl.finalize();
+  Rng rng(3);
+  const auto campaign = simulate_faults(nl, {Fault{d, true}}, 32, rng);
+  ASSERT_TRUE(campaign.results[0].detected);
+  EXPECT_GE(campaign.results[0].first_detect_cycle, 1u);
+}
+
+TEST(FaultSim, SynthesizedDesignCoverageIsHigh) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module c (input clk, input rst, input [3:0] a, output [3:0] y);
+      reg [3:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 4'd0; else r <= r + a;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  Rng rng(4);
+  const auto campaign =
+      simulate_faults(nl, enumerate_faults(nl), 128, rng);
+  // Random patterns on a small adder reach most of the logic.
+  EXPECT_GT(campaign.coverage, 0.8);
+  EXPECT_EQ(campaign.results.size(), enumerate_faults(nl).size());
+}
+
+TEST(FaultSim, DeterministicForSeed) {
+  Netlist nl(standard_library(), "det");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("BUF", "g", {a});
+  nl.add_output("y", g);
+  nl.finalize();
+  Rng r1(5), r2(5);
+  const auto c1 = simulate_faults(nl, enumerate_faults(nl), 16, r1);
+  const auto c2 = simulate_faults(nl, enumerate_faults(nl), 16, r2);
+  EXPECT_EQ(c1.detected, c2.detected);
+}
+
+}  // namespace
+}  // namespace moss::sim

@@ -1,0 +1,128 @@
+// End-to-end integration tests exercising the umbrella header and the full
+// pipeline: generation -> synthesis -> labeling -> LM fine-tune ->
+// training -> evaluation, for both MOSS and the baseline.
+
+#include <gtest/gtest.h>
+
+#include "core_util/strings.hpp"
+#include "moss.hpp"
+
+namespace moss {
+namespace {
+
+struct Pipeline {
+  lm::TextEncoder enc{{2048, 16, 77}};
+  std::vector<data::LabeledCircuit> circuits;
+
+  Pipeline() {
+    data::DatasetConfig dcfg;
+    dcfg.sim_cycles = 400;
+    circuits = data::build_dataset(data::corpus_specs(6, 3, 1, 2),
+                                   cell::standard_library(), dcfg);
+    std::vector<std::string> corpus;
+    for (const auto& lc : circuits) corpus.push_back(lc.module_text);
+    lm::FineTuneConfig ftc;
+    ftc.epochs = 1;
+    ftc.max_pairs_per_epoch = 8000;
+    Rng rng(1);
+    lm::fine_tune(enc, corpus, ftc, rng);
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+TEST(Integration, DatasetLabelsConsistent) {
+  for (const auto& lc : pipeline().circuits) {
+    EXPECT_EQ(lc.toggle.size(), lc.netlist.num_nodes());
+    EXPECT_EQ(lc.arrival.size(), lc.netlist.num_nodes());
+    EXPECT_GT(lc.power_uw, 0.0);
+    // Every synthesized netlist matches its RTL golden model.
+    Rng rng(fnv1a64(lc.netlist.name()));
+    const auto eq = sim::check_equivalence(lc.module, lc.netlist, 100, rng);
+    EXPECT_TRUE(eq.equivalent) << lc.netlist.name() << ": "
+                               << eq.first_mismatch;
+  }
+}
+
+TEST(Integration, MossTrainsEndToEnd) {
+  auto& p = pipeline();
+  core::MossConfig cfg;
+  cfg.hidden = 16;
+  cfg.rounds = 1;
+  core::MossModel model(cfg, cell::standard_library(), p.enc);
+  std::vector<core::CircuitBatch> batches;
+  for (const auto& lc : p.circuits) {
+    batches.push_back(core::build_batch(lc, p.enc, cfg.features));
+  }
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 6;
+  pcfg.lr = 3e-3f;
+  const auto rep = core::pretrain(model, batches, pcfg);
+  EXPECT_LT(rep.total.back(), rep.total.front());
+
+  core::AlignConfig acfg;
+  acfg.epochs = 10;
+  acfg.batch_size = 4;
+  acfg.lr = 3e-3f;
+  Rng rng(2);
+  const auto arep = core::align(model, batches, acfg, rng);
+  EXPECT_LT(arep.rnc.back(), arep.rnc.front());
+
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const auto acc = core::evaluate_tasks(model, batches[i], p.circuits[i]);
+    EXPECT_GE(acc.atp, 0.0);
+    EXPECT_LE(acc.atp, 1.0);
+    EXPECT_GE(acc.trp, 0.0);
+    EXPECT_LE(acc.trp, 1.0);
+  }
+  // Retrieval after alignment beats chance (1/6) on the training pool.
+  EXPECT_GT(core::evaluate_fep(model, batches), 1.0 / 6.0);
+}
+
+TEST(Integration, BaselineTrainsEndToEnd) {
+  auto& p = pipeline();
+  baseline::DeepSeqConfig cfg;
+  cfg.hidden = 16;
+  cfg.rounds = 1;
+  baseline::DeepSeqModel model(cfg);
+  std::vector<baseline::AigBatch> abs_;
+  std::vector<core::CircuitBatch> batches;
+  for (const auto& lc : p.circuits) {
+    abs_.push_back(baseline::build_aig_batch(lc, 9, 400));
+    batches.push_back(abs_.back().batch);
+  }
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 6;
+  pcfg.lr = 3e-3f;
+  const auto rep = core::pretrain_model(model, batches, pcfg);
+  EXPECT_LT(rep.total.back(), rep.total.front());
+  for (std::size_t i = 0; i < abs_.size(); ++i) {
+    const auto acc =
+        baseline::evaluate_baseline(model, abs_[i], p.circuits[i]);
+    EXPECT_GE(acc.trp, 0.0);
+    EXPECT_LE(acc.trp, 1.0);
+  }
+}
+
+TEST(Integration, VariantConfigsAllRun) {
+  auto& p = pipeline();
+  for (const auto& cfg0 :
+       {core::MossConfig::full(), core::MossConfig::without_alignment(),
+        core::MossConfig::without_adaptive_agg(),
+        core::MossConfig::without_features()}) {
+    core::MossConfig cfg = cfg0;
+    cfg.hidden = 12;
+    cfg.rounds = 1;
+    core::MossModel model(cfg, cell::standard_library(), p.enc);
+    const auto batch =
+        core::build_batch(p.circuits[0], p.enc, cfg.features);
+    const auto h = model.node_embeddings(batch);
+    EXPECT_EQ(h.rows(), batch.graph.num_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace moss

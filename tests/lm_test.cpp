@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core_util/rng.hpp"
+#include "lm/encoder.hpp"
+#include "lm/tokenizer.hpp"
+
+namespace moss::lm {
+namespace {
+
+TEST(Tokenizer, SplitsWordsAndOperators) {
+  const auto w = tokenize_words("assign y = a + b; // sum");
+  // ',' ';' '.' are dropped; everything else kept.
+  const std::vector<std::string> expect{"assign", "y", "=", "a",
+                                        "+",      "b", "/", "/", "sum"};
+  EXPECT_EQ(w, expect);
+}
+
+TEST(Tokenizer, LowercasesAndSplitsDigits) {
+  const auto w = tokenize_words("Count3 ACC");
+  const std::vector<std::string> expect{"count", "3", "acc"};
+  EXPECT_EQ(w, expect);
+}
+
+TEST(Tokenizer, KeepsTwoCharOperators) {
+  const auto w = tokenize_words("a <= b >> 2");
+  const std::vector<std::string> expect{"a", "<=", "b", ">>", "2"};
+  EXPECT_EQ(w, expect);
+}
+
+TEST(Tokenizer, PureNumberSurvives) {
+  const auto w = tokenize_words("8'd255");
+  const std::vector<std::string> expect{"8", "'", "d", "255"};
+  EXPECT_EQ(w, expect);
+}
+
+TEST(Tokenizer, HashedIdsInRange) {
+  TokenizerConfig cfg;
+  cfg.vocab_size = 128;
+  const auto ids = tokenize("module foo (input a, output b);", cfg);
+  EXPECT_FALSE(ids.empty());
+  for (const int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 128);
+  }
+}
+
+TEST(Tokenizer, Deterministic) {
+  TokenizerConfig cfg;
+  EXPECT_EQ(tokenize("reg [7:0] count;", cfg), tokenize("reg [7:0] count;", cfg));
+}
+
+TEST(Encoder, ShapeAndDeterminism) {
+  TextEncoder enc;
+  const auto e1 = enc.encode("the counter increments");
+  const auto e2 = enc.encode("the counter increments");
+  EXPECT_EQ(e1.rows(), 1u);
+  EXPECT_EQ(e1.cols(), enc.dim());
+  EXPECT_EQ(e1.data(), e2.data());
+}
+
+TEST(Encoder, DifferentTextsDiffer) {
+  TextEncoder enc;
+  const auto a = enc.encode("2-input NAND gate inverting");
+  const auto b = enc.encode("positive-edge-triggered D flip-flop register");
+  float diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 0.01f);
+}
+
+TEST(Encoder, EmptyTextIsZero) {
+  TextEncoder enc;
+  const auto e = enc.encode("");
+  for (const float v : e.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Encoder, BatchMatchesSingle) {
+  TextEncoder enc;
+  const std::vector<std::string> texts{"a and b", "c xor d"};
+  const auto batch = enc.encode_batch(texts);
+  ASSERT_EQ(batch.rows(), 2u);
+  const auto e0 = enc.encode(texts[0]);
+  for (std::size_t c = 0; c < enc.dim(); ++c) {
+    EXPECT_FLOAT_EQ(batch.at(0, c), e0.at(0, c));
+  }
+}
+
+float cosine(const tensor::Tensor& a, const tensor::Tensor& b) {
+  float dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a.data()[i] * b.data()[i];
+    na += a.data()[i] * a.data()[i];
+    nb += b.data()[i] * b.data()[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9f);
+}
+
+TEST(FineTune, LossDecreases) {
+  TextEncoder enc({512, 16, 1});
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("register counter increments by one each clock cycle");
+    corpus.push_back("shift register moves bits left each clock cycle");
+    corpus.push_back("accumulator adds the product to its value");
+  }
+  FineTuneConfig cfg;
+  cfg.epochs = 4;
+  cfg.max_pairs_per_epoch = 20000;
+  Rng rng(11);
+  const auto report = fine_tune(enc, corpus, cfg, rng);
+  ASSERT_EQ(report.epoch_loss.size(), 4u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+}
+
+TEST(FineTune, CooccurringTokensGetSimilar) {
+  // Two synthetic "languages": tokens within a family co-occur, across
+  // families never. After fine-tuning, same-family sentences must be more
+  // similar than cross-family ones.
+  TextEncoder enc({512, 16, 2});
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 60; ++i) {
+    corpus.push_back("alpha beta gamma delta alpha beta gamma delta");
+    corpus.push_back("omega sigma lambda kappa omega sigma lambda kappa");
+  }
+  FineTuneConfig cfg;
+  cfg.epochs = 6;
+  cfg.max_pairs_per_epoch = 30000;
+  Rng rng(12);
+  fine_tune(enc, corpus, cfg, rng);
+  const auto a1 = enc.encode("alpha beta");
+  const auto a2 = enc.encode("gamma delta");
+  const auto b1 = enc.encode("omega sigma");
+  EXPECT_GT(cosine(a1, a2), cosine(a1, b1));
+}
+
+TEST(Encoder, CenteredDiffersFromRaw) {
+  TextEncoder enc({512, 16, 4});
+  std::vector<std::string> corpus(30, "alpha beta gamma delta epsilon");
+  corpus.push_back("omega sigma");
+  FineTuneConfig cfg;
+  cfg.epochs = 1;
+  cfg.max_pairs_per_epoch = 4000;
+  Rng rng(3);
+  fine_tune(enc, corpus, cfg, rng);
+  ASSERT_FALSE(enc.center().empty());
+  const auto raw = enc.encode("alpha beta");
+  const auto centered = enc.encode_centered("alpha beta");
+  // centered = raw - center, elementwise.
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(centered.data()[i], raw.data()[i] - enc.center()[i], 1e-6f);
+  }
+}
+
+TEST(Encoder, CenteringSpreadsCorpusAngles) {
+  TextEncoder enc({512, 16, 5});
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back("module shared tokens everywhere plus unique" +
+                     std::to_string(i));
+  }
+  FineTuneConfig cfg;
+  cfg.epochs = 1;
+  cfg.max_pairs_per_epoch = 6000;
+  Rng rng(4);
+  fine_tune(enc, corpus, cfg, rng);
+  const float raw_cos = cosine(enc.encode(corpus[0]), enc.encode(corpus[1]));
+  const float cen_cos = cosine(enc.encode_centered(corpus[0]),
+                               enc.encode_centered(corpus[1]));
+  EXPECT_LT(cen_cos, raw_cos);  // boilerplate direction removed
+}
+
+TEST(FineTune, IdfDownweightsCommonTokens) {
+  TextEncoder enc({512, 16, 6});
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back("common common common rare" + std::to_string(i));
+  }
+  FineTuneConfig cfg;
+  cfg.epochs = 1;
+  cfg.max_pairs_per_epoch = 4000;
+  Rng rng(5);
+  fine_tune(enc, corpus, cfg, rng);
+  const auto& w = enc.token_weights();
+  ASSERT_FALSE(w.empty());
+  const auto common_id = tokenize("common", {512})[0];
+  const auto rare_word_id = tokenize("xyzzy", {512})[0];  // df=0 -> max idf
+  EXPECT_LT(w[static_cast<std::size_t>(common_id)],
+            w[static_cast<std::size_t>(rare_word_id)]);
+}
+
+TEST(FineTune, CacheInvalidated) {
+  TextEncoder enc({256, 8, 3});
+  const auto before = enc.encode("alpha beta gamma").data();
+  std::vector<std::string> corpus(20, "alpha beta gamma alpha beta gamma");
+  FineTuneConfig cfg;
+  cfg.epochs = 2;
+  cfg.max_pairs_per_epoch = 5000;
+  Rng rng(13);
+  fine_tune(enc, corpus, cfg, rng);
+  const auto after = enc.encode("alpha beta gamma").data();
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace moss::lm

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core_util/check.hpp"
+#include "netlist/netlist.hpp"
+
+namespace moss::netlist {
+namespace {
+
+using cell::standard_library;
+
+/// a --AND2--+--DFF--> q --INV--> out
+/// b --------+
+Netlist tiny() {
+  Netlist nl(standard_library(), "tiny");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_cell("AND2", "g_and", {a, b});
+  const NodeId q = nl.add_cell("DFF", "r_q", {g});
+  const NodeId inv = nl.add_cell("INV", "g_inv", {q});
+  nl.add_output("out", inv);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, BasicCounts) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.num_nodes(), 6u);
+  EXPECT_EQ(nl.num_cells(), 3u);
+  EXPECT_EQ(nl.flops().size(), 1u);
+  EXPECT_EQ(nl.num_comb_cells(), 2u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(Netlist, FanoutDerived) {
+  const Netlist nl = tiny();
+  const NodeId a = nl.find("a");
+  const NodeId g = nl.find("g_and");
+  ASSERT_NE(a, kInvalidNode);
+  ASSERT_EQ(nl.node(a).fanout.size(), 1u);
+  EXPECT_EQ(nl.node(a).fanout[0], g);
+}
+
+TEST(Netlist, Levels) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.node(nl.find("a")).level, 0);
+  EXPECT_EQ(nl.node(nl.find("g_and")).level, 1);
+  EXPECT_EQ(nl.node(nl.find("r_q")).level, 0);   // flop is a cycle source
+  EXPECT_EQ(nl.node(nl.find("g_inv")).level, 1);
+  EXPECT_EQ(nl.max_level(), 1);
+}
+
+TEST(Netlist, TopoOrderRespectsCombDeps) {
+  const Netlist nl = tiny();
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), nl.num_nodes());
+  std::vector<int> pos(nl.num_nodes());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  }
+  // AND2 after its inputs; INV after flop.
+  EXPECT_GT(pos[static_cast<std::size_t>(nl.find("g_and"))],
+            pos[static_cast<std::size_t>(nl.find("a"))]);
+  EXPECT_GT(pos[static_cast<std::size_t>(nl.find("g_inv"))],
+            pos[static_cast<std::size_t>(nl.find("r_q"))]);
+}
+
+TEST(Netlist, FlopFeedbackLoopIsFine) {
+  // q = DFF(INV(q)) — a toggle flop; legal because the flop breaks the cycle.
+  Netlist nl(standard_library(), "toggle");
+  const NodeId q = nl.add_cell("DFF", "q", {kInvalidNode});
+  const NodeId inv = nl.add_cell("INV", "n", {q});
+  nl.connect(q, 0, inv);
+  nl.add_output("out", q);
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, CombinationalCycleRejected) {
+  Netlist nl(standard_library(), "cycle");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_cell("AND2", "g1", {a, kInvalidNode});
+  const NodeId g2 = nl.add_cell("INV", "g2", {g1});
+  nl.connect(g1, 1, g2);
+  nl.add_output("out", g1);
+  EXPECT_THROW(nl.finalize(), Error);
+}
+
+TEST(Netlist, UnconnectedPinRejected) {
+  Netlist nl(standard_library(), "open");
+  const NodeId a = nl.add_input("a");
+  nl.add_cell("AND2", "g", {a, kInvalidNode});
+  EXPECT_THROW(nl.finalize(), Error);
+}
+
+TEST(Netlist, WrongPinCountRejected) {
+  Netlist nl(standard_library(), "bad");
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_cell("AND2", "g", {a}), Error);
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl(standard_library(), "dup");
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), Error);
+}
+
+TEST(Netlist, RtlRegisterProvenance) {
+  Netlist nl(standard_library(), "prov");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_cell("DFF", "q", {a});
+  nl.set_rtl_register(q, "count[3]");
+  nl.add_output("o", q);
+  nl.finalize();
+  EXPECT_EQ(nl.node(q).rtl_register, "count[3]");
+  EXPECT_THROW(nl.set_rtl_register(a, "x"), Error);
+}
+
+TEST(Netlist, OutputLoadSumsPinCaps) {
+  const Netlist nl = tiny();
+  const NodeId a = nl.find("a");
+  const auto& and2 = standard_library().by_name("AND2");
+  // a drives one AND2 pin plus one wire branch (0.8 fF).
+  EXPECT_NEAR(nl.output_load(a), and2.pin_cap[0] + 0.8, 1e-9);
+}
+
+TEST(Netlist, StatsMatch) {
+  const Netlist nl = tiny();
+  const NetlistStats s = stats(nl);
+  EXPECT_EQ(s.cells, 3u);
+  EXPECT_EQ(s.flops, 1u);
+  EXPECT_EQ(s.inputs, 2u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.levels, 1);
+  EXPECT_GT(s.area, 0.0);
+}
+
+TEST(Netlist, MultiPinSameDriver) {
+  // Both AND2 pins fed by the same input: levelization still works.
+  Netlist nl(standard_library(), "mp");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("AND2", "g", {a, a});
+  nl.add_output("o", g);
+  nl.finalize();
+  EXPECT_EQ(nl.node(g).level, 1);
+  EXPECT_EQ(nl.node(a).fanout.size(), 1u);  // deduplicated
+}
+
+}  // namespace
+}  // namespace moss::netlist

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core_util/check.hpp"
+#include "core_util/rng.hpp"
+#include "power/power.hpp"
+#include "rtl/parser.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::power {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Power, LeakageOnlyWhenIdle) {
+  Netlist nl(standard_library(), "idle");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("INV", "g", {a});
+  nl.add_output("y", g);
+  nl.finalize();
+  std::vector<double> rates(nl.num_nodes(), 0.0);
+  const PowerReport rep = analyze_power(nl, rates);
+  EXPECT_DOUBLE_EQ(rep.dynamic_uw, 0.0);
+  EXPECT_GT(rep.leakage_uw, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_uw, rep.leakage_uw);
+}
+
+TEST(Power, DynamicScalesWithToggle) {
+  Netlist nl(standard_library(), "dyn");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("INV", "g", {a});
+  nl.add_output("y", g);
+  nl.finalize();
+  std::vector<double> slow(nl.num_nodes(), 0.0), fast(nl.num_nodes(), 0.0);
+  slow[static_cast<std::size_t>(g)] = 0.1;
+  fast[static_cast<std::size_t>(g)] = 0.9;
+  const auto p_slow = analyze_power(nl, slow);
+  const auto p_fast = analyze_power(nl, fast);
+  EXPECT_NEAR(p_fast.dynamic_uw / p_slow.dynamic_uw, 9.0, 1e-6);
+}
+
+TEST(Power, FlopsBurnClockPower) {
+  // A flop with zero data activity still consumes clock-pin power.
+  Netlist nl(standard_library(), "clk");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_cell("DFF", "q", {a});
+  nl.add_output("y", q);
+  nl.finalize();
+  std::vector<double> rates(nl.num_nodes(), 0.0);
+  const auto rep = analyze_power(nl, rates);
+  EXPECT_GT(rep.dynamic_uw, 0.0);
+}
+
+TEST(Power, FrequencyScaling) {
+  Netlist nl(standard_library(), "freq");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_cell("XOR2", "g", {a, a});
+  nl.add_output("y", g);
+  nl.finalize();
+  std::vector<double> rates(nl.num_nodes(), 0.5);
+  PowerOptions p1;
+  p1.clock_ghz = 1.0;
+  PowerOptions p2;
+  p2.clock_ghz = 2.0;
+  const auto r1 = analyze_power(nl, rates, p1);
+  const auto r2 = analyze_power(nl, rates, p2);
+  EXPECT_NEAR(r2.dynamic_uw / r1.dynamic_uw, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r1.leakage_uw, r2.leakage_uw);
+}
+
+TEST(Power, WrongRateVectorRejected) {
+  Netlist nl(standard_library(), "bad");
+  nl.add_input("a");
+  nl.add_output("y", nl.find("a"));
+  nl.finalize();
+  std::vector<double> rates(3, 0.0);  // wrong size
+  EXPECT_THROW(analyze_power(nl, rates), Error);
+}
+
+TEST(Power, EndToEndSynthesizedCircuit) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module top (input clk, input rst, input [7:0] a, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'd0;
+        else r <= r + a;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  Rng rng(5);
+  const auto act = sim::random_activity(nl, 2000, rng);
+  const auto rep = analyze_power(nl, act.toggle);
+  EXPECT_GT(rep.total_uw, 0.0);
+  EXPECT_GT(rep.dynamic_uw, rep.leakage_uw);  // active adder
+  // Per-cell powers sum to the total.
+  double sum = 0;
+  for (const double p : rep.cell_power_uw) sum += p;
+  EXPECT_NEAR(sum, rep.total_uw, 1e-9);
+}
+
+TEST(Power, MoreActivityMorePower) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module top (input clk, input rst, input [7:0] a, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'd0;
+        else r <= a ^ r;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  Rng r1(7), r2(7);
+  const auto quiet = sim::random_activity(nl, 2000, r1, 0.02);
+  const auto busy = sim::random_activity(nl, 2000, r2, 0.5);
+  EXPECT_LT(analyze_power(nl, quiet.toggle).dynamic_uw,
+            analyze_power(nl, busy.toggle).dynamic_uw);
+}
+
+}  // namespace
+}  // namespace moss::power

@@ -1,0 +1,193 @@
+// Cross-module property tests: invariants that must hold for every design
+// family and seed, checked over the generated corpus.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/aig_sim.hpp"
+#include "core_util/strings.hpp"
+#include "data/generators.hpp"
+#include "rtl/eval.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/parser.hpp"
+#include "rtl/printer.hpp"
+#include "power/power.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+struct Case {
+  std::string family;
+  int size;
+};
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> out;
+  for (const auto& fam : data::families()) {
+    out.push_back({fam, 1});
+    out.push_back({fam, 3});
+  }
+  return out;
+}
+
+class FamilySweep : public ::testing::TestWithParam<Case> {
+ protected:
+  Netlist netlist() const {
+    const auto& p = GetParam();
+    data::DesignSpec spec{p.family, p.size, 0xAB + static_cast<std::uint64_t>(p.size), ""};
+    return synth::synthesize(data::generate(spec), standard_library());
+  }
+};
+
+TEST_P(FamilySweep, ArrivalIsMonotoneAlongFanin) {
+  const Netlist nl = netlist();
+  const sta::TimingAnalysis ta(nl);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto& n = nl.node(id);
+    if (n.kind != NodeKind::kCell || !nl.is_comb_cell(id)) continue;
+    for (const NodeId f : n.fanin) {
+      EXPECT_GE(ta.arrival(id), ta.arrival(f)) << nl.node(id).name;
+    }
+  }
+}
+
+TEST_P(FamilySweep, WorstArrivalDominatesFlops) {
+  const Netlist nl = netlist();
+  const sta::TimingAnalysis ta(nl);
+  for (const double at : ta.all_flop_arrivals()) {
+    EXPECT_LE(at, ta.worst_arrival() + 1e-9);
+  }
+}
+
+TEST_P(FamilySweep, ToggleBoundedByProbability) {
+  // A signal at logic 1 with probability p can toggle at most 2·min(p,1-p)
+  // per cycle (each transition needs a visit to the minority value).
+  const Netlist nl = netlist();
+  Rng rng(fnv1a64(GetParam().family));
+  const auto act = sim::random_activity(nl, 600, rng);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const double p = act.one_prob[i];
+    const double bound = 2.0 * std::min(p, 1.0 - p);
+    EXPECT_LE(act.toggle[i], bound + 0.01)
+        << nl.node(static_cast<NodeId>(i)).name;
+  }
+}
+
+TEST_P(FamilySweep, PowerLinearInFrequency) {
+  const Netlist nl = netlist();
+  Rng rng(1);
+  const auto act = sim::random_activity(nl, 300, rng);
+  power::PowerOptions o1, o2;
+  o1.clock_ghz = 1.0;
+  o2.clock_ghz = 2.5;
+  const auto r1 = power::analyze_power(nl, act.toggle, o1);
+  const auto r2 = power::analyze_power(nl, act.toggle, o2);
+  EXPECT_NEAR(r2.dynamic_uw, 2.5 * r1.dynamic_uw, 1e-6 * r2.dynamic_uw);
+  EXPECT_DOUBLE_EQ(r1.leakage_uw, r2.leakage_uw);
+}
+
+TEST_P(FamilySweep, SweepIsIdempotent) {
+  const Netlist nl = netlist();
+  const Netlist swept = synth::sweep_dead_logic(nl);
+  const Netlist swept2 = synth::sweep_dead_logic(swept);
+  EXPECT_EQ(swept.num_cells(), swept2.num_cells());
+  // The default flow already sweeps, so nothing should disappear.
+  EXPECT_EQ(nl.num_cells(), swept.num_cells());
+}
+
+TEST_P(FamilySweep, BufferedNetlistMeetsLoadLimits) {
+  const Netlist nl = netlist();
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto& n = nl.node(id);
+    if (n.kind != NodeKind::kCell) continue;
+    EXPECT_LE(nl.output_load(id),
+              nl.library().type(n.type).max_load * 1.05)
+        << n.name;
+  }
+}
+
+TEST_P(FamilySweep, GeneratedRtlLintsClean) {
+  const auto& p = GetParam();
+  data::DesignSpec spec{p.family, p.size,
+                        0xAB + static_cast<std::uint64_t>(p.size), ""};
+  const rtl::Module m = data::generate(spec);
+  const auto issues = rtl::lint(m);
+  EXPECT_TRUE(issues.empty()) << rtl::to_string(issues);
+}
+
+TEST_P(FamilySweep, PrintParseRoundTripIsFunctionallyIdentical) {
+  const auto& p = GetParam();
+  data::DesignSpec spec{p.family, p.size,
+                        0xAB + static_cast<std::uint64_t>(p.size), ""};
+  const rtl::Module original = data::generate(spec);
+  const rtl::Module reparsed = rtl::parse_verilog(rtl::to_verilog(original));
+  rtl::Evaluator e1(original), e2(reparsed);
+  Rng rng(fnv1a64(p.family) + static_cast<std::uint64_t>(p.size));
+  std::vector<std::uint64_t> in(original.inputs.size());
+  for (int cyc = 0; cyc < 100; ++cyc) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      std::uint64_t v = rng() & rtl::width_mask(original.inputs[i].width);
+      if (cyc < 2 && original.inputs[i].name == original.reset_port) v = 1;
+      in[i] = v;
+    }
+    e1.step(in);
+    e2.step(in);
+    ASSERT_EQ(e1.outputs(), e2.outputs()) << "cycle " << cyc;
+  }
+}
+
+TEST_P(FamilySweep, AigConversionIsCycleExact) {
+  const Netlist nl = netlist();
+  const aig::AigConversion conv = aig::from_netlist(nl);
+  sim::Simulator gate(nl);
+  aig::AigSimulator asim(conv.aig);
+  Rng rng(fnv1a64(GetParam().family) ^ 0xA16);
+  std::vector<std::uint8_t> pis(nl.inputs().size());
+  for (int cyc = 0; cyc < 60; ++cyc) {
+    for (auto& v : pis) v = rng.bernoulli(0.5) ? 1 : 0;
+    gate.step(pis);
+    asim.step(pis);
+    for (const NodeId o : nl.outputs()) {
+      ASSERT_EQ(gate.value(o),
+                asim.value(conv.node_lit[static_cast<std::size_t>(o)]))
+          << nl.node(o).name << " cycle " << cyc;
+    }
+  }
+}
+
+TEST_P(FamilySweep, LevelsConsistentWithTopoOrder) {
+  const Netlist nl = netlist();
+  std::vector<int> pos(nl.num_nodes());
+  const auto& topo = nl.topo_order();
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (!nl.is_comb_cell(id)) continue;
+    for (const NodeId f : nl.node(id).fanin) {
+      EXPECT_LT(pos[static_cast<std::size_t>(f)],
+                pos[static_cast<std::size_t>(id)]);
+    }
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.family + "_s" + std::to_string(info.param.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+}  // namespace
+}  // namespace moss

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core_util/check.hpp"
+#include "core_util/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace moss::sim {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Simulator, CombinationalGate) {
+  Netlist nl(standard_library(), "g");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_cell("XOR2", "x", {a, b});
+  nl.add_output("y", g);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.step({1, 0});
+  EXPECT_EQ(sim.output_values()[0], 1);
+  sim.step({1, 1});
+  EXPECT_EQ(sim.output_values()[0], 0);
+}
+
+TEST(Simulator, FlopDelaysByOneCycle) {
+  Netlist nl(standard_library(), "dff");
+  const NodeId d = nl.add_input("d");
+  const NodeId q = nl.add_cell("DFF", "q", {d});
+  nl.add_output("y", q);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.step({1});
+  EXPECT_EQ(sim.output_values()[0], 0);  // pre-edge value
+  sim.step({0});
+  EXPECT_EQ(sim.output_values()[0], 1);  // captured last cycle's 1
+  sim.step({0});
+  EXPECT_EQ(sim.output_values()[0], 0);
+}
+
+TEST(Simulator, ToggleFlopOscillates) {
+  // q <= ~q : toggles every cycle -> toggle rate ~1.
+  Netlist nl(standard_library(), "tog");
+  const NodeId q = nl.add_cell("DFF", "q", {netlist::kInvalidNode});
+  const NodeId inv = nl.add_cell("INV", "n", {q});
+  nl.connect(q, 0, inv);
+  nl.add_output("y", q);
+  nl.finalize();
+  Simulator sim(nl);
+  for (int i = 0; i < 101; ++i) sim.step({});
+  EXPECT_NEAR(sim.toggle_rate(q), 1.0, 1e-9);
+  EXPECT_NEAR(sim.toggle_rate(inv), 1.0, 1e-9);
+}
+
+TEST(Simulator, DffrResets) {
+  Netlist nl(standard_library(), "dffr");
+  const NodeId d = nl.add_input("d");
+  const NodeId r = nl.add_input("r");
+  const NodeId q = nl.add_cell("DFFR", "q", {d, r});
+  nl.add_output("y", q);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.step({1, 0});
+  sim.step({1, 1});  // captured 1, now reset
+  sim.step({0, 0});
+  EXPECT_EQ(sim.output_values()[0], 0);  // reset won
+}
+
+TEST(Simulator, DffeHolds) {
+  Netlist nl(standard_library(), "dffe");
+  const NodeId d = nl.add_input("d");
+  const NodeId e = nl.add_input("e");
+  const NodeId q = nl.add_cell("DFFE", "q", {d, e});
+  nl.add_output("y", q);
+  nl.finalize();
+  Simulator sim(nl);
+  sim.step({1, 1});  // capture 1
+  sim.step({0, 0});  // disabled: hold 1
+  sim.step({0, 0});
+  EXPECT_EQ(sim.output_values()[0], 1);
+}
+
+TEST(Simulator, TieCellsConstant) {
+  Netlist nl(standard_library(), "tie");
+  const NodeId t1 = nl.add_cell("TIE1", "t1", {});
+  const NodeId t0 = nl.add_cell("TIE0", "t0", {});
+  const NodeId g = nl.add_cell("AND2", "g", {t1, t0});
+  nl.add_output("y", g);
+  nl.finalize();
+  Simulator sim(nl);
+  for (int i = 0; i < 10; ++i) sim.step({});
+  EXPECT_EQ(sim.output_values()[0], 0);
+  EXPECT_EQ(sim.transitions(t1), 0u);
+  EXPECT_EQ(sim.transitions(g), 0u);
+}
+
+TEST(Simulator, WrongInputCountRejected) {
+  Netlist nl(standard_library(), "x");
+  nl.add_input("a");
+  nl.add_output("y", nl.find("a"));
+  nl.finalize();
+  Simulator sim(nl);
+  EXPECT_THROW(sim.step({1, 0}), Error);
+}
+
+TEST(RandomActivity, RatesInUnitRange) {
+  // Small LFSR-ish circuit.
+  Netlist nl(standard_library(), "act");
+  const NodeId d = nl.add_input("d");
+  const NodeId q0 = nl.add_cell("DFF", "q0", {d});
+  const NodeId q1 = nl.add_cell("DFF", "q1", {q0});
+  const NodeId x = nl.add_cell("XOR2", "x", {q0, q1});
+  nl.add_output("y", x);
+  nl.finalize();
+  Rng rng(3);
+  const auto rep = random_activity(nl, 500, rng);
+  EXPECT_EQ(rep.cycles, 500u);
+  for (const double t : rep.toggle) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+  // A DFF fed by random data toggles roughly half the time.
+  EXPECT_NEAR(rep.toggle[static_cast<std::size_t>(q0)], 0.5, 0.1);
+}
+
+TEST(Simulator, OneRateTracksProbability) {
+  // TIE1 has one-rate 1, TIE0 has 0; a toggle flop sits near 0.5.
+  Netlist nl(standard_library(), "prob");
+  const NodeId t1 = nl.add_cell("TIE1", "t1", {});
+  const NodeId t0 = nl.add_cell("TIE0", "t0", {});
+  const NodeId q = nl.add_cell("DFF", "q", {netlist::kInvalidNode});
+  const NodeId inv = nl.add_cell("INV", "n", {q});
+  nl.connect(q, 0, inv);
+  const NodeId g = nl.add_cell("AND2", "g", {t1, t0});
+  nl.add_output("y", g);
+  nl.add_output("z", q);
+  nl.finalize();
+  Simulator sim(nl);
+  for (int i = 0; i < 1000; ++i) sim.step({});
+  EXPECT_NEAR(sim.one_rate(t1), 1.0, 1e-9);
+  EXPECT_NEAR(sim.one_rate(t0), 0.0, 1e-9);
+  EXPECT_NEAR(sim.one_rate(q), 0.5, 0.01);
+}
+
+TEST(RandomActivity, DeterministicForSeed) {
+  Netlist nl(standard_library(), "det");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_cell("DFF", "q", {a});
+  nl.add_output("y", q);
+  nl.finalize();
+  Rng r1(42), r2(42);
+  const auto rep1 = random_activity(nl, 200, r1);
+  const auto rep2 = random_activity(nl, 200, r2);
+  EXPECT_EQ(rep1.toggle, rep2.toggle);
+}
+
+}  // namespace
+}  // namespace moss::sim

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "core_util/check.hpp"
+#include "rtl/parser.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::sta {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Sta, SingleGateDelay) {
+  Netlist nl(standard_library(), "g");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_cell("AND2", "g1", {a, b});
+  nl.add_output("y", g);
+  nl.finalize();
+  StaOptions opts;
+  TimingAnalysis ta(nl, opts);
+  const auto& t = standard_library().by_name("AND2");
+  const double in_at = opts.input_drive_res * nl.output_load(a);
+  const double expect =
+      in_at + t.intrinsic_delay[0] + t.drive_res * nl.output_load(g);
+  EXPECT_NEAR(ta.arrival(g), expect, 1e-9);
+  EXPECT_NEAR(ta.arrival(nl.outputs()[0]), expect, 1e-9);
+  EXPECT_NEAR(ta.worst_arrival(), expect, 1e-9);
+}
+
+TEST(Sta, ChainIsMonotone) {
+  // INV chain: arrival must strictly increase along the chain.
+  Netlist nl(standard_library(), "chain");
+  NodeId prev = nl.add_input("a");
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 10; ++i) {
+    prev = nl.add_cell("INV", "n" + std::to_string(i), {prev});
+    chain.push_back(prev);
+  }
+  nl.add_output("y", prev);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_GT(ta.arrival(chain[i]), ta.arrival(chain[i - 1]));
+  }
+}
+
+TEST(Sta, FlopsArePathBoundaries) {
+  // in -> [long chain] -> DFF -> INV -> out: the flop restarts timing, so
+  // the INV's arrival is near clk-to-q, not chain depth.
+  Netlist nl(standard_library(), "bound");
+  NodeId prev = nl.add_input("a");
+  for (int i = 0; i < 20; ++i) {
+    prev = nl.add_cell("BUF", "c" + std::to_string(i), {prev});
+  }
+  const NodeId q = nl.add_cell("DFF", "q", {prev});
+  const NodeId inv = nl.add_cell("INV", "n", {q});
+  nl.add_output("y", inv);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  EXPECT_GT(ta.flop_data_arrival(q), 300.0);
+  EXPECT_LT(ta.arrival(inv), 150.0);
+  // Worst endpoint is the flop's D pin, not the PO.
+  EXPECT_EQ(ta.worst_endpoint(), q);
+}
+
+TEST(Sta, PinAsymmetryMatters) {
+  // NAND3 pin A is slower than pin C; same driver arrival on both should
+  // make the A-path critical.
+  Netlist nl(standard_library(), "pins");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g = nl.add_cell("NAND3", "g", {a, b, c});
+  nl.add_output("y", g);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  const auto path = ta.critical_path(nl.outputs()[0]);
+  // path: PO, NAND3, then the critical input — pin 0 (a) ties with b/c on
+  // arrival but has the largest intrinsic delay.
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(path[2].node, a);
+}
+
+TEST(Sta, CriticalPathEndsAtSource) {
+  Netlist nl(standard_library(), "cp");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_cell("INV", "g1", {a});
+  const NodeId g2 = nl.add_cell("INV", "g2", {g1});
+  const NodeId q = nl.add_cell("DFF", "q", {g2});
+  nl.add_output("y", q);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  const auto path = ta.critical_path(q);
+  // endpoint-first: q, g2, g1, a
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0].node, q);
+  EXPECT_EQ(path[3].node, a);
+  // Arrivals decrease along the walk (after the endpoint entry).
+  for (std::size_t i = 2; i < path.size(); ++i) {
+    EXPECT_LT(path[i].arrival_ps, path[i - 1].arrival_ps);
+  }
+}
+
+TEST(Sta, HigherLoadMeansLaterArrival) {
+  // Same gate, one with extra fanout -> later arrival.
+  Netlist nl(standard_library(), "load");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_cell("INV", "light", {a});
+  const NodeId g2 = nl.add_cell("INV", "heavy", {a});
+  for (int i = 0; i < 6; ++i) {
+    nl.add_cell("BUF", "sink" + std::to_string(i), {g2});
+  }
+  nl.add_output("y1", g1);
+  nl.add_output("y2", g2);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  EXPECT_GT(ta.arrival(g2), ta.arrival(g1));
+}
+
+TEST(Sta, SynthesizedPipelineArrivals) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module pipe (input clk, input rst, input [7:0] a, input [7:0] b,
+                 output [7:0] y);
+      reg [7:0] s1;
+      reg [7:0] s2;
+      always @(posedge clk) begin
+        if (rst) s1 <= 8'd0;
+        else s1 <= a + b;
+        if (rst) s2 <= 8'd0;
+        else s2 <= s1 ^ {s1[3:0], s1[7:4]};
+      end
+      assign y = s2;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  TimingAnalysis ta(nl);
+  const auto flop_ats = ta.all_flop_arrivals();
+  ASSERT_EQ(flop_ats.size(), nl.flops().size());
+  for (const double at : flop_ats) {
+    EXPECT_GE(at, 0.0);
+    EXPECT_LT(at, 3000.0);
+  }
+  // The adder stage (s1) has a carry chain -> its MSB flop is later than
+  // the XOR stage (s2) flops on average.
+  double s1_max = 0, s2_max = 0;
+  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+    const auto& reg = nl.node(nl.flops()[i]).rtl_register;
+    if (reg.rfind("s1", 0) == 0) s1_max = std::max(s1_max, flop_ats[i]);
+    if (reg.rfind("s2", 0) == 0) s2_max = std::max(s2_max, flop_ats[i]);
+  }
+  EXPECT_GT(s1_max, s2_max);
+}
+
+TEST(StaSlew, SlewAwareIsStrictlySlower) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module s (input clk, input rst, input [7:0] a, input [7:0] b,
+              output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'd0; else r <= (a + b) ^ r;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  const TimingAnalysis base(nl);
+  StaOptions opts;
+  opts.slew_aware = true;
+  const TimingAnalysis derated(nl, opts);
+  EXPECT_GT(derated.worst_arrival(), base.worst_arrival());
+  // Slews are populated only in slew-aware mode, and grow with load.
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    EXPECT_DOUBLE_EQ(base.slew(id), 0.0);
+    if (nl.is_comb_cell(id)) EXPECT_GT(derated.slew(id), 0.0);
+  }
+  // Monotonicity still holds with derating.
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (!nl.is_comb_cell(id)) continue;
+    for (const NodeId f : nl.node(id).fanin) {
+      EXPECT_GE(derated.arrival(id), derated.arrival(f));
+    }
+  }
+}
+
+TEST(StaSlew, HeavierLoadMeansMoreSlew) {
+  Netlist nl(standard_library(), "slew");
+  const NodeId a = nl.add_input("a");
+  const NodeId light = nl.add_cell("INV", "light", {a});
+  const NodeId heavy = nl.add_cell("INV", "heavy", {a});
+  for (int i = 0; i < 5; ++i) {
+    nl.add_cell("BUF", "sink" + std::to_string(i), {heavy});
+  }
+  nl.add_output("y1", light);
+  nl.add_output("y2", heavy);
+  nl.finalize();
+  StaOptions opts;
+  opts.slew_aware = true;
+  const TimingAnalysis ta(nl, opts);
+  EXPECT_GT(ta.slew(heavy), ta.slew(light));
+}
+
+TEST(Sta, TieCellsHaveZeroArrival) {
+  Netlist nl(standard_library(), "tie");
+  const NodeId t1 = nl.add_cell("TIE1", "t1", {});
+  const NodeId g = nl.add_cell("INV", "g", {t1});
+  nl.add_output("y", g);
+  nl.finalize();
+  TimingAnalysis ta(nl);
+  EXPECT_EQ(ta.arrival(t1), 0.0);
+  EXPECT_GT(ta.arrival(g), 0.0);
+}
+
+TEST(Sta, RejectsUnfinalized) {
+  Netlist nl(standard_library(), "raw");
+  nl.add_input("a");
+  EXPECT_THROW(TimingAnalysis ta(nl), Error);
+}
+
+}  // namespace
+}  // namespace moss::sta

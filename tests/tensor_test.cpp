@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core_util/check.hpp"
+#include "tensor/nn.hpp"
+#include "tensor/tensor.hpp"
+
+namespace moss::tensor {
+namespace {
+
+/// Finite-difference gradient check: builds the graph twice per element.
+/// `make_loss` must construct a scalar loss from the given leaf tensors.
+void gradcheck(std::vector<Tensor> leaves,
+               const std::function<Tensor(const std::vector<Tensor>&)>&
+                   make_loss,
+               float tol = 2e-2f) {
+  // Analytic gradients.
+  Tensor loss = make_loss(leaves);
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& l : leaves) analytic.push_back(l.grad());
+
+  const float h = 1e-3f;
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    for (std::size_t i = 0; i < leaves[li].size(); ++i) {
+      const float orig = leaves[li].data()[i];
+      leaves[li].data()[i] = orig + h;
+      const float up = make_loss(leaves).item();
+      leaves[li].data()[i] = orig - h;
+      const float dn = make_loss(leaves).item();
+      leaves[li].data()[i] = orig;
+      const float numeric = (up - dn) / (2 * h);
+      EXPECT_NEAR(analytic[li][i], numeric,
+                  tol * std::max(1.0f, std::abs(numeric)))
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+Tensor leaf(std::vector<float> v, std::size_t r, std::size_t c) {
+  return Tensor::from(std::move(v), r, c, /*requires_grad=*/true);
+}
+
+TEST(Tensor, Construction) {
+  const Tensor z = Tensor::zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2u);
+  EXPECT_EQ(z.cols(), 3u);
+  EXPECT_EQ(z.size(), 6u);
+  const Tensor f = Tensor::full(1, 2, 3.5f);
+  EXPECT_FLOAT_EQ(f.at(0, 1), 3.5f);
+  EXPECT_THROW(Tensor::from({1, 2}, 2, 2), Error);
+  EXPECT_THROW(z.at(2, 0), Error);
+}
+
+TEST(Tensor, ForwardArithmetic) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Tensor::from({5, 6, 7, 8}, 2, 2);
+  const Tensor s = a + b;
+  EXPECT_FLOAT_EQ(s.at(1, 1), 12.0f);
+  const Tensor d = b - a;
+  EXPECT_FLOAT_EQ(d.at(0, 0), 4.0f);
+  const Tensor m = a * b;
+  EXPECT_FLOAT_EQ(m.at(1, 0), 21.0f);
+}
+
+TEST(Tensor, MatmulForward) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor b = Tensor::from({7, 8, 9, 10, 11, 12}, 3, 2);
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+  EXPECT_THROW(matmul(a, a), Error);
+}
+
+TEST(Tensor, TransposeForward) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Grad, AddSubMul) {
+  gradcheck({leaf({1, -2, 3, 0.5f}, 2, 2), leaf({2, 2, -1, 4}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all((l[0] + l[1]) * l[0] - l[1]);
+            });
+}
+
+TEST(Grad, RowBroadcastAdd) {
+  gradcheck({leaf({1, -2, 3, 0.5f, 2, 0}, 2, 3), leaf({0.5f, -1, 2}, 1, 3)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(tanh_t(add(l[0], l[1])));
+            });
+}
+
+TEST(Grad, Matmul) {
+  gradcheck({leaf({1, -2, 3, 0.5f, 2, -1}, 2, 3),
+             leaf({0.3f, -0.7f, 1.2f, 0.4f, -0.1f, 0.9f}, 3, 2)},
+            [](const std::vector<Tensor>& l) {
+              return mean_all(matmul(l[0], l[1]));
+            });
+}
+
+TEST(Grad, ChainedMatmulTranspose) {
+  gradcheck({leaf({0.5f, -1, 2, 1.5f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(matmul(l[0], transpose(l[0])));
+            });
+}
+
+TEST(Grad, Activations) {
+  gradcheck({leaf({0.5f, -1.5f, 2.0f, -0.3f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(relu(l[0]) + sigmoid(l[0]) * tanh_t(l[0]));
+            });
+}
+
+TEST(Grad, Softplus) {
+  gradcheck({leaf({0.5f, -1.5f, 2.0f, -0.3f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(softplus(l[0]));
+            });
+}
+
+TEST(Grad, LeakyRelu) {
+  gradcheck({leaf({0.5f, -1.5f, 2.0f, -0.3f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(leaky_relu(l[0], 0.1f));
+            });
+}
+
+TEST(Grad, ExpAndScale) {
+  gradcheck({leaf({0.5f, -1.5f, 0.2f, -0.3f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(scale(exp_t(l[0]), 0.5f));
+            });
+}
+
+TEST(Tensor, ConcatColsForward) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Tensor::from({5, 6}, 2, 1);
+  const Tensor c = concat_cols(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, GatherRowsBounds) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  EXPECT_THROW(gather_rows(a, {0, 2}), Error);
+  EXPECT_THROW(gather_rows(a, {-1}), Error);
+}
+
+TEST(Tensor, SegmentSumBounds) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  EXPECT_THROW(segment_sum(a, {0, 5}, 2), Error);
+  EXPECT_THROW(segment_sum(a, {0}, 2), Error);  // one id per row
+}
+
+TEST(Grad, SoftmaxRows) {
+  gradcheck({leaf({1, 2, 3, -1, 0, 1}, 2, 3)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor p = softmax_rows(l[0]);
+              return sum_all(p * p);  // nontrivial downstream
+            });
+}
+
+TEST(Grad, ConcatGatherSegment) {
+  gradcheck(
+      {leaf({1, 2, 3, 4, 5, 6}, 3, 2), leaf({-1, 0.5f, 2, 1, 0, -2}, 3, 2)},
+      [](const std::vector<Tensor>& l) {
+        const Tensor cat = concat_cols(l[0], l[1]);          // 3x4
+        const Tensor g = gather_rows(cat, {2, 0, 1, 2});      // 4x4
+        const Tensor s = segment_sum(g, {0, 1, 1, 0}, 2);     // 2x4
+        return mean_all(s * s);
+      });
+}
+
+TEST(Grad, MulColvec) {
+  gradcheck({leaf({1, 2, 3, 4, 5, 6}, 3, 2), leaf({0.5f, -1, 2}, 3, 1)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(mul_colvec(l[0], l[1]));
+            });
+}
+
+TEST(Grad, ScatterRows) {
+  gradcheck({leaf({1, 2, 3, 4, 5, 6}, 3, 2), leaf({-1, 0.5f, 2, 1}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor s = scatter_rows(l[0], {2, 0}, l[1]);
+              return sum_all(s * s);
+            });
+}
+
+TEST(Tensor, ScatterRowsForward) {
+  const Tensor base = Tensor::from({1, 2, 3, 4, 5, 6}, 3, 2);
+  const Tensor rows = Tensor::from({9, 9, 8, 8}, 2, 2);
+  const Tensor out = scatter_rows(base, {2, 0}, rows);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 3.0f);  // untouched
+  EXPECT_FLOAT_EQ(out.at(2, 1), 9.0f);
+  EXPECT_THROW(scatter_rows(base, {0, 0}, rows), Error);  // duplicate
+}
+
+TEST(Grad, ConcatRows) {
+  gradcheck({leaf({1, 2}, 1, 2), leaf({3, 4, 5, 6}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(tanh_t(concat_rows({l[0], l[1]})));
+            });
+}
+
+TEST(Grad, SegmentSoftmax) {
+  gradcheck({leaf({1, 2, 3, -1, 0}, 5, 1)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor a = segment_softmax(l[0], {0, 0, 1, 1, 1}, 2);
+              return sum_all(a * a);
+            });
+}
+
+TEST(Grad, L2NormalizeRows) {
+  gradcheck({leaf({1, 2, 3, -1, 0.5f, 2}, 2, 3)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor n = l2_normalize_rows(l[0]);
+              return sum_all(n * n + n);
+            });
+}
+
+TEST(Grad, MeanRowsScaleBy) {
+  gradcheck({leaf({1, 2, 3, 4, 5, 6}, 3, 2), leaf({0.7f}, 1, 1)},
+            [](const std::vector<Tensor>& l) {
+              return sum_all(scale_by(mean_rows(l[0]), l[1]));
+            });
+}
+
+TEST(Grad, SmoothL1BothRegimes) {
+  // deltas straddle the |d|=1 boundary
+  gradcheck({leaf({0.2f, 3.0f, -2.5f, -0.4f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor target = Tensor::from({0, 0, 0, 0}, 2, 2);
+              return smooth_l1_loss(l[0], target);
+            });
+}
+
+TEST(Grad, MseLoss) {
+  gradcheck({leaf({0.2f, 1.0f, -2.5f, -0.4f}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor target = Tensor::from({1, 0, -1, 2}, 2, 2);
+              return mse_loss(l[0], target);
+            });
+}
+
+TEST(Grad, CrossEntropyRows) {
+  gradcheck({leaf({1, 2, 0.5f, -1, 0, 1.5f}, 2, 3)},
+            [](const std::vector<Tensor>& l) {
+              return cross_entropy_rows(l[0], {2, 0});
+            });
+}
+
+TEST(Grad, BceWithLogits) {
+  gradcheck({leaf({0.5f, -2, 3, 0}, 2, 2)},
+            [](const std::vector<Tensor>& l) {
+              const Tensor t = Tensor::from({1, 0, 1, 0}, 2, 2);
+              return bce_with_logits(l[0], t);
+            });
+}
+
+TEST(Grad, ReusedNodeAccumulates) {
+  // f = sum(a*a + a*a): node 'a*a' reused -> gradient must double.
+  Tensor a = leaf({2.0f}, 1, 1);
+  const Tensor sq = a * a;
+  Tensor loss = sum_all(sq + sq);
+  loss.backward();
+  EXPECT_NEAR(a.grad()[0], 8.0f, 1e-4f);  // d/da 2a² = 4a
+}
+
+TEST(Grad, DetachBlocksGradient) {
+  Tensor a = leaf({3.0f}, 1, 1);
+  Tensor loss = sum_all(a.detach() * a);
+  loss.backward();
+  EXPECT_NEAR(a.grad()[0], 3.0f, 1e-5f);  // only the non-detached path
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor a = leaf({1, 2}, 1, 2);
+  Tensor b = a + a;
+  EXPECT_THROW(b.backward(), Error);
+}
+
+TEST(Nn, LinearShapesAndGrad) {
+  Rng rng(1);
+  ParameterSet params;
+  Linear lin(3, 2, rng, params, "lin");
+  EXPECT_EQ(params.size(), 2u);  // w and b
+  const Tensor x = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  Tensor y = lin(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 2u);
+  Tensor loss = mean_all(y * y);
+  loss.backward();
+  for (Tensor& p : params.tensors()) {
+    float norm = 0;
+    for (const float g : p.grad()) norm += g * g;
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(Nn, AdamConvergesOnQuadratic) {
+  // minimize ||w - c||² -> w should approach c.
+  Rng rng(2);
+  ParameterSet params;
+  Tensor w = params.add("w", Tensor::randn(1, 4, rng, 1.0f, true));
+  const Tensor c = Tensor::from({1, -2, 0.5f, 3}, 1, 4);
+  Adam opt(params, 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    params.zero_grad();
+    Tensor loss = mse_loss(w, c);
+    loss.backward();
+    opt.step();
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.data()[i], c.data()[i], 0.05f) << i;
+  }
+}
+
+TEST(Nn, AdamWithClipStillConverges) {
+  Rng rng(3);
+  ParameterSet params;
+  Tensor w = params.add("w", Tensor::full(1, 1, 50.0f, true));
+  const Tensor c = Tensor::scalar(0.0f);
+  Adam opt(params, 0.5f);
+  for (int step = 0; step < 800; ++step) {
+    params.zero_grad();
+    Tensor loss = mse_loss(w, c);
+    loss.backward();
+    opt.step(1.0f);
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 0.2f);
+}
+
+TEST(Nn, MlpLearnsXor) {
+  Rng rng(7);
+  ParameterSet params;
+  Mlp mlp(2, 8, 1, rng, params, "mlp");
+  const Tensor x = Tensor::from({0, 0, 0, 1, 1, 0, 1, 1}, 4, 2);
+  const Tensor y = Tensor::from({0, 1, 1, 0}, 4, 1);
+  Adam opt(params, 0.02f);
+  float final_loss = 1e9f;
+  for (int step = 0; step < 1500; ++step) {
+    params.zero_grad();
+    Tensor loss = bce_with_logits(mlp(x), y);
+    final_loss = loss.item();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.1f);
+  const Tensor pred = sigmoid(mlp(x));
+  EXPECT_LT(pred.at(0, 0), 0.5f);
+  EXPECT_GT(pred.at(1, 0), 0.5f);
+  EXPECT_GT(pred.at(2, 0), 0.5f);
+  EXPECT_LT(pred.at(3, 0), 0.5f);
+}
+
+TEST(Nn, ParameterSetCountsScalars) {
+  Rng rng(4);
+  ParameterSet params;
+  Linear lin(4, 3, rng, params, "l");
+  EXPECT_EQ(params.num_scalars(), 4u * 3u + 3u);
+}
+
+}  // namespace
+}  // namespace moss::tensor

@@ -1,0 +1,196 @@
+// Tests for the flow-interop tooling: VCD dump, structural Verilog writer,
+// STA slack/report, parameter checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core_util/check.hpp"
+#include "core_util/rng.hpp"
+#include "netlist/writer.hpp"
+#include "rtl/parser.hpp"
+#include "sim/vcd.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+#include "tensor/serialize.hpp"
+
+namespace moss {
+namespace {
+
+using cell::standard_library;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist toggle_circuit() {
+  Netlist nl(standard_library(), "tog");
+  const NodeId q = nl.add_cell("DFF", "q", {netlist::kInvalidNode});
+  const NodeId inv = nl.add_cell("INV", "n", {q});
+  nl.connect(q, 0, inv);
+  nl.add_output("y", q);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Vcd, HeaderAndChanges) {
+  const Netlist nl = toggle_circuit();
+  std::ostringstream os;
+  sim::VcdWriter vcd(os, nl);
+  vcd.add_ports();
+  sim::Simulator s(nl);
+  for (int i = 0; i < 4; ++i) {
+    s.step({});
+    vcd.sample(s);
+  }
+  vcd.finish();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! y $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  // The toggle flop output changes every cycle: expect both 0! and 1!.
+  EXPECT_NE(text.find("0!"), std::string::npos);
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  // Timestamps present.
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#3000"), std::string::npos);
+}
+
+TEST(Vcd, OnlyChangedSignalsEmitted) {
+  Netlist nl(standard_library(), "const");
+  const NodeId t1 = nl.add_cell("TIE1", "t1", {});
+  nl.add_output("y", t1);
+  nl.finalize();
+  std::ostringstream os;
+  sim::VcdWriter vcd(os, nl);
+  vcd.add_ports();
+  sim::Simulator s(nl);
+  for (int i = 0; i < 5; ++i) {
+    s.step({});
+    vcd.sample(s);
+  }
+  const std::string text = os.str();
+  // Constant signal dumps once (initial), never again.
+  EXPECT_EQ(text.find("1!"), text.rfind("1!"));
+}
+
+TEST(Vcd, AddAfterHeaderRejected) {
+  const Netlist nl = toggle_circuit();
+  std::ostringstream os;
+  sim::VcdWriter vcd(os, nl);
+  vcd.add_ports();
+  sim::Simulator s(nl);
+  s.step({});
+  vcd.sample(s);
+  EXPECT_THROW(vcd.add_signal(0), Error);
+}
+
+TEST(StructuralWriter, EmitsInstancesAndPorts) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module w (input clk, input rst, input [1:0] a, output [1:0] y);
+      reg [1:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 2'd0; else r <= a ^ r;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  const std::string v = netlist::to_structural_verilog(nl);
+  EXPECT_NE(v.find("module w ("), std::string::npos);
+  EXPECT_NE(v.find("input clk"), std::string::npos);
+  EXPECT_NE(v.find("DFFR"), std::string::npos);
+  EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+  EXPECT_NE(v.find("XOR2"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Escaped identifiers for bit nets.
+  EXPECT_NE(v.find("\\a[0] "), std::string::npos);
+}
+
+TEST(StaSlack, AutoPeriodHasNoViolations) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module s (input clk, input rst, input [7:0] a, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'd0; else r <= r + a;
+      end
+      assign y = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  sta::TimingAnalysis ta(nl);
+  EXPECT_EQ(ta.violations(), 0u);
+  EXPECT_GT(ta.clock_period(), ta.worst_arrival());
+  const auto sl = ta.slacks();
+  ASSERT_FALSE(sl.empty());
+  // Sorted ascending by slack; worst endpoint first with smallest slack.
+  for (std::size_t i = 1; i < sl.size(); ++i) {
+    EXPECT_LE(sl[i - 1].slack_ps, sl[i].slack_ps);
+  }
+}
+
+TEST(StaSlack, TightPeriodViolates) {
+  const rtl::Module m = rtl::parse_verilog(R"(
+    module t (input clk, input rst, input [7:0] a, input [7:0] b,
+              output [15:0] p);
+      wire [15:0] ax;
+      wire [15:0] bx;
+      reg [15:0] r;
+      assign ax = {8'd0, a};
+      assign bx = {8'd0, b};
+      always @(posedge clk) begin
+        if (rst) r <= 16'd0; else r <= ax * bx;
+      end
+      assign p = r;
+    endmodule)");
+  const Netlist nl = synth::synthesize(m, standard_library());
+  sta::StaOptions opts;
+  opts.clock_period_ps = 100.0;  // far too fast for a 16-bit multiply
+  sta::TimingAnalysis ta(nl, opts);
+  EXPECT_GT(ta.violations(), 0u);
+  const std::string rep = ta.report_timing(2);
+  EXPECT_NE(rep.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(rep.find("Path 1"), std::string::npos);
+}
+
+TEST(Checkpoint, RoundTrip) {
+  Rng rng(3);
+  tensor::ParameterSet a, b;
+  tensor::Linear la(4, 3, rng, a, "l");
+  Rng rng2(99);  // different init
+  tensor::Linear lb(4, 3, rng2, b, "l");
+  ASSERT_NE(a.tensors()[0].data(), b.tensors()[0].data());
+
+  std::stringstream ss;
+  tensor::save_parameters(ss, a);
+  tensor::load_parameters(ss, b);
+  EXPECT_EQ(a.tensors()[0].data(), b.tensors()[0].data());
+  EXPECT_EQ(a.tensors()[1].data(), b.tensors()[1].data());
+}
+
+TEST(Checkpoint, MismatchRejected) {
+  Rng rng(3);
+  tensor::ParameterSet a, wrong_shape, wrong_name;
+  tensor::Linear la(4, 3, rng, a, "l");
+  tensor::Linear lw(4, 2, rng, wrong_shape, "l");
+  tensor::Linear ln(4, 3, rng, wrong_name, "other");
+
+  std::stringstream s1;
+  tensor::save_parameters(s1, a);
+  EXPECT_THROW(tensor::load_parameters(s1, wrong_shape), Error);
+  std::stringstream s2;
+  tensor::save_parameters(s2, a);
+  EXPECT_THROW(tensor::load_parameters(s2, wrong_name), Error);
+  std::stringstream s3("garbage");
+  EXPECT_THROW(tensor::load_parameters(s3, a), Error);
+}
+
+TEST(Checkpoint, TruncatedRejected) {
+  Rng rng(3);
+  tensor::ParameterSet a;
+  tensor::Linear la(8, 8, rng, a, "l");
+  std::stringstream ss;
+  tensor::save_parameters(ss, a);
+  std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(tensor::load_parameters(cut, a), Error);
+}
+
+}  // namespace
+}  // namespace moss

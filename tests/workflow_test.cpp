@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "core_util/check.hpp"
+#include "rtl/parser.hpp"
+
+namespace moss::core {
+namespace {
+
+WorkflowConfig tiny_config() {
+  WorkflowConfig cfg;
+  cfg.model.hidden = 12;
+  cfg.model.rounds = 1;
+  cfg.dataset.sim_cycles = 200;
+  cfg.encoder = {1024, 12, 5};
+  cfg.fine_tune.epochs = 1;
+  cfg.fine_tune.max_pairs_per_epoch = 4000;
+  cfg.pretrain.epochs = 4;
+  cfg.pretrain.lr = 3e-3f;
+  cfg.align.epochs = 4;
+  cfg.align.batch_size = 3;
+  return cfg;
+}
+
+TEST(Workflow, FitAndEvaluate) {
+  MossWorkflow wf(tiny_config());
+  wf.add_design({"alu", 1, 1, "wf_alu"});
+  wf.add_design({"gray_counter", 1, 2, "wf_gc"});
+  wf.add_design({"crc", 1, 3, "wf_crc"});
+  EXPECT_EQ(wf.num_circuits(), 3u);
+  wf.fit();
+  const TaskAccuracy acc = wf.evaluate(0);
+  EXPECT_GE(acc.atp, 0.0);
+  EXPECT_LE(acc.atp, 1.0);
+  EXPECT_GE(wf.fep(), 0.0);
+}
+
+TEST(Workflow, AcceptsParsedModules) {
+  MossWorkflow wf(tiny_config());
+  wf.add_module(rtl::parse_verilog(R"(
+    module m (input clk, input rst, input [3:0] a, output [3:0] y);
+      reg [3:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 4'd0; else r <= r ^ a;
+      end
+      assign y = r;
+    endmodule)"));
+  wf.add_design({"fifo_ctrl", 1, 9, "wf_fifo"});
+  wf.fit();
+  const auto at = wf.predict_flop_arrivals(wf.circuit(0));
+  EXPECT_EQ(at.size(), wf.circuit(0).netlist.flops().size());
+  for (const double v : at) EXPECT_GE(v, 0.0);
+}
+
+TEST(Workflow, EvaluateUnseenCircuit) {
+  MossWorkflow wf(tiny_config());
+  wf.add_design({"alu", 1, 1, "wf_train"});
+  wf.add_design({"arbiter", 1, 2, "wf_train2"});
+  wf.pretrain_model();
+  const auto unseen = data::label_circuit(
+      {"alu", 1, 777, "wf_unseen"}, cell::standard_library(),
+      tiny_config().dataset);
+  const TaskAccuracy acc = wf.evaluate(unseen);
+  EXPECT_GE(acc.trp, 0.0);
+  EXPECT_LE(acc.trp, 1.0);
+}
+
+TEST(Workflow, CheckpointRoundTrip) {
+  const std::string path = "/tmp/moss_wf_test.ckpt";
+  WorkflowConfig cfg = tiny_config();
+  MossWorkflow a(cfg);
+  a.add_design({"alu", 1, 1, "wf_a"});
+  a.add_design({"crc", 1, 2, "wf_b"});
+  a.pretrain_model();
+  const auto acc_a = a.evaluate(0);
+  a.save_checkpoint(path);
+
+  MossWorkflow b(cfg);
+  b.add_design({"alu", 1, 1, "wf_a"});
+  b.add_design({"crc", 1, 2, "wf_b"});
+  b.load_checkpoint(path);
+  const auto acc_b = b.evaluate(0);
+  EXPECT_NEAR(acc_a.atp, acc_b.atp, 1e-6);
+  EXPECT_NEAR(acc_a.trp, acc_b.trp, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(Workflow, AlignReportedWhenEnabled) {
+  MossWorkflow wf(tiny_config());
+  wf.add_design({"alu", 1, 5, "wf_m"});
+  wf.add_design({"crc", 1, 6, "wf_n"});
+  wf.add_design({"arbiter", 1, 7, "wf_o"});
+  wf.pretrain_model();
+  const auto rep = wf.align_model();
+  ASSERT_FALSE(rep.total.empty());
+  EXPECT_EQ(rep.total.size(), rep.rnc.size());
+  EXPECT_EQ(rep.total.size(), rep.rnm.size());
+}
+
+TEST(Workflow, FineTuneReportsLoss) {
+  MossWorkflow wf(tiny_config());
+  wf.add_design({"alu", 1, 8, "wf_ft"});
+  wf.add_design({"crc", 1, 9, "wf_ft2"});
+  const auto rep = wf.fine_tune_encoder();
+  EXPECT_EQ(rep.epoch_loss.size(), 1u);
+  EXPECT_GT(rep.epoch_loss[0], 0.0);
+}
+
+TEST(Workflow, AddAfterTrainingRejected) {
+  MossWorkflow wf(tiny_config());
+  wf.add_design({"alu", 1, 1, "wf_x"});
+  wf.add_design({"crc", 1, 2, "wf_y"});
+  wf.pretrain_model();
+  EXPECT_THROW(wf.add_design({"arbiter", 1, 3, "wf_z"}), Error);
+}
+
+}  // namespace
+}  // namespace moss::core
