@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fep.dir/bench_table2_fep.cpp.o"
+  "CMakeFiles/bench_table2_fep.dir/bench_table2_fep.cpp.o.d"
+  "bench_table2_fep"
+  "bench_table2_fep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/moss_bench_harness.dir/harness.cpp.o.d"
+  "libmoss_bench_harness.a"
+  "libmoss_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_search.dir/equivalence_search.cpp.o"
+  "CMakeFiles/equivalence_search.dir/equivalence_search.cpp.o.d"
+  "equivalence_search"
+  "equivalence_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

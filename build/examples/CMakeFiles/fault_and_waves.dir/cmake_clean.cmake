@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_and_waves.dir/fault_and_waves.cpp.o"
+  "CMakeFiles/fault_and_waves.dir/fault_and_waves.cpp.o.d"
+  "fault_and_waves"
+  "fault_and_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_and_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_cli.dir/moss_cli.cpp.o"
+  "CMakeFiles/moss_cli.dir/moss_cli.cpp.o.d"
+  "moss_cli"
+  "moss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

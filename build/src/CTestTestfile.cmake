@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core_util")
+subdirs("cell")
+subdirs("netlist")
+subdirs("rtl")
+subdirs("synth")
+subdirs("sim")
+subdirs("sta")
+subdirs("power")
+subdirs("aig")
+subdirs("bdd")
+subdirs("tensor")
+subdirs("lm")
+subdirs("clustering")
+subdirs("gnn")
+subdirs("baseline")
+subdirs("core")
+subdirs("data")

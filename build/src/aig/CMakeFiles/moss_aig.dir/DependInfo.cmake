@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/aig/CMakeFiles/moss_aig.dir/aig.cpp.o" "gcc" "src/aig/CMakeFiles/moss_aig.dir/aig.cpp.o.d"
+  "/root/repo/src/aig/aig_sim.cpp" "src/aig/CMakeFiles/moss_aig.dir/aig_sim.cpp.o" "gcc" "src/aig/CMakeFiles/moss_aig.dir/aig_sim.cpp.o.d"
+  "/root/repo/src/aig/balance.cpp" "src/aig/CMakeFiles/moss_aig.dir/balance.cpp.o" "gcc" "src/aig/CMakeFiles/moss_aig.dir/balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/moss_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/moss_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/core_util/CMakeFiles/moss_core_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_aig.dir/aig.cpp.o"
+  "CMakeFiles/moss_aig.dir/aig.cpp.o.d"
+  "CMakeFiles/moss_aig.dir/aig_sim.cpp.o"
+  "CMakeFiles/moss_aig.dir/aig_sim.cpp.o.d"
+  "CMakeFiles/moss_aig.dir/balance.cpp.o"
+  "CMakeFiles/moss_aig.dir/balance.cpp.o.d"
+  "libmoss_aig.a"
+  "libmoss_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

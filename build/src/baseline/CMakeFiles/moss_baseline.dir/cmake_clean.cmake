@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_baseline.dir/deepseq.cpp.o"
+  "CMakeFiles/moss_baseline.dir/deepseq.cpp.o.d"
+  "libmoss_baseline.a"
+  "libmoss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/moss_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/moss_bdd.dir/formal.cpp.o"
+  "CMakeFiles/moss_bdd.dir/formal.cpp.o.d"
+  "libmoss_bdd.a"
+  "libmoss_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_cell.dir/library.cpp.o"
+  "CMakeFiles/moss_cell.dir/library.cpp.o.d"
+  "libmoss_cell.a"
+  "libmoss_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

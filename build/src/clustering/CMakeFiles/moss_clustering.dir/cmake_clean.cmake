@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_clustering.dir/clustering.cpp.o"
+  "CMakeFiles/moss_clustering.dir/clustering.cpp.o.d"
+  "libmoss_clustering.a"
+  "libmoss_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

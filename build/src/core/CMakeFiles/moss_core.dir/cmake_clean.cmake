@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_core.dir/evaluate.cpp.o"
+  "CMakeFiles/moss_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/moss_core.dir/features.cpp.o"
+  "CMakeFiles/moss_core.dir/features.cpp.o.d"
+  "CMakeFiles/moss_core.dir/model.cpp.o"
+  "CMakeFiles/moss_core.dir/model.cpp.o.d"
+  "CMakeFiles/moss_core.dir/trainer.cpp.o"
+  "CMakeFiles/moss_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/moss_core.dir/workflow.cpp.o"
+  "CMakeFiles/moss_core.dir/workflow.cpp.o.d"
+  "libmoss_core.a"
+  "libmoss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

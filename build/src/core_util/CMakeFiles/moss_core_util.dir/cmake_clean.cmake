@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_core_util.dir/strings.cpp.o"
+  "CMakeFiles/moss_core_util.dir/strings.cpp.o.d"
+  "libmoss_core_util.a"
+  "libmoss_core_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_core_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_data.dir/dataset.cpp.o"
+  "CMakeFiles/moss_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/moss_data.dir/generators.cpp.o"
+  "CMakeFiles/moss_data.dir/generators.cpp.o.d"
+  "CMakeFiles/moss_data.dir/stats.cpp.o"
+  "CMakeFiles/moss_data.dir/stats.cpp.o.d"
+  "libmoss_data.a"
+  "libmoss_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_gnn.dir/graph.cpp.o"
+  "CMakeFiles/moss_gnn.dir/graph.cpp.o.d"
+  "CMakeFiles/moss_gnn.dir/two_phase_gnn.cpp.o"
+  "CMakeFiles/moss_gnn.dir/two_phase_gnn.cpp.o.d"
+  "libmoss_gnn.a"
+  "libmoss_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

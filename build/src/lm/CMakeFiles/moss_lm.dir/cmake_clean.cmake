@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_lm.dir/encoder.cpp.o"
+  "CMakeFiles/moss_lm.dir/encoder.cpp.o.d"
+  "CMakeFiles/moss_lm.dir/tokenizer.cpp.o"
+  "CMakeFiles/moss_lm.dir/tokenizer.cpp.o.d"
+  "libmoss_lm.a"
+  "libmoss_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/moss_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/moss_netlist.dir/writer.cpp.o"
+  "CMakeFiles/moss_netlist.dir/writer.cpp.o.d"
+  "libmoss_netlist.a"
+  "libmoss_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

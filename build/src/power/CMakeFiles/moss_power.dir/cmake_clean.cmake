@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_power.dir/power.cpp.o"
+  "CMakeFiles/moss_power.dir/power.cpp.o.d"
+  "libmoss_power.a"
+  "libmoss_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

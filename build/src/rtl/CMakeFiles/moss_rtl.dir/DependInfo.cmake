@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/eval.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/eval.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/eval.cpp.o.d"
+  "/root/repo/src/rtl/lint.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/lint.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/lint.cpp.o.d"
+  "/root/repo/src/rtl/module.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/module.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/module.cpp.o.d"
+  "/root/repo/src/rtl/parser.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/parser.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/parser.cpp.o.d"
+  "/root/repo/src/rtl/printer.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/printer.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/printer.cpp.o.d"
+  "/root/repo/src/rtl/prompts.cpp" "src/rtl/CMakeFiles/moss_rtl.dir/prompts.cpp.o" "gcc" "src/rtl/CMakeFiles/moss_rtl.dir/prompts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core_util/CMakeFiles/moss_core_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_rtl.dir/eval.cpp.o"
+  "CMakeFiles/moss_rtl.dir/eval.cpp.o.d"
+  "CMakeFiles/moss_rtl.dir/lint.cpp.o"
+  "CMakeFiles/moss_rtl.dir/lint.cpp.o.d"
+  "CMakeFiles/moss_rtl.dir/module.cpp.o"
+  "CMakeFiles/moss_rtl.dir/module.cpp.o.d"
+  "CMakeFiles/moss_rtl.dir/parser.cpp.o"
+  "CMakeFiles/moss_rtl.dir/parser.cpp.o.d"
+  "CMakeFiles/moss_rtl.dir/printer.cpp.o"
+  "CMakeFiles/moss_rtl.dir/printer.cpp.o.d"
+  "CMakeFiles/moss_rtl.dir/prompts.cpp.o"
+  "CMakeFiles/moss_rtl.dir/prompts.cpp.o.d"
+  "libmoss_rtl.a"
+  "libmoss_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activity_io.cpp" "src/sim/CMakeFiles/moss_sim.dir/activity_io.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/activity_io.cpp.o.d"
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/moss_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/moss_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/moss_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/moss_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/vcd.cpp.o.d"
+  "/root/repo/src/sim/xsim.cpp" "src/sim/CMakeFiles/moss_sim.dir/xsim.cpp.o" "gcc" "src/sim/CMakeFiles/moss_sim.dir/xsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/moss_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/moss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/moss_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/core_util/CMakeFiles/moss_core_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

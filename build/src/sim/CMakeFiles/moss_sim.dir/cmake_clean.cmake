@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_sim.dir/activity_io.cpp.o"
+  "CMakeFiles/moss_sim.dir/activity_io.cpp.o.d"
+  "CMakeFiles/moss_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/moss_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/moss_sim.dir/fault.cpp.o"
+  "CMakeFiles/moss_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/moss_sim.dir/simulator.cpp.o"
+  "CMakeFiles/moss_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/moss_sim.dir/vcd.cpp.o"
+  "CMakeFiles/moss_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/moss_sim.dir/xsim.cpp.o"
+  "CMakeFiles/moss_sim.dir/xsim.cpp.o.d"
+  "libmoss_sim.a"
+  "libmoss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

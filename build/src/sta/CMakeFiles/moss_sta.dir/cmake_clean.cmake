@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_sta.dir/sta.cpp.o"
+  "CMakeFiles/moss_sta.dir/sta.cpp.o.d"
+  "libmoss_sta.a"
+  "libmoss_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

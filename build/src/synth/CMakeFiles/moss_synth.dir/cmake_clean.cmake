@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_synth.dir/gate_builder.cpp.o"
+  "CMakeFiles/moss_synth.dir/gate_builder.cpp.o.d"
+  "CMakeFiles/moss_synth.dir/synthesize.cpp.o"
+  "CMakeFiles/moss_synth.dir/synthesize.cpp.o.d"
+  "libmoss_synth.a"
+  "libmoss_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

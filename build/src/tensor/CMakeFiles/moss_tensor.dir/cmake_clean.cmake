@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_tensor.dir/nn.cpp.o"
+  "CMakeFiles/moss_tensor.dir/nn.cpp.o.d"
+  "CMakeFiles/moss_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/moss_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/moss_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/moss_tensor.dir/tensor.cpp.o.d"
+  "libmoss_tensor.a"
+  "libmoss_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_test.dir/lm_test.cpp.o"
+  "CMakeFiles/lm_test.dir/lm_test.cpp.o.d"
+  "lm_test"
+  "lm_test.pdb"
+  "lm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

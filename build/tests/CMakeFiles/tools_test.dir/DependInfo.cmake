@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/tools_test.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/tools_test.dir/tools_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/moss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/moss_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/moss_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/moss_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/moss_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/moss_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/moss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core_util/CMakeFiles/moss_core_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
