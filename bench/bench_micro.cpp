@@ -1,10 +1,20 @@
 // Microbenchmarks of the substrate pipeline (google-benchmark): synthesis,
-// gate-level simulation, STA, AIG conversion, LM encoding and GNN forward —
-// the per-stage costs behind the experiment benches.
+// gate-level simulation, STA, AIG conversion, LM encoding, GNN forward and
+// the parallel execution layer — the per-stage costs behind the experiment
+// benches.
+//
+// `--threads N` (in addition to the usual google-benchmark flags) sets the
+// worker count of the *_Parallel variants, so serial-vs-parallel speedup can
+// be read off a single run:
+//   bench_micro --threads 4 --benchmark_filter='Pretrain|Dbscan'
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "baseline/deepseq.hpp"
+#include "clustering/clustering.hpp"
 #include "core/evaluate.hpp"
 #include "core/trainer.hpp"
 #include "sim/simulator.hpp"
@@ -14,6 +24,15 @@
 using namespace moss;
 
 namespace {
+
+std::size_t g_threads = 4;  // overridden by --threads N
+
+/// Benchmarks registered with Arg(0) resolve the worker count from the
+/// --threads flag at run time (registration happens before main() parses
+/// flags, so the flag value cannot be baked into the Arg list).
+std::size_t resolve_threads(std::int64_t arg) {
+  return arg > 0 ? static_cast<std::size_t>(arg) : g_threads;
+}
 
 const data::LabeledCircuit& labeled(int size) {
   static std::unordered_map<int, data::LabeledCircuit> cache;
@@ -126,6 +145,113 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep);
 
+// ---------------------------------------------------------------------------
+// Parallel execution layer: serial vs --threads N on the same workload.
+// ---------------------------------------------------------------------------
+
+std::vector<core::CircuitBatch>& pretrain_corpus(core::MossConfig& cfg) {
+  cfg.hidden = 32;
+  cfg.rounds = 2;
+  static std::vector<core::CircuitBatch> batches = [&] {
+    std::vector<core::CircuitBatch> out;
+    data::DatasetConfig dcfg;
+    dcfg.sim_cycles = 200;
+    for (const auto& s : data::corpus_specs(8, 55, 1, 2)) {
+      out.push_back(core::build_batch(
+          data::label_circuit(s, cell::standard_library(), dcfg), encoder(),
+          cfg.features));
+    }
+    return out;
+  }();
+  return batches;
+}
+
+/// One pre-training epoch over 8 circuits, gradients accumulated over the
+/// whole corpus (one optimizer step) — the circuit-level data parallelism
+/// target. range(0) = worker threads.
+void BM_PretrainEpoch(benchmark::State& state) {
+  core::MossConfig cfg;
+  std::vector<core::CircuitBatch>& data = pretrain_corpus(cfg);
+  core::MossModel model(cfg, cell::standard_library(), encoder());
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.grad_accum = data.size();
+  pcfg.threads = resolve_threads(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pretrain(model, data, pcfg));
+  }
+  state.SetLabel(std::to_string(pcfg.threads) + " threads");
+}
+BENCHMARK(BM_PretrainEpoch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+clustering::Points bench_points(std::size_t n) {
+  clustering::Points pts;
+  Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<float>(rng.normal(i % 7, 0.4)),
+                   static_cast<float>(rng.normal(i % 3, 0.4)),
+                   static_cast<float>(rng.normal(0, 0.4))});
+  }
+  return pts;
+}
+
+void BM_Dbscan(benchmark::State& state) {
+  const clustering::Points pts = bench_points(1200);
+  clustering::DbscanConfig cfg;
+  cfg.eps = 0.8;
+  cfg.min_pts = 4;
+  cfg.threads = resolve_threads(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::dbscan(pts, cfg));
+  }
+  state.SetLabel(std::to_string(cfg.threads) + " threads");
+}
+BENCHMARK(BM_Dbscan)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_SuggestEps(benchmark::State& state) {
+  const clustering::Points pts = bench_points(1200);
+  const std::size_t threads = resolve_threads(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::suggest_eps(pts, 0.25, threads));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_SuggestEps)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDataset(benchmark::State& state) {
+  const auto specs = data::corpus_specs(8, 91, 1, 2);
+  data::DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  cfg.threads = resolve_threads(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::build_dataset(specs, cell::standard_library(), cfg));
+  }
+  state.SetLabel(std::to_string(cfg.threads) + " threads");
+}
+BENCHMARK(BM_BuildDataset)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --threads flag before google-benchmark parses the rest.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (g_threads == 0) g_threads = 1;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,9 @@ Scale Scale::from_env() {
     s.hidden = 40;
     s.rounds = 3;
   }
+  if (const char* t = std::getenv("MOSS_BENCH_THREADS")) {
+    s.threads = static_cast<std::size_t>(std::max(1, std::atoi(t)));
+  }
   return s;
 }
 
@@ -39,6 +42,7 @@ Workbench Workbench::make(const Scale& scale) {
   const auto& lib = cell::standard_library();
   data::DatasetConfig dcfg;
   dcfg.sim_cycles = scale.sim_cycles;
+  dcfg.threads = scale.threads;
   wb.train = data::build_dataset(
       data::corpus_specs(scale.train_circuits, 99, 1, scale.max_train_size),
       lib, dcfg);

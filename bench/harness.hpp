@@ -26,6 +26,10 @@ struct Scale {
   std::size_t hidden = 32;
   int rounds = 2;
   float lr = 2e-3f;
+  /// Worker threads for dataset labeling (MOSS_BENCH_THREADS, default 1).
+  /// Labels are per-circuit deterministic, so this only changes wall-clock,
+  /// never the benched numbers.
+  std::size_t threads = 1;
 
   static Scale from_env();
 };

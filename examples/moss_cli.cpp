@@ -6,15 +6,18 @@
 //   moss_cli fault  <design> [cycles]    stuck-at coverage
 //   moss_cli formal <design_a> <design_b>  equivalence (BDD, sim fallback)
 //   moss_cli vcd    <design> <out.vcd> [cycles]  waveform dump
+//   moss_cli train  <design>... [--threads N]  train a small MOSS model
 //
 // <design> is either a path to a Verilog file or "family:size" (e.g.
 // "alu:2") naming a generated design.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "moss.hpp"
 
@@ -167,6 +170,62 @@ int cmd_vcd(const std::string& arg, const char* out_path,
   return 0;
 }
 
+int cmd_train(const std::vector<std::string>& designs, std::size_t threads) {
+  core::WorkflowConfig cfg;
+  cfg.model.hidden = 16;
+  cfg.model.rounds = 1;
+  cfg.dataset.sim_cycles = 400;
+  cfg.dataset.threads = threads;
+  cfg.encoder = {2048, 16, 9};
+  cfg.fine_tune.epochs = 1;
+  cfg.fine_tune.max_pairs_per_epoch = 20000;
+  cfg.pretrain.epochs = 6;
+  cfg.pretrain.threads = threads;
+  cfg.pretrain.grad_accum = threads;
+  cfg.align.epochs = 6;
+  cfg.align.threads = threads;
+  cfg.threads = threads;
+
+  core::MossWorkflow wf(cfg);
+  std::vector<data::DesignSpec> specs;
+  for (const std::string& d : designs) {
+    if (d.size() > 2 && d.substr(d.size() - 2) == ".v") {
+      wf.add_module(load_design(d));  // parsed RTL goes through label_module
+    } else {
+      const auto colon = d.find(':');
+      data::DesignSpec spec;
+      spec.family = colon == std::string::npos ? d : d.substr(0, colon);
+      spec.size_hint =
+          colon == std::string::npos ? 2 : std::atoi(d.c_str() + colon + 1);
+      spec.seed = 1;
+      spec.name = spec.family + "_cli" + std::to_string(specs.size());
+      specs.push_back(spec);
+    }
+  }
+  wf.add_designs(specs);  // labeled `threads` designs at a time
+  std::printf("training on %zu circuits with %zu thread(s)\n",
+              wf.num_circuits(), threads);
+
+  wf.fine_tune_encoder();
+  const core::PretrainReport pre = wf.pretrain_model();
+  std::printf("pretrain: loss %.4f -> %.4f over %zu epochs\n",
+              pre.total.front(), pre.total.back(), pre.total.size());
+  if (wf.num_circuits() >= 2) {
+    const core::AlignReport al = wf.align_model();
+    if (!al.total.empty()) {
+      std::printf("align:    loss %.4f -> %.4f over %zu epochs\n",
+                  al.total.front(), al.total.back(), al.total.size());
+    }
+  }
+  for (std::size_t i = 0; i < wf.num_circuits(); ++i) {
+    const core::TaskAccuracy acc = wf.evaluate(i);
+    std::printf("  %-24s trp %.3f  atp %.3f  pp %.3f\n",
+                wf.circuit(i).netlist.name().c_str(), acc.trp, acc.atp,
+                acc.pp);
+  }
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: moss_cli <command> ...\n"
@@ -177,6 +236,7 @@ void usage() {
       "  formal <design_a> <design_b>\n"
       "  reset  <design>\n"
       "  vcd    <design> <out.vcd> [cycles]\n"
+      "  train  <design>... [--threads N]\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
       stderr);
 }
@@ -212,6 +272,27 @@ int main(int argc, char** argv) {
       }
       return cmd_vcd(argv[2], argv[3],
                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64);
+    }
+    if (cmd == "train") {
+      std::vector<std::string> designs;
+      std::size_t threads = 1;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threads" && i + 1 < argc) {
+          threads = static_cast<std::size_t>(
+              std::max(1, std::atoi(argv[++i])));
+        } else if (a.rfind("--threads=", 0) == 0) {
+          threads = static_cast<std::size_t>(
+              std::max(1, std::atoi(a.c_str() + 10)));
+        } else {
+          designs.push_back(a);
+        }
+      }
+      if (designs.empty()) {
+        usage();
+        return 2;
+      }
+      return cmd_train(designs, threads);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

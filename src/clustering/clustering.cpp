@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core_util/check.hpp"
+#include "core_util/thread_pool.hpp"
 
 namespace moss::clustering {
 
@@ -29,46 +30,73 @@ std::vector<int> dbscan(const Points& pts, const DbscanConfig& cfg) {
   std::vector<int> labels(n, kNoise);
   std::vector<char> visited(n, 0);
 
-  const auto neighbors = [&](std::size_t i) {
-    std::vector<std::size_t> out;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i && dist(pts[i], pts[j]) <= cfg.eps) out.push_back(j);
-    }
-    return out;
-  };
+  // Neighbor lists are the O(n²·d) hot spot; compute them all up front, one
+  // point per task, so the expansion below is pure index chasing.
+  ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+  const std::vector<std::vector<std::size_t>> nbrs =
+      pool.parallel_map(n, [&](std::size_t i) {
+        std::vector<std::size_t> out;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i && dist(pts[i], pts[j]) <= cfg.eps) out.push_back(j);
+        }
+        return out;
+      });
 
+  // Serial cluster expansion in index order (deterministic). A border point
+  // already claimed by an earlier cluster keeps that label: only kNoise
+  // points are relabeled, and a visited point is never expanded twice.
+  std::vector<char> queued(n, 0);
   int next_cluster = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (visited[i]) continue;
     visited[i] = 1;
-    auto nb = neighbors(i);
-    if (nb.size() + 1 < cfg.min_pts) continue;  // noise (may be claimed later)
+    if (nbrs[i].size() + 1 < cfg.min_pts) continue;  // noise (claimable later)
     const int cluster = next_cluster++;
     labels[i] = cluster;
-    std::deque<std::size_t> frontier(nb.begin(), nb.end());
+    std::deque<std::size_t> frontier;
+    for (const std::size_t j : nbrs[i]) {
+      if (!queued[j]) {
+        queued[j] = 1;
+        frontier.push_back(j);
+      }
+    }
     while (!frontier.empty()) {
       const std::size_t j = frontier.front();
       frontier.pop_front();
-      if (labels[j] == kNoise) labels[j] = cluster;  // border point
+      queued[j] = 0;
+      if (labels[j] == kNoise) labels[j] = cluster;  // border or core point
       if (visited[j]) continue;
       visited[j] = 1;
-      labels[j] = cluster;
-      auto nb_j = neighbors(j);
-      if (nb_j.size() + 1 >= cfg.min_pts) {
-        for (const std::size_t k : nb_j) frontier.push_back(k);
+      if (nbrs[j].size() + 1 >= cfg.min_pts) {  // core: expand
+        for (const std::size_t k : nbrs[j]) {
+          if (!queued[k] && !visited[k]) {
+            queued[k] = 1;
+            frontier.push_back(k);
+          }
+        }
       }
     }
   }
   return labels;
 }
 
-double suggest_eps(const Points& pts, double quantile) {
+double suggest_eps(const Points& pts, double quantile, std::size_t threads) {
+  const std::size_t n = pts.size();
+  ThreadPool pool(threads == 0 ? 0 : threads);
+  // Per-anchor partial sweeps (j > i), concatenated in index order so the
+  // pre-sort contents are reproducible regardless of thread count.
+  const std::vector<std::vector<double>> partial =
+      pool.parallel_map(n, [&](std::size_t i) {
+        std::vector<double> out;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double d = dist(pts[i], pts[j]);
+          if (d > 1e-12) out.push_back(d);
+        }
+        return out;
+      });
   std::vector<double> dists;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    for (std::size_t j = i + 1; j < pts.size(); ++j) {
-      const double d = dist(pts[i], pts[j]);
-      if (d > 1e-12) dists.push_back(d);
-    }
+  for (const auto& part : partial) {
+    dists.insert(dists.end(), part.begin(), part.end());
   }
   if (dists.empty()) return 1.0;
   std::sort(dists.begin(), dists.end());
@@ -168,11 +196,13 @@ std::vector<int> agglomerate(const Points& pts, std::size_t target,
 }
 
 std::vector<int> adaptive_clusters(const Points& pts,
-                                   std::size_t max_clusters) {
+                                   std::size_t max_clusters,
+                                   std::size_t threads) {
   if (pts.empty()) return {};
   DbscanConfig cfg;
-  cfg.eps = suggest_eps(pts);
+  cfg.eps = suggest_eps(pts, 0.25, threads);
   cfg.min_pts = 2;
+  cfg.threads = threads;
   const std::vector<int> coarse = dbscan(pts, cfg);
   return agglomerate(pts, max_clusters, coarse);
 }

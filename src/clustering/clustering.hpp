@@ -14,17 +14,25 @@ inline constexpr int kNoise = -1;
 struct DbscanConfig {
   double eps = 0.5;
   std::size_t min_pts = 2;
+  /// Worker threads for the O(n²) neighbor computation. The result is
+  /// identical at any value: neighbor lists are computed per point and the
+  /// cluster expansion itself runs serially in index order.
+  std::size_t threads = 1;
 };
 
 /// Classic DBSCAN with Euclidean distance. Deterministic: points are
-/// scanned in index order. Returns per-point labels; noise stays kNoise.
+/// scanned in index order; a border point in range of several cores keeps
+/// the first cluster that claims it. Returns per-point labels; noise stays
+/// kNoise.
 std::vector<int> dbscan(const Points& pts, const DbscanConfig& cfg);
 
 /// Suggest an eps for dbscan as a quantile of the non-zero pairwise
 /// distance distribution (MOSS "detects clusters of varying density
 /// without specifying the number in advance" — this keeps it parameter-free
-/// for the caller).
-double suggest_eps(const Points& pts, double quantile = 0.25);
+/// for the caller). `threads` parallelizes the pairwise sweep; the result
+/// is independent of it.
+double suggest_eps(const Points& pts, double quantile = 0.25,
+                   std::size_t threads = 1);
 
 /// Average-linkage agglomerative clustering down to `target` clusters.
 /// Starting labels may be provided (e.g. DBSCAN output with noise as
@@ -37,7 +45,8 @@ std::vector<int> agglomerate(const Points& pts, std::size_t target,
 /// at most `max_clusters` (merging over-fragmented groups, folding noise
 /// into singletons first). Labels are compacted to 0..G-1.
 std::vector<int> adaptive_clusters(const Points& pts,
-                                   std::size_t max_clusters);
+                                   std::size_t max_clusters,
+                                   std::size_t threads = 1);
 
 /// Number of distinct non-negative labels.
 std::size_t num_clusters(const std::vector<int>& labels);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "core_util/thread_pool.hpp"
 
 namespace moss::core {
 
@@ -12,104 +15,164 @@ PretrainReport pretrain(MossModel& model, std::vector<CircuitBatch>& data,
   return pretrain_model(model, data, cfg);
 }
 
+namespace {
+
+/// Partial result of one alignment minibatch: collected leaf gradients plus
+/// the scalar loss terms.
+struct SpanGrads {
+  tensor::GradSandbox::Buffers grads;
+  double total = 0, rnc = 0, rnm = 0, rrndm = 0;
+};
+
+/// Split [0, n) into contiguous minibatch spans of `bs`. The tail is kept:
+/// as its own span when >= 2 circuits remain (RNC needs at least two rows),
+/// folded into the previous span for a lone leftover.
+std::vector<std::pair<std::size_t, std::size_t>> batch_spans(std::size_t n,
+                                                             std::size_t bs) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (std::size_t s = 0; s < n; s += bs) {
+    spans.emplace_back(s, std::min(s + bs, n));
+  }
+  if (spans.size() > 1 && spans.back().second - spans.back().first < 2) {
+    spans[spans.size() - 2].second = spans.back().second;
+    spans.pop_back();
+  }
+  return spans;
+}
+
+}  // namespace
+
 AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
                   const AlignConfig& cfg, Rng& rng) {
   AlignReport rep;
   if (!model.config().alignment) return rep;
   MOSS_CHECK(data.size() >= 2, "align: need at least two circuits");
+  MOSS_CHECK(cfg.grad_accum >= 1, "align: grad_accum must be >= 1");
   tensor::Adam opt(model.params(), cfg.lr);
   const std::size_t bs = std::min(cfg.batch_size, data.size());
 
   std::vector<std::size_t> order(data.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto spans = batch_spans(order.size(), bs);
+  ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+
+  // One alignment minibatch (circuits order[span.first, span.second)) run
+  // forward + backward with gradients collected in a worker-local sandbox.
+  const auto run_span = [&](std::pair<std::size_t, std::size_t> span) {
+    const std::size_t bs_k = span.second - span.first;
+    tensor::GradSandbox sandbox;
+
+    // Forward every circuit of the minibatch. Local task losses stay in
+    // the objective (the paper's L_total sums all task losses), so the
+    // alignment phase cannot degrade the pre-trained task heads.
+    std::vector<Tensor> n_rows, r_rows;
+    Tensor rrndm_total = Tensor::scalar(0.0f);
+    Tensor local_total = Tensor::scalar(0.0f);
+    int rr_terms = 0;
+    for (std::size_t k = 0; k < bs_k; ++k) {
+      CircuitBatch& batch = data[order[span.first + k]];
+      const Tensor h = model.node_embeddings(batch);
+      n_rows.push_back(model.netlist_embedding(batch, h));
+      r_rows.push_back(model.rtl_embedding(batch.module_text));
+      if (!batch.flop_rows.empty()) {
+        const Tensor proj = model.dff_projections(batch, h);
+        const Tensor target = tensor::l2_normalize_rows(batch.reg_prompt_emb);
+        rrndm_total =
+            tensor::add(rrndm_total, tensor::smooth_l1_loss(proj, target));
+        ++rr_terms;
+      }
+      const LocalPredictions pred = model.predict_local(batch, h);
+      Tensor local = tensor::add(
+          tensor::smooth_l1_loss(
+              pred.one_prob,
+              Tensor::from(batch.one_prob, batch.one_prob.size(), 1)),
+          detail::toggle_loss(pred.toggle, batch.toggle));
+      if (pred.arrival.defined()) {
+        local = tensor::add(
+            local, tensor::smooth_l1_loss(
+                       pred.arrival,
+                       Tensor::from(batch.arrival_norm,
+                                    batch.arrival_norm.size(), 1)));
+      }
+      local_total = tensor::add(local_total, local);
+    }
+    local_total = tensor::scale(local_total, 1.0f / static_cast<float>(bs_k));
+    const Tensor n_e = tensor::concat_rows(n_rows);  // bs_k × d
+    const Tensor r_e = tensor::concat_rows(r_rows);  // bs_k × d
+
+    // RNC: symmetric InfoNCE with learnable temperature (Fig. 6).
+    const Tensor logits = tensor::scale_by(
+        tensor::matmul(r_e, tensor::transpose(n_e)),
+        tensor::exp_t(model.temperature()));
+    std::vector<int> labels(bs_k);
+    for (std::size_t i = 0; i < bs_k; ++i) labels[i] = static_cast<int>(i);
+    const Tensor rnc = tensor::scale(
+        tensor::add(tensor::cross_entropy_rows(logits, labels),
+                    tensor::cross_entropy_rows(tensor::transpose(logits),
+                                               labels)),
+        0.5f);
+
+    // RNM: matching MLP over all pairs vs the identity (smooth-L1, per
+    // the paper's pseudocode).
+    const Tensor rnm_logit = model.rnm_logits(r_e, n_e);
+    std::vector<float> eye(bs_k * bs_k, 0.0f);
+    for (std::size_t i = 0; i < bs_k; ++i) eye[i * bs_k + i] = 1.0f;
+    const Tensor rnm = tensor::smooth_l1_loss(
+        tensor::sigmoid(rnm_logit), Tensor::from(eye, bs_k * bs_k, 1));
+
+    const Tensor rrndm =
+        rr_terms > 0
+            ? tensor::scale(rrndm_total, 1.0f / static_cast<float>(rr_terms))
+            : rrndm_total;
+
+    Tensor loss = tensor::add(tensor::add(tensor::add(rnc, rnm), rrndm),
+                              local_total);
+    loss.backward();
+
+    SpanGrads out;
+    out.grads = sandbox.take();
+    out.total = loss.item();
+    out.rnc = rnc.item();
+    out.rnm = rnm.item();
+    out.rrndm = rrndm.item();
+    return out;
+  };
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
     double e_total = 0, e_rnc = 0, e_rnm = 0, e_rr = 0;
-    std::size_t steps = 0;
-    for (std::size_t start = 0; start + bs <= order.size(); start += bs) {
+    std::size_t steps = 0, seen = 0;
+    for (std::size_t g0 = 0; g0 < spans.size(); g0 += cfg.grad_accum) {
+      const std::size_t g1 = std::min(g0 + cfg.grad_accum, spans.size());
+      std::vector<SpanGrads> parts = pool.parallel_map(
+          g1 - g0, [&](std::size_t k) { return run_span(spans[g0 + k]); });
+
+      // Reduce worker-local gradients in span-index order (fixed float
+      // accumulation order regardless of thread count) and step.
       model.params().zero_grad();
-
-      // Forward every circuit of the minibatch. Local task losses stay in
-      // the objective (the paper's L_total sums all task losses), so the
-      // alignment phase cannot degrade the pre-trained task heads.
-      std::vector<Tensor> n_rows, r_rows;
-      Tensor rrndm_total = Tensor::scalar(0.0f);
-      Tensor local_total = Tensor::scalar(0.0f);
-      int rr_terms = 0;
-      for (std::size_t k = 0; k < bs; ++k) {
-        CircuitBatch& batch = data[order[start + k]];
-        const Tensor h = model.node_embeddings(batch);
-        n_rows.push_back(model.netlist_embedding(batch, h));
-        r_rows.push_back(model.rtl_embedding(batch.module_text));
-        if (!batch.flop_rows.empty()) {
-          const Tensor proj = model.dff_projections(batch, h);
-          const Tensor target =
-              tensor::l2_normalize_rows(batch.reg_prompt_emb);
-          rrndm_total =
-              tensor::add(rrndm_total, tensor::smooth_l1_loss(proj, target));
-          ++rr_terms;
-        }
-        const LocalPredictions pred = model.predict_local(batch, h);
-        Tensor local = tensor::add(
-            tensor::smooth_l1_loss(
-                pred.one_prob,
-                Tensor::from(batch.one_prob, batch.one_prob.size(), 1)),
-            detail::toggle_loss(pred.toggle, batch.toggle));
-        if (pred.arrival.defined()) {
-          local = tensor::add(
-              local, tensor::smooth_l1_loss(
-                         pred.arrival,
-                         Tensor::from(batch.arrival_norm,
-                                      batch.arrival_norm.size(), 1)));
-        }
-        local_total = tensor::add(local_total, local);
+      const float scale = 1.0f / static_cast<float>(parts.size());
+      for (const SpanGrads& part : parts) {
+        tensor::accumulate_grads(model.params().tensors(), part.grads, scale);
       }
-      local_total = tensor::scale(local_total, 1.0f / static_cast<float>(bs));
-      const Tensor n_e = tensor::concat_rows(n_rows);  // bs × d
-      const Tensor r_e = tensor::concat_rows(r_rows);  // bs × d
-
-      // RNC: symmetric InfoNCE with learnable temperature (Fig. 6).
-      const Tensor logits = tensor::scale_by(
-          tensor::matmul(r_e, tensor::transpose(n_e)),
-          tensor::exp_t(model.temperature()));
-      std::vector<int> labels(bs);
-      for (std::size_t i = 0; i < bs; ++i) labels[i] = static_cast<int>(i);
-      const Tensor rnc = tensor::scale(
-          tensor::add(tensor::cross_entropy_rows(logits, labels),
-                      tensor::cross_entropy_rows(tensor::transpose(logits),
-                                                 labels)),
-          0.5f);
-
-      // RNM: matching MLP over all pairs vs the identity (smooth-L1, per
-      // the paper's pseudocode).
-      const Tensor rnm_logit = model.rnm_logits(r_e, n_e);
-      std::vector<float> eye(bs * bs, 0.0f);
-      for (std::size_t i = 0; i < bs; ++i) eye[i * bs + i] = 1.0f;
-      const Tensor rnm = tensor::smooth_l1_loss(
-          tensor::sigmoid(rnm_logit), Tensor::from(eye, bs * bs, 1));
-
-      const Tensor rrndm =
-          rr_terms > 0
-              ? tensor::scale(rrndm_total, 1.0f / static_cast<float>(rr_terms))
-              : rrndm_total;
-
-      Tensor loss = tensor::add(tensor::add(tensor::add(rnc, rnm), rrndm),
-                                local_total);
-      loss.backward();
       opt.step();
 
-      e_total += loss.item();
-      e_rnc += rnc.item();
-      e_rnm += rnm.item();
-      e_rr += rrndm.item();
-      ++steps;
+      for (std::size_t k = g0; k < g1; ++k) {
+        seen += spans[k].second - spans[k].first;
+      }
+      for (const SpanGrads& part : parts) {
+        e_total += part.total;
+        e_rnc += part.rnc;
+        e_rnm += part.rnm;
+        e_rr += part.rrndm;
+        ++steps;
+      }
     }
     const double n = std::max<std::size_t>(steps, 1);
     rep.total.push_back(e_total / n);
     rep.rnc.push_back(e_rnc / n);
     rep.rnm.push_back(e_rnm / n);
     rep.rrndm.push_back(e_rr / n);
+    rep.circuits_seen.push_back(seen);
   }
   return rep;
 }

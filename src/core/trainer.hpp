@@ -18,6 +18,14 @@ struct PretrainReport {
 struct PretrainConfig {
   int epochs = 20;
   float lr = 6e-4f;  ///< paper: Adam, 6e-4
+  /// Worker threads for circuit-level data parallelism. Any value yields
+  /// bit-identical results for a fixed grad_accum (per-batch gradients are
+  /// kept in worker-local buffers and reduced in batch-index order).
+  std::size_t threads = 1;
+  /// Circuits whose gradients are averaged per optimizer step. 1 reproduces
+  /// the classic per-circuit SGD loop exactly; values > 1 let the group's
+  /// forward/backward passes run concurrently across `threads`.
+  std::size_t grad_accum = 1;
 };
 
 /// Local pre-training (Fig. 7): per-circuit multi-task loss
@@ -39,12 +47,21 @@ struct AlignReport {
   std::vector<double> rnc;
   std::vector<double> rnm;
   std::vector<double> rrndm;
+  /// Circuits trained per epoch — always data.size(): the tail minibatch is
+  /// trained too (as its own batch when >= 2 circuits remain, folded into
+  /// the previous batch for a lone leftover).
+  std::vector<std::size_t> circuits_seen;
 };
 
 struct AlignConfig {
   int epochs = 20;
   std::size_t batch_size = 8;
   float lr = 6e-4f;
+  /// Worker threads for minibatch-level data parallelism (bit-identical at
+  /// any value; see PretrainConfig::threads).
+  std::size_t threads = 1;
+  /// Minibatches whose gradients are averaged per optimizer step.
+  std::size_t grad_accum = 1;
 };
 
 /// Global alignment (Fig. 6/8): RNC (CLIP-style symmetric contrastive),

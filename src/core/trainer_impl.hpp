@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/trainer.hpp"
+#include "core_util/thread_pool.hpp"
 
 namespace moss::core {
 
@@ -14,6 +15,11 @@ namespace detail {
 
 /// Dynamic task weights λ_i ∝ 1/EMA(L_i), normalized to sum to the task
 /// count — the Eq. 2 balancing strategy.
+///
+/// A task whose loss is identically zero (e.g. the arrival head is absent
+/// for a model variant) must not block warm-up for the others: it counts as
+/// observed, is excluded from the inverse-EMA weighting and keeps weight 1
+/// (its loss contributes nothing either way).
 class DynamicWeights {
  public:
   explicit DynamicWeights(std::size_t n) : ema_(n, -1.0) {}
@@ -25,15 +31,21 @@ class DynamicWeights {
   std::vector<float> weights() const {
     std::vector<float> w(ema_.size(), 1.0f);
     for (const double e : ema_) {
-      if (e <= 0) return w;  // warm-up: uniform until every task observed
+      if (e < 0) return w;  // warm-up: uniform until every task observed
     }
     double sum = 0;
+    std::size_t active = 0;
     for (std::size_t i = 0; i < ema_.size(); ++i) {
+      if (ema_[i] <= 0) continue;  // absent task: keep weight 1
       w[i] = static_cast<float>(1.0 / std::max(ema_[i], 1e-4));
       sum += w[i];
+      ++active;
     }
-    const float norm = static_cast<float>(static_cast<double>(ema_.size()) / sum);
-    for (float& x : w) x *= norm;
+    if (active == 0) return w;
+    const float norm = static_cast<float>(static_cast<double>(active) / sum);
+    for (std::size_t i = 0; i < ema_.size(); ++i) {
+      if (ema_[i] > 0) w[i] *= norm;
+    }
     return w;
   }
 
@@ -67,47 +79,86 @@ inline tensor::Tensor toggle_loss(const tensor::Tensor& pred,
                      tensor::scale(rel, rel_weight));
 }
 
+/// Per-batch result of a worker's forward/backward: the leaf gradients it
+/// collected in its sandbox plus the scalar loss terms.
+struct BatchGrads {
+  tensor::GradSandbox::Buffers grads;
+  double total = 0, prob = 0, toggle = 0, arrival = 0;
+};
+
 }  // namespace detail
 
 template <typename Model>
 PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
                               const PretrainConfig& cfg) {
   MOSS_CHECK(!data.empty(), "pretrain: empty dataset");
+  MOSS_CHECK(cfg.grad_accum >= 1, "pretrain: grad_accum must be >= 1");
   tensor::Adam opt(model.params(), cfg.lr);
   detail::DynamicWeights lambdas(3);
   PretrainReport rep;
+  ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+
+  // One forward/backward of data[index] under the group's fixed task
+  // weights, gradients collected in a worker-local sandbox. Model forward
+  // passes only read shared state (parameters, batch tensors), so several
+  // workers may run this concurrently.
+  const auto run_batch = [&](std::size_t index,
+                             const std::vector<float>& w) {
+    CircuitBatch& batch = data[index];
+    tensor::GradSandbox sandbox;
+    const tensor::Tensor h = model.node_embeddings(batch);
+    const LocalPredictions pred = model.predict_local(batch, h);
+
+    const tensor::Tensor l_prob = tensor::smooth_l1_loss(
+        pred.one_prob, detail::label_column(batch.one_prob));
+    const tensor::Tensor l_tog = detail::toggle_loss(pred.toggle,
+                                                     batch.toggle);
+    tensor::Tensor l_at = tensor::Tensor::scalar(0.0f);
+    if (pred.arrival.defined()) {
+      l_at = tensor::smooth_l1_loss(
+          pred.arrival, detail::label_column(batch.arrival_norm));
+    }
+    tensor::Tensor loss = tensor::add(
+        tensor::add(tensor::scale(l_prob, w[0]),
+                    tensor::scale(l_tog, w[1])),
+        tensor::scale(l_at, w[2]));
+    loss.backward();
+
+    detail::BatchGrads out;
+    out.grads = sandbox.take();
+    out.total = loss.item();
+    out.prob = l_prob.item();
+    out.toggle = l_tog.item();
+    out.arrival = l_at.item();
+    return out;
+  };
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     double e_total = 0, e_prob = 0, e_tog = 0, e_at = 0;
-    for (CircuitBatch& batch : data) {
-      model.params().zero_grad();
-      const tensor::Tensor h = model.node_embeddings(batch);
-      const LocalPredictions pred = model.predict_local(batch, h);
+    for (std::size_t g0 = 0; g0 < data.size(); g0 += cfg.grad_accum) {
+      const std::size_t g1 = std::min(g0 + cfg.grad_accum, data.size());
+      const std::vector<float> w = lambdas.weights();  // fixed for the group
+      std::vector<detail::BatchGrads> parts = pool.parallel_map(
+          g1 - g0, [&](std::size_t k) { return run_batch(g0 + k, w); });
 
-      const tensor::Tensor l_prob = tensor::smooth_l1_loss(
-          pred.one_prob, detail::label_column(batch.one_prob));
-      const tensor::Tensor l_tog = detail::toggle_loss(pred.toggle,
-                                                       batch.toggle);
-      tensor::Tensor l_at = tensor::Tensor::scalar(0.0f);
-      if (pred.arrival.defined()) {
-        l_at = tensor::smooth_l1_loss(
-            pred.arrival, detail::label_column(batch.arrival_norm));
+      // Reduce worker-local gradients in batch-index order — the float
+      // accumulation order is fixed regardless of thread count — and step.
+      model.params().zero_grad();
+      const float scale = 1.0f / static_cast<float>(parts.size());
+      for (const detail::BatchGrads& part : parts) {
+        tensor::accumulate_grads(model.params().tensors(), part.grads, scale);
       }
-      const auto w = lambdas.weights();
-      tensor::Tensor loss = tensor::add(
-          tensor::add(tensor::scale(l_prob, w[0]),
-                      tensor::scale(l_tog, w[1])),
-          tensor::scale(l_at, w[2]));
-      loss.backward();
       opt.step();
 
-      lambdas.observe(0, l_prob.item());
-      lambdas.observe(1, l_tog.item());
-      lambdas.observe(2, l_at.item());
-      e_total += loss.item();
-      e_prob += l_prob.item();
-      e_tog += l_tog.item();
-      e_at += l_at.item();
+      for (const detail::BatchGrads& part : parts) {
+        lambdas.observe(0, part.prob);
+        lambdas.observe(1, part.toggle);
+        lambdas.observe(2, part.arrival);
+        e_total += part.total;
+        e_prob += part.prob;
+        e_tog += part.toggle;
+        e_at += part.arrival;
+      }
     }
     const double n = static_cast<double>(data.size());
     rep.total.push_back(e_total / n);

@@ -1,5 +1,6 @@
 #include "core/workflow.hpp"
 
+#include "core_util/thread_pool.hpp"
 #include "tensor/serialize.hpp"
 
 namespace moss::core {
@@ -10,6 +11,16 @@ MossWorkflow::MossWorkflow(WorkflowConfig cfg)
 void MossWorkflow::add_design(const data::DesignSpec& spec) {
   add_circuit(
       data::label_circuit(spec, cell::standard_library(), cfg_.dataset));
+}
+
+void MossWorkflow::add_designs(const std::vector<data::DesignSpec>& specs) {
+  ThreadPool pool(cfg_.threads == 0 ? 0 : cfg_.threads);
+  std::vector<data::LabeledCircuit> labeled =
+      pool.parallel_map(specs.size(), [&](std::size_t i) {
+        return data::label_circuit(specs[i], cell::standard_library(),
+                                   cfg_.dataset);
+      });
+  for (data::LabeledCircuit& lc : labeled) add_circuit(std::move(lc));
 }
 
 void MossWorkflow::add_module(rtl::Module m) {
@@ -52,21 +63,34 @@ CircuitBatch& MossWorkflow::batch_for(std::size_t index) {
   return *slot;
 }
 
+std::vector<CircuitBatch> MossWorkflow::all_batches() {
+  // Feature building is per-circuit deterministic; only the encoder's text
+  // cache is shared (and mutex-guarded), so missing batches can be built
+  // concurrently.
+  ThreadPool pool(cfg_.threads == 0 ? 0 : cfg_.threads);
+  pool.parallel_for(0, circuits_.size(), [&](std::size_t i) {
+    auto& slot = batches_.at(i);
+    if (!slot.has_value()) {
+      slot = build_batch(circuits_[i], encoder_, cfg_.model.features);
+    }
+  });
+  std::vector<CircuitBatch> batches;
+  batches.reserve(circuits_.size());
+  for (std::size_t i = 0; i < circuits_.size(); ++i) {
+    batches.push_back(*batches_[i]);
+  }
+  return batches;
+}
+
 PretrainReport MossWorkflow::pretrain_model() {
   ensure_model();
-  std::vector<CircuitBatch> batches;
-  for (std::size_t i = 0; i < circuits_.size(); ++i) {
-    batches.push_back(batch_for(i));
-  }
+  std::vector<CircuitBatch> batches = all_batches();
   return pretrain(*model_, batches, cfg_.pretrain);
 }
 
 AlignReport MossWorkflow::align_model() {
   ensure_model();
-  std::vector<CircuitBatch> batches;
-  for (std::size_t i = 0; i < circuits_.size(); ++i) {
-    batches.push_back(batch_for(i));
-  }
+  std::vector<CircuitBatch> batches = all_batches();
   Rng rng(cfg_.seed ^ 0xA117);
   return align(*model_, batches, cfg_.align, rng);
 }
@@ -90,10 +114,7 @@ TaskAccuracy MossWorkflow::evaluate(const data::LabeledCircuit& lc) {
 
 double MossWorkflow::fep() {
   ensure_model();
-  std::vector<CircuitBatch> batches;
-  for (std::size_t i = 0; i < circuits_.size(); ++i) {
-    batches.push_back(batch_for(i));
-  }
+  const std::vector<CircuitBatch> batches = all_batches();
   return evaluate_fep(*model_, batches);
 }
 

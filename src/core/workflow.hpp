@@ -19,6 +19,10 @@ struct WorkflowConfig {
   PretrainConfig pretrain;
   AlignConfig align;
   std::uint64_t seed = 1;
+  /// Worker threads for design labeling (add_designs) and feature/batch
+  /// building. Training threads come from `pretrain.threads` and
+  /// `align.threads`. Results are identical at any value.
+  std::size_t threads = 1;
 };
 
 /// High-level facade wiring the whole pipeline:
@@ -38,6 +42,10 @@ class MossWorkflow {
 
   // -- data ------------------------------------------------------------------
   void add_design(const data::DesignSpec& spec);
+  /// Generate + label a batch of designs, `cfg.threads` at a time (labels
+  /// are per-design deterministic, so the result matches serial add_design
+  /// calls in the same order).
+  void add_designs(const std::vector<data::DesignSpec>& specs);
   void add_module(rtl::Module m);
   void add_circuit(data::LabeledCircuit lc);
   std::size_t num_circuits() const { return circuits_.size(); }
@@ -76,6 +84,9 @@ class MossWorkflow {
  private:
   void ensure_model();
   CircuitBatch& batch_for(std::size_t index);
+  /// Build every not-yet-built batch, `cfg.threads` at a time, and return
+  /// copies of all of them in circuit order.
+  std::vector<CircuitBatch> all_batches();
 
   WorkflowConfig cfg_;
   lm::TextEncoder encoder_;

@@ -1,0 +1,100 @@
+#include "core_util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace moss {
+
+namespace {
+
+/// Set while a pool worker (or the caller inside parallel_for) is running a
+/// chunk; nested parallel_for calls then execute serially instead of
+/// deadlocking on the already-busy pool.
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(const Job& job, std::size_t chunk) noexcept {
+  const std::size_t n = job.end - job.begin;
+  const std::size_t len = (n + job.num_chunks - 1) / job.num_chunks;
+  const std::size_t lo = job.begin + chunk * len;
+  const std::size_t hi = std::min(lo + len, job.end);
+  tl_in_parallel_region = true;
+  try {
+    for (std::size_t i = lo; i < hi; ++i) (*job.fn)(i);
+  } catch (...) {
+    errors_[chunk] = std::current_exception();
+  }
+  tl_in_parallel_region = false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    // Worker w owns chunk w+1 (the caller runs chunk 0).
+    if (worker + 1 < job.num_chunks) run_chunk(job, worker + 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(size(), n);
+  if (chunks == 1 || tl_in_parallel_region) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  errors_.assign(chunks, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = Job{&fn, begin, end, chunks};
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunk(job_, 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  for (std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace moss

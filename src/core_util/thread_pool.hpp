@@ -1,0 +1,91 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace moss {
+
+/// Fixed-size worker pool with deterministic chunked scheduling.
+///
+/// parallel_for(begin, end, fn) splits the index range into at most size()
+/// contiguous chunks and assigns chunk c to worker c statically — no work
+/// stealing, no atomic hand-out — so the set of indices each worker runs is
+/// a pure function of (range, pool size). Since every index writes only its
+/// own output slot, results are bit-identical to the serial loop at any
+/// thread count; the determinism contract of the training and clustering
+/// paths (see DESIGN.md) builds on this.
+///
+/// The calling thread executes chunk 0 itself, so ThreadPool(1) spawns no
+/// threads and parallel_for degenerates to the plain serial loop. Exceptions
+/// thrown by `fn` are captured per chunk and the lowest-chunk one is
+/// rethrown on the caller after the whole range finished.
+///
+/// A pool is cheap enough to construct per training run; hot loops should
+/// still reuse one instance across calls to avoid thread churn.
+class ThreadPool {
+ public:
+  /// `threads` = total worker count including the caller; 0 picks
+  /// hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers (spawned threads + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [begin, end). Blocks until done. Safe to call
+  /// from inside a worker (runs the nested range serially on that worker).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for collecting fn(i) into a vector (slot i written only by
+  /// the worker owning index i). The result type need not be
+  /// default-constructible.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<std::optional<T>> slots(n);
+    parallel_for(0, n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t num_chunks = 0;
+  };
+
+  void worker_loop(std::size_t worker);
+  /// Run chunk `chunk` of `job`, capturing any exception into errors_.
+  void run_chunk(const Job& job, std::size_t chunk) noexcept;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::uint64_t generation_ = 0;  ///< bumped per parallel_for dispatch
+  std::size_t pending_ = 0;       ///< workers still to finish this job
+  std::vector<std::exception_ptr> errors_;  ///< one slot per chunk
+  bool stop_ = false;
+};
+
+}  // namespace moss

@@ -1,6 +1,7 @@
 #include "data/dataset.hpp"
 
 #include "core_util/strings.hpp"
+#include "core_util/thread_pool.hpp"
 #include "power/power.hpp"
 #include "rtl/printer.hpp"
 #include "sim/simulator.hpp"
@@ -49,12 +50,10 @@ LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
 std::vector<LabeledCircuit> build_dataset(const std::vector<DesignSpec>& specs,
                                           const cell::CellLibrary& lib,
                                           const DatasetConfig& cfg) {
-  std::vector<LabeledCircuit> out;
-  out.reserve(specs.size());
-  for (const DesignSpec& s : specs) {
-    out.push_back(label_circuit(s, lib, cfg));
-  }
-  return out;
+  ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+  return pool.parallel_map(specs.size(), [&](std::size_t i) {
+    return label_circuit(specs[i], lib, cfg);
+  });
 }
 
 }  // namespace moss::data

@@ -35,6 +35,10 @@ struct DatasetConfig {
   std::uint64_t sim_cycles = 4000;  ///< paper uses 60k; configurable
   double input_one_prob = 0.5;
   std::uint64_t seed = 7;
+  /// Worker threads for build_dataset. Labeling is embarrassingly parallel:
+  /// each circuit draws from its own Rng (seeded from `seed` and the
+  /// netlist name), so the labels are identical at any thread count.
+  std::size_t threads = 1;
 };
 
 /// Generate, synthesize and label one circuit.

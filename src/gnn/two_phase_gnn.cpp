@@ -1,5 +1,6 @@
 #include "gnn/two_phase_gnn.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace moss::gnn {
@@ -53,9 +54,12 @@ Tensor TwoPhaseGnn::apply_step(const UpdateStep& step, Tensor h) const {
     const Aggregator& agg = aggs_[static_cast<std::size_t>(grp.cluster)];
 
     // Per-edge messages: W_msg · h_src + positional encoding of the pin.
+    // Pin positions from malformed graphs can be out of range in either
+    // direction (e.g. -1 from a failed pin lookup); clamp both ends so the
+    // positional-table gather stays in bounds.
     std::vector<int> pos_clamped = grp.edge_pos;
     for (int& p : pos_clamped) {
-      p = std::min(p, cfg_.max_pin_pos - 1);
+      p = std::clamp(p, 0, cfg_.max_pin_pos - 1);
     }
     Tensor msg = tensor::add(
         tensor::matmul(tensor::gather_rows(h, grp.edge_src), agg.w_msg),

@@ -25,8 +25,11 @@ void TextEncoder::set_token_weights(std::vector<float> w) {
 
 Tensor TextEncoder::encode(std::string_view text) const {
   const std::uint64_t key = fnv1a64(text);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
   const TokenizerConfig tok_cfg{cfg_.vocab_size};
   const std::vector<int> ids = tokenize(text, tok_cfg);
@@ -48,6 +51,7 @@ Tensor TextEncoder::encode(std::string_view text) const {
       for (std::size_t d = 0; d < cfg_.dim; ++d) out.data()[d] /= total_w;
     }
   }
+  const std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.emplace(key, out);
   return out;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core_util/rng.hpp"
@@ -31,6 +33,25 @@ class TextEncoder {
  public:
   explicit TextEncoder(EncoderConfig cfg = {});
 
+  // Movable despite the cache mutex (each object carries its own mutex;
+  // moving while another thread uses the source is a caller error anyway).
+  TextEncoder(TextEncoder&& other) noexcept
+      : cfg_(std::move(other.cfg_)),
+        table_(std::move(other.table_)),
+        token_weight_(std::move(other.token_weight_)),
+        center_(std::move(other.center_)),
+        cache_(std::move(other.cache_)) {}
+  TextEncoder& operator=(TextEncoder&& other) noexcept {
+    if (this != &other) {
+      cfg_ = std::move(other.cfg_);
+      table_ = std::move(other.table_);
+      token_weight_ = std::move(other.token_weight_);
+      center_ = std::move(other.center_);
+      cache_ = std::move(other.cache_);
+    }
+    return *this;
+  }
+
   const EncoderConfig& config() const { return cfg_; }
   std::size_t dim() const { return cfg_.dim; }
 
@@ -46,7 +67,10 @@ class TextEncoder {
   /// Trainable embedding table (vocab × d) — exposed for fine-tuning.
   tensor::Tensor& table() { return table_; }
   const tensor::Tensor& table() const { return table_; }
-  void invalidate_cache() { cache_.clear(); }
+  void invalidate_cache() {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.clear();
+  }
 
   /// Per-token pooling weights (IDF-style). fine_tune() sets these from
   /// corpus statistics so ubiquitous tokens ("module", "assign", "=") stop
@@ -66,6 +90,10 @@ class TextEncoder {
   tensor::Tensor table_;
   std::vector<float> token_weight_;  ///< empty = uniform
   std::vector<float> center_;        ///< empty = no centering
+  /// encode() is called from parallel batch-building and training workers;
+  /// the content-hash cache is the encoder's only mutable state, so it is
+  /// guarded by a mutex (the embedding compute itself runs unlocked).
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::uint64_t, tensor::Tensor> cache_;
 };
 

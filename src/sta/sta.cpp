@@ -163,6 +163,8 @@ double TimingAnalysis::flop_data_arrival(NodeId flop) const {
   MOSS_CHECK(nl_->is_flop(flop), "not a flop: " + n.name);
   const cell::CellType& t = nl_->library().type(n.type);
   const int d = t.pin_index("D");
+  MOSS_CHECK(d >= 0, "flop cell type '" + t.name + "' has no D pin (node " +
+                         n.name + ")");
   return arrival_[static_cast<std::size_t>(
       n.fanin[static_cast<std::size_t>(d)])];
 }

@@ -89,7 +89,56 @@ float Tensor::item() const {
 
 const std::vector<float>& Tensor::data() const { return deref(impl_).data; }
 std::vector<float>& Tensor::data() { return deref(impl_).data; }
-std::vector<float>& Tensor::grad() const { return deref(impl_).ensure_grad(); }
+
+std::vector<float>& Tensor::grad() const {
+  Impl& i = deref(impl_);
+  // Leaves with grad are trainable parameters, the only tape nodes shared
+  // across threads; an active sandbox owns their gradient on this thread.
+  if (GradSandbox* sb = GradSandbox::current();
+      sb != nullptr && i.requires_grad && i.parents.empty()) {
+    return sb->buffer_for(i);
+  }
+  return i.ensure_grad();
+}
+
+namespace {
+
+thread_local GradSandbox* tl_sandbox = nullptr;
+
+}  // namespace
+
+GradSandbox::GradSandbox() : prev_(tl_sandbox) { tl_sandbox = this; }
+
+GradSandbox::~GradSandbox() { tl_sandbox = prev_; }
+
+GradSandbox* GradSandbox::current() { return tl_sandbox; }
+
+std::vector<float>& GradSandbox::buffer_for(Tensor::Impl& impl) {
+  std::vector<float>& buf = buffers_[&impl];
+  if (buf.empty()) buf.assign(impl.data.size(), 0.0f);
+  return buf;
+}
+
+const std::vector<float>* GradSandbox::find(const Tensor& t) const {
+  const auto it = buffers_.find(t.impl().get());
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+void accumulate_grads(std::vector<Tensor>& params,
+                      const GradSandbox::Buffers& buffers, float scale) {
+  for (Tensor& p : params) {
+    const auto it = buffers.find(p.impl().get());
+    if (it == buffers.end()) continue;
+    auto& g = p.grad();
+    const std::vector<float>& src = it->second;
+    MOSS_CHECK(src.size() == g.size(), "accumulate_grads: size mismatch");
+    if (scale == 1.0f) {
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] += src[i];
+    } else {
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] += src[i] * scale;
+    }
+  }
+}
 
 void Tensor::zero_grad() {
   Impl& i = deref(impl_);

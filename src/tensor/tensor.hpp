@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core_util/rng.hpp"
@@ -79,6 +80,52 @@ struct Tensor::Impl {
     return grad;
   }
 };
+
+/// RAII scope that redirects *leaf* gradient accumulation on the current
+/// thread into private buffers — the worker-local gradient buffers behind
+/// data-parallel training.
+///
+/// While a GradSandbox is active, Tensor::grad() on a leaf that requires
+/// grad (i.e. a trainable parameter — no parents, no tape history) returns
+/// a buffer owned by the sandbox instead of the parameter's shared grad
+/// vector. Intermediate tape nodes are created per forward pass and stay
+/// thread-private, so with one sandbox per worker, several threads can run
+/// backward() against the same parameters concurrently without touching
+/// shared state. The caller then reduces the collected buffers into the
+/// real parameter grads in a fixed order, keeping the result bit-identical
+/// to the serial schedule.
+///
+/// Sandboxes nest (the innermost wins) and must be destroyed on the thread
+/// that created them.
+class GradSandbox {
+ public:
+  using Buffers = std::unordered_map<const Tensor::Impl*, std::vector<float>>;
+
+  GradSandbox();
+  ~GradSandbox();
+  GradSandbox(const GradSandbox&) = delete;
+  GradSandbox& operator=(const GradSandbox&) = delete;
+
+  /// Private buffer for a leaf impl, zero-initialized on first use.
+  std::vector<float>& buffer_for(Tensor::Impl& impl);
+  /// Collected buffer for `t`, or nullptr if no gradient reached it.
+  const std::vector<float>* find(const Tensor& t) const;
+  /// Move the collected buffers out (the sandbox continues empty).
+  Buffers take() { return std::move(buffers_); }
+
+  /// Innermost sandbox active on this thread, or nullptr.
+  static GradSandbox* current();
+
+ private:
+  Buffers buffers_;
+  GradSandbox* prev_ = nullptr;
+};
+
+/// Accumulate sandbox-collected gradients into the real grad buffers of the
+/// tensors in `params` (in `params` order): grad += scale * buffer. Tensors
+/// without a collected buffer are skipped. Call without an active sandbox.
+void accumulate_grads(std::vector<Tensor>& params,
+                      const GradSandbox::Buffers& buffers, float scale = 1.0f);
 
 // ---------------------------------------------------------------------------
 // Elementwise & scalar ops

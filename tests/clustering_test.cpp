@@ -70,6 +70,48 @@ TEST(Dbscan, ChainedDensityConnects) {
   for (const int l : labels) EXPECT_EQ(l, 0);
 }
 
+TEST(Dbscan, BorderPointKeepsFirstCluster) {
+  // Two dense clusters whose expansion ranges overlap on one border point
+  // (index 6). It is density-reachable from both, is itself not core, and
+  // must stay with the cluster that claims it first (index order) — not be
+  // relabeled when the second cluster expands.
+  //
+  // Layout on a line: cluster A at {0.0, 0.2, 0.4, 0.6}, cluster B at
+  // {3.4, 3.6, 3.8, 4.0}, border point at 2.0. With eps=1.5/min_pts=4 the
+  // border has exactly two neighbors (0.6 and 3.4) so it is never core.
+  Points pts{{0.0f}, {0.2f}, {0.4f}, {0.6f},
+             {3.4f}, {3.6f}, {3.8f}, {4.0f}, {2.0f}};
+  DbscanConfig cfg;
+  cfg.eps = 1.5;
+  cfg.min_pts = 4;
+  const auto labels = dbscan(pts, cfg);
+  EXPECT_EQ(num_clusters(labels), 2u);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(labels[0], labels[i]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(labels[4], labels[i]);
+  EXPECT_NE(labels[0], labels[4]);
+  // The border point joins cluster A (expanded first from index 0).
+  EXPECT_EQ(labels[8], labels[0]);
+}
+
+TEST(Dbscan, ThreadedMatchesSerial) {
+  Rng rng(21);
+  Points pts = blobs(rng, 40);
+  pts.push_back({100.0f, 100.0f});  // plus an outlier
+  DbscanConfig serial;
+  serial.eps = 2.0;
+  serial.min_pts = 3;
+  DbscanConfig threaded = serial;
+  threaded.threads = 4;
+  EXPECT_EQ(dbscan(pts, serial), dbscan(pts, threaded));
+}
+
+TEST(SuggestEps, ThreadedMatchesSerial) {
+  Rng rng(22);
+  const Points pts = blobs(rng, 25);
+  EXPECT_EQ(suggest_eps(pts, 0.25, 1), suggest_eps(pts, 0.25, 4));
+  EXPECT_EQ(adaptive_clusters(pts, 4, 1), adaptive_clusters(pts, 4, 4));
+}
+
 TEST(SuggestEps, WithinDistanceRange) {
   Rng rng(3);
   const Points pts = blobs(rng);

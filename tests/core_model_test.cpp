@@ -172,5 +172,46 @@ TEST(Evaluate, FepUntrainedIsWeak) {
   EXPECT_LE(fep, 1.0);
 }
 
+TEST(DynamicWeights, BalancesObservedTasks) {
+  // Two tasks with very different loss magnitudes: once both are observed,
+  // the weights must be inverse to the loss EMAs (Eq. 2), not uniform.
+  detail::DynamicWeights dw(2);
+  for (int i = 0; i < 5; ++i) {
+    dw.observe(0, 10.0);
+    dw.observe(1, 0.1);
+  }
+  const auto w = dw.weights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_NEAR(w[0] + w[1], 2.0f, 1e-4f);
+}
+
+TEST(DynamicWeights, AbsentTaskDoesNotBlockWarmup) {
+  // A model variant without an arrival head reports that task's loss as
+  // exactly 0 forever. The EMA of that task then never becomes positive —
+  // which used to keep *all* weights stuck at uniform for the whole run.
+  // The zero task must be treated as observed-but-absent: excluded from the
+  // inverse-EMA balance, with the live tasks still balanced against each
+  // other.
+  detail::DynamicWeights dw(3);
+  for (int i = 0; i < 5; ++i) {
+    dw.observe(0, 4.0);
+    dw.observe(1, 0.5);
+    dw.observe(2, 0.0);  // absent head
+  }
+  const auto w = dw.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[1], w[0]) << "live tasks must be balanced, not uniform";
+  EXPECT_EQ(w[2], 1.0f) << "absent task keeps a neutral weight";
+  EXPECT_NEAR(w[0] + w[1], 2.0f, 1e-4f);
+}
+
+TEST(DynamicWeights, UniformDuringWarmup) {
+  detail::DynamicWeights dw(3);
+  dw.observe(0, 2.0);  // tasks 1 and 2 not yet observed
+  const auto w = dw.weights();
+  for (const float v : w) EXPECT_EQ(v, 1.0f);
+}
+
 }  // namespace
 }  // namespace moss::core

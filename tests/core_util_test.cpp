@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "core_util/check.hpp"
 #include "core_util/rng.hpp"
 #include "core_util/strings.hpp"
+#include "core_util/thread_pool.hpp"
 
 namespace moss {
 namespace {
@@ -138,6 +142,95 @@ TEST(Strings, Fnv1aStableAndDistinct) {
 TEST(Check, ThrowsTypedError) {
   EXPECT_THROW(MOSS_CHECK(false, "boom"), Error);
   EXPECT_NO_THROW(MOSS_CHECK(true, "fine"));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, MapResultsMatchSerialAtAnyThreadCount) {
+  const auto fn = [](std::size_t i) {
+    return static_cast<float>(i) * 0.37f + 1.0f / (static_cast<float>(i) + 1);
+  };
+  ThreadPool serial(1);
+  const std::vector<float> want = serial.parallel_map(257, fn);
+  for (const std::size_t t : {2u, 3u, 8u}) {
+    ThreadPool pool(t);
+    const std::vector<float> got = pool.parallel_map(257, fn);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "thread count " << t << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, MapSupportsMoveOnlyish) {
+  // Result type without a default constructor.
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  ThreadPool pool(3);
+  const auto out = pool.parallel_map(
+      10, [](std::size_t i) { return NoDefault(static_cast<int>(i) * 2); });
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value, static_cast<int>(i) * 2);
+  }
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("index 57");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, [&](std::size_t outer) {
+    pool.parallel_for(0, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(pool.parallel_map(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ThreadPool, ZeroPicksHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+  EXPECT_GE(pool.size(), 1u);
 }
 
 TEST(Check, MessageContainsContext) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core_util/check.hpp"
 #include "core_util/rng.hpp"
 #include "gnn/graph.hpp"
@@ -135,6 +137,28 @@ TEST(TwoPhaseGnn, TurnaroundFeedsBack) {
   float d1 = 0;
   for (std::size_t c = 0; c < 8; ++c) d1 += std::abs(h1.at(1, c) - h0.at(1, c));
   EXPECT_GT(d1, 1e-6f);
+}
+
+TEST(TwoPhaseGnn, OutOfRangePinPositionsAreClamped) {
+  // Malformed inputs (e.g. a failed pin lookup yielding -1, or a fanout
+  // wider than max_pin_pos) must not index outside the positional table.
+  GraphBuilder gb(4, 1);
+  gb.set_fanins(2, {{0, -1}, {1, 999}});  // below and above the table
+  gb.set_fanins(3, {{2, 0}});
+  Tensor f = Tensor::zeros(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) f.at(i, i % 3) = 1.0f;
+  gb.set_features(f);
+  gb.schedule_forward({2});
+  gb.schedule_turnaround({3});
+  const Graph g = gb.build();
+
+  Rng rng(5);
+  tensor::ParameterSet params;
+  TwoPhaseGnn gnn(toy_cfg(), rng, params);
+  Tensor h;
+  ASSERT_NO_THROW(h = gnn.run(g));
+  EXPECT_EQ(h.rows(), 4u);
+  for (const float v : h.data()) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(TwoPhaseGnn, GradientsReachAllParameters) {

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+// End-to-end determinism contract of the parallel execution layer: training
+// with threads=N must produce bit-identical parameters, reports and labels
+// to threads=1 (see DESIGN.md "Threading model").
+
+namespace moss::core {
+namespace {
+
+using cell::standard_library;
+
+const lm::TextEncoder& enc() {
+  static lm::TextEncoder e({2048, 16, 13});
+  return e;
+}
+
+std::vector<CircuitBatch> make_batches(const FeatureConfig& fcfg, int n) {
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = 200;
+  std::vector<CircuitBatch> batches;
+  const auto specs = data::corpus_specs(static_cast<std::size_t>(n), 33, 1, 1);
+  for (const auto& s : specs) {
+    batches.push_back(build_batch(
+        data::label_circuit(s, standard_library(), dcfg), enc(), fcfg));
+  }
+  return batches;
+}
+
+MossConfig small_config() {
+  MossConfig cfg;
+  cfg.hidden = 16;
+  cfg.rounds = 1;
+  return cfg;
+}
+
+void expect_params_identical(MossModel& a, MossModel& b) {
+  auto pa = a.params().tensors();
+  auto pb = b.params().tensors();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].data().size(), pb[i].data().size());
+    for (std::size_t k = 0; k < pa[i].data().size(); ++k) {
+      ASSERT_EQ(pa[i].data()[k], pb[i].data()[k])
+          << "param " << i << " element " << k << " diverged";
+    }
+  }
+}
+
+TEST(ParallelTraining, GradSandboxCollectsLeafGrads) {
+  using tensor::Tensor;
+  Tensor w = Tensor::from({2.0f, -1.0f}, 1, 2, /*requires_grad=*/true);
+  tensor::GradSandbox sandbox;
+  Tensor loss = tensor::sum_all(tensor::mul(w, w));
+  loss.backward();
+  // Gradient went to the sandbox, not the shared buffer.
+  const std::vector<float>* buf = sandbox.find(w);
+  ASSERT_NE(buf, nullptr);
+  ASSERT_EQ(buf->size(), 2u);
+  EXPECT_FLOAT_EQ((*buf)[0], 4.0f);
+  EXPECT_FLOAT_EQ((*buf)[1], -2.0f);
+
+  auto collected = sandbox.take();
+  std::vector<Tensor> params{w};
+  tensor::accumulate_grads(params, collected, 0.5f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 2.0f);  // 0.5 * 4
+  EXPECT_FLOAT_EQ(w.grad()[1], -1.0f);
+}
+
+TEST(ParallelTraining, PretrainBitIdenticalAcrossThreadCounts) {
+  const MossConfig mcfg = small_config();
+  std::vector<CircuitBatch> batches = make_batches(mcfg.features, 6);
+
+  PretrainConfig serial;
+  serial.epochs = 3;
+  serial.threads = 1;
+  serial.grad_accum = 4;
+  PretrainConfig threaded = serial;
+  threaded.threads = 4;
+
+  MossModel m1(mcfg, standard_library(), enc());
+  MossModel m4(mcfg, standard_library(), enc());
+  const PretrainReport r1 = pretrain(m1, batches, serial);
+  const PretrainReport r4 = pretrain(m4, batches, threaded);
+
+  EXPECT_EQ(r1.total, r4.total);
+  EXPECT_EQ(r1.prob, r4.prob);
+  EXPECT_EQ(r1.toggle, r4.toggle);
+  EXPECT_EQ(r1.arrival, r4.arrival);
+  expect_params_identical(m1, m4);
+}
+
+TEST(ParallelTraining, AlignBitIdenticalAcrossThreadCounts) {
+  const MossConfig mcfg = small_config();
+  std::vector<CircuitBatch> batches = make_batches(mcfg.features, 5);
+
+  AlignConfig serial;
+  serial.epochs = 3;
+  serial.batch_size = 2;
+  serial.threads = 1;
+  serial.grad_accum = 3;
+  AlignConfig threaded = serial;
+  threaded.threads = 4;
+
+  MossModel m1(mcfg, standard_library(), enc());
+  MossModel m4(mcfg, standard_library(), enc());
+  Rng rng1(99), rng4(99);
+  const AlignReport r1 = align(m1, batches, serial, rng1);
+  const AlignReport r4 = align(m4, batches, threaded, rng4);
+
+  EXPECT_EQ(r1.total, r4.total);
+  EXPECT_EQ(r1.rnc, r4.rnc);
+  EXPECT_EQ(r1.rnm, r4.rnm);
+  EXPECT_EQ(r1.rrndm, r4.rrndm);
+  EXPECT_EQ(r1.circuits_seen, r4.circuits_seen);
+  ASSERT_FALSE(r1.circuits_seen.empty());
+  for (const std::size_t seen : r1.circuits_seen) {
+    EXPECT_EQ(seen, batches.size());  // tail minibatch trained too
+  }
+  expect_params_identical(m1, m4);
+}
+
+TEST(ParallelTraining, GradAccumOneMatchesClassicLoop) {
+  // grad_accum=1 groups hold a single circuit, so the parallel reduction
+  // path must reproduce the plain serial SGD loop exactly even when a pool
+  // is attached.
+  const MossConfig mcfg = small_config();
+  std::vector<CircuitBatch> batches = make_batches(mcfg.features, 4);
+
+  PretrainConfig classic;
+  classic.epochs = 2;
+  PretrainConfig pooled = classic;
+  pooled.threads = 4;  // pool attached, but groups of one
+
+  MossModel m1(mcfg, standard_library(), enc());
+  MossModel m4(mcfg, standard_library(), enc());
+  const PretrainReport r1 = pretrain(m1, batches, classic);
+  const PretrainReport r4 = pretrain(m4, batches, pooled);
+  EXPECT_EQ(r1.total, r4.total);
+  expect_params_identical(m1, m4);
+}
+
+TEST(ParallelData, BuildDatasetBitIdenticalAcrossThreadCounts) {
+  const auto specs = data::corpus_specs(5, 17, 1, 1);
+  data::DatasetConfig serial;
+  serial.sim_cycles = 150;
+  data::DatasetConfig threaded = serial;
+  threaded.threads = 4;
+
+  const auto d1 = data::build_dataset(specs, standard_library(), serial);
+  const auto d4 = data::build_dataset(specs, standard_library(), threaded);
+  ASSERT_EQ(d1.size(), d4.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].toggle, d4[i].toggle);
+    EXPECT_EQ(d1[i].one_prob, d4[i].one_prob);
+    EXPECT_EQ(d1[i].arrival, d4[i].arrival);
+    EXPECT_EQ(d1[i].power_uw, d4[i].power_uw);
+    EXPECT_EQ(d1[i].module_text, d4[i].module_text);
+  }
+}
+
+}  // namespace
+}  // namespace moss::core

@@ -219,5 +219,34 @@ TEST(Sta, RejectsUnfinalized) {
   EXPECT_THROW(TimingAnalysis ta(nl), Error);
 }
 
+TEST(Sta, MalformedFlopWithoutDPinThrows) {
+  // A flop cell type whose pin list lacks "D" must produce a typed Error
+  // naming the cell, not an out-of-bounds fanin read (pin_index returns -1,
+  // which used to be cast straight to size_t).
+  cell::CellLibrary lib;
+  cell::CellType ff;
+  ff.name = "BADFF";
+  ff.klass = cell::CellClass::kFlop;
+  ff.num_inputs = 1;
+  ff.intrinsic_delay = {30.0};
+  ff.drive_res = 2.0;
+  ff.pin_cap = {1.2};
+  ff.pin_names = {"SI"};  // scan-style pin naming, no "D"
+  lib.add(ff);
+
+  Netlist nl(lib, "bad");
+  const NodeId a = nl.add_input("a");
+  nl.add_cell("BADFF", "q0", {a});
+  nl.finalize();
+  try {
+    TimingAnalysis ta(nl);  // endpoint scan hits flop_data_arrival
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("BADFF"), std::string::npos);
+    EXPECT_NE(msg.find("D pin"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace moss::sta

@@ -99,6 +99,45 @@ TEST(Workflow, AlignReportedWhenEnabled) {
   EXPECT_EQ(rep.total.size(), rep.rnm.size());
 }
 
+TEST(Workflow, AlignVisitsEveryCircuitIncludingTail) {
+  // 5 circuits with batch_size 3: the old loop dropped the 2-circuit tail
+  // minibatch every epoch. circuits_seen must count all of them.
+  WorkflowConfig cfg = tiny_config();
+  cfg.align.epochs = 3;
+  cfg.align.batch_size = 3;
+  MossWorkflow wf(cfg);
+  wf.add_design({"alu", 1, 11, "wf_t1"});
+  wf.add_design({"crc", 1, 12, "wf_t2"});
+  wf.add_design({"arbiter", 1, 13, "wf_t3"});
+  wf.add_design({"gray_counter", 1, 14, "wf_t4"});
+  wf.add_design({"fifo_ctrl", 1, 15, "wf_t5"});
+  wf.pretrain_model();
+  const AlignReport rep = wf.align_model();
+  ASSERT_EQ(rep.circuits_seen.size(), 3u);
+  for (const std::size_t seen : rep.circuits_seen) {
+    EXPECT_EQ(seen, wf.num_circuits());
+  }
+}
+
+TEST(Workflow, AddDesignsMatchesSerialAdds) {
+  const std::vector<data::DesignSpec> specs{
+      {"alu", 1, 31, "wf_p1"}, {"crc", 1, 32, "wf_p2"},
+      {"arbiter", 1, 33, "wf_p3"}};
+  WorkflowConfig cfg = tiny_config();
+  cfg.threads = 4;
+  MossWorkflow par(cfg);
+  par.add_designs(specs);
+  MossWorkflow ser(tiny_config());
+  for (const auto& s : specs) ser.add_design(s);
+  ASSERT_EQ(par.num_circuits(), ser.num_circuits());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(par.circuit(i).module_text, ser.circuit(i).module_text);
+    EXPECT_EQ(par.circuit(i).toggle, ser.circuit(i).toggle);
+    EXPECT_EQ(par.circuit(i).flop_arrival, ser.circuit(i).flop_arrival);
+    EXPECT_EQ(par.circuit(i).power_uw, ser.circuit(i).power_uw);
+  }
+}
+
 TEST(Workflow, FineTuneReportsLoss) {
   MossWorkflow wf(tiny_config());
   wf.add_design({"alu", 1, 8, "wf_ft"});
