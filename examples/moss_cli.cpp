@@ -6,10 +6,16 @@
 //   moss_cli fault  <design> [cycles]    stuck-at coverage
 //   moss_cli formal <design_a> <design_b>  equivalence (BDD, sim fallback)
 //   moss_cli vcd    <design> <out.vcd> [cycles]  waveform dump
-//   moss_cli train  <design>... [--threads N]  train a small MOSS model
+//   moss_cli train  <design>... [--threads N] [--checkpoint BASE]
+//                   [--checkpoint-every N] [--resume] [--save CKPT]
+//                                        train a small MOSS model
+//   moss_cli ckpt   <file.ckpt>          validate + summarize a checkpoint
 //
 // <design> is either a path to a Verilog file or "family:size" (e.g.
 // "alu:2") naming a generated design.
+//
+// Exit codes: 0 success, 1 analysis found problems (lint/formal/reset
+// mismatches), 2 usage or general error, 3 checkpoint missing/corrupt.
 
 #include <algorithm>
 #include <cstdio>
@@ -170,7 +176,28 @@ int cmd_vcd(const std::string& arg, const char* out_path,
   return 0;
 }
 
-int cmd_train(const std::vector<std::string>& designs, std::size_t threads) {
+struct TrainOptions {
+  std::size_t threads = 1;
+  std::string checkpoint_base;  ///< enables crash-safe epoch snapshots
+  int checkpoint_every = 1;
+  bool resume = false;
+  std::string save_path;  ///< final parameter checkpoint
+};
+
+int cmd_ckpt(const std::string& path) {
+  const tensor::CheckpointFile ckpt = tensor::read_checkpoint_file(path);
+  std::printf("%s: format v%u, %zu sections, all checksums OK\n",
+              path.c_str(), tensor::kCheckpointVersion,
+              ckpt.sections().size());
+  for (const auto& [name, payload] : ckpt.sections()) {
+    std::printf("  %-28s %zu bytes\n", name.c_str(), payload.size());
+  }
+  return 0;
+}
+
+int cmd_train(const std::vector<std::string>& designs,
+              const TrainOptions& opt) {
+  const std::size_t threads = opt.threads;
   core::WorkflowConfig cfg;
   cfg.model.hidden = 16;
   cfg.model.rounds = 1;
@@ -185,6 +212,10 @@ int cmd_train(const std::vector<std::string>& designs, std::size_t threads) {
   cfg.align.epochs = 6;
   cfg.align.threads = threads;
   cfg.threads = threads;
+  if (!opt.checkpoint_base.empty()) {
+    cfg.enable_checkpointing(opt.checkpoint_base, opt.checkpoint_every,
+                             opt.resume);
+  }
 
   core::MossWorkflow wf(cfg);
   std::vector<data::DesignSpec> specs;
@@ -205,17 +236,33 @@ int cmd_train(const std::vector<std::string>& designs, std::size_t threads) {
   wf.add_designs(specs);  // labeled `threads` designs at a time
   std::printf("training on %zu circuits with %zu thread(s)\n",
               wf.num_circuits(), threads);
+  if (opt.resume && !opt.checkpoint_base.empty()) {
+    std::printf("resuming from %s.{pretrain,align}.ckpt if present\n",
+                opt.checkpoint_base.c_str());
+  }
 
   wf.fine_tune_encoder();
   const core::PretrainReport pre = wf.pretrain_model();
-  std::printf("pretrain: loss %.4f -> %.4f over %zu epochs\n",
+  std::printf("pretrain: loss %.4f -> %.4f over %zu epochs",
               pre.total.front(), pre.total.back(), pre.total.size());
+  if (pre.bad_steps > 0) {
+    std::printf("  (%zu non-finite steps skipped)", pre.bad_steps);
+  }
+  std::printf("\n");
   if (wf.num_circuits() >= 2) {
     const core::AlignReport al = wf.align_model();
     if (!al.total.empty()) {
-      std::printf("align:    loss %.4f -> %.4f over %zu epochs\n",
+      std::printf("align:    loss %.4f -> %.4f over %zu epochs",
                   al.total.front(), al.total.back(), al.total.size());
+      if (al.bad_steps > 0) {
+        std::printf("  (%zu non-finite steps skipped)", al.bad_steps);
+      }
+      std::printf("\n");
     }
+  }
+  if (!opt.save_path.empty()) {
+    wf.save_checkpoint(opt.save_path);
+    std::printf("saved model parameters to %s\n", opt.save_path.c_str());
   }
   for (std::size_t i = 0; i < wf.num_circuits(); ++i) {
     const core::TaskAccuracy acc = wf.evaluate(i);
@@ -236,8 +283,11 @@ void usage() {
       "  formal <design_a> <design_b>\n"
       "  reset  <design>\n"
       "  vcd    <design> <out.vcd> [cycles]\n"
-      "  train  <design>... [--threads N]\n"
-      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
+      "  train  <design>... [--threads N] [--checkpoint BASE]\n"
+      "         [--checkpoint-every N] [--resume] [--save CKPT]\n"
+      "  ckpt   <file.ckpt>\n"
+      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
+      "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad checkpoint\n",
       stderr);
 }
 
@@ -273,17 +323,30 @@ int main(int argc, char** argv) {
       return cmd_vcd(argv[2], argv[3],
                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64);
     }
+    if (cmd == "ckpt") return cmd_ckpt(argv[2]);
     if (cmd == "train") {
       std::vector<std::string> designs;
-      std::size_t threads = 1;
+      TrainOptions opt;
       for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--threads" && i + 1 < argc) {
-          threads = static_cast<std::size_t>(
+          opt.threads = static_cast<std::size_t>(
               std::max(1, std::atoi(argv[++i])));
         } else if (a.rfind("--threads=", 0) == 0) {
-          threads = static_cast<std::size_t>(
+          opt.threads = static_cast<std::size_t>(
               std::max(1, std::atoi(a.c_str() + 10)));
+        } else if (a == "--checkpoint" && i + 1 < argc) {
+          opt.checkpoint_base = argv[++i];
+        } else if (a == "--checkpoint-every" && i + 1 < argc) {
+          opt.checkpoint_every = std::max(1, std::atoi(argv[++i]));
+        } else if (a == "--resume") {
+          opt.resume = true;
+        } else if (a == "--save" && i + 1 < argc) {
+          opt.save_path = argv[++i];
+        } else if (a.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "unknown train option %s\n", a.c_str());
+          usage();
+          return 2;
         } else {
           designs.push_back(a);
         }
@@ -292,8 +355,13 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
-      return cmd_train(designs, threads);
+      return cmd_train(designs, opt);
     }
+  } catch (const ContextError& e) {
+    // Structured checkpoint/persistence failures: say exactly which file
+    // and section failed, and exit with a code scripts can dispatch on.
+    std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+    return 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

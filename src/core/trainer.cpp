@@ -2,13 +2,177 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <utility>
 
+#include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
+#include "tensor/serialize.hpp"
 
 namespace moss::core {
 
 using tensor::Tensor;
+
+namespace detail {
+
+bool all_finite(const std::vector<float>& v) {
+  for (const float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool grads_finite(const tensor::ParameterSet& params) {
+  for (const Tensor& p : params.tensors()) {
+    if (!all_finite(p.grad())) return false;
+  }
+  return true;
+}
+
+void fail_bad_steps(const char* phase, int epoch, std::size_t step,
+                    std::uint64_t bad_steps, double loss) {
+  throw ContextError(
+      std::string(phase) +
+          ": aborting after too many non-finite optimizer steps",
+      {{"phase", phase},
+       {"epoch", std::to_string(epoch)},
+       {"step", std::to_string(step)},
+       {"bad_steps", std::to_string(bad_steps)},
+       {"last_loss", std::to_string(loss)}});
+}
+
+namespace {
+
+constexpr char kPretrainSection[] = "trainer.pretrain";
+constexpr char kAlignSection[] = "trainer.align";
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).is_open();
+}
+
+/// Common tail of both snapshot writers: last checkpoint to `path`
+/// (atomic), best checkpoint rotated to `<path>.best`.
+void write_rotating(const std::string& path,
+                    const tensor::CheckpointFile& ckpt, bool best) {
+  tensor::write_checkpoint_file(path, ckpt);
+  if (best) tensor::write_checkpoint_file(path + ".best", ckpt);
+}
+
+}  // namespace
+
+void save_pretrain_checkpoint(const std::string& path,
+                              const tensor::ParameterSet& params,
+                              const PretrainState& st, bool best) {
+  tensor::CheckpointFile ckpt;
+  tensor::params_to_checkpoint(ckpt, params);
+  tensor::adam_to_checkpoint(ckpt, st.adam);
+  tensor::ByteWriter w;
+  w.u64(st.next_epoch);
+  w.u64(st.bad_steps);
+  w.u8(st.has_best ? 1 : 0);
+  w.f64(st.best_loss);
+  w.f64s(st.ema);
+  w.f64s(st.report.total);
+  w.f64s(st.report.prob);
+  w.f64s(st.report.toggle);
+  w.f64s(st.report.arrival);
+  ckpt.set(kPretrainSection, w.take());
+  write_rotating(path, ckpt, best);
+}
+
+bool load_pretrain_checkpoint(const std::string& path,
+                              tensor::ParameterSet& params,
+                              PretrainState& st) {
+  if (!file_exists(path)) return false;
+  const tensor::CheckpointFile ckpt = tensor::read_checkpoint_file(path);
+  ErrorContext ctx;
+  ctx.add("file", path);
+  ErrorContext sctx = ctx;
+  sctx.add("section", kPretrainSection);
+  tensor::ByteReader r(ckpt.get(kPretrainSection, ctx), sctx);
+  PretrainState loaded;
+  loaded.next_epoch = r.u64();
+  loaded.bad_steps = r.u64();
+  loaded.has_best = r.u8() != 0;
+  loaded.best_loss = r.f64();
+  loaded.ema = r.f64s();
+  loaded.report.total = r.f64s();
+  loaded.report.prob = r.f64s();
+  loaded.report.toggle = r.f64s();
+  loaded.report.arrival = r.f64s();
+  r.expect_end();
+  loaded.adam = tensor::adam_from_checkpoint(ckpt, ctx);
+  // Params last: only overwrite the model once the rest of the state has
+  // parsed cleanly.
+  tensor::params_from_checkpoint(ckpt, params, ctx);
+  st = std::move(loaded);
+  return true;
+}
+
+void save_align_checkpoint(const std::string& path,
+                           const tensor::ParameterSet& params,
+                           const AlignState& st, bool best) {
+  tensor::CheckpointFile ckpt;
+  tensor::params_to_checkpoint(ckpt, params);
+  tensor::adam_to_checkpoint(ckpt, st.adam);
+  tensor::ByteWriter w;
+  w.u64(st.next_epoch);
+  w.u64(st.bad_steps);
+  w.u8(st.has_best ? 1 : 0);
+  w.f64(st.best_loss);
+  w.u64s(st.order);
+  w.f64s(st.report.total);
+  w.f64s(st.report.rnc);
+  w.f64s(st.report.rnm);
+  w.f64s(st.report.rrndm);
+  std::vector<std::uint64_t> seen(st.report.circuits_seen.begin(),
+                                  st.report.circuits_seen.end());
+  w.u64s(seen);
+  ckpt.set(kAlignSection, w.take());
+  tensor::ByteWriter rw;
+  for (int i = 0; i < 4; ++i) rw.u64(st.rng.s[i]);
+  rw.u8(st.rng.has_cached ? 1 : 0);
+  rw.f64(st.rng.cached);
+  ckpt.set("rng", rw.take());
+  write_rotating(path, ckpt, best);
+}
+
+bool load_align_checkpoint(const std::string& path,
+                           tensor::ParameterSet& params, AlignState& st) {
+  if (!file_exists(path)) return false;
+  const tensor::CheckpointFile ckpt = tensor::read_checkpoint_file(path);
+  ErrorContext ctx;
+  ctx.add("file", path);
+  ErrorContext sctx = ctx;
+  sctx.add("section", kAlignSection);
+  tensor::ByteReader r(ckpt.get(kAlignSection, ctx), sctx);
+  AlignState loaded;
+  loaded.next_epoch = r.u64();
+  loaded.bad_steps = r.u64();
+  loaded.has_best = r.u8() != 0;
+  loaded.best_loss = r.f64();
+  loaded.order = r.u64s();
+  loaded.report.total = r.f64s();
+  loaded.report.rnc = r.f64s();
+  loaded.report.rnm = r.f64s();
+  loaded.report.rrndm = r.f64s();
+  const std::vector<std::uint64_t> seen = r.u64s();
+  loaded.report.circuits_seen.assign(seen.begin(), seen.end());
+  r.expect_end();
+  ErrorContext rctx = ctx;
+  rctx.add("section", "rng");
+  tensor::ByteReader rr(ckpt.get("rng", ctx), rctx);
+  for (int i = 0; i < 4; ++i) loaded.rng.s[i] = rr.u64();
+  loaded.rng.has_cached = rr.u8() != 0;
+  loaded.rng.cached = rr.f64();
+  rr.expect_end();
+  loaded.adam = tensor::adam_from_checkpoint(ckpt, ctx);
+  tensor::params_from_checkpoint(ckpt, params, ctx);
+  st = std::move(loaded);
+  return true;
+}
+
+}  // namespace detail
 
 PretrainReport pretrain(MossModel& model, std::vector<CircuitBatch>& data,
                         const PretrainConfig& cfg) {
@@ -48,11 +212,36 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
   if (!model.config().alignment) return rep;
   MOSS_CHECK(data.size() >= 2, "align: need at least two circuits");
   MOSS_CHECK(cfg.grad_accum >= 1, "align: grad_accum must be >= 1");
+  MOSS_CHECK(!(cfg.resume || cfg.checkpoint_every > 0) ||
+                 !cfg.checkpoint_path.empty(),
+             "align: checkpoint_path required for checkpointing/resume");
   tensor::Adam opt(model.params(), cfg.lr);
   const std::size_t bs = std::min(cfg.batch_size, data.size());
 
   std::vector<std::size_t> order(data.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  detail::AlignState st;
+  int start_epoch = 0;
+  if (cfg.resume &&
+      detail::load_align_checkpoint(cfg.checkpoint_path, model.params(),
+                                    st)) {
+    ErrorContext ctx;
+    ctx.add("file", cfg.checkpoint_path);
+    ctx.check(st.order.size() == data.size(),
+              "align checkpoint was written for " +
+                  std::to_string(st.order.size()) + " circuits, got " +
+                  std::to_string(data.size()));
+    opt.restore(st.adam);
+    rng.load_state(st.rng);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::size_t>(st.order[i]);
+    }
+    rep = st.report;
+    start_epoch = static_cast<int>(st.next_epoch);
+  }
+  std::uint64_t bad_steps = st.bad_steps;
+
   const auto spans = batch_spans(order.size(), bs);
   ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
 
@@ -138,11 +327,12 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
     return out;
   };
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
     double e_total = 0, e_rnc = 0, e_rnm = 0, e_rr = 0;
     std::size_t steps = 0, seen = 0;
     for (std::size_t g0 = 0; g0 < spans.size(); g0 += cfg.grad_accum) {
+      MOSS_FAULT_POINT("trainer.align.step");
       const std::size_t g1 = std::min(g0 + cfg.grad_accum, spans.size());
       std::vector<SpanGrads> parts = pool.parallel_map(
           g1 - g0, [&](std::size_t k) { return run_span(spans[g0 + k]); });
@@ -151,8 +341,24 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
       // accumulation order regardless of thread count) and step.
       model.params().zero_grad();
       const float scale = 1.0f / static_cast<float>(parts.size());
+      double group_loss = 0;
       for (const SpanGrads& part : parts) {
         tensor::accumulate_grads(model.params().tensors(), part.grads, scale);
+        group_loss += part.total;
+      }
+
+      // Hardening: skip the step and roll back on non-finite loss or
+      // gradients (see PretrainConfig::max_bad_steps).
+      if (!std::isfinite(group_loss) ||
+          !detail::grads_finite(model.params())) {
+        model.params().zero_grad();
+        ++bad_steps;
+        if (bad_steps > static_cast<std::uint64_t>(
+                            std::max(cfg.max_bad_steps, 0))) {
+          detail::fail_bad_steps("align", epoch, g0 / cfg.grad_accum,
+                                 bad_steps, group_loss);
+        }
+        continue;
       }
       opt.step();
 
@@ -173,7 +379,27 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
     rep.rnm.push_back(e_rnm / n);
     rep.rrndm.push_back(e_rr / n);
     rep.circuits_seen.push_back(seen);
+
+    if (cfg.checkpoint_every > 0 &&
+        ((epoch + 1) % cfg.checkpoint_every == 0 ||
+         epoch + 1 == cfg.epochs)) {
+      st.next_epoch = static_cast<std::uint64_t>(epoch) + 1;
+      st.bad_steps = bad_steps;
+      st.order.assign(order.begin(), order.end());
+      st.rng = rng.save_state();
+      st.report = rep;
+      st.adam = opt.snapshot();
+      const double loss = rep.total.back();
+      const bool is_best = !st.has_best || loss < st.best_loss;
+      if (is_best) {
+        st.best_loss = loss;
+        st.has_best = true;
+      }
+      detail::save_align_checkpoint(cfg.checkpoint_path, model.params(), st,
+                                    is_best);
+    }
   }
+  rep.bad_steps = static_cast<std::size_t>(bad_steps);
   return rep;
 }
 

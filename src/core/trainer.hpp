@@ -13,6 +13,8 @@ struct PretrainReport {
   std::vector<double> prob;
   std::vector<double> toggle;
   std::vector<double> arrival;
+  /// Optimizer steps skipped because a loss or gradient went non-finite.
+  std::size_t bad_steps = 0;
 };
 
 struct PretrainConfig {
@@ -26,6 +28,24 @@ struct PretrainConfig {
   /// the classic per-circuit SGD loop exactly; values > 1 let the group's
   /// forward/backward passes run concurrently across `threads`.
   std::size_t grad_accum = 1;
+
+  // -- fault tolerance -------------------------------------------------------
+  /// Epochs between training-state snapshots (params, optimizer moments,
+  /// task-weight EMAs, loss curves). 0 disables checkpointing.
+  int checkpoint_every = 0;
+  /// Snapshot file for checkpoint_every / resume. Written crash-safely
+  /// (temp file + fsync + atomic rename); `<path>.best` additionally
+  /// tracks the lowest-loss epoch seen so far.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path when it exists (requires the same model,
+  /// data and config; the completed run is bit-identical to an
+  /// uninterrupted one). Missing file = start from scratch.
+  bool resume = false;
+  /// Non-finite steps tolerated before a clean abort. A step whose loss or
+  /// accumulated gradients are non-finite is skipped (parameters,
+  /// optimizer and task weights untouched); once more than max_bad_steps
+  /// steps have been skipped, training aborts with a structured error.
+  int max_bad_steps = 8;
 };
 
 /// Local pre-training (Fig. 7): per-circuit multi-task loss
@@ -47,10 +67,13 @@ struct AlignReport {
   std::vector<double> rnc;
   std::vector<double> rnm;
   std::vector<double> rrndm;
-  /// Circuits trained per epoch — always data.size(): the tail minibatch is
-  /// trained too (as its own batch when >= 2 circuits remain, folded into
-  /// the previous batch for a lone leftover).
+  /// Circuits trained per epoch — data.size() in a healthy run: the tail
+  /// minibatch is trained too (as its own batch when >= 2 circuits remain,
+  /// folded into the previous batch for a lone leftover). Skipped
+  /// non-finite steps subtract their circuits.
   std::vector<std::size_t> circuits_seen;
+  /// Optimizer steps skipped because a loss or gradient went non-finite.
+  std::size_t bad_steps = 0;
 };
 
 struct AlignConfig {
@@ -62,6 +85,12 @@ struct AlignConfig {
   std::size_t threads = 1;
   /// Minibatches whose gradients are averaged per optimizer step.
   std::size_t grad_accum = 1;
+
+  // -- fault tolerance (same semantics as PretrainConfig) --------------------
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  bool resume = false;
+  int max_bad_steps = 8;
 };
 
 /// Global alignment (Fig. 6/8): RNC (CLIP-style symmetric contrastive),
@@ -70,6 +99,62 @@ struct AlignConfig {
 /// loss. No-op (empty report) if the model was built without alignment.
 AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
                   const AlignConfig& cfg, Rng& rng);
+
+namespace detail {
+
+/// Full pre-training state at an epoch boundary — everything needed to
+/// continue `pretrain` bit-identically after a crash.
+struct PretrainState {
+  std::uint64_t next_epoch = 0;
+  std::uint64_t bad_steps = 0;
+  double best_loss = 0;
+  bool has_best = false;
+  std::vector<double> ema;  ///< DynamicWeights EMAs (3 tasks)
+  PretrainReport report;    ///< curves for epochs [0, next_epoch)
+  tensor::Adam::Snapshot adam;
+};
+
+/// Crash-safe snapshot write: params + state to `path` (atomic rename);
+/// additionally rotates `<path>.best` when `best` is set.
+void save_pretrain_checkpoint(const std::string& path,
+                              const tensor::ParameterSet& params,
+                              const PretrainState& st, bool best);
+/// Restore params + state from `path`. Returns false when the file does
+/// not exist (fresh start); corrupt or mismatched files raise ContextError.
+bool load_pretrain_checkpoint(const std::string& path,
+                              tensor::ParameterSet& params,
+                              PretrainState& st);
+
+/// Full alignment state at an epoch boundary (adds the shuffled circuit
+/// order and the RNG stream to the pre-training fields).
+struct AlignState {
+  std::uint64_t next_epoch = 0;
+  std::uint64_t bad_steps = 0;
+  double best_loss = 0;
+  bool has_best = false;
+  std::vector<std::uint64_t> order;
+  Rng::State rng;
+  AlignReport report;
+  tensor::Adam::Snapshot adam;
+};
+
+void save_align_checkpoint(const std::string& path,
+                           const tensor::ParameterSet& params,
+                           const AlignState& st, bool best);
+bool load_align_checkpoint(const std::string& path,
+                           tensor::ParameterSet& params, AlignState& st);
+
+/// True when every element of `v` is finite.
+bool all_finite(const std::vector<float>& v);
+/// True when every accumulated gradient in `params` is finite.
+bool grads_finite(const tensor::ParameterSet& params);
+
+/// Raise the structured too-many-bad-steps abort shared by both loops.
+[[noreturn]] void fail_bad_steps(const char* phase, int epoch,
+                                 std::size_t step, std::uint64_t bad_steps,
+                                 double loss);
+
+}  // namespace detail
 
 }  // namespace moss::core
 

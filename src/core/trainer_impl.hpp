@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/trainer.hpp"
+#include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
 
 namespace moss::core {
@@ -26,6 +27,14 @@ class DynamicWeights {
 
   void observe(std::size_t i, double loss) {
     ema_[i] = ema_[i] < 0 ? loss : 0.9 * ema_[i] + 0.1 * loss;
+  }
+
+  /// Raw EMAs for checkpointing; restore() resumes bit-identically.
+  const std::vector<double>& ema() const { return ema_; }
+  void restore(std::vector<double> ema) {
+    MOSS_CHECK(ema.size() == ema_.size(),
+               "DynamicWeights::restore: task count mismatch");
+    ema_ = std::move(ema);
   }
 
   std::vector<float> weights() const {
@@ -93,9 +102,25 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
                               const PretrainConfig& cfg) {
   MOSS_CHECK(!data.empty(), "pretrain: empty dataset");
   MOSS_CHECK(cfg.grad_accum >= 1, "pretrain: grad_accum must be >= 1");
+  MOSS_CHECK(!(cfg.resume || cfg.checkpoint_every > 0) ||
+                 !cfg.checkpoint_path.empty(),
+             "pretrain: checkpoint_path required for checkpointing/resume");
   tensor::Adam opt(model.params(), cfg.lr);
   detail::DynamicWeights lambdas(3);
   PretrainReport rep;
+
+  detail::PretrainState st;
+  int start_epoch = 0;
+  if (cfg.resume &&
+      detail::load_pretrain_checkpoint(cfg.checkpoint_path, model.params(),
+                                       st)) {
+    opt.restore(st.adam);
+    lambdas.restore(st.ema);
+    rep = st.report;
+    start_epoch = static_cast<int>(st.next_epoch);
+  }
+  std::uint64_t bad_steps = st.bad_steps;
+
   ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
 
   // One forward/backward of data[index] under the group's fixed task
@@ -133,9 +158,10 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
     return out;
   };
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
     double e_total = 0, e_prob = 0, e_tog = 0, e_at = 0;
     for (std::size_t g0 = 0; g0 < data.size(); g0 += cfg.grad_accum) {
+      MOSS_FAULT_POINT("trainer.pretrain.step");
       const std::size_t g1 = std::min(g0 + cfg.grad_accum, data.size());
       const std::vector<float> w = lambdas.weights();  // fixed for the group
       std::vector<detail::BatchGrads> parts = pool.parallel_map(
@@ -145,8 +171,25 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
       // accumulation order is fixed regardless of thread count — and step.
       model.params().zero_grad();
       const float scale = 1.0f / static_cast<float>(parts.size());
+      double group_loss = 0;
       for (const detail::BatchGrads& part : parts) {
         tensor::accumulate_grads(model.params().tensors(), part.grads, scale);
+        group_loss += part.total;
+      }
+
+      // Hardening: a non-finite loss or gradient skips the step entirely —
+      // parameters, optimizer moments and task-weight EMAs stay at their
+      // pre-batch values — and counts toward max_bad_steps.
+      if (!std::isfinite(group_loss) ||
+          !detail::grads_finite(model.params())) {
+        model.params().zero_grad();
+        ++bad_steps;
+        if (bad_steps > static_cast<std::uint64_t>(
+                            std::max(cfg.max_bad_steps, 0))) {
+          detail::fail_bad_steps("pretrain", epoch, g0 / cfg.grad_accum,
+                                 bad_steps, group_loss);
+        }
+        continue;
       }
       opt.step();
 
@@ -165,7 +208,26 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
     rep.prob.push_back(e_prob / n);
     rep.toggle.push_back(e_tog / n);
     rep.arrival.push_back(e_at / n);
+
+    if (cfg.checkpoint_every > 0 &&
+        ((epoch + 1) % cfg.checkpoint_every == 0 ||
+         epoch + 1 == cfg.epochs)) {
+      st.next_epoch = static_cast<std::uint64_t>(epoch) + 1;
+      st.bad_steps = bad_steps;
+      st.ema = lambdas.ema();
+      st.report = rep;
+      st.adam = opt.snapshot();
+      const double loss = rep.total.back();
+      const bool is_best = !st.has_best || loss < st.best_loss;
+      if (is_best) {
+        st.best_loss = loss;
+        st.has_best = true;
+      }
+      detail::save_pretrain_checkpoint(cfg.checkpoint_path, model.params(),
+                                       st, is_best);
+    }
   }
+  rep.bad_steps = static_cast<std::size_t>(bad_steps);
   return rep;
 }
 

@@ -1,9 +1,19 @@
 #include "core/workflow.hpp"
 
+#include <fstream>
+
 #include "core_util/thread_pool.hpp"
 #include "tensor/serialize.hpp"
 
 namespace moss::core {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return !path.empty() && std::ifstream(path, std::ios::binary).is_open();
+}
+
+}  // namespace
 
 MossWorkflow::MossWorkflow(WorkflowConfig cfg)
     : cfg_(std::move(cfg)), encoder_(cfg_.encoder) {}
@@ -97,7 +107,12 @@ AlignReport MossWorkflow::align_model() {
 
 void MossWorkflow::fit() {
   fine_tune_encoder();
-  pretrain_model();
+  // An alignment snapshot embeds the fully pre-trained parameters, so when
+  // one exists and resume is on, re-running pre-training would only be
+  // overwritten — skip straight to align, matching the uninterrupted run.
+  const bool resume_at_align = cfg_.align.resume && cfg_.model.alignment &&
+                               file_exists(cfg_.align.checkpoint_path);
+  if (!resume_at_align) pretrain_model();
   align_model();
 }
 

@@ -23,6 +23,21 @@ struct WorkflowConfig {
   /// building. Training threads come from `pretrain.threads` and
   /// `align.threads`. Results are identical at any value.
   std::size_t threads = 1;
+
+  /// Point both training phases at crash-safe snapshot files derived from
+  /// `base` (`<base>.pretrain.ckpt` / `<base>.align.ckpt`), snapshotting
+  /// every `every` epochs. With `resume`, a later fit() with the same
+  /// config picks up from the last snapshot — bit-identical to an
+  /// uninterrupted run.
+  void enable_checkpointing(const std::string& base, int every = 1,
+                            bool resume = true) {
+    pretrain.checkpoint_path = base + ".pretrain.ckpt";
+    pretrain.checkpoint_every = every;
+    pretrain.resume = resume;
+    align.checkpoint_path = base + ".align.ckpt";
+    align.checkpoint_every = every;
+    align.resume = resume;
+  }
 };
 
 /// High-level facade wiring the whole pipeline:
@@ -61,7 +76,11 @@ class MossWorkflow {
   PretrainReport pretrain_model();
   /// Global alignment (no-op for variants without alignment).
   AlignReport align_model();
-  /// fine_tune_encoder + pretrain_model + align_model.
+  /// fine_tune_encoder + pretrain_model + align_model. With checkpointing
+  /// configured (see WorkflowConfig::enable_checkpointing), each phase
+  /// snapshots crash-safely and a re-run resumes from the last snapshot:
+  /// when an alignment snapshot exists, pre-training (already folded into
+  /// it) is skipped entirely.
   void fit();
 
   // -- inference ---------------------------------------------------------------

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core_util/check.hpp"
+
+namespace moss {
+
+/// An Error carrying a chain of structured key/value context frames
+/// (file, section, parameter, …) in addition to the human-readable message.
+/// what() renders the message followed by the chain:
+///
+///   checkpoint section crc mismatch [file=moss.ckpt, section=param:gnn.w]
+///
+/// Handlers that want to react to a specific frame (a CLI printing the
+/// offending path, a test asserting the failing section) read context()
+/// instead of parsing the message.
+class ContextError : public Error {
+ public:
+  using Frame = std::pair<std::string, std::string>;
+
+  ContextError(const std::string& msg, std::vector<Frame> ctx)
+      : Error(render(msg, ctx)), msg_(msg), ctx_(std::move(ctx)) {}
+
+  explicit ContextError(const std::string& msg)
+      : ContextError(msg, {}) {}
+
+  /// The message without the rendered context suffix.
+  const std::string& message() const { return msg_; }
+  const std::vector<Frame>& context() const { return ctx_; }
+
+  /// Value of the first frame with `key`, or "" if absent.
+  std::string context_value(const std::string& key) const {
+    for (const Frame& f : ctx_) {
+      if (f.first == key) return f.second;
+    }
+    return {};
+  }
+
+  static std::string render(const std::string& msg,
+                            const std::vector<Frame>& ctx) {
+    if (ctx.empty()) return msg;
+    std::string out = msg + " [";
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      if (i) out += ", ";
+      out += ctx[i].first + "=" + ctx[i].second;
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::string msg_;
+  std::vector<Frame> ctx_;
+};
+
+/// Builder that accumulates context frames as an operation descends through
+/// layers (file → section → parameter), then throws a ContextError carrying
+/// the whole chain:
+///
+///   ErrorContext ctx;
+///   ctx.add("file", path);
+///   ...
+///   ctx.add("section", name);
+///   if (bad) ctx.fail("crc mismatch");
+class ErrorContext {
+ public:
+  ErrorContext& add(std::string key, std::string value) {
+    frames_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Replace the value of `key` if present, else append the frame.
+  ErrorContext& set(const std::string& key, std::string value) {
+    for (auto& f : frames_) {
+      if (f.first == key) {
+        f.second = std::move(value);
+        return *this;
+      }
+    }
+    return add(key, std::move(value));
+  }
+
+  ErrorContext& drop(const std::string& key) {
+    for (std::size_t i = frames_.size(); i > 0; --i) {
+      if (frames_[i - 1].first == key) {
+        frames_.erase(frames_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      }
+    }
+    return *this;
+  }
+
+  const std::vector<ContextError::Frame>& frames() const { return frames_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ContextError(msg, frames_);
+  }
+
+  void check(bool cond, const std::string& msg) const {
+    if (!cond) fail(msg);
+  }
+
+ private:
+  std::vector<ContextError::Frame> frames_;
+};
+
+}  // namespace moss

@@ -1,0 +1,121 @@
+#include "core_util/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace moss::testing {
+
+namespace {
+
+struct Site {
+  std::uint64_t armed_at = 0;  // 0 = not armed
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// True while at least one site is armed — the fast-path gate that keeps
+/// unarmed fault points at one relaxed load.
+std::atomic<bool> g_any_armed{false};
+
+void refresh_any_armed_locked(const Registry& r) {
+  bool any = false;
+  for (const auto& entry : r.sites) {
+    if (entry.second.armed_at != 0) {
+      any = true;
+      break;
+    }
+  }
+  g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+/// Parse MOSS_FAULT=site:n[,site:n...] once per process. Malformed entries
+/// are ignored (the variable is a test hook, not user input worth dying
+/// over).
+void arm_from_env_locked(Registry& r) {
+  const char* env = std::getenv("MOSS_FAULT");
+  if (!env) return;
+  const std::string spec(env);
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    const std::string site = entry.substr(0, colon);
+    const std::uint64_t nth =
+        std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+    if (nth == 0) continue;
+    r.sites[site] = Site{nth, 0};
+  }
+  refresh_any_armed_locked(r);
+}
+
+void ensure_env_parsed_locked(Registry& r) {
+  static std::once_flag once;
+  std::call_once(once, [&r] { arm_from_env_locked(r); });
+}
+
+}  // namespace
+
+void arm_fault(const std::string& site, std::uint64_t nth) {
+  MOSS_CHECK(nth >= 1, "arm_fault: nth is 1-based");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  r.sites[site] = Site{nth, 0};
+  refresh_any_armed_locked(r);
+}
+
+void disarm_all_faults() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);  // consume the env so it cannot re-arm later
+  r.sites.clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool fault_fires(const char* site) {
+  if (!g_any_armed.load(std::memory_order_relaxed)) {
+    // Cheap common case. Note the env is parsed lazily: arm the registry
+    // the first time any site could fire.
+    static std::atomic<bool> env_checked{false};
+    if (env_checked.load(std::memory_order_relaxed)) return false;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    ensure_env_parsed_locked(r);
+    env_checked.store(true, std::memory_order_relaxed);
+    if (!g_any_armed.load(std::memory_order_relaxed)) return false;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || it->second.armed_at == 0) return false;
+  ++it->second.hits;
+  return it->second.hits == it->second.armed_at;
+}
+
+std::uint64_t fault_hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void raise_injected_fault(const char* site) {
+  throw InjectedFault(std::string("injected fault at ") + site);
+}
+
+}  // namespace moss::testing

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <streambuf>
+#include <string>
+
+#include "core_util/check.hpp"
+
+namespace moss::testing {
+
+/// Deterministic fault-injection registry.
+///
+/// Library code marks crash/IO sites with MOSS_FAULT_POINT("site.name");
+/// nothing happens unless the site is armed. Arming is either programmatic
+/// (arm_fault) or via the environment:
+///
+///   MOSS_FAULT=trainer.pretrain.step:3,serialize.rename:1
+///
+/// arms each named site to fire on its n-th hit (1-based, counted across
+/// the whole process). A firing site throws InjectedFault, simulating a
+/// crash at exactly that point; later hits of the same site do not fire
+/// again, so a resumed run in the same process completes normally.
+///
+/// When no site is armed the per-hit cost is one relaxed atomic load.
+
+/// Thrown by a firing fault point. Derives from moss::Error so generic
+/// handlers treat it like any other failure; tests catch it specifically.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Arm `site` to fire on its `nth` hit from now (1-based). Re-arming a
+/// site resets its hit counter.
+void arm_fault(const std::string& site, std::uint64_t nth = 1);
+
+/// Disarm every site and reset all hit counters. Env-armed sites are not
+/// re-applied (the environment is read once per process).
+void disarm_all_faults();
+
+/// Count a hit of `site`; true exactly when the site is armed and this hit
+/// is the armed one. Called by MOSS_FAULT_POINT; tests may call it directly
+/// to build custom fault behaviors (short writes, bit flips) instead of a
+/// thrown crash.
+bool fault_fires(const char* site);
+
+/// Hits recorded for `site` since process start (or the last re-arm/reset).
+std::uint64_t fault_hits(const std::string& site);
+
+[[noreturn]] void raise_injected_fault(const char* site);
+
+/// A streambuf that forwards writes to `inner` but fails (short write)
+/// after `limit` bytes have been accepted — simulates a disk filling up or
+/// a process dying mid-write. Wrap it in a std::ostream; the stream's
+/// badbit/failbit engage at the limit like a real failing file.
+class ShortWriteBuf : public std::streambuf {
+ public:
+  ShortWriteBuf(std::streambuf* inner, std::size_t limit)
+      : inner_(inner), remaining_(limit) {}
+
+  std::size_t written() const { return written_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+    if (remaining_ == 0) return traits_type::eof();
+    --remaining_;
+    ++written_;
+    return inner_->sputc(static_cast<char>(ch));
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    const std::streamsize take =
+        std::min<std::streamsize>(n, static_cast<std::streamsize>(remaining_));
+    const std::streamsize put = take > 0 ? inner_->sputn(s, take) : 0;
+    remaining_ -= static_cast<std::size_t>(put);
+    written_ += static_cast<std::size_t>(put);
+    return put;  // < n once the limit is reached -> stream sets badbit
+  }
+
+ private:
+  std::streambuf* inner_;
+  std::size_t remaining_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace moss::testing
+
+/// Crash site marker: throws moss::testing::InjectedFault when armed (see
+/// fault.hpp), free otherwise. Place at points where a real deployment
+/// could die: optimizer steps, between checkpoint write and rename, …
+#define MOSS_FAULT_POINT(site)                     \
+  do {                                             \
+    if (::moss::testing::fault_fires(site)) {      \
+      ::moss::testing::raise_injected_fault(site); \
+    }                                              \
+  } while (0)

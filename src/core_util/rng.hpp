@@ -114,6 +114,28 @@ class Rng {
   /// Derive an independent child stream (for parallel-safe determinism).
   Rng fork() { return Rng((*this)()); }
 
+  /// Serializable snapshot of the full generator state (xoshiro words plus
+  /// the Box–Muller cache) — restoring it resumes the stream bit-exactly.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached = false;
+    double cached = 0.0;
+  };
+
+  State save_state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_cached = has_cached_;
+    st.cached = cached_;
+    return st;
+  }
+
+  void load_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_cached_ = st.has_cached;
+    cached_ = st.cached;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

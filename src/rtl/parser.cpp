@@ -23,6 +23,7 @@ struct Token {
   std::uint64_t value = 0;   // numbers
   int width = 0;             // sized numbers
   int line = 0;
+  int col = 0;               // 1-based column of the token start
 };
 
 class Lexer {
@@ -36,14 +37,19 @@ class Lexer {
       if (pos_ >= s_.size()) break;
       out.push_back(next());
     }
-    out.push_back(Token{Tok::kEnd, "", 0, 0, line_});
+    Token end;
+    end.line = line_;
+    end.col = column();
+    out.push_back(end);
     return out;
   }
 
  private:
+  int column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   [[noreturn]] void err(const std::string& msg) const {
     throw ParseError("verilog parse error at line " + std::to_string(line_) +
-                     ": " + msg);
+                     ", col " + std::to_string(column()) + ": " + msg);
   }
 
   void skip_space_and_comments() {
@@ -52,6 +58,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '/' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
@@ -60,7 +67,10 @@ class Lexer {
         pos_ += 2;
         while (pos_ + 1 < s_.size() &&
                !(s_[pos_] == '*' && s_[pos_ + 1] == '/')) {
-          if (s_[pos_] == '\n') ++line_;
+          if (s_[pos_] == '\n') {
+            ++line_;
+            line_start_ = pos_ + 1;
+          }
           ++pos_;
         }
         if (pos_ + 1 >= s_.size()) err("unterminated block comment");
@@ -75,6 +85,7 @@ class Lexer {
     const char c = s_[pos_];
     Token t;
     t.line = line_;
+    t.col = column();
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t e = pos_;
       while (e < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[e])) ||
@@ -156,8 +167,18 @@ class Lexer {
 
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
 };
+
+const char* symbol_kind_name(SymbolKind k) {
+  switch (k) {
+    case SymbolKind::kInput: return "an input";
+    case SymbolKind::kWire: return "a wire";
+    case SymbolKind::kRegister: return "a register";
+  }
+  return "unknown";
+}
 
 class Parser {
  public:
@@ -173,7 +194,8 @@ class Parser {
  private:
   [[noreturn]] void err(const std::string& msg) const {
     throw ParseError("verilog parse error at line " +
-                     std::to_string(peek().line) + ": " + msg);
+                     std::to_string(peek().line) + ", col " +
+                     std::to_string(peek().col) + ": " + msg);
   }
 
   const Token& peek(int k = 0) const {
@@ -197,7 +219,14 @@ class Parser {
     ++pos_;
   }
   std::string expect_ident() {
-    if (peek().kind != Tok::kIdent) err("expected identifier");
+    if (peek().kind != Tok::kIdent) {
+      const Token& t = peek();
+      err("expected identifier, got " +
+          (t.kind == Tok::kEnd
+               ? std::string("end of input")
+               : t.kind == Tok::kPunct ? "'" + t.text + "'"
+                                       : "number " + std::to_string(t.value)));
+    }
     return take().text;
   }
 
@@ -330,8 +359,12 @@ class Parser {
   Nba parse_nba() {
     const std::string name = expect_ident();
     const Symbol* s = m_.find_symbol(name);
-    if (!s || s->kind != SymbolKind::kRegister) {
-      err("nonblocking assignment to non-register '" + name + "'");
+    if (!s) {
+      err("nonblocking assignment to undeclared symbol '" + name + "'");
+    }
+    if (s->kind != SymbolKind::kRegister) {
+      err("nonblocking assignment to '" + name + "', which is " +
+          symbol_kind_name(s->kind) + " (expected a register)");
     }
     expect_punct("<=");
     const ExprId v = parse_expr();
@@ -344,7 +377,11 @@ class Parser {
 
   Register& reg_of(const std::string& name) {
     const Symbol* s = m_.find_symbol(name);
-    MOSS_CHECK(s && s->kind == SymbolKind::kRegister, "not a register");
+    if (!s) err("'" + name + "' is not declared");
+    if (s->kind != SymbolKind::kRegister) {
+      err("'" + name + "' is " + symbol_kind_name(s->kind) +
+          ", not a register");
+    }
     return m_.regs[static_cast<std::size_t>(s->index)];
   }
 

@@ -2,7 +2,22 @@
 
 #include <cmath>
 
+#include "core_util/check.hpp"
+
 namespace moss::tensor {
+
+void Adam::restore(const Snapshot& s) {
+  MOSS_CHECK(s.m.size() == m_.size() && s.v.size() == v_.size(),
+             "Adam::restore: moment count mismatch");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    MOSS_CHECK(s.m[i].size() == m_[i].size() && s.v[i].size() == v_[i].size(),
+               "Adam::restore: moment shape mismatch at parameter " +
+                   std::to_string(i));
+  }
+  t_ = s.t;
+  m_ = s.m;
+  v_ = s.v;
+}
 
 void Adam::step(float clip) {
   ++t_;

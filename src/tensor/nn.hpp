@@ -101,6 +101,16 @@ class Adam {
   /// norm of `clip` first (0 disables clipping).
   void step(float clip = 5.0f);
 
+  /// Serializable optimizer state (step count + first/second moments) for
+  /// checkpoint/resume. restore() requires moment shapes matching the
+  /// parameter set the optimizer was built on.
+  struct Snapshot {
+    std::int64_t t = 0;
+    std::vector<std::vector<float>> m, v;
+  };
+  Snapshot snapshot() const { return Snapshot{t_, m_, v_}; }
+  void restore(const Snapshot& s);
+
  private:
   ParameterSet* params_;
   float lr_, beta1_, beta2_, eps_;

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <ostream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "core_util/check.hpp"
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
 #include "core_util/rng.hpp"
 #include "core_util/strings.hpp"
 #include "core_util/thread_pool.hpp"
@@ -242,6 +246,80 @@ TEST(Check, MessageContainsContext) {
     EXPECT_NE(msg.find("custom detail"), std::string::npos);
     EXPECT_NE(msg.find("1 == 2"), std::string::npos);
   }
+}
+
+TEST(RngState, SaveLoadRoundTripContinuesStream) {
+  Rng a(7);
+  for (int i = 0; i < 17; ++i) a();
+  a.normal();  // leave a cached Box-Muller value in flight
+  const Rng::State st = a.save_state();
+  Rng b(999);
+  b.load_state(st);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a(), b());
+    EXPECT_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(ContextError, RendersFramesAndExposesValues) {
+  const ContextError e("crc mismatch",
+                       {{"file", "m.ckpt"}, {"section", "param:w"}});
+  EXPECT_EQ(std::string(e.what()),
+            "crc mismatch [file=m.ckpt, section=param:w]");
+  EXPECT_EQ(e.message(), "crc mismatch");
+  EXPECT_EQ(e.context_value("section"), "param:w");
+  EXPECT_EQ(e.context_value("absent"), "");
+}
+
+TEST(ContextError, BuilderAccumulatesAndFails) {
+  ErrorContext ctx;
+  ctx.add("file", "a.ckpt").add("section", "adam");
+  ctx.set("section", "manifest");  // replace, not append
+  ctx.check(true, "must not throw");
+  try {
+    ctx.fail("boom");
+    FAIL() << "fail() returned";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("file"), "a.ckpt");
+    EXPECT_EQ(e.context_value("section"), "manifest");
+  }
+}
+
+TEST(Fault, ArmedSiteFiresExactlyOnNthHit) {
+  testing::disarm_all_faults();
+  testing::arm_fault("test.site", 3);
+  EXPECT_FALSE(testing::fault_fires("test.site"));
+  EXPECT_FALSE(testing::fault_fires("test.site"));
+  EXPECT_TRUE(testing::fault_fires("test.site"));
+  // Later hits never fire again: a resumed run completes.
+  EXPECT_FALSE(testing::fault_fires("test.site"));
+  EXPECT_EQ(testing::fault_hits("test.site"), 4u);
+  testing::disarm_all_faults();
+}
+
+TEST(Fault, UnarmedSiteNeverFires) {
+  testing::disarm_all_faults();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(testing::fault_fires("never.armed"));
+  }
+}
+
+TEST(Fault, FaultPointThrowsInjectedFault) {
+  testing::disarm_all_faults();
+  testing::arm_fault("test.point");
+  EXPECT_THROW(MOSS_FAULT_POINT("test.point"), testing::InjectedFault);
+  EXPECT_NO_THROW(MOSS_FAULT_POINT("test.point"));
+  testing::disarm_all_faults();
+}
+
+TEST(Fault, ShortWriteBufStopsAtLimit) {
+  std::ostringstream sink;
+  testing::ShortWriteBuf buf(sink.rdbuf(), 10);
+  std::ostream out(&buf);
+  out << "0123456789overflow";
+  EXPECT_FALSE(out.good());
+  EXPECT_EQ(sink.str(), "0123456789");
+  EXPECT_EQ(buf.written(), 10u);
 }
 
 }  // namespace

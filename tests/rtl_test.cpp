@@ -416,6 +416,55 @@ TEST(Parser, RejectsMalformed) {
       ParseError);  // unsized literal
 }
 
+TEST(Parser, DiagnosticsCarryLineAndColumn) {
+  try {
+    parse_verilog("module x (output y);\n  assign y = @;\nendmodule");
+    FAIL() << "stray @ parsed";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col"), std::string::npos) << msg;
+  }
+}
+
+TEST(Parser, NonRegisterAssignmentNamesSymbolAndKind) {
+  // Non-blocking assignment to an input: the error must say which symbol
+  // and what it actually is, not just "not a register".
+  try {
+    parse_verilog(R"(
+      module x (input clk, input [1:0] a, output [1:0] y);
+        reg [1:0] r;
+        always @(posedge clk) begin
+          a <= r;
+        end
+        assign y = r;
+      endmodule)");
+    FAIL() << "assignment to input parsed";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'a'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("input"), std::string::npos) << msg;
+  }
+}
+
+TEST(Parser, UndeclaredAssignmentTargetNamed) {
+  try {
+    parse_verilog(R"(
+      module x (input clk, output y);
+        reg r;
+        always @(posedge clk) begin
+          ghost <= r;
+        end
+        assign y = r;
+      endmodule)");
+    FAIL() << "assignment to undeclared symbol parsed";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'ghost'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("undeclared"), std::string::npos) << msg;
+  }
+}
+
 TEST(Lint, CleanModuleHasNoIssues) {
   const Module m = counter_module();
   EXPECT_TRUE(lint(m).empty());

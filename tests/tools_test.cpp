@@ -3,6 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "core_util/check.hpp"
@@ -190,6 +196,77 @@ TEST(Checkpoint, TruncatedRejected) {
   std::string full = ss.str();
   std::stringstream cut(full.substr(0, full.size() / 2));
   EXPECT_THROW(tensor::load_parameters(cut, a), Error);
+}
+
+TEST(Checkpoint, MissingFileErrorNamesFile) {
+  Rng rng(3);
+  tensor::ParameterSet a;
+  tensor::Linear la(4, 3, rng, a, "l");
+  const std::string path = "/tmp/moss_tools_no_such_file.ckpt";
+  std::remove(path.c_str());
+  try {
+    tensor::load_parameters_file(path, a);
+    FAIL() << "missing checkpoint file loaded";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("file"), path) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// moss_cli smoke tests (run the real binary; skipped outside the build tree)
+
+/// Run the moss_cli binary next to this test's build directory; returns its
+/// exit status or -1 if the binary is not there (e.g. standalone test runs).
+int run_cli(const std::string& args, std::string& output) {
+  const std::string cli = "../examples/moss_cli";
+  if (!std::ifstream(cli).good()) return -1;
+  const std::string out_path = "/tmp/moss_tools_cli_out.txt";
+  const int rc =
+      std::system((cli + " " + args + " > " + out_path + " 2>&1").c_str());
+  std::ifstream in(out_path);
+  output.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  std::remove(out_path.c_str());
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliSmoke, NonexistentCheckpointFailsWithMessage) {
+  std::string output;
+  const int rc = run_cli("ckpt /tmp/moss_tools_missing.ckpt", output);
+  if (rc == -1) GTEST_SKIP() << "moss_cli binary not found";
+  EXPECT_EQ(rc, 3) << output;
+  EXPECT_NE(output.find("checkpoint error"), std::string::npos) << output;
+  EXPECT_NE(output.find("moss_tools_missing.ckpt"), std::string::npos)
+      << output;
+}
+
+TEST(CliSmoke, CorruptCheckpointFailsWithMessage) {
+  const std::string path = "/tmp/moss_tools_corrupt.ckpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "MOSSCKP1 this is not a real checkpoint";
+  }
+  std::string output;
+  const int rc = run_cli("ckpt " + path, output);
+  std::remove(path.c_str());
+  if (rc == -1) GTEST_SKIP() << "moss_cli binary not found";
+  EXPECT_EQ(rc, 3) << output;
+  EXPECT_NE(output.find("checkpoint error"), std::string::npos) << output;
+}
+
+TEST(CliSmoke, ValidCheckpointSummarized) {
+  const std::string path = "/tmp/moss_tools_valid.ckpt";
+  Rng rng(3);
+  tensor::ParameterSet a;
+  tensor::Linear la(4, 3, rng, a, "l");
+  tensor::save_parameters_file(path, a);
+  std::string output;
+  const int rc = run_cli("ckpt " + path, output);
+  std::remove(path.c_str());
+  if (rc == -1) GTEST_SKIP() << "moss_cli binary not found";
+  EXPECT_EQ(rc, 0) << output;
+  EXPECT_NE(output.find("checksums OK"), std::string::npos) << output;
 }
 
 }  // namespace
