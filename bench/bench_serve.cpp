@@ -1,0 +1,166 @@
+// Serving throughput: cold (no embedding cache) vs warm (content-addressed
+// cache pre-populated) QPS through the moss::serve inference engine, on a
+// 32-circuit FEP-rank pool plus the per-circuit endpoints.
+//
+// The FEP-rank row is the headline: a cold rank query embeds every pool
+// member (32 GNN forwards); a warm one is pure cache lookups + pair scores,
+// so the warm/cold ratio measures exactly what the cache buys. Inference
+// is deterministic, so warm responses are bit-identical to cold ones (the
+// serve_test suite asserts this; here we only time it).
+//
+// Output: a small table (stdout). CI captures it as results/bench_serve.txt.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+using namespace moss;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Submit every request, then wait for all futures (exercises the
+/// micro-batching path rather than lock-step call()).
+double run_pass(serve::InferenceEngine& eng,
+                const std::vector<serve::Request>& reqs) {
+  const auto t0 = Clock::now();
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(reqs.size());
+  for (const auto& r : reqs) futs.push_back(eng.submit(r));
+  for (auto& f : futs) f.get();
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  const bool smoke = scale.sim_cycles < 1000;
+  const std::size_t kPool = 32;
+  const int warm_rounds = smoke ? 2 : 5;
+
+  std::printf("=== Serving throughput: cold vs warm embedding cache ===\n\n");
+
+  // A 32-circuit pool cycling through the design families. Weights stay at
+  // their deterministic fresh init — QPS does not depend on training.
+  const auto& lib = cell::standard_library();
+  core::WorkflowConfig cfg;
+  cfg.model.hidden = 16;
+  cfg.model.rounds = 1;
+  cfg.dataset.sim_cycles = smoke ? 150 : 400;
+  cfg.dataset.threads = scale.threads;
+  cfg.encoder = {2048, 16, 9};
+  cfg.fine_tune.epochs = 1;
+  cfg.fine_tune.max_pairs_per_epoch = 10000;
+
+  const auto fams = data::families();
+  std::vector<data::DesignSpec> specs;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    data::DesignSpec s;
+    s.family = fams[i % fams.size()];
+    s.size_hint = 1 + static_cast<int>(i / fams.size()) % 2;
+    s.seed = 0xCAFE + i;
+    s.name = s.family + "_srv" + std::to_string(i);
+    specs.push_back(std::move(s));
+  }
+  std::fprintf(stderr, "[labeling %zu circuits]\n", kPool);
+  const auto lcs = data::build_dataset(specs, lib, cfg.dataset);
+
+  std::vector<std::string> corpus;
+  for (const auto& lc : lcs) corpus.push_back(lc.module_text);
+  const auto session = serve::MossSession::load(cfg, corpus, "");
+
+  serve::ModelRegistry registry;
+  registry.install("default", session);
+  std::vector<std::shared_ptr<const core::CircuitBatch>> members;
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> circuits;
+  for (const auto& lc : lcs) {
+    circuits.push_back(std::make_shared<data::LabeledCircuit>(lc));
+    members.push_back(
+        std::make_shared<core::CircuitBatch>(session->build(lc)));
+  }
+
+  serve::EngineConfig ecfg;
+  ecfg.queue_capacity = 4 * kPool;
+  serve::EmbeddingCache cache(256u << 20);
+  serve::InferenceEngine cold(registry, /*cache=*/nullptr, ecfg);
+  serve::InferenceEngine warm(registry, &cache, ecfg);
+  cold.register_pool("pool", members);
+  warm.register_pool("pool", members);
+
+  struct Row {
+    const char* endpoint;
+    std::vector<serve::Request> reqs;
+  };
+  std::vector<Row> rows;
+  {
+    Row rank{"fep_rank", {}};
+    Row atp{"atp", {}};
+    Row embed{"embed", {}};
+    for (std::size_t i = 0; i < kPool; ++i) {
+      serve::Request r;
+      r.kind = serve::RequestKind::kFepRank;
+      r.rtl_text = lcs[i].module_text;
+      r.pool = "pool";
+      rank.reqs.push_back(r);
+      serve::Request a;
+      a.kind = serve::RequestKind::kAtp;
+      a.batch = members[i];
+      atp.reqs.push_back(a);
+      serve::Request e;
+      e.kind = serve::RequestKind::kEmbed;
+      e.batch = members[i];
+      embed.reqs.push_back(e);
+    }
+    rows.push_back(std::move(rank));
+    rows.push_back(std::move(atp));
+    rows.push_back(std::move(embed));
+  }
+
+  std::printf("pool: %zu circuits | max_batch %zu | max_delay %d ms | "
+              "cache %zu MB | warm rounds x%d\n\n",
+              kPool, ecfg.max_batch, ecfg.max_delay_ms,
+              cache.byte_budget() >> 20, warm_rounds);
+  std::printf("%-10s | %10s | %10s | %8s\n", "endpoint", "cold qps",
+              "warm qps", "speedup");
+  bench::print_rule(48);
+
+  double rank_speedup = 0.0;
+  for (const Row& row : rows) {
+    const double cold_s = run_pass(cold, row.reqs);
+    run_pass(warm, row.reqs);  // populate the cache
+    double warm_s = 0.0;
+    for (int r = 0; r < warm_rounds; ++r) warm_s += run_pass(warm, row.reqs);
+    const double n = static_cast<double>(row.reqs.size());
+    const double cold_qps = n / cold_s;
+    const double warm_qps = n * warm_rounds / warm_s;
+    const double speedup = warm_qps / cold_qps;
+    if (row.endpoint == rows.front().endpoint) rank_speedup = speedup;
+    std::printf("%-10s | %10.1f | %10.1f | %7.1fx\n", row.endpoint, cold_qps,
+                warm_qps, speedup);
+  }
+  bench::print_rule(48);
+
+  const serve::CacheStats cs = cache.stats();
+  std::printf("\ncache: %llu hits, %llu misses, %llu evictions, %zu entries, "
+              "%.1f KB\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions), cs.entries,
+              static_cast<double>(cs.bytes) / 1024.0);
+  std::printf("fep_rank warm/cold speedup: %.1fx (acceptance floor: 5x)\n",
+              rank_speedup);
+  return rank_speedup >= 5.0 ? 0 : 1;
+}

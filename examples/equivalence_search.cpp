@@ -1,14 +1,19 @@
 // Equivalence search: given an RTL description, find its netlist among a
 // pool of candidates — the paper's functional-equivalence-prediction task
 // as an interactive tool. Trains a small MOSS with multimodal alignment,
-// then ranks candidates by RNC cosine + RNM matching score, and verifies
-// the winner with the golden co-simulation checker.
+// serves it through the moss::serve inference engine (the candidates are a
+// registered FEP-rank pool, so repeated queries hit the embedding cache),
+// and verifies the winner with the golden co-simulation checker.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "core/evaluate.hpp"
 #include "core/trainer.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
 #include "sim/equivalence.hpp"
 
 using namespace moss;
@@ -63,27 +68,36 @@ int main() {
   std::printf("Training alignment...\n");
   core::align(model, train_b, acfg, arng);
 
+  // Serve retrieval through the inference engine: adopt the freshly
+  // trained model into a session, register the candidates as a rank pool,
+  // and issue RANK requests. The first query embeds every pool member; the
+  // embedding cache makes every later query a pure lookup.
+  serve::ModelRegistry registry;
+  const auto session = serve::MossSession::adopt(model, enc);
+  registry.install("default", session);
+  serve::EmbeddingCache cache(32ull << 20);
+  serve::InferenceEngine engine(registry, &cache);
+  {
+    std::vector<std::shared_ptr<const core::CircuitBatch>> members;
+    for (const auto& b : pool_b) {
+      members.push_back(std::make_shared<core::CircuitBatch>(b));
+    }
+    engine.register_pool("candidates", members);
+  }
+
   // Query: the RTL of pool circuit #5, searched against all netlists.
   const std::size_t query = 5;
   std::printf("\nQuery RTL: '%s'\n", pool_lcs[query].netlist.name().c_str());
-  const auto r_e = model.rtl_embedding(pool_b[query].module_text);
-  struct Hit {
-    std::size_t index;
-    float score;
-  };
-  std::vector<Hit> hits;
-  for (std::size_t j = 0; j < pool_b.size(); ++j) {
-    const auto h = model.node_embeddings(pool_b[j]);
-    const auto n_e = model.netlist_embedding(pool_b[j], h);
-    hits.push_back(Hit{j, model.pair_score(r_e, n_e)});
-  }
-  std::sort(hits.begin(), hits.end(),
-            [](const Hit& a, const Hit& b) { return a.score > b.score; });
+  serve::Request req;
+  req.kind = serve::RequestKind::kFepRank;
+  req.rtl_text = pool_b[query].module_text;
+  req.pool = "candidates";
+  const serve::Response resp = engine.call(req);
 
   std::printf("\n%-5s %-24s %-10s\n", "rank", "netlist", "score");
+  const auto& hits = resp.ranking;
   for (std::size_t r = 0; r < std::min<std::size_t>(5, hits.size()); ++r) {
-    std::printf("%-5zu %-24s %-10.3f %s\n", r + 1,
-                pool_lcs[hits[r].index].netlist.name().c_str(),
+    std::printf("%-5zu %-24s %-10.3f %s\n", r + 1, hits[r].name.c_str(),
                 hits[r].score, hits[r].index == query ? "<- true match" : "");
   }
 
@@ -95,6 +109,9 @@ int main() {
   std::printf("\nGolden co-simulation of top hit: %s (%llu cycles)\n",
               res.equivalent ? "EQUIVALENT" : "NOT equivalent",
               static_cast<unsigned long long>(res.cycles_checked));
+  const serve::Response warm = engine.call(req);
+  std::printf("repeat query through warm cache: %.0f us (cold %.0f us)\n",
+              warm.latency_us, resp.latency_us);
   std::printf("Whole-pool retrieval accuracy: %.1f%%\n",
               100 * core::evaluate_fep(model, pool_b));
   return 0;

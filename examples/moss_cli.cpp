@@ -21,8 +21,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "moss.hpp"
@@ -273,6 +276,104 @@ int cmd_train(const std::vector<std::string>& designs,
   return 0;
 }
 
+struct ServeOptions {
+  std::size_t cache_mb = 64;
+  std::size_t max_batch = 8;
+  int max_delay_ms = 2;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Serve a trained checkpoint over the stdin/stdout line protocol.
+///
+/// The design list must match the one passed to `train --save`: the model's
+/// parameter shapes depend on the fine-tuned encoder geometry, which is
+/// reproduced here by fine-tuning on the same corpus with the same seed.
+int cmd_serve(const std::string& ckpt_path,
+              const std::vector<std::string>& designs,
+              const ServeOptions& opt) {
+  // Exact cmd_train config (shapes must reproduce).
+  core::WorkflowConfig cfg;
+  cfg.model.hidden = 16;
+  cfg.model.rounds = 1;
+  cfg.dataset.sim_cycles = 400;
+  cfg.encoder = {2048, 16, 9};
+  cfg.fine_tune.epochs = 1;
+  cfg.fine_tune.max_pairs_per_epoch = 20000;
+  cfg.pretrain.epochs = 6;
+  cfg.align.epochs = 6;
+
+  // Label circuits in cmd_train's workflow order: .v modules in CLI order
+  // first, then generated specs numbered by generated-only index.
+  const auto& lib = cell::standard_library();
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> vmods, gens;
+  std::vector<std::string> vtokens, gtokens;
+  for (const std::string& d : designs) {
+    if (d.size() > 2 && d.substr(d.size() - 2) == ".v") {
+      vmods.push_back(std::make_shared<data::LabeledCircuit>(
+          data::label_module(load_design(d), lib, cfg.dataset)));
+      vtokens.push_back(d);
+    } else {
+      const auto colon = d.find(':');
+      data::DesignSpec spec;
+      spec.family = colon == std::string::npos ? d : d.substr(0, colon);
+      spec.size_hint =
+          colon == std::string::npos ? 2 : std::atoi(d.c_str() + colon + 1);
+      spec.seed = 1;
+      spec.name = spec.family + "_cli" + std::to_string(gens.size());
+      gens.push_back(std::make_shared<data::LabeledCircuit>(
+          data::label_circuit(spec, lib, cfg.dataset)));
+      gtokens.push_back(d);
+    }
+  }
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> circuits = vmods;
+  circuits.insert(circuits.end(), gens.begin(), gens.end());
+  std::vector<std::string> tokens = vtokens;
+  tokens.insert(tokens.end(), gtokens.begin(), gtokens.end());
+
+  std::vector<std::string> corpus;
+  for (const auto& lc : circuits) corpus.push_back(lc->module_text);
+  serve::ModelRegistry registry;
+  const auto session = serve::MossSession::load(cfg, corpus, ckpt_path);
+  registry.install("default", session);
+  std::fprintf(stderr, "serve: loaded %s (%zu pool design(s))\n",
+               ckpt_path.c_str(), circuits.size());
+
+  serve::EmbeddingCache cache(opt.cache_mb << 20);
+  serve::EngineConfig ecfg;
+  ecfg.max_batch = opt.max_batch;
+  ecfg.max_delay_ms = opt.max_delay_ms;
+  ecfg.threads = opt.threads;
+  serve::InferenceEngine engine(registry, &cache, ecfg);
+
+  std::vector<std::shared_ptr<const core::CircuitBatch>> pool;
+  for (const auto& lc : circuits) {
+    pool.push_back(std::make_shared<core::CircuitBatch>(session->build(*lc)));
+  }
+  engine.register_pool("pool", pool);
+
+  serve::ProtocolConfig pcfg;
+  auto boot = std::make_shared<
+      std::unordered_map<std::string,
+                         std::shared_ptr<const data::LabeledCircuit>>>();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    (*boot)[tokens[i]] = circuits[i];
+  }
+  const data::DatasetConfig dcfg = cfg.dataset;
+  pcfg.load_design = [boot, dcfg, &lib](const std::string& token)
+      -> std::shared_ptr<const data::LabeledCircuit> {
+    const auto it = boot->find(token);
+    if (it != boot->end()) return it->second;
+    return std::make_shared<data::LabeledCircuit>(
+        data::label_module(load_design(token), lib, dcfg));
+  };
+
+  serve::ProtocolHandler handler(engine, pcfg);
+  const std::size_t handled = handler.run(std::cin, std::cout);
+  std::fprintf(stderr, "serve: handled %zu request(s)\n", handled);
+  std::fputs(engine.metrics_text().c_str(), stderr);
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: moss_cli <command> ...\n"
@@ -286,6 +387,8 @@ void usage() {
       "  train  <design>... [--threads N] [--checkpoint BASE]\n"
       "         [--checkpoint-every N] [--resume] [--save CKPT]\n"
       "  ckpt   <file.ckpt>\n"
+      "  serve  <file.ckpt> <design>... [--cache-mb N] [--max-batch N]\n"
+      "         [--max-delay-ms N] [--threads N]\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
       "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad checkpoint\n",
       stderr);
@@ -356,6 +459,37 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_train(designs, opt);
+    }
+    if (cmd == "serve") {
+      const std::string ckpt = argv[2];
+      std::vector<std::string> designs;
+      ServeOptions opt;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--cache-mb" && i + 1 < argc) {
+          opt.cache_mb = static_cast<std::size_t>(
+              std::max(1, std::atoi(argv[++i])));
+        } else if (a == "--max-batch" && i + 1 < argc) {
+          opt.max_batch = static_cast<std::size_t>(
+              std::max(1, std::atoi(argv[++i])));
+        } else if (a == "--max-delay-ms" && i + 1 < argc) {
+          opt.max_delay_ms = std::max(0, std::atoi(argv[++i]));
+        } else if (a == "--threads" && i + 1 < argc) {
+          opt.threads = static_cast<std::size_t>(
+              std::max(0, std::atoi(argv[++i])));
+        } else if (a.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
+          usage();
+          return 2;
+        } else {
+          designs.push_back(a);
+        }
+      }
+      if (designs.empty()) {
+        usage();
+        return 2;
+      }
+      return cmd_serve(ckpt, designs, opt);
     }
   } catch (const ContextError& e) {
     // Structured checkpoint/persistence failures: say exactly which file

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
 
 #include "power/power.hpp"
 
@@ -68,14 +71,35 @@ TaskAccuracy evaluate_tasks(const MossModel& model, const CircuitBatch& batch,
 double evaluate_fep(const MossModel& model,
                     const std::vector<CircuitBatch>& pool) {
   MOSS_CHECK(pool.size() >= 2, "FEP pool needs at least two circuits");
-  // Precompute embeddings.
+  // Precompute embeddings, memoized by content: identical RTL texts and
+  // identical netlist structures across the pool (common when a pool mixes
+  // re-seeded instances of the same design) are embedded exactly once.
+  // Both embeddings are pure functions of (model, content), so the memo
+  // changes nothing in the result — only the work.
   std::vector<Tensor> n_e, r_e;
   n_e.reserve(pool.size());
   r_e.reserve(pool.size());
+  std::unordered_map<std::string, Tensor> rtl_memo;
+  std::unordered_map<std::uint64_t, Tensor> netlist_memo;
   for (const CircuitBatch& b : pool) {
-    const Tensor h = model.node_embeddings(b);
-    n_e.push_back(model.netlist_embedding(b, h).detach());
-    r_e.push_back(model.rtl_embedding(b.module_text).detach());
+    const std::uint64_t bh = batch_content_hash(b);
+    const auto nit = netlist_memo.find(bh);
+    if (nit != netlist_memo.end()) {
+      n_e.push_back(nit->second);
+    } else {
+      const Tensor h = model.node_embeddings(b);
+      const Tensor ne = model.netlist_embedding(b, h).detach();
+      netlist_memo.emplace(bh, ne);
+      n_e.push_back(ne);
+    }
+    const auto rit = rtl_memo.find(b.module_text);
+    if (rit != rtl_memo.end()) {
+      r_e.push_back(rit->second);
+    } else {
+      const Tensor re = model.rtl_embedding(b.module_text).detach();
+      rtl_memo.emplace(b.module_text, re);
+      r_e.push_back(re);
+    }
   }
   std::size_t hits = 0;
   for (std::size_t i = 0; i < pool.size(); ++i) {

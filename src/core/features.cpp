@@ -4,6 +4,7 @@
 
 #include "clustering/clustering.hpp"
 #include "core_util/check.hpp"
+#include "core_util/hash.hpp"
 
 namespace moss::core {
 
@@ -212,6 +213,39 @@ CircuitBatch build_batch(const data::LabeledCircuit& lc,
   }
   batch.reg_prompt_emb = std::move(reg_emb);
   return batch;
+}
+
+namespace {
+
+void mix_steps(HashBuilder& h, const std::vector<gnn::UpdateStep>& steps) {
+  h.mix(static_cast<std::uint64_t>(steps.size()));
+  for (const gnn::UpdateStep& step : steps) {
+    h.mix(static_cast<std::uint64_t>(step.groups.size()));
+    for (const gnn::UpdateGroup& g : step.groups) {
+      h.mix(static_cast<std::uint64_t>(g.cluster));
+      h.mix(g.nodes);
+      h.mix(g.edge_src);
+      h.mix(g.edge_dst);
+      h.mix(g.edge_dst_local);
+      h.mix(g.edge_pos);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t batch_content_hash(const CircuitBatch& batch) {
+  HashBuilder h;
+  h.mix(static_cast<std::uint64_t>(batch.graph.num_nodes));
+  h.mix(static_cast<std::uint64_t>(batch.graph.num_clusters));
+  if (batch.graph.features.defined()) {
+    h.mix(static_cast<std::uint64_t>(batch.graph.features.cols()));
+    h.mix(batch.graph.features.data());
+  }
+  mix_steps(h, batch.graph.forward_steps);
+  mix_steps(h, batch.graph.turnaround_steps);
+  h.mix(batch.graph.readout_nodes);
+  return h.digest();
 }
 
 }  // namespace moss::core

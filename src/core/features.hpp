@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -87,5 +88,12 @@ std::size_t structural_feature_dim();
 std::size_t num_aggregators(const cell::CellLibrary& lib,
                             const lm::TextEncoder& enc,
                             const FeatureConfig& cfg);
+
+/// Content address of everything a model forward pass reads from the batch:
+/// graph structure (steps, groups, edges, pin positions), node features and
+/// readout rows. Two batches with equal hashes produce bit-identical
+/// node_embeddings under the same model — the keying contract of the
+/// serve-layer embedding cache and of evaluate_fep's memoization.
+std::uint64_t batch_content_hash(const CircuitBatch& batch);
 
 }  // namespace moss::core

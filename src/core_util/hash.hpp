@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace moss {
+
+/// 64-bit FNV-1a. The content-address hash behind the serving-layer
+/// embedding cache and the within-call memoization of evaluate_fep: cheap,
+/// incremental, and stable across platforms (no dependence on
+/// std::hash seeding).
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Incremental content hasher. Every mix() call feeds both the value bytes
+/// and the value's length, so (["ab","c"]) and (["a","bc"]) hash
+/// differently — field boundaries are part of the content address.
+class HashBuilder {
+ public:
+  HashBuilder& mix_bytes(const void* data, std::size_t len) {
+    const std::uint64_t n = len;
+    h_ = fnv1a64(&n, sizeof(n), h_);
+    h_ = fnv1a64(data, len, h_);
+    return *this;
+  }
+  HashBuilder& mix(std::string_view s) { return mix_bytes(s.data(), s.size()); }
+  HashBuilder& mix(std::uint64_t v) { return mix_bytes(&v, sizeof(v)); }
+  HashBuilder& mix(std::int64_t v) { return mix_bytes(&v, sizeof(v)); }
+  HashBuilder& mix(float v) { return mix_bytes(&v, sizeof(v)); }
+  HashBuilder& mix(const std::vector<float>& v) {
+    return mix_bytes(v.data(), v.size() * sizeof(float));
+  }
+  HashBuilder& mix(const std::vector<int>& v) {
+    return mix_bytes(v.data(), v.size() * sizeof(int));
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace moss

@@ -35,6 +35,11 @@
 #include "rtl/parser.hpp"            // IWYU pragma: export
 #include "rtl/printer.hpp"           // IWYU pragma: export
 #include "rtl/prompts.hpp"           // IWYU pragma: export
+#include "serve/cache.hpp"           // IWYU pragma: export
+#include "serve/engine.hpp"          // IWYU pragma: export
+#include "serve/metrics.hpp"         // IWYU pragma: export
+#include "serve/protocol.hpp"        // IWYU pragma: export
+#include "serve/registry.hpp"        // IWYU pragma: export
 #include "sim/activity_io.hpp"       // IWYU pragma: export
 #include "sim/equivalence.hpp"       // IWYU pragma: export
 #include "sim/fault.hpp"             // IWYU pragma: export

@@ -1,0 +1,311 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+#include "power/power.hpp"
+
+namespace moss::serve {
+
+using Clock = std::chrono::steady_clock;
+using tensor::Tensor;
+
+namespace {
+
+[[noreturn]] void fail_typed(const std::string& reason,
+                             const std::string& msg,
+                             std::vector<ContextError::Frame> extra = {}) {
+  ErrorContext ctx;
+  ctx.add("reason", reason);
+  for (auto& f : extra) ctx.add(f.first, f.second);
+  ctx.fail(msg);
+}
+
+// Validate before the scheduler thread exists, so a bad config cannot
+// leave a running thread behind a throwing constructor.
+EngineConfig validated(EngineConfig cfg) {
+  MOSS_CHECK(cfg.max_batch > 0, "max_batch must be positive");
+  MOSS_CHECK(cfg.queue_capacity > 0, "queue_capacity must be positive");
+  MOSS_CHECK(cfg.max_delay_ms >= 0, "max_delay_ms must be nonnegative");
+  return cfg;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelRegistry& registry,
+                                 EmbeddingCache* cache, EngineConfig cfg)
+    : registry_(registry),
+      cache_(cache),
+      cfg_(validated(cfg)),
+      workers_(cfg.threads),
+      scheduler_([this] { scheduler_loop(); }) {}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+std::future<Response> InferenceEngine::submit(Request req) {
+  Pending p;
+  p.req = std::move(req);
+  p.enqueued = Clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      fail_typed("stopped", "inference engine is stopped");
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      metrics_.record_rejected();
+      fail_typed("queue_full", "serve queue full — request rejected",
+                 {{"capacity", std::to_string(cfg_.queue_capacity)}});
+    }
+    queue_.push_back(std::move(p));
+    metrics_.set_queue_depth(queue_.size());
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+Response InferenceEngine::call(Request req) {
+  return submit(std::move(req)).get();
+}
+
+void InferenceEngine::register_pool(
+    const std::string& name,
+    std::vector<std::shared_ptr<const core::CircuitBatch>> members) {
+  auto pool = std::make_shared<Pool>();
+  pool->hashes.reserve(members.size());
+  for (const auto& m : members) {
+    MOSS_CHECK(m != nullptr, "pool member must not be null");
+    pool->hashes.push_back(core::batch_content_hash(*m));
+  }
+  pool->members = std::move(members);
+  const std::lock_guard<std::mutex> lock(pools_mu_);
+  pools_[name] = std::move(pool);  // atomic replacement, like the registry
+}
+
+std::size_t InferenceEngine::pool_size(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(pools_mu_);
+  const auto it = pools_.find(name);
+  return it == pools_.end() ? 0 : it->second->members.size();
+}
+
+std::size_t InferenceEngine::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::string InferenceEngine::metrics_text() {
+  if (cache_) {
+    const CacheStats cs = cache_->stats();
+    metrics_.set_cache_counters(cs.hits, cs.misses, cs.evictions, cs.bytes,
+                                cs.entries);
+  }
+  return metrics_.text();
+}
+
+std::string InferenceEngine::metrics_json() {
+  if (cache_) {
+    const CacheStats cs = cache_->stats();
+    metrics_.set_cache_counters(cs.hits, cs.misses, cs.evictions, cs.bytes,
+                                cs.entries);
+  }
+  return metrics_.json();
+}
+
+void InferenceEngine::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void InferenceEngine::scheduler_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      // Micro-batching: give late arrivals up to max_delay to join, but
+      // never hold a full batch back.
+      const auto wait_until =
+          Clock::now() + std::chrono::milliseconds(cfg_.max_delay_ms);
+      cv_.wait_until(lk, wait_until, [&] {
+        return queue_.size() >= cfg_.max_batch || stopping_;
+      });
+      const std::size_t take = std::min(queue_.size(), cfg_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_.set_queue_depth(queue_.size());
+    }
+    dispatch(batch);
+  }
+}
+
+void InferenceEngine::dispatch(std::vector<Pending>& batch) {
+  metrics_.record_batch(batch.size());
+  const auto dispatch_time = Clock::now();
+  // Request isolation: every failure mode — bad request, missing model,
+  // injected fault, deadline — is captured into that request's promise;
+  // the worker, the rest of the batch and the scheduler keep going.
+  workers_.parallel_for(0, batch.size(), [&](std::size_t i) {
+    Pending& p = batch[i];
+    try {
+      if (p.req.deadline_ms > 0 &&
+          dispatch_time >=
+              p.enqueued + std::chrono::milliseconds(p.req.deadline_ms)) {
+        metrics_.record_deadline_expired();
+        fail_typed("deadline_expired", "request deadline expired in queue",
+                   {{"deadline_ms", std::to_string(p.req.deadline_ms)}});
+      }
+      MOSS_FAULT_POINT("serve.engine.dispatch");
+      Response r = process(p.req);
+      r.latency_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - p.enqueued)
+              .count();
+      metrics_.record(p.req.kind, r.latency_us, /*ok=*/true);
+      p.promise.set_value(std::move(r));
+    } catch (...) {
+      metrics_.record(p.req.kind, 0.0, /*ok=*/false);
+      p.promise.set_exception(std::current_exception());
+    }
+  });
+}
+
+Tensor InferenceEngine::node_embeddings(const MossSession& s,
+                                        const core::CircuitBatch& batch,
+                                        std::uint64_t batch_hash) const {
+  const auto compute = [&] {
+    return s.model().node_embeddings(batch).detach();
+  };
+  if (!cache_) return compute();
+  return cache_->get_or_compute(node_embedding_key(s.uid(), batch_hash),
+                                compute);
+}
+
+Tensor InferenceEngine::netlist_embedding(const MossSession& s,
+                                          const core::CircuitBatch& batch,
+                                          std::uint64_t batch_hash) const {
+  const auto compute = [&] {
+    const Tensor h = node_embeddings(s, batch, batch_hash);
+    return s.model().netlist_embedding(batch, h).detach();
+  };
+  if (!cache_) return compute();
+  return cache_->get_or_compute(netlist_key(s.uid(), batch_hash), compute);
+}
+
+Tensor InferenceEngine::rtl_embedding(const MossSession& s,
+                                      const std::string& text) const {
+  const auto compute = [&] { return s.model().rtl_embedding(text).detach(); };
+  if (!cache_) return compute();
+  return cache_->get_or_compute(rtl_key(s.uid(), text), compute);
+}
+
+Response InferenceEngine::process(const Request& req) {
+  const std::shared_ptr<const MossSession> session = registry_.get(req.model);
+  const MossSession& s = *session;
+  Response r;
+  r.kind = req.kind;
+  r.model = req.model;
+  r.session_uid = s.uid();
+
+  if (req.kind == RequestKind::kFepRank) {
+    std::shared_ptr<const Pool> pool;
+    {
+      const std::lock_guard<std::mutex> lock(pools_mu_);
+      const auto it = pools_.find(req.pool);
+      if (it != pools_.end()) pool = it->second;
+    }
+    if (!pool) {
+      fail_typed("unknown_pool", "FEP-rank pool not registered",
+                 {{"pool", req.pool}});
+    }
+    const std::string& text =
+        !req.rtl_text.empty()
+            ? req.rtl_text
+            : (req.circuit ? req.circuit->module_text : req.rtl_text);
+    if (text.empty()) {
+      fail_typed("bad_request", "FEP-rank needs query RTL text");
+    }
+    const Tensor r_e = rtl_embedding(s, text);
+    r.ranking.reserve(pool->members.size());
+    for (std::size_t j = 0; j < pool->members.size(); ++j) {
+      const core::CircuitBatch& member = *pool->members[j];
+      const Tensor n_e = netlist_embedding(s, member, pool->hashes[j]);
+      r.ranking.push_back(
+          RankEntry{j, member.name, s.model().pair_score(r_e, n_e)});
+    }
+    std::sort(r.ranking.begin(), r.ranking.end(),
+              [](const RankEntry& a, const RankEntry& b) {
+                return a.score != b.score ? a.score > b.score
+                                          : a.index < b.index;
+              });
+    return r;
+  }
+
+  // Circuit-bound kinds: ATP, TRP+PP, EMBED.
+  std::shared_ptr<const core::CircuitBatch> batch = req.batch;
+  if (!batch) {
+    if (!req.circuit) {
+      fail_typed("bad_request",
+                 "request needs a circuit or a prebuilt batch");
+    }
+    batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
+  }
+  const std::uint64_t bh = core::batch_content_hash(*batch);
+
+  switch (req.kind) {
+    case RequestKind::kAtp: {
+      const Tensor h = node_embeddings(s, *batch, bh);
+      const Tensor flop =
+          s.model().predict_arrival(*batch, h, batch->flop_rows);
+      r.values.reserve(batch->flop_rows.size());
+      for (std::size_t i = 0; i < batch->flop_rows.size(); ++i) {
+        r.values.push_back(static_cast<double>(flop.at(i, 0)) *
+                           core::kArrivalScale);
+      }
+      return r;
+    }
+    case RequestKind::kTrpPp: {
+      if (!req.circuit) {
+        fail_typed("bad_request",
+                   "TRP+PP needs the circuit (power model reads the "
+                   "netlist)");
+      }
+      const Tensor h = node_embeddings(s, *batch, bh);
+      const core::LocalPredictions pred = s.model().predict_local(*batch, h);
+      r.values.reserve(batch->cell_rows.size());
+      std::vector<double> rates(req.circuit->netlist.num_nodes(), 0.0);
+      for (std::size_t i = 0; i < batch->cell_rows.size(); ++i) {
+        const double t = static_cast<double>(pred.toggle.at(i, 0));
+        r.values.push_back(t);
+        rates[static_cast<std::size_t>(batch->cell_rows[i])] = t;
+      }
+      r.power_uw =
+          power::analyze_power(req.circuit->netlist, rates).total_uw;
+      return r;
+    }
+    case RequestKind::kEmbed: {
+      const Tensor n_e = netlist_embedding(s, *batch, bh);
+      r.embedding = n_e.data();
+      const std::string& text = !req.rtl_text.empty()
+                                    ? req.rtl_text
+                                    : batch->module_text;
+      if (!text.empty()) {
+        r.rtl_embedding = rtl_embedding(s, text).data();
+      }
+      return r;
+    }
+    case RequestKind::kFepRank:
+      break;  // handled above
+  }
+  fail_typed("bad_request", "unknown request kind");
+}
+
+}  // namespace moss::serve

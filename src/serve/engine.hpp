@@ -1,0 +1,164 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core_util/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace moss::serve {
+
+/// One inference request. ATP/TRP+PP/EMBED need a circuit (and use `batch`
+/// when the caller prebuilt it against the target session's encoder —
+/// otherwise the engine builds one); FEP-rank needs only `rtl_text` (or
+/// takes it from the circuit) plus the name of a registered pool.
+struct Request {
+  RequestKind kind = RequestKind::kAtp;
+  std::shared_ptr<const data::LabeledCircuit> circuit;
+  std::shared_ptr<const core::CircuitBatch> batch;
+  std::string rtl_text;             ///< FEP-rank query RTL
+  std::string pool;                 ///< FEP-rank target pool name
+  std::string model = "default";    ///< registry name to serve with
+  /// Soft deadline from submit time; 0 = none. A request still queued when
+  /// its deadline passes is failed with a typed ContextError instead of
+  /// occupying a batch slot.
+  int deadline_ms = 0;
+};
+
+struct RankEntry {
+  std::size_t index = 0;  ///< pool member index
+  std::string name;       ///< pool member circuit name
+  float score = 0.0f;
+};
+
+struct Response {
+  RequestKind kind = RequestKind::kAtp;
+  /// ATP: per-flop arrival times (ps, netlist flop order).
+  /// TRP+PP: per-cell predicted toggle rates (cell_rows order).
+  std::vector<double> values;
+  double power_uw = 0.0;               ///< TRP+PP: power at predicted rates
+  std::vector<float> embedding;        ///< EMBED: pooled netlist embedding
+  std::vector<float> rtl_embedding;    ///< EMBED: RTL text embedding
+  std::vector<RankEntry> ranking;      ///< FEP-rank: pool sorted by score
+  std::string model;                   ///< session name that served it
+  std::uint64_t session_uid = 0;
+  double latency_us = 0.0;             ///< queue wait + compute
+};
+
+struct EngineConfig {
+  /// Micro-batching: dispatch when `max_batch` requests are queued or the
+  /// oldest has waited `max_delay_ms`, whichever comes first.
+  std::size_t max_batch = 8;
+  int max_delay_ms = 2;
+  /// Bounded admission queue; submit() beyond this throws a typed
+  /// ContextError (reason=queue_full) instead of blocking the caller.
+  std::size_t queue_capacity = 64;
+  /// Worker threads for fanning a batch out (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Batched inference engine over registered MossSessions.
+///
+///   ModelRegistry reg;                      // name -> warm session
+///   EmbeddingCache cache(64 << 20);         // content-addressed LRU
+///   InferenceEngine eng(reg, &cache, {});
+///   eng.register_pool("pool", batches);     // FEP-rank corpus
+///   auto f = eng.submit({.kind = RequestKind::kAtp, .circuit = lc});
+///   Response r = f.get();                   // throws what the request threw
+///
+/// A scheduler thread collects submissions into micro-batches (max_batch /
+/// max_delay) and fans each batch out on a moss::ThreadPool. Every request
+/// is isolated: a throwing request (including injected faults) fails only
+/// its own future — the scheduler and queue keep running. All embedding
+/// reuse goes through the content-addressed cache when one is attached, so
+/// cached responses are bit-identical to direct MossModel calls.
+///
+/// MOSS_FAULT sites: "serve.engine.dispatch" (per request, at batch
+/// dispatch), "serve.cache.insert" (inside EmbeddingCache::put).
+class InferenceEngine {
+ public:
+  InferenceEngine(ModelRegistry& registry, EmbeddingCache* cache,
+                  EngineConfig cfg = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueue a request. Throws ContextError (reason=queue_full) when the
+  /// bounded queue is at capacity and (reason=stopped) after stop().
+  std::future<Response> submit(Request req);
+  /// submit + wait. Rethrows the request's failure.
+  Response call(Request req);
+
+  /// Register (or atomically replace) a named FEP-rank pool. Member
+  /// content hashes are precomputed here so ranking requests only pay for
+  /// cache lookups on the warm path.
+  void register_pool(const std::string& name,
+                     std::vector<std::shared_ptr<const core::CircuitBatch>>
+                         members);
+  std::size_t pool_size(const std::string& name) const;
+
+  std::size_t queue_depth() const;
+  ServeMetrics& metrics() { return metrics_; }
+  EmbeddingCache* cache() { return cache_; }
+  /// Refresh cache counters into the metrics and return the text dump.
+  std::string metrics_text();
+  std::string metrics_json();
+
+  /// Drain the queue and stop the scheduler. Queued requests still get
+  /// served; new submissions are rejected. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Pool {
+    std::vector<std::shared_ptr<const core::CircuitBatch>> members;
+    std::vector<std::uint64_t> hashes;  ///< batch_content_hash per member
+  };
+
+  void scheduler_loop();
+  void dispatch(std::vector<Pending>& batch);
+  Response process(const Request& req);
+  tensor::Tensor node_embeddings(const MossSession& s,
+                                 const core::CircuitBatch& batch,
+                                 std::uint64_t batch_hash) const;
+  tensor::Tensor netlist_embedding(const MossSession& s,
+                                   const core::CircuitBatch& batch,
+                                   std::uint64_t batch_hash) const;
+  tensor::Tensor rtl_embedding(const MossSession& s,
+                               const std::string& text) const;
+
+  ModelRegistry& registry_;
+  EmbeddingCache* cache_;  ///< may be null (compute-always mode)
+  EngineConfig cfg_;
+  ServeMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex pools_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Pool>> pools_;
+
+  ThreadPool workers_;
+  std::thread scheduler_;
+};
+
+}  // namespace moss::serve

@@ -1,0 +1,211 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace moss::serve {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kAtp: return "atp";
+    case RequestKind::kTrpPp: return "trp_pp";
+    case RequestKind::kEmbed: return "embed";
+    case RequestKind::kFepRank: return "fep_rank";
+  }
+  return "unknown";
+}
+
+void LatencyHistogram::record(double micros) {
+  const double us = std::max(micros, 0.0);
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+  std::size_t bucket = 0;
+  for (double edge = 2.0; bucket + 1 < kBuckets && us >= edge; edge *= 2.0) {
+    ++bucket;
+  }
+  ++buckets_[bucket];
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= rank) {
+      return std::ldexp(1.0, static_cast<int>(i + 1));  // bucket upper edge
+    }
+  }
+  return max_us_;
+}
+
+ServeMetrics::ServeMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+void ServeMetrics::record(RequestKind kind, double micros, bool ok) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto k = static_cast<std::size_t>(kind);
+  if (ok) {
+    hist_[k].record(micros);
+  } else {
+    ++errors_[k];
+  }
+}
+
+void ServeMetrics::record_rejected() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeMetrics::record_deadline_expired() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_expired_;
+}
+
+void ServeMetrics::record_batch(std::size_t batch_size) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+}
+
+void ServeMetrics::set_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ = depth;
+  queue_peak_ = std::max(queue_peak_, depth);
+}
+
+void ServeMetrics::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
+                                      std::uint64_t evictions,
+                                      std::size_t bytes, std::size_t entries) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cache_hits_ = hits;
+  cache_misses_ = misses;
+  cache_evictions_ = evictions;
+  cache_bytes_ = bytes;
+  cache_entries_ = entries;
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (std::size_t k = 0; k < kNumRequestKinds; ++k) {
+    EndpointSnapshot& e = s.endpoints[k];
+    e.requests = hist_[k].count();
+    e.errors = errors_[k];
+    e.p50_us = hist_[k].quantile_us(0.50);
+    e.p95_us = hist_[k].quantile_us(0.95);
+    e.p99_us = hist_[k].quantile_us(0.99);
+    e.mean_us = hist_[k].mean_us();
+    e.max_us = hist_[k].max_us();
+    s.total_ok += e.requests;
+    s.total_errors += e.errors;
+  }
+  s.rejected = rejected_;
+  s.deadline_expired = deadline_expired_;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) /
+                          static_cast<double>(batches_);
+  s.queue_depth = queue_depth_;
+  s.queue_peak = queue_peak_;
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+  s.qps = s.uptime_s > 0.0 ? static_cast<double>(s.total_ok) / s.uptime_s
+                           : 0.0;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.cache_evictions = cache_evictions_;
+  s.cache_bytes = cache_bytes_;
+  s.cache_entries = cache_entries_;
+  return s;
+}
+
+std::string ServeMetrics::text() const {
+  const MetricsSnapshot s = snapshot();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "serve: %llu ok, %llu err, %llu rejected, %llu expired, "
+                "%.1f qps, uptime %.1fs\n",
+                static_cast<unsigned long long>(s.total_ok),
+                static_cast<unsigned long long>(s.total_errors),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.deadline_expired), s.qps,
+                s.uptime_s);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queue: depth %zu, peak %zu; batches %llu (mean size %.2f)\n",
+                s.queue_depth, s.queue_peak,
+                static_cast<unsigned long long>(s.batches),
+                s.mean_batch_size);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cache: %llu hits, %llu misses, %llu evictions, %zu entries, "
+                "%zu bytes\n",
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.cache_evictions),
+                s.cache_entries, s.cache_bytes);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-10s %10s %8s %10s %10s %10s %10s\n",
+                "endpoint", "requests", "errors", "p50_us", "p95_us",
+                "p99_us", "mean_us");
+  out += line;
+  for (std::size_t k = 0; k < kNumRequestKinds; ++k) {
+    const EndpointSnapshot& e = s.endpoints[k];
+    std::snprintf(line, sizeof(line),
+                  "%-10s %10llu %8llu %10.0f %10.0f %10.0f %10.1f\n",
+                  to_string(static_cast<RequestKind>(k)),
+                  static_cast<unsigned long long>(e.requests),
+                  static_cast<unsigned long long>(e.errors), e.p50_us,
+                  e.p95_us, e.p99_us, e.mean_us);
+    out += line;
+  }
+  return out;
+}
+
+std::string ServeMetrics::json() const {
+  const MetricsSnapshot s = snapshot();
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"total_ok\":%llu,\"total_errors\":%llu,\"rejected\":%llu,"
+                "\"deadline_expired\":%llu,\"qps\":%.3f,\"uptime_s\":%.3f,"
+                "\"queue_depth\":%zu,\"queue_peak\":%zu,\"batches\":%llu,"
+                "\"mean_batch_size\":%.3f,",
+                static_cast<unsigned long long>(s.total_ok),
+                static_cast<unsigned long long>(s.total_errors),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.deadline_expired), s.qps,
+                s.uptime_s, s.queue_depth, s.queue_peak,
+                static_cast<unsigned long long>(s.batches),
+                s.mean_batch_size);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+                "\"entries\":%zu,\"bytes\":%zu},\"endpoints\":{",
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.cache_evictions),
+                s.cache_entries, s.cache_bytes);
+  out += buf;
+  for (std::size_t k = 0; k < kNumRequestKinds; ++k) {
+    const EndpointSnapshot& e = s.endpoints[k];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"requests\":%llu,\"errors\":%llu,"
+                  "\"p50_us\":%.0f,\"p95_us\":%.0f,\"p99_us\":%.0f,"
+                  "\"mean_us\":%.1f,\"max_us\":%.1f}",
+                  k == 0 ? "" : ",", to_string(static_cast<RequestKind>(k)),
+                  static_cast<unsigned long long>(e.requests),
+                  static_cast<unsigned long long>(e.errors), e.p50_us,
+                  e.p95_us, e.p99_us, e.mean_us, e.max_us);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace moss::serve

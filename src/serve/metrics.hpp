@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace moss::serve {
+
+/// Request kinds the inference engine serves. kMetrics-style admin traffic
+/// is not counted here — only model work.
+enum class RequestKind : std::uint8_t {
+  kAtp = 0,     ///< per-DFF arrival-time prediction
+  kTrpPp = 1,   ///< per-cell toggle rates + derived circuit power
+  kEmbed = 2,   ///< netlist + RTL embeddings
+  kFepRank = 3, ///< rank a registered pool against a query RTL
+};
+inline constexpr std::size_t kNumRequestKinds = 4;
+
+const char* to_string(RequestKind kind);
+
+/// Fixed-bucket log2 latency histogram (microseconds). Bucket i covers
+/// [2^i, 2^{i+1}) us, so 32 buckets span 1 us .. ~71 min — no allocation,
+/// O(1) record, and quantiles read directly off the cumulative counts.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double micros);
+  std::uint64_t count() const { return count_; }
+  double mean_us() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+  double max_us() const { return max_us_; }
+  /// Upper edge of the bucket holding quantile `q` in [0,1] (0 when empty).
+  /// Coarse by design: within a factor of 2, deterministic, lock-free read
+  /// under the owner's lock.
+  double quantile_us(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+/// Counter snapshot of one endpoint (request kind).
+struct EndpointSnapshot {
+  std::uint64_t requests = 0;  ///< completed OK
+  std::uint64_t errors = 0;    ///< failed (exception set on the future)
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double mean_us = 0.0, max_us = 0.0;
+};
+
+/// Everything ServeMetrics knows, copied out under one lock.
+struct MetricsSnapshot {
+  std::array<EndpointSnapshot, kNumRequestKinds> endpoints{};
+  std::uint64_t total_ok = 0;
+  std::uint64_t total_errors = 0;
+  std::uint64_t rejected = 0;          ///< queue-full rejections
+  std::uint64_t deadline_expired = 0;  ///< dropped before dispatch
+  std::uint64_t batches = 0;           ///< micro-batches dispatched
+  double mean_batch_size = 0.0;
+  std::size_t queue_depth = 0;   ///< at snapshot time
+  std::size_t queue_peak = 0;    ///< high-water mark
+  double uptime_s = 0.0;
+  double qps = 0.0;  ///< completed requests / uptime
+  // Cache counters (zero when the engine runs cache-less).
+  std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  std::size_t cache_bytes = 0, cache_entries = 0;
+};
+
+/// Thread-safe serving metrics: per-endpoint latency histograms, queue
+/// gauges and overload counters. The engine owns one; dump as aligned text
+/// for humans or single-line JSON for scrapers.
+class ServeMetrics {
+ public:
+  ServeMetrics();
+
+  void record(RequestKind kind, double micros, bool ok);
+  void record_rejected();
+  void record_deadline_expired();
+  void record_batch(std::size_t batch_size);
+  void set_queue_depth(std::size_t depth);
+  /// Cache counters are pushed by the engine at snapshot time (the cache
+  /// keeps its own atomics; metrics just report them).
+  void set_cache_counters(std::uint64_t hits, std::uint64_t misses,
+                          std::uint64_t evictions, std::size_t bytes,
+                          std::size_t entries);
+
+  MetricsSnapshot snapshot() const;
+  std::string text() const;
+  std::string json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::array<LatencyHistogram, kNumRequestKinds> hist_;
+  std::array<std::uint64_t, kNumRequestKinds> errors_{};
+  std::uint64_t rejected_ = 0;
+  std::uint64_t deadline_expired_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::size_t queue_depth_ = 0;
+  std::size_t queue_peak_ = 0;
+  std::uint64_t cache_hits_ = 0, cache_misses_ = 0, cache_evictions_ = 0;
+  std::size_t cache_bytes_ = 0, cache_entries_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace moss::serve

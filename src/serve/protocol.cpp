@@ -1,0 +1,190 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+
+namespace moss::serve {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Map a failure to "ERR <code> <message>". ContextError's reason frame
+/// becomes the code, so scripted clients can dispatch without parsing
+/// prose.
+std::string err_line(const std::exception& e) {
+  std::string code = "internal";
+  if (const auto* ce = dynamic_cast<const ContextError*>(&e)) {
+    const std::string reason = ce->context_value("reason");
+    if (!reason.empty()) code = reason;
+  } else if (dynamic_cast<const testing::InjectedFault*>(&e) != nullptr) {
+    code = "injected_fault";
+  }
+  std::string msg = e.what();
+  std::replace(msg.begin(), msg.end(), '\n', ' ');
+  return "ERR " + code + " " + msg;
+}
+
+constexpr const char* kHelp =
+    "ATP <design>      per-DFF arrival times (ps)\n"
+    "TRP <design>      per-cell toggle rates + power\n"
+    "EMBED <design>    netlist + RTL embeddings\n"
+    "RANK <design>     rank registered pool against the design's RTL\n"
+    "METRICS [json]    serving metrics\n"
+    "HELP              this text\n"
+    "QUIT              close the stream\n"
+    ".";
+
+}  // namespace
+
+ProtocolHandler::ProtocolHandler(InferenceEngine& engine, ProtocolConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)) {
+  MOSS_CHECK(static_cast<bool>(cfg_.load_design),
+             "ProtocolConfig needs a design loader");
+}
+
+std::shared_ptr<const data::LabeledCircuit> ProtocolHandler::circuit_for(
+    const std::string& token) {
+  const auto it = circuits_.find(token);
+  if (it != circuits_.end()) return it->second;
+  std::shared_ptr<const data::LabeledCircuit> lc = cfg_.load_design(token);
+  if (!lc) {
+    ErrorContext ctx;
+    ctx.add("reason", "unknown_design");
+    ctx.add("design", token);
+    ctx.fail("cannot load design");
+  }
+  circuits_.emplace(token, lc);
+  return lc;
+}
+
+std::string ProtocolHandler::handle_line(const std::string& line,
+                                         bool* quit) {
+  if (quit != nullptr) *quit = false;
+  const std::vector<std::string> tok = split_ws(line);
+  if (tok.empty()) return "ERR bad_request empty line";
+  const std::string cmd = upper(tok[0]);
+  try {
+    if (cmd == "QUIT") {
+      if (quit != nullptr) *quit = true;
+      return "OK BYE";
+    }
+    if (cmd == "HELP") return std::string("OK HELP\n") + kHelp;
+    if (cmd == "METRICS") {
+      const bool json = tok.size() > 1 && upper(tok[1]) == "JSON";
+      return "OK METRICS\n" +
+             (json ? engine_.metrics_json() + "\n."
+                   : engine_.metrics_text() + ".");
+    }
+
+    if (tok.size() < 2) return "ERR bad_request missing <design> operand";
+    const std::string& design = tok[1];
+    char buf[160];
+
+    if (cmd == "ATP" || cmd == "TRP" || cmd == "EMBED") {
+      Request req;
+      req.kind = cmd == "ATP"   ? RequestKind::kAtp
+                 : cmd == "TRP" ? RequestKind::kTrpPp
+                                : RequestKind::kEmbed;
+      req.circuit = circuit_for(design);
+      req.model = cfg_.model_name;
+      req.deadline_ms = cfg_.deadline_ms;
+      const Response r = engine_.call(std::move(req));
+      std::string out;
+      if (r.kind == RequestKind::kAtp) {
+        std::snprintf(buf, sizeof(buf), "OK ATP n=%zu", r.values.size());
+        out = buf;
+        for (const double v : r.values) {
+          std::snprintf(buf, sizeof(buf), " %.1f", v);
+          out += buf;
+        }
+      } else if (r.kind == RequestKind::kTrpPp) {
+        double mean = 0.0;
+        for (const double v : r.values) mean += v;
+        if (!r.values.empty()) mean /= static_cast<double>(r.values.size());
+        std::snprintf(buf, sizeof(buf),
+                      "OK TRP n=%zu mean_toggle=%.4f power_uw=%.2f",
+                      r.values.size(), mean, r.power_uw);
+        out = buf;
+      } else {
+        std::snprintf(buf, sizeof(buf), "OK EMBED dim=%zu",
+                      r.embedding.size());
+        out = buf;
+        const std::size_t show = std::min<std::size_t>(8, r.embedding.size());
+        for (std::size_t i = 0; i < show; ++i) {
+          std::snprintf(buf, sizeof(buf), " %.4f",
+                        static_cast<double>(r.embedding[i]));
+          out += buf;
+        }
+      }
+      std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
+      out += buf;
+      return out;
+    }
+
+    if (cmd == "RANK") {
+      Request req;
+      req.kind = RequestKind::kFepRank;
+      req.circuit = circuit_for(design);
+      req.pool = cfg_.pool_name;
+      req.model = cfg_.model_name;
+      req.deadline_ms = cfg_.deadline_ms;
+      const Response r = engine_.call(std::move(req));
+      if (r.ranking.empty()) return "ERR internal empty ranking";
+      std::snprintf(buf, sizeof(buf), "OK RANK pool=%zu top=%s score=%.4f",
+                    r.ranking.size(), r.ranking[0].name.c_str(),
+                    static_cast<double>(r.ranking[0].score));
+      std::string out = buf;
+      const std::size_t show =
+          std::min<std::size_t>(cfg_.rank_top, r.ranking.size());
+      for (std::size_t i = 0; i < show; ++i) {
+        std::snprintf(buf, sizeof(buf), " %zu:%s:%.4f", i + 1,
+                      r.ranking[i].name.c_str(),
+                      static_cast<double>(r.ranking[i].score));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
+      out += buf;
+      return out;
+    }
+
+    return "ERR bad_request unknown command " + cmd;
+  } catch (const std::exception& e) {
+    return err_line(e);
+  }
+}
+
+std::size_t ProtocolHandler::run(std::istream& in, std::ostream& out) {
+  std::string line;
+  std::size_t handled = 0;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line, &quit) << "\n";
+    out.flush();
+    ++handled;
+  }
+  return handled;
+}
+
+}  // namespace moss::serve

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "serve/engine.hpp"
+
+namespace moss::serve {
+
+/// Line-oriented request protocol spoken by `moss_serve` and
+/// `moss_cli serve` over stdin or a Unix socket. One request per line:
+///
+///   ATP <design>          per-DFF arrival times (ps)
+///   TRP <design>          per-cell toggle rates + derived power
+///   EMBED <design>        netlist + RTL embeddings
+///   RANK <design>         rank the registered pool against the design's RTL
+///   METRICS [json]        serving metrics dump
+///   HELP                  command summary
+///   QUIT                  close the stream
+///
+/// <design> is a Verilog path (*.v) or "family:size" like the CLI. Every
+/// response is a single line starting with "OK" or "ERR <code>"; METRICS
+/// and HELP respond with a block terminated by a lone "." line.
+struct ProtocolConfig {
+  /// Resolve a design token to a labeled circuit. Results are cached per
+  /// token inside the handler, so repeat requests skip labeling entirely.
+  std::function<std::shared_ptr<const data::LabeledCircuit>(
+      const std::string&)>
+      load_design;
+  std::string pool_name = "pool";
+  std::string model_name = "default";
+  int deadline_ms = 0;       ///< applied to every submitted request
+  std::size_t rank_top = 3;  ///< ranking entries echoed per RANK response
+};
+
+/// Stateful protocol handler: owns the per-token circuit cache and turns
+/// request lines into engine calls. Thread-compatible (one handler per
+/// connection/stream).
+class ProtocolHandler {
+ public:
+  ProtocolHandler(InferenceEngine& engine, ProtocolConfig cfg);
+
+  /// Handle one request line; never throws. Returns the full response
+  /// (single line, or "."-terminated block) without a trailing newline.
+  /// Sets `quit` when the line was QUIT.
+  std::string handle_line(const std::string& line, bool* quit = nullptr);
+
+  /// Serve `in` line-by-line until QUIT or EOF, writing responses (and a
+  /// newline) to `out`, flushing after each. Returns requests handled.
+  std::size_t run(std::istream& in, std::ostream& out);
+
+ private:
+  std::shared_ptr<const data::LabeledCircuit> circuit_for(
+      const std::string& token);
+
+  InferenceEngine& engine_;
+  ProtocolConfig cfg_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const data::LabeledCircuit>>
+      circuits_;
+};
+
+}  // namespace moss::serve

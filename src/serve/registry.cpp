@@ -1,0 +1,94 @@
+#include "serve/registry.hpp"
+
+#include <atomic>
+
+#include "core_util/error.hpp"
+#include "tensor/serialize.hpp"
+
+namespace moss::serve {
+
+namespace {
+std::uint64_t next_session_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+MossSession::MossSession() : uid_(next_session_uid()) {}
+
+std::shared_ptr<const MossSession> MossSession::load(
+    const core::WorkflowConfig& cfg, const std::vector<std::string>& corpus,
+    const std::string& ckpt_path) {
+  auto s = std::shared_ptr<MossSession>(new MossSession());
+  s->owned_encoder_ = std::make_unique<lm::TextEncoder>(cfg.encoder);
+  // Mirror MossWorkflow::fine_tune_encoder exactly (same rng derivation),
+  // so `train --save` followed by a session load over the same corpus gets
+  // the same encoder geometry — and therefore the same aggregator
+  // clustering and parameter shapes as the saved checkpoint.
+  Rng rng(cfg.seed ^ 0xF17E);
+  lm::fine_tune(*s->owned_encoder_, corpus, cfg.fine_tune, rng);
+  s->owned_model_ = std::make_unique<core::MossModel>(
+      cfg.model, cell::standard_library(), *s->owned_encoder_);
+  if (!ckpt_path.empty()) {
+    tensor::load_parameters_file(ckpt_path, s->owned_model_->params());
+  }
+  s->encoder_ = s->owned_encoder_.get();
+  s->model_ = s->owned_model_.get();
+  return s;
+}
+
+std::shared_ptr<const MossSession> MossSession::adopt(
+    const core::MossModel& model, const lm::TextEncoder& encoder) {
+  auto s = std::shared_ptr<MossSession>(new MossSession());
+  s->encoder_ = &encoder;
+  s->model_ = &model;
+  return s;
+}
+
+core::CircuitBatch MossSession::build(const data::LabeledCircuit& lc) const {
+  return core::build_batch(lc, *encoder_, model_->config().features);
+}
+
+std::uint64_t ModelRegistry::install(
+    const std::string& name, std::shared_ptr<const MossSession> session) {
+  MOSS_CHECK(session != nullptr, "cannot install a null session");
+  const std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[name];
+  slot.session = std::move(session);  // atomic publication point
+  return ++slot.version;
+}
+
+std::shared_ptr<const MossSession> ModelRegistry::get(
+    const std::string& name) const {
+  std::shared_ptr<const MossSession> s = try_get(name);
+  if (!s) {
+    ErrorContext ctx;
+    ctx.add("model", name);
+    ctx.fail("model not registered");
+  }
+  return s;
+}
+
+std::shared_ptr<const MossSession> ModelRegistry::try_get(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.session;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.erase(name) > 0;
+}
+
+std::vector<ModelRegistry::Info> ModelRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    out.push_back(Info{name, slot.session->uid(), slot.version});
+  }
+  return out;
+}
+
+}  // namespace moss::serve

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/workflow.hpp"
+
+namespace moss::serve {
+
+/// A warm, immutable inference session: the fine-tuned text encoder plus a
+/// MossModel with loaded parameters, ready to answer requests without any
+/// per-request setup. Sessions are shared between the registry and every
+/// in-flight request via shared_ptr<const>, so a hot-swap never invalidates
+/// work already dispatched.
+///
+/// Each session carries a process-unique `uid` that is mixed into every
+/// embedding-cache key: after a reload/hot-swap, the new session's results
+/// can never alias the old session's cached embeddings.
+class MossSession {
+ public:
+  /// Owning load: construct the encoder from `cfg.encoder`, fine-tune it on
+  /// `corpus` (seeded exactly like MossWorkflow, so a session loading a
+  /// workflow-trained checkpoint reproduces the training-time encoder
+  /// geometry bit-for-bit), build the model, then load `ckpt_path` through
+  /// the verified MOSSCKP1 loader. An empty `ckpt_path` keeps the fresh
+  /// initialization (useful for tests). Throws ContextError on a missing or
+  /// corrupt checkpoint — the registry entry being replaced stays live.
+  static std::shared_ptr<const MossSession> load(
+      const core::WorkflowConfig& cfg, const std::vector<std::string>& corpus,
+      const std::string& ckpt_path);
+
+  /// Non-owning adoption of an externally trained model + encoder (the
+  /// caller keeps both alive for the session's lifetime). Used to serve a
+  /// model straight out of a training run without a checkpoint round-trip.
+  static std::shared_ptr<const MossSession> adopt(
+      const core::MossModel& model, const lm::TextEncoder& encoder);
+
+  const core::MossModel& model() const { return *model_; }
+  const lm::TextEncoder& encoder() const { return *encoder_; }
+  const core::MossConfig& config() const { return model_->config(); }
+  std::uint64_t uid() const { return uid_; }
+
+  /// Build a model-ready batch for a labeled circuit with this session's
+  /// encoder and feature config.
+  core::CircuitBatch build(const data::LabeledCircuit& lc) const;
+
+ private:
+  MossSession();
+
+  std::uint64_t uid_;
+  std::unique_ptr<lm::TextEncoder> owned_encoder_;
+  std::unique_ptr<core::MossModel> owned_model_;
+  const lm::TextEncoder* encoder_ = nullptr;
+  const core::MossModel* model_ = nullptr;
+};
+
+/// Name → session map with atomic hot-swap. install() publishes a new
+/// session for a name in one shared_ptr store; readers that already hold a
+/// session pointer keep using it (immutable), new requests see the new one.
+/// Per-name version counters make swaps observable.
+class ModelRegistry {
+ public:
+  struct Info {
+    std::string name;
+    std::uint64_t uid = 0;
+    std::uint64_t version = 0;  ///< how many installs this name has seen
+  };
+
+  /// Publish `session` under `name`, replacing any previous session
+  /// atomically. Returns the new version number (1 for a first install).
+  std::uint64_t install(const std::string& name,
+                        std::shared_ptr<const MossSession> session);
+
+  /// Session for `name`; throws ContextError("model not registered",
+  /// model=<name>) when absent.
+  std::shared_ptr<const MossSession> get(const std::string& name) const;
+  std::shared_ptr<const MossSession> try_get(const std::string& name) const;
+  bool remove(const std::string& name);
+  std::vector<Info> list() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const MossSession> session;
+    std::uint64_t version = 0;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> slots_;
+};
+
+}  // namespace moss::serve

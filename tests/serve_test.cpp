@@ -1,0 +1,553 @@
+// moss::serve test suite: embedding-cache LRU/budget/concurrency semantics,
+// bit-identical cached-vs-direct inference for all four request kinds,
+// micro-batching overload behavior (typed queue-full rejections, deadlines),
+// fault-injection request isolation, registry hot-swap, and metrics output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+#include "core_util/thread_pool.hpp"
+#include "power/power.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace moss {
+namespace {
+
+using serve::EmbeddingCache;
+using serve::InferenceEngine;
+using serve::ModelRegistry;
+using serve::Request;
+using serve::RequestKind;
+using serve::Response;
+using tensor::Tensor;
+
+/// Guard that disarms every fault site on scope exit, so a failing
+/// EXPECT_THROW cannot leak an armed fault into later tests.
+struct FaultGuard {
+  ~FaultGuard() { testing::disarm_all_faults(); }
+};
+
+Tensor filled(std::size_t cols, float base) {
+  Tensor t = Tensor::zeros(1, cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    t.data()[i] = base + 0.25f * static_cast<float>(i);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// EmbeddingCache
+
+// One 16-float entry costs 16*4 payload + fixed overhead.
+constexpr std::size_t kEntry = 16 * 4 + EmbeddingCache::kEntryOverhead;
+
+TEST(EmbeddingCache, HitReturnsIdenticalStorage) {
+  EmbeddingCache cache(1 << 20, 1);
+  const Tensor v = filled(16, 3.0f);
+  cache.put(7, v);
+  const auto got = cache.get(7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data(), v.data());
+  EXPECT_FALSE(cache.get(8).has_value());
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.inserts, 1u);
+}
+
+TEST(EmbeddingCache, LruEvictionOrderRespectsRecency) {
+  EmbeddingCache cache(3 * kEntry, 1);  // exactly three entries fit
+  cache.put(1, filled(16, 1.0f));
+  cache.put(2, filled(16, 2.0f));
+  cache.put(3, filled(16, 3.0f));
+  ASSERT_TRUE(cache.get(1).has_value());  // refresh 1 -> LRU victim is 2
+  cache.put(4, filled(16, 4.0f));
+  EXPECT_FALSE(cache.get(2).has_value()) << "LRU entry 2 should be evicted";
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  const auto st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 3u);
+}
+
+TEST(EmbeddingCache, ByteBudgetNeverExceeded) {
+  EmbeddingCache cache(2 * kEntry, 1);
+  for (std::uint64_t k = 0; k < 10; ++k) cache.put(k, filled(16, 0.5f));
+  auto st = cache.stats();
+  EXPECT_LE(st.bytes, cache.byte_budget());
+  EXPECT_EQ(st.bytes, st.entries * kEntry);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 8u);
+
+  // Overweight values are refused outright, not admitted-then-evicted.
+  const Tensor huge = filled(1024, 1.0f);  // > 2*kEntry budget
+  ASSERT_GT(EmbeddingCache::entry_bytes(huge), cache.byte_budget());
+  cache.put(99, huge);
+  EXPECT_FALSE(cache.get(99).has_value());
+  st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_LE(st.bytes, cache.byte_budget());
+}
+
+TEST(EmbeddingCache, ReplacingAKeyKeepsAccountingExact) {
+  EmbeddingCache cache(1 << 20, 1);
+  cache.put(5, filled(16, 1.0f));
+  cache.put(5, filled(16, 2.0f));  // refresh, not a second entry
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, kEntry);
+  EXPECT_EQ(cache.get(5)->data(), filled(16, 2.0f).data());
+}
+
+TEST(EmbeddingCache, GetOrComputeComputesOnce) {
+  EmbeddingCache cache(1 << 20, 2);
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return filled(16, 7.0f);
+  };
+  const Tensor a = cache.get_or_compute(42, compute);
+  const Tensor b = cache.get_or_compute(42, compute);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(EmbeddingCache, ShardHammerOnThreadPoolStaysConsistent) {
+  EmbeddingCache cache(1 << 20, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  ThreadPool pool(4);
+  constexpr std::size_t kOps = 4000;
+  constexpr std::uint64_t kKeys = 64;
+  std::vector<int> bad(kOps, 0);
+  pool.parallel_for(0, kOps, [&](std::size_t i) {
+    const std::uint64_t key = (i * 2654435761u) % kKeys;
+    const Tensor v = cache.get_or_compute(
+        key, [&] { return filled(16, static_cast<float>(key)); });
+    // Whoever computed it, the value must always match the key.
+    if (v.data() != filled(16, static_cast<float>(key)).data()) bad[i] = 1;
+  });
+  for (std::size_t i = 0; i < kOps; ++i) {
+    ASSERT_EQ(bad[i], 0) << "op " << i << " saw a value from a foreign key";
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, kOps);
+  EXPECT_GE(st.hits, kOps - 2 * kKeys);  // a few racing double-computes OK
+  EXPECT_EQ(st.entries, kKeys);
+  EXPECT_EQ(st.evictions, 0u);
+}
+
+TEST(EmbeddingCache, CanonicalRtlIgnoresFormattingOnly) {
+  const std::string a = "module m(input x);\n  // a comment\n  wire  w;\n"
+                        "/* block\n comment */ endmodule\n";
+  const std::string b = "module m(input x); wire w; endmodule";
+  EXPECT_EQ(serve::canonical_rtl(a), serve::canonical_rtl(b));
+  EXPECT_EQ(serve::rtl_key(1, a), serve::rtl_key(1, b));
+  EXPECT_NE(serve::rtl_key(1, a), serve::rtl_key(2, a))
+      << "different sessions must never share a key";
+  EXPECT_NE(serve::rtl_key(1, "module m; endmodule"),
+            serve::rtl_key(1, "module n; endmodule"));
+}
+
+// ---------------------------------------------------------------------------
+// shared tiny session (built once; labeling + encoder fine-tune is the
+// expensive part, the model itself keeps its deterministic fresh init)
+
+struct ServeWorld {
+  core::WorkflowConfig cfg;
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> lcs;
+  std::shared_ptr<const serve::MossSession> session;
+  std::vector<std::shared_ptr<const core::CircuitBatch>> batches;
+};
+
+const ServeWorld& world() {
+  static const ServeWorld* w = [] {
+    auto* sw = new ServeWorld();
+    sw->cfg.model.hidden = 12;
+    sw->cfg.model.rounds = 1;
+    sw->cfg.dataset.sim_cycles = 200;
+    sw->cfg.encoder = {1024, 12, 5};
+    sw->cfg.fine_tune.epochs = 1;
+    sw->cfg.fine_tune.max_pairs_per_epoch = 4000;
+    const auto& lib = cell::standard_library();
+    const std::vector<data::DesignSpec> specs{{"alu", 1, 21, "srv_alu"},
+                                              {"crc", 1, 22, "srv_crc"},
+                                              {"arbiter", 1, 23, "srv_arb"}};
+    std::vector<std::string> corpus;
+    for (const auto& spec : specs) {
+      sw->lcs.push_back(std::make_shared<data::LabeledCircuit>(
+          data::label_circuit(spec, lib, sw->cfg.dataset)));
+      corpus.push_back(sw->lcs.back()->module_text);
+    }
+    sw->session = serve::MossSession::load(sw->cfg, corpus, /*ckpt_path=*/"");
+    for (const auto& lc : sw->lcs) {
+      sw->batches.push_back(
+          std::make_shared<core::CircuitBatch>(sw->session->build(*lc)));
+    }
+    return sw;
+  }();
+  return *w;
+}
+
+// ---------------------------------------------------------------------------
+// bit-identity: engine responses (cold and warm cache) == direct model calls
+
+TEST(ServeEngine, AllFourKindsBitIdenticalColdAndWarm) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+  eng.register_pool("pool", w.batches);
+  const core::MossModel& model = w.session->model();
+
+  for (int pass = 0; pass < 2; ++pass) {  // pass 0: cold cache, 1: warm
+    SCOPED_TRACE(pass == 0 ? "cold" : "warm");
+    for (std::size_t i = 0; i < w.lcs.size(); ++i) {
+      SCOPED_TRACE(w.batches[i]->name);
+      const core::CircuitBatch& b = *w.batches[i];
+      const Tensor h = model.node_embeddings(b);
+
+      // ATP
+      {
+        Request rq;
+        rq.kind = RequestKind::kAtp;
+        rq.batch = w.batches[i];
+        const Response r = eng.call(rq);
+        const Tensor flop = model.predict_arrival(b, h, b.flop_rows);
+        ASSERT_EQ(r.values.size(), b.flop_rows.size());
+        for (std::size_t k = 0; k < r.values.size(); ++k) {
+          EXPECT_EQ(r.values[k], static_cast<double>(flop.at(k, 0)) *
+                                     core::kArrivalScale);
+        }
+      }
+
+      // TRP + PP
+      {
+        Request rq;
+        rq.kind = RequestKind::kTrpPp;
+        rq.circuit = w.lcs[i];
+        rq.batch = w.batches[i];
+        const Response r = eng.call(rq);
+        const core::LocalPredictions pred = model.predict_local(b, h);
+        ASSERT_EQ(r.values.size(), b.cell_rows.size());
+        std::vector<double> rates(w.lcs[i]->netlist.num_nodes(), 0.0);
+        for (std::size_t k = 0; k < r.values.size(); ++k) {
+          const double t = static_cast<double>(pred.toggle.at(k, 0));
+          EXPECT_EQ(r.values[k], t);
+          rates[static_cast<std::size_t>(b.cell_rows[k])] = t;
+        }
+        EXPECT_EQ(r.power_uw,
+                  power::analyze_power(w.lcs[i]->netlist, rates).total_uw);
+      }
+
+      // EMBED
+      {
+        Request rq;
+        rq.kind = RequestKind::kEmbed;
+        rq.batch = w.batches[i];
+        const Response r = eng.call(rq);
+        EXPECT_EQ(r.embedding, model.netlist_embedding(b, h).data());
+        EXPECT_EQ(r.rtl_embedding,
+                  model.rtl_embedding(b.module_text).data());
+      }
+
+      // FEP-rank
+      {
+        Request rq;
+        rq.kind = RequestKind::kFepRank;
+        rq.rtl_text = w.lcs[i]->module_text;
+        rq.pool = "pool";
+        const Response r = eng.call(rq);
+        ASSERT_EQ(r.ranking.size(), w.batches.size());
+        const Tensor r_e = model.rtl_embedding(w.lcs[i]->module_text);
+        for (const auto& entry : r.ranking) {
+          const core::CircuitBatch& mb = *w.batches[entry.index];
+          const Tensor n_e =
+              model.netlist_embedding(mb, model.node_embeddings(mb));
+          EXPECT_EQ(entry.score, model.pair_score(r_e, n_e));
+          EXPECT_EQ(entry.name, mb.name);
+        }
+      }
+    }
+  }
+  const serve::CacheStats st = cache.stats();
+  EXPECT_GT(st.hits, 0u) << "warm pass should have hit the cache";
+}
+
+TEST(ServeEngine, EngineWithoutCacheMatchesEngineWithCache) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine cached(reg, &cache, {});
+  InferenceEngine direct(reg, /*cache=*/nullptr, {});
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+  const Response a = cached.call(rq);  // populates cache
+  const Response b = cached.call(rq);  // served from cache
+  const Response c = direct.call(rq);  // compute-always
+  EXPECT_EQ(a.embedding, c.embedding);
+  EXPECT_EQ(b.embedding, c.embedding);
+  EXPECT_EQ(a.rtl_embedding, c.rtl_embedding);
+  EXPECT_EQ(b.rtl_embedding, c.rtl_embedding);
+}
+
+// ---------------------------------------------------------------------------
+// typed overload behavior
+
+TEST(ServeEngine, QueueFullRejectsWithTypedError) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.max_batch = 8;        // a lone request waits out max_delay...
+  ec.max_delay_ms = 1000;  // ...so the queue stays occupied while we fill it
+  ec.queue_capacity = 2;
+  InferenceEngine eng(reg, nullptr, ec);
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+  std::future<Response> f1 = eng.submit(rq);
+  std::future<Response> f2 = eng.submit(rq);
+  try {
+    eng.submit(rq);
+    FAIL() << "third submit should overflow capacity-2 queue";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "queue_full") << e.what();
+    EXPECT_EQ(e.context_value("capacity"), "2") << e.what();
+  }
+  eng.stop();  // drains: the two queued requests still get served
+  EXPECT_FALSE(f1.get().embedding.empty());
+  EXPECT_FALSE(f2.get().embedding.empty());
+  EXPECT_EQ(eng.metrics().snapshot().rejected, 1u);
+  try {
+    eng.submit(rq);
+    FAIL() << "submit after stop() should be rejected";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "stopped") << e.what();
+  }
+}
+
+TEST(ServeEngine, ExpiredDeadlineFailsTypedInsteadOfServing) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.max_batch = 8;
+  ec.max_delay_ms = 120;  // lone request sits in the queue for 120ms
+  InferenceEngine eng(reg, nullptr, ec);
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+  rq.deadline_ms = 10;  // expires long before the batch window closes
+  try {
+    eng.call(rq);
+    FAIL() << "expired request should not be served";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "deadline_expired") << e.what();
+  }
+  EXPECT_EQ(eng.metrics().snapshot().deadline_expired, 1u);
+}
+
+TEST(ServeEngine, BadRequestsGetTypedErrors) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  InferenceEngine eng(reg, nullptr, {});
+
+  Request no_circuit;
+  no_circuit.kind = RequestKind::kAtp;
+  try {
+    eng.call(no_circuit);
+    FAIL() << "ATP without circuit/batch served";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "bad_request") << e.what();
+  }
+
+  Request bad_pool;
+  bad_pool.kind = RequestKind::kFepRank;
+  bad_pool.rtl_text = "module m; endmodule";
+  bad_pool.pool = "nope";
+  try {
+    eng.call(bad_pool);
+    FAIL() << "unknown pool served";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "unknown_pool") << e.what();
+    EXPECT_EQ(e.context_value("pool"), "nope") << e.what();
+  }
+
+  Request bad_model;
+  bad_model.kind = RequestKind::kEmbed;
+  bad_model.batch = w.batches[0];
+  bad_model.model = "missing";
+  EXPECT_THROW(eng.call(bad_model), ContextError);
+}
+
+// ---------------------------------------------------------------------------
+// fault injection: a poisoned request fails alone, the queue keeps serving
+
+TEST(ServeFault, PoisonedDispatchFailsExactlyOneRequest) {
+  const ServeWorld& w = world();
+  FaultGuard guard;
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+
+  testing::arm_fault("serve.engine.dispatch");
+  std::vector<std::future<Response>> futs;
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  for (std::size_t i = 0; i < 4; ++i) {
+    rq.batch = w.batches[i % w.batches.size()];
+    futs.push_back(eng.submit(rq));
+  }
+  int injected = 0, ok = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const testing::InjectedFault&) {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 1) << "exactly the poisoned request must fail";
+  EXPECT_EQ(ok, 3) << "the rest of the batch must be served";
+
+  // The engine is not wedged: later requests succeed.
+  rq.batch = w.batches[0];
+  EXPECT_FALSE(eng.call(rq).embedding.empty());
+  EXPECT_EQ(eng.queue_depth(), 0u);
+}
+
+TEST(ServeFault, CacheInsertFaultPoisonsOnlyThatRequest) {
+  const ServeWorld& w = world();
+  FaultGuard guard;
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+
+  testing::arm_fault("serve.cache.insert");
+  EXPECT_THROW(eng.call(rq), testing::InjectedFault);
+  testing::disarm_all_faults();
+
+  // Same request now serves and matches the direct computation.
+  const Response r = eng.call(rq);
+  const core::MossModel& model = w.session->model();
+  const core::CircuitBatch& b = *w.batches[0];
+  EXPECT_EQ(r.embedding,
+            model.netlist_embedding(b, model.node_embeddings(b)).data());
+}
+
+// ---------------------------------------------------------------------------
+// registry hot-swap
+
+TEST(ServeRegistry, HotSwapRoutesNewRequestsAndBumpsVersion) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  EXPECT_EQ(reg.install("default", w.session), 1u);
+
+  std::vector<std::string> corpus;
+  for (const auto& lc : w.lcs) corpus.push_back(lc->module_text);
+  const auto replacement = serve::MossSession::load(w.cfg, corpus, "");
+  EXPECT_NE(replacement->uid(), w.session->uid())
+      << "every session needs a process-unique uid";
+
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+  EXPECT_EQ(eng.call(rq).session_uid, w.session->uid());
+
+  EXPECT_EQ(reg.install("default", replacement), 2u);
+  EXPECT_EQ(eng.call(rq).session_uid, replacement->uid());
+
+  const auto infos = reg.list();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "default");
+  EXPECT_EQ(infos[0].version, 2u);
+  EXPECT_EQ(infos[0].uid, replacement->uid());
+
+  EXPECT_TRUE(reg.remove("default"));
+  EXPECT_FALSE(reg.remove("default"));
+  try {
+    reg.get("default");
+    FAIL() << "removed model still served";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("model"), "default") << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metrics
+
+TEST(ServeMetrics, HistogramQuantilesAndDumps) {
+  serve::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(100.0);  // ~all in one bucket
+  h.record(100000.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_LE(h.quantile_us(0.5), 256.0);
+  EXPECT_GE(h.quantile_us(0.999), 65536.0);
+  EXPECT_GT(h.mean_us(), 0.0);
+
+  serve::ServeMetrics m;
+  m.record(RequestKind::kAtp, 1500.0, true);
+  m.record(RequestKind::kFepRank, 900.0, false);
+  m.record_rejected();
+  m.record_batch(2);
+  m.set_cache_counters(3, 4, 1, 4096, 2);
+  const serve::MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.total_ok, 1u);
+  EXPECT_EQ(snap.total_errors, 1u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.cache_hits, 3u);
+
+  const std::string text = m.text();
+  EXPECT_NE(text.find("endpoint"), std::string::npos) << text;
+  EXPECT_NE(text.find("atp"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache:"), std::string::npos) << text;
+  const std::string json = m.json();
+  EXPECT_EQ(json.front(), '{') << json;
+  EXPECT_NE(json.find("\"fep_rank\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache\""), std::string::npos) << json;
+}
+
+TEST(ServeMetrics, EngineCountsRequestsPerEndpoint) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[0];
+  eng.call(rq);
+  eng.call(rq);
+  const std::string json = eng.metrics_json();
+  EXPECT_NE(json.find("\"embed\""), std::string::npos) << json;
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_EQ(snap.total_ok, 2u);
+  EXPECT_EQ(
+      snap.endpoints[static_cast<std::size_t>(RequestKind::kEmbed)].requests,
+      2u);
+}
+
+}  // namespace
+}  // namespace moss
