@@ -8,6 +8,12 @@
 // is deterministic, so warm responses are bit-identical to cold ones (the
 // serve_test suite asserts this; here we only time it).
 //
+// A second table measures degraded mode: EMBED/FEP-rank QPS with a healthy
+// session vs the same traffic served entirely from stale cache entries
+// while the session's circuit breaker is open (allow_stale). That ratio is
+// the price of an outage for low-priority traffic — how much throughput
+// survives when every forward pass is failing.
+//
 // Output: a small table (stdout). CI captures it as results/bench_serve.txt.
 
 #include <chrono>
@@ -17,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core_util/fault.hpp"
 #include "harness.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
@@ -162,5 +169,62 @@ int main() {
               static_cast<double>(cs.bytes) / 1024.0);
   std::printf("fep_rank warm/cold speedup: %.1fx (acceptance floor: 5x)\n",
               rank_speedup);
-  return rank_speedup >= 5.0 ? 0 : 1;
+
+  // --- Degraded mode: healthy vs breaker-open serve-stale throughput -----
+  //
+  // A fresh engine with allow_stale: warm the cache, time the healthy path,
+  // then make every forward pass fail (probabilistic fault site at p=1.0),
+  // trip the breaker with ATP traffic, and time the same EMBED/FEP-rank
+  // requests again — now answered purely from stale cache entries.
+  std::printf("\n=== Degraded mode: healthy vs breaker-open serve-stale ===\n\n");
+
+  serve::ModelRegistry dreg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown_ms = 600000;  // stays open for the whole measurement
+  dreg.set_breaker_config(bcfg);
+  dreg.install("default", session);
+  serve::EmbeddingCache dcache(256u << 20);
+  serve::EngineConfig dcfg = ecfg;
+  dcfg.allow_stale = true;
+  serve::InferenceEngine deg(dreg, &dcache, dcfg);
+  deg.register_pool("pool", members);
+
+  bool degraded_ok = true;
+  std::printf("%-10s | %12s | %12s | %9s\n", "endpoint", "healthy qps",
+              "stale qps", "retained");
+  bench::print_rule(52);
+  for (std::size_t which = 0; which < 2; ++which) {
+    const Row& row = which == 0 ? rows[2] : rows[0];  // embed, fep_rank
+    run_pass(deg, row.reqs);  // populate the cache (healthy warm-up)
+    double healthy_s = 0.0;
+    for (int r = 0; r < warm_rounds; ++r) healthy_s += run_pass(deg, row.reqs);
+
+    // Kill every forward pass and trip the breaker with ATP traffic.
+    testing::arm_fault_prob("serve.session.forward", 1.0, /*seed=*/7);
+    for (int i = 0; i < bcfg.failure_threshold; ++i) {
+      try {
+        deg.call(rows[1].reqs[0]);
+        degraded_ok = false;  // forward faults armed: this must fail
+      } catch (const std::exception&) {
+      }
+    }
+    double stale_s = 0.0;
+    for (int r = 0; r < warm_rounds; ++r) stale_s += run_pass(deg, row.reqs);
+    // Spot-check that the stale pass really was degraded serving.
+    if (!deg.call(row.reqs[0]).degraded) degraded_ok = false;
+    testing::disarm_all_faults();
+    dreg.install("default", session);  // reset the breaker for the next row
+
+    const double n = static_cast<double>(row.reqs.size()) * warm_rounds;
+    const double healthy_qps = n / healthy_s;
+    const double stale_qps = n / stale_s;
+    std::printf("%-10s | %12.1f | %12.1f | %8.2fx\n", row.endpoint,
+                healthy_qps, stale_qps, stale_qps / healthy_qps);
+  }
+  bench::print_rule(52);
+  std::printf("degraded responses flagged and typed: %s\n",
+              degraded_ok ? "yes" : "NO (failure)");
+
+  return rank_speedup >= 5.0 && degraded_ok ? 0 : 1;
 }

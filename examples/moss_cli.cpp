@@ -280,7 +280,10 @@ struct ServeOptions {
   std::size_t cache_mb = 64;
   std::size_t max_batch = 8;
   int max_delay_ms = 2;
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::size_t threads = 0;      ///< 0 = hardware concurrency
+  int max_retries = 2;          ///< retries after the first attempt
+  double shed_threshold = 0.75; ///< queue fraction; >=1 disables shedding
+  bool allow_stale = false;     ///< serve EMBED/RANK from stale cache
 };
 
 /// Serve a trained checkpoint over the stdin/stdout line protocol.
@@ -343,6 +346,9 @@ int cmd_serve(const std::string& ckpt_path,
   ecfg.max_batch = opt.max_batch;
   ecfg.max_delay_ms = opt.max_delay_ms;
   ecfg.threads = opt.threads;
+  ecfg.admission.enabled = opt.shed_threshold < 1.0;
+  ecfg.admission.shed_queue_fraction = opt.shed_threshold;
+  ecfg.allow_stale = opt.allow_stale;
   serve::InferenceEngine engine(registry, &cache, ecfg);
 
   std::vector<std::shared_ptr<const core::CircuitBatch>> pool;
@@ -352,6 +358,7 @@ int cmd_serve(const std::string& ckpt_path,
   engine.register_pool("pool", pool);
 
   serve::ProtocolConfig pcfg;
+  pcfg.retry.max_attempts = 1 + opt.max_retries;
   auto boot = std::make_shared<
       std::unordered_map<std::string,
                          std::shared_ptr<const data::LabeledCircuit>>>();
@@ -388,7 +395,8 @@ void usage() {
       "         [--checkpoint-every N] [--resume] [--save CKPT]\n"
       "  ckpt   <file.ckpt>\n"
       "  serve  <file.ckpt> <design>... [--cache-mb N] [--max-batch N]\n"
-      "         [--max-delay-ms N] [--threads N]\n"
+      "         [--max-delay-ms N] [--threads N] [--max-retries N]\n"
+      "         [--shed-threshold F] [--allow-stale]\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
       "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad checkpoint\n",
       stderr);
@@ -477,6 +485,12 @@ int main(int argc, char** argv) {
         } else if (a == "--threads" && i + 1 < argc) {
           opt.threads = static_cast<std::size_t>(
               std::max(0, std::atoi(argv[++i])));
+        } else if (a == "--max-retries" && i + 1 < argc) {
+          opt.max_retries = std::max(0, std::atoi(argv[++i]));
+        } else if (a == "--shed-threshold" && i + 1 < argc) {
+          opt.shed_threshold = std::atof(argv[++i]);
+        } else if (a == "--allow-stale") {
+          opt.allow_stale = true;
         } else if (a.rfind("--", 0) == 0) {
           std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
           usage();

@@ -24,6 +24,8 @@
 //
 // Serving metrics are dumped to stderr on exit.
 
+#include <cerrno>
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,13 +53,17 @@ struct Options {
   std::size_t max_batch = 8;
   int max_delay_ms = 2;
   std::size_t threads = 0;
+  int max_retries = 2;          ///< retries after the first attempt
+  double shed_threshold = 0.75; ///< queue fraction; >=1 disables shedding
+  bool allow_stale = false;
 };
 
 void usage() {
   std::fputs(
       "usage: moss_serve <design>... [--ckpt FILE] [--cache-mb N]\n"
       "       [--max-batch N] [--max-delay-ms N] [--threads N]\n"
-      "       [--socket PATH]\n"
+      "       [--socket PATH] [--max-retries N] [--shed-threshold F]\n"
+      "       [--allow-stale]\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
       stderr);
 }
@@ -107,6 +113,22 @@ std::shared_ptr<const data::LabeledCircuit> load_token(
       spec_for(token, index), cell::standard_library(), dcfg));
 }
 
+/// Write all of `data`, retrying short writes and EINTR. Returns false when
+/// the client is gone (EPIPE/ECONNRESET) or on any other write error.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = write(fd, data.data() + off, data.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;  // signal during write: retry
+      if (errno != EPIPE && errno != ECONNRESET) std::perror("write");
+      return false;  // client hung up (or unrecoverable error): drop it
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 /// Serve one Unix-socket client with its own protocol handler.
 void serve_connection(int fd, serve::InferenceEngine& engine,
                       const serve::ProtocolConfig& pcfg) {
@@ -116,19 +138,16 @@ void serve_connection(int fd, serve::InferenceEngine& engine,
   bool quit = false;
   while (!quit) {
     const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or read error: client gone
     pending.append(buf, static_cast<std::size_t>(n));
     std::size_t nl;
     while (!quit && (nl = pending.find('\n')) != std::string::npos) {
       const std::string line = pending.substr(0, nl);
       pending.erase(0, nl + 1);
       if (line.empty()) continue;
-      const std::string resp = handler.handle_line(line, &quit) + "\n";
-      std::size_t off = 0;
-      while (off < resp.size()) {
-        const ssize_t w = write(fd, resp.data() + off, resp.size() - off);
-        if (w <= 0) { quit = true; break; }
-        off += static_cast<std::size_t>(w);
+      if (!write_all(fd, handler.handle_line(line, &quit) + "\n")) {
+        quit = true;
       }
     }
   }
@@ -159,7 +178,10 @@ int run_socket_server(const std::string& path, serve::InferenceEngine& engine,
   std::fprintf(stderr, "moss_serve: listening on %s\n", path.c_str());
   for (;;) {
     const int client = accept(fd, nullptr, nullptr);
-    if (client < 0) break;
+    if (client < 0) {
+      if (errno == EINTR) continue;  // signal during accept: keep serving
+      break;
+    }
     serve_connection(client, engine, pcfg);
   }
   close(fd);
@@ -199,6 +221,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(); return 2; }
       opt.threads = static_cast<std::size_t>(std::max(0, std::atoi(v)));
+    } else if (a == "--max-retries") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.max_retries = std::max(0, std::atoi(v));
+    } else if (a == "--shed-threshold") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.shed_threshold = std::atof(v);
+    } else if (a == "--allow-stale") {
+      opt.allow_stale = true;
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage();
@@ -211,6 +243,9 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // A client that disconnects mid-response must not kill the server with
+  // SIGPIPE; write() returns EPIPE instead, which write_all() handles.
+  std::signal(SIGPIPE, SIG_IGN);
 
   try {
     const core::WorkflowConfig cfg = cli_compatible_config();
@@ -270,6 +305,9 @@ int main(int argc, char** argv) {
     ecfg.max_batch = opt.max_batch;
     ecfg.max_delay_ms = opt.max_delay_ms;
     ecfg.threads = opt.threads;
+    ecfg.admission.enabled = opt.shed_threshold < 1.0;
+    ecfg.admission.shed_queue_fraction = opt.shed_threshold;
+    ecfg.allow_stale = opt.allow_stale;
     serve::InferenceEngine engine(registry, &cache, ecfg);
 
     // The command-line designs form the FEP-rank pool.
@@ -281,6 +319,8 @@ int main(int argc, char** argv) {
     engine.register_pool("pool", pool);
 
     serve::ProtocolConfig pcfg;
+    pcfg.retry.max_attempts = 1 + opt.max_retries;
+    pcfg.retry_budget = std::make_shared<serve::RetryBudget>();
     const data::DatasetConfig dcfg = cfg.dataset;
     std::size_t dynamic_index = gen_index;
     // Tokens already labeled at boot resolve to the boot circuits; new

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -7,6 +8,15 @@
 #include "core_util/check.hpp"
 
 namespace moss {
+
+/// Coarse failure taxonomy for resilience policies. Transient errors are
+/// worth retrying (overload, injected/flaky session faults, timeouts on the
+/// way in); permanent ones are not (malformed requests, unknown names,
+/// corrupt inputs) — retrying them only amplifies load.
+enum class ErrorClass : std::uint8_t {
+  kPermanent = 0,
+  kTransient = 1,
+};
 
 /// An Error carrying a chain of structured key/value context frames
 /// (file, section, parameter, …) in addition to the human-readable message.
@@ -21,8 +31,9 @@ class ContextError : public Error {
  public:
   using Frame = std::pair<std::string, std::string>;
 
-  ContextError(const std::string& msg, std::vector<Frame> ctx)
-      : Error(render(msg, ctx)), msg_(msg), ctx_(std::move(ctx)) {}
+  ContextError(const std::string& msg, std::vector<Frame> ctx,
+               ErrorClass cls = ErrorClass::kPermanent)
+      : Error(render(msg, ctx)), msg_(msg), ctx_(std::move(ctx)), cls_(cls) {}
 
   explicit ContextError(const std::string& msg)
       : ContextError(msg, {}) {}
@@ -30,6 +41,8 @@ class ContextError : public Error {
   /// The message without the rendered context suffix.
   const std::string& message() const { return msg_; }
   const std::vector<Frame>& context() const { return ctx_; }
+  ErrorClass error_class() const { return cls_; }
+  bool transient() const { return cls_ == ErrorClass::kTransient; }
 
   /// Value of the first frame with `key`, or "" if absent.
   std::string context_value(const std::string& key) const {
@@ -54,7 +67,18 @@ class ContextError : public Error {
  private:
   std::string msg_;
   std::vector<Frame> ctx_;
+  ErrorClass cls_ = ErrorClass::kPermanent;
 };
+
+/// Classification of an arbitrary in-flight exception. ContextErrors carry
+/// their class explicitly; anything untyped is treated as permanent — only
+/// failures a thrower deliberately marked transient are retry candidates
+/// (moss::testing::InjectedFault is special-cased by the serve layer, which
+/// knows the fault registry).
+inline ErrorClass error_class(const std::exception& e) {
+  const auto* ce = dynamic_cast<const ContextError*>(&e);
+  return ce != nullptr ? ce->error_class() : ErrorClass::kPermanent;
+}
 
 /// Builder that accumulates context frames as an operation descends through
 /// layers (file → section → parameter), then throws a ContextError carrying
@@ -94,8 +118,15 @@ class ErrorContext {
 
   const std::vector<ContextError::Frame>& frames() const { return frames_; }
 
+  /// Mark the eventual failure as transient (retry-worthy): overload,
+  /// flaky-dependency and timeout-shaped errors. Permanent is the default.
+  ErrorContext& transient() {
+    cls_ = ErrorClass::kTransient;
+    return *this;
+  }
+
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ContextError(msg, frames_);
+    throw ContextError(msg, frames_, cls_);
   }
 
   void check(bool cond, const std::string& msg) const {
@@ -104,6 +135,7 @@ class ErrorContext {
 
  private:
   std::vector<ContextError::Frame> frames_;
+  ErrorClass cls_ = ErrorClass::kPermanent;
 };
 
 }  // namespace moss

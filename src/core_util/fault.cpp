@@ -5,13 +5,20 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core_util/hash.hpp"
+#include "core_util/rng.hpp"
+
 namespace moss::testing {
 
 namespace {
 
 struct Site {
-  std::uint64_t armed_at = 0;  // 0 = not armed
+  std::uint64_t armed_at = 0;  // 0 = not armed (nth-hit mode)
   std::uint64_t hits = 0;
+  // Probabilistic (chaos) mode: fire each hit with `probability`, driven by
+  // a per-site deterministic stream. Engaged when probability > 0.
+  double probability = 0.0;
+  Rng rng;
 };
 
 struct Registry {
@@ -31,7 +38,7 @@ std::atomic<bool> g_any_armed{false};
 void refresh_any_armed_locked(const Registry& r) {
   bool any = false;
   for (const auto& entry : r.sites) {
-    if (entry.second.armed_at != 0) {
+    if (entry.second.armed_at != 0 || entry.second.probability > 0.0) {
       any = true;
       break;
     }
@@ -39,12 +46,27 @@ void refresh_any_armed_locked(const Registry& r) {
   g_any_armed.store(any, std::memory_order_relaxed);
 }
 
-/// Parse MOSS_FAULT=site:n[,site:n...] once per process. Malformed entries
-/// are ignored (the variable is a test hook, not user input worth dying
-/// over).
+Site prob_site(double probability, std::uint64_t seed,
+               const std::string& name) {
+  Site s;
+  s.probability = std::min(1.0, std::max(0.0, probability));
+  // Per-site stream: the same seed never makes two sites fire in lockstep.
+  s.rng.reseed(seed ^ fnv1a64(name));
+  return s;
+}
+
+/// Parse MOSS_FAULT=site:n[,site:n...] once per process. A value of `pX`
+/// (e.g. crc.check:p0.05) arms the site probabilistically; the optional
+/// MOSS_FAULT_SEED env var seeds the chaos streams. Malformed entries are
+/// ignored (the variable is a test hook, not user input worth dying over).
 void arm_from_env_locked(Registry& r) {
   const char* env = std::getenv("MOSS_FAULT");
   if (!env) return;
+  std::uint64_t seed = 1;
+  if (const char* s = std::getenv("MOSS_FAULT_SEED")) {
+    const std::uint64_t v = std::strtoull(s, nullptr, 10);
+    if (v != 0) seed = v;
+  }
   const std::string spec(env);
   std::size_t start = 0;
   while (start < spec.size()) {
@@ -55,10 +77,15 @@ void arm_from_env_locked(Registry& r) {
     const std::size_t colon = entry.rfind(':');
     if (colon == std::string::npos || colon == 0) continue;
     const std::string site = entry.substr(0, colon);
-    const std::uint64_t nth =
-        std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+    const std::string value = entry.substr(colon + 1);
+    if (!value.empty() && value[0] == 'p') {
+      const double p = std::strtod(value.c_str() + 1, nullptr);
+      if (p > 0.0) r.sites[site] = prob_site(p, seed, site);
+      continue;
+    }
+    const std::uint64_t nth = std::strtoull(value.c_str(), nullptr, 10);
     if (nth == 0) continue;
-    r.sites[site] = Site{nth, 0};
+    r.sites[site] = Site{nth, 0, 0.0, Rng()};
   }
   refresh_any_armed_locked(r);
 }
@@ -75,8 +102,25 @@ void arm_fault(const std::string& site, std::uint64_t nth) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   ensure_env_parsed_locked(r);
-  r.sites[site] = Site{nth, 0};
+  r.sites[site] = Site{nth, 0, 0.0, Rng()};
   refresh_any_armed_locked(r);
+}
+
+void arm_fault_prob(const std::string& site, double probability,
+                    std::uint64_t seed) {
+  MOSS_CHECK(probability >= 0.0 && probability <= 1.0,
+             "arm_fault_prob: probability must be in [0,1]");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  r.sites[site] = prob_site(probability, seed, site);
+  refresh_any_armed_locked(r);
+}
+
+void arm_chaos(const std::vector<ChaosSite>& script, std::uint64_t seed) {
+  for (const ChaosSite& cs : script) {
+    arm_fault_prob(cs.site, cs.probability, seed);
+  }
 }
 
 void disarm_all_faults() {
@@ -102,9 +146,15 @@ bool fault_fires(const char* site) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.sites.find(site);
-  if (it == r.sites.end() || it->second.armed_at == 0) return false;
-  ++it->second.hits;
-  return it->second.hits == it->second.armed_at;
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  if (s.probability > 0.0) {
+    ++s.hits;
+    return s.rng.bernoulli(s.probability);
+  }
+  if (s.armed_at == 0) return false;
+  ++s.hits;
+  return s.hits == s.armed_at;
 }
 
 std::uint64_t fault_hits(const std::string& site) {

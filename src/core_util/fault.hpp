@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <streambuf>
 #include <string>
+#include <vector>
 
 #include "core_util/check.hpp"
 
@@ -22,6 +23,13 @@ namespace moss::testing {
 /// crash at exactly that point; later hits of the same site do not fire
 /// again, so a resumed run in the same process completes normally.
 ///
+/// Chaos mode: a site armed with a probability instead of a hit count
+/// (arm_fault_prob, or `site:p0.05` in MOSS_FAULT) fires independently on
+/// every hit with that probability, driven by a per-site seeded Rng — the
+/// firing sequence is deterministic per site for a given seed. Multi-site
+/// probabilistic scripts (arm_chaos) are how the chaos soak harness models
+/// a flaky deployment rather than a single crash.
+///
 /// When no site is armed the per-hit cost is one relaxed atomic load.
 
 /// Thrown by a firing fault point. Derives from moss::Error so generic
@@ -34,6 +42,24 @@ class InjectedFault : public Error {
 /// Arm `site` to fire on its `nth` hit from now (1-based). Re-arming a
 /// site resets its hit counter.
 void arm_fault(const std::string& site, std::uint64_t nth = 1);
+
+/// Arm `site` to fire independently on every hit with probability
+/// `probability` in [0,1], drawn from a per-site Rng seeded with `seed`.
+/// Unlike nth-hit arming the site keeps firing for as long as it stays
+/// armed — disarm_all_faults() (or re-arming) ends the chaos.
+void arm_fault_prob(const std::string& site, double probability,
+                    std::uint64_t seed = 1);
+
+/// One entry of a probabilistic chaos script.
+struct ChaosSite {
+  std::string site;
+  double probability = 0.0;
+};
+
+/// Arm every site of a chaos script. Each site gets an independent Rng
+/// derived from `seed` and the site name, so adding or removing one site
+/// does not change another site's firing sequence.
+void arm_chaos(const std::vector<ChaosSite>& script, std::uint64_t seed);
 
 /// Disarm every site and reset all hit counters. Env-armed sites are not
 /// re-applied (the environment is read once per process).

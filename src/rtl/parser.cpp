@@ -250,8 +250,15 @@ class Parser {
     if (!at_ident("module")) err("expected 'module'");
     ++pos_;
     m_.name = expect_ident();
+    // Truncated/hostile input must fail here with a position, not slide
+    // through the permissive declaration scan and "parse" an empty module.
+    if (!at_punct("(")) err("expected '(' after module name");
+    bool closed = false;
     while (peek().kind != Tok::kEnd) {
-      if (at_ident("input") || at_ident("output") || at_ident("wire") ||
+      if (at_ident("endmodule")) {
+        closed = true;
+        ++pos_;
+      } else if (at_ident("input") || at_ident("output") || at_ident("wire") ||
           at_ident("reg")) {
         const std::string kind = take().text;
         const int width = parse_range();
@@ -270,6 +277,7 @@ class Parser {
         ++pos_;
       }
     }
+    if (!closed) err("missing 'endmodule'");
   }
 
   static bool is_decl_keyword(const std::string& s) {

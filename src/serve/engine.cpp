@@ -16,10 +16,12 @@ namespace {
 
 [[noreturn]] void fail_typed(const std::string& reason,
                              const std::string& msg,
-                             std::vector<ContextError::Frame> extra = {}) {
+                             std::vector<ContextError::Frame> extra = {},
+                             ErrorClass cls = ErrorClass::kPermanent) {
   ErrorContext ctx;
   ctx.add("reason", reason);
   for (auto& f : extra) ctx.add(f.first, f.second);
+  if (cls == ErrorClass::kTransient) ctx.transient();
   ctx.fail(msg);
 }
 
@@ -39,16 +41,52 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry,
     : registry_(registry),
       cache_(cache),
       cfg_(validated(cfg)),
+      admission_(cfg_.admission),
       workers_(cfg.threads),
       scheduler_([this] { scheduler_loop(); }) {}
 
 InferenceEngine::~InferenceEngine() { stop(); }
+
+double InferenceEngine::worst_p95_us() {
+  // The latency trigger is a threshold heuristic, so a p95 refreshed every
+  // 64 submissions (rather than a full histogram walk per submit) is fine.
+  if (cfg_.admission.shed_p95_us <= 0.0) return 0.0;
+  if (submit_seq_.fetch_add(1, std::memory_order_relaxed) % 64 == 0) {
+    const MetricsSnapshot s = metrics_.snapshot();
+    double worst = 0.0;
+    for (const EndpointSnapshot& e : s.endpoints) {
+      worst = std::max(worst, e.p95_us);
+    }
+    cached_p95_us_.store(worst, std::memory_order_relaxed);
+  }
+  return cached_p95_us_.load(std::memory_order_relaxed);
+}
 
 std::future<Response> InferenceEngine::submit(Request req) {
   Pending p;
   p.req = std::move(req);
   p.enqueued = Clock::now();
   std::future<Response> fut = p.promise.get_future();
+  // Admission control in front of the queue. Depth is read without holding
+  // the queue lock across the decision — shedding is a threshold heuristic
+  // and a one-request race cannot breach the hard capacity bound below.
+  const AdmissionController::Decision decision = admission_.admit(
+      p.req.kind, queue_depth(), cfg_.queue_capacity, worst_p95_us());
+  if (decision == AdmissionController::Decision::kShed) {
+    metrics_.record_shed();
+    if (cfg_.allow_stale) {
+      if (std::optional<Response> stale = try_serve_stale(p.req)) {
+        stale->latency_us = std::chrono::duration<double, std::micro>(
+                                Clock::now() - p.enqueued)
+                                .count();
+        metrics_.record(p.req.kind, stale->latency_us, /*ok=*/true);
+        p.promise.set_value(std::move(*stale));
+        return fut;
+      }
+    }
+    fail_typed("shed", "low-priority request shed under load",
+               {{"kind", to_string(p.req.kind)}}, ErrorClass::kTransient);
+  }
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -57,7 +95,8 @@ std::future<Response> InferenceEngine::submit(Request req) {
     if (queue_.size() >= cfg_.queue_capacity) {
       metrics_.record_rejected();
       fail_typed("queue_full", "serve queue full — request rejected",
-                 {{"capacity", std::to_string(cfg_.queue_capacity)}});
+                 {{"capacity", std::to_string(cfg_.queue_capacity)}},
+                 ErrorClass::kTransient);
     }
     queue_.push_back(std::move(p));
     metrics_.set_queue_depth(queue_.size());
@@ -95,21 +134,38 @@ std::size_t InferenceEngine::queue_depth() const {
   return queue_.size();
 }
 
-std::string InferenceEngine::metrics_text() {
+HealthReport InferenceEngine::health() const {
+  HealthReport r;
+  r.queue_depth = queue_depth();
+  r.queue_capacity = cfg_.queue_capacity;
+  const ModelRegistry::BreakerStats bs = registry_.breaker_stats();
+  r.models = bs.models;
+  r.breakers_open = bs.open;
+  r.models_unservable = bs.unservable;
+  r.shed = metrics_.shed_count();
+  r.degraded_served = metrics_.degraded_count();
+  r.state = roll_up_health(r, cfg_.admission);
+  return r;
+}
+
+void InferenceEngine::refresh_gauges() {
   if (cache_) {
     const CacheStats cs = cache_->stats();
     metrics_.set_cache_counters(cs.hits, cs.misses, cs.evictions, cs.bytes,
                                 cs.entries);
   }
+  const ModelRegistry::BreakerStats bs = registry_.breaker_stats();
+  metrics_.set_resilience(to_string(health().state), bs.open, bs.open_events,
+                          bs.half_open_events, bs.close_events);
+}
+
+std::string InferenceEngine::metrics_text() {
+  refresh_gauges();
   return metrics_.text();
 }
 
 std::string InferenceEngine::metrics_json() {
-  if (cache_) {
-    const CacheStats cs = cache_->stats();
-    metrics_.set_cache_counters(cs.hits, cs.misses, cs.evictions, cs.bytes,
-                                cs.entries);
-  }
+  refresh_gauges();
   return metrics_.json();
 }
 
@@ -156,16 +212,29 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
   // the worker, the rest of the batch and the scheduler keep going.
   workers_.parallel_for(0, batch.size(), [&](std::size_t i) {
     Pending& p = batch[i];
+    const auto deadline =
+        p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
     try {
-      if (p.req.deadline_ms > 0 &&
-          dispatch_time >=
-              p.enqueued + std::chrono::milliseconds(p.req.deadline_ms)) {
+      if (p.req.deadline_ms > 0 && dispatch_time >= deadline) {
         metrics_.record_deadline_expired();
         fail_typed("deadline_expired", "request deadline expired in queue",
-                   {{"deadline_ms", std::to_string(p.req.deadline_ms)}});
+                   {{"deadline_ms", std::to_string(p.req.deadline_ms)},
+                    {"stage", "queue"}},
+                   ErrorClass::kTransient);
       }
       MOSS_FAULT_POINT("serve.engine.dispatch");
       Response r = process(p.req);
+      // Deadline covers dispatch too: a request that finished computing
+      // after its deadline must fail typed, not return a stale success the
+      // caller has already given up on.
+      if (p.req.deadline_ms > 0 && Clock::now() >= deadline) {
+        metrics_.record_deadline_expired();
+        fail_typed("deadline_expired",
+                   "request deadline expired during dispatch",
+                   {{"deadline_ms", std::to_string(p.req.deadline_ms)},
+                    {"stage", "dispatch"}},
+                   ErrorClass::kTransient);
+      }
       r.latency_us =
           std::chrono::duration<double, std::micro>(Clock::now() - p.enqueued)
               .count();
@@ -182,6 +251,7 @@ Tensor InferenceEngine::node_embeddings(const MossSession& s,
                                         const core::CircuitBatch& batch,
                                         std::uint64_t batch_hash) const {
   const auto compute = [&] {
+    MOSS_FAULT_POINT("serve.session.forward");
     return s.model().node_embeddings(batch).detach();
   };
   if (!cache_) return compute();
@@ -194,6 +264,7 @@ Tensor InferenceEngine::netlist_embedding(const MossSession& s,
                                           std::uint64_t batch_hash) const {
   const auto compute = [&] {
     const Tensor h = node_embeddings(s, batch, batch_hash);
+    MOSS_FAULT_POINT("serve.session.forward");
     return s.model().netlist_embedding(batch, h).detach();
   };
   if (!cache_) return compute();
@@ -202,14 +273,120 @@ Tensor InferenceEngine::netlist_embedding(const MossSession& s,
 
 Tensor InferenceEngine::rtl_embedding(const MossSession& s,
                                       const std::string& text) const {
-  const auto compute = [&] { return s.model().rtl_embedding(text).detach(); };
+  const auto compute = [&] {
+    MOSS_FAULT_POINT("serve.session.forward");
+    return s.model().rtl_embedding(text).detach();
+  };
   if (!cache_) return compute();
   return cache_->get_or_compute(rtl_key(s.uid(), text), compute);
 }
 
 Response InferenceEngine::process(const Request& req) {
-  const std::shared_ptr<const MossSession> session = registry_.get(req.model);
+  ModelRegistry::Acquired acq;
+  try {
+    acq = registry_.acquire(req.model);
+  } catch (const std::exception& e) {
+    // Breaker open with no fallback session: the healthy path is gone, but
+    // a stale cached answer may still be acceptable for low-priority kinds.
+    if (is_transient(e) && cfg_.allow_stale && low_priority(req.kind)) {
+      if (std::optional<Response> stale = try_serve_stale(req)) {
+        metrics_.record_degraded();
+        return std::move(*stale);
+      }
+    }
+    throw;
+  }
+  const MossSession& s = *acq.session;
+  try {
+    Response r = process_with(s, req);
+    registry_.report(req.model, s.uid(), /*ok=*/true);
+    if (acq.fallback) {
+      // Served by the last-known-good session while the breaker is open.
+      r.degraded = true;
+      metrics_.record_degraded();
+    }
+    return r;
+  } catch (const std::exception& e) {
+    const bool transient = is_transient(e);
+    registry_.report(req.model, s.uid(), /*ok=*/false, transient);
+    if (transient && cfg_.allow_stale && low_priority(req.kind)) {
+      if (std::optional<Response> stale = try_serve_stale(req)) {
+        metrics_.record_degraded();
+        return std::move(*stale);
+      }
+    }
+    throw;
+  }
+}
+
+std::optional<Response> InferenceEngine::try_serve_stale(const Request& req) {
+  if (cache_ == nullptr || !low_priority(req.kind)) return std::nullopt;
+  const std::shared_ptr<const MossSession> session =
+      registry_.try_get(req.model);
+  if (!session) return std::nullopt;
   const MossSession& s = *session;
+  try {
+    Response r;
+    r.kind = req.kind;
+    r.model = req.model;
+    r.session_uid = s.uid();
+    r.degraded = true;
+    if (req.kind == RequestKind::kFepRank) {
+      std::shared_ptr<const Pool> pool;
+      {
+        const std::lock_guard<std::mutex> lock(pools_mu_);
+        const auto it = pools_.find(req.pool);
+        if (it != pools_.end()) pool = it->second;
+      }
+      const std::string& text =
+          !req.rtl_text.empty()
+              ? req.rtl_text
+              : (req.circuit ? req.circuit->module_text : req.rtl_text);
+      if (!pool || text.empty()) return std::nullopt;
+      const std::optional<Tensor> r_e = cache_->get(rtl_key(s.uid(), text));
+      if (!r_e) return std::nullopt;
+      r.ranking.reserve(pool->members.size());
+      for (std::size_t j = 0; j < pool->members.size(); ++j) {
+        const std::optional<Tensor> n_e =
+            cache_->get(netlist_key(s.uid(), pool->hashes[j]));
+        if (!n_e) return std::nullopt;  // partial rankings would mislead
+        r.ranking.push_back(RankEntry{j, pool->members[j]->name,
+                                      s.model().pair_score(*r_e, *n_e)});
+      }
+      std::sort(r.ranking.begin(), r.ranking.end(),
+                [](const RankEntry& a, const RankEntry& b) {
+                  return a.score != b.score ? a.score > b.score
+                                            : a.index < b.index;
+                });
+      return r;
+    }
+    // kEmbed. Batch construction is encoder-side tokenization, not a model
+    // forward pass, so it is safe even when the session's forwards fail.
+    std::shared_ptr<const core::CircuitBatch> batch = req.batch;
+    if (!batch) {
+      if (!req.circuit) return std::nullopt;
+      batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
+    }
+    const std::uint64_t bh = core::batch_content_hash(*batch);
+    const std::optional<Tensor> n_e = cache_->get(netlist_key(s.uid(), bh));
+    if (!n_e) return std::nullopt;
+    r.embedding = n_e->data();
+    const std::string& text =
+        !req.rtl_text.empty() ? req.rtl_text : batch->module_text;
+    if (!text.empty()) {
+      const std::optional<Tensor> r_e = cache_->get(rtl_key(s.uid(), text));
+      if (!r_e) return std::nullopt;  // keep the response shape consistent
+      r.rtl_embedding = r_e->data();
+    }
+    return r;
+  } catch (...) {
+    // Degraded serving is best-effort; the caller reports the real failure.
+    return std::nullopt;
+  }
+}
+
+Response InferenceEngine::process_with(const MossSession& s,
+                                       const Request& req) {
   Response r;
   r.kind = req.kind;
   r.model = req.model;
@@ -263,6 +440,7 @@ Response InferenceEngine::process(const Request& req) {
   switch (req.kind) {
     case RequestKind::kAtp: {
       const Tensor h = node_embeddings(s, *batch, bh);
+      MOSS_FAULT_POINT("serve.session.forward");
       const Tensor flop =
           s.model().predict_arrival(*batch, h, batch->flop_rows);
       r.values.reserve(batch->flop_rows.size());
@@ -279,6 +457,7 @@ Response InferenceEngine::process(const Request& req) {
                    "netlist)");
       }
       const Tensor h = node_embeddings(s, *batch, bh);
+      MOSS_FAULT_POINT("serve.session.forward");
       const core::LocalPredictions pred = s.model().predict_local(*batch, h);
       r.values.reserve(batch->cell_rows.size());
       std::vector<double> rates(req.circuit->netlist.num_nodes(), 0.0);

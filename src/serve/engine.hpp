@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -7,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
+#include "serve/resilience.hpp"
 
 namespace moss::serve {
 
@@ -54,6 +57,12 @@ struct Response {
   std::string model;                   ///< session name that served it
   std::uint64_t session_uid = 0;
   double latency_us = 0.0;             ///< queue wait + compute
+  /// Set when the answer did not come from a healthy forward pass of the
+  /// current session: served by the last-known-good fallback session while
+  /// the breaker is open, or straight from stale EmbeddingCache entries.
+  /// Degraded responses are NOT guaranteed bit-identical to the current
+  /// model's output; non-degraded ones are.
+  bool degraded = false;
 };
 
 struct EngineConfig {
@@ -66,6 +75,14 @@ struct EngineConfig {
   std::size_t queue_capacity = 64;
   /// Worker threads for fanning a batch out (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Utilization-based load shedding in front of the queue: low-priority
+  /// kinds (EMBED, FEP-rank) are refused with a typed transient
+  /// `reason=shed` error before the hard queue_full bound is reached.
+  AdmissionConfig admission;
+  /// Degraded mode: when the model's breaker is open (or a shed would
+  /// reject the request), EMBED and FEP-rank answers may be served from
+  /// stale EmbeddingCache entries with Response::degraded set.
+  bool allow_stale = false;
 };
 
 /// Batched inference engine over registered MossSessions.
@@ -84,8 +101,17 @@ struct EngineConfig {
 /// reuse goes through the content-addressed cache when one is attached, so
 /// cached responses are bit-identical to direct MossModel calls.
 ///
+/// Resilience: an AdmissionController sheds low-priority load before the
+/// queue fills, the ModelRegistry's per-session circuit breakers route
+/// around (or refuse) a failing session, and with `allow_stale` the engine
+/// answers EMBED/FEP-rank from stale cache entries (marked degraded) when
+/// the healthy path is unavailable. health() rolls the whole picture into
+/// one OK/DEGRADED/OVERLOADED/DOWN state.
+///
 /// MOSS_FAULT sites: "serve.engine.dispatch" (per request, at batch
-/// dispatch), "serve.cache.insert" (inside EmbeddingCache::put).
+/// dispatch), "serve.session.forward" (inside every model forward, skipped
+/// on cache hits), "serve.admission.enqueue" (inside admission control),
+/// "serve.cache.insert" (inside EmbeddingCache::put).
 class InferenceEngine {
  public:
   InferenceEngine(ModelRegistry& registry, EmbeddingCache* cache,
@@ -112,7 +138,9 @@ class InferenceEngine {
   std::size_t queue_depth() const;
   ServeMetrics& metrics() { return metrics_; }
   EmbeddingCache* cache() { return cache_; }
-  /// Refresh cache counters into the metrics and return the text dump.
+  /// Current service health (queue utilization + breaker roll-up).
+  HealthReport health() const;
+  /// Refresh cache/resilience gauges into the metrics and return the dump.
   std::string metrics_text();
   std::string metrics_json();
 
@@ -135,6 +163,13 @@ class InferenceEngine {
   void scheduler_loop();
   void dispatch(std::vector<Pending>& batch);
   Response process(const Request& req);
+  Response process_with(const MossSession& s, const Request& req);
+  /// Degraded path: answer EMBED/FEP-rank purely from cached embeddings of
+  /// the *current* session (no forward passes). Empty when anything needed
+  /// is missing from the cache.
+  std::optional<Response> try_serve_stale(const Request& req);
+  void refresh_gauges();
+  double worst_p95_us();
   tensor::Tensor node_embeddings(const MossSession& s,
                                  const core::CircuitBatch& batch,
                                  std::uint64_t batch_hash) const;
@@ -148,6 +183,9 @@ class InferenceEngine {
   EmbeddingCache* cache_;  ///< may be null (compute-always mode)
   EngineConfig cfg_;
   ServeMetrics metrics_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> submit_seq_{0};
+  std::atomic<double> cached_p95_us_{0.0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

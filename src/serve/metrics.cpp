@@ -63,6 +63,44 @@ void ServeMetrics::record_deadline_expired() {
   ++deadline_expired_;
 }
 
+void ServeMetrics::record_shed() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void ServeMetrics::record_degraded() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++degraded_;
+}
+
+void ServeMetrics::record_retry() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++retries_;
+}
+
+void ServeMetrics::set_resilience(const std::string& health,
+                                  std::size_t breakers_open,
+                                  std::uint64_t open_events,
+                                  std::uint64_t half_open_events,
+                                  std::uint64_t close_events) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  health_ = health;
+  breakers_open_ = breakers_open;
+  breaker_open_events_ = open_events;
+  breaker_half_open_events_ = half_open_events;
+  breaker_close_events_ = close_events;
+}
+
+std::uint64_t ServeMetrics::shed_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::uint64_t ServeMetrics::degraded_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
 void ServeMetrics::record_batch(std::size_t batch_size) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
@@ -103,6 +141,14 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   }
   s.rejected = rejected_;
   s.deadline_expired = deadline_expired_;
+  s.shed = shed_;
+  s.degraded = degraded_;
+  s.retries = retries_;
+  s.health = health_;
+  s.breakers_open = breakers_open_;
+  s.breaker_open_events = breaker_open_events_;
+  s.breaker_half_open_events = breaker_half_open_events_;
+  s.breaker_close_events = breaker_close_events_;
   s.batches = batches_;
   s.mean_batch_size =
       batches_ == 0 ? 0.0
@@ -141,6 +187,17 @@ std::string ServeMetrics::text() const {
                 s.queue_depth, s.queue_peak,
                 static_cast<unsigned long long>(s.batches),
                 s.mean_batch_size);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "health: %s; %llu shed, %llu degraded, %llu retries; "
+                "breakers %zu open (events: %llu open, %llu half-open, "
+                "%llu close)\n",
+                s.health.c_str(), static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<unsigned long long>(s.retries), s.breakers_open,
+                static_cast<unsigned long long>(s.breaker_open_events),
+                static_cast<unsigned long long>(s.breaker_half_open_events),
+                static_cast<unsigned long long>(s.breaker_close_events));
   out += line;
   std::snprintf(line, sizeof(line),
                 "cache: %llu hits, %llu misses, %llu evictions, %zu entries, "
@@ -183,6 +240,18 @@ std::string ServeMetrics::json() const {
                 s.uptime_s, s.queue_depth, s.queue_peak,
                 static_cast<unsigned long long>(s.batches),
                 s.mean_batch_size);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"health\":\"%s\",\"shed\":%llu,\"degraded\":%llu,"
+                "\"retries\":%llu,\"breakers\":{\"open\":%zu,"
+                "\"open_events\":%llu,\"half_open_events\":%llu,"
+                "\"close_events\":%llu},",
+                s.health.c_str(), static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<unsigned long long>(s.retries), s.breakers_open,
+                static_cast<unsigned long long>(s.breaker_open_events),
+                static_cast<unsigned long long>(s.breaker_half_open_events),
+                static_cast<unsigned long long>(s.breaker_close_events));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"

@@ -60,7 +60,10 @@ struct MetricsSnapshot {
   std::uint64_t total_ok = 0;
   std::uint64_t total_errors = 0;
   std::uint64_t rejected = 0;          ///< queue-full rejections
-  std::uint64_t deadline_expired = 0;  ///< dropped before dispatch
+  std::uint64_t deadline_expired = 0;  ///< dropped before or during dispatch
+  std::uint64_t shed = 0;              ///< admission-control load shedding
+  std::uint64_t degraded = 0;          ///< responses served degraded/stale
+  std::uint64_t retries = 0;           ///< retry attempts (protocol layer)
   std::uint64_t batches = 0;           ///< micro-batches dispatched
   double mean_batch_size = 0.0;
   std::size_t queue_depth = 0;   ///< at snapshot time
@@ -70,6 +73,13 @@ struct MetricsSnapshot {
   // Cache counters (zero when the engine runs cache-less).
   std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
   std::size_t cache_bytes = 0, cache_entries = 0;
+  // Resilience state (pushed by the engine at snapshot time, like the
+  // cache counters).
+  std::string health = "ok";
+  std::size_t breakers_open = 0;  ///< breakers currently open/half-open
+  std::uint64_t breaker_open_events = 0;
+  std::uint64_t breaker_half_open_events = 0;
+  std::uint64_t breaker_close_events = 0;
 };
 
 /// Thread-safe serving metrics: per-endpoint latency histograms, queue
@@ -82,6 +92,9 @@ class ServeMetrics {
   void record(RequestKind kind, double micros, bool ok);
   void record_rejected();
   void record_deadline_expired();
+  void record_shed();
+  void record_degraded();
+  void record_retry();
   void record_batch(std::size_t batch_size);
   void set_queue_depth(std::size_t depth);
   /// Cache counters are pushed by the engine at snapshot time (the cache
@@ -89,6 +102,13 @@ class ServeMetrics {
   void set_cache_counters(std::uint64_t hits, std::uint64_t misses,
                           std::uint64_t evictions, std::size_t bytes,
                           std::size_t entries);
+  /// Health + breaker roll-up, pushed by the engine at snapshot time.
+  void set_resilience(const std::string& health, std::size_t breakers_open,
+                      std::uint64_t open_events,
+                      std::uint64_t half_open_events,
+                      std::uint64_t close_events);
+  std::uint64_t shed_count() const;
+  std::uint64_t degraded_count() const;
 
   MetricsSnapshot snapshot() const;
   std::string text() const;
@@ -100,6 +120,14 @@ class ServeMetrics {
   std::array<std::uint64_t, kNumRequestKinds> errors_{};
   std::uint64_t rejected_ = 0;
   std::uint64_t deadline_expired_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t retries_ = 0;
+  std::string health_ = "ok";
+  std::size_t breakers_open_ = 0;
+  std::uint64_t breaker_open_events_ = 0;
+  std::uint64_t breaker_half_open_events_ = 0;
+  std::uint64_t breaker_close_events_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::size_t queue_depth_ = 0;

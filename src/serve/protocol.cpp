@@ -51,6 +51,7 @@ constexpr const char* kHelp =
     "EMBED <design>    netlist + RTL embeddings\n"
     "RANK <design>     rank registered pool against the design's RTL\n"
     "METRICS [json]    serving metrics\n"
+    "HEALTH            one-line health report\n"
     "HELP              this text\n"
     "QUIT              close the stream\n"
     ".";
@@ -61,6 +62,28 @@ ProtocolHandler::ProtocolHandler(InferenceEngine& engine, ProtocolConfig cfg)
     : engine_(engine), cfg_(std::move(cfg)) {
   MOSS_CHECK(static_cast<bool>(cfg_.load_design),
              "ProtocolConfig needs a design loader");
+  if (!cfg_.retry_budget) {
+    cfg_.retry_budget = std::make_shared<RetryBudget>();
+  }
+}
+
+Response ProtocolHandler::call_with_retry(Request req) {
+  const std::uint64_t token = token_seq_++;
+  std::uint64_t retries = 0;
+  try {
+    Response r = with_retry(
+        cfg_.retry, cfg_.retry_budget.get(), token,
+        [&] {
+          Request attempt = req;  // shallow shared_ptr copies; cheap
+          return engine_.call(std::move(attempt));
+        },
+        &retries);
+    for (std::uint64_t i = 0; i < retries; ++i) engine_.metrics().record_retry();
+    return r;
+  } catch (...) {
+    for (std::uint64_t i = 0; i < retries; ++i) engine_.metrics().record_retry();
+    throw;
+  }
 }
 
 std::shared_ptr<const data::LabeledCircuit> ProtocolHandler::circuit_for(
@@ -96,6 +119,9 @@ std::string ProtocolHandler::handle_line(const std::string& line,
              (json ? engine_.metrics_json() + "\n."
                    : engine_.metrics_text() + ".");
     }
+    if (cmd == "HEALTH") {
+      return "OK HEALTH " + engine_.health().line();
+    }
 
     if (tok.size() < 2) return "ERR bad_request missing <design> operand";
     const std::string& design = tok[1];
@@ -109,7 +135,7 @@ std::string ProtocolHandler::handle_line(const std::string& line,
       req.circuit = circuit_for(design);
       req.model = cfg_.model_name;
       req.deadline_ms = cfg_.deadline_ms;
-      const Response r = engine_.call(std::move(req));
+      const Response r = call_with_retry(std::move(req));
       std::string out;
       if (r.kind == RequestKind::kAtp) {
         std::snprintf(buf, sizeof(buf), "OK ATP n=%zu", r.values.size());
@@ -139,6 +165,7 @@ std::string ProtocolHandler::handle_line(const std::string& line,
       }
       std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
       out += buf;
+      if (r.degraded) out += " degraded=1";
       return out;
     }
 
@@ -149,7 +176,7 @@ std::string ProtocolHandler::handle_line(const std::string& line,
       req.pool = cfg_.pool_name;
       req.model = cfg_.model_name;
       req.deadline_ms = cfg_.deadline_ms;
-      const Response r = engine_.call(std::move(req));
+      const Response r = call_with_retry(std::move(req));
       if (r.ranking.empty()) return "ERR internal empty ranking";
       std::snprintf(buf, sizeof(buf), "OK RANK pool=%zu top=%s score=%.4f",
                     r.ranking.size(), r.ranking[0].name.c_str(),
@@ -165,6 +192,7 @@ std::string ProtocolHandler::handle_line(const std::string& line,
       }
       std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
       out += buf;
+      if (r.degraded) out += " degraded=1";
       return out;
     }
 

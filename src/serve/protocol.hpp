@@ -18,12 +18,15 @@ namespace moss::serve {
 ///   EMBED <design>        netlist + RTL embeddings
 ///   RANK <design>         rank the registered pool against the design's RTL
 ///   METRICS [json]        serving metrics dump
+///   HEALTH                one-line health report (OK/DEGRADED/...)
 ///   HELP                  command summary
 ///   QUIT                  close the stream
 ///
 /// <design> is a Verilog path (*.v) or "family:size" like the CLI. Every
 /// response is a single line starting with "OK" or "ERR <code>"; METRICS
-/// and HELP respond with a block terminated by a lone "." line.
+/// and HELP respond with a block terminated by a lone "." line. A response
+/// served from a fallback session or the stale cache carries an explicit
+/// ` degraded=1` marker after its latency field.
 struct ProtocolConfig {
   /// Resolve a design token to a labeled circuit. Results are cached per
   /// token inside the handler, so repeat requests skip labeling entirely.
@@ -34,6 +37,13 @@ struct ProtocolConfig {
   std::string model_name = "default";
   int deadline_ms = 0;       ///< applied to every submitted request
   std::size_t rank_top = 3;  ///< ranking entries echoed per RANK response
+  /// Transient engine failures (queue_full, shed, breaker_open, injected
+  /// faults) are retried here, at the protocol layer, with deterministic
+  /// jittered backoff. max_attempts = 1 disables retries.
+  RetryConfig retry;
+  /// Retry budget shared by every handler of one server process; when
+  /// null the handler makes a private one in its constructor.
+  std::shared_ptr<RetryBudget> retry_budget;
 };
 
 /// Stateful protocol handler: owns the per-token circuit cache and turns
@@ -55,9 +65,12 @@ class ProtocolHandler {
  private:
   std::shared_ptr<const data::LabeledCircuit> circuit_for(
       const std::string& token);
+  /// engine_.call wrapped in the retry policy; counts retries into metrics.
+  Response call_with_retry(Request req);
 
   InferenceEngine& engine_;
   ProtocolConfig cfg_;
+  std::uint64_t token_seq_ = 0;  ///< per-handler retry-jitter token
   std::unordered_map<std::string,
                      std::shared_ptr<const data::LabeledCircuit>>
       circuits_;

@@ -49,12 +49,19 @@ core::CircuitBatch MossSession::build(const data::LabeledCircuit& lc) const {
   return core::build_batch(lc, *encoder_, model_->config().features);
 }
 
+void ModelRegistry::set_breaker_config(const BreakerConfig& cfg) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  breaker_cfg_ = cfg;
+  for (auto& [name, slot] : slots_) slot.breaker = CircuitBreaker(cfg);
+}
+
 std::uint64_t ModelRegistry::install(
     const std::string& name, std::shared_ptr<const MossSession> session) {
   MOSS_CHECK(session != nullptr, "cannot install a null session");
   const std::lock_guard<std::mutex> lock(mu_);
   Slot& slot = slots_[name];
   slot.session = std::move(session);  // atomic publication point
+  slot.breaker = CircuitBreaker(breaker_cfg_);
   return ++slot.version;
 }
 
@@ -76,6 +83,81 @@ std::shared_ptr<const MossSession> ModelRegistry::try_get(
   return it == slots_.end() ? nullptr : it->second.session;
 }
 
+ModelRegistry::Acquired ModelRegistry::acquire(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end() || !it->second.session) {
+    lock.unlock();
+    ErrorContext ctx;
+    ctx.add("model", name);
+    ctx.fail("model not registered");
+  }
+  Slot& slot = it->second;
+  Acquired out;
+  if (slot.breaker.allow(&out.probe)) {
+    out.session = slot.session;
+    return out;
+  }
+  // Breaker open: route around the broken session if we can.
+  if (slot.last_good != nullptr &&
+      slot.last_good->uid() != slot.session->uid()) {
+    out.session = slot.last_good;
+    out.fallback = true;
+    return out;
+  }
+  lock.unlock();
+  ErrorContext ctx;
+  ctx.add("reason", "breaker_open");
+  ctx.add("model", name);
+  ctx.transient();
+  ctx.fail("circuit breaker open and no fallback session");
+}
+
+void ModelRegistry::report(const std::string& name, std::uint64_t uid,
+                           bool ok, bool transient_failure) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end() || !it->second.session) return;
+  Slot& slot = it->second;
+  if (ok) {
+    // Any session that just served correctly is a valid fallback target —
+    // including the current one (the common case).
+    if (slot.session->uid() == uid) {
+      slot.last_good = slot.session;
+    } else if (slot.last_good != nullptr && slot.last_good->uid() != uid) {
+      return;  // a third, stale session: no breaker or fallback updates
+    }
+  }
+  if (slot.session->uid() != uid) return;  // stale report after hot-swap
+  slot.breaker.record(ok, transient_failure);
+}
+
+BreakerState ModelRegistry::breaker_state(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? BreakerState::kClosed : it->second.breaker.state();
+}
+
+ModelRegistry::BreakerStats ModelRegistry::breaker_stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  BreakerStats st;
+  st.models = slots_.size();
+  for (const auto& [name, slot] : slots_) {
+    const BreakerState s = slot.breaker.state();
+    if (s != BreakerState::kClosed) {
+      ++st.open;
+      const bool has_fallback =
+          slot.last_good != nullptr && slot.session != nullptr &&
+          slot.last_good->uid() != slot.session->uid();
+      if (!has_fallback) ++st.unservable;
+    }
+    st.open_events += slot.breaker.open_count();
+    st.half_open_events += slot.breaker.half_open_count();
+    st.close_events += slot.breaker.close_count();
+  }
+  return st;
+}
+
 bool ModelRegistry::remove(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
   return slots_.erase(name) > 0;
@@ -86,7 +168,8 @@ std::vector<ModelRegistry::Info> ModelRegistry::list() const {
   std::vector<Info> out;
   out.reserve(slots_.size());
   for (const auto& [name, slot] : slots_) {
-    out.push_back(Info{name, slot.session->uid(), slot.version});
+    out.push_back(Info{name, slot.session->uid(), slot.version,
+                       slot.breaker.state()});
   }
   return out;
 }

@@ -9,6 +9,7 @@
 
 #include "core/model.hpp"
 #include "core/workflow.hpp"
+#include "serve/resilience.hpp"
 
 namespace moss::serve {
 
@@ -63,16 +64,40 @@ class MossSession {
 /// session for a name in one shared_ptr store; readers that already hold a
 /// session pointer keep using it (immutable), new requests see the new one.
 /// Per-name version counters make swaps observable.
+///
+/// Every name also carries a CircuitBreaker guarding its *current* session:
+/// the engine reports each request outcome back via report(), and acquire()
+/// routes around an open breaker — to the last-known-good session (the most
+/// recent session that completed a request successfully) when one differs
+/// from the current install, else by failing typed `reason=breaker_open`
+/// (transient) so the caller can serve stale or retry.
 class ModelRegistry {
  public:
   struct Info {
     std::string name;
     std::uint64_t uid = 0;
     std::uint64_t version = 0;  ///< how many installs this name has seen
+    BreakerState breaker = BreakerState::kClosed;
   };
+
+  /// A session checked out for serving one request. `fallback` is set when
+  /// the breaker was open and the last-known-good session was substituted
+  /// (the response must be marked degraded); `probe` when this request is a
+  /// half-open breaker probe.
+  struct Acquired {
+    std::shared_ptr<const MossSession> session;
+    bool fallback = false;
+    bool probe = false;
+  };
+
+  /// Breaker policy for sessions installed from now on (existing breakers
+  /// keep their config). Call once at boot, before traffic.
+  void set_breaker_config(const BreakerConfig& cfg);
 
   /// Publish `session` under `name`, replacing any previous session
   /// atomically. Returns the new version number (1 for a first install).
+  /// The name's breaker resets to closed — a fresh install deserves a
+  /// fresh chance.
   std::uint64_t install(const std::string& name,
                         std::shared_ptr<const MossSession> session);
 
@@ -80,16 +105,44 @@ class ModelRegistry {
   /// model=<name>) when absent.
   std::shared_ptr<const MossSession> get(const std::string& name) const;
   std::shared_ptr<const MossSession> try_get(const std::string& name) const;
+
+  /// Breaker-aware checkout. Closed/half-open(probe): the current session.
+  /// Open: the last-known-good session when it differs from the current
+  /// one, else a typed transient ContextError (reason=breaker_open).
+  Acquired acquire(const std::string& name);
+
+  /// Outcome of a request served by session `uid` of `name`. Ignored when
+  /// `uid` is not the current install (stale in-flight work after a
+  /// hot-swap must not move the new session's breaker).
+  void report(const std::string& name, std::uint64_t uid, bool ok,
+              bool transient_failure = false);
+
+  BreakerState breaker_state(const std::string& name) const;
+
+  /// Aggregate breaker counters across all names (for metrics/health).
+  struct BreakerStats {
+    std::size_t models = 0;
+    std::size_t open = 0;         ///< open or half-open right now
+    std::size_t unservable = 0;   ///< open with no distinct fallback
+    std::uint64_t open_events = 0;
+    std::uint64_t half_open_events = 0;
+    std::uint64_t close_events = 0;
+  };
+  BreakerStats breaker_stats() const;
+
   bool remove(const std::string& name);
   std::vector<Info> list() const;
 
  private:
   struct Slot {
     std::shared_ptr<const MossSession> session;
+    std::shared_ptr<const MossSession> last_good;  ///< last session to succeed
     std::uint64_t version = 0;
+    CircuitBreaker breaker;
   };
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> slots_;
+  BreakerConfig breaker_cfg_;
 };
 
 }  // namespace moss::serve

@@ -1,0 +1,43 @@
+#include "serve/resilience.hpp"
+
+#include <cstdio>
+
+namespace moss::serve {
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kOverloaded: return "overloaded";
+    case HealthState::kDown: return "down";
+  }
+  return "unknown";
+}
+
+std::string HealthReport::line() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "state=%s models=%zu breakers_open=%zu unservable=%zu "
+                "queue=%zu/%zu shed=%llu degraded_served=%llu",
+                to_string(state), models, breakers_open, models_unservable,
+                queue_depth, queue_capacity,
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(degraded_served));
+  return buf;
+}
+
+HealthState roll_up_health(const HealthReport& r,
+                           const AdmissionConfig& admission) {
+  if (r.models == 0 || r.models_unservable == r.models) {
+    return HealthState::kDown;
+  }
+  if (admission.enabled && r.queue_capacity > 0) {
+    const double util = static_cast<double>(r.queue_depth) /
+                        static_cast<double>(r.queue_capacity);
+    if (util >= admission.shed_queue_fraction) return HealthState::kOverloaded;
+  }
+  if (r.breakers_open > 0) return HealthState::kDegraded;
+  return HealthState::kOk;
+}
+
+}  // namespace moss::serve

@@ -1,0 +1,309 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+#include "core_util/rng.hpp"
+#include "serve/metrics.hpp"
+
+namespace moss::serve {
+
+/// Resilience layer for moss::serve: the pure policy objects — admission
+/// control with priority shedding, retry with deterministic backoff and a
+/// storm-proof retry budget, a circuit-breaker state machine, and the
+/// service health roll-up. The engine, registry and protocol wire them
+/// together; everything here is independently unit-testable and owns no
+/// threads.
+
+/// True when `e` is worth retrying: a ContextError marked transient at its
+/// throw site (queue_full, shed, breaker_open, ...) or an injected fault
+/// standing in for a flaky model session. Permanent failures (bad_request,
+/// unknown_pool, corrupt checkpoint, ...) must not be retried — that only
+/// amplifies load on a struggling service.
+inline bool is_transient(const std::exception& e) {
+  if (error_class(e) == ErrorClass::kTransient) return true;
+  return dynamic_cast<const testing::InjectedFault*>(&e) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+/// Two-tier request priorities: latency-critical timing/power prediction
+/// (ATP, TRP+PP) is shed last; embedding and ranking traffic (EMBED,
+/// FEP-rank) is shed first — those answers can also come from the stale
+/// cache in degraded mode.
+inline bool low_priority(RequestKind kind) {
+  return kind == RequestKind::kEmbed || kind == RequestKind::kFepRank;
+}
+
+struct AdmissionConfig {
+  bool enabled = true;
+  /// Shed low-priority kinds once queue depth reaches this fraction of
+  /// capacity. High-priority kinds are only ever refused by the hard
+  /// queue_full bound.
+  double shed_queue_fraction = 0.75;
+  /// Also shed low-priority kinds while the worst endpoint p95 exceeds
+  /// this (microseconds); 0 disables the latency trigger.
+  double shed_p95_us = 0.0;
+};
+
+/// Stateless-per-request admission decision in front of the engine queue.
+/// MOSS_FAULT site "serve.admission.enqueue" fires inside admit() so chaos
+/// scripts can poison the enqueue step itself.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {}
+
+  enum class Decision { kAdmit, kShed };
+
+  Decision admit(RequestKind kind, std::size_t queue_depth,
+                 std::size_t queue_capacity, double worst_p95_us) const {
+    MOSS_FAULT_POINT("serve.admission.enqueue");
+    if (!cfg_.enabled || !low_priority(kind)) return Decision::kAdmit;
+    const double util = queue_capacity == 0
+                            ? 0.0
+                            : static_cast<double>(queue_depth) /
+                                  static_cast<double>(queue_capacity);
+    if (util >= cfg_.shed_queue_fraction) return Decision::kShed;
+    if (cfg_.shed_p95_us > 0.0 && worst_p95_us > cfg_.shed_p95_us) {
+      return Decision::kShed;
+    }
+    return Decision::kAdmit;
+  }
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  AdmissionConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+// Retry with deterministic backoff and a retry budget
+
+struct RetryConfig {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  /// Jitter fraction in [0,1]: each backoff is scaled by a deterministic
+  /// uniform draw from [1-jitter, 1], seeded per (seed, request token,
+  /// attempt) — identical schedules replay bit-identically.
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Backoff before retry number `attempt` (1 = first retry) of the request
+/// identified by `token`. Pure function of (cfg, token, attempt).
+inline double backoff_ms(const RetryConfig& cfg, std::uint64_t token,
+                         int attempt) {
+  double ms = cfg.base_backoff_ms;
+  for (int i = 1; i < attempt; ++i) ms *= 2.0;
+  ms = std::min(ms, cfg.max_backoff_ms);
+  Rng rng(cfg.seed ^ (token * 0x9E3779B97F4A7C15ull) ^
+          static_cast<std::uint64_t>(attempt));
+  return ms * (1.0 - cfg.jitter * rng.uniform());
+}
+
+/// Token bucket that bounds the fraction of traffic that may be retries.
+/// Successes earn `earn_per_success` tokens (capped); each retry spends a
+/// whole token. Under a hard outage the bucket drains and retries stop —
+/// the classic guard against self-inflicted retry storms.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double cap = 10.0, double earn_per_success = 0.1)
+      : cap_(cap), earn_(earn_per_success), tokens_(cap) {}
+
+  void on_success() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    tokens_ = std::min(cap_, tokens_ + earn_);
+  }
+
+  bool try_spend() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return tokens_;
+  }
+
+ private:
+  double cap_;
+  double earn_;
+  mutable std::mutex mu_;
+  double tokens_;
+};
+
+/// Run `fn` with retries: transient failures back off (deterministic
+/// jittered exponential) and re-attempt while the budget allows; permanent
+/// failures and exhausted attempts rethrow. `token` names the request for
+/// jitter derivation; `retries_out` (optional) counts retries performed.
+template <typename Fn>
+auto with_retry(const RetryConfig& cfg, RetryBudget* budget,
+                std::uint64_t token, Fn&& fn, std::uint64_t* retries_out =
+                                                  nullptr) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto result = fn();
+      if (budget != nullptr) budget->on_success();
+      return result;
+    } catch (const std::exception& e) {
+      if (attempt >= cfg.max_attempts || !is_transient(e)) throw;
+      if (budget != nullptr && !budget->try_spend()) throw;
+      if (retries_out != nullptr) ++*retries_out;
+      const double ms = backoff_ms(cfg, token, attempt);
+      if (ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+struct BreakerConfig {
+  bool enabled = true;
+  /// Consecutive transient failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Time the breaker stays open before letting probe traffic through.
+  int open_cooldown_ms = 1000;
+  /// Concurrent probes allowed in half-open before it resolves.
+  int half_open_probes = 1;
+};
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+inline const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+/// Per-session circuit breaker: closed → open after `failure_threshold`
+/// consecutive transient failures, open → half-open after the cooldown,
+/// half-open → closed on a successful probe (→ open again on a failed one).
+/// Not internally locked — the owner (ModelRegistry slot) already holds a
+/// mutex around every call.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// May this request use the protected session right now? Transitions
+  /// open → half-open when the cooldown has elapsed and hands out probe
+  /// slots. `probe_out` is set when the caller is a half-open probe.
+  bool allow(bool* probe_out = nullptr) {
+    if (probe_out != nullptr) *probe_out = false;
+    if (!cfg_.enabled || state_ == BreakerState::kClosed) return true;
+    if (state_ == BreakerState::kOpen) {
+      const auto cooldown = std::chrono::milliseconds(cfg_.open_cooldown_ms);
+      if (Clock::now() - opened_at_ < cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probes_left_ = cfg_.half_open_probes;
+      ++half_open_count_;
+    }
+    if (probes_left_ <= 0) return false;
+    --probes_left_;
+    if (probe_out != nullptr) *probe_out = true;
+    return true;
+  }
+
+  /// Outcome report for a request served by the protected session.
+  /// Permanent failures are the client's fault and leave the breaker alone.
+  void record(bool ok, bool transient_failure) {
+    if (!cfg_.enabled) return;
+    if (ok) {
+      consecutive_failures_ = 0;
+      if (state_ != BreakerState::kClosed) {
+        state_ = BreakerState::kClosed;
+        ++close_count_;
+      }
+      return;
+    }
+    if (!transient_failure) return;
+    if (state_ == BreakerState::kHalfOpen) {
+      trip();  // failed probe: straight back to open, fresh cooldown
+      return;
+    }
+    ++consecutive_failures_;
+    if (state_ == BreakerState::kClosed &&
+        consecutive_failures_ >= cfg_.failure_threshold) {
+      trip();
+    }
+  }
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::uint64_t open_count() const { return open_count_; }
+  std::uint64_t half_open_count() const { return half_open_count_; }
+  std::uint64_t close_count() const { return close_count_; }
+
+ private:
+  void trip() {
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    consecutive_failures_ = 0;
+    probes_left_ = 0;
+    ++open_count_;
+  }
+
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_left_ = 0;
+  Clock::time_point opened_at_{};
+  std::uint64_t open_count_ = 0;
+  std::uint64_t half_open_count_ = 0;
+  std::uint64_t close_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Health state machine
+
+/// Service health, coarsest first: DOWN (no way to serve at all),
+/// OVERLOADED (actively shedding load), DEGRADED (a breaker is open or
+/// half-open — answers may come from fallback sessions or the stale
+/// cache), OK.
+enum class HealthState : std::uint8_t {
+  kOk = 0,
+  kDegraded = 1,
+  kOverloaded = 2,
+  kDown = 3,
+};
+
+const char* to_string(HealthState s);
+
+struct HealthReport {
+  HealthState state = HealthState::kOk;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t models = 0;
+  std::size_t breakers_open = 0;      ///< open or half-open
+  std::size_t models_unservable = 0;  ///< open breaker and no fallback
+  std::uint64_t shed = 0;
+  std::uint64_t degraded_served = 0;
+
+  /// One line for the `HEALTH` protocol command / CLI dumps.
+  std::string line() const;
+};
+
+/// Roll the inputs up into one state. DOWN dominates (nothing can be
+/// served), then OVERLOADED (shedding now), then DEGRADED.
+HealthState roll_up_health(const HealthReport& r,
+                           const AdmissionConfig& admission);
+
+}  // namespace moss::serve

@@ -1,0 +1,684 @@
+// Resilience-layer test suite: unit tests for the pure policy objects
+// (retry backoff, retry budget, admission control, circuit breaker, health
+// roll-up), deterministic engine-level breaker/degraded-mode scenarios, and
+// a seeded multi-threaded chaos soak that arms probabilistic faults at
+// every serve fault site and asserts the service degrades predictably —
+// no crash, every failure typed, bounded error rate, and bit-identical
+// results for non-degraded successes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/resilience.hpp"
+
+namespace moss {
+namespace {
+
+using serve::AdmissionConfig;
+using serve::AdmissionController;
+using serve::BreakerConfig;
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::EmbeddingCache;
+using serve::HealthReport;
+using serve::HealthState;
+using serve::InferenceEngine;
+using serve::ModelRegistry;
+using serve::Request;
+using serve::RequestKind;
+using serve::Response;
+using serve::RetryBudget;
+using serve::RetryConfig;
+using tensor::Tensor;
+
+/// Guard that disarms every fault site on scope exit, so a failing
+/// EXPECT_THROW cannot leak an armed fault into later tests.
+struct FaultGuard {
+  ~FaultGuard() { testing::disarm_all_faults(); }
+};
+
+ContextError transient_error() {
+  try {
+    ErrorContext ctx;
+    ctx.add("reason", "flaky");
+    ctx.transient();
+    ctx.fail("transient test failure");
+  } catch (const ContextError& e) {
+    return e;
+  }
+  return ContextError("unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// retry policy
+
+TEST(RetryPolicy, BackoffIsDeterministicBoundedAndCapped) {
+  RetryConfig cfg;
+  cfg.base_backoff_ms = 2.0;
+  cfg.max_backoff_ms = 10.0;
+  cfg.jitter = 0.5;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double a = serve::backoff_ms(cfg, 42, attempt);
+    const double b = serve::backoff_ms(cfg, 42, attempt);
+    EXPECT_EQ(a, b) << "same (seed, token, attempt) must replay identically";
+    const double nominal = std::min(2.0 * std::ldexp(1.0, attempt - 1), 10.0);
+    EXPECT_LE(a, nominal);
+    EXPECT_GE(a, nominal * (1.0 - cfg.jitter));
+  }
+  // Different tokens get decorrelated jitter.
+  EXPECT_NE(serve::backoff_ms(cfg, 1, 1), serve::backoff_ms(cfg, 2, 1));
+}
+
+TEST(RetryPolicy, BudgetDrainsUnderFailureAndRefillsOnSuccess) {
+  RetryBudget budget(/*cap=*/2.0, /*earn_per_success=*/0.5);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend()) << "bucket empty: retries must stop";
+  budget.on_success();
+  EXPECT_FALSE(budget.try_spend()) << "0.5 tokens is not a whole retry";
+  budget.on_success();
+  EXPECT_TRUE(budget.try_spend());
+}
+
+TEST(RetryPolicy, WithRetryRecoversFromTransientFailures) {
+  RetryConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.base_backoff_ms = 0.0;  // no sleeping in unit tests
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const int result = serve::with_retry(
+      cfg, nullptr, /*token=*/7,
+      [&] {
+        if (++calls < 3) throw transient_error();
+        return 42;
+      },
+      &retries);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryPolicy, WithRetryNeverRetriesPermanentFailures) {
+  RetryConfig cfg;
+  cfg.max_attempts = 5;
+  cfg.base_backoff_ms = 0.0;
+  int calls = 0;
+  EXPECT_THROW(serve::with_retry(cfg, nullptr, 1,
+                                 [&]() -> int {
+                                   ++calls;
+                                   ErrorContext ctx;
+                                   ctx.add("reason", "bad_request");
+                                   ctx.fail("permanent");
+                                   return 0;
+                                 }),
+               ContextError);
+  EXPECT_EQ(calls, 1) << "permanent failures must not be retried";
+}
+
+TEST(RetryPolicy, WithRetryStopsWhenBudgetIsExhausted) {
+  RetryConfig cfg;
+  cfg.max_attempts = 10;
+  cfg.base_backoff_ms = 0.0;
+  RetryBudget budget(/*cap=*/1.0, /*earn_per_success=*/0.0);
+  int calls = 0;
+  EXPECT_THROW(serve::with_retry(cfg, &budget, 1,
+                                 [&]() -> int {
+                                   ++calls;
+                                   throw transient_error();
+                                 }),
+               ContextError);
+  EXPECT_EQ(calls, 2) << "one budgeted retry, then the failure propagates";
+}
+
+// ---------------------------------------------------------------------------
+// admission control
+
+TEST(Admission, ShedsOnlyLowPriorityKindsAboveTheQueueThreshold) {
+  AdmissionConfig cfg;
+  cfg.shed_queue_fraction = 0.5;
+  AdmissionController adm(cfg);
+  using D = AdmissionController::Decision;
+  // High-priority kinds are never shed, even at full queue.
+  EXPECT_EQ(adm.admit(RequestKind::kAtp, 10, 10, 0.0), D::kAdmit);
+  EXPECT_EQ(adm.admit(RequestKind::kTrpPp, 10, 10, 0.0), D::kAdmit);
+  // Low-priority kinds shed at/above the threshold, admit below it.
+  EXPECT_EQ(adm.admit(RequestKind::kEmbed, 5, 10, 0.0), D::kShed);
+  EXPECT_EQ(adm.admit(RequestKind::kFepRank, 5, 10, 0.0), D::kShed);
+  EXPECT_EQ(adm.admit(RequestKind::kEmbed, 4, 10, 0.0), D::kAdmit);
+}
+
+TEST(Admission, LatencyTriggerShedsWhenP95ExceedsLimit) {
+  AdmissionConfig cfg;
+  cfg.shed_queue_fraction = 1.0;  // queue trigger effectively off
+  cfg.shed_p95_us = 100.0;
+  AdmissionController adm(cfg);
+  using D = AdmissionController::Decision;
+  EXPECT_EQ(adm.admit(RequestKind::kEmbed, 0, 10, 200.0), D::kShed);
+  EXPECT_EQ(adm.admit(RequestKind::kEmbed, 0, 10, 50.0), D::kAdmit);
+  EXPECT_EQ(adm.admit(RequestKind::kAtp, 0, 10, 200.0), D::kAdmit);
+}
+
+TEST(Admission, DisabledControllerAdmitsEverything) {
+  AdmissionConfig cfg;
+  cfg.enabled = false;
+  AdmissionController adm(cfg);
+  EXPECT_EQ(adm.admit(RequestKind::kEmbed, 10, 10, 1e9),
+            AdmissionController::Decision::kAdmit);
+}
+
+// ---------------------------------------------------------------------------
+// circuit breaker
+
+TEST(Breaker, FullLifecycleClosedOpenHalfOpenClosed) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_cooldown_ms = 10;
+  CircuitBreaker br(cfg);
+  EXPECT_TRUE(br.allow());
+  br.record(/*ok=*/false, /*transient=*/true);
+  EXPECT_EQ(br.state(), BreakerState::kClosed) << "below threshold";
+  br.record(false, true);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.open_count(), 1u);
+  EXPECT_FALSE(br.allow()) << "open breaker refuses traffic in cooldown";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  bool probe = false;
+  EXPECT_TRUE(br.allow(&probe)) << "cooldown elapsed: half-open probe";
+  EXPECT_TRUE(probe);
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(br.allow()) << "only one probe slot configured";
+  br.record(/*ok=*/true, false);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  EXPECT_EQ(br.close_count(), 1u);
+  EXPECT_TRUE(br.allow());
+}
+
+TEST(Breaker, FailedProbeReopensWithFreshCooldown) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 10;
+  CircuitBreaker br(cfg);
+  br.record(false, true);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  bool probe = false;
+  ASSERT_TRUE(br.allow(&probe));
+  ASSERT_TRUE(probe);
+  br.record(false, true);  // probe failed
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.open_count(), 2u);
+  EXPECT_FALSE(br.allow()) << "fresh cooldown after the failed probe";
+}
+
+TEST(Breaker, PermanentFailuresDoNotTrip) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  CircuitBreaker br(cfg);
+  for (int i = 0; i < 10; ++i) br.record(false, /*transient=*/false);
+  EXPECT_EQ(br.state(), BreakerState::kClosed)
+      << "client-fault errors must not open the breaker";
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveFailureCount) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker br(cfg);
+  br.record(false, true);
+  br.record(false, true);
+  br.record(true, false);
+  br.record(false, true);
+  br.record(false, true);
+  EXPECT_EQ(br.state(), BreakerState::kClosed)
+      << "failures interleaved with successes are not consecutive";
+}
+
+// ---------------------------------------------------------------------------
+// health roll-up
+
+TEST(Health, RollUpOrdersDownOverloadedDegradedOk) {
+  AdmissionConfig adm;
+  adm.shed_queue_fraction = 0.75;
+  HealthReport r;
+  r.queue_capacity = 10;
+  EXPECT_EQ(serve::roll_up_health(r, adm), HealthState::kDown)
+      << "no models registered";
+  r.models = 2;
+  EXPECT_EQ(serve::roll_up_health(r, adm), HealthState::kOk);
+  r.breakers_open = 1;
+  EXPECT_EQ(serve::roll_up_health(r, adm), HealthState::kDegraded);
+  r.queue_depth = 8;  // 80% >= 75%
+  EXPECT_EQ(serve::roll_up_health(r, adm), HealthState::kOverloaded)
+      << "overload dominates degraded";
+  r.models_unservable = 2;
+  EXPECT_EQ(serve::roll_up_health(r, adm), HealthState::kDown)
+      << "every model unservable dominates everything";
+  EXPECT_NE(std::string(serve::to_string(HealthState::kDegraded)),
+            std::string(serve::to_string(HealthState::kDown)));
+}
+
+// ---------------------------------------------------------------------------
+// shared tiny session (mirrors serve_test's ServeWorld; built once)
+
+struct ServeWorld {
+  core::WorkflowConfig cfg;
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> lcs;
+  std::shared_ptr<const serve::MossSession> session;
+  std::vector<std::shared_ptr<const core::CircuitBatch>> batches;
+};
+
+const ServeWorld& world() {
+  static const ServeWorld* w = [] {
+    auto* sw = new ServeWorld();
+    sw->cfg.model.hidden = 8;
+    sw->cfg.model.rounds = 1;
+    sw->cfg.dataset.sim_cycles = 120;
+    sw->cfg.encoder = {512, 8, 3};
+    sw->cfg.fine_tune.epochs = 1;
+    sw->cfg.fine_tune.max_pairs_per_epoch = 2000;
+    const auto& lib = cell::standard_library();
+    const std::vector<data::DesignSpec> specs{{"alu", 1, 31, "chaos_alu"},
+                                              {"crc", 1, 32, "chaos_crc"}};
+    std::vector<std::string> corpus;
+    for (const auto& spec : specs) {
+      sw->lcs.push_back(std::make_shared<data::LabeledCircuit>(
+          data::label_circuit(spec, lib, sw->cfg.dataset)));
+      corpus.push_back(sw->lcs.back()->module_text);
+    }
+    sw->session = serve::MossSession::load(sw->cfg, corpus, /*ckpt_path=*/"");
+    for (const auto& lc : sw->lcs) {
+      sw->batches.push_back(
+          std::make_shared<core::CircuitBatch>(sw->session->build(*lc)));
+    }
+    return sw;
+  }();
+  return *w;
+}
+
+Request atp_request(const ServeWorld& w, std::size_t i) {
+  Request rq;
+  rq.kind = RequestKind::kAtp;
+  rq.batch = w.batches[i % w.batches.size()];
+  return rq;
+}
+
+Request embed_request(const ServeWorld& w, std::size_t i) {
+  Request rq;
+  rq.kind = RequestKind::kEmbed;
+  rq.batch = w.batches[i % w.batches.size()];
+  return rq;
+}
+
+// ---------------------------------------------------------------------------
+// deterministic engine scenarios
+
+TEST(ServeResilience, BreakerOpensAndServesStaleWhenAllowed) {
+  const ServeWorld& w = world();
+  const FaultGuard guard;
+  ModelRegistry reg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown_ms = 60000;  // stays open for the whole test
+  reg.set_breaker_config(bcfg);
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  serve::EngineConfig ecfg;
+  ecfg.allow_stale = true;
+  InferenceEngine eng(reg, &cache, ecfg);
+  eng.register_pool("pool", w.batches);
+
+  // Warm the cache (and last_good) fault-free.
+  const Response warm_embed = eng.call(embed_request(w, 0));
+  ASSERT_FALSE(warm_embed.degraded);
+  Request rank;
+  rank.kind = RequestKind::kFepRank;
+  rank.pool = "pool";
+  rank.rtl_text = w.lcs[0]->module_text;
+  const Response warm_rank = eng.call(rank);
+  ASSERT_FALSE(warm_rank.degraded);
+
+  // Every forward now fails: two ATP failures trip the breaker.
+  testing::arm_fault_prob("serve.session.forward", 1.0, /*seed=*/1);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_THROW(eng.call(atp_request(w, 0)), testing::InjectedFault);
+  }
+  EXPECT_EQ(reg.breaker_state("default"), BreakerState::kOpen);
+
+  // High-priority traffic fails typed breaker_open (no fallback session).
+  try {
+    eng.call(atp_request(w, 0));
+    FAIL() << "ATP with an open breaker and no fallback must throw";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "breaker_open");
+    EXPECT_TRUE(e.transient());
+  }
+
+  // EMBED and RANK are answered from the stale cache, marked degraded,
+  // bit-identical to the warm (same-session) responses.
+  const Response stale_embed = eng.call(embed_request(w, 0));
+  EXPECT_TRUE(stale_embed.degraded);
+  EXPECT_EQ(stale_embed.embedding, warm_embed.embedding);
+  EXPECT_EQ(stale_embed.rtl_embedding, warm_embed.rtl_embedding);
+  const Response stale_rank = eng.call(rank);
+  EXPECT_TRUE(stale_rank.degraded);
+  ASSERT_EQ(stale_rank.ranking.size(), warm_rank.ranking.size());
+  for (std::size_t i = 0; i < stale_rank.ranking.size(); ++i) {
+    EXPECT_EQ(stale_rank.ranking[i].index, warm_rank.ranking[i].index);
+    EXPECT_EQ(stale_rank.ranking[i].score, warm_rank.ranking[i].score);
+  }
+  EXPECT_GE(eng.metrics().degraded_count(), 2u);
+
+  // One open breaker, no fallback -> the single model is unservable: DOWN.
+  EXPECT_EQ(eng.health().state, HealthState::kDown);
+
+  // The protocol marks degraded responses explicitly.
+  serve::ProtocolConfig pcfg;
+  pcfg.retry.max_attempts = 1;
+  auto lc0 = w.lcs[0];
+  pcfg.load_design = [lc0](const std::string&) { return lc0; };
+  serve::ProtocolHandler handler(eng, pcfg);
+  const std::string resp = handler.handle_line("EMBED chaos_alu");
+  EXPECT_EQ(resp.rfind("OK EMBED", 0), 0u) << resp;
+  EXPECT_NE(resp.find(" degraded=1"), std::string::npos) << resp;
+  const std::string health = handler.handle_line("HEALTH");
+  EXPECT_EQ(health.rfind("OK HEALTH state=down", 0), 0u) << health;
+}
+
+TEST(ServeResilience, OpenBreakerFallsBackToLastKnownGoodSession) {
+  const ServeWorld& w = world();
+  const FaultGuard guard;
+  ModelRegistry reg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown_ms = 60000;
+  reg.set_breaker_config(bcfg);
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+
+  // Session A serves successfully -> becomes last-known-good (warm cache).
+  const Response warm = eng.call(embed_request(w, 0));
+  ASSERT_FALSE(warm.degraded);
+  ASSERT_EQ(warm.session_uid, w.session->uid());
+
+  // Hot-swap to session B (same model object, fresh uid -> cold cache).
+  const auto session_b =
+      serve::MossSession::adopt(w.session->model(), w.session->encoder());
+  reg.install("default", session_b);
+
+  // B's forwards all fail; trip its breaker.
+  testing::arm_fault_prob("serve.session.forward", 1.0, /*seed=*/1);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_THROW(eng.call(atp_request(w, 0)), testing::InjectedFault);
+  }
+  ASSERT_EQ(reg.breaker_state("default"), BreakerState::kOpen);
+
+  // Requests now route to last-known-good A; its warm cache sidesteps the
+  // armed forward fault, and the response is marked degraded.
+  const Response fb = eng.call(embed_request(w, 0));
+  EXPECT_TRUE(fb.degraded);
+  EXPECT_EQ(fb.session_uid, w.session->uid()) << "served by fallback A";
+  EXPECT_EQ(fb.embedding, warm.embedding);
+
+  // One open breaker with a distinct fallback: DEGRADED, not DOWN.
+  EXPECT_EQ(eng.health().state, HealthState::kDegraded);
+}
+
+TEST(ServeResilience, HalfOpenProbeClosesTheBreakerAfterRecovery) {
+  const ServeWorld& w = world();
+  const FaultGuard guard;
+  ModelRegistry reg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 1;
+  bcfg.open_cooldown_ms = 10;
+  reg.set_breaker_config(bcfg);
+  reg.install("default", w.session);
+  InferenceEngine eng(reg, /*cache=*/nullptr, {});
+
+  testing::arm_fault_prob("serve.session.forward", 1.0, /*seed=*/1);
+  EXPECT_THROW(eng.call(atp_request(w, 0)), testing::InjectedFault);
+  ASSERT_EQ(reg.breaker_state("default"), BreakerState::kOpen);
+  testing::disarm_all_faults();  // the fault "heals"
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  const Response r = eng.call(atp_request(w, 0));  // the half-open probe
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(reg.breaker_state("default"), BreakerState::kClosed);
+  const ModelRegistry::BreakerStats st = reg.breaker_stats();
+  EXPECT_EQ(st.open, 0u);
+  EXPECT_GE(st.open_events, 1u);
+  EXPECT_GE(st.half_open_events, 1u);
+  EXPECT_GE(st.close_events, 1u);
+}
+
+TEST(ServeResilience, AdmissionShedsLowPriorityWithTypedTransientError) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ecfg;
+  ecfg.admission.shed_queue_fraction = 0.0;  // shed all low-priority traffic
+  InferenceEngine eng(reg, /*cache=*/nullptr, ecfg);
+  try {
+    eng.call(embed_request(w, 0));
+    FAIL() << "EMBED must be shed at zero threshold";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "shed");
+    EXPECT_TRUE(e.transient());
+  }
+  // High-priority traffic still flows.
+  EXPECT_NO_THROW(eng.call(atp_request(w, 0)));
+  EXPECT_GE(eng.metrics().shed_count(), 1u);
+  EXPECT_NE(eng.metrics_text().find("shed"), std::string::npos);
+  EXPECT_NE(eng.metrics_json().find("\"shed\""), std::string::npos);
+}
+
+TEST(ServeResilience, ProtocolRetriesTransientFaultsAndCountsThem) {
+  const ServeWorld& w = world();
+  const FaultGuard guard;
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  InferenceEngine eng(reg, /*cache=*/nullptr, {});
+  serve::ProtocolConfig pcfg;
+  pcfg.retry.max_attempts = 3;
+  pcfg.retry.base_backoff_ms = 0.0;
+  auto lc0 = w.lcs[0];
+  pcfg.load_design = [lc0](const std::string&) { return lc0; };
+  serve::ProtocolHandler handler(eng, pcfg);
+
+  // The first forward attempt dies; the protocol-level retry succeeds.
+  testing::arm_fault("serve.session.forward", 1);
+  const std::string resp = handler.handle_line("ATP chaos_alu");
+  EXPECT_EQ(resp.rfind("OK ATP", 0), 0u) << resp;
+  EXPECT_GE(eng.metrics().snapshot().retries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// chaos soak: seeded multi-site probabilistic faults under concurrency
+
+TEST(ChaosSoak, SeededMultiSiteFaultsDegradePredictably) {
+  const ServeWorld& w = world();
+  const FaultGuard guard;
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("MOSS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 1;
+  }
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+
+  // Fault-free references, straight from the model (like serve_test).
+  const core::MossModel& model = w.session->model();
+  std::vector<std::vector<double>> ref_atp(w.batches.size());
+  std::vector<std::vector<float>> ref_embed(w.batches.size());
+  std::vector<std::vector<double>> ref_toggle(w.batches.size());
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    const core::CircuitBatch& b = *w.batches[i];
+    const Tensor h = model.node_embeddings(b);
+    const Tensor flop = model.predict_arrival(b, h, b.flop_rows);
+    for (std::size_t k = 0; k < b.flop_rows.size(); ++k) {
+      ref_atp[i].push_back(static_cast<double>(flop.at(k, 0)) *
+                           core::kArrivalScale);
+    }
+    ref_embed[i] = model.netlist_embedding(b, h).data();
+    const core::LocalPredictions pred = model.predict_local(b, h);
+    for (std::size_t k = 0; k < b.cell_rows.size(); ++k) {
+      ref_toggle[i].push_back(static_cast<double>(pred.toggle.at(k, 0)));
+    }
+  }
+
+  ModelRegistry reg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 3;
+  bcfg.open_cooldown_ms = 25;
+  reg.set_breaker_config(bcfg);
+  reg.install("default", w.session);
+  EmbeddingCache cache(16u << 20);
+  serve::EngineConfig ecfg;
+  ecfg.allow_stale = true;
+  InferenceEngine eng(reg, &cache, ecfg);
+  eng.register_pool("pool", w.batches);
+
+  // Prewarm the cache fault-free so degraded mode has something to serve.
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    ASSERT_FALSE(eng.call(embed_request(w, i)).degraded);
+  }
+
+  testing::arm_chaos({{"serve.session.forward", 0.05},
+                      {"serve.engine.dispatch", 0.02},
+                      {"serve.cache.insert", 0.02},
+                      {"serve.admission.enqueue", 0.01}},
+                     seed);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 150;
+  std::atomic<std::uint64_t> ok{0}, degraded_ok{0}, failed{0}, untyped{0},
+      mismatched{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t ci = (t + i) % w.batches.size();
+        const int kind = static_cast<int>((t * kPerThread + i) % 4);
+        try {
+          Request rq;
+          if (kind == 0) {
+            rq = atp_request(w, ci);
+          } else if (kind == 1) {
+            rq.kind = RequestKind::kTrpPp;
+            rq.circuit = w.lcs[ci];
+            rq.batch = w.batches[ci];
+          } else if (kind == 2) {
+            rq = embed_request(w, ci);
+          } else {
+            rq.kind = RequestKind::kFepRank;
+            rq.pool = "pool";
+            rq.rtl_text = w.lcs[ci]->module_text;
+          }
+          const Response r = eng.call(rq);
+          ++ok;
+          if (r.degraded) {
+            ++degraded_ok;
+            // Only low-priority kinds may ever be served degraded.
+            if (kind == 0 || kind == 1) ++mismatched;
+            continue;
+          }
+          // Non-degraded successes must be bit-identical to fault-free.
+          if (kind == 0) {
+            if (r.values != ref_atp[ci]) ++mismatched;
+          } else if (kind == 1) {
+            if (r.values != ref_toggle[ci]) ++mismatched;
+          } else if (kind == 2) {
+            if (r.embedding != ref_embed[ci]) ++mismatched;
+          } else if (r.ranking.empty()) {
+            ++mismatched;
+          }
+        } catch (const ContextError& e) {
+          ++failed;
+          if (e.context_value("reason").empty()) ++untyped;
+        } catch (const testing::InjectedFault&) {
+          ++failed;  // typed by definition
+        } catch (...) {
+          ++failed;
+          ++untyped;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(ok + failed, total);
+  EXPECT_EQ(untyped.load(), 0u) << "every failure must be a typed error";
+  EXPECT_EQ(mismatched.load(), 0u)
+      << "non-degraded successes must match the fault-free reference";
+  EXPECT_GT(ok.load(), total / 4) << "service must keep making progress";
+  EXPECT_LT(failed.load(), total * 3 / 4) << "error rate must stay bounded";
+
+  // Disarm and recover: the breaker probe closes the circuit and a fresh
+  // request of every kind succeeds non-degraded.
+  testing::disarm_all_faults();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(bcfg.open_cooldown_ms + 10));
+  bool recovered = false;
+  for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+    try {
+      recovered = !eng.call(atp_request(w, 0)).degraded;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered) << "service must return to healthy after the chaos";
+  EXPECT_FALSE(eng.call(embed_request(w, 0)).degraded);
+  EXPECT_EQ(eng.health().state, HealthState::kOk);
+  EXPECT_EQ(reg.breaker_state("default"), BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// environment-armed faults (exercised by the CI fault-injection job, which
+// runs this binary with MOSS_FAULT=<site>:1 set)
+
+TEST(ServeFaultEnv, ForwardFaultFailsOneRequestThenRecovers) {
+  const char* env = std::getenv("MOSS_FAULT");
+  if (env == nullptr ||
+      std::string(env).find("serve.session.forward") == std::string::npos) {
+    GTEST_SKIP() << "MOSS_FAULT not set for serve.session.forward";
+  }
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  InferenceEngine eng(reg, /*cache=*/nullptr, {});
+  EXPECT_THROW(eng.call(atp_request(w, 0)), testing::InjectedFault);
+  // The env fault fires exactly once; the engine must still be healthy.
+  const Response r = eng.call(atp_request(w, 0));
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.values.size(), w.batches[0]->flop_rows.size());
+}
+
+TEST(ServeFaultEnv, AdmissionFaultFailsOneSubmitThenRecovers) {
+  const char* env = std::getenv("MOSS_FAULT");
+  if (env == nullptr ||
+      std::string(env).find("serve.admission.enqueue") == std::string::npos) {
+    GTEST_SKIP() << "MOSS_FAULT not set for serve.admission.enqueue";
+  }
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  InferenceEngine eng(reg, /*cache=*/nullptr, {});
+  EXPECT_THROW(eng.call(atp_request(w, 0)), testing::InjectedFault);
+  EXPECT_NO_THROW(eng.call(atp_request(w, 0)));
+}
+
+}  // namespace
+}  // namespace moss

@@ -1,0 +1,166 @@
+// Negative-input robustness: malformed, truncated and hostile inputs to the
+// RTL parser and the serve line protocol must produce typed errors (with
+// line/col information from the parser) — never a crash, hang or silent
+// acceptance. A later good input must still succeed (no poisoned state).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/parser.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace moss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RTL parser
+
+void expect_parse_error(const std::string& src, const char* label) {
+  SCOPED_TRACE(label);
+  try {
+    rtl::parse_verilog(src);
+    FAIL() << "hostile input parsed without error";
+  } catch (const rtl::ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line"), std::string::npos)
+        << "parse errors must carry line information: " << msg;
+    EXPECT_NE(msg.find("col"), std::string::npos)
+        << "parse errors must carry column information: " << msg;
+  }
+}
+
+TEST(NegativeRtl, MalformedInputsFailTypedWithLineAndColumn) {
+  expect_parse_error("", "empty input");
+  expect_parse_error("garbage", "not verilog at all");
+  expect_parse_error("module", "truncated after keyword");
+  expect_parse_error("module m", "truncated before port list");
+  expect_parse_error("module m(input a;", "unbalanced port list");
+  expect_parse_error("module m(input a); assign", "truncated statement");
+  expect_parse_error("module m(input a, output y); assign y = ; endmodule",
+                     "missing expression");
+  expect_parse_error("module m(input a, output y); assign y = a",
+                     "missing semicolon and endmodule");
+  expect_parse_error("module m(input a, output y); assign y = 5; endmodule",
+                     "unsized literal");
+  expect_parse_error("module m(input a, output y); assign y = (a; endmodule",
+                     "unbalanced parenthesis");
+  expect_parse_error("module m(input a, output y);\n\n  assign y = @; "
+                     "endmodule",
+                     "illegal character");
+}
+
+TEST(NegativeRtl, HostileBytesNeverCrash) {
+  // None of these may crash; a ParseError is the only acceptable outcome.
+  const std::vector<std::string> hostile = {
+      std::string("module m\0(input a);", 19),       // embedded NUL
+      "\xff\xfe\xfa garbage bytes",                  // invalid bytes
+      "module m(input a); // unterminated comment",  // EOF inside comment
+      "module m(input a); /* unterminated block",    // EOF inside block
+      std::string(1 << 16, '('),                     // 64 KiB of parens
+      "module " + std::string(4096, 'x') + "(input a);",  // huge identifier
+  };
+  for (const std::string& src : hostile) {
+    EXPECT_THROW(rtl::parse_verilog(src), rtl::ParseError);
+  }
+}
+
+TEST(NegativeRtl, ErrorLineNumbersPointAtTheOffendingLine) {
+  try {
+    rtl::parse_verilog("module m(input a, output y);\nassign y = a;\n"
+                       "assign y = $bad;\nendmodule\n");
+    FAIL() << "expected a parse error on line 3";
+  } catch (const rtl::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NegativeRtl, ParserRecoversAfterFailure) {
+  EXPECT_THROW(rtl::parse_verilog("module m("), rtl::ParseError);
+  // A failed parse must not poison the next one.
+  const rtl::Module m = rtl::parse_verilog(
+      "module good(input a, output y); assign y = a; endmodule");
+  EXPECT_EQ(m.name, "good");
+  // Deeply nested but valid expressions parse without smashing the stack.
+  std::string deep = "module deep(input a, output y); assign y = ";
+  for (int i = 0; i < 256; ++i) deep += '(';
+  deep += 'a';
+  for (int i = 0; i < 256; ++i) deep += ')';
+  deep += "; endmodule";
+  EXPECT_NO_THROW(rtl::parse_verilog(deep));
+}
+
+// ---------------------------------------------------------------------------
+// serve protocol — malformed and hostile request lines. The design loader
+// always returns null, so no session is needed: every hostile line must be
+// answered before (or instead of) real inference.
+
+class NegativeProtocol : public ::testing::Test {
+ protected:
+  NegativeProtocol() : engine_(registry_, nullptr, {}) {
+    serve::ProtocolConfig pcfg;
+    pcfg.load_design = [](const std::string&)
+        -> std::shared_ptr<const data::LabeledCircuit> { return nullptr; };
+    handler_ =
+        std::make_unique<serve::ProtocolHandler>(engine_, std::move(pcfg));
+  }
+
+  std::string code_of(const std::string& line) {
+    const std::string resp = handler_->handle_line(line);
+    EXPECT_EQ(resp.rfind("ERR ", 0), 0u)
+        << "expected a typed error for: " << line << " got: " << resp;
+    const std::size_t sp = resp.find(' ', 4);
+    return resp.substr(4, sp == std::string::npos ? std::string::npos
+                                                  : sp - 4);
+  }
+
+  serve::ModelRegistry registry_;
+  serve::InferenceEngine engine_;
+  std::unique_ptr<serve::ProtocolHandler> handler_;
+};
+
+TEST_F(NegativeProtocol, MalformedLinesGetTypedErrorsNeverThrow) {
+  EXPECT_EQ(code_of(""), "bad_request");
+  EXPECT_EQ(code_of("   \t  "), "bad_request");
+  EXPECT_EQ(code_of("FROBNICATE x"), "bad_request");
+  EXPECT_EQ(code_of("ATP"), "bad_request") << "missing operand";
+  EXPECT_EQ(code_of("TRP"), "bad_request");
+  EXPECT_EQ(code_of("EMBED"), "bad_request");
+  EXPECT_EQ(code_of("RANK"), "bad_request");
+  EXPECT_EQ(code_of("ATP no_such_design"), "unknown_design");
+  EXPECT_EQ(code_of("RANK no_such_design"), "unknown_design");
+}
+
+TEST_F(NegativeProtocol, HostileLinesNeverCrash) {
+  // Huge token, control characters, binary junk: typed error every time.
+  EXPECT_EQ(code_of("ATP " + std::string(1 << 16, 'x')), "unknown_design");
+  EXPECT_EQ(code_of(std::string("ATP \x01\x02\x7f")), "unknown_design");
+  EXPECT_EQ(code_of("\xff\xfe\xfd"), "bad_request");
+  // Extra operands are ignored, not fatal.
+  const std::string resp = handler_->handle_line("HELP me please");
+  EXPECT_EQ(resp.rfind("OK HELP", 0), 0u);
+}
+
+TEST_F(NegativeProtocol, CaseInsensitiveCommandsAndQuit) {
+  EXPECT_EQ(code_of("atp no_such_design"), "unknown_design")
+      << "commands are case-insensitive";
+  bool quit = false;
+  EXPECT_EQ(handler_->handle_line("quit", &quit), "OK BYE");
+  EXPECT_TRUE(quit);
+}
+
+TEST_F(NegativeProtocol, AdminCommandsWorkWithoutAnyModel) {
+  // HEALTH and METRICS must answer even on an empty registry (state=down).
+  const std::string health = handler_->handle_line("HEALTH");
+  EXPECT_EQ(health.rfind("OK HEALTH state=down", 0), 0u) << health;
+  const std::string metrics = handler_->handle_line("METRICS");
+  EXPECT_EQ(metrics.rfind("OK METRICS", 0), 0u);
+  EXPECT_NE(metrics.find("health: down"), std::string::npos) << metrics;
+}
+
+}  // namespace
+}  // namespace moss

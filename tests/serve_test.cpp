@@ -321,9 +321,22 @@ TEST(ServeEngine, QueueFullRejectsWithTypedError) {
   rq.batch = w.batches[0];
   std::future<Response> f1 = eng.submit(rq);
   std::future<Response> f2 = eng.submit(rq);
+  // At full utilization a low-priority EMBED is shed by admission control
+  // before it can reach the hard capacity bound...
   try {
     eng.submit(rq);
-    FAIL() << "third submit should overflow capacity-2 queue";
+    FAIL() << "third submit should be shed from the full capacity-2 queue";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "shed") << e.what();
+    EXPECT_EQ(error_class(e), ErrorClass::kTransient);
+  }
+  // ...while a high-priority ATP bypasses shedding and hits queue_full.
+  Request atp;
+  atp.kind = RequestKind::kAtp;
+  atp.batch = w.batches[0];
+  try {
+    eng.submit(atp);
+    FAIL() << "high-priority submit should overflow the capacity-2 queue";
   } catch (const ContextError& e) {
     EXPECT_EQ(e.context_value("reason"), "queue_full") << e.what();
     EXPECT_EQ(e.context_value("capacity"), "2") << e.what();
@@ -332,6 +345,7 @@ TEST(ServeEngine, QueueFullRejectsWithTypedError) {
   EXPECT_FALSE(f1.get().embedding.empty());
   EXPECT_FALSE(f2.get().embedding.empty());
   EXPECT_EQ(eng.metrics().snapshot().rejected, 1u);
+  EXPECT_EQ(eng.metrics().snapshot().shed, 1u);
   try {
     eng.submit(rq);
     FAIL() << "submit after stop() should be rejected";
