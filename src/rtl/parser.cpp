@@ -252,7 +252,10 @@ class Parser {
     m_.name = expect_ident();
     // Truncated/hostile input must fail here with a position, not slide
     // through the permissive declaration scan and "parse" an empty module.
-    if (!at_punct("(")) err("expected '(' after module name");
+    // `module foo;` (portless) is legal Verilog and stays accepted.
+    if (!at_punct("(") && !at_punct(";")) {
+      err("expected '(' or ';' after module name");
+    }
     bool closed = false;
     while (peek().kind != Tok::kEnd) {
       if (at_ident("endmodule")) {

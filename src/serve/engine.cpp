@@ -80,6 +80,7 @@ std::future<Response> InferenceEngine::submit(Request req) {
                                 Clock::now() - p.enqueued)
                                 .count();
         metrics_.record(p.req.kind, stale->latency_us, /*ok=*/true);
+        metrics_.record_degraded();
         p.promise.set_value(std::move(*stale));
         return fut;
       }
@@ -215,12 +216,15 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
     const auto deadline =
         p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
     try {
+      // Deadline expiry is permanent by design: re-submitting a request
+      // whose deadline already passed can never succeed, and the retries
+      // would land exactly when the queue is congested. The caller gets
+      // the timeout immediately and decides itself whether to try again.
       if (p.req.deadline_ms > 0 && dispatch_time >= deadline) {
         metrics_.record_deadline_expired();
         fail_typed("deadline_expired", "request deadline expired in queue",
                    {{"deadline_ms", std::to_string(p.req.deadline_ms)},
-                    {"stage", "queue"}},
-                   ErrorClass::kTransient);
+                    {"stage", "queue"}});
       }
       MOSS_FAULT_POINT("serve.engine.dispatch");
       Response r = process(p.req);
@@ -232,8 +236,7 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
         fail_typed("deadline_expired",
                    "request deadline expired during dispatch",
                    {{"deadline_ms", std::to_string(p.req.deadline_ms)},
-                    {"stage", "dispatch"}},
-                   ErrorClass::kTransient);
+                    {"stage", "dispatch"}});
       }
       r.latency_us =
           std::chrono::duration<double, std::micro>(Clock::now() - p.enqueued)
@@ -299,7 +302,8 @@ Response InferenceEngine::process(const Request& req) {
   const MossSession& s = *acq.session;
   try {
     Response r = process_with(s, req);
-    registry_.report(req.model, s.uid(), /*ok=*/true);
+    registry_.report(req.model, s.uid(), /*ok=*/true,
+                     /*transient_failure=*/false, acq.probe);
     if (acq.fallback) {
       // Served by the last-known-good session while the breaker is open.
       r.degraded = true;
@@ -308,7 +312,7 @@ Response InferenceEngine::process(const Request& req) {
     return r;
   } catch (const std::exception& e) {
     const bool transient = is_transient(e);
-    registry_.report(req.model, s.uid(), /*ok=*/false, transient);
+    registry_.report(req.model, s.uid(), /*ok=*/false, transient, acq.probe);
     if (transient && cfg_.allow_stale && low_priority(req.kind)) {
       if (std::optional<Response> stale = try_serve_stale(req)) {
         metrics_.record_degraded();

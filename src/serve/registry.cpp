@@ -1,5 +1,6 @@
 #include "serve/registry.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "core_util/error.hpp"
@@ -62,6 +63,7 @@ std::uint64_t ModelRegistry::install(
   Slot& slot = slots_[name];
   slot.session = std::move(session);  // atomic publication point
   slot.breaker = CircuitBreaker(breaker_cfg_);
+  slot.fallback_failures = 0;
   return ++slot.version;
 }
 
@@ -114,22 +116,35 @@ ModelRegistry::Acquired ModelRegistry::acquire(const std::string& name) {
 }
 
 void ModelRegistry::report(const std::string& name, std::uint64_t uid,
-                           bool ok, bool transient_failure) {
+                           bool ok, bool transient_failure, bool probe) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = slots_.find(name);
   if (it == slots_.end() || !it->second.session) return;
   Slot& slot = it->second;
+  const bool is_current = slot.session->uid() == uid;
+  if (!is_current) {
+    // A report against the fallback session tracks fallback health: demote
+    // a last-known-good that keeps failing transiently, so a broken
+    // fallback stops being served for the breaker's whole cooldown.
+    if (slot.last_good != nullptr && slot.last_good->uid() == uid) {
+      if (ok) {
+        slot.fallback_failures = 0;
+      } else if (transient_failure &&
+                 ++slot.fallback_failures >=
+                     std::max(1, breaker_cfg_.failure_threshold)) {
+        slot.last_good = nullptr;
+        slot.fallback_failures = 0;
+      }
+    }
+    return;  // stale/fallback uids never move the current session's breaker
+  }
   if (ok) {
     // Any session that just served correctly is a valid fallback target —
     // including the current one (the common case).
-    if (slot.session->uid() == uid) {
-      slot.last_good = slot.session;
-    } else if (slot.last_good != nullptr && slot.last_good->uid() != uid) {
-      return;  // a third, stale session: no breaker or fallback updates
-    }
+    slot.last_good = slot.session;
+    slot.fallback_failures = 0;
   }
-  if (slot.session->uid() != uid) return;  // stale report after hot-swap
-  slot.breaker.record(ok, transient_failure);
+  slot.breaker.record(ok, transient_failure, probe);
 }
 
 BreakerState ModelRegistry::breaker_state(const std::string& name) const {

@@ -111,11 +111,15 @@ class ModelRegistry {
   /// one, else a typed transient ContextError (reason=breaker_open).
   Acquired acquire(const std::string& name);
 
-  /// Outcome of a request served by session `uid` of `name`. Ignored when
-  /// `uid` is not the current install (stale in-flight work after a
-  /// hot-swap must not move the new session's breaker).
+  /// Outcome of a request served by session `uid` of `name`. `probe` is
+  /// Acquired.probe handed back — it lets the breaker resolve half-open
+  /// even when the probe hits a permanent (client-fault) error. Reports
+  /// against the last-known-good session track fallback health (a fallback
+  /// that keeps failing transiently is demoted, see below); reports from
+  /// any other stale uid are ignored (in-flight work after a hot-swap must
+  /// not move the new session's breaker).
   void report(const std::string& name, std::uint64_t uid, bool ok,
-              bool transient_failure = false);
+              bool transient_failure = false, bool probe = false);
 
   BreakerState breaker_state(const std::string& name) const;
 
@@ -137,6 +141,11 @@ class ModelRegistry {
   struct Slot {
     std::shared_ptr<const MossSession> session;
     std::shared_ptr<const MossSession> last_good;  ///< last session to succeed
+    /// Consecutive transient failures reported against last_good while it
+    /// was serving as the fallback; at failure_threshold the fallback is
+    /// demoted (last_good cleared) so a broken fallback stops being offered
+    /// and callers get the faster typed breaker_open instead.
+    int fallback_failures = 0;
     std::uint64_t version = 0;
     CircuitBreaker breaker;
   };

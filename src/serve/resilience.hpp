@@ -209,22 +209,33 @@ class CircuitBreaker {
   bool allow(bool* probe_out = nullptr) {
     if (probe_out != nullptr) *probe_out = false;
     if (!cfg_.enabled || state_ == BreakerState::kClosed) return true;
+    const auto cooldown = std::chrono::milliseconds(cfg_.open_cooldown_ms);
     if (state_ == BreakerState::kOpen) {
-      const auto cooldown = std::chrono::milliseconds(cfg_.open_cooldown_ms);
       if (Clock::now() - opened_at_ < cooldown) return false;
       state_ = BreakerState::kHalfOpen;
       probes_left_ = cfg_.half_open_probes;
+      probes_armed_at_ = Clock::now();
       ++half_open_count_;
     }
-    if (probes_left_ <= 0) return false;
+    if (probes_left_ <= 0) {
+      // All probe slots are out but nothing has resolved half-open within
+      // a cooldown: the probe's outcome was lost (report discarded after a
+      // hot-swap, or a permanent client error reported without the probe
+      // flag). Re-arm rather than refusing this name forever.
+      if (Clock::now() - probes_armed_at_ < cooldown) return false;
+      probes_left_ = cfg_.half_open_probes;
+      probes_armed_at_ = Clock::now();
+    }
     --probes_left_;
     if (probe_out != nullptr) *probe_out = true;
     return true;
   }
 
   /// Outcome report for a request served by the protected session.
-  /// Permanent failures are the client's fault and leave the breaker alone.
-  void record(bool ok, bool transient_failure) {
+  /// Permanent failures are the client's fault and leave the breaker alone;
+  /// `probe` marks the report as the outcome of a half-open probe slot
+  /// handed out by allow().
+  void record(bool ok, bool transient_failure, bool probe = false) {
     if (!cfg_.enabled) return;
     if (ok) {
       consecutive_failures_ = 0;
@@ -234,11 +245,19 @@ class CircuitBreaker {
       }
       return;
     }
-    if (!transient_failure) return;
     if (state_ == BreakerState::kHalfOpen) {
-      trip();  // failed probe: straight back to open, fresh cooldown
+      if (transient_failure) {
+        trip();  // failed probe: straight back to open, fresh cooldown
+        return;
+      }
+      // A permanent failure (bad_request, unknown_pool, ...) says nothing
+      // about session health — the probe was inconclusive. Hand the slot
+      // back so the next request probes immediately instead of wedging
+      // half-open until the lost-probe re-arm above kicks in.
+      if (probe && probes_left_ < cfg_.half_open_probes) ++probes_left_;
       return;
     }
+    if (!transient_failure) return;
     ++consecutive_failures_;
     if (state_ == BreakerState::kClosed &&
         consecutive_failures_ >= cfg_.failure_threshold) {
@@ -266,6 +285,7 @@ class CircuitBreaker {
   int consecutive_failures_ = 0;
   int probes_left_ = 0;
   Clock::time_point opened_at_{};
+  Clock::time_point probes_armed_at_{};
   std::uint64_t open_count_ = 0;
   std::uint64_t half_open_count_ = 0;
   std::uint64_t close_count_ = 0;

@@ -224,6 +224,48 @@ TEST(Breaker, FailedProbeReopensWithFreshCooldown) {
   EXPECT_FALSE(br.allow()) << "fresh cooldown after the failed probe";
 }
 
+TEST(Breaker, PermanentProbeFailureDoesNotWedgeHalfOpen) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 10;
+  CircuitBreaker br(cfg);
+  br.record(false, true);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  bool probe = false;
+  ASSERT_TRUE(br.allow(&probe));
+  ASSERT_TRUE(probe);
+  // The probe hit a client-fault error (e.g. bad_request): inconclusive.
+  br.record(/*ok=*/false, /*transient=*/false, /*probe=*/true);
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  probe = false;
+  EXPECT_TRUE(br.allow(&probe))
+      << "probe slot must be handed back immediately, not wedged";
+  EXPECT_TRUE(probe);
+  br.record(true, false);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, LostProbeOutcomeReArmsAfterCooldown) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 10;
+  CircuitBreaker br(cfg);
+  br.record(false, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  bool probe = false;
+  ASSERT_TRUE(br.allow(&probe));
+  ASSERT_TRUE(probe);
+  // The probe's outcome never comes back (report lost to a hot-swap race).
+  EXPECT_FALSE(br.allow()) << "probe out, within cooldown: still refused";
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  probe = false;
+  EXPECT_TRUE(br.allow(&probe)) << "half-open re-arms after a cooldown";
+  EXPECT_TRUE(probe);
+  br.record(true, false);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+}
+
 TEST(Breaker, PermanentFailuresDoNotTrip) {
   BreakerConfig cfg;
   cfg.failure_threshold = 1;
@@ -435,6 +477,106 @@ TEST(ServeResilience, OpenBreakerFallsBackToLastKnownGoodSession) {
 
   // One open breaker with a distinct fallback: DEGRADED, not DOWN.
   EXPECT_EQ(eng.health().state, HealthState::kDegraded);
+}
+
+TEST(ServeResilience, BrokenFallbackIsDemotedAfterConsecutiveFailures) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown_ms = 60000;  // stays open for the whole test
+  reg.set_breaker_config(bcfg);
+  reg.install("default", w.session);
+
+  // A serves ok -> last-known-good; hot-swap to B and trip B's breaker.
+  reg.report("default", w.session->uid(), /*ok=*/true);
+  const auto session_b =
+      serve::MossSession::adopt(w.session->model(), w.session->encoder());
+  reg.install("default", session_b);
+  for (int i = 0; i < bcfg.failure_threshold; ++i) {
+    reg.report("default", session_b->uid(), /*ok=*/false, /*transient=*/true);
+  }
+  ASSERT_EQ(reg.breaker_state("default"), BreakerState::kOpen);
+  ModelRegistry::Acquired acq = reg.acquire("default");
+  ASSERT_TRUE(acq.fallback);
+  ASSERT_EQ(acq.session->uid(), w.session->uid());
+
+  // The fallback itself fails transiently, over and over: after
+  // failure_threshold consecutive failures it must stop being offered.
+  for (int i = 0; i < bcfg.failure_threshold; ++i) {
+    reg.report("default", w.session->uid(), /*ok=*/false, /*transient=*/true);
+  }
+  try {
+    reg.acquire("default");
+    FAIL() << "demoted fallback must not be served again";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "breaker_open");
+    EXPECT_TRUE(e.transient());
+  }
+  EXPECT_EQ(reg.breaker_stats().unservable, 1u);
+
+  // A fallback success between failures resets the demotion counter.
+  reg.install("default", session_b);
+  reg.report("default", session_b->uid(), /*ok=*/true);
+  const auto session_c =
+      serve::MossSession::adopt(w.session->model(), w.session->encoder());
+  reg.install("default", session_c);
+  for (int i = 0; i < bcfg.failure_threshold; ++i) {
+    reg.report("default", session_c->uid(), /*ok=*/false, /*transient=*/true);
+  }
+  reg.report("default", session_b->uid(), /*ok=*/false, /*transient=*/true);
+  reg.report("default", session_b->uid(), /*ok=*/true);
+  reg.report("default", session_b->uid(), /*ok=*/false, /*transient=*/true);
+  EXPECT_TRUE(reg.acquire("default").fallback)
+      << "non-consecutive fallback failures must not demote";
+}
+
+TEST(ServeResilience, ShedPathStaleServeCountsAsDegraded) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  // Warm the shared cache through a healthy engine first.
+  Response warm;
+  {
+    InferenceEngine healthy(reg, &cache, {});
+    warm = healthy.call(embed_request(w, 0));
+    ASSERT_FALSE(warm.degraded);
+  }
+  // A second engine over the same cache sheds all low-priority traffic;
+  // with allow_stale its submit() path answers EMBED from the stale cache.
+  serve::EngineConfig ecfg;
+  ecfg.admission.shed_queue_fraction = 0.0;
+  ecfg.allow_stale = true;
+  InferenceEngine eng(reg, &cache, ecfg);
+  const Response stale = eng.call(embed_request(w, 0));
+  EXPECT_TRUE(stale.degraded);
+  EXPECT_EQ(stale.embedding, warm.embedding);
+  EXPECT_GE(eng.metrics().shed_count(), 1u);
+  EXPECT_GE(eng.metrics().degraded_count(), 1u)
+      << "shed-path stale serves must count in the degraded metrics";
+}
+
+TEST(ServeResilience, ExpiredDeadlineIsPermanentAndNeverRetried) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ecfg;
+  ecfg.max_delay_ms = 60;  // batch window far exceeds the deadline below
+  InferenceEngine eng(reg, /*cache=*/nullptr, ecfg);
+  serve::ProtocolConfig pcfg;
+  pcfg.deadline_ms = 1;
+  pcfg.retry.max_attempts = 3;
+  pcfg.retry.base_backoff_ms = 0.0;
+  auto lc0 = w.lcs[0];
+  pcfg.load_design = [lc0](const std::string&) { return lc0; };
+  serve::ProtocolHandler handler(eng, pcfg);
+
+  const std::string resp = handler.handle_line("ATP chaos_alu");
+  EXPECT_EQ(resp.rfind("ERR deadline_expired", 0), 0u) << resp;
+  EXPECT_EQ(eng.metrics().snapshot().retries, 0u)
+      << "a request whose deadline passed must not be re-submitted";
+  EXPECT_EQ(eng.metrics().snapshot().deadline_expired, 1u);
 }
 
 TEST(ServeResilience, HalfOpenProbeClosesTheBreakerAfterRecovery) {

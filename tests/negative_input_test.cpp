@@ -38,6 +38,7 @@ TEST(NegativeRtl, MalformedInputsFailTypedWithLineAndColumn) {
   expect_parse_error("garbage", "not verilog at all");
   expect_parse_error("module", "truncated after keyword");
   expect_parse_error("module m", "truncated before port list");
+  expect_parse_error("module m x", "junk after module name");
   expect_parse_error("module m(input a;", "unbalanced port list");
   expect_parse_error("module m(input a); assign", "truncated statement");
   expect_parse_error("module m(input a, output y); assign y = ; endmodule",
@@ -77,6 +78,16 @@ TEST(NegativeRtl, ErrorLineNumbersPointAtTheOffendingLine) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(NegativeRtl, PortlessModuleIsLegalAndAccepted) {
+  // `module foo;` without a port list is legal Verilog; the strictness
+  // gate must only reject truncated/junk input, not this.
+  const rtl::Module m = rtl::parse_verilog("module foo; endmodule");
+  EXPECT_EQ(m.name, "foo");
+  const rtl::Module m2 = rtl::parse_verilog(
+      "module bar; wire w; assign w = 1'b1; endmodule");
+  EXPECT_EQ(m2.name, "bar");
 }
 
 TEST(NegativeRtl, ParserRecoversAfterFailure) {

@@ -371,6 +371,8 @@ TEST(ServeEngine, ExpiredDeadlineFailsTypedInsteadOfServing) {
     FAIL() << "expired request should not be served";
   } catch (const ContextError& e) {
     EXPECT_EQ(e.context_value("reason"), "deadline_expired") << e.what();
+    EXPECT_FALSE(e.transient())
+        << "an expired deadline must not be auto-retried";
   }
   EXPECT_EQ(eng.metrics().snapshot().deadline_expired, 1u);
 }
