@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -44,9 +45,14 @@ int main() {
   std::printf("%-34s %6s %6s %6s\n", "configuration", "ATP", "TRP", "PP");
   bench::print_rule(56);
 
+  bench::JsonReport report("bench_ablation");
   const auto row = [&](const char* name, const core::TaskAccuracy& a) {
     std::printf("%-34s %6.1f %6.1f %6.1f\n", name, 100 * a.atp, 100 * a.trp,
                 100 * a.pp);
+    report.row("ablations", {{"configuration", std::string(name)},
+                             {"atp", 100 * a.atp},
+                             {"trp", 100 * a.trp},
+                             {"pp", 100 * a.pp}});
   };
 
   {  // rounds sweep (overrides the Scale default through the workbench)
@@ -93,5 +99,6 @@ int main() {
   std::printf("\nExpected shapes: K>=2 beats K=1 (feedback needs a second "
               "pass); attention >= mean; more clusters >= fewer; each added "
               "feature source helps.\n");
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -51,17 +52,24 @@ int main() {
                              tog / count, at / count});
   }
 
+  bench::JsonReport report("bench_fig1_scaling");
   std::printf("%-12s %-14s %-14s\n", "avg #cells", "toggle err %",
               "arrival err %");
   bench::print_rule(42);
   for (const auto& b : buckets) {
     std::printf("%-12zu %-14.1f %-14.1f\n", b.cells, 100 * b.toggle_err,
                 100 * b.at_err);
+    report.row("buckets",
+               {{"avg_cells", static_cast<std::int64_t>(b.cells)},
+                {"toggle_err_pct", 100 * b.toggle_err},
+                {"arrival_err_pct", 100 * b.at_err}});
   }
   std::printf("\nPaper shape: both error ratios rise with size; >40%% near "
               "2,000 gates.\n");
 
   const bool rises = buckets.back().at_err > buckets.front().at_err;
   std::printf("arrival error rises with size: %s\n", rises ? "yes" : "NO");
+  report.metric("arrival_err_rises", rises);
+  report.write();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -53,5 +54,16 @@ int main() {
                         rep.arrival.back() < rep.arrival.front();
   std::printf("\nall loss components decrease (paper shape): %s\n",
               all_drop ? "yes" : "NO");
+
+  bench::JsonReport report("bench_fig7_pretrain_loss");
+  for (std::size_t e = 0; e < rep.total.size(); ++e) {
+    report.row("epochs", {{"epoch", static_cast<std::int64_t>(e)},
+                          {"total", rep.total[e]},
+                          {"prob", rep.prob[e]},
+                          {"toggle", rep.toggle[e]},
+                          {"arrival", rep.arrival[e]}});
+  }
+  report.metric("all_losses_decrease", all_drop);
+  report.write();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -39,12 +40,24 @@ int main() {
               rep.total.back(), rep.rnc.back(), rep.rnm.back(),
               rep.rrndm.back());
 
-  std::printf("\nFEP on held-out Table-I pool after alignment: %.3f\n",
-              core::evaluate_fep(tm.model, tm.test_batches));
+  const double fep = core::evaluate_fep(tm.model, tm.test_batches);
+  std::printf("\nFEP on held-out Table-I pool after alignment: %.3f\n", fep);
   const bool converges = rep.total.back() < rep.total.front() &&
                          rep.rnc.back() < rep.rnc.front() &&
                          rep.rnm.back() < 0.06;
   std::printf("losses converge, RNM near zero (paper shape): %s\n",
               converges ? "yes" : "NO");
+
+  bench::JsonReport report("bench_fig8_global_loss");
+  for (std::size_t e = 0; e < rep.total.size(); ++e) {
+    report.row("epochs", {{"epoch", static_cast<std::int64_t>(e)},
+                          {"total", rep.total[e]},
+                          {"rnc", rep.rnc[e]},
+                          {"rnm", rep.rnm[e]},
+                          {"rrndm", rep.rrndm[e]}});
+  }
+  report.metric("held_out_fep", fep);
+  report.metric("losses_converge", converges);
+  report.write();
   return 0;
 }

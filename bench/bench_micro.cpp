@@ -3,23 +3,35 @@
 // the parallel execution layer — the per-stage costs behind the experiment
 // benches.
 //
-// `--threads N` (in addition to the usual google-benchmark flags) sets the
-// worker count of the *_Parallel variants, so serial-vs-parallel speedup can
-// be read off a single run:
-//   bench_micro --threads 4 --benchmark_filter='Pretrain|Dbscan'
+// A hand-rolled kernel section runs first: blocked GEMM vs the pre-kernel
+// naive matmul loop at the GNN/LM/serve shapes, fused vs composed ops, and a
+// kernel thread sweep. Results go to stdout and results/bench_micro.json,
+// and in Release builds the GEMM speedup at the model shapes is enforced as
+// an acceptance floor (>= 3x) via the exit code (MOSS_BENCH_NO_FLOOR=1 to
+// waive, e.g. on emulated or throttled machines).
+//
+// Flags (in addition to the usual google-benchmark flags):
+//   --threads N      worker count of the *_Parallel variants
+//   --kernels-only   run just the kernel section (CI smoke uses this)
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "baseline/deepseq.hpp"
 #include "clustering/clustering.hpp"
 #include "core/evaluate.hpp"
 #include "core/trainer.hpp"
+#include "json_report.hpp"
 #include "sim/simulator.hpp"
 #include "sta/sta.hpp"
 #include "synth/synthesize.hpp"
+#include "tensor/kernels.hpp"
 
 using namespace moss;
 
@@ -145,6 +157,26 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep);
 
+/// Blocked GEMM at the GNN hidden size, through the standard gbench
+/// reporter (the hand-rolled kernel section is the source of truth for the
+/// JSON trajectory; this entry makes the kernels filterable alongside the
+/// rest of the microbenches). range(0) = M rows.
+void BM_KernelGemm(benchmark::State& state) {
+  const std::size_t M = static_cast<std::size_t>(state.range(0));
+  const std::size_t K = 32, N = 32;
+  Rng rng(5);
+  std::vector<float> A(M * K), B(K * N), C(M * N, 0.0f);
+  for (float& v : A) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (float& v : B) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto _ : state) {
+    tensor::kernels::gemm(M, K, N, A.data(), B.data(), C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * M * K * N));
+}
+BENCHMARK(BM_KernelGemm)->Arg(1024)->Arg(4096);
+
 // ---------------------------------------------------------------------------
 // Parallel execution layer: serial vs --threads N on the same workload.
 // ---------------------------------------------------------------------------
@@ -231,10 +263,193 @@ void BM_BuildDataset(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildDataset)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Kernel layer: blocked GEMM vs the pre-kernel matmul loop.
+// ---------------------------------------------------------------------------
+
+/// The matmul forward loop as it was before the kernel layer (including its
+/// `av == 0.0f` fast path) — the fixed baseline the 3x acceptance floor is
+/// measured against, so the floor keeps meaning the same thing on every
+/// commit after the original loop is gone.
+void gemm_pre_kernel(std::size_t M, std::size_t K, std::size_t N,
+                     const float* A, const float* B, float* C) {
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = A[m * K + k];
+      if (av == 0.0f) continue;
+      const float* brow = B + k * N;
+      float* crow = C + m * N;
+      for (std::size_t n = 0; n < N; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+std::vector<float> bench_randv(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+/// Best-of-`reps` nanoseconds per call, each rep running `fn` until
+/// `min_ms` of wall clock has elapsed (google-benchmark's strategy, hand
+/// rolled so the kernel section controls its own JSON output).
+template <class F>
+double best_ns_per_call(F&& fn, int reps, double min_ms) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    std::int64_t iters = 0;
+    double ns = 0.0;
+    do {
+      fn();
+      ++iters;
+      ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+    } while (ns < min_ms * 1e6);
+    const double per_call = ns / static_cast<double>(iters);
+    if (r == 0 || per_call < best) best = per_call;
+  }
+  return best;
+}
+
+struct GemmShape {
+  const char* name;
+  std::size_t M, K, N;
+  bool floor;  ///< participates in the 3x acceptance floor
+};
+
+/// Runs the kernel section. Returns false when the Release-mode speedup
+/// floor is violated (and not waived).
+bool run_kernel_benches(bench::JsonReport& report) {
+  using namespace tensor;
+  const char* scale_env = std::getenv("MOSS_BENCH_SCALE");
+  const int scale = scale_env ? std::atoi(scale_env) : 1;
+  const int reps = scale == 0 ? 3 : 5;
+  const double min_ms = scale == 0 ? 2.0 : 25.0;
+
+  // Shapes from the hot callers: per-edge messages and node updates at the
+  // experiment hidden size (32), LM projection at encoder dim 24, and the
+  // serve warm path's per-request update. `big` exists for the thread sweep.
+  const GemmShape shapes[] = {
+      {"gnn_msg_4096x32x32", 4096, 32, 32, true},
+      {"gnn_update_1024x32x32", 1024, 32, 32, true},
+      {"lm_proj_512x24x24", 512, 24, 24, true},
+      {"serve_req_128x32x32", 128, 32, 32, false},
+      {"big_2048x64x64", 2048, 64, 64, false},
+  };
+
+  std::printf("=== Kernel layer: blocked GEMM vs pre-kernel matmul loop ===\n\n");
+  std::printf("%-24s %12s %12s %9s %8s\n", "shape", "naive ns", "kernel ns",
+              "speedup", "GFLOP/s");
+  Rng rng(0xBE7C);
+  double floor_worst = 1e30;
+  for (const GemmShape& s : shapes) {
+    const auto A = bench_randv(s.M * s.K, rng);
+    const auto B = bench_randv(s.K * s.N, rng);
+    std::vector<float> C(s.M * s.N, 0.0f);
+    const double naive_ns = best_ns_per_call(
+        [&] { gemm_pre_kernel(s.M, s.K, s.N, A.data(), B.data(), C.data()); },
+        reps, min_ms);
+    const double kernel_ns = best_ns_per_call(
+        [&] { kernels::gemm(s.M, s.K, s.N, A.data(), B.data(), C.data()); },
+        reps, min_ms);
+    const double speedup = naive_ns / kernel_ns;
+    const double flops = 2.0 * static_cast<double>(s.M * s.K * s.N);
+    const double gflops = flops / kernel_ns;
+    if (s.floor && speedup < floor_worst) floor_worst = speedup;
+    std::printf("%-24s %12.0f %12.0f %8.2fx %8.1f\n", s.name, naive_ns,
+                kernel_ns, speedup, gflops);
+    report.row("gemm", {{"shape", std::string(s.name)},
+                        {"naive_ns", naive_ns},
+                        {"kernel_ns", kernel_ns},
+                        {"speedup", speedup},
+                        {"gflops", gflops},
+                        {"floor", s.floor}});
+  }
+
+  // Fused ops vs their composed tensor-graph equivalents (forward only,
+  // requires_grad off — the serve warm path).
+  std::printf("\n%-24s %12s %12s %9s\n", "fused op", "composed ns",
+              "fused ns", "speedup");
+  {
+    Rng r(0xF05E);
+    Tensor x = Tensor::randn(1024, 32, r, 1.0f, false);
+    Tensor w = Tensor::randn(32, 32, r, 1.0f, false);
+    Tensor ad = Tensor::randn(1024, 32, r, 1.0f, false);
+    Tensor b = Tensor::randn(1, 32, r, 1.0f, false);
+    const double composed_ns = best_ns_per_call(
+        [&] { tanh_t(add(add(matmul(x, w), ad), b)); }, reps, min_ms);
+    const double fused_ns = best_ns_per_call(
+        [&] { kernels::matmul_bias_tanh(x, w, ad, b); }, reps, min_ms);
+    std::printf("%-24s %12.0f %12.0f %8.2fx\n", "matmul_bias_tanh",
+                composed_ns, fused_ns, composed_ns / fused_ns);
+    report.row("fused", {{"op", std::string("matmul_bias_tanh")},
+                         {"composed_ns", composed_ns},
+                         {"fused_ns", fused_ns},
+                         {"speedup", composed_ns / fused_ns}});
+
+    std::vector<int> idx(4096);
+    Rng ir(3);
+    for (int& i : idx) i = static_cast<int>(ir.index(1024));
+    const double g_composed_ns = best_ns_per_call(
+        [&] { matmul(gather_rows(x, idx), w); }, reps, min_ms);
+    const double g_fused_ns = best_ns_per_call(
+        [&] { kernels::gather_matmul(x, idx, w); }, reps, min_ms);
+    std::printf("%-24s %12.0f %12.0f %8.2fx\n", "gather_matmul",
+                g_composed_ns, g_fused_ns, g_composed_ns / g_fused_ns);
+    report.row("fused", {{"op", std::string("gather_matmul")},
+                         {"composed_ns", g_composed_ns},
+                         {"fused_ns", g_fused_ns},
+                         {"speedup", g_composed_ns / g_fused_ns}});
+  }
+
+  // Kernel thread sweep on the big shape (row-partitioned; bit-identical at
+  // every count — the tests assert that, this records the wall clock).
+  std::printf("\n%-24s %12s %9s\n", "gemm 2048x64x64", "ns/call",
+              "vs 1 thr");
+  {
+    const GemmShape& s = shapes[4];
+    const auto A = bench_randv(s.M * s.K, rng);
+    const auto B = bench_randv(s.K * s.N, rng);
+    std::vector<float> C(s.M * s.N, 0.0f);
+    double t1 = 0.0;
+    for (const std::size_t t : {1u, 2u, 4u}) {
+      kernels::set_threads(t);
+      const double ns = best_ns_per_call(
+          [&] { kernels::gemm(s.M, s.K, s.N, A.data(), B.data(), C.data()); },
+          reps, min_ms);
+      if (t == 1) t1 = ns;
+      std::printf("%-24zu %12.0f %8.2fx\n", t, ns, t1 / ns);
+      report.row("threads", {{"threads", static_cast<std::int64_t>(t)},
+                             {"ns_per_call", ns},
+                             {"speedup_vs_1", t1 / ns}});
+    }
+    kernels::set_threads(1);
+  }
+
+#ifdef NDEBUG
+  const bool enforce = std::getenv("MOSS_BENCH_NO_FLOOR") == nullptr;
+#else
+  const bool enforce = false;  // unoptimized builds measure nothing useful
+#endif
+  const bool floor_ok = floor_worst >= 3.0;
+  report.metric("gemm_floor_speedup", floor_worst);
+  report.metric("gemm_floor_ok", floor_ok);
+  report.metric("gemm_floor_enforced", enforce);
+  std::printf("\nworst model-shape GEMM speedup: %.2fx (acceptance floor: "
+              "3x, %s)\n\n",
+              floor_worst, enforce ? "enforced" : "not enforced");
+  return floor_ok || !enforce;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our own --threads flag before google-benchmark parses the rest.
+  // Strip our own flags before google-benchmark parses the rest.
+  bool kernels_only = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -242,6 +457,8 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--kernels-only") == 0) {
+      kernels_only = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -249,9 +466,14 @@ int main(int argc, char** argv) {
   argc = out;
   if (g_threads == 0) g_threads = 1;
 
+  bench::JsonReport report("bench_micro");
+  const bool kernels_ok = run_kernel_benches(report);
+  report.write();
+  if (kernels_only) return kernels_ok ? 0 : 1;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return kernels_ok ? 0 : 1;
 }

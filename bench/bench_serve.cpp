@@ -25,6 +25,7 @@
 
 #include "core_util/fault.hpp"
 #include "harness.hpp"
+#include "json_report.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
@@ -144,6 +145,7 @@ int main() {
               "warm qps", "speedup");
   bench::print_rule(48);
 
+  bench::JsonReport report("bench_serve");
   double rank_speedup = 0.0;
   for (const Row& row : rows) {
     const double cold_s = run_pass(cold, row.reqs);
@@ -157,6 +159,10 @@ int main() {
     if (row.endpoint == rows.front().endpoint) rank_speedup = speedup;
     std::printf("%-10s | %10.1f | %10.1f | %7.1fx\n", row.endpoint, cold_qps,
                 warm_qps, speedup);
+    report.row("cache", {{"endpoint", std::string(row.endpoint)},
+                         {"cold_qps", cold_qps},
+                         {"warm_qps", warm_qps},
+                         {"speedup", speedup}});
   }
   bench::print_rule(48);
 
@@ -169,6 +175,9 @@ int main() {
               static_cast<double>(cs.bytes) / 1024.0);
   std::printf("fep_rank warm/cold speedup: %.1fx (acceptance floor: 5x)\n",
               rank_speedup);
+  report.metric("cache_hits", static_cast<std::int64_t>(cs.hits));
+  report.metric("cache_misses", static_cast<std::int64_t>(cs.misses));
+  report.metric("cache_entries", static_cast<std::int64_t>(cs.entries));
 
   // --- Degraded mode: healthy vs breaker-open serve-stale throughput -----
   //
@@ -221,10 +230,17 @@ int main() {
     const double stale_qps = n / stale_s;
     std::printf("%-10s | %12.1f | %12.1f | %8.2fx\n", row.endpoint,
                 healthy_qps, stale_qps, stale_qps / healthy_qps);
+    report.row("degraded", {{"endpoint", std::string(row.endpoint)},
+                            {"healthy_qps", healthy_qps},
+                            {"stale_qps", stale_qps},
+                            {"retained", stale_qps / healthy_qps}});
   }
   bench::print_rule(52);
   std::printf("degraded responses flagged and typed: %s\n",
               degraded_ok ? "yes" : "NO (failure)");
 
+  report.metric("fep_rank_warm_speedup", rank_speedup);
+  report.metric("degraded_ok", degraded_ok);
+  report.write();
   return rank_speedup >= 5.0 && degraded_ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -116,5 +117,25 @@ int main() {
   std::printf("\n\nPaper averages: DeepSeq2 79.1/76.4/88.4 | w/o FAA "
               "45.6/57.1/75.1 | w/o AA 80.3/81.0/90.7 | w/o A 94.9/87.0/95.1 "
               "| MOSS 95.2/87.5/96.3\n");
+
+  bench::JsonReport report("bench_table1_variants");
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < wb.test.size(); ++i) {
+      const auto& a = r.per_circuit[i];
+      report.row("circuits",
+                 {{"variant", r.name},
+                  {"circuit", wb.test[i].netlist.name()},
+                  {"cells", static_cast<std::int64_t>(
+                                wb.test[i].netlist.num_cells())},
+                  {"atp", 100 * a.atp},
+                  {"trp", 100 * a.trp},
+                  {"pp", 100 * a.pp}});
+    }
+    report.row("averages", {{"variant", r.name},
+                            {"atp", 100 * r.avg.atp},
+                            {"trp", 100 * r.avg.trp},
+                            {"pp", 100 * r.avg.pp}});
+  }
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "json_report.hpp"
 
 using namespace moss;
 using bench::Scale;
@@ -102,5 +103,18 @@ int main() {
   }
   std::printf("\n\nPaper averages: w/o FAA 8.5 | w/o AA 19.9 | w/o A 26.6 | "
               "MOSS 93.7\n");
+
+  bench::JsonReport report("bench_table2_fep");
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    for (int p = 0; p < kPools; ++p) {
+      report.row("pools",
+                 {{"variant", std::string(variants[vi].name)},
+                  {"pool", std::string(pool_names[p])},
+                  {"fep_acc", 100 * acc[vi][static_cast<std::size_t>(p)]}});
+    }
+    report.row("averages", {{"variant", std::string(variants[vi].name)},
+                            {"fep_acc", 100 * avg[vi] / kPools}});
+  }
+  report.write();
   return 0;
 }

@@ -1,0 +1,131 @@
+#include "json_report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace moss::bench {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const JsonReport::Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    out += buf;
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out += std::to_string(*i);
+  } else if (const auto* b = std::get_if<bool>(&v)) {
+    out += *b ? "true" : "false";
+  } else {
+    append_escaped(out, std::get<std::string>(v));
+  }
+}
+
+void append_object(std::string& out,
+                   const std::vector<std::pair<std::string, JsonReport::Value>>&
+                       cells) {
+  out += "{";
+  bool first = true;
+  for (const auto& [k, v] : cells) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, k);
+    out += ": ";
+    append_value(out, v);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string name)
+    : name_(std::move(name)), start_ns_(now_ns()) {}
+
+void JsonReport::metric(const std::string& key, Value v) {
+  metrics_.emplace_back(key, std::move(v));
+}
+
+void JsonReport::row(const std::string& table,
+                     std::vector<std::pair<std::string, Value>> cells) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    table_order_.push_back(table);
+    it = tables_.emplace(table, decltype(tables_)::mapped_type{}).first;
+  }
+  it->second.push_back(std::move(cells));
+}
+
+std::string JsonReport::to_json() const {
+  const double wall_s =
+      static_cast<double>(now_ns() - start_ns_) / 1e9;
+  std::string out = "{\n  \"bench\": ";
+  append_escaped(out, name_);
+  out += ",\n  \"schema_version\": 1,\n  \"wall_clock_s\": ";
+  append_value(out, wall_s);
+  for (const auto& [k, v] : metrics_) {
+    out += ",\n  ";
+    append_escaped(out, k);
+    out += ": ";
+    append_value(out, v);
+  }
+  for (const std::string& t : table_order_) {
+    out += ",\n  ";
+    append_escaped(out, t);
+    out += ": [";
+    bool first = true;
+    for (const auto& cells : tables_.at(t)) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    ";
+      append_object(out, cells);
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool JsonReport::write(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name_ + ".json";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "json_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace moss::bench

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace moss::bench {
+
+/// Machine-readable companion to the benches' stdout tables. Each bench
+/// builds one JsonReport and writes it to results/<name>.json so perf can be
+/// tracked as a trajectory across commits instead of eyeballing text diffs.
+///
+/// Keys are part of the schema: once a bench ships a metric or table column,
+/// later commits keep the name so downstream tooling can diff runs. Numbers
+/// are serialized with enough digits (%.17g) to round-trip exactly.
+class JsonReport {
+ public:
+  using Value = std::variant<double, std::int64_t, bool, std::string>;
+
+  /// `name` is the output basename, conventionally the bench executable
+  /// name ("bench_micro" -> results/bench_micro.json).
+  explicit JsonReport(std::string name);
+
+  /// Top-level scalar (qps, speedup, pass/fail, config echo, ...).
+  void metric(const std::string& key, Value v);
+
+  /// Append one row to a named table. Rows of one table should share the
+  /// same columns; column order follows the first insertion.
+  void row(const std::string& table,
+           std::vector<std::pair<std::string, Value>> cells);
+
+  /// Serialize to `dir`/<name>.json (creating `dir` if needed). Adds the
+  /// bench name, a schema_version, and wall_clock_s (seconds since this
+  /// report was constructed) automatically. Returns false on I/O failure —
+  /// benches warn but do not fail the run on that.
+  bool write(const std::string& dir = "results") const;
+
+  /// The serialized document (exposed for tests and for benches that want
+  /// to echo it to stdout).
+  std::string to_json() const;
+
+ private:
+  std::string name_;
+  std::int64_t start_ns_;
+  std::vector<std::pair<std::string, Value>> metrics_;
+  std::vector<std::string> table_order_;
+  std::map<std::string, std::vector<std::vector<std::pair<std::string, Value>>>>
+      tables_;
+};
+
+}  // namespace moss::bench

@@ -7,6 +7,7 @@
 
 #include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/serialize.hpp"
 
 namespace moss::core {
@@ -244,12 +245,15 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
 
   const auto spans = batch_spans(order.size(), bs);
   ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+  tensor::kernels::ScratchArena arena;
 
   // One alignment minibatch (circuits order[span.first, span.second)) run
   // forward + backward with gradients collected in a worker-local sandbox.
   const auto run_span = [&](std::pair<std::size_t, std::size_t> span) {
     const std::size_t bs_k = span.second - span.first;
     tensor::GradSandbox sandbox;
+    // Recycle forward/backward intermediates across minibatches.
+    const tensor::kernels::ScratchArena::Scope scratch_scope(arena);
 
     // Forward every circuit of the minibatch. Local task losses stay in
     // the objective (the paper's L_total sums all task losses), so the

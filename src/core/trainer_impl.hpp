@@ -9,6 +9,7 @@
 #include "core/trainer.hpp"
 #include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
+#include "tensor/kernels.hpp"
 
 namespace moss::core {
 
@@ -122,6 +123,7 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
   std::uint64_t bad_steps = st.bad_steps;
 
   ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+  tensor::kernels::ScratchArena arena;
 
   // One forward/backward of data[index] under the group's fixed task
   // weights, gradients collected in a worker-local sandbox. Model forward
@@ -131,6 +133,8 @@ PretrainReport pretrain_model(Model& model, std::vector<CircuitBatch>& data,
                              const std::vector<float>& w) {
     CircuitBatch& batch = data[index];
     tensor::GradSandbox sandbox;
+    // Recycle forward/backward intermediates across batches and epochs.
+    const tensor::kernels::ScratchArena::Scope scratch_scope(arena);
     const tensor::Tensor h = model.node_embeddings(batch);
     const LocalPredictions pred = model.predict_local(batch, h);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace moss::gnn {
 
 using tensor::Tensor;
@@ -61,8 +63,9 @@ Tensor TwoPhaseGnn::apply_step(const UpdateStep& step, Tensor h) const {
     for (int& p : pos_clamped) {
       p = std::clamp(p, 0, cfg_.max_pin_pos - 1);
     }
+    // Fused gather+GEMM: the per-edge source rows are never materialized.
     Tensor msg = tensor::add(
-        tensor::matmul(tensor::gather_rows(h, grp.edge_src), agg.w_msg),
+        tensor::kernels::gather_matmul(h, grp.edge_src, agg.w_msg),
         tensor::gather_rows(pos_table_, pos_clamped));
 
     Tensor weighted;
@@ -102,9 +105,9 @@ Tensor TwoPhaseGnn::apply_step(const UpdateStep& step, Tensor h) const {
       const Tensor ones = Tensor::full(z.rows(), z.cols(), 1.0f);
       new_h = tensor::add((ones - z) * self_h, z * cand);
     } else {
-      new_h = tensor::tanh_t(tensor::add(
-          tensor::add(tensor::matmul(self_h, agg.w_self), aggregated),
-          agg.bias));
+      // Fused matmul+add+bias+tanh; bit-identical to the composed ops.
+      new_h = tensor::kernels::matmul_bias_tanh(self_h, agg.w_self,
+                                                aggregated, agg.bias);
     }
     all_nodes.insert(all_nodes.end(), grp.nodes.begin(), grp.nodes.end());
     all_new.push_back(new_h);
@@ -112,14 +115,18 @@ Tensor TwoPhaseGnn::apply_step(const UpdateStep& step, Tensor h) const {
   if (all_nodes.empty()) return h;
   const Tensor rows =
       all_new.size() == 1 ? all_new[0] : tensor::concat_rows(all_new);
-  return tensor::scatter_rows(h, all_nodes, rows);
+  // In-place scatter: reuses h's buffer instead of cloning N×H floats per
+  // step. h is dead after this call (apply_step owns its copy), which is
+  // exactly the scatter_rows_ caller contract.
+  return tensor::scatter_rows_(h, all_nodes, rows);
 }
 
 Tensor TwoPhaseGnn::run(const Graph& g) const {
   MOSS_CHECK(g.features.defined(), "graph has no features");
   MOSS_CHECK(g.features.cols() == cfg_.feature_dim,
              "graph feature width != GnnConfig.feature_dim");
-  Tensor h = tensor::tanh_t(input_proj_(g.features));
+  Tensor h = tensor::kernels::matmul_bias_tanh(
+      g.features, input_proj_.weight(), Tensor{}, input_proj_.bias());
   for (int round = 0; round < cfg_.rounds; ++round) {
     for (const UpdateStep& step : g.forward_steps) {
       h = apply_step(step, h);

@@ -4,6 +4,7 @@
 
 #include "core_util/check.hpp"
 #include "core_util/strings.hpp"
+#include "tensor/kernels.hpp"
 
 namespace moss::lm {
 
@@ -35,18 +36,25 @@ Tensor TextEncoder::encode(std::string_view text) const {
   const std::vector<int> ids = tokenize(text, tok_cfg);
   Tensor out = Tensor::zeros(1, cfg_.dim);
   if (!ids.empty()) {
+    // Vectorized weighted row sum over the embedding table. The kernel's
+    // accumulation order matches the loop it replaced, so cached embeddings
+    // are bit-identical across the switch.
     float total_w = 0.0f;
-    for (const int id : ids) {
-      const float w =
-          token_weight_.empty()
-              ? 1.0f
-              : token_weight_[static_cast<std::size_t>(id)];
-      total_w += w;
-      for (std::size_t d = 0; d < cfg_.dim; ++d) {
-        out.data()[d] +=
-            table_.data()[static_cast<std::size_t>(id) * cfg_.dim + d] * w;
+    const float* weights = nullptr;
+    std::vector<float> ws;
+    if (!token_weight_.empty()) {
+      ws.resize(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ws[i] = token_weight_[static_cast<std::size_t>(ids[i])];
+        total_w += ws[i];
       }
+      weights = ws.data();
+    } else {
+      total_w = static_cast<float>(ids.size());
     }
+    tensor::kernels::rows_weighted_sum(table_.data().data(), cfg_.dim,
+                                       ids.data(), weights, ids.size(),
+                                       out.data().data());
     if (total_w > 0.0f) {
       for (std::size_t d = 0; d < cfg_.dim; ++d) out.data()[d] /= total_w;
     }

@@ -212,6 +212,10 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
   // injected fault, deadline — is captured into that request's promise;
   // the worker, the rest of the batch and the scheduler keep going.
   workers_.parallel_for(0, batch.size(), [&](std::size_t i) {
+    // Route the worker's intermediate tensor allocations through the
+    // engine-lifetime arena so steady-state inference stops hitting the
+    // allocator. Response tensors keep the pool alive past the scope.
+    const tensor::kernels::ScratchArena::Scope scratch_scope(arena_);
     Pending& p = batch[i];
     const auto deadline =
         p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);

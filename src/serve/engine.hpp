@@ -19,6 +19,7 @@
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 #include "serve/resilience.hpp"
+#include "tensor/kernels.hpp"
 
 namespace moss::serve {
 
@@ -196,6 +197,9 @@ class InferenceEngine {
   std::unordered_map<std::string, std::shared_ptr<const Pool>> pools_;
 
   ThreadPool workers_;
+  // Reusable scratch buffers for dispatch workers; lives as long as the
+  // engine so warm batches recycle instead of reallocating.
+  tensor::kernels::ScratchArena arena_;
   std::thread scheduler_;
 };
 

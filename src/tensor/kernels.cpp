@@ -1,0 +1,534 @@
+// Blocked/SIMD compute kernels behind the moss::tensor autograd ops.
+//
+// This translation unit is compiled with extra flags (see
+// src/tensor/CMakeLists.txt): -fopenmp-simd activates the `omp simd`
+// pragmas, -march=native (option MOSS_NATIVE_KERNELS) widens the vectors,
+// and -ffp-contract=off pins results: without it the compiler may contract
+// a*b+c into fma(a,b,c), which rounds once instead of twice and would break
+// the bit-exactness contract against the naive references.
+
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "core_util/check.hpp"
+#include "core_util/thread_pool.hpp"
+
+namespace moss::tensor::kernels {
+
+// ---------------------------------------------------------------------------
+// ScratchArena
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+constexpr std::size_t kMaxCachedBuffers = 256;
+constexpr std::size_t kMaxCachedBytes = std::size_t{256} << 20;
+}  // namespace
+
+namespace {
+/// Class c holds buffers with capacity in [2^c, 2^(c+1)); a request of n
+/// elements is served from any class >= ceil(log2(n)), found in O(1) via
+/// the nonempty bitmask. A buffer handed out is therefore never more than
+/// 4x the request (smallest nonempty class first), and nothing is ever
+/// moved or scanned.
+std::size_t class_of_capacity(std::size_t cap) {
+  return static_cast<std::size_t>(std::bit_width(cap)) - 1;
+}
+std::size_t class_of_request(std::size_t n) {
+  return n <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
+}
+}  // namespace
+
+std::vector<float> BufferPool::acquire(std::size_t n) {
+  if (n == 0) return {};
+  std::vector<float> v;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t c = class_of_request(n);
+    const std::uint64_t mask = c < kClasses ? nonempty_ >> c : 0;
+    if (mask != 0) {
+      const std::size_t cls =
+          c + static_cast<std::size_t>(std::countr_zero(mask));
+      auto& bucket = free_[cls];
+      v = std::move(bucket.back());
+      bucket.pop_back();
+      if (bucket.empty()) nonempty_ &= ~(std::uint64_t{1} << cls);
+      --count_;
+      bytes_ -= v.capacity() * sizeof(float);
+    }
+  }
+  v.assign(n, 0.0f);
+  return v;
+}
+
+void BufferPool::release(std::vector<float>&& v) {
+  if (v.capacity() == 0) return;
+  std::vector<float> local = std::move(v);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t cls = class_of_capacity(local.capacity());
+  if (closed_ || cls >= kClasses || count_ >= kMaxCachedBuffers ||
+      bytes_ + local.capacity() * sizeof(float) > kMaxCachedBytes) {
+    return;  // dropped; frees on scope exit
+  }
+  bytes_ += local.capacity() * sizeof(float);
+  ++count_;
+  free_[cls].push_back(std::move(local));
+  nonempty_ |= std::uint64_t{1} << cls;
+}
+
+void BufferPool::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  for (auto& bucket : free_) bucket.clear();
+  nonempty_ = 0;
+  count_ = 0;
+  bytes_ = 0;
+}
+
+std::size_t BufferPool::cached_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::size_t BufferPool::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace detail
+
+namespace {
+
+thread_local std::shared_ptr<detail::BufferPool> tl_pool;
+
+/// Per-thread fallback pool for kernel-internal scratch (transposes, fused
+/// gradient staging) when no arena Scope is active.
+const std::shared_ptr<detail::BufferPool>& fallback_pool() {
+  thread_local std::shared_ptr<detail::BufferPool> pool =
+      std::make_shared<detail::BufferPool>();
+  return pool;
+}
+
+/// RAII zeroed scratch buffer from the active arena (or the thread-local
+/// fallback), returned on destruction.
+class Scratch {
+ public:
+  explicit Scratch(std::size_t n)
+      : pool_(tl_pool ? tl_pool : fallback_pool()), v_(pool_->acquire(n)) {}
+  ~Scratch() { pool_->release(std::move(v_)); }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  float* data() { return v_.data(); }
+
+ private:
+  std::shared_ptr<detail::BufferPool> pool_;
+  std::vector<float> v_;
+};
+
+}  // namespace
+
+ScratchArena::Scope::Scope(ScratchArena& arena) : prev_(std::move(tl_pool)) {
+  tl_pool = arena.pool_;
+}
+
+ScratchArena::Scope::~Scope() { tl_pool = std::move(prev_); }
+
+const std::shared_ptr<detail::BufferPool>& ScratchArena::current() {
+  return tl_pool;
+}
+
+// ---------------------------------------------------------------------------
+// Threading
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_run_mu;     // one threaded kernel region at a time
+std::mutex g_config_mu;  // guards g_threads / g_pool
+std::size_t g_threads = 0;  // 0 = read MOSS_KERNEL_THREADS on first use
+std::unique_ptr<ThreadPool> g_pool;
+
+std::size_t env_threads() {
+  if (const char* e = std::getenv("MOSS_KERNEL_THREADS")) {
+    const int v = std::atoi(e);
+    if (v > 0) return static_cast<std::size_t>(v);
+    if (v == 0 && e[0] == '0') return ThreadPool::hardware_threads();
+  }
+  return 1;
+}
+
+ThreadPool& shared_pool(std::size_t t) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (!g_pool || g_pool->size() != t) {
+    g_pool = std::make_unique<ThreadPool>(t);
+  }
+  return *g_pool;
+}
+
+/// Rows per worker below which fan-out costs more than it saves.
+constexpr std::size_t kMinRowsPerWorker = 64;
+
+/// Run fn(lo, hi) over a partition of [0, M). `big` gates the threaded
+/// path; each row belongs to exactly one invocation, so any partition is
+/// bit-identical to fn(0, M). Contended or nested calls degrade to serial.
+template <typename Fn>
+void for_row_range(std::size_t M, bool big, Fn&& fn) {
+  const std::size_t t = threads();
+  if (big && t > 1 && M >= 2 * kMinRowsPerWorker) {
+    std::unique_lock<std::mutex> lk(g_run_mu, std::try_to_lock);
+    if (lk.owns_lock()) {
+      const std::size_t parts =
+          std::min(t, std::max<std::size_t>(1, M / kMinRowsPerWorker));
+      if (parts > 1) {
+        const std::size_t len = (M + parts - 1) / parts;
+        shared_pool(t).parallel_for(0, parts, [&](std::size_t c) {
+          const std::size_t lo = c * len;
+          const std::size_t hi = std::min(lo + len, M);
+          if (lo < hi) fn(lo, hi);
+        });
+        return;
+      }
+    }
+  }
+  fn(0, M);
+}
+
+}  // namespace
+
+void set_threads(std::size_t n) {
+  // Taking the run lock first keeps a live parallel_for from racing the
+  // pool swap.
+  std::lock_guard<std::mutex> run(g_run_mu);
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_threads = n == 0 ? ThreadPool::hardware_threads() : n;
+  if (g_pool && g_pool->size() != g_threads) g_pool.reset();
+}
+
+std::size_t threads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (g_threads == 0) g_threads = env_threads();
+  return g_threads;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// K-tile: one tile of a 40-wide float row plus the accumulators stays
+/// well inside L1 at these panel sizes; tiling also bounds the C reload
+/// traffic for the large-K (concat) shapes.
+constexpr std::size_t kKc = 256;
+
+/// MR×NR register tile: C is loaded once, the k loop runs the serial
+/// per-element chain in increasing k, and the store writes it back — the
+/// exact accumulation order of the naive loop. The omp simd vectorizes
+/// across j (independent output elements), never across k.
+template <std::size_t MR, std::size_t NR>
+inline void micro_tile(const float* const* __restrict a_rows, std::size_t k0,
+                       std::size_t k1, const float* __restrict B,
+                       std::size_t N, std::size_t n0,
+                       float* const* __restrict c_rows) {
+  float acc[MR][NR];
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t j = 0; j < NR; ++j) acc[i][j] = c_rows[i][n0 + j];
+  for (std::size_t k = k0; k < k1; ++k) {
+    const float* __restrict brow = B + k * N + n0;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const float av = a_rows[i][k];
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t j = 0; j < NR; ++j) c_rows[i][n0 + j] = acc[i][j];
+}
+
+/// One MR-row block across all of N: 16-wide panels, then 8/4/1 remainders
+/// (still register-tiled, so N=40 or N=33 stays vectorized).
+template <std::size_t MR>
+inline void row_panel(const float* const* a_rows, std::size_t k0,
+                      std::size_t k1, const float* B, std::size_t N,
+                      float* const* c_rows) {
+  std::size_t n = 0;
+  for (; n + 16 <= N; n += 16) micro_tile<MR, 16>(a_rows, k0, k1, B, N, n, c_rows);
+  if (n + 8 <= N) {
+    micro_tile<MR, 8>(a_rows, k0, k1, B, N, n, c_rows);
+    n += 8;
+  }
+  if (n + 4 <= N) {
+    micro_tile<MR, 4>(a_rows, k0, k1, B, N, n, c_rows);
+    n += 4;
+  }
+  for (; n < N; ++n) micro_tile<MR, 1>(a_rows, k0, k1, B, N, n, c_rows);
+}
+
+void gemm_range(std::size_t m0, std::size_t m1, std::size_t K, std::size_t N,
+                const float* A, const int* a_idx, const float* B, float* C) {
+  const auto arow = [&](std::size_t m) {
+    return A + (a_idx ? static_cast<std::size_t>(a_idx[m]) : m) * K;
+  };
+  for (std::size_t k0 = 0; k0 < K; k0 += kKc) {
+    const std::size_t k1 = std::min(k0 + kKc, K);
+    std::size_t m = m0;
+    for (; m + 4 <= m1; m += 4) {
+      const float* ar[4] = {arow(m), arow(m + 1), arow(m + 2), arow(m + 3)};
+      float* cr[4] = {C + m * N, C + (m + 1) * N, C + (m + 2) * N,
+                      C + (m + 3) * N};
+      row_panel<4>(ar, k0, k1, B, N, cr);
+    }
+    const std::size_t rem = m1 - m;
+    if (rem == 3) {
+      const float* ar[3] = {arow(m), arow(m + 1), arow(m + 2)};
+      float* cr[3] = {C + m * N, C + (m + 1) * N, C + (m + 2) * N};
+      row_panel<3>(ar, k0, k1, B, N, cr);
+    } else if (rem == 2) {
+      const float* ar[2] = {arow(m), arow(m + 1)};
+      float* cr[2] = {C + m * N, C + (m + 1) * N};
+      row_panel<2>(ar, k0, k1, B, N, cr);
+    } else if (rem == 1) {
+      const float* ar[1] = {arow(m)};
+      float* cr[1] = {C + m * N};
+      row_panel<1>(ar, k0, k1, B, N, cr);
+    }
+  }
+}
+
+/// dst[c*R + r] = src[r*C + c] (R×C -> C×R), tiled for cache.
+void transpose_into(std::size_t R, std::size_t C, const float* src,
+                    float* dst) {
+  constexpr std::size_t kB = 32;
+  for (std::size_t r0 = 0; r0 < R; r0 += kB) {
+    const std::size_t r1 = std::min(r0 + kB, R);
+    for (std::size_t c0 = 0; c0 < C; c0 += kB) {
+      const std::size_t c1 = std::min(c0 + kB, C);
+      for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = c0; c < c1; ++c) dst[c * R + r] = src[r * C + c];
+    }
+  }
+}
+
+/// dst[k*M + m] = A[a_idx?[m]*K + k]: transpose of the (gathered) A.
+void gather_transpose_into(std::size_t M, std::size_t K, const float* A,
+                           const int* a_idx, float* dst) {
+  constexpr std::size_t kB = 32;
+  for (std::size_t m0 = 0; m0 < M; m0 += kB) {
+    const std::size_t m1 = std::min(m0 + kB, M);
+    for (std::size_t k0 = 0; k0 < K; k0 += kB) {
+      const std::size_t k1 = std::min(k0 + kB, K);
+      for (std::size_t m = m0; m < m1; ++m) {
+        const float* src =
+            A + (a_idx ? static_cast<std::size_t>(a_idx[m]) : m) * K;
+        for (std::size_t k = k0; k < k1; ++k) dst[k * M + m] = src[k];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t M, std::size_t K, std::size_t N, const float* A,
+          const float* B, float* C, const int* a_idx) {
+  if (M == 0 || K == 0 || N == 0) return;
+  const bool big = M * K * N >= (std::size_t{1} << 20);
+  for_row_range(M, big, [&](std::size_t lo, std::size_t hi) {
+    gemm_range(lo, hi, K, N, A, a_idx, B, C);
+  });
+}
+
+void gemm_naive(std::size_t M, std::size_t K, std::size_t N, const float* A,
+                const float* B, float* C, const int* a_idx) {
+  if (M == 0 || K == 0 || N == 0) return;
+  for (std::size_t m = 0; m < M; ++m) {
+    const float* arow =
+        A + (a_idx ? static_cast<std::size_t>(a_idx[m]) : m) * K;
+    float* orow = C + m * N;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = arow[k];
+      const float* brow = B + k * N;
+      for (std::size_t n = 0; n < N; ++n) orow[n] += av * brow[n];
+    }
+  }
+}
+
+void gemm_dA(std::size_t M, std::size_t K, std::size_t N, const float* G,
+             const float* B, float* dA) {
+  if (M == 0 || K == 0 || N == 0) return;
+  // dA = G·Bᵀ as a standard gemm against Bᵀ. The naive backward computes a
+  // fresh dot per element and adds it once, so gemm into zeroed scratch
+  // (same chain as the fresh dot) then one add — gemm'ing straight into dA
+  // would fold prior contents into the chain and change the rounding.
+  Scratch bt(N * K);
+  transpose_into(K, N, B, bt.data());
+  Scratch acc(M * K);
+  gemm(M, N, K, G, bt.data(), acc.data());
+  const float* s = acc.data();
+  const std::size_t total = M * K;
+#pragma omp simd
+  for (std::size_t i = 0; i < total; ++i) dA[i] += s[i];
+}
+
+void gemm_dA_naive(std::size_t M, std::size_t K, std::size_t N,
+                   const float* G, const float* B, float* dA) {
+  if (M == 0 || K == 0 || N == 0) return;
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t k = 0; k < K; ++k) {
+      float acc = 0.0f;
+      const float* grow = G + m * N;
+      const float* brow = B + k * N;
+      for (std::size_t n = 0; n < N; ++n) acc += grow[n] * brow[n];
+      dA[m * K + k] += acc;
+    }
+  }
+}
+
+void gemm_dB(std::size_t M, std::size_t K, std::size_t N, const float* A,
+             const float* G, float* dB, const int* a_idx) {
+  if (M == 0 || K == 0 || N == 0) return;
+  // dB += Aᵀ·G. The naive backward accumulates directly into dB in
+  // increasing m order; gemm(K, M, N) over the transposed A runs the same
+  // chain (m is the inner dimension), so no staging buffer is needed.
+  Scratch at(K * M);
+  gather_transpose_into(M, K, A, a_idx, at.data());
+  gemm(K, M, N, at.data(), G, dB);
+}
+
+void gemm_dB_naive(std::size_t M, std::size_t K, std::size_t N,
+                   const float* A, const float* G, float* dB,
+                   const int* a_idx) {
+  if (M == 0 || K == 0 || N == 0) return;
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t m = 0; m < M; ++m) {
+      const float av =
+          A[(a_idx ? static_cast<std::size_t>(a_idx[m]) : m) * K + k];
+      const float* grow = G + m * N;
+      float* drow = dB + k * N;
+      for (std::size_t n = 0; n < N; ++n) drow[n] += av * grow[n];
+    }
+  }
+}
+
+void rows_weighted_sum(const float* table, std::size_t D, const int* ids,
+                       const float* w, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* __restrict trow =
+        table + static_cast<std::size_t>(ids[i]) * D;
+    const float wv = w ? w[i] : 1.0f;
+#pragma omp simd
+    for (std::size_t d = 0; d < D; ++d) out[d] += trow[d] * wv;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused autograd ops
+// ---------------------------------------------------------------------------
+
+Tensor matmul_bias_tanh(const Tensor& x, const Tensor& w, const Tensor& addend,
+                        const Tensor& bias) {
+  MOSS_CHECK(x.cols() == w.rows(), "matmul_bias_tanh: inner dim mismatch");
+  const std::size_t M = x.rows(), K = x.cols(), N = w.cols();
+  if (addend.defined()) {
+    MOSS_CHECK(addend.rows() == M && addend.cols() == N,
+               "matmul_bias_tanh: addend shape mismatch");
+  }
+  if (bias.defined()) {
+    MOSS_CHECK(bias.rows() == 1 && bias.cols() == N,
+               "matmul_bias_tanh: bias must be 1×N");
+  }
+  std::vector<Tensor> parents{x, w};
+  if (addend.defined()) parents.push_back(addend);
+  if (bias.defined()) parents.push_back(bias);
+  Tensor out = Tensor::make(M, N, std::move(parents));
+
+  float* O = out.data().data();
+  gemm(M, K, N, x.data().data(), w.data().data(), O);
+  const float* ad = addend.defined() ? addend.data().data() : nullptr;
+  const float* bv = bias.defined() ? bias.data().data() : nullptr;
+  for (std::size_t m = 0; m < M; ++m) {
+    float* orow = O + m * N;
+    for (std::size_t n = 0; n < N; ++n) {
+      float v = orow[n];
+      if (ad) v += ad[m * N + n];
+      if (bv) v += bv[n];
+      orow[n] = std::tanh(v);
+    }
+  }
+
+  Tensor tx = x, tw = w, tad = addend, tb = bias;
+  out.impl()->backward_fn = [tx, tw, tad, tb, M, K,
+                             N](Tensor::Impl& self) mutable {
+    const float* G = self.grad.data();
+    const std::size_t total = M * N;
+    // gg = G ⊙ (1 − y²): what the composed tanh node would have handed to
+    // the add chain (the add nodes pass gradients through untouched).
+    Scratch ggs(total);
+    float* gg = ggs.data();
+    for (std::size_t i = 0; i < total; ++i) {
+      const float y = self.data[i];
+      gg[i] = G[i] * (1.0f - y * y);
+    }
+    if (tb.defined() && tb.requires_grad()) {
+      auto& g = tb.grad();
+      for (std::size_t m = 0; m < M; ++m) {
+        const float* row = gg + m * N;
+        for (std::size_t n = 0; n < N; ++n) g[n] += row[n];
+      }
+    }
+    if (tad.defined() && tad.requires_grad()) {
+      auto& g = tad.grad();
+      for (std::size_t i = 0; i < total; ++i) g[i] += gg[i];
+    }
+    if (tx.requires_grad()) {
+      gemm_dA(M, K, N, gg, tw.data().data(), tx.grad().data());
+    }
+    if (tw.requires_grad()) {
+      gemm_dB(M, K, N, tx.data().data(), gg, tw.grad().data());
+    }
+  };
+  return out;
+}
+
+Tensor gather_matmul(const Tensor& x, const std::vector<int>& idx,
+                     const Tensor& w) {
+  MOSS_CHECK(x.cols() == w.rows(), "gather_matmul: inner dim mismatch");
+  const std::size_t E = idx.size(), K = x.cols(), N = w.cols();
+  for (const int i : idx) {
+    MOSS_CHECK(i >= 0 && static_cast<std::size_t>(i) < x.rows(),
+               "gather_matmul: index out of range");
+  }
+  Tensor out = Tensor::make(E, N, {x, w});
+  gemm(E, K, N, x.data().data(), w.data().data(), out.data().data(),
+       idx.data());
+
+  Tensor tx = x, tw = w;
+  out.impl()->backward_fn = [tx, tw, idx, E, K, N](Tensor::Impl& self) mutable {
+    const float* G = self.grad.data();
+    if (tx.requires_grad()) {
+      // The composed pair stages dGathered (fresh dots) in the gather
+      // node's grad, then scatter-adds it into x in edge order; do the
+      // same through scratch.
+      Scratch dgs(E * K);
+      gemm_dA(E, K, N, G, tw.data().data(), dgs.data());
+      const float* d = dgs.data();
+      auto& g = tx.grad();
+      for (std::size_t e = 0; e < E; ++e) {
+        float* grow = g.data() + static_cast<std::size_t>(idx[e]) * K;
+        const float* srow = d + e * K;
+        for (std::size_t k = 0; k < K; ++k) grow[k] += srow[k];
+      }
+    }
+    if (tw.requires_grad()) {
+      gemm_dB(E, K, N, tx.data().data(), G, tw.grad().data(), idx.data());
+    }
+  };
+  return out;
+}
+
+}  // namespace moss::tensor::kernels

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace moss::tensor::kernels {
+
+// ---------------------------------------------------------------------------
+// Raw GEMM kernels (float32, row-major)
+// ---------------------------------------------------------------------------
+//
+// Contract: every blocked kernel is bit-identical to its *_naive reference at
+// any thread count. The per-element reduction over the inner dimension is a
+// single serial float chain in increasing index order — blocking only changes
+// *which* independent output elements are in flight together, never the
+// order of adds within one element — and the kernel translation unit is built
+// with -ffp-contract=off so no FMA contraction can reassociate it either.
+
+/// C[m,n] (+)= Σ_k A[m,k]·B[k,n]; accumulation continues from C's current
+/// contents. `a_idx` (optional) makes logical row m read physical row
+/// a_idx[m] of A — the fused gather_rows form (A then has any row count
+/// covering the indices).
+void gemm(std::size_t M, std::size_t K, std::size_t N, const float* A,
+          const float* B, float* C, const int* a_idx = nullptr);
+/// Reference triple loop with identical semantics (no zero-skip: 0·NaN
+/// propagates, matching IEEE).
+void gemm_naive(std::size_t M, std::size_t K, std::size_t N, const float* A,
+                const float* B, float* C, const int* a_idx = nullptr);
+
+/// dA[m,k] += Σ_n G[m,n]·B[k,n]  (dA += G·Bᵀ): each element is a fresh dot
+/// in increasing n order, added into dA once — exactly the autograd matmul
+/// backward for the left operand.
+void gemm_dA(std::size_t M, std::size_t K, std::size_t N, const float* G,
+             const float* B, float* dA);
+void gemm_dA_naive(std::size_t M, std::size_t K, std::size_t N, const float* G,
+                   const float* B, float* dA);
+
+/// dB[k,n] += Σ_m A[m,k]·G[m,n]  (dB += Aᵀ·G), accumulating into dB in
+/// increasing m order — the autograd matmul backward for the right operand.
+/// `a_idx` selects rows of A as in gemm (gather_matmul backward).
+void gemm_dB(std::size_t M, std::size_t K, std::size_t N, const float* A,
+             const float* G, float* dB, const int* a_idx = nullptr);
+void gemm_dB_naive(std::size_t M, std::size_t K, std::size_t N, const float* A,
+                   const float* G, float* dB, const int* a_idx = nullptr);
+
+/// out[d] += Σ_i w[i]·table[ids[i], d] in increasing i order (w == nullptr
+/// means unit weights) — the LM bag-of-tokens pooling kernel.
+void rows_weighted_sum(const float* table, std::size_t D, const int* ids,
+                       const float* w, std::size_t n, float* out);
+
+// ---------------------------------------------------------------------------
+// Threading
+// ---------------------------------------------------------------------------
+//
+// Large-M GEMMs are row-partitioned over a lazily created moss::ThreadPool.
+// Each output row is owned by exactly one worker and a row's reduction chain
+// does not depend on the partition, so results are bit-identical at any
+// thread count. Default is 1 (serial) unless MOSS_KERNEL_THREADS is set;
+// nested use from inside another pool's worker degrades to serial.
+
+/// Set the kernel worker count (0 = hardware concurrency). Thread-safe, but
+/// callers should quiesce in-flight kernels first (benches do).
+void set_threads(std::size_t n);
+std::size_t threads();
+
+// ---------------------------------------------------------------------------
+// ScratchArena — reusable buffer pool behind Tensor::make
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Mutex-guarded freelist of float buffers. acquire() returns a zeroed
+/// vector of exactly n elements, reusing a cached allocation when one fits;
+/// release() caches the allocation for reuse (dropped once the pool is
+/// closed or over budget). Safe to use from any thread.
+///
+/// Buffers are binned by power-of-two capacity class with a nonempty-class
+/// bitmask, making both operations O(1) with no per-operation heap traffic.
+/// This matters: the pool fronts *every* tensor allocation while a Scope is
+/// active, so even a binary-searched flat freelist (memmove on insert)
+/// showed up as a multi-x throughput loss on allocation-dense serve paths.
+class BufferPool {
+ public:
+  std::vector<float> acquire(std::size_t n);
+  void release(std::vector<float>&& v);
+  /// Stop caching and drop what is cached (late releases are then freed
+  /// normally). Called by ~ScratchArena so escaped tensors stay valid.
+  void close();
+
+  std::size_t cached_buffers() const;
+  std::size_t cached_bytes() const;
+
+ private:
+  static constexpr std::size_t kClasses = 48;  // capacities up to 2^47
+  mutable std::mutex mu_;
+  std::array<std::vector<std::vector<float>>, kClasses> free_;
+  std::uint64_t nonempty_ = 0;  ///< bit c set iff free_[c] has a buffer
+  std::size_t count_ = 0;
+  std::size_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+/// Recycles tensor data/grad allocations across forward/backward passes.
+///
+/// While a Scope is active on a thread, Tensor::make acquires buffers from
+/// the arena's pool and each Impl returns them on destruction, so
+/// steady-state training and inference stop calling the allocator. Tensors
+/// may outlive the Scope — and even the arena — safely: each Impl holds a
+/// shared_ptr to the pool, and a destroyed arena closes its pool so late
+/// releases simply free.
+///
+/// One arena can back many threads at once (the pool is mutex'd); activation
+/// is per-thread via Scope, which nests like GradSandbox.
+class ScratchArena {
+ public:
+  ScratchArena() : pool_(std::make_shared<detail::BufferPool>()) {}
+  ~ScratchArena() { pool_->close(); }
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// RAII activation on the current thread (innermost wins).
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    std::shared_ptr<detail::BufferPool> prev_;
+  };
+
+  /// Pool active on this thread (empty shared_ptr when none).
+  static const std::shared_ptr<detail::BufferPool>& current();
+
+  std::size_t cached_buffers() const { return pool_->cached_buffers(); }
+  std::size_t cached_bytes() const { return pool_->cached_bytes(); }
+
+ private:
+  std::shared_ptr<detail::BufferPool> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Fused autograd ops
+// ---------------------------------------------------------------------------
+
+/// tanh(x·W [+ addend] [+ bias]) without materializing the intermediates.
+/// `addend` (optional, M×N) and `bias` (optional, 1×N row-broadcast) may be
+/// undefined Tensors. Forward and all gradients are bit-identical to the
+/// composed tanh_t(add(add(matmul(x, w), addend), bias)). The non-GRU
+/// aggregator update and the GNN input projection route through this.
+Tensor matmul_bias_tanh(const Tensor& x, const Tensor& w, const Tensor& addend,
+                        const Tensor& bias);
+
+/// gather_rows(x, idx)·W without materializing the gathered rows: the GEMM
+/// reads x through the row indices. Bit-identical (forward and gradients) to
+/// matmul(gather_rows(x, idx), w). The per-edge message transform routes
+/// through this.
+Tensor gather_matmul(const Tensor& x, const std::vector<int>& idx,
+                     const Tensor& w);
+
+}  // namespace moss::tensor::kernels

@@ -56,6 +56,10 @@ class Linear {
   }
 
   const Tensor& weight() const { return w_; }
+  /// Bias row (undefined Tensor when constructed with bias=false) — exposed
+  /// so fused kernels can consume the layer without going through the
+  /// composed matmul+add.
+  const Tensor& bias() const { return b_; }
 
  private:
   Tensor w_;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core_util/check.hpp"
+#include "tensor/kernels.hpp"
 
 namespace moss::tensor {
 
@@ -17,13 +18,55 @@ Tensor::Impl& deref(const std::shared_ptr<Tensor::Impl>& p) {
 
 }  // namespace
 
+Tensor::Impl::~Impl() {
+  if (pool) {
+    pool->release(std::move(data));
+    pool->release(std::move(grad));
+  }
+}
+
+std::vector<float>& Tensor::Impl::ensure_grad() {
+  if (grad.empty()) {
+    const std::size_t n = rows * cols;
+    if (pool) {
+      grad = pool->acquire(n);
+    } else {
+      grad.assign(n, 0.0f);
+    }
+  }
+  return grad;
+}
+
 Tensor Tensor::make(std::size_t rows, std::size_t cols,
                     std::vector<Tensor> parents) {
   Tensor t;
   t.impl_ = std::make_shared<Impl>();
   t.impl_->rows = rows;
   t.impl_->cols = cols;
-  t.impl_->data.assign(rows * cols, 0.0f);
+  if (const auto& pool = kernels::ScratchArena::current()) {
+    t.impl_->pool = pool;
+    t.impl_->data = pool->acquire(rows * cols);
+  } else {
+    t.impl_->data.assign(rows * cols, 0.0f);
+  }
+  bool rg = false;
+  for (const Tensor& p : parents) rg = rg || p.requires_grad();
+  t.impl_->requires_grad = rg;
+  t.impl_->parents = std::move(parents);
+  return t;
+}
+
+Tensor Tensor::make_alias(const Tensor& storage, std::vector<Tensor> parents) {
+  const std::shared_ptr<Impl>& owner = storage.impl();
+  MOSS_CHECK(owner != nullptr, "make_alias of an undefined Tensor");
+  Tensor t;
+  t.impl_ = std::make_shared<Impl>();
+  t.impl_->rows = owner->rows;
+  t.impl_->cols = owner->cols;
+  t.impl_->alias = owner->alias ? owner->alias : owner;
+  if (const auto& pool = kernels::ScratchArena::current()) {
+    t.impl_->pool = pool;  // recycles the grad buffer; data stays empty
+  }
   bool rg = false;
   for (const Tensor& p : parents) rg = rg || p.requires_grad();
   t.impl_->requires_grad = rg;
@@ -48,6 +91,7 @@ Tensor Tensor::from(std::vector<float> values, std::size_t rows,
                     std::size_t cols, bool requires_grad) {
   MOSS_CHECK(values.size() == rows * cols, "from(): size mismatch");
   Tensor t = zeros(rows, cols, requires_grad);
+  if (t.impl_->pool) t.impl_->pool->release(std::move(t.impl_->data));
   t.impl_->data = std::move(values);
   return t;
 }
@@ -72,23 +116,23 @@ bool Tensor::requires_grad() const { return deref(impl_).requires_grad; }
 float Tensor::at(std::size_t r, std::size_t c) const {
   const Impl& i = deref(impl_);
   MOSS_CHECK(r < i.rows && c < i.cols, "tensor index out of range");
-  return i.data[r * i.cols + c];
+  return i.buf()[r * i.cols + c];
 }
 
 float& Tensor::at(std::size_t r, std::size_t c) {
   Impl& i = deref(impl_);
   MOSS_CHECK(r < i.rows && c < i.cols, "tensor index out of range");
-  return i.data[r * i.cols + c];
+  return i.buf()[r * i.cols + c];
 }
 
 float Tensor::item() const {
   const Impl& i = deref(impl_);
   MOSS_CHECK(i.rows == 1 && i.cols == 1, "item() needs a 1x1 tensor");
-  return i.data[0];
+  return i.buf()[0];
 }
 
-const std::vector<float>& Tensor::data() const { return deref(impl_).data; }
-std::vector<float>& Tensor::data() { return deref(impl_).data; }
+const std::vector<float>& Tensor::data() const { return deref(impl_).buf(); }
+std::vector<float>& Tensor::data() { return deref(impl_).buf(); }
 
 std::vector<float>& Tensor::grad() const {
   Impl& i = deref(impl_);
@@ -115,7 +159,7 @@ GradSandbox* GradSandbox::current() { return tl_sandbox; }
 
 std::vector<float>& GradSandbox::buffer_for(Tensor::Impl& impl) {
   std::vector<float>& buf = buffers_[&impl];
-  if (buf.empty()) buf.assign(impl.data.size(), 0.0f);
+  if (buf.empty()) buf.assign(impl.rows * impl.cols, 0.0f);
   return buf;
 }
 
@@ -147,7 +191,7 @@ void Tensor::zero_grad() {
 
 Tensor Tensor::detach() const {
   const Impl& i = deref(impl_);
-  return Tensor::from(i.data, i.rows, i.cols, false);
+  return Tensor::from(i.buf(), i.rows, i.cols, false);
 }
 
 void Tensor::backward() {
@@ -180,7 +224,9 @@ void Tensor::backward() {
   root.ensure_grad()[0] = 1.0f;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     Impl* n = *it;
-    if (n->backward_fn && !n->grad.empty()) n->backward_fn(*n);
+    // In-place nodes run unconditionally: their backward also restores the
+    // shared buffer for the nodes upstream of them.
+    if (n->backward_fn && (n->inplace || !n->grad.empty())) n->backward_fn(*n);
   }
 }
 
@@ -417,45 +463,19 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   MOSS_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
   Tensor out = Tensor::make(M, N, {a, b});
-  const float* A = a.data().data();
-  const float* B = b.data().data();
-  float* O = out.data().data();
-  for (std::size_t m = 0; m < M; ++m) {
-    for (std::size_t k = 0; k < K; ++k) {
-      const float av = A[m * K + k];
-      if (av == 0.0f) continue;
-      const float* brow = B + k * N;
-      float* orow = O + m * N;
-      for (std::size_t n = 0; n < N; ++n) orow[n] += av * brow[n];
-    }
-  }
+  // Blocked kernels (tensor/kernels.hpp), bit-identical to the reference
+  // triple loop. The historical `av == 0.0f` fast path is gone on purpose:
+  // it silently ate IEEE propagation (0·NaN must stay NaN), letting a
+  // poisoned activation masquerade as a clean zero.
+  kernels::gemm(M, K, N, a.data().data(), b.data().data(),
+                out.data().data());
   out.impl()->backward_fn = [a, b, M, K, N](Tensor::Impl& self) mutable {
     const float* G = self.grad.data();
     if (a.requires_grad()) {  // dA = G · Bᵀ
-      auto& g = a.grad();
-      const float* B = b.data().data();
-      for (std::size_t m = 0; m < M; ++m) {
-        for (std::size_t k = 0; k < K; ++k) {
-          float acc = 0.0f;
-          const float* grow = G + m * N;
-          const float* brow = B + k * N;
-          for (std::size_t n = 0; n < N; ++n) acc += grow[n] * brow[n];
-          g[m * K + k] += acc;
-        }
-      }
+      kernels::gemm_dA(M, K, N, G, b.data().data(), a.grad().data());
     }
     if (b.requires_grad()) {  // dB = Aᵀ · G
-      auto& g = b.grad();
-      const float* A = a.data().data();
-      for (std::size_t k = 0; k < K; ++k) {
-        for (std::size_t m = 0; m < M; ++m) {
-          const float av = A[m * K + k];
-          if (av == 0.0f) continue;
-          const float* grow = G + m * N;
-          float* grow_b = g.data() + k * N;
-          for (std::size_t n = 0; n < N; ++n) grow_b[n] += av * grow[n];
-        }
-      }
+      kernels::gemm_dB(M, K, N, a.data().data(), G, b.grad().data());
     }
   };
   return out;
@@ -604,6 +624,68 @@ Tensor scatter_rows(const Tensor& base, const std::vector<int>& idx,
               self.grad[static_cast<std::size_t>(idx[r]) * C + c];
         }
       }
+    }
+  };
+  return out;
+}
+
+Tensor scatter_rows_(const Tensor& base, const std::vector<int>& idx,
+                     const Tensor& rows) {
+  MOSS_CHECK(rows.rows() == idx.size(), "scatter_rows_: one index per row");
+  MOSS_CHECK(rows.cols() == base.cols(), "scatter_rows_: column mismatch");
+  const std::size_t C = base.cols();
+  Tensor out = Tensor::make_alias(base, {base, rows});
+  std::vector<float>& buf = out.impl()->buf();
+  std::vector<char> replaced(base.rows(), 0);
+  // Save the rows being overwritten; backward puts them back so every node
+  // upstream sees the buffer exactly as it was at its own forward time.
+  std::vector<float> saved(idx.size() * C);
+  const std::vector<float>& rv = rows.data();
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    MOSS_CHECK(idx[r] >= 0 && static_cast<std::size_t>(idx[r]) < base.rows(),
+               "scatter_rows_: index out of range");
+    const std::size_t dst = static_cast<std::size_t>(idx[r]);
+    MOSS_CHECK(!replaced[dst], "scatter_rows_: duplicate index");
+    replaced[dst] = 1;
+    std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(dst * C), C,
+                saved.begin() + static_cast<std::ptrdiff_t>(r * C));
+    std::copy_n(rv.begin() + static_cast<std::ptrdiff_t>(r * C), C,
+                buf.begin() + static_cast<std::ptrdiff_t>(dst * C));
+  }
+  out.impl()->inplace = true;
+  Tensor b = base, rw = rows;
+  out.impl()->backward_fn = [b, rw, idx, C, replaced,
+                             saved = std::move(saved)](
+                                Tensor::Impl& self) mutable {
+    // Same gradient routing as the functional scatter_rows.
+    if (!self.grad.empty()) {
+      if (b.requires_grad()) {
+        auto& g = b.grad();
+        for (std::size_t r = 0; r < b.rows(); ++r) {
+          if (replaced[r]) continue;
+          for (std::size_t c = 0; c < C; ++c) {
+            g[r * C + c] += self.grad[r * C + c];
+          }
+        }
+      }
+      if (rw.requires_grad()) {
+        auto& g = rw.grad();
+        for (std::size_t r = 0; r < idx.size(); ++r) {
+          for (std::size_t c = 0; c < C; ++c) {
+            g[r * C + c] +=
+                self.grad[static_cast<std::size_t>(idx[r]) * C + c];
+          }
+        }
+      }
+    }
+    // Undo this step's writes (reverse topological order runs these
+    // restores newest-first, rewinding the buffer step by step).
+    std::vector<float>& buf = self.buf();
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      std::copy_n(saved.begin() + static_cast<std::ptrdiff_t>(r * C), C,
+                  buf.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          static_cast<std::size_t>(idx[r]) * C));
     }
   };
   return out;

@@ -10,6 +10,10 @@
 
 namespace moss::tensor {
 
+namespace kernels::detail {
+class BufferPool;  // see tensor/kernels.hpp
+}  // namespace kernels::detail
+
 /// Dense 2-D float tensor with reverse-mode autograd (the PyTorch stand-in
 /// all MOSS models train on). Value-semantics handle onto a shared node in
 /// the autograd tape; building an op records a backward closure, and
@@ -61,6 +65,9 @@ class Tensor {
   const std::shared_ptr<Impl>& impl() const { return impl_; }
   static Tensor make(std::size_t rows, std::size_t cols,
                      std::vector<Tensor> parents);
+  /// Tape node sharing the data buffer of `storage` (in-place ops): same
+  /// shape, no data of its own. Reads and writes go through buf().
+  static Tensor make_alias(const Tensor& storage, std::vector<Tensor> parents);
 
  private:
   std::shared_ptr<Impl> impl_;
@@ -72,13 +79,28 @@ struct Tensor::Impl {
   std::vector<float> data;
   std::vector<float> grad;
   bool requires_grad = false;
+  /// In-place op marker: backward_fn must run even when no gradient reached
+  /// this node, because it also restores the shared buffer to its
+  /// forward-time state for the nodes upstream.
+  bool inplace = false;
   std::vector<Tensor> parents;
+  /// Storage owner when this node is an in-place view (data stays empty);
+  /// flattened, so chains of in-place ops stay one hop deep.
+  std::shared_ptr<Impl> alias;
+  /// Recycling pool the data/grad buffers return to on destruction (set by
+  /// Tensor::make under an active kernels::ScratchArena::Scope).
+  std::shared_ptr<kernels::detail::BufferPool> pool;
   std::function<void(Impl&)> backward_fn;  ///< reads self.grad, writes parents
 
-  std::vector<float>& ensure_grad() {
-    if (grad.empty()) grad.assign(data.size(), 0.0f);
-    return grad;
-  }
+  ~Impl();  // returns buffers to `pool`
+
+  /// The value buffer: own data, or the storage owner's for in-place views.
+  std::vector<float>& buf() { return alias ? alias->data : data; }
+  const std::vector<float>& buf() const { return alias ? alias->data : data; }
+
+  /// Gradient buffer sized rows*cols (not data.size(): in-place views own
+  /// no data), zeroed on first use.
+  std::vector<float>& ensure_grad();
 };
 
 /// RAII scope that redirects *leaf* gradient accumulation on the current
@@ -170,6 +192,17 @@ Tensor gather_rows(const Tensor& x, const std::vector<int>& idx);
 /// updates.
 Tensor scatter_rows(const Tensor& base, const std::vector<int>& idx,
                     const Tensor& rows);
+/// In-place scatter_rows: the returned tensor shares `base`'s buffer and
+/// only the touched rows are written (O(|idx|·C) instead of O(V·C)), with
+/// identical values and gradients. The overwritten rows are saved and
+/// restored during this node's backward, so earlier tape nodes that read
+/// the buffer in their backward see it in its forward-time state (reverse
+/// topological order guarantees the restores replay newest-first). Contract:
+/// after calling this, `base` (and any other view of the buffer) must only
+/// be read through the returned tensor's tape — the GNN propagation loop,
+/// which rebinds h each step, satisfies this by construction.
+Tensor scatter_rows_(const Tensor& base, const std::vector<int>& idx,
+                     const Tensor& rows);
 /// Sum rows into segments: out[s] = Σ_{i: seg[i]==s} x[i].
 Tensor segment_sum(const Tensor& x, const std::vector<int>& seg,
                    std::size_t num_segments);

@@ -1,0 +1,389 @@
+// Bit-identity tests for the blocked/SIMD kernel layer (tensor/kernels.hpp).
+//
+// Every EXPECT here compares bit patterns (memcmp), not tolerances: the
+// kernels' contract is that blocking, threading and fusion are pure
+// scheduling changes that never reassociate a float reduction chain. If one
+// of these tests starts failing by "only" 1 ulp, the kernel is wrong — fix
+// the kernel, do not loosen the test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core_util/check.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace moss::tensor {
+namespace {
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+std::vector<float> randv(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+// Adversarial shapes: degenerate 1×1, K/N far from any block multiple,
+// tall-skinny GNN-like, single-column, and serve batch-ish sizes. {M, K, N}.
+const std::size_t kShapes[][3] = {
+    {1, 1, 1},    {1, 7, 1},      {5, 3, 2},     {7, 17, 19},
+    {33, 40, 40}, {129, 32, 1},   {256, 48, 33}, {1000, 32, 32},
+    {64, 64, 96}, {130, 257, 40},
+};
+
+TEST(Kernels, GemmBitIdenticalToNaiveAcrossShapes) {
+  Rng rng(11);
+  for (const auto& s : kShapes) {
+    const std::size_t M = s[0], K = s[1], N = s[2];
+    const auto A = randv(M * K, rng);
+    const auto B = randv(K * N, rng);
+    // Nonzero initial C: gemm accumulates, it does not overwrite.
+    const auto C0 = randv(M * N, rng);
+    auto c_ref = C0, c_blk = C0;
+    kernels::gemm_naive(M, K, N, A.data(), B.data(), c_ref.data());
+    kernels::gemm(M, K, N, A.data(), B.data(), c_blk.data());
+    EXPECT_TRUE(bits_equal(c_ref, c_blk))
+        << "gemm mismatch at " << M << "x" << K << "x" << N;
+  }
+}
+
+TEST(Kernels, GemmBitIdenticalAtEveryThreadCount) {
+  Rng rng(12);
+  const std::size_t big[][3] = {{256, 48, 33}, {1000, 32, 32}, {300, 64, 64}};
+  for (const auto& s : big) {
+    const std::size_t M = s[0], K = s[1], N = s[2];
+    const auto A = randv(M * K, rng);
+    const auto B = randv(K * N, rng);
+    const auto C0 = randv(M * N, rng);
+    auto c1 = C0;
+    kernels::set_threads(1);
+    kernels::gemm(M, K, N, A.data(), B.data(), c1.data());
+    for (const std::size_t t : {2u, 4u}) {
+      auto ct = C0;
+      kernels::set_threads(t);
+      kernels::gemm(M, K, N, A.data(), B.data(), ct.data());
+      EXPECT_TRUE(bits_equal(c1, ct))
+          << M << "x" << K << "x" << N << " differs at threads=" << t;
+    }
+    kernels::set_threads(1);
+  }
+}
+
+TEST(Kernels, GemmGatherFormMatchesNaive) {
+  Rng rng(13);
+  const std::size_t rows = 9, K = 17, N = 19;
+  const auto A = randv(rows * K, rng);
+  const auto B = randv(K * N, rng);
+  // Repeats, out-of-order, and every-row coverage.
+  const std::vector<int> idx = {3, 3, 0, 8, 1, 1, 1, 7, 2, 6, 5, 4, 0, 8};
+  const std::size_t M = idx.size();
+  const auto C0 = randv(M * N, rng);
+  auto c_ref = C0, c_blk = C0;
+  kernels::gemm_naive(M, K, N, A.data(), B.data(), c_ref.data(), idx.data());
+  kernels::gemm(M, K, N, A.data(), B.data(), c_blk.data(), idx.data());
+  EXPECT_TRUE(bits_equal(c_ref, c_blk));
+}
+
+TEST(Kernels, GemmBackwardsBitIdenticalToNaive) {
+  Rng rng(14);
+  for (const auto& s : kShapes) {
+    const std::size_t M = s[0], K = s[1], N = s[2];
+    const auto A = randv(M * K, rng);
+    const auto G = randv(M * N, rng);
+    const auto B = randv(K * N, rng);
+    // Gradients accumulate into nonzero buffers in real backward passes.
+    const auto dA0 = randv(M * K, rng);
+    const auto dB0 = randv(K * N, rng);
+
+    auto da_ref = dA0, da_blk = dA0;
+    kernels::gemm_dA_naive(M, K, N, G.data(), B.data(), da_ref.data());
+    kernels::gemm_dA(M, K, N, G.data(), B.data(), da_blk.data());
+    EXPECT_TRUE(bits_equal(da_ref, da_blk))
+        << "gemm_dA mismatch at " << M << "x" << K << "x" << N;
+
+    auto db_ref = dB0, db_blk = dB0;
+    kernels::gemm_dB_naive(M, K, N, A.data(), G.data(), db_ref.data());
+    kernels::gemm_dB(M, K, N, A.data(), G.data(), db_blk.data());
+    EXPECT_TRUE(bits_equal(db_ref, db_blk))
+        << "gemm_dB mismatch at " << M << "x" << K << "x" << N;
+  }
+}
+
+TEST(Kernels, GemmDBGatherFormMatchesNaive) {
+  Rng rng(15);
+  const std::size_t rows = 6, K = 13, N = 11;
+  const auto A = randv(rows * K, rng);
+  const std::vector<int> idx = {5, 0, 0, 2, 4, 4, 4, 1, 3};
+  const std::size_t M = idx.size();
+  const auto G = randv(M * N, rng);
+  const auto dB0 = randv(K * N, rng);
+  auto db_ref = dB0, db_blk = dB0;
+  kernels::gemm_dB_naive(M, K, N, A.data(), G.data(), db_ref.data(),
+                         idx.data());
+  kernels::gemm_dB(M, K, N, A.data(), G.data(), db_blk.data(), idx.data());
+  EXPECT_TRUE(bits_equal(db_ref, db_blk));
+}
+
+// Regression for the removed `av == 0.0f` fast path: 0·NaN must be NaN and
+// 0·Inf must be NaN (IEEE 754), so a zero in one operand cannot skip the
+// multiply when the other operand may be non-finite.
+TEST(Kernels, ZeroTimesNaNPropagates) {
+  const float nan = std::nanf("");
+  const float inf = std::numeric_limits<float>::infinity();
+  {
+    const std::vector<float> A = {0.0f, 1.0f};
+    const std::vector<float> B = {nan, 2.0f};
+    std::vector<float> c_naive(1, 0.0f), c_blk(1, 0.0f);
+    kernels::gemm_naive(1, 2, 1, A.data(), B.data(), c_naive.data());
+    kernels::gemm(1, 2, 1, A.data(), B.data(), c_blk.data());
+    EXPECT_TRUE(std::isnan(c_naive[0]));
+    EXPECT_TRUE(std::isnan(c_blk[0]));
+  }
+  {
+    const std::vector<float> A = {0.0f};
+    const std::vector<float> G = {inf};
+    std::vector<float> db_naive(1, 0.0f), db_blk(1, 0.0f);
+    kernels::gemm_dB_naive(1, 1, 1, A.data(), G.data(), db_naive.data());
+    kernels::gemm_dB(1, 1, 1, A.data(), G.data(), db_blk.data());
+    EXPECT_TRUE(std::isnan(db_naive[0]));
+    EXPECT_TRUE(std::isnan(db_blk[0]));
+  }
+  // End to end through the autograd op: matmul([0], [NaN]) is NaN, and the
+  // NaN flows into both gradients via the backward GEMMs.
+  Tensor a = Tensor::from({0.0f}, 1, 1, /*requires_grad=*/true);
+  Tensor b = Tensor::from({nan}, 1, 1, /*requires_grad=*/true);
+  Tensor y = matmul(a, b);
+  EXPECT_TRUE(std::isnan(y.item()));
+  sum_all(y).backward();
+  EXPECT_TRUE(std::isnan(a.grad()[0]));  // dA = G·bᵀ = 1·NaN
+}
+
+TEST(Kernels, RowsWeightedSumMatchesManualLoop) {
+  Rng rng(16);
+  const std::size_t V = 23, D = 40;
+  const auto table = randv(V * D, rng);
+  const std::vector<int> ids = {7, 0, 22, 7, 13, 1, 1, 9};
+  const auto w = randv(ids.size(), rng);
+  for (const bool weighted : {true, false}) {
+    std::vector<float> ref(D, 0.0f), out(D, 0.0f);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const float wi = weighted ? w[i] : 1.0f;
+      const float* row = table.data() + static_cast<std::size_t>(ids[i]) * D;
+      for (std::size_t d = 0; d < D; ++d) ref[d] += row[d] * wi;
+    }
+    kernels::rows_weighted_sum(table.data(), D, ids.data(),
+                               weighted ? w.data() : nullptr, ids.size(),
+                               out.data());
+    EXPECT_TRUE(bits_equal(ref, out)) << "weighted=" << weighted;
+  }
+}
+
+// --- Fused autograd ops vs their composed equivalents -----------------------
+
+struct FusedCase {
+  std::size_t M, K, N;
+  bool addend, bias;
+};
+
+TEST(Kernels, MatmulBiasTanhMatchesComposedOps) {
+  const FusedCase cases[] = {
+      {1, 1, 1, true, true},   {7, 17, 19, true, true},
+      {33, 40, 40, true, false}, {129, 32, 5, false, true},
+      {64, 48, 33, false, false},
+  };
+  for (const FusedCase& c : cases) {
+    Rng rng(17);
+    // Two identical sets of leaves (same rng stream restart) so the fused
+    // and composed graphs are bit-for-bit the same computation.
+    const auto make = [&](Rng& r) {
+      struct {
+        Tensor x, w, ad, b;
+      } t;
+      t.x = Tensor::randn(c.M, c.K, r, 1.0f, true);
+      t.w = Tensor::randn(c.K, c.N, r, 1.0f, true);
+      if (c.addend) t.ad = Tensor::randn(c.M, c.N, r, 1.0f, true);
+      if (c.bias) t.b = Tensor::randn(1, c.N, r, 1.0f, true);
+      return t;
+    };
+    Rng r1(99), r2(99);
+    auto f = make(r1);
+    auto g = make(r2);
+
+    Tensor fused = kernels::matmul_bias_tanh(f.x, f.w, f.ad, f.b);
+    Tensor composed = matmul(g.x, g.w);
+    if (c.addend) composed = add(composed, g.ad);
+    if (c.bias) composed = add(composed, g.b);
+    composed = tanh_t(composed);
+    ASSERT_TRUE(bits_equal(fused.data(), composed.data()))
+        << c.M << "x" << c.K << "x" << c.N;
+
+    sum_all(fused).backward();
+    sum_all(composed).backward();
+    EXPECT_TRUE(bits_equal(f.x.grad(), g.x.grad()));
+    EXPECT_TRUE(bits_equal(f.w.grad(), g.w.grad()));
+    if (c.addend) EXPECT_TRUE(bits_equal(f.ad.grad(), g.ad.grad()));
+    if (c.bias) EXPECT_TRUE(bits_equal(f.b.grad(), g.b.grad()));
+  }
+}
+
+TEST(Kernels, GatherMatmulMatchesComposedOps) {
+  const std::size_t rows = 9, K = 17, N = 19;
+  const std::vector<int> idx = {3, 3, 0, 8, 1, 1, 1, 7, 2, 6, 5, 4, 0, 8};
+  Rng r1(7), r2(7);
+  Tensor x1 = Tensor::randn(rows, K, r1, 1.0f, true);
+  Tensor w1 = Tensor::randn(K, N, r1, 1.0f, true);
+  Tensor x2 = Tensor::randn(rows, K, r2, 1.0f, true);
+  Tensor w2 = Tensor::randn(K, N, r2, 1.0f, true);
+
+  Tensor fused = kernels::gather_matmul(x1, idx, w1);
+  Tensor composed = matmul(gather_rows(x2, idx), w2);
+  ASSERT_TRUE(bits_equal(fused.data(), composed.data()));
+
+  sum_all(fused).backward();
+  sum_all(composed).backward();
+  EXPECT_TRUE(bits_equal(x1.grad(), x2.grad()));
+  EXPECT_TRUE(bits_equal(w1.grad(), w2.grad()));
+}
+
+TEST(Kernels, GatherMatmulRejectsBadIndex) {
+  Rng rng(8);
+  Tensor x = Tensor::randn(4, 3, rng, 1.0f, false);
+  Tensor w = Tensor::randn(3, 2, rng, 1.0f, false);
+  EXPECT_THROW(kernels::gather_matmul(x, {0, 4}, w), Error);
+  EXPECT_THROW(kernels::gather_matmul(x, {-1}, w), Error);
+}
+
+// In-place scatter vs the functional op: same loss, same leaf gradients,
+// even when the base participates in the graph both before and after the
+// scatter (the GNN pattern: gather from h, update, scatter back into h).
+TEST(Kernels, InPlaceScatterMatchesFunctionalScatter) {
+  const std::vector<int> idx = {4, 1, 6};
+  const auto run = [&](bool inplace) {
+    Rng rng(21);
+    Tensor x = Tensor::randn(8, 5, rng, 1.0f, true);
+    Tensor w = Tensor::randn(5, 5, rng, 1.0f, true);
+    Tensor h = tanh_t(matmul(x, w));
+    Tensor rows = tanh_t(matmul(gather_rows(h, idx), w));
+    Tensor h2 = inplace ? scatter_rows_(h, idx, rows)
+                        : scatter_rows(h, idx, rows);
+    Tensor loss = mean_all(mul(h2, h2));
+    loss.backward();
+    struct {
+      float loss;
+      std::vector<float> gx, gw;
+    } out{loss.item(), x.grad(), w.grad()};
+    return out;
+  };
+  const auto functional = run(false);
+  const auto in_place = run(true);
+  EXPECT_EQ(functional.loss, in_place.loss);
+  EXPECT_TRUE(bits_equal(functional.gx, in_place.gx));
+  EXPECT_TRUE(bits_equal(functional.gw, in_place.gw));
+}
+
+TEST(Kernels, InPlaceScatterChainsAcrossSteps) {
+  // Two successive in-place scatters on the same storage — the GNN's
+  // multi-step shape. Backward must restore in reverse order so step 1's
+  // gather sees the pre-step-1 buffer.
+  const auto run = [&](bool inplace) {
+    Rng rng(22);
+    Tensor x = Tensor::randn(6, 4, rng, 1.0f, true);
+    Tensor h = tanh_t(x);
+    for (const auto& step : {std::vector<int>{0, 3}, std::vector<int>{3, 5}}) {
+      Tensor rows = tanh_t(scale(gather_rows(h, step), 0.5f));
+      h = inplace ? scatter_rows_(h, step, rows)
+                  : scatter_rows(h, step, rows);
+    }
+    Tensor loss = sum_all(h);
+    loss.backward();
+    struct {
+      float loss;
+      std::vector<float> gx;
+    } out{loss.item(), x.grad()};
+    return out;
+  };
+  const auto functional = run(false);
+  const auto in_place = run(true);
+  EXPECT_EQ(functional.loss, in_place.loss);
+  EXPECT_TRUE(bits_equal(functional.gx, in_place.gx));
+}
+
+TEST(Kernels, InPlaceScatterRejectsDuplicatesAndBadShapes) {
+  Rng rng(23);
+  Tensor h = Tensor::randn(6, 4, rng, 1.0f, false);
+  Tensor rows = Tensor::randn(2, 4, rng, 1.0f, false);
+  EXPECT_THROW(scatter_rows_(h, {1, 1}, rows), Error);
+  EXPECT_THROW(scatter_rows_(h, {0, 6}, rows), Error);
+  EXPECT_THROW(scatter_rows_(h, {0}, rows), Error);
+}
+
+// --- ScratchArena -----------------------------------------------------------
+
+TEST(Kernels, ArenaRecyclesBuffersAndPreservesValues) {
+  // Shape churn: several passes of different shapes. The second and later
+  // passes must reuse cached buffers, and every result must be bit-identical
+  // to the same computation without an arena.
+  const auto compute = [](std::size_t m) {
+    Rng rng(31);
+    Tensor x = Tensor::randn(m, 24, rng, 1.0f, true);
+    Tensor w = Tensor::randn(24, 16, rng, 1.0f, true);
+    Tensor y = kernels::matmul_bias_tanh(x, w, Tensor{}, Tensor{});
+    Tensor loss = mean_all(mul(y, y));
+    loss.backward();
+    struct {
+      float loss;
+      std::vector<float> gx;
+    } out{loss.item(), x.grad()};
+    return out;
+  };
+
+  const std::size_t shapes[] = {40, 8, 40, 64, 8, 40};
+  std::vector<float> plain_loss;
+  std::vector<std::vector<float>> plain_gx;
+  for (const std::size_t m : shapes) {
+    const auto r = compute(m);
+    plain_loss.push_back(r.loss);
+    plain_gx.push_back(r.gx);
+  }
+
+  kernels::ScratchArena arena;
+  {
+    const kernels::ScratchArena::Scope scope(arena);
+    for (std::size_t i = 0; i < std::size(shapes); ++i) {
+      const auto r = compute(shapes[i]);
+      EXPECT_EQ(plain_loss[i], r.loss) << "pass " << i;
+      EXPECT_TRUE(bits_equal(plain_gx[i], r.gx)) << "pass " << i;
+      if (i == 0) {
+        // Pass 0's intermediates have been released back to the pool.
+        EXPECT_GT(arena.cached_buffers(), 0u);
+      }
+    }
+  }
+  EXPECT_GT(arena.cached_bytes(), 0u);
+}
+
+TEST(Kernels, TensorsMayOutliveTheArena) {
+  Tensor escaped;
+  {
+    kernels::ScratchArena arena;
+    const kernels::ScratchArena::Scope scope(arena);
+    Rng rng(32);
+    Tensor x = Tensor::randn(4, 4, rng, 1.0f, false);
+    escaped = tanh_t(x);
+  }  // arena destroyed; escaped still owns its (pool-born) buffer
+  EXPECT_EQ(escaped.rows(), 4u);
+  float sum = 0.0f;
+  for (const float v : escaped.data()) sum += v;
+  EXPECT_TRUE(std::isfinite(sum));
+}
+
+}  // namespace
+}  // namespace moss::tensor
