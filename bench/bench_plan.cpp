@@ -1,0 +1,237 @@
+// Flat-plan execution vs pointer-walk traversal: cold FEP-rank throughput
+// with hash-consed cone reuse, and plan-blob load vs full batch rebuild.
+//
+// The headline row is cold FEP-rank: one rank query embeds every pool
+// member. The pointer-walk baseline re-propagates every member's graph per
+// query (the pre-plan cold path of bench_serve); the plan path runs the
+// same schedule through plan::hashcons_node_embeddings with a persistent
+// cone table, so subcircuits shared across members and across queries are
+// copied from the cache instead of re-propagated — bit-identically, which
+// this bench re-asserts before timing anything.
+//
+// Acceptance floor (enforced, non-zero exit): plan-path cold FEP-rank QPS
+// >= 2x the pointer-walk baseline.
+//
+// Output: stdout table + results/bench_plan.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "harness.hpp"
+#include "json_report.hpp"
+#include "plan/plan.hpp"
+#include "serve/cache.hpp"
+
+using namespace moss;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// plan::ConeRowCache over the real serve EmbeddingCache (the same adapter
+/// shape the inference engine uses), so the bench pays genuine cache policy
+/// costs — sharded locks, LRU bookkeeping, byte budget — not map lookups.
+class ConeCache : public plan::ConeRowCache {
+ public:
+  explicit ConeCache(serve::EmbeddingCache& c) : cache_(c) {}
+  std::optional<tensor::Tensor> get(std::uint64_t cone_hash) override {
+    return cache_.get(serve::cone_key(kUid, cone_hash));
+  }
+  void put(std::uint64_t cone_hash, const tensor::Tensor& row) override {
+    cache_.put(serve::cone_key(kUid, cone_hash), row);
+  }
+
+ private:
+  static constexpr std::uint64_t kUid = 1;
+  serve::EmbeddingCache& cache_;
+};
+
+double dot(const tensor::Tensor& a, const tensor::Tensor& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  const bool smoke = scale.sim_cycles < 1000;
+  const std::size_t kPool = smoke ? 12 : 32;
+  const int kQueries = smoke ? 4 : 8;
+
+  std::printf("=== Flat plan vs pointer walk: cold FEP-rank + blob I/O ===\n\n");
+
+  const auto& lib = cell::standard_library();
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = smoke ? 150 : 400;
+  dcfg.threads = scale.threads;
+
+  const auto fams = data::families();
+  std::vector<data::DesignSpec> specs;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    data::DesignSpec s;
+    s.family = fams[i % fams.size()];
+    s.size_hint = 1 + static_cast<int>(i / fams.size()) % 2;
+    s.seed = 0xCAFE + i;
+    s.name = s.family + "_pln" + std::to_string(i);
+    specs.push_back(std::move(s));
+  }
+  std::fprintf(stderr, "[labeling %zu circuits]\n", kPool);
+  const auto lcs = data::build_dataset(specs, lib, dcfg);
+
+  const lm::TextEncoder enc({2048, 16, 9});
+  std::vector<core::CircuitBatch> batches;
+  std::vector<plan::ExecutionPlan> plans;
+  for (const auto& lc : lcs) {
+    batches.push_back(core::build_batch(lc, enc, {}));
+    plans.push_back(plan::compile(lc.netlist, batches.back()));
+  }
+
+  gnn::GnnConfig gc;
+  gc.feature_dim = batches[0].graph.features.cols();
+  gc.hidden = scale.hidden;
+  gc.num_aggregators = batches[0].graph.num_clusters;
+  gc.rounds = 1;  // the cone-reuse regime (serving config)
+  Rng rng(0x9A7);
+  tensor::ParameterSet params;
+  const gnn::TwoPhaseGnn gnn(gc, rng, params);
+
+  // Bit-identity gate: never time a path that is not exact.
+  serve::EmbeddingCache cone_store(256u << 20);
+  {
+    ConeCache cones(cone_store);
+    for (std::size_t i = 0; i < kPool; ++i) {
+      const tensor::Tensor ref = gnn.run(batches[i].graph);
+      const tensor::Tensor got =
+          plan::hashcons_node_embeddings(gnn, plans[i], batches[i], cones);
+      if (ref.rows() != got.rows() || ref.cols() != got.cols() ||
+          std::memcmp(ref.data().data(), got.data().data(),
+                      ref.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr, "FAIL: plan path diverged on %s\n",
+                     batches[i].name.c_str());
+        return 2;
+      }
+    }
+    cone_store.clear();  // timed runs start genuinely cold
+  }
+  std::printf("bit-identity: plan path == pointer walk on all %zu members\n\n",
+              kPool);
+
+  const tensor::Tensor query = gnn.readout(batches[0].graph,
+                                           gnn.run(batches[0].graph));
+
+  // --- cold FEP-rank: every query embeds every member ---------------------
+  double base_s = 0.0;
+  {
+    const auto t0 = Clock::now();
+    double sink = 0.0;
+    for (int q = 0; q < kQueries; ++q) {
+      for (std::size_t i = 0; i < kPool; ++i) {
+        const tensor::Tensor h = gnn.run(batches[i].graph);
+        sink += dot(gnn.readout(batches[i].graph, h), query);
+      }
+    }
+    base_s = seconds_since(t0);
+    if (sink == 42.0) std::printf(" ");  // keep the loop observable
+  }
+
+  double plan_s = 0.0;
+  plan::ConeStats stats;  // accumulated over every call
+  {
+    ConeCache cones(cone_store);
+    const auto t0 = Clock::now();
+    double sink = 0.0;
+    for (int q = 0; q < kQueries; ++q) {
+      for (std::size_t i = 0; i < kPool; ++i) {
+        plan::ConeStats st;
+        const tensor::Tensor h = plan::hashcons_node_embeddings(
+            gnn, plans[i], batches[i], cones, &st);
+        stats.scheduled += st.scheduled;
+        stats.reused += st.reused;
+        stats.computed += st.computed;
+        sink += dot(gnn.readout(batches[i].graph, h), query);
+      }
+    }
+    plan_s = seconds_since(t0);
+    if (sink == 42.0) std::printf(" ");
+  }
+
+  const double base_qps = kQueries / base_s;
+  const double plan_qps = kQueries / plan_s;
+  const double speedup = plan_qps / base_qps;
+  const double reuse =
+      stats.scheduled == 0
+          ? 0.0
+          : static_cast<double>(stats.reused) / static_cast<double>(stats.scheduled);
+
+  std::printf("%-14s | %12s | %12s | %8s\n", "endpoint", "pointer qps",
+              "plan qps", "speedup");
+  bench::print_rule(56);
+  std::printf("%-14s | %12.1f | %12.1f | %7.1fx\n", "fep_rank_cold",
+              base_qps, plan_qps, speedup);
+  bench::print_rule(56);
+  std::printf("cone reuse: %zu/%zu scheduled rows served from cache (%.0f%%)\n",
+              stats.reused, stats.scheduled, 100.0 * reuse);
+
+  // --- blob I/O: load vs full rebuild -------------------------------------
+  std::size_t blob_bytes = 0;
+  std::vector<std::string> blobs;
+  for (const auto& p : plans) {
+    blobs.push_back(plan::serialize(p));
+    blob_bytes += blobs.back().size();
+  }
+  double load_s = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (const auto& blob : blobs) {
+      const plan::ExecutionPlan p = plan::deserialize(blob, ErrorContext{});
+      if (p.num_nodes() == 0) return 2;
+    }
+    load_s = seconds_since(t0);
+  }
+  double rebuild_s = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (const auto& lc : lcs) {
+      const core::CircuitBatch b = core::build_batch(lc, enc, {});
+      if (b.graph.num_nodes == 0) return 2;
+    }
+    rebuild_s = seconds_since(t0);
+  }
+  std::printf("\nblob i/o: %zu plans, %.1f KB total | load %.1f ms | "
+              "build_batch %.1f ms (%.1fx)\n",
+              kPool, static_cast<double>(blob_bytes) / 1024.0, load_s * 1e3,
+              rebuild_s * 1e3, rebuild_s / load_s);
+
+  bench::JsonReport report("bench_plan");
+  report.metric("pool", static_cast<std::int64_t>(kPool));
+  report.metric("queries", static_cast<std::int64_t>(kQueries));
+  report.metric("fep_rank_cold_pointer_qps", base_qps);
+  report.metric("fep_rank_cold_plan_qps", plan_qps);
+  report.metric("fep_rank_cold_speedup", speedup);
+  report.metric("cone_reuse_fraction", reuse);
+  report.metric("blob_bytes", static_cast<std::int64_t>(blob_bytes));
+  report.metric("blob_load_s", load_s);
+  report.metric("batch_rebuild_s", rebuild_s);
+  report.metric("floor_speedup", 2.0);
+  const bool pass = speedup >= 2.0;
+  report.metric("pass", pass);
+  if (!report.write()) {
+    std::fprintf(stderr, "warning: could not write results/bench_plan.json\n");
+  }
+
+  std::printf("\nfep_rank cold plan/pointer speedup: %.1fx "
+              "(acceptance floor: 2x) -> %s\n",
+              speedup, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

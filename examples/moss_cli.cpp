@@ -381,6 +381,62 @@ int cmd_serve(const std::string& ckpt_path,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// plan compile / inspect
+
+int cmd_plan_compile(const std::string& arg, const std::string& out,
+                     std::size_t threads) {
+  const auto& lib = cell::standard_library();
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = 2000;
+  dcfg.threads = threads;
+  const data::LabeledCircuit lc = data::label_module(load_design(arg), lib,
+                                                     dcfg);
+  const lm::TextEncoder enc({2048, 16, 9});
+  const core::CircuitBatch batch = core::build_batch(lc, enc, {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, batch);
+  plan::save(p, out);
+  const std::string blob = plan::serialize(p);
+  std::printf("%s: %zu nodes (%llu cells, %zu flops), %u clusters, "
+              "%u unique cones\n",
+              p.name.c_str(), p.num_nodes(),
+              static_cast<unsigned long long>(p.num_cells), p.flops.size(),
+              p.num_clusters, p.unique_cones);
+  std::printf("wrote %s (%zu bytes, batch hash %016llx)\n", out.c_str(),
+              blob.size(), static_cast<unsigned long long>(p.batch_hash));
+  return 0;
+}
+
+int cmd_plan_inspect(const std::string& path) {
+  const plan::ExecutionPlan p = plan::load(path);
+  std::printf("== %s ==\n", p.name.c_str());
+  std::printf("nodes:    %zu (%llu cells, %zu flops, %zu PIs, %zu POs)\n",
+              p.num_nodes(), static_cast<unsigned long long>(p.num_cells),
+              p.flops.size(), p.inputs.size(), p.outputs.size());
+  std::printf("levels:   %zu | clusters: %u | feature dim: %u | "
+              "prompt dim: %u\n",
+              p.level_offset.empty() ? 0 : p.level_offset.size() - 1,
+              p.num_clusters, p.feature_dim, p.prompt_dim);
+  const std::size_t fwd_steps =
+      p.fwd_step_offset.empty() ? 0 : p.fwd_step_offset.size() - 1;
+  const std::size_t turn_steps =
+      p.turn_step_offset.empty() ? 0 : p.turn_step_offset.size() - 1;
+  std::printf("schedule: %zu forward + %zu turnaround steps, %zu groups, "
+              "%zu edges\n",
+              fwd_steps, turn_steps, p.group_cluster.size(),
+              p.edge_src.size());
+  std::printf("cones:    %u unique over %zu nodes (%.1f%% shared)\n",
+              p.unique_cones, p.num_nodes(),
+              p.num_nodes() == 0
+                  ? 0.0
+                  : 100.0 * (1.0 - static_cast<double>(p.unique_cones) /
+                                       static_cast<double>(p.num_nodes())));
+  std::printf("batch hash %016llx | power %.1f uW | blob %zu bytes\n",
+              static_cast<unsigned long long>(p.batch_hash), p.power_uw,
+              plan::serialize(p).size());
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: moss_cli <command> ...\n"
@@ -397,6 +453,8 @@ void usage() {
       "  serve  <file.ckpt> <design>... [--cache-mb N] [--max-batch N]\n"
       "         [--max-delay-ms N] [--threads N] [--max-retries N]\n"
       "         [--shed-threshold F] [--allow-stale]\n"
+      "  plan   compile <design> --out <file.mossplan> [--threads N]\n"
+      "  plan   inspect <file.mossplan>\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
       "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad checkpoint\n",
       stderr);
@@ -435,6 +493,42 @@ int main(int argc, char** argv) {
                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64);
     }
     if (cmd == "ckpt") return cmd_ckpt(argv[2]);
+    if (cmd == "plan") {
+      const std::string sub = argv[2];
+      if (sub == "inspect") {
+        if (argc < 4) {
+          usage();
+          return 2;
+        }
+        return cmd_plan_inspect(argv[3]);
+      }
+      if (sub == "compile") {
+        std::string design, out;
+        std::size_t threads = 1;
+        for (int i = 3; i < argc; ++i) {
+          const std::string a = argv[i];
+          if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+          } else if (a == "--threads" && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::max(1, std::atoi(argv[++i])));
+          } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown plan option %s\n", a.c_str());
+            usage();
+            return 2;
+          } else {
+            design = a;
+          }
+        }
+        if (design.empty() || out.empty()) {
+          usage();
+          return 2;
+        }
+        return cmd_plan_compile(design, out, threads);
+      }
+      usage();
+      return 2;
+    }
     if (cmd == "train") {
       std::vector<std::string> designs;
       TrainOptions opt;

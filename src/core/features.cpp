@@ -212,6 +212,7 @@ CircuitBatch build_batch(const data::LabeledCircuit& lc,
     }
   }
   batch.reg_prompt_emb = std::move(reg_emb);
+  batch.content_hash = batch_content_hash(batch);
   return batch;
 }
 
@@ -246,6 +247,11 @@ std::uint64_t batch_content_hash(const CircuitBatch& batch) {
   mix_steps(h, batch.graph.turnaround_steps);
   h.mix(batch.graph.readout_nodes);
   return h.digest();
+}
+
+std::uint64_t content_hash(const CircuitBatch& batch) {
+  return batch.content_hash != 0 ? batch.content_hash
+                                 : batch_content_hash(batch);
 }
 
 }  // namespace moss::core

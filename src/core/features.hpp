@@ -57,6 +57,10 @@ struct CircuitBatch {
   std::string module_text;
   std::string name;
   std::size_t num_cells = 0;
+  /// batch_content_hash(*this), computed once at build time (build_batch,
+  /// plan::to_batch). 0 for hand-assembled batches; read it through
+  /// content_hash() below, which recomputes on demand.
+  std::uint64_t content_hash = 0;
 };
 
 /// Arrival-time normalization scale (ps). Predictions are trained on
@@ -95,5 +99,10 @@ std::size_t num_aggregators(const cell::CellLibrary& lib,
 /// node_embeddings under the same model — the keying contract of the
 /// serve-layer embedding cache and of evaluate_fep's memoization.
 std::uint64_t batch_content_hash(const CircuitBatch& batch);
+
+/// The batch's precomputed content hash when present, else a fresh
+/// batch_content_hash computation — so consumers hash each batch at most
+/// once instead of re-walking the graph per use site.
+std::uint64_t content_hash(const CircuitBatch& batch);
 
 }  // namespace moss::core

@@ -61,6 +61,9 @@ class MossModel {
 
   const MossConfig& config() const { return cfg_; }
   tensor::ParameterSet& params() { return params_; }
+  /// The underlying GNN, for plan-driven propagation (moss::plan) that
+  /// needs initial_state()/step() instead of the packaged forward.
+  const gnn::TwoPhaseGnn& gnn() const { return gnn_; }
 
   /// GNN forward: final node embeddings (num_nodes × hidden).
   tensor::Tensor node_embeddings(const CircuitBatch& batch) const;

@@ -121,12 +121,20 @@ Tensor TwoPhaseGnn::apply_step(const UpdateStep& step, Tensor h) const {
   return tensor::scatter_rows_(h, all_nodes, rows);
 }
 
-Tensor TwoPhaseGnn::run(const Graph& g) const {
-  MOSS_CHECK(g.features.defined(), "graph has no features");
-  MOSS_CHECK(g.features.cols() == cfg_.feature_dim,
+Tensor TwoPhaseGnn::initial_state(const Tensor& features) const {
+  MOSS_CHECK(features.defined(), "graph has no features");
+  MOSS_CHECK(features.cols() == cfg_.feature_dim,
              "graph feature width != GnnConfig.feature_dim");
-  Tensor h = tensor::kernels::matmul_bias_tanh(
-      g.features, input_proj_.weight(), Tensor{}, input_proj_.bias());
+  return tensor::kernels::matmul_bias_tanh(features, input_proj_.weight(),
+                                           Tensor{}, input_proj_.bias());
+}
+
+Tensor TwoPhaseGnn::step(const UpdateStep& step, Tensor h) const {
+  return apply_step(step, std::move(h));
+}
+
+Tensor TwoPhaseGnn::run(const Graph& g) const {
+  Tensor h = initial_state(g.features);
   for (int round = 0; round < cfg_.rounds; ++round) {
     for (const UpdateStep& step : g.forward_steps) {
       h = apply_step(step, h);

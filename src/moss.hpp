@@ -29,6 +29,7 @@
 #include "lm/encoder.hpp"            // IWYU pragma: export
 #include "netlist/netlist.hpp"       // IWYU pragma: export
 #include "netlist/writer.hpp"        // IWYU pragma: export
+#include "plan/plan.hpp"             // IWYU pragma: export
 #include "power/power.hpp"           // IWYU pragma: export
 #include "rtl/eval.hpp"              // IWYU pragma: export
 #include "rtl/lint.hpp"              // IWYU pragma: export

@@ -45,6 +45,7 @@ namespace {
 constexpr std::uint64_t kTagRtl = 0x52544C00;      // "RTL"
 constexpr std::uint64_t kTagNode = 0x4E4F4445;     // "NODE"
 constexpr std::uint64_t kTagNetlist = 0x4E455400;  // "NET"
+constexpr std::uint64_t kTagCone = 0x434F4E45;     // "CONE"
 }  // namespace
 
 std::uint64_t rtl_key(std::uint64_t session_uid, std::string_view rtl_text) {
@@ -67,6 +68,10 @@ std::uint64_t netlist_key(std::uint64_t session_uid,
       .mix(session_uid)
       .mix(batch_hash)
       .digest();
+}
+
+std::uint64_t cone_key(std::uint64_t session_uid, std::uint64_t cone_hash) {
+  return HashBuilder().mix(kTagCone).mix(session_uid).mix(cone_hash).digest();
 }
 
 namespace {
@@ -116,7 +121,12 @@ void EmbeddingCache::put(std::uint64_t key, const tensor::Tensor& value) {
     s.lru.erase(it->second.lru_it);
     s.map.erase(it);
   }
-  if (bytes > shard_budget_) return;  // never admit overweight values
+  if (bytes > shard_budget_) {
+    // Never admit overweight values — but count the refusal so operators can
+    // see a budget that is too small for the workload's tensors.
+    ++s.oversize_rejections;
+    return;
+  }
   while (s.bytes + bytes > shard_budget_ && !s.lru.empty()) {
     const std::uint64_t victim = s.lru.back();
     s.lru.pop_back();
@@ -150,6 +160,7 @@ CacheStats EmbeddingCache::stats() const {
     out.misses += s.misses;
     out.evictions += s.evictions;
     out.inserts += s.inserts;
+    out.oversize_rejections += s.oversize_rejections;
     out.bytes += s.bytes;
     out.entries += s.map.size();
   }

@@ -27,6 +27,8 @@ std::uint64_t node_embedding_key(std::uint64_t session_uid,
                                  std::uint64_t batch_hash);
 std::uint64_t netlist_key(std::uint64_t session_uid,
                           std::uint64_t batch_hash);
+/// Key of one hash-consed cone embedding row (moss::plan cone hashes).
+std::uint64_t cone_key(std::uint64_t session_uid, std::uint64_t cone_hash);
 
 /// Aggregate counters; `hits + misses` equals the number of lookups.
 struct CacheStats {
@@ -34,6 +36,11 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t inserts = 0;
+  /// puts refused because the value exceeds one shard's budget. Counted
+  /// (and surfaced through metrics) rather than silently dropped: a nonzero
+  /// rate means the budget is too small for the workload's tensors and the
+  /// "cache" is doing nothing for them.
+  std::uint64_t oversize_rejections = 0;
   std::size_t bytes = 0;    ///< accounted payload currently resident
   std::size_t entries = 0;
 };
@@ -86,6 +93,7 @@ class EmbeddingCache {
     std::list<std::uint64_t> lru;  ///< front = most recent
     std::size_t bytes = 0;
     std::uint64_t hits = 0, misses = 0, evictions = 0, inserts = 0;
+    std::uint64_t oversize_rejections = 0;
   };
 
   Shard& shard_for(std::uint64_t key) {

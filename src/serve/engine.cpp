@@ -5,6 +5,7 @@
 
 #include "core_util/error.hpp"
 #include "core_util/fault.hpp"
+#include "plan/plan.hpp"
 #include "power/power.hpp"
 
 namespace moss::serve {
@@ -33,6 +34,27 @@ EngineConfig validated(EngineConfig cfg) {
   MOSS_CHECK(cfg.max_delay_ms >= 0, "max_delay_ms must be nonnegative");
   return cfg;
 }
+
+/// Bridges plan::hashcons_node_embeddings onto the serve EmbeddingCache:
+/// cone rows live in the same byte budget as the other embeddings, keyed by
+/// cone_key(session uid, cone hash) so a hot-swapped model never reuses a
+/// predecessor's rows.
+class ConeCacheAdapter : public plan::ConeRowCache {
+ public:
+  ConeCacheAdapter(EmbeddingCache& cache, std::uint64_t session_uid)
+      : cache_(&cache), uid_(session_uid) {}
+
+  std::optional<Tensor> get(std::uint64_t cone_hash) override {
+    return cache_->get(cone_key(uid_, cone_hash));
+  }
+  void put(std::uint64_t cone_hash, const Tensor& row) override {
+    cache_->put(cone_key(uid_, cone_hash), row);
+  }
+
+ private:
+  EmbeddingCache* cache_;
+  std::uint64_t uid_;
+};
 
 }  // namespace
 
@@ -117,7 +139,9 @@ void InferenceEngine::register_pool(
   pool->hashes.reserve(members.size());
   for (const auto& m : members) {
     MOSS_CHECK(m != nullptr, "pool member must not be null");
-    pool->hashes.push_back(core::batch_content_hash(*m));
+    // content_hash() reuses the hash build_batch/to_batch already computed,
+    // so registering a pool does not re-walk every member graph.
+    pool->hashes.push_back(core::content_hash(*m));
   }
   pool->members = std::move(members);
   const std::lock_guard<std::mutex> lock(pools_mu_);
@@ -153,7 +177,7 @@ void InferenceEngine::refresh_gauges() {
   if (cache_) {
     const CacheStats cs = cache_->stats();
     metrics_.set_cache_counters(cs.hits, cs.misses, cs.evictions, cs.bytes,
-                                cs.entries);
+                                cs.entries, cs.oversize_rejections);
   }
   const ModelRegistry::BreakerStats bs = registry_.breaker_stats();
   metrics_.set_resilience(to_string(health().state), bs.open, bs.open_events,
@@ -256,9 +280,19 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
 
 Tensor InferenceEngine::node_embeddings(const MossSession& s,
                                         const core::CircuitBatch& batch,
-                                        std::uint64_t batch_hash) const {
+                                        std::uint64_t batch_hash,
+                                        const plan::ExecutionPlan* plan) const {
   const auto compute = [&] {
     MOSS_FAULT_POINT("serve.session.forward");
+    // The hash-consed cone path needs somewhere to store per-cone rows and a
+    // plan whose cones describe *this* batch; it is bit-identical to the
+    // packaged forward (and falls back to it internally for rounds != 1).
+    if (plan != nullptr && cache_ != nullptr &&
+        plan->batch_hash == batch_hash) {
+      ConeCacheAdapter cones(*cache_, s.uid());
+      return plan::hashcons_node_embeddings(s.model().gnn(), *plan, batch,
+                                            cones);
+    }
     return s.model().node_embeddings(batch).detach();
   };
   if (!cache_) return compute();
@@ -268,9 +302,10 @@ Tensor InferenceEngine::node_embeddings(const MossSession& s,
 
 Tensor InferenceEngine::netlist_embedding(const MossSession& s,
                                           const core::CircuitBatch& batch,
-                                          std::uint64_t batch_hash) const {
+                                          std::uint64_t batch_hash,
+                                          const plan::ExecutionPlan* plan) const {
   const auto compute = [&] {
-    const Tensor h = node_embeddings(s, batch, batch_hash);
+    const Tensor h = node_embeddings(s, batch, batch_hash, plan);
     MOSS_FAULT_POINT("serve.session.forward");
     return s.model().netlist_embedding(batch, h).detach();
   };
@@ -286,6 +321,31 @@ Tensor InferenceEngine::rtl_embedding(const MossSession& s,
   };
   if (!cache_) return compute();
   return cache_->get_or_compute(rtl_key(s.uid(), text), compute);
+}
+
+InferenceEngine::ResolvedBatch InferenceEngine::resolve_batch(
+    const MossSession& s, const Request& req) const {
+  ResolvedBatch rb;
+  if (req.kind == RequestKind::kFepRank) return rb;  // pool-driven, no batch
+  rb.plan = req.plan;
+  if (req.batch) {
+    rb.batch = req.batch;
+    rb.hash = core::content_hash(*req.batch);
+  } else if (req.plan) {
+    rb.batch =
+        std::make_shared<core::CircuitBatch>(plan::to_batch(*req.plan));
+    rb.hash = req.plan->batch_hash;
+  } else if (req.circuit) {
+    // Batch construction is encoder-side tokenization against this
+    // session's encoder, so the result is only valid for sessions sharing
+    // its uid — recorded so fallback paths know.
+    rb.batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
+    rb.hash = core::content_hash(*rb.batch);
+    rb.built_uid = s.uid();
+  } else {
+    fail_typed("bad_request", "request needs a circuit or a prebuilt batch");
+  }
+  return rb;
 }
 
 Response InferenceEngine::process(const Request& req) {
@@ -304,8 +364,12 @@ Response InferenceEngine::process(const Request& req) {
     throw;
   }
   const MossSession& s = *acq.session;
+  // One batch resolution (and one content hash) per request — every
+  // downstream consumer, including the stale fallback below, reuses it.
+  ResolvedBatch rb;
   try {
-    Response r = process_with(s, req);
+    rb = resolve_batch(s, req);
+    Response r = process_with(s, req, rb);
     registry_.report(req.model, s.uid(), /*ok=*/true,
                      /*transient_failure=*/false, acq.probe);
     if (acq.fallback) {
@@ -318,7 +382,7 @@ Response InferenceEngine::process(const Request& req) {
     const bool transient = is_transient(e);
     registry_.report(req.model, s.uid(), /*ok=*/false, transient, acq.probe);
     if (transient && cfg_.allow_stale && low_priority(req.kind)) {
-      if (std::optional<Response> stale = try_serve_stale(req)) {
+      if (std::optional<Response> stale = try_serve_stale(req, &rb)) {
         metrics_.record_degraded();
         return std::move(*stale);
       }
@@ -327,7 +391,8 @@ Response InferenceEngine::process(const Request& req) {
   }
 }
 
-std::optional<Response> InferenceEngine::try_serve_stale(const Request& req) {
+std::optional<Response> InferenceEngine::try_serve_stale(
+    const Request& req, const ResolvedBatch* rb) {
   if (cache_ == nullptr || !low_priority(req.kind)) return std::nullopt;
   const std::shared_ptr<const MossSession> session =
       registry_.try_get(req.model);
@@ -368,14 +433,29 @@ std::optional<Response> InferenceEngine::try_serve_stale(const Request& req) {
                 });
       return r;
     }
-    // kEmbed. Batch construction is encoder-side tokenization, not a model
-    // forward pass, so it is safe even when the session's forwards fail.
-    std::shared_ptr<const core::CircuitBatch> batch = req.batch;
-    if (!batch) {
-      if (!req.circuit) return std::nullopt;
+    // kEmbed. Reuse the dispatcher's resolved batch when it is usable here
+    // (caller-provided, or built by this very session); otherwise resolve
+    // once ourselves. Batch construction is encoder-side tokenization, not
+    // a model forward pass, so it is safe even when the session's forwards
+    // fail.
+    std::shared_ptr<const core::CircuitBatch> batch;
+    std::uint64_t bh = 0;
+    if (rb != nullptr && rb->batch &&
+        (rb->built_uid == 0 || rb->built_uid == s.uid())) {
+      batch = rb->batch;
+      bh = rb->hash;
+    } else if (req.batch) {
+      batch = req.batch;
+      bh = core::content_hash(*batch);
+    } else if (req.plan) {
+      batch = std::make_shared<core::CircuitBatch>(plan::to_batch(*req.plan));
+      bh = req.plan->batch_hash;
+    } else if (req.circuit) {
       batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
+      bh = core::content_hash(*batch);
+    } else {
+      return std::nullopt;
     }
-    const std::uint64_t bh = core::batch_content_hash(*batch);
     const std::optional<Tensor> n_e = cache_->get(netlist_key(s.uid(), bh));
     if (!n_e) return std::nullopt;
     r.embedding = n_e->data();
@@ -394,7 +474,8 @@ std::optional<Response> InferenceEngine::try_serve_stale(const Request& req) {
 }
 
 Response InferenceEngine::process_with(const MossSession& s,
-                                       const Request& req) {
+                                       const Request& req,
+                                       const ResolvedBatch& rb) {
   Response r;
   r.kind = req.kind;
   r.model = req.model;
@@ -422,7 +503,8 @@ Response InferenceEngine::process_with(const MossSession& s,
     r.ranking.reserve(pool->members.size());
     for (std::size_t j = 0; j < pool->members.size(); ++j) {
       const core::CircuitBatch& member = *pool->members[j];
-      const Tensor n_e = netlist_embedding(s, member, pool->hashes[j]);
+      const Tensor n_e = netlist_embedding(s, member, pool->hashes[j],
+                                           /*plan=*/nullptr);
       r.ranking.push_back(
           RankEntry{j, member.name, s.model().pair_score(r_e, n_e)});
     }
@@ -434,20 +516,15 @@ Response InferenceEngine::process_with(const MossSession& s,
     return r;
   }
 
-  // Circuit-bound kinds: ATP, TRP+PP, EMBED.
-  std::shared_ptr<const core::CircuitBatch> batch = req.batch;
-  if (!batch) {
-    if (!req.circuit) {
-      fail_typed("bad_request",
-                 "request needs a circuit or a prebuilt batch");
-    }
-    batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
-  }
-  const std::uint64_t bh = core::batch_content_hash(*batch);
+  // Circuit-bound kinds: ATP, TRP+PP, EMBED. The batch and its content hash
+  // were resolved exactly once in process().
+  const std::shared_ptr<const core::CircuitBatch>& batch = rb.batch;
+  const std::uint64_t bh = rb.hash;
+  const plan::ExecutionPlan* pl = rb.plan.get();
 
   switch (req.kind) {
     case RequestKind::kAtp: {
-      const Tensor h = node_embeddings(s, *batch, bh);
+      const Tensor h = node_embeddings(s, *batch, bh, pl);
       MOSS_FAULT_POINT("serve.session.forward");
       const Tensor flop =
           s.model().predict_arrival(*batch, h, batch->flop_rows);
@@ -464,7 +541,7 @@ Response InferenceEngine::process_with(const MossSession& s,
                    "TRP+PP needs the circuit (power model reads the "
                    "netlist)");
       }
-      const Tensor h = node_embeddings(s, *batch, bh);
+      const Tensor h = node_embeddings(s, *batch, bh, pl);
       MOSS_FAULT_POINT("serve.session.forward");
       const core::LocalPredictions pred = s.model().predict_local(*batch, h);
       r.values.reserve(batch->cell_rows.size());
@@ -479,7 +556,7 @@ Response InferenceEngine::process_with(const MossSession& s,
       return r;
     }
     case RequestKind::kEmbed: {
-      const Tensor n_e = netlist_embedding(s, *batch, bh);
+      const Tensor n_e = netlist_embedding(s, *batch, bh, pl);
       r.embedding = n_e.data();
       const std::string& text = !req.rtl_text.empty()
                                     ? req.rtl_text

@@ -21,6 +21,10 @@
 #include "serve/resilience.hpp"
 #include "tensor/kernels.hpp"
 
+namespace moss::plan {
+struct ExecutionPlan;
+}
+
 namespace moss::serve {
 
 /// One inference request. ATP/TRP+PP/EMBED need a circuit (and use `batch`
@@ -31,6 +35,13 @@ struct Request {
   RequestKind kind = RequestKind::kAtp;
   std::shared_ptr<const data::LabeledCircuit> circuit;
   std::shared_ptr<const core::CircuitBatch> batch;
+  /// Precompiled execution plan for the same circuit (moss::plan). Stands in
+  /// for `batch` (the engine reconstructs one via plan::to_batch) and, when a
+  /// cache is attached and the serving model runs one GNN round, switches
+  /// node embeddings to the hash-consed cone path: cones shared with earlier
+  /// requests are copied from the cache instead of re-propagated, with
+  /// bit-identical results.
+  std::shared_ptr<const plan::ExecutionPlan> plan;
   std::string rtl_text;             ///< FEP-rank query RTL
   std::string pool;                 ///< FEP-rank target pool name
   std::string model = "default";    ///< registry name to serve with
@@ -158,25 +169,42 @@ class InferenceEngine {
   };
   struct Pool {
     std::vector<std::shared_ptr<const core::CircuitBatch>> members;
-    std::vector<std::uint64_t> hashes;  ///< batch_content_hash per member
+    std::vector<std::uint64_t> hashes;  ///< content hash per member
+  };
+  /// A request's circuit batch resolved exactly once per dispatch: the
+  /// batch, its content hash (the cache key for every embedding derived
+  /// from it) and — when the batch was built by a session rather than
+  /// provided by the caller — that session's uid, so fallback paths know
+  /// whether they may reuse it.
+  struct ResolvedBatch {
+    std::shared_ptr<const core::CircuitBatch> batch;
+    std::shared_ptr<const plan::ExecutionPlan> plan;
+    std::uint64_t hash = 0;
+    std::uint64_t built_uid = 0;  ///< 0 = caller-provided / session-agnostic
   };
 
   void scheduler_loop();
   void dispatch(std::vector<Pending>& batch);
   Response process(const Request& req);
-  Response process_with(const MossSession& s, const Request& req);
+  Response process_with(const MossSession& s, const Request& req,
+                        const ResolvedBatch& rb);
+  ResolvedBatch resolve_batch(const MossSession& s, const Request& req) const;
   /// Degraded path: answer EMBED/FEP-rank purely from cached embeddings of
   /// the *current* session (no forward passes). Empty when anything needed
-  /// is missing from the cache.
-  std::optional<Response> try_serve_stale(const Request& req);
+  /// is missing from the cache. `rb` (when non-null) carries the already
+  /// resolved batch+hash so the stale path never re-hashes.
+  std::optional<Response> try_serve_stale(const Request& req,
+                                          const ResolvedBatch* rb = nullptr);
   void refresh_gauges();
   double worst_p95_us();
   tensor::Tensor node_embeddings(const MossSession& s,
                                  const core::CircuitBatch& batch,
-                                 std::uint64_t batch_hash) const;
+                                 std::uint64_t batch_hash,
+                                 const plan::ExecutionPlan* plan) const;
   tensor::Tensor netlist_embedding(const MossSession& s,
                                    const core::CircuitBatch& batch,
-                                   std::uint64_t batch_hash) const;
+                                   std::uint64_t batch_hash,
+                                   const plan::ExecutionPlan* plan) const;
   tensor::Tensor rtl_embedding(const MossSession& s,
                                const std::string& text) const;
 

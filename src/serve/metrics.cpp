@@ -30,12 +30,22 @@ void LatencyHistogram::record(double micros) {
 
 double LatencyHistogram::quantile_us(double q) const {
   if (count_ == 0) return 0.0;
-  const double rank = q * static_cast<double>(count_);
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
     cum += buckets_[i];
     if (static_cast<double>(cum) >= rank) {
-      return std::ldexp(1.0, static_cast<int>(i + 1));  // bucket upper edge
+      // Interpolate within the bucket instead of reporting its upper edge
+      // (which over-reported mid-bucket quantiles by up to 2x), and clamp to
+      // the observed maximum so the unbounded last bucket never fabricates a
+      // latency larger than anything actually recorded.
+      const double lower = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double upper = std::ldexp(1.0, static_cast<int>(i + 1));
+      const double frac =
+          (rank - static_cast<double>(cum - buckets_[i])) /
+          static_cast<double>(buckets_[i]);
+      return std::min(lower + frac * (upper - lower), max_us_);
     }
   }
   return max_us_;
@@ -115,13 +125,15 @@ void ServeMetrics::set_queue_depth(std::size_t depth) {
 
 void ServeMetrics::set_cache_counters(std::uint64_t hits, std::uint64_t misses,
                                       std::uint64_t evictions,
-                                      std::size_t bytes, std::size_t entries) {
+                                      std::size_t bytes, std::size_t entries,
+                                      std::uint64_t oversize_rejections) {
   const std::lock_guard<std::mutex> lock(mu_);
   cache_hits_ = hits;
   cache_misses_ = misses;
   cache_evictions_ = evictions;
   cache_bytes_ = bytes;
   cache_entries_ = entries;
+  cache_oversize_rejections_ = oversize_rejections;
 }
 
 MetricsSnapshot ServeMetrics::snapshot() const {
@@ -166,6 +178,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.cache_evictions = cache_evictions_;
   s.cache_bytes = cache_bytes_;
   s.cache_entries = cache_entries_;
+  s.cache_oversize_rejections = cache_oversize_rejections_;
   return s;
 }
 
@@ -200,11 +213,12 @@ std::string ServeMetrics::text() const {
                 static_cast<unsigned long long>(s.breaker_close_events));
   out += line;
   std::snprintf(line, sizeof(line),
-                "cache: %llu hits, %llu misses, %llu evictions, %zu entries, "
-                "%zu bytes\n",
+                "cache: %llu hits, %llu misses, %llu evictions, "
+                "%llu oversize, %zu entries, %zu bytes\n",
                 static_cast<unsigned long long>(s.cache_hits),
                 static_cast<unsigned long long>(s.cache_misses),
                 static_cast<unsigned long long>(s.cache_evictions),
+                static_cast<unsigned long long>(s.cache_oversize_rejections),
                 s.cache_entries, s.cache_bytes);
   out += line;
   std::snprintf(line, sizeof(line), "%-10s %10s %8s %10s %10s %10s %10s\n",
@@ -255,10 +269,12 @@ std::string ServeMetrics::json() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
-                "\"entries\":%zu,\"bytes\":%zu},\"endpoints\":{",
+                "\"oversize_rejections\":%llu,\"entries\":%zu,\"bytes\":%zu},"
+                "\"endpoints\":{",
                 static_cast<unsigned long long>(s.cache_hits),
                 static_cast<unsigned long long>(s.cache_misses),
                 static_cast<unsigned long long>(s.cache_evictions),
+                static_cast<unsigned long long>(s.cache_oversize_rejections),
                 s.cache_entries, s.cache_bytes);
   out += buf;
   for (std::size_t k = 0; k < kNumRequestKinds; ++k) {

@@ -34,9 +34,10 @@ class LatencyHistogram {
     return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
   }
   double max_us() const { return max_us_; }
-  /// Upper edge of the bucket holding quantile `q` in [0,1] (0 when empty).
-  /// Coarse by design: within a factor of 2, deterministic, lock-free read
-  /// under the owner's lock.
+  /// Quantile `q` in [0,1] (0 when empty), linearly interpolated within the
+  /// holding bucket and clamped to max_us() — so the unbounded last bucket
+  /// never reports a latency larger than anything observed. Still coarse
+  /// (log2 buckets), but no longer biased to bucket upper edges.
   double quantile_us(double q) const;
 
  private:
@@ -72,6 +73,7 @@ struct MetricsSnapshot {
   double qps = 0.0;  ///< completed requests / uptime
   // Cache counters (zero when the engine runs cache-less).
   std::uint64_t cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  std::uint64_t cache_oversize_rejections = 0;  ///< entries too big to admit
   std::size_t cache_bytes = 0, cache_entries = 0;
   // Resilience state (pushed by the engine at snapshot time, like the
   // cache counters).
@@ -101,7 +103,8 @@ class ServeMetrics {
   /// keeps its own atomics; metrics just report them).
   void set_cache_counters(std::uint64_t hits, std::uint64_t misses,
                           std::uint64_t evictions, std::size_t bytes,
-                          std::size_t entries);
+                          std::size_t entries,
+                          std::uint64_t oversize_rejections = 0);
   /// Health + breaker roll-up, pushed by the engine at snapshot time.
   void set_resilience(const std::string& health, std::size_t breakers_open,
                       std::uint64_t open_events,
@@ -133,6 +136,7 @@ class ServeMetrics {
   std::size_t queue_depth_ = 0;
   std::size_t queue_peak_ = 0;
   std::uint64_t cache_hits_ = 0, cache_misses_ = 0, cache_evictions_ = 0;
+  std::uint64_t cache_oversize_rejections_ = 0;
   std::size_t cache_bytes_ = 0, cache_entries_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

@@ -1,0 +1,448 @@
+// moss::plan test suite: compile invariants, blob round-trip + corruption
+// matrix, hash-consed cone bit-identity across every design family, and the
+// plan-walking simulator/STA consumers against their pointer-walk originals.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "core/features.hpp"
+#include "core_util/error.hpp"
+#include "core_util/fault.hpp"
+#include "core_util/hash.hpp"
+#include "data/dataset.hpp"
+#include "data/generators.hpp"
+#include "plan/plan.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sta.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss {
+namespace {
+
+using cell::standard_library;
+using core::CircuitBatch;
+using netlist::Netlist;
+using netlist::NodeId;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// helpers
+
+struct FaultGuard {
+  ~FaultGuard() { testing::disarm_all_faults(); }
+};
+
+const lm::TextEncoder& enc() {
+  static lm::TextEncoder e({2048, 16, 9});
+  return e;
+}
+
+data::LabeledCircuit labeled(const std::string& family, int size = 1,
+                             std::uint64_t seed = 0xC0FFEE) {
+  data::DesignSpec spec{family, size, seed, ""};
+  data::DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  return data::label_circuit(spec, standard_library(), cfg);
+}
+
+/// In-memory cone cache double: exact map semantics, no budget, no
+/// eviction — isolates the hash-cons algebra from EmbeddingCache policy.
+class MapCache : public plan::ConeRowCache {
+ public:
+  std::optional<Tensor> get(std::uint64_t cone_hash) override {
+    const auto it = rows_.find(cone_hash);
+    if (it == rows_.end()) return std::nullopt;
+    return it->second;
+  }
+  void put(std::uint64_t cone_hash, const Tensor& row) override {
+    rows_.emplace(cone_hash, row.detach());
+  }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Tensor> rows_;
+};
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+std::string tmp_path(const char* stem) {
+  return ::testing::TempDir() + stem;
+}
+
+// ---------------------------------------------------------------------------
+// compile invariants
+
+TEST(PlanCompile, ShapesAndInvariants) {
+  const auto lc = labeled("gray_counter", 2);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+
+  const std::size_t n = lc.netlist.num_nodes();
+  ASSERT_EQ(p.num_nodes(), n);
+  EXPECT_EQ(p.cell_type.size(), n);
+  EXPECT_EQ(p.cluster.size(), n);
+  EXPECT_EQ(p.level.size(), n);
+  EXPECT_EQ(p.output_load.size(), n);
+  EXPECT_EQ(p.topo.size(), n);
+  EXPECT_EQ(p.cone_hash.size(), n);
+  EXPECT_EQ(p.cone_id.size(), n);
+  EXPECT_EQ(p.fanin_offset.size(), n + 1);
+  EXPECT_EQ(p.fanout_offset.size(), n + 1);
+  EXPECT_EQ(p.fanin_offset.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(p.fanin_offset.back()), p.fanin.size());
+  EXPECT_EQ(p.batch_hash, core::content_hash(b));
+  EXPECT_EQ(p.num_cells, lc.netlist.num_cells());
+  EXPECT_EQ(p.feature_dim,
+            static_cast<std::uint32_t>(b.graph.features.cols()));
+  EXPECT_EQ(p.flops.size(), lc.netlist.flops().size());
+  EXPECT_EQ(p.flop_pin_d.size(), p.flops.size());
+
+  // Node classes and adjacency mirror the netlist exactly.
+  std::size_t comb = 0, flops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto& node = lc.netlist.node(id);
+    const auto begin = static_cast<std::size_t>(p.fanin_offset[i]);
+    const auto end = static_cast<std::size_t>(p.fanin_offset[i + 1]);
+    ASSERT_EQ(end - begin, node.fanin.size());
+    for (std::size_t k = 0; k < node.fanin.size(); ++k) {
+      EXPECT_EQ(p.fanin[begin + k], static_cast<std::int32_t>(node.fanin[k]));
+    }
+    switch (p.klass(static_cast<std::int32_t>(i))) {
+      case plan::NodeClass::kComb:
+        ++comb;
+        EXPECT_TRUE(lc.netlist.is_comb_cell(id));
+        break;
+      case plan::NodeClass::kFlop:
+        ++flops;
+        EXPECT_TRUE(lc.netlist.is_flop(id));
+        break;
+      default:
+        break;
+    }
+    EXPECT_DOUBLE_EQ(p.output_load[i], lc.netlist.output_load(id));
+  }
+  EXPECT_GT(comb, 0u);
+  EXPECT_EQ(flops, p.flops.size());
+
+  // Cone ids are a dense relabeling of cone hashes.
+  std::unordered_map<std::uint64_t, std::int32_t> seen;
+  std::int32_t max_id = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p.klass(static_cast<std::int32_t>(i)) == plan::NodeClass::kOutput) {
+      EXPECT_EQ(p.cone_id[i], -1);
+      EXPECT_EQ(p.cone_hash[i], 0u);
+      continue;
+    }
+    const auto [it, fresh] = seen.emplace(p.cone_hash[i], p.cone_id[i]);
+    EXPECT_EQ(it->second, p.cone_id[i]) << "node " << i;
+    if (fresh) {
+      EXPECT_EQ(p.cone_id[i], ++max_id) << "ids not first-seen dense";
+    }
+  }
+  EXPECT_EQ(p.unique_cones, seen.size());
+}
+
+TEST(PlanCompile, StructureOnlyPlanHasNoScheduleOrFeatures) {
+  const auto lc = labeled("prbs_generator", 1);
+  const plan::ExecutionPlan p = plan::compile_structure(lc.netlist);
+  EXPECT_EQ(p.num_nodes(), lc.netlist.num_nodes());
+  EXPECT_EQ(p.feature_dim, 0u);
+  EXPECT_TRUE(p.features.empty());
+  EXPECT_TRUE(p.sched_nodes.empty());
+  EXPECT_EQ(p.batch_hash, 0u);
+  EXPECT_GT(p.unique_cones, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// blob round-trip + corruption
+
+TEST(PlanBlob, RoundTripIsByteStable) {
+  const auto lc = labeled("alu", 1);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+
+  const std::string blob = plan::serialize(p);
+  ASSERT_GT(blob.size(), plan::kPlanHeaderBytes);
+  EXPECT_EQ(std::memcmp(blob.data(), plan::kPlanMagic, 8), 0);
+
+  const plan::ExecutionPlan q = plan::deserialize(blob, ErrorContext{});
+  EXPECT_EQ(q.name, p.name);
+  EXPECT_EQ(q.batch_hash, p.batch_hash);
+  EXPECT_EQ(q.unique_cones, p.unique_cones);
+  EXPECT_EQ(q.cone_hash, p.cone_hash);
+  EXPECT_EQ(q.features, p.features);
+  // Byte-stability of re-serialization proves every field survived.
+  EXPECT_EQ(plan::serialize(q), blob);
+}
+
+TEST(PlanBlob, ToBatchReconstructsContentHash) {
+  const auto lc = labeled("signed_mac", 1);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+  const CircuitBatch r = plan::to_batch(p);
+  EXPECT_EQ(core::content_hash(r), p.batch_hash);
+  EXPECT_EQ(core::batch_content_hash(r), core::batch_content_hash(b));
+  EXPECT_EQ(r.cell_rows.size(), b.cell_rows.size());
+  EXPECT_EQ(r.flop_rows.size(), b.flop_rows.size());
+  EXPECT_EQ(r.toggle, b.toggle);
+  EXPECT_EQ(r.module_text, b.module_text);
+  EXPECT_DOUBLE_EQ(r.power_uw, b.power_uw);
+}
+
+TEST(PlanBlob, CorruptOneByteAnywhereIsDetected) {
+  const auto lc = labeled("ctrl_fsm", 1);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const std::string blob = plan::serialize(plan::compile(lc.netlist, b));
+
+  // Hit every header field and a spread of payload offsets: each single-byte
+  // flip must fail CRC/magic/version/size validation — never load quietly.
+  std::vector<std::size_t> offsets = {0, 3, 8, 12, 16, 24,
+                                      plan::kPlanHeaderBytes,
+                                      plan::kPlanHeaderBytes + 17};
+  for (std::size_t off = plan::kPlanHeaderBytes; off < blob.size();
+       off += blob.size() / 13 + 1) {
+    offsets.push_back(off);
+  }
+  for (const std::size_t off : offsets) {
+    ASSERT_LT(off, blob.size());
+    std::string bad = blob;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    EXPECT_THROW(plan::deserialize(bad, ErrorContext{}), ContextError)
+        << "offset " << off;
+  }
+  // Truncation at any prefix length is also rejected.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{7},
+                                plan::kPlanHeaderBytes, blob.size() - 1}) {
+    EXPECT_THROW(
+        plan::deserialize(std::string_view(blob).substr(0, len),
+                          ErrorContext{}),
+        ContextError)
+        << "length " << len;
+  }
+}
+
+TEST(PlanBlob, SaveIsAtomicUnderRenameFault) {
+  const FaultGuard guard;
+  const auto lc = labeled("shift_reg", 1);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+  const std::string path = tmp_path("plan_atomic.mossplan");
+
+  plan::save(p, path);
+  const plan::ExecutionPlan loaded = plan::load(path);
+  EXPECT_EQ(plan::serialize(loaded), plan::serialize(p));
+
+  // A crash injected at the rename must leave the existing blob untouched.
+  testing::arm_fault("serialize.rename");
+  const auto lc2 = labeled("shift_reg", 2);
+  const CircuitBatch b2 = core::build_batch(lc2, enc(), {});
+  EXPECT_THROW(plan::save(plan::compile(lc2.netlist, b2), path),
+               testing::InjectedFault);
+  const plan::ExecutionPlan survivor = plan::load(path);
+  EXPECT_EQ(plan::serialize(survivor), plan::serialize(p));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// hash-consed cones: bit identity across every design family
+
+class PlanFamilySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlanFamilySweep, HashconsMatchesPointerWalkColdAndWarm) {
+  const auto lc = labeled(GetParam(), 1, 0xBEEF);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+
+  gnn::GnnConfig gc;
+  gc.feature_dim = b.graph.features.cols();
+  gc.hidden = 16;
+  gc.num_aggregators = b.graph.num_clusters;
+  gc.rounds = 1;
+  Rng rng(fnv1a64(GetParam()));
+  tensor::ParameterSet params;
+  const gnn::TwoPhaseGnn gnn(gc, rng, params);
+
+  const Tensor reference = gnn.run(b.graph).detach();
+
+  MapCache cache;
+  plan::ConeStats cold;
+  const Tensor first = plan::hashcons_node_embeddings(gnn, p, b, cache, &cold);
+  EXPECT_TRUE(bit_identical(first, reference)) << GetParam() << " (cold)";
+  EXPECT_GT(cold.scheduled, 0u);
+  EXPECT_EQ(cold.reused, 0u);
+  EXPECT_EQ(cold.computed, cold.scheduled);
+
+  plan::ConeStats warm;
+  const Tensor second = plan::hashcons_node_embeddings(gnn, p, b, cache, &warm);
+  EXPECT_TRUE(bit_identical(second, reference)) << GetParam() << " (warm)";
+  EXPECT_EQ(warm.reused, warm.scheduled);
+  EXPECT_EQ(warm.computed, 0u);
+}
+
+TEST_P(PlanFamilySweep, SimulatorAndStaMatchPointerWalk) {
+  const auto lc = labeled(GetParam(), 1, 0xF00D);
+  const Netlist& nl = lc.netlist;
+  const plan::ExecutionPlan p = plan::compile_structure(nl);
+
+  // Cycle simulation: identical values, transition counts and rates.
+  sim::Simulator ref(nl);
+  plan::PlanSimulator ps(p, nl.library());
+  Rng rng(fnv1a64(GetParam()) ^ 0x5151);
+  const std::size_t num_pi = nl.inputs().size();
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<std::uint8_t> pis(num_pi);
+    for (auto& v : pis) v = static_cast<std::uint8_t>(rng() & 1);
+    ref.step(pis);
+    ps.step(pis);
+  }
+  ASSERT_EQ(ps.cycles(), ref.cycles());
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto pid = static_cast<std::int32_t>(i);
+    ASSERT_EQ(ps.value(pid), ref.value(id)) << "node " << i;
+    ASSERT_EQ(ps.transitions(pid), ref.transitions(id)) << "node " << i;
+    EXPECT_DOUBLE_EQ(ps.toggle_rate(pid), ref.toggle_rate(id));
+    EXPECT_DOUBLE_EQ(ps.one_rate(pid), ref.one_rate(id));
+  }
+  EXPECT_EQ(ps.output_values(), ref.output_values());
+
+  // STA: exact arrival equality in both slew modes.
+  for (const bool slew : {false, true}) {
+    sta::StaOptions opts;
+    opts.slew_aware = slew;
+    const sta::TimingAnalysis ta(nl, opts);
+    const std::vector<double> at = plan::arrival_times(p, nl.library(), opts);
+    ASSERT_EQ(at.size(), nl.num_nodes());
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      EXPECT_DOUBLE_EQ(at[i], ta.arrival(static_cast<NodeId>(i)))
+          << GetParam() << " node " << i << " slew=" << slew;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PlanFamilySweep,
+                         ::testing::ValuesIn(data::families()),
+                         [](const auto& info) { return info.param; });
+
+TEST(PlanHashcons, MultiRoundModelFallsBackBitIdentically) {
+  const auto lc = labeled("gray_counter", 1);
+  const CircuitBatch b = core::build_batch(lc, enc(), {});
+  const plan::ExecutionPlan p = plan::compile(lc.netlist, b);
+
+  gnn::GnnConfig gc;
+  gc.feature_dim = b.graph.features.cols();
+  gc.hidden = 16;
+  gc.num_aggregators = b.graph.num_clusters;
+  gc.rounds = 3;  // cone reuse unsound: must fall back to full run()
+  Rng rng(99);
+  tensor::ParameterSet params;
+  const gnn::TwoPhaseGnn gnn(gc, rng, params);
+
+  MapCache cache;
+  plan::ConeStats stats;
+  const Tensor out = plan::hashcons_node_embeddings(gnn, p, b, cache, &stats);
+  EXPECT_TRUE(bit_identical(out, gnn.run(b.graph).detach()));
+  EXPECT_EQ(stats.scheduled, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanHashcons, SharedConesReuseAcrossDifferentSeeds) {
+  // Two circuits of the same family share structure; a warm cache from the
+  // first must serve some cones of the second, still bit-identically.
+  const auto lc1 = labeled("shift_reg", 2, 1);
+  const auto lc2 = labeled("shift_reg", 2, 2);
+  const CircuitBatch b1 = core::build_batch(lc1, enc(), {});
+  const CircuitBatch b2 = core::build_batch(lc2, enc(), {});
+  const plan::ExecutionPlan p1 = plan::compile(lc1.netlist, b1);
+  const plan::ExecutionPlan p2 = plan::compile(lc2.netlist, b2);
+
+  gnn::GnnConfig gc;
+  gc.feature_dim = b1.graph.features.cols();
+  gc.hidden = 16;
+  gc.num_aggregators = b1.graph.num_clusters;
+  gc.rounds = 1;
+  Rng rng(7);
+  tensor::ParameterSet params;
+  const gnn::TwoPhaseGnn gnn(gc, rng, params);
+
+  MapCache cache;
+  (void)plan::hashcons_node_embeddings(gnn, p1, b1, cache);
+  plan::ConeStats stats;
+  const Tensor out = plan::hashcons_node_embeddings(gnn, p2, b2, cache, &stats);
+  EXPECT_TRUE(bit_identical(out, gnn.run(b2.graph).detach()));
+  EXPECT_GT(stats.reused, 0u) << "no structural sharing detected";
+}
+
+// ---------------------------------------------------------------------------
+// incremental invalidation
+
+TEST(PlanIncremental, IdenticalPlansHaveNoDirtyCones) {
+  const auto lc = labeled("ctrl_fsm", 1);
+  const plan::ExecutionPlan p = plan::compile_structure(lc.netlist);
+  EXPECT_TRUE(plan::dirty_cones(p, p).empty());
+}
+
+TEST(PlanIncremental, EditDirtiesConesAndInvalidationCoversFanout) {
+  const auto prev = plan::compile_structure(labeled("alu", 1).netlist);
+  const auto next = plan::compile_structure(labeled("alu", 2).netlist);
+  const std::vector<std::int32_t> dirty = plan::dirty_cones(prev, next);
+  EXPECT_FALSE(dirty.empty());
+  for (const std::int32_t id : dirty) {
+    EXPECT_NE(next.klass(id), plan::NodeClass::kOutput);
+  }
+
+  const std::vector<std::int32_t> seeds = {next.inputs.front()};
+  const std::vector<std::int32_t> inval = plan::invalidation_set(next, seeds);
+  ASSERT_FALSE(inval.empty());
+  EXPECT_TRUE(std::is_sorted(inval.begin(), inval.end()));
+  // Closure property: every fanout of a member is a member.
+  std::vector<bool> in_set(next.num_nodes(), false);
+  for (const std::int32_t id : inval) {
+    in_set[static_cast<std::size_t>(id)] = true;
+  }
+  EXPECT_TRUE(in_set[static_cast<std::size_t>(seeds[0])]);
+  for (const std::int32_t id : inval) {
+    const auto begin = static_cast<std::size_t>(next.fanout_offset[id]);
+    const auto end = static_cast<std::size_t>(next.fanout_offset[id + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      EXPECT_TRUE(in_set[static_cast<std::size_t>(next.fanout[k])])
+          << "fanout of " << id << " escaped the closure";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+TEST(PlanDeterminism, BlobIsIdenticalAcrossLabelingThreadCounts) {
+  const std::vector<data::DesignSpec> specs = {
+      {"gray_counter", 1, 0xD5, ""}, {"alu", 1, 0xD6, ""}};
+  data::DatasetConfig one, many;
+  one.sim_cycles = many.sim_cycles = 200;
+  one.threads = 1;
+  many.threads = 7;
+  const auto ds1 = data::build_dataset(specs, standard_library(), one);
+  const auto ds7 = data::build_dataset(specs, standard_library(), many);
+  ASSERT_EQ(ds1.size(), ds7.size());
+  for (std::size_t i = 0; i < ds1.size(); ++i) {
+    const std::string blob1 = plan::serialize(
+        plan::compile(ds1[i].netlist, core::build_batch(ds1[i], enc(), {})));
+    const std::string blob7 = plan::serialize(
+        plan::compile(ds7[i].netlist, core::build_batch(ds7[i], enc(), {})));
+    EXPECT_EQ(blob1, blob7) << specs[i].family;
+  }
+}
+
+}  // namespace
+}  // namespace moss

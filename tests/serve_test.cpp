@@ -14,6 +14,7 @@
 #include "core_util/error.hpp"
 #include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
+#include "plan/plan.hpp"
 #include "power/power.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
@@ -90,14 +91,19 @@ TEST(EmbeddingCache, ByteBudgetNeverExceeded) {
   EXPECT_EQ(st.entries, 2u);
   EXPECT_EQ(st.evictions, 8u);
 
-  // Overweight values are refused outright, not admitted-then-evicted.
+  // Overweight values are refused outright, not admitted-then-evicted —
+  // and the refusal is counted, not silent.
   const Tensor huge = filled(1024, 1.0f);  // > 2*kEntry budget
   ASSERT_GT(EmbeddingCache::entry_bytes(huge), cache.byte_budget());
+  EXPECT_EQ(st.oversize_rejections, 0u);
   cache.put(99, huge);
   EXPECT_FALSE(cache.get(99).has_value());
   st = cache.stats();
   EXPECT_EQ(st.entries, 2u);
   EXPECT_LE(st.bytes, cache.byte_budget());
+  EXPECT_EQ(st.oversize_rejections, 1u);
+  cache.put(99, huge);
+  EXPECT_EQ(cache.stats().oversize_rejections, 2u);
 }
 
 TEST(EmbeddingCache, ReplacingAKeyKeepsAccountingExact) {
@@ -302,6 +308,50 @@ TEST(ServeEngine, EngineWithoutCacheMatchesEngineWithCache) {
   EXPECT_EQ(b.embedding, c.embedding);
   EXPECT_EQ(a.rtl_embedding, c.rtl_embedding);
   EXPECT_EQ(b.rtl_embedding, c.rtl_embedding);
+}
+
+TEST(ServeEngine, PlanRequestsMatchBatchRequestsBitIdentically) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, {});
+
+  for (std::size_t i = 0; i < w.lcs.size(); ++i) {
+    SCOPED_TRACE(w.batches[i]->name);
+    const auto pl = std::make_shared<plan::ExecutionPlan>(
+        plan::compile(w.lcs[i]->netlist, *w.batches[i]));
+
+    Request via_batch;
+    via_batch.kind = RequestKind::kEmbed;
+    via_batch.batch = w.batches[i];
+    const Response rb = eng.call(via_batch);
+
+    // Fresh cache so the plan request recomputes through the hash-consed
+    // cone path rather than hitting the node-level entry just stored.
+    cache.clear();
+
+    Request via_plan;
+    via_plan.kind = RequestKind::kEmbed;
+    via_plan.plan = pl;
+    const Response rp = eng.call(via_plan);
+    EXPECT_EQ(rp.embedding, rb.embedding);
+    EXPECT_EQ(rp.rtl_embedding, rb.rtl_embedding);
+    EXPECT_FALSE(rp.degraded);
+
+    Request atp_batch;
+    atp_batch.kind = RequestKind::kAtp;
+    atp_batch.batch = w.batches[i];
+    const Response ab = eng.call(atp_batch);
+    cache.clear();
+    Request atp_plan;
+    atp_plan.kind = RequestKind::kAtp;
+    atp_plan.plan = pl;
+    const Response ap = eng.call(atp_plan);
+    EXPECT_EQ(ap.values, ab.values);
+  }
+  // The plan path actually ran: cone rows landed in the cache.
+  EXPECT_GT(cache.stats().inserts, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -522,27 +572,45 @@ TEST(ServeMetrics, HistogramQuantilesAndDumps) {
   EXPECT_LE(h.quantile_us(0.5), 256.0);
   EXPECT_GE(h.quantile_us(0.999), 65536.0);
   EXPECT_GT(h.mean_us(), 0.0);
+  // Interpolated, not the bucket upper edge: 100 us lands in [64,128), so
+  // the median must stay inside that bucket instead of reporting 128.
+  EXPECT_GE(h.quantile_us(0.5), 64.0);
+  EXPECT_LT(h.quantile_us(0.5), 128.0);
+  // The unbounded last bucket must never fabricate a latency beyond the
+  // observed maximum.
+  EXPECT_LE(h.quantile_us(0.999), h.max_us());
+  EXPECT_LE(h.quantile_us(1.0), h.max_us());
+
+  serve::LatencyHistogram tail;
+  tail.record(1.0);
+  tail.record(5.0e9);  // ~83 min: beyond the last finite bucket edge
+  // Pre-fix this reported the last bucket's power-of-two edge (~2^32 us)
+  // regardless of what was observed; now it is clamped to max_us.
+  EXPECT_LE(tail.quantile_us(0.99), tail.max_us());
 
   serve::ServeMetrics m;
   m.record(RequestKind::kAtp, 1500.0, true);
   m.record(RequestKind::kFepRank, 900.0, false);
   m.record_rejected();
   m.record_batch(2);
-  m.set_cache_counters(3, 4, 1, 4096, 2);
+  m.set_cache_counters(3, 4, 1, 4096, 2, 5);
   const serve::MetricsSnapshot snap = m.snapshot();
   EXPECT_EQ(snap.total_ok, 1u);
   EXPECT_EQ(snap.total_errors, 1u);
   EXPECT_EQ(snap.rejected, 1u);
   EXPECT_EQ(snap.cache_hits, 3u);
+  EXPECT_EQ(snap.cache_oversize_rejections, 5u);
 
   const std::string text = m.text();
   EXPECT_NE(text.find("endpoint"), std::string::npos) << text;
   EXPECT_NE(text.find("atp"), std::string::npos) << text;
   EXPECT_NE(text.find("cache:"), std::string::npos) << text;
+  EXPECT_NE(text.find("5 oversize"), std::string::npos) << text;
   const std::string json = m.json();
   EXPECT_EQ(json.front(), '{') << json;
   EXPECT_NE(json.find("\"fep_rank\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"cache\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"oversize_rejections\":5"), std::string::npos) << json;
 }
 
 TEST(ServeMetrics, EngineCountsRequestsPerEndpoint) {
