@@ -1,0 +1,313 @@
+// Cluster economics: what moss::cluster's two mechanisms buy, with floors.
+//
+// 1. Warm restart (persistent MOSSSEG1 cache). A shard is "killed" after
+//    serving FEP-rank traffic, its EmbeddingCache persisted via save_cache;
+//    a fresh, identically-configured session (what the supervisor respawns)
+//    reloads the segments and serves its FIRST pass from the restored
+//    cache. Floor: warm-restart first-pass QPS >= 10x the no-persistence
+//    cold baseline (the respawned shard must not re-pay the ~100-QPS cold
+//    FEP-rank cost that results/bench_serve.json documents).
+//
+// 2. Horizontal scaling (consistent-hash Router over LocalBackends). The
+//    same ATP traffic driven through 1 shard vs 2. Requests here are
+//    latency-bound — each engine holds a request for its micro-batching
+//    window — so the aggregate win comes from shards overlapping those
+//    windows (and, on multicore, their compute), exactly as the
+//    multi-process deployment overlaps whole processes. Floor: 2-shard
+//    aggregate QPS >= 1.7x 1-shard.
+//
+// Output: stdout tables + results/bench_cluster.json. Exit 1 when a floor
+// is missed. MOSS_BENCH_SCALE=0 shrinks the workload (CI smoke) but the
+// floors stay enforced.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/segment.hpp"
+#include "harness.hpp"
+#include "json_report.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+using namespace moss;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double run_pass(serve::InferenceEngine& eng,
+                const std::vector<serve::Request>& reqs) {
+  const auto t0 = Clock::now();
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(reqs.size());
+  for (const auto& r : reqs) futs.push_back(eng.submit(r));
+  for (auto& f : futs) f.get();
+  return seconds_since(t0);
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/moss_bench_cluster_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::Scale::from_env();
+  const bool smoke = scale.sim_cycles < 1000;
+  const std::size_t kPool = smoke ? 8 : 16;
+  const int warm_rounds = smoke ? 2 : 4;
+
+  std::printf("=== moss_cluster: warm restart + shard scaling ===\n\n");
+
+  const auto& lib = cell::standard_library();
+  core::WorkflowConfig cfg;
+  cfg.model.hidden = 16;
+  cfg.model.rounds = 1;
+  cfg.dataset.sim_cycles = smoke ? 150 : 400;
+  cfg.dataset.threads = scale.threads;
+  cfg.encoder = {2048, 16, 9};
+  cfg.fine_tune.epochs = 1;
+  cfg.fine_tune.max_pairs_per_epoch = 10000;
+
+  // Design pool balanced against the 2-shard ring the scaling section will
+  // build (same vnodes/seed as RouterConfig defaults): exactly kPool/2
+  // designs per shard, so the scaling number measures shard overlap, not
+  // the hash skew of one particular tiny key set (ring balance has its own
+  // test in cluster_test).
+  const auto fams = data::families();
+  std::vector<data::DesignSpec> specs;
+  {
+    cluster::HashRing two_shard_ring(cluster::RouterConfig{}.vnodes,
+                                     cluster::RouterConfig{}.ring_seed);
+    two_shard_ring.add_shard(0);
+    two_shard_ring.add_shard(1);
+    std::size_t per_shard[2] = {0, 0};
+    for (std::size_t i = 0; specs.size() < kPool && i < 10000; ++i) {
+      data::DesignSpec s;
+      s.family = fams[i % fams.size()];
+      s.size_hint = 1;
+      s.seed = 0xC10 + i;
+      s.name = s.family + "_cl" + std::to_string(i);
+      const std::uint32_t owner =
+          two_shard_ring.owner(cluster::Router::design_key(s.name));
+      if (per_shard[owner] >= kPool / 2) continue;
+      ++per_shard[owner];
+      specs.push_back(std::move(s));
+    }
+  }
+  std::fprintf(stderr, "[labeling %zu circuits]\n", kPool);
+  const auto lcs = data::build_dataset(specs, lib, cfg.dataset);
+  std::vector<std::string> corpus;
+  for (const auto& lc : lcs) corpus.push_back(lc.module_text);
+
+  // Two boots of the same config + corpus: the shard before the kill and
+  // the shard the supervisor respawns. Restart-stable cache keying is the
+  // whole premise — check it before timing anything.
+  const auto session = serve::MossSession::load(cfg, corpus, "");
+  const auto respawned = serve::MossSession::load(cfg, corpus, "");
+  if (session->fingerprint() != respawned->fingerprint()) {
+    std::printf("FAIL: respawned session fingerprint differs "
+                "(%llx vs %llx) — persisted cache would never hit\n",
+                static_cast<unsigned long long>(session->fingerprint()),
+                static_cast<unsigned long long>(respawned->fingerprint()));
+    return 1;
+  }
+
+  std::vector<std::shared_ptr<const core::CircuitBatch>> members;
+  std::vector<std::shared_ptr<const data::LabeledCircuit>> circuits;
+  for (const auto& lc : lcs) {
+    circuits.push_back(std::make_shared<data::LabeledCircuit>(lc));
+    members.push_back(
+        std::make_shared<core::CircuitBatch>(session->build(lc)));
+  }
+
+  std::vector<serve::Request> rank_reqs;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    serve::Request r;
+    r.kind = serve::RequestKind::kFepRank;
+    r.rtl_text = lcs[i].module_text;
+    r.pool = "pool";
+    rank_reqs.push_back(std::move(r));
+  }
+
+  bench::JsonReport report("bench_cluster");
+
+  // --- 1. Warm restart: persisted cache vs cold respawn ------------------
+  std::printf("--- warm restart (FEP-rank, %zu-circuit pool) ---\n\n", kPool);
+  serve::EngineConfig ecfg;
+  ecfg.queue_capacity = 4 * kPool;
+  ecfg.max_delay_ms = 0;  // batching delay would mask the cache effect
+
+  TempDir cache_dir;
+  double cold_qps = 0.0, restart_qps = 0.0;
+  std::size_t saved_entries = 0;
+  {
+    // The no-persistence cold baseline: an engine with no cache serves
+    // every FEP-rank request at the full re-embed-the-pool cost — the same
+    // "cold" column results/bench_serve.json reports and the rate a
+    // respawned shard pays per uncached key. (An in-memory cache would
+    // warm mid-pass and hide the cost being measured.)
+    const int cold_passes = 3;
+    double cold_s = 0.0;
+    {
+      serve::ModelRegistry reg;
+      reg.install("default", session);
+      serve::InferenceEngine eng(reg, /*cache=*/nullptr, ecfg);
+      eng.register_pool("pool", members);
+      for (int b = 0; b < cold_passes; ++b) cold_s += run_pass(eng, rank_reqs);
+    }
+    cold_qps = static_cast<double>(rank_reqs.size()) * cold_passes / cold_s;
+
+    // The boot that survives: serve until fully warm, then "kill" the
+    // shard cleanly — flush its segments to disk.
+    serve::ModelRegistry reg;
+    reg.install("default", session);
+    serve::EmbeddingCache cache(256u << 20);
+    serve::InferenceEngine eng(reg, &cache, ecfg);
+    eng.register_pool("pool", members);
+    run_pass(eng, rank_reqs);
+    run_pass(eng, rank_reqs);
+    const cluster::SaveReport sr =
+        cluster::save_cache(cache_dir.path, cache, session->fingerprint());
+    saved_entries = sr.entries;
+    std::printf("shard 1st boot: cold first pass %.1f qps, flushed %zu "
+                "entries in %zu segment(s)\n",
+                cold_qps, sr.entries, sr.segments);
+  }
+  {
+    // Respawn: fresh process state (new session object, new engine, new
+    // cache), warm-started from the segment files.
+    serve::ModelRegistry reg;
+    reg.install("default", respawned);
+    serve::EmbeddingCache cache(256u << 20);
+    const cluster::LoadReport lr = cluster::load_cache(
+        cache_dir.path, cache, respawned->fingerprint());
+    serve::InferenceEngine eng(reg, &cache, ecfg);
+    eng.register_pool("pool", members);
+    double restart_s = 0.0;
+    for (int r = 0; r < warm_rounds; ++r) {
+      restart_s += run_pass(eng, rank_reqs);
+    }
+    restart_qps = static_cast<double>(rank_reqs.size()) * warm_rounds /
+                  restart_s;
+    std::printf("respawned shard: restored %zu/%zu entries "
+                "(%zu segment(s), %zu rejected), first passes %.1f qps\n",
+                lr.entries, saved_entries, lr.segments_loaded,
+                lr.segments_rejected, restart_qps);
+    report.metric("restored_entries", static_cast<std::int64_t>(lr.entries));
+  }
+  const double restart_speedup = restart_qps / cold_qps;
+  std::printf("warm-restart speedup: %.1fx (floor: 10x)\n\n",
+              restart_speedup);
+  report.metric("cold_qps", cold_qps);
+  report.metric("warm_restart_qps", restart_qps);
+  report.metric("warm_restart_speedup", restart_speedup);
+
+  // --- 2. Shard scaling: Router over 1 vs 2 LocalBackends ----------------
+  std::printf("--- shard scaling (ATP via Router, %zu designs, 8 drivers) "
+              "---\n\n", kPool);
+  // Per-token circuit resolution for the protocol layer, shared and
+  // pre-labeled so the measurement is pure routing + serving.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const data::LabeledCircuit>> by_name;
+  for (std::size_t i = 0; i < kPool; ++i) by_name[lcs[i].spec.name] = circuits[i];
+
+  serve::EngineConfig scfg;
+  scfg.queue_capacity = 4 * kPool;
+  scfg.threads = 1;          // per-shard compute fixed; shards are the axis
+  scfg.max_delay_ms = 15;    // each shard holds a micro-batching window —
+                             // the latency the second shard overlaps
+  const int kDrivers = 8;
+  const int kPassesPerDriver = smoke ? 1 : 2;
+
+  const auto qps_at = [&](std::size_t nshards) {
+    std::vector<std::unique_ptr<serve::ModelRegistry>> regs;
+    std::vector<std::unique_ptr<serve::InferenceEngine>> engines;
+    std::vector<std::unique_ptr<cluster::Backend>> backends;
+    for (std::size_t i = 0; i < nshards; ++i) {
+      regs.push_back(std::make_unique<serve::ModelRegistry>());
+      regs.back()->install("default", session);
+      engines.push_back(std::make_unique<serve::InferenceEngine>(
+          *regs.back(), nullptr, scfg));
+      serve::ProtocolConfig pcfg;
+      pcfg.load_design = [&by_name](const std::string& token)
+          -> std::shared_ptr<const data::LabeledCircuit> {
+        const auto it = by_name.find(token);
+        return it == by_name.end() ? nullptr : it->second;
+      };
+      backends.push_back(std::make_unique<cluster::LocalBackend>(
+          "s" + std::to_string(i), *engines.back(), std::move(pcfg)));
+    }
+    cluster::RouterConfig rcfg;
+    rcfg.replicas = 0;
+    cluster::Router router(std::move(backends), rcfg);
+
+    std::atomic<std::uint64_t> errors{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        for (int p = 0; p < kPassesPerDriver; ++p) {
+          for (std::size_t i = 0; i < kPool; ++i) {
+            const std::string resp = router.route(
+                "ATP " + lcs[(i + static_cast<std::size_t>(d)) % kPool].spec.name);
+            if (resp.rfind("OK ", 0) != 0) ++errors;
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+    const double elapsed = seconds_since(t0);
+    const double total = static_cast<double>(kDrivers) * kPassesPerDriver *
+                         static_cast<double>(kPool);
+    if (errors.load() != 0) {
+      std::printf("FAIL: %llu non-OK responses at %zu shard(s)\n",
+                  static_cast<unsigned long long>(errors.load()), nshards);
+    }
+    // Engines stop in their destructors; keep them alive until here.
+    return errors.load() == 0 ? total / elapsed : 0.0;
+  };
+
+  const double qps1 = qps_at(1);
+  const double qps2 = qps_at(2);
+  const double scaling = qps1 > 0.0 ? qps2 / qps1 : 0.0;
+  std::printf("%8s | %10s\n", "shards", "qps");
+  bench::print_rule(22);
+  std::printf("%8d | %10.1f\n", 1, qps1);
+  std::printf("%8d | %10.1f\n", 2, qps2);
+  bench::print_rule(22);
+  std::printf("2-shard scaling: %.2fx (floor: 1.7x)\n", scaling);
+  report.metric("qps_1_shard", qps1);
+  report.metric("qps_2_shards", qps2);
+  report.metric("scaling_2_shards", scaling);
+
+  const bool restart_ok = restart_speedup >= 10.0;
+  const bool scaling_ok = scaling >= 1.7;
+  report.metric("restart_floor_ok", restart_ok);
+  report.metric("scaling_floor_ok", scaling_ok);
+  report.write();
+  if (!restart_ok) std::printf("FAIL: warm-restart floor missed\n");
+  if (!scaling_ok) std::printf("FAIL: scaling floor missed\n");
+  return restart_ok && scaling_ok ? 0 : 1;
+}

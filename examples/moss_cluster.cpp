@@ -1,0 +1,209 @@
+// moss_cluster — shard-kill-survivable multi-process serving for MOSS.
+//
+//   moss_cluster <design>... --shards N [--replicas R] [--ckpt FILE]
+//                [--cache-dir DIR] [--serve-bin PATH] [--run-dir DIR]
+//
+// Spawns N moss_serve worker processes (one Unix socket + one persistent
+// MOSSSEG1 cache directory each), supervises them — SIGCHLD reaping,
+// bounded-backoff respawn of dirty deaths, clean exits honored — and
+// routes the line protocol from stdin across the fleet with consistent
+// hashing: the same design always lands on the same shard's warm cache,
+// and when that shard is down its keys fail over clockwise to a replica.
+//
+// Kill-a-shard demo (see README):
+//   $ moss_cluster alu:2 crc:2 fifo_ctrl:2 --shards 3 --ckpt moss.ckpt
+//         --cache-dir /tmp/moss-cache      (one command line)
+//   shard shard0 pid 41211
+//   ...
+//   ATP alu:2                  # routed to its owner shard
+//   OK ATP n=8 ...
+//   $ kill -9 41211            # murder the owner mid-traffic
+//   ATP alu:2                  # replica answers (or typed shard_down);
+//   OK ATP n=8 ...             # supervisor respawns shard0, which warm-
+//   HEALTH                     # starts from its cache segments
+//   OK HEALTH state=ok shards=3 up=3 down=0 ...
+//
+// Launcher-local commands on top of the routed protocol:
+//   SHARDS   supervisor view: state/pid/restarts per shard
+//   QUIT     graceful fleet shutdown (SIGTERM → drain+flush → exit 0)
+
+#include <csignal>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moss.hpp"
+
+using namespace moss;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> designs;
+  std::size_t shards = 2;
+  std::size_t replicas = 1;
+  std::string ckpt;
+  std::string cache_dir;            ///< per-shard subdirs created inside
+  std::string run_dir = "/tmp";     ///< socket files live here
+  std::string serve_bin;            ///< default: moss_serve next to argv[0]
+  int client_timeout_ms = 30000;    ///< per-exchange shard timeout
+};
+
+void usage() {
+  std::fputs(
+      "usage: moss_cluster <design>... [--shards N] [--replicas R]\n"
+      "       [--ckpt FILE] [--cache-dir DIR] [--run-dir DIR]\n"
+      "       [--serve-bin PATH] [--timeout-ms N]\n"
+      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
+      stderr);
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void on_terminate(int) { g_shutdown = 1; }
+
+/// moss_serve sits next to this binary unless --serve-bin says otherwise.
+std::string default_serve_bin(const char* argv0) {
+  std::string path = argv0;
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "moss_serve";
+  return path.substr(0, slash + 1) + "moss_serve";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--shards") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.shards = static_cast<std::size_t>(std::max(1, std::atoi(v)));
+    } else if (a == "--replicas") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.replicas = static_cast<std::size_t>(std::max(0, std::atoi(v)));
+    } else if (a == "--ckpt") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.ckpt = v;
+    } else if (a == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.cache_dir = v;
+    } else if (a == "--run-dir") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.run_dir = v;
+    } else if (a == "--serve-bin") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.serve_bin = v;
+    } else if (a == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.client_timeout_ms = std::max(100, std::atoi(v));
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage();
+      return 2;
+    } else {
+      opt.designs.push_back(a);
+    }
+  }
+  if (opt.designs.empty()) {
+    usage();
+    return 2;
+  }
+  if (opt.serve_bin.empty()) opt.serve_bin = default_serve_bin(argv[0]);
+
+  std::signal(SIGPIPE, SIG_IGN);
+  {
+    struct sigaction sa {};
+    sa.sa_handler = on_terminate;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: stdin getline returns on signal
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+  }
+
+  // Spawn the fleet. Every shard serves the full design list (any shard
+  // can answer any design — routing is an affinity optimization, not a
+  // partition), shares the one checkpoint, and persists its cache slice
+  // into its own subdirectory.
+  cluster::Supervisor supervisor;
+  std::vector<std::string> sockets;
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    const std::string name = "shard" + std::to_string(i);
+    const std::string socket_path =
+        opt.run_dir + "/moss_" + name + "_" + std::to_string(::getpid()) +
+        ".sock";
+    sockets.push_back(socket_path);
+    cluster::ShardSpec spec;
+    spec.name = name;
+    spec.argv = {opt.serve_bin};
+    for (const std::string& d : opt.designs) spec.argv.push_back(d);
+    if (!opt.ckpt.empty()) {
+      spec.argv.push_back("--ckpt");
+      spec.argv.push_back(opt.ckpt);
+    }
+    spec.argv.push_back("--socket");
+    spec.argv.push_back(socket_path);
+    spec.argv.push_back("--shard-name");
+    spec.argv.push_back(name);
+    spec.argv.push_back("--allow-stale");
+    if (!opt.cache_dir.empty()) {
+      spec.argv.push_back("--cache-dir");
+      spec.argv.push_back(opt.cache_dir + "/" + name);
+    }
+    supervisor.add_shard(std::move(spec));
+    std::fprintf(stderr, "shard %s pid %d socket %s\n", name.c_str(),
+                 static_cast<int>(supervisor.pid_of(i)), socket_path.c_str());
+  }
+  supervisor.start();
+
+  cluster::RouterConfig rcfg;
+  rcfg.replicas = opt.replicas;
+  std::vector<std::unique_ptr<cluster::Backend>> backends;
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    backends.push_back(std::make_unique<cluster::SocketBackend>(
+        "shard" + std::to_string(i), sockets[i], opt.client_timeout_ms));
+  }
+  cluster::Router router(std::move(backends), rcfg);
+
+  // Route stdin until QUIT/EOF/signal. FIFO-friendly: every response is
+  // one flush, so scripted drivers see answers immediately.
+  std::string line;
+  bool quit = false;
+  while (!quit && !g_shutdown && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "SHARDS") {
+      std::cout << "OK SHARDS\n";
+      for (const cluster::ShardStatus& s : supervisor.status()) {
+        std::cout << s.name << " state=" << cluster::to_string(s.state)
+                  << " pid=" << s.pid << " restarts=" << s.restarts << "\n";
+      }
+      std::cout << "." << std::endl;
+      continue;
+    }
+    std::cout << router.route(line, &quit) << std::endl;
+  }
+
+  std::fprintf(stderr, "moss_cluster: shutting down %zu shard(s)\n",
+               opt.shards);
+  supervisor.shutdown();
+  for (const cluster::ShardStatus& s : supervisor.status()) {
+    std::fprintf(stderr, "moss_cluster: %s final state=%s restarts=%d\n",
+                 s.name.c_str(), cluster::to_string(s.state), s.restarts);
+  }
+  for (const std::string& s : sockets) ::unlink(s.c_str());
+  return 0;
+}

@@ -2,6 +2,7 @@
 //
 //   moss_serve <design>... [--ckpt FILE] [--cache-mb N] [--max-batch N]
 //              [--max-delay-ms N] [--threads N] [--socket PATH]
+//              [--cache-dir DIR] [--shard-name NAME]
 //
 // Boots a warm MossSession (loaded from a `moss_cli train --save`
 // checkpoint when --ckpt is given — pass the same design list so the
@@ -10,6 +11,13 @@
 // FEP-rank pool, and then speaks the line protocol of serve/protocol.hpp
 // over stdin/stdout or, with --socket, over a Unix stream socket (one
 // client at a time; QUIT ends the connection, Ctrl-C ends the server).
+//
+// With --cache-dir the embedding cache is persistent: loaded from MOSSSEG1
+// segment files at boot (a respawned shard starts warm) and flushed back
+// on SIGTERM/SIGINT or the FLUSH command. Signals shut the server down
+// cleanly — drain in-flight requests, persist the cache, exit 0 — which is
+// how the moss_cluster supervisor tells an operator stop (no respawn) from
+// a crash (respawn).
 //
 // Example session:
 //   $ moss_serve alu:2 crc:2 fifo_ctrl:2
@@ -49,6 +57,8 @@ struct Options {
   std::vector<std::string> designs;
   std::string ckpt;
   std::string socket_path;
+  std::string cache_dir;   ///< persistent MOSSSEG1 cache; "" = memory only
+  std::string shard_name;  ///< identity echoed in HEALTH lines
   std::size_t cache_mb = 64;
   std::size_t max_batch = 8;
   int max_delay_ms = 2;
@@ -63,9 +73,25 @@ void usage() {
       "usage: moss_serve <design>... [--ckpt FILE] [--cache-mb N]\n"
       "       [--max-batch N] [--max-delay-ms N] [--threads N]\n"
       "       [--socket PATH] [--max-retries N] [--shed-threshold F]\n"
-      "       [--allow-stale]\n"
+      "       [--allow-stale] [--cache-dir DIR] [--shard-name NAME]\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
       stderr);
+}
+
+// SIGTERM/SIGINT request a clean shutdown: drain, persist the cache, exit
+// 0. Installed WITHOUT SA_RESTART so blocking accept()/read() return EINTR
+// and the serving loops notice the flag instead of blocking forever.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_terminate(int) { g_shutdown = 1; }
+
+void install_shutdown_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_terminate;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 }
 
 /// Must mirror `moss_cli train` exactly (model shape, encoder config,
@@ -129,18 +155,36 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-/// Serve one Unix-socket client with its own protocol handler.
+/// Serve one Unix-socket client with its own protocol handler. The line
+/// buffer is bounded by ProtocolConfig::max_line_bytes: a client streaming
+/// an endless line gets a typed "ERR bad_request" and the excess is
+/// discarded instead of buffered — the server's memory no longer belongs
+/// to its least honest client.
 void serve_connection(int fd, serve::InferenceEngine& engine,
                       const serve::ProtocolConfig& pcfg) {
   serve::ProtocolHandler handler(engine, pcfg);
+  const std::size_t cap = std::max<std::size_t>(16, pcfg.max_line_bytes);
   std::string pending;
   char buf[4096];
   bool quit = false;
+  bool discarding = false;  // inside an oversize line, dropping to newline
   while (!quit) {
     const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) {
+      if (g_shutdown) break;
+      continue;
+    }
     if (n <= 0) break;  // EOF or read error: client gone
     pending.append(buf, static_cast<std::size_t>(n));
+    if (discarding) {
+      const std::size_t nl = pending.find('\n');
+      if (nl == std::string::npos) {
+        pending.clear();
+        continue;
+      }
+      pending.erase(0, nl + 1);
+      discarding = false;
+    }
     std::size_t nl;
     while (!quit && (nl = pending.find('\n')) != std::string::npos) {
       const std::string line = pending.substr(0, nl);
@@ -149,6 +193,14 @@ void serve_connection(int fd, serve::InferenceEngine& engine,
       if (!write_all(fd, handler.handle_line(line, &quit) + "\n")) {
         quit = true;
       }
+    }
+    if (!quit && pending.size() > cap) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "ERR bad_request line exceeds %zu byte limit\n", cap);
+      if (!write_all(fd, msg)) break;
+      pending.clear();
+      discarding = true;
     }
   }
   close(fd);
@@ -176,10 +228,10 @@ int run_socket_server(const std::string& path, serve::InferenceEngine& engine,
     return 2;
   }
   std::fprintf(stderr, "moss_serve: listening on %s\n", path.c_str());
-  for (;;) {
+  while (!g_shutdown) {
     const int client = accept(fd, nullptr, nullptr);
     if (client < 0) {
-      if (errno == EINTR) continue;  // signal during accept: keep serving
+      if (errno == EINTR) continue;  // re-check g_shutdown, else re-accept
       break;
     }
     serve_connection(client, engine, pcfg);
@@ -229,6 +281,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(); return 2; }
       opt.shed_threshold = std::atof(v);
+    } else if (a == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.cache_dir = v;
+    } else if (a == "--shard-name") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      opt.shard_name = v;
     } else if (a == "--allow-stale") {
       opt.allow_stale = true;
     } else if (a.rfind("--", 0) == 0) {
@@ -246,6 +306,7 @@ int main(int argc, char** argv) {
   // A client that disconnects mid-response must not kill the server with
   // SIGPIPE; write() returns EPIPE instead, which write_all() handles.
   std::signal(SIGPIPE, SIG_IGN);
+  install_shutdown_handlers();
 
   try {
     const core::WorkflowConfig cfg = cli_compatible_config();
@@ -310,6 +371,24 @@ int main(int argc, char** argv) {
     ecfg.allow_stale = opt.allow_stale;
     serve::InferenceEngine engine(registry, &cache, ecfg);
 
+    // Persistent cache: warm-start from the previous generation's MOSSSEG1
+    // segments. Keys are fingerprint-derived, so entries only hit when the
+    // reloaded checkpoint is bit-identical to the one that wrote them;
+    // corrupt or mismatched segments cost only themselves (cold keys).
+    if (!opt.cache_dir.empty()) {
+      const cluster::LoadReport lr =
+          cluster::load_cache(opt.cache_dir, cache, session->fingerprint());
+      std::fprintf(stderr,
+                   "moss_serve: cache warm-start from %s: segments=%zu "
+                   "entries=%zu rejected=%zu\n",
+                   opt.cache_dir.c_str(), lr.segments_loaded, lr.entries,
+                   lr.segments_rejected);
+      if (!lr.first_error.empty()) {
+        std::fprintf(stderr, "moss_serve: (cold fallback) %s\n",
+                     lr.first_error.c_str());
+      }
+    }
+
     // The command-line designs form the FEP-rank pool.
     std::vector<std::shared_ptr<const core::CircuitBatch>> pool;
     for (const auto& lc : circuits) {
@@ -338,6 +417,19 @@ int main(int argc, char** argv) {
       if (it != boot->end()) return it->second;
       return load_token(token, dynamic_index++, dcfg);
     };
+    pcfg.shard_name = opt.shard_name;
+    if (!opt.cache_dir.empty()) {
+      const std::string dir = opt.cache_dir;
+      serve::EmbeddingCache* cache_ptr = &cache;
+      const std::uint64_t fp = session->fingerprint();
+      pcfg.flush = [dir, cache_ptr, fp]() -> std::string {
+        const cluster::SaveReport sr = cluster::save_cache(dir, *cache_ptr, fp);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "segments=%zu entries=%zu",
+                      sr.segments, sr.entries);
+        return buf;
+      };
+    }
 
     int rc = 0;
     if (!opt.socket_path.empty()) {
@@ -347,7 +439,25 @@ int main(int argc, char** argv) {
       const std::size_t handled = handler.run(std::cin, std::cout);
       std::fprintf(stderr, "moss_serve: handled %zu request(s)\n", handled);
     }
+
+    // Clean shutdown: drain in-flight batches, persist the cache, exit 0.
+    // The moss_cluster supervisor treats exit 0 as operator intent (no
+    // respawn); anything else — including SIGKILL, which never gets here —
+    // is a crash and respawns.
+    engine.stop();
+    if (!opt.cache_dir.empty()) {
+      const cluster::SaveReport sr =
+          cluster::save_cache(opt.cache_dir, cache, session->fingerprint());
+      std::fprintf(stderr,
+                   "moss_serve: cache flushed to %s: segments=%zu "
+                   "entries=%zu\n",
+                   opt.cache_dir.c_str(), sr.segments, sr.entries);
+    }
     std::fputs(engine.metrics_text().c_str(), stderr);
+    if (g_shutdown) {
+      std::fprintf(stderr, "moss_serve: clean shutdown (signal)\n");
+      return 0;
+    }
     return rc;
   } catch (const ContextError& e) {
     std::fprintf(stderr, "checkpoint error: %s\n", e.what());

@@ -1,0 +1,133 @@
+#include "cluster/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core_util/error.hpp"
+
+namespace moss::cluster {
+
+namespace {
+[[noreturn]] void fail_transient(const std::string& path,
+                                 const std::string& reason,
+                                 const std::string& msg) {
+  ErrorContext ctx;
+  ctx.add("socket", path).add("reason", reason).transient().fail(msg);
+}
+}  // namespace
+
+LineClient::LineClient(std::string socket_path, int timeout_ms)
+    : path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void LineClient::connect_locked() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    ErrorContext ctx;
+    ctx.add("socket", path_)
+        .add("reason", "bad_request")
+        .fail("socket path too long for sockaddr_un");
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail_transient(path_, "connect_failed",
+                   std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail_transient(path_, "connect_failed",
+                   std::string("connect(): ") + std::strerror(err));
+  }
+  fd_ = fd;
+  buf_.clear();
+}
+
+std::string LineClient::read_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms_);
+    if (pr == 0) {
+      close();
+      fail_transient(path_, "recv_timeout", "shard response timed out");
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      fail_transient(path_, "recv_timeout",
+                     std::string("poll(): ") + std::strerror(err));
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      close();
+      fail_transient(path_, "connection_closed",
+                     "shard closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      fail_transient(path_, "connection_closed",
+                     std::string("read(): ") + std::strerror(err));
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string LineClient::request(const std::string& line) {
+  if (fd_ < 0) connect_locked();
+  std::string wire = line;
+  wire.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      fail_transient(path_, "send_failed",
+                     std::string("send(): ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response = read_line();
+  // Block commands (METRICS, HELP) stream lines until a lone ".".
+  if (response == "OK METRICS" || response == "OK HELP") {
+    for (;;) {
+      const std::string part = read_line();
+      if (part == ".") break;
+      response.push_back('\n');
+      response += part;
+    }
+  }
+  return response;
+}
+
+}  // namespace moss::cluster

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+namespace moss::cluster {
+
+/// Blocking line-protocol client for one `moss_serve` Unix socket.
+///
+/// request() writes one protocol line and reads the response: a single
+/// "OK ..."/"ERR ..." line, or — for the block commands (METRICS, HELP) —
+/// everything up to the lone "." terminator, newline-joined. Every failure
+/// mode a dead or wedged shard can produce (connect refused, send on a
+/// closed socket, read timeout, EOF mid-response) raises a *transient*
+/// ContextError with reason=connect_failed / send_failed / recv_timeout /
+/// connection_closed and the socket path — exactly the shape the router's
+/// breaker/retry policies key off.
+///
+/// The connection is lazy and sticky: first request() connects, later ones
+/// reuse the socket, and any failure closes it so the next request
+/// reconnects from scratch (a respawned shard gets picked up without any
+/// router-side plumbing). Not thread-safe; the router serializes per
+/// backend.
+class LineClient {
+ public:
+  explicit LineClient(std::string socket_path, int timeout_ms = 5000);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Send `line` (newline appended) and return the full response without
+  /// its trailing newline / "." terminator line.
+  std::string request(const std::string& line);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void connect_locked();
+  /// One response line (without '\n'), from the buffer or the socket.
+  std::string read_line();
+
+  std::string path_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last returned line
+};
+
+}  // namespace moss::cluster

@@ -1,0 +1,87 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "core_util/error.hpp"
+#include "core_util/hash.hpp"
+
+namespace moss::cluster {
+
+namespace {
+std::uint64_t point_hash(std::uint64_t seed, std::uint32_t shard,
+                         std::size_t vnode) {
+  return HashBuilder()
+      .mix(std::string_view("MOSSRING"))
+      .mix(seed)
+      .mix(static_cast<std::uint64_t>(shard))
+      .mix(static_cast<std::uint64_t>(vnode))
+      .digest();
+}
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes, std::uint64_t seed)
+    : vnodes_(std::max<std::size_t>(1, vnodes)), seed_(seed) {}
+
+void HashRing::add_shard(std::uint32_t shard) {
+  if (has_shard(shard)) return;
+  shard_ids_.insert(
+      std::lower_bound(shard_ids_.begin(), shard_ids_.end(), shard), shard);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    points_.push_back({point_hash(seed_, shard, v), shard});
+  }
+  // Ties (two points with equal hash) resolve by shard id so insertion
+  // order never changes placement.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+void HashRing::remove_shard(std::uint32_t shard) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard](const Point& p) {
+                                 return p.shard == shard;
+                               }),
+                points_.end());
+  const auto it =
+      std::lower_bound(shard_ids_.begin(), shard_ids_.end(), shard);
+  if (it != shard_ids_.end() && *it == shard) shard_ids_.erase(it);
+}
+
+bool HashRing::has_shard(std::uint32_t shard) const {
+  return std::binary_search(shard_ids_.begin(), shard_ids_.end(), shard);
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) {
+    ErrorContext ctx;
+    ctx.add("reason", "empty_ring").fail("hash ring has no shards");
+  }
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->shard;
+}
+
+std::vector<std::uint32_t> HashRing::owners(std::uint64_t key,
+                                            std::size_t n) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty() || n == 0) return out;
+  n = std::min(n, shard_ids_.size());
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == points_.end()) it = points_.begin();
+  for (std::size_t steps = 0; steps < points_.size() && out.size() < n;
+       ++steps) {
+    const std::uint32_t shard = it->shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+    }
+    ++it;
+    if (it == points_.end()) it = points_.begin();
+  }
+  return out;
+}
+
+}  // namespace moss::cluster

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moss::cluster {
+
+/// Consistent hash ring mapping request keys onto shard indices.
+///
+/// Each shard contributes `vnodes` virtual points (FNV-1a of
+/// "MOSSRING" | seed | shard | vnode via HashBuilder — no std::hash, so the
+/// ring is bit-identical across processes and platforms; the router in the
+/// launcher and a router rebuilt after a crash agree on every placement).
+/// owner(key) is the first point clockwise of the key; owners(key, n) keeps
+/// walking to collect n *distinct* shards — the replica set the router
+/// fails over across when the primary is down.
+///
+/// Adding or removing one shard moves only ~1/N of the key space, so a
+/// fleet resize invalidates only that slice of each shard's warm cache.
+class HashRing {
+ public:
+  /// An empty ring is valid (owner() fails); add_shard() populates it.
+  explicit HashRing(std::size_t vnodes = 64, std::uint64_t seed = 0);
+
+  void add_shard(std::uint32_t shard);
+  void remove_shard(std::uint32_t shard);
+  bool has_shard(std::uint32_t shard) const;
+  std::size_t shard_count() const { return shard_ids_.size(); }
+  const std::vector<std::uint32_t>& shards() const { return shard_ids_; }
+
+  /// Shard owning `key`. Fails (ContextError reason=empty_ring) on an
+  /// empty ring.
+  std::uint32_t owner(std::uint64_t key) const;
+  /// Up to `n` distinct shards in ring order starting at key's owner:
+  /// owners(key, n)[0] == owner(key), the rest are the failover replicas.
+  std::vector<std::uint32_t> owners(std::uint64_t key, std::size_t n) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::size_t vnodes_;
+  std::uint64_t seed_;
+  std::vector<Point> points_;  ///< sorted by hash
+  std::vector<std::uint32_t> shard_ids_;  ///< sorted
+};
+
+}  // namespace moss::cluster

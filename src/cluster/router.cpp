@@ -1,0 +1,290 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core_util/error.hpp"
+#include "core_util/hash.hpp"
+#include "serve/cache.hpp"
+
+namespace moss::cluster {
+
+namespace {
+
+std::string first_token(const std::string& line) {
+  std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = line.find_first_of(" \t", b);
+  return line.substr(b, e == std::string::npos ? std::string::npos : e - b);
+}
+
+std::string rest_after_token(const std::string& line) {
+  std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = line.find_first_of(" \t", b);
+  if (e == std::string::npos) return {};
+  b = line.find_first_not_of(" \t", e);
+  if (b == std::string::npos) return {};
+  std::size_t last = line.find_last_not_of(" \t\r");
+  return line.substr(b, last - b + 1);
+}
+
+constexpr const char* kRouterHelp =
+    "ATP <design>      per-DFF arrival times (routed to the design's shard)\n"
+    "TRP <design>      per-cell toggle rates + power\n"
+    "EMBED <design>    netlist + RTL embeddings\n"
+    "RANK <design>     rank registered pool against the design's RTL\n"
+    "OWNER <design>    which shard the design's keys live on (no traffic)\n"
+    "FLUSH             broadcast: every shard persists its cache segments\n"
+    "METRICS           router stats + per-shard breaker states\n"
+    "HEALTH            fleet health roll-up\n"
+    "HELP              this text\n"
+    "QUIT              close the stream\n"
+    ".";
+
+}  // namespace
+
+Router::Router(std::vector<std::unique_ptr<Backend>> backends,
+               RouterConfig cfg)
+    : cfg_(cfg), ring_(cfg.vnodes, cfg.ring_seed) {
+  for (auto& b : backends) {
+    slots_.push_back(std::make_unique<Slot>(std::move(b), cfg_));
+    ring_.add_shard(static_cast<std::uint32_t>(slots_.size() - 1));
+  }
+}
+
+std::uint64_t Router::design_key(const std::string& token) {
+  // Canonicalize so "adder:8" and " adder:8 " (or a path with stray
+  // whitespace) land on the same shard — the same normalization the shards'
+  // own cache keys use for RTL text.
+  return HashBuilder()
+      .mix(std::string_view("MOSSROUTE"))
+      .mix(serve::canonical_rtl(token))
+      .digest();
+}
+
+std::string Router::exchange(std::size_t i, const std::string& line) {
+  Slot& slot = *slots_[i];
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  bool probe = false;
+  if (!slot.breaker.allow(&probe)) {
+    ErrorContext ctx;
+    ctx.add("shard", slot.backend->name())
+        .add("reason", "breaker_open")
+        .transient()
+        .fail("shard breaker is open");
+  }
+  std::uint64_t token;
+  {
+    const std::lock_guard<std::mutex> slock(stats_mu_);
+    token = ++token_seq_;
+  }
+  std::uint64_t retries = 0;
+  try {
+    std::string response = serve::with_retry(
+        cfg_.retry, &slot.budget, token,
+        [&] { return slot.backend->request(line); }, &retries);
+    slot.breaker.record(true, false, probe);
+    if (retries > 0) {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.retries += retries;
+    }
+    return response;
+  } catch (const std::exception& e) {
+    slot.breaker.record(false, serve::is_transient(e), probe);
+    if (retries > 0) {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.retries += retries;
+    }
+    throw;
+  }
+}
+
+std::string Router::route(const std::string& line, bool* quit) {
+  if (quit != nullptr) *quit = false;
+  const std::string cmd = first_token(line);
+  if (cmd.empty()) return "ERR bad_request empty line";
+  if (cmd == "QUIT") {
+    if (quit != nullptr) *quit = true;
+    return "OK BYE";
+  }
+  if (cmd == "HELP") return std::string("OK HELP\n") + kRouterHelp;
+  if (cmd == "HEALTH") return handle_health();
+  if (cmd == "METRICS") return handle_metrics();
+  if (cmd == "FLUSH") return handle_flush();
+  if (cmd != "ATP" && cmd != "TRP" && cmd != "EMBED" && cmd != "RANK" &&
+      cmd != "OWNER") {
+    return "ERR bad_request unknown command '" + cmd + "' (try HELP)";
+  }
+  const std::string design = rest_after_token(line);
+  if (design.empty()) return "ERR bad_request " + cmd + " needs a design";
+  if (cmd == "OWNER") {
+    // Placement lookup for operators and chaos harnesses (which shard to
+    // kill to hit this design) — answered from the ring, no shard traffic.
+    try {
+      const std::uint32_t owner = ring_.owner(design_key(design));
+      return "OK OWNER shard=" + slots_[owner]->backend->name();
+    } catch (const std::exception&) {
+      return "ERR shard_down shard=none no shards configured";
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.requests;
+  }
+  const std::vector<std::uint32_t> owners =
+      ring_.owners(design_key(design), 1 + cfg_.replicas);
+  std::string last_error;
+  for (std::size_t oi = 0; oi < owners.size(); ++oi) {
+    try {
+      std::string response = exchange(owners[oi], line);
+      if (oi > 0) {
+        const std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.failovers;
+      }
+      return response;
+    } catch (const std::exception& e) {
+      // Transport failure — the shard never answered. Its breaker has the
+      // report; move clockwise to the replica.
+      last_error = e.what();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.shard_down_errors;
+  }
+  std::string msg = last_error.empty() ? "no shards configured" : last_error;
+  std::replace(msg.begin(), msg.end(), '\n', ' ');
+  return "ERR shard_down shard=" +
+         (owners.empty() ? std::string("none")
+                         : slots_[owners[0]]->backend->name()) +
+         " " + msg;
+}
+
+serve::HealthState Router::health() {
+  std::size_t up = 0;
+  serve::HealthState worst = serve::HealthState::kOk;
+  bool any_breaker_open = false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (breaker_state(i) != serve::BreakerState::kClosed) {
+      any_breaker_open = true;
+    }
+    try {
+      const std::string r = exchange(i, "HEALTH");
+      if (r.rfind("OK HEALTH", 0) == 0) {
+        ++up;
+        // Parse the shard's own "state=..." field into the roll-up.
+        const std::size_t pos = r.find("state=");
+        if (pos != std::string::npos) {
+          const std::string state = r.substr(pos + 6, r.find(' ', pos) - pos - 6);
+          serve::HealthState s = serve::HealthState::kOk;
+          if (state == "degraded") s = serve::HealthState::kDegraded;
+          if (state == "overloaded") s = serve::HealthState::kOverloaded;
+          if (state == "down") s = serve::HealthState::kDown;
+          worst = std::max(worst, s);
+        }
+      }
+    } catch (const std::exception&) {
+      // Unreachable shard: reflected below via up==0 / breaker state.
+    }
+  }
+  if (up == 0) return serve::HealthState::kDown;
+  if (up < slots_.size() || any_breaker_open) {
+    worst = std::max(worst, serve::HealthState::kDegraded);
+  }
+  return worst;
+}
+
+std::string Router::handle_health() {
+  std::size_t up = 0, down = 0;
+  std::string shard_states;
+  serve::HealthState worst = serve::HealthState::kOk;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    bool reachable = false;
+    std::string state = "unreachable";
+    try {
+      const std::string r = exchange(i, "HEALTH");
+      if (r.rfind("OK HEALTH", 0) == 0) {
+        reachable = true;
+        const std::size_t pos = r.find("state=");
+        if (pos != std::string::npos) {
+          state = r.substr(pos + 6, r.find(' ', pos) - pos - 6);
+          serve::HealthState s = serve::HealthState::kOk;
+          if (state == "degraded") s = serve::HealthState::kDegraded;
+          if (state == "overloaded") s = serve::HealthState::kOverloaded;
+          if (state == "down") s = serve::HealthState::kDown;
+          worst = std::max(worst, s);
+        }
+      }
+    } catch (const std::exception&) {
+    }
+    reachable ? ++up : ++down;
+    shard_states += " " + slots_[i]->backend->name() + "=" + state;
+  }
+  serve::HealthState fleet = worst;
+  if (up == 0) {
+    fleet = serve::HealthState::kDown;
+  } else if (down > 0) {
+    fleet = std::max(fleet, serve::HealthState::kDegraded);
+  }
+  std::ostringstream out;
+  out << "OK HEALTH state=" << serve::to_string(fleet) << " shards="
+      << slots_.size() << " up=" << up << " down=" << down << shard_states;
+  return out.str();
+}
+
+std::string Router::handle_flush() {
+  // Broadcast: ask every reachable shard to persist its cache segments now,
+  // so a later SIGKILL costs at most the entries since this flush. One line
+  // per shard outcome; unreachable shards are reported, not fatal.
+  std::size_t flushed = 0;
+  std::string per_shard;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    std::string outcome;
+    try {
+      std::string r = exchange(i, "FLUSH");
+      std::replace(r.begin(), r.end(), '\n', ' ');
+      if (r.rfind("OK FLUSH", 0) == 0) {
+        ++flushed;
+        outcome = r.size() > 9 ? r.substr(9) : std::string("ok");
+      } else {
+        outcome = r;
+      }
+    } catch (const std::exception&) {
+      outcome = "unreachable";
+    }
+    per_shard += " " + slots_[i]->backend->name() + "=[" + outcome + "]";
+  }
+  return "OK FLUSH flushed=" + std::to_string(flushed) + "/" +
+         std::to_string(slots_.size()) + per_shard;
+}
+
+std::string Router::handle_metrics() {
+  RouterStats s = stats();
+  std::ostringstream out;
+  out << "OK METRICS\n"
+      << "router_requests " << s.requests << "\n"
+      << "router_failovers " << s.failovers << "\n"
+      << "router_shard_down_errors " << s.shard_down_errors << "\n"
+      << "router_transport_retries " << s.retries << "\n";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out << "router_breaker{shard=\"" << slots_[i]->backend->name() << "\"} "
+        << serve::to_string(breaker_state(i)) << "\n";
+  }
+  out << ".";
+  return out.str();
+}
+
+RouterStats Router::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+serve::BreakerState Router::breaker_state(std::size_t i) const {
+  const Slot& slot = *slots_[i];
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.breaker.state();
+}
+
+}  // namespace moss::cluster

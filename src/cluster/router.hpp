@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/ring.hpp"
+#include "serve/protocol.hpp"
+#include "serve/resilience.hpp"
+
+namespace moss::cluster {
+
+/// One shard endpoint as the router sees it. request() speaks whole
+/// protocol exchanges (one request line in, one framed response out) and
+/// throws *transient* ContextErrors for transport failures — a shard that
+/// answered "ERR ..." is alive and its answer is final; a shard that could
+/// not answer at all is a failover candidate.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual std::string request(const std::string& line) = 0;
+  virtual const std::string& name() const = 0;
+};
+
+/// Production backend: a moss_serve worker process behind a Unix socket.
+class SocketBackend : public Backend {
+ public:
+  SocketBackend(std::string name, std::string socket_path,
+                int timeout_ms = 5000)
+      : name_(std::move(name)), client_(std::move(socket_path), timeout_ms) {}
+
+  std::string request(const std::string& line) override {
+    return client_.request(line);
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  LineClient client_;
+};
+
+/// In-process backend over a ProtocolHandler — the same code path as a
+/// worker process minus the socket, which makes router behavior (routing,
+/// failover, health) unit-testable and benchable without fork/exec.
+class LocalBackend : public Backend {
+ public:
+  LocalBackend(std::string name, serve::InferenceEngine& engine,
+               serve::ProtocolConfig cfg)
+      : name_(std::move(name)), handler_(engine, std::move(cfg)) {}
+
+  std::string request(const std::string& line) override {
+    return handler_.handle_line(line);
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  serve::ProtocolHandler handler_;
+};
+
+struct RouterConfig {
+  /// Failover targets beyond the primary owner: each design key is served
+  /// by its owner, then by up to `replicas` next-distinct ring shards when
+  /// the owner is down.
+  std::size_t replicas = 1;
+  std::size_t vnodes = 64;
+  std::uint64_t ring_seed = 0;
+  /// Transport-level retry against ONE backend before failing over.
+  /// Deliberately tighter than the serve-side policy: the replica is the
+  /// real retry.
+  serve::RetryConfig retry{.max_attempts = 2,
+                           .base_backoff_ms = 5.0,
+                           .max_backoff_ms = 50.0};
+  /// Per-backend breaker; an open breaker skips the shard without paying
+  /// its connect timeout, and half-open probes notice the respawn.
+  serve::BreakerConfig breaker{.enabled = true,
+                               .failure_threshold = 3,
+                               .open_cooldown_ms = 500};
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t failovers = 0;         ///< served by a non-primary replica
+  std::uint64_t shard_down_errors = 0; ///< every owner unreachable
+  std::uint64_t retries = 0;           ///< transport retries performed
+};
+
+/// Stateless-per-request shard router: consistent-hashes each design onto
+/// its owner shard (so repeat traffic for a design always lands on the same
+/// warm cache) and fails over along the ring when the owner is down.
+///
+///   ATP/TRP/EMBED/RANK <design>  → owner shard, then replicas; when every
+///                                  owner is unreachable the caller gets a
+///                                  typed single line
+///                                  "ERR shard_down shard=<primary> ..."
+///                                  — never an exception, never a hang.
+///   OWNER <design>               → the design's primary shard (ring
+///                                  lookup only — for operators and chaos
+///                                  harnesses deciding which shard to kill)
+///   FLUSH                        → broadcast: every shard persists its
+///                                  cache segments now
+///   HEALTH                       → fleet roll-up across all backends
+///   METRICS                      → router stats + per-shard breaker states
+///   HELP / QUIT                  → answered locally
+///
+/// Per-backend state (mutex, CircuitBreaker, RetryBudget) mirrors the
+/// PR-4 registry slots: the breaker is not internally locked, so every
+/// touch happens under the slot mutex. Thread-safe: concurrent routes to
+/// different shards proceed in parallel; a shard's exchanges serialize.
+class Router {
+ public:
+  Router(std::vector<std::unique_ptr<Backend>> backends, RouterConfig cfg);
+
+  /// Handle one request line; never throws. Sets `quit` on QUIT.
+  std::string route(const std::string& line, bool* quit = nullptr);
+
+  /// Fleet health: DOWN when no backend answers, DEGRADED while any
+  /// breaker is non-closed (a shard is dead or being probed), else the
+  /// worst state any live shard reports.
+  serve::HealthState health();
+
+  RouterStats stats() const;
+  std::size_t backend_count() const { return slots_.size(); }
+  /// Breaker state of backend `i` (diagnostics / tests).
+  serve::BreakerState breaker_state(std::size_t i) const;
+
+  /// Ring key for a design token — exposed so tests/benches can predict
+  /// placement.
+  static std::uint64_t design_key(const std::string& token);
+
+ private:
+  struct Slot {
+    std::unique_ptr<Backend> backend;
+    mutable std::mutex mu;
+    serve::CircuitBreaker breaker;
+    serve::RetryBudget budget;
+    explicit Slot(std::unique_ptr<Backend> b, const RouterConfig& cfg)
+        : backend(std::move(b)), breaker(cfg.breaker) {}
+  };
+
+  /// One guarded exchange with slot `i`: breaker gate, transport retry,
+  /// outcome recording. Throws transient ContextError when unavailable.
+  std::string exchange(std::size_t i, const std::string& line);
+  std::string handle_health();
+  std::string handle_metrics();
+  std::string handle_flush();
+
+  RouterConfig cfg_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  HashRing ring_;
+
+  mutable std::mutex stats_mu_;
+  RouterStats stats_;
+  std::uint64_t token_seq_ = 0;  ///< retry-jitter token source
+};
+
+}  // namespace moss::cluster

@@ -1,0 +1,251 @@
+#include "cluster/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core_util/error.hpp"
+
+namespace moss::cluster {
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::kStarting: return "starting";
+    case ShardState::kRunning: return "running";
+    case ShardState::kBackoff: return "backoff";
+    case ShardState::kExited: return "exited";
+    case ShardState::kGaveUp: return "gave_up";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// SIGCHLD self-pipe: the handler does the only async-signal-safe thing —
+// one write — and the monitor thread's poll() wakes to reap. Process-global
+// because signal dispositions are.
+int g_sigchld_pipe[2] = {-1, -1};
+
+void sigchld_handler(int) {
+  const char b = 1;
+  // Best-effort: a full pipe still wakes the reader eventually.
+  [[maybe_unused]] ssize_t n = ::write(g_sigchld_pipe[1], &b, 1);
+}
+
+void install_sigchld_once() {
+  static bool installed = false;
+  if (installed) return;
+  if (::pipe(g_sigchld_pipe) != 0) {
+    ErrorContext ctx;
+    ctx.add("reason", "spawn_failed")
+        .fail(std::string("pipe(): ") + std::strerror(errno));
+  }
+  for (int fd : {g_sigchld_pipe[0], g_sigchld_pipe[1]}) {
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = sigchld_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART here (unlike the shard's SIGTERM handling): the monitor
+  // owns the self-pipe, nothing else should see EINTR for SIGCHLD.
+  sa.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  ::sigaction(SIGCHLD, &sa, nullptr);
+  installed = true;
+}
+
+// Signal the shard's whole process group; fall back to the direct child
+// if the group is already gone (or setpgid lost its race).
+void signal_shard(pid_t pid, int sig) {
+  if (::kill(-pid, sig) != 0) ::kill(pid, sig);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(cfg) {
+  install_sigchld_once();
+}
+
+Supervisor::~Supervisor() { shutdown(); }
+
+void Supervisor::spawn_locked(Shard& s) {
+  std::vector<char*> argv;
+  argv.reserve(s.spec.argv.size() + 1);
+  for (std::string& a : s.spec.argv) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    // Treat like a dirty death: backoff and try again rather than abort
+    // the whole fleet over a transient EAGAIN.
+    s.state = ShardState::kBackoff;
+    s.respawn_at = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(cfg_.backoff_cap_ms);
+    return;
+  }
+  if (pid == 0) {
+    // Child: own process group so shutdown can signal the shard's whole
+    // tree (a /bin/sh wrapper would otherwise die and orphan its
+    // grandchildren, which keep our inherited fds open), then reset
+    // dispositions the parent installed and exec.
+    ::setpgid(0, 0);
+    ::signal(SIGCHLD, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::execv(argv[0], argv.data());
+    // Exec failed — exit dirty so the supervisor counts it.
+    ::_exit(127);
+  }
+  // Both sides call setpgid to close the fork/exec race; whoever runs
+  // second gets a harmless EACCES/ESRCH.
+  ::setpgid(pid, pid);
+  s.pid = pid;
+  s.state = ShardState::kRunning;
+}
+
+std::size_t Supervisor::add_shard(ShardSpec spec) {
+  if (spec.argv.empty()) {
+    ErrorContext ctx;
+    ctx.add("shard", spec.name)
+        .add("reason", "bad_request")
+        .fail("shard spec has no argv");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(Shard{std::move(spec)});
+  spawn_locked(shards_.back());
+  return shards_.size() - 1;
+}
+
+void Supervisor::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Supervisor::reap_locked() {
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) break;
+    for (Shard& s : shards_) {
+      if (s.pid != pid) continue;
+      s.pid = -1;
+      s.last_exit_status = status;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (clean) {
+        // The shard drained, flushed its cache segments and exited 0 on
+        // purpose — honoring that is what makes `kill -TERM` an operator
+        // tool rather than a respawn trigger.
+        s.state = ShardState::kExited;
+      } else if (s.restarts >= cfg_.max_restarts) {
+        s.state = ShardState::kGaveUp;
+      } else {
+        int ms = cfg_.backoff_base_ms;
+        for (int i = 0; i < s.restarts && ms < cfg_.backoff_cap_ms; ++i) {
+          ms *= 2;
+        }
+        if (ms > cfg_.backoff_cap_ms) ms = cfg_.backoff_cap_ms;
+        s.state = ShardState::kBackoff;
+        s.respawn_at =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+        ++s.restarts;
+      }
+      break;
+    }
+  }
+}
+
+void Supervisor::monitor_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Wake on SIGCHLD, or after a bounded nap to service respawn timers.
+    pollfd pfd{g_sigchld_pipe[0], POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (pfd.revents & POLLIN) {
+      char drain[64];
+      while (::read(g_sigchld_pipe[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    reap_locked();
+    const auto now = std::chrono::steady_clock::now();
+    for (Shard& s : shards_) {
+      if (s.state == ShardState::kBackoff && now >= s.respawn_at) {
+        spawn_locked(s);
+      }
+    }
+  }
+}
+
+void Supervisor::shutdown() {
+  // Stop the monitor FIRST so a shard dying dirty mid-shutdown can't be
+  // respawned under us; this shutdown loop does its own reaping.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (monitor_.joinable()) monitor_.join();
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (Shard& s : shards_) {
+      if (s.pid > 0) signal_shard(s.pid, SIGTERM);
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.shutdown_grace_ms);
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      reap_locked();
+      bool any_live = false;
+      for (const Shard& s : shards_) any_live = any_live || s.pid > 0;
+      if (!any_live) {
+        // Nothing is coming back: fold pending-respawn states to exited so
+        // status() reads truthfully after shutdown.
+        for (Shard& s : shards_) {
+          if (s.state == ShardState::kBackoff) s.state = ShardState::kExited;
+        }
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        for (Shard& s : shards_) {
+          if (s.pid > 0) signal_shard(s.pid, SIGKILL);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+    stopping_.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ShardStatus> Supervisor::status() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    out.push_back({s.spec.name, s.state, s.pid, s.restarts,
+                   s.last_exit_status});
+  }
+  return out;
+}
+
+std::size_t Supervisor::running_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Shard& s : shards_) n += s.pid > 0 ? 1 : 0;
+  return n;
+}
+
+pid_t Supervisor::pid_of(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return i < shards_.size() ? shards_[i].pid : -1;
+}
+
+}  // namespace moss::cluster

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace moss::cluster {
+
+/// Command line for one supervised shard. argv[0] is the executable path;
+/// no shell is involved (fork + execv, arguments passed verbatim).
+struct ShardSpec {
+  std::string name;
+  std::vector<std::string> argv;
+};
+
+struct SupervisorConfig {
+  /// Dirty-exit respawns allowed per shard before it is given up on.
+  /// A clean exit (status 0 — the shard drained and flushed its cache in
+  /// response to SIGTERM) is final and never respawned.
+  int max_restarts = 8;
+  /// Exponential restart backoff: first respawn after base, doubling to cap.
+  int backoff_base_ms = 100;
+  int backoff_cap_ms = 5000;
+  /// SIGTERM→SIGKILL grace on shutdown().
+  int shutdown_grace_ms = 3000;
+};
+
+/// Lifecycle of one supervised shard, as reported by status().
+enum class ShardState : std::uint8_t {
+  kStarting = 0,   ///< spawned, not yet confirmed by the caller
+  kRunning = 1,
+  kBackoff = 2,    ///< died dirty; respawn timer pending
+  kExited = 3,     ///< exited clean (status 0); will not be respawned
+  kGaveUp = 4,     ///< max_restarts dirty exits; supervision abandoned
+};
+
+const char* to_string(ShardState s);
+
+struct ShardStatus {
+  std::string name;
+  ShardState state = ShardState::kStarting;
+  pid_t pid = -1;          ///< -1 when not running
+  int restarts = 0;        ///< dirty respawns performed so far
+  int last_exit_status = 0;///< raw waitpid status of the last death
+};
+
+/// Fork/exec process supervisor for a fleet of moss_serve shards: the
+/// "kill -9 a shard and the cluster heals" half of moss_cluster.
+///
+/// A monitor thread reaps children with waitpid(WNOHANG), woken by a
+/// SIGCHLD self-pipe (no polling loop, no signal-unsafe work in the
+/// handler). Deaths are classified by exit status: status 0 is a clean,
+/// operator-intended shutdown and is honored; anything else — crash,
+/// SIGKILL, nonzero exit — triggers a respawn after bounded exponential
+/// backoff, up to max_restarts, after which the shard is marked gave_up
+/// (the router keeps serving its keys from replicas).
+///
+/// One Supervisor per process: SIGCHLD disposition is process-global, so
+/// the self-pipe is installed by the first instance and shared.
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig cfg = {});
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawn one shard and start supervising it. Returns its index.
+  std::size_t add_shard(ShardSpec spec);
+
+  /// Begin monitoring (idempotent). add_shard may be called before or
+  /// after.
+  void start();
+
+  /// SIGTERM every live shard, wait up to shutdown_grace_ms for clean
+  /// exits, SIGKILL stragglers, stop monitoring. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  std::vector<ShardStatus> status() const;
+  /// Live (running) shard count right now.
+  std::size_t running_count() const;
+  /// pid of shard `i`, -1 when not running. For chaos tests to SIGKILL.
+  pid_t pid_of(std::size_t i) const;
+
+ private:
+  struct Shard {
+    ShardSpec spec;
+    ShardState state = ShardState::kStarting;
+    pid_t pid = -1;
+    int restarts = 0;
+    int last_exit_status = 0;
+    std::chrono::steady_clock::time_point respawn_at{};
+  };
+
+  void monitor_loop();
+  void spawn_locked(Shard& s);
+  void reap_locked();
+
+  SupervisorConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Shard> shards_;
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace moss::cluster

@@ -61,6 +61,7 @@ class MossModel {
 
   const MossConfig& config() const { return cfg_; }
   tensor::ParameterSet& params() { return params_; }
+  const tensor::ParameterSet& params() const { return params_; }
   /// The underlying GNN, for plan-driven propagation (moss::plan) that
   /// needs initial_state()/step() instead of the packaged forward.
   const gnn::TwoPhaseGnn& gnn() const { return gnn_; }

@@ -14,6 +14,11 @@
 #include "bdd/bdd.hpp"               // IWYU pragma: export
 #include "bdd/formal.hpp"            // IWYU pragma: export
 #include "cell/library.hpp"          // IWYU pragma: export
+#include "cluster/client.hpp"        // IWYU pragma: export
+#include "cluster/ring.hpp"          // IWYU pragma: export
+#include "cluster/router.hpp"        // IWYU pragma: export
+#include "cluster/segment.hpp"       // IWYU pragma: export
+#include "cluster/supervisor.hpp"    // IWYU pragma: export
 #include "clustering/clustering.hpp" // IWYU pragma: export
 #include "core/evaluate.hpp"         // IWYU pragma: export
 #include "core/features.hpp"         // IWYU pragma: export

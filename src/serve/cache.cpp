@@ -152,6 +152,20 @@ tensor::Tensor EmbeddingCache::get_or_compute(
   return value;
 }
 
+std::vector<std::pair<std::uint64_t, tensor::Tensor>>
+EmbeddingCache::export_entries() const {
+  std::vector<std::pair<std::uint64_t, tensor::Tensor>> out;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    // lru lists front = most recent; walk back-to-front for coldest-first.
+    for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+      const auto e = s.map.find(*it);
+      out.emplace_back(*it, e->second.value);
+    }
+  }
+  return out;
+}
+
 CacheStats EmbeddingCache::stats() const {
   CacheStats out;
   for (const Shard& s : shards_) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -18,10 +19,14 @@ namespace moss::serve {
 /// of the same RTL content-address to the same cache entry.
 std::string canonical_rtl(std::string_view text);
 
-/// Cache key constructors. Every key mixes the owning session's uid (see
-/// MossSession) so a hot-swapped model can never serve a predecessor's
-/// embeddings, plus a per-embedding-type tag so an RTL key can never
-/// collide with a netlist key for the same content.
+/// Cache key constructors. Every key mixes the owning session's content
+/// fingerprint (see MossSession::fingerprint) so a model with different
+/// parameters can never serve a predecessor's embeddings — while a
+/// respawned process that reloads the same checkpoint reproduces the same
+/// keys, which is what lets moss::cluster persist this cache across
+/// restarts. A per-embedding-type tag keeps an RTL key from ever colliding
+/// with a netlist key for the same content. (Parameter names below say
+/// `session_uid` for history; the serve engine passes the fingerprint.)
 std::uint64_t rtl_key(std::uint64_t session_uid, std::string_view rtl_text);
 std::uint64_t node_embedding_key(std::uint64_t session_uid,
                                  std::uint64_t batch_hash);
@@ -70,6 +75,14 @@ class EmbeddingCache {
   /// (deterministically identical) values; one wins the slot.
   tensor::Tensor get_or_compute(
       std::uint64_t key, const std::function<tensor::Tensor()>& compute);
+
+  /// Snapshot every resident entry for persistence (moss::cluster segment
+  /// files). Entries come out coldest-first per shard, shards in index
+  /// order — re-inserting them through put() in this order rebuilds the
+  /// same relative LRU recency (hottest entries end up most recent again).
+  /// Tensors are the cache's immutable stored handles; callers must not
+  /// mutate them.
+  std::vector<std::pair<std::uint64_t, tensor::Tensor>> export_entries() const;
 
   CacheStats stats() const;
   void clear();

@@ -37,8 +37,8 @@ EngineConfig validated(EngineConfig cfg) {
 
 /// Bridges plan::hashcons_node_embeddings onto the serve EmbeddingCache:
 /// cone rows live in the same byte budget as the other embeddings, keyed by
-/// cone_key(session uid, cone hash) so a hot-swapped model never reuses a
-/// predecessor's rows.
+/// cone_key(session fingerprint, cone hash) so a model with different
+/// parameters never reuses a predecessor's rows.
 class ConeCacheAdapter : public plan::ConeRowCache {
  public:
   ConeCacheAdapter(EmbeddingCache& cache, std::uint64_t session_uid)
@@ -289,14 +289,14 @@ Tensor InferenceEngine::node_embeddings(const MossSession& s,
     // packaged forward (and falls back to it internally for rounds != 1).
     if (plan != nullptr && cache_ != nullptr &&
         plan->batch_hash == batch_hash) {
-      ConeCacheAdapter cones(*cache_, s.uid());
+      ConeCacheAdapter cones(*cache_, s.fingerprint());
       return plan::hashcons_node_embeddings(s.model().gnn(), *plan, batch,
                                             cones);
     }
     return s.model().node_embeddings(batch).detach();
   };
   if (!cache_) return compute();
-  return cache_->get_or_compute(node_embedding_key(s.uid(), batch_hash),
+  return cache_->get_or_compute(node_embedding_key(s.fingerprint(), batch_hash),
                                 compute);
 }
 
@@ -310,7 +310,7 @@ Tensor InferenceEngine::netlist_embedding(const MossSession& s,
     return s.model().netlist_embedding(batch, h).detach();
   };
   if (!cache_) return compute();
-  return cache_->get_or_compute(netlist_key(s.uid(), batch_hash), compute);
+  return cache_->get_or_compute(netlist_key(s.fingerprint(), batch_hash), compute);
 }
 
 Tensor InferenceEngine::rtl_embedding(const MossSession& s,
@@ -320,7 +320,7 @@ Tensor InferenceEngine::rtl_embedding(const MossSession& s,
     return s.model().rtl_embedding(text).detach();
   };
   if (!cache_) return compute();
-  return cache_->get_or_compute(rtl_key(s.uid(), text), compute);
+  return cache_->get_or_compute(rtl_key(s.fingerprint(), text), compute);
 }
 
 InferenceEngine::ResolvedBatch InferenceEngine::resolve_batch(
@@ -338,10 +338,10 @@ InferenceEngine::ResolvedBatch InferenceEngine::resolve_batch(
   } else if (req.circuit) {
     // Batch construction is encoder-side tokenization against this
     // session's encoder, so the result is only valid for sessions sharing
-    // its uid — recorded so fallback paths know.
+    // its fingerprint — recorded so fallback paths know.
     rb.batch = std::make_shared<core::CircuitBatch>(s.build(*req.circuit));
     rb.hash = core::content_hash(*rb.batch);
-    rb.built_uid = s.uid();
+    rb.built_uid = s.fingerprint();
   } else {
     fail_typed("bad_request", "request needs a circuit or a prebuilt batch");
   }
@@ -416,12 +416,13 @@ std::optional<Response> InferenceEngine::try_serve_stale(
               ? req.rtl_text
               : (req.circuit ? req.circuit->module_text : req.rtl_text);
       if (!pool || text.empty()) return std::nullopt;
-      const std::optional<Tensor> r_e = cache_->get(rtl_key(s.uid(), text));
+      const std::optional<Tensor> r_e =
+          cache_->get(rtl_key(s.fingerprint(), text));
       if (!r_e) return std::nullopt;
       r.ranking.reserve(pool->members.size());
       for (std::size_t j = 0; j < pool->members.size(); ++j) {
         const std::optional<Tensor> n_e =
-            cache_->get(netlist_key(s.uid(), pool->hashes[j]));
+            cache_->get(netlist_key(s.fingerprint(), pool->hashes[j]));
         if (!n_e) return std::nullopt;  // partial rankings would mislead
         r.ranking.push_back(RankEntry{j, pool->members[j]->name,
                                       s.model().pair_score(*r_e, *n_e)});
@@ -441,7 +442,7 @@ std::optional<Response> InferenceEngine::try_serve_stale(
     std::shared_ptr<const core::CircuitBatch> batch;
     std::uint64_t bh = 0;
     if (rb != nullptr && rb->batch &&
-        (rb->built_uid == 0 || rb->built_uid == s.uid())) {
+        (rb->built_uid == 0 || rb->built_uid == s.fingerprint())) {
       batch = rb->batch;
       bh = rb->hash;
     } else if (req.batch) {
@@ -456,13 +457,15 @@ std::optional<Response> InferenceEngine::try_serve_stale(
     } else {
       return std::nullopt;
     }
-    const std::optional<Tensor> n_e = cache_->get(netlist_key(s.uid(), bh));
+    const std::optional<Tensor> n_e =
+        cache_->get(netlist_key(s.fingerprint(), bh));
     if (!n_e) return std::nullopt;
     r.embedding = n_e->data();
     const std::string& text =
         !req.rtl_text.empty() ? req.rtl_text : batch->module_text;
     if (!text.empty()) {
-      const std::optional<Tensor> r_e = cache_->get(rtl_key(s.uid(), text));
+      const std::optional<Tensor> r_e =
+          cache_->get(rtl_key(s.fingerprint(), text));
       if (!r_e) return std::nullopt;  // keep the response shape consistent
       r.rtl_embedding = r_e->data();
     }

@@ -174,8 +174,8 @@ class InferenceEngine {
   /// A request's circuit batch resolved exactly once per dispatch: the
   /// batch, its content hash (the cache key for every embedding derived
   /// from it) and — when the batch was built by a session rather than
-  /// provided by the caller — that session's uid, so fallback paths know
-  /// whether they may reuse it.
+  /// provided by the caller — that session's fingerprint, so fallback paths
+  /// know whether they may reuse it.
   struct ResolvedBatch {
     std::shared_ptr<const core::CircuitBatch> batch;
     std::shared_ptr<const plan::ExecutionPlan> plan;

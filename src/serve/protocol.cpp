@@ -4,8 +4,10 @@
 #include <cctype>
 #include <cstdio>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "core_util/error.hpp"
 #include "core_util/fault.hpp"
@@ -52,6 +54,7 @@ constexpr const char* kHelp =
     "RANK <design>     rank registered pool against the design's RTL\n"
     "METRICS [json]    serving metrics\n"
     "HEALTH            one-line health report\n"
+    "FLUSH             persist cache segments now (when configured)\n"
     "HELP              this text\n"
     "QUIT              close the stream\n"
     ".";
@@ -120,7 +123,27 @@ std::string ProtocolHandler::handle_line(const std::string& line,
                    : engine_.metrics_text() + ".");
     }
     if (cmd == "HEALTH") {
-      return "OK HEALTH " + engine_.health().line();
+      std::string out = "OK HEALTH " + engine_.health().line();
+      // Cache occupancy travels on the health line so fleet tooling (and
+      // the warm-restart CI check) can see a shard came up warm without a
+      // full METRICS round-trip.
+      if (const EmbeddingCache* cache = engine_.cache()) {
+        const CacheStats cs = cache->stats();
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      " cache_entries=%zu cache_hits=%llu", cs.entries,
+                      static_cast<unsigned long long>(cs.hits));
+        out += buf;
+      }
+      if (!cfg_.shard_name.empty()) out += " shard=" + cfg_.shard_name;
+      return out;
+    }
+    if (cmd == "FLUSH") {
+      if (!cfg_.flush) {
+        return "ERR bad_request this server has no persistent cache to "
+               "flush";
+      }
+      return "OK FLUSH " + cfg_.flush();
     }
 
     if (tok.size() < 2) return "ERR bad_request missing <design> operand";
@@ -203,10 +226,32 @@ std::string ProtocolHandler::handle_line(const std::string& line,
 }
 
 std::size_t ProtocolHandler::run(std::istream& in, std::ostream& out) {
-  std::string line;
+  // Bounded reads: istream::getline into a fixed buffer instead of
+  // std::getline into a growing string, so a client streaming an endless
+  // line costs max_line_bytes of memory, not all of it. The oversize line
+  // is answered typed and its excess discarded without buffering.
+  const std::size_t cap = std::max<std::size_t>(16, cfg_.max_line_bytes);
+  std::vector<char> buf(cap + 1);
   std::size_t handled = 0;
   bool quit = false;
-  while (!quit && std::getline(in, line)) {
+  while (!quit && in) {
+    in.getline(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::size_t n = static_cast<std::size_t>(in.gcount());
+    if (in.fail() && !in.eof()) {
+      if (n == buf.size() - 1) {  // line longer than the buffer
+        out << "ERR bad_request line exceeds " << cap
+            << " byte limit\n";
+        out.flush();
+        ++handled;
+        in.clear();
+        in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+        continue;
+      }
+      break;  // stream is broken, not oversized
+    }
+    if (n == 0 && in.eof()) break;
+    std::string line(buf.data());
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     out << handle_line(line, &quit) << "\n";
     out.flush();

@@ -19,6 +19,7 @@ namespace moss::serve {
 ///   RANK <design>         rank the registered pool against the design's RTL
 ///   METRICS [json]        serving metrics dump
 ///   HEALTH                one-line health report (OK/DEGRADED/...)
+///   FLUSH                 persist cache segments now (when configured)
 ///   HELP                  command summary
 ///   QUIT                  close the stream
 ///
@@ -44,6 +45,19 @@ struct ProtocolConfig {
   /// Retry budget shared by every handler of one server process; when
   /// null the handler makes a private one in its constructor.
   std::shared_ptr<RetryBudget> retry_budget;
+  /// Hard bound on one request line. run() refuses longer lines with a
+  /// typed "ERR bad_request ..." and discards the excess instead of
+  /// buffering it — a hostile or broken client can no longer grow a
+  /// server-side string without limit. Protocol commands are tens of bytes;
+  /// 1 MiB leaves room for absurd-but-honest design paths.
+  std::size_t max_line_bytes = 1u << 20;
+  /// Shard identity echoed in HEALTH responses (" shard=<name>") so fleet
+  /// tooling can attribute a multiplexed health line. Empty = omitted.
+  std::string shard_name;
+  /// FLUSH hook: persist server state (moss::cluster cache segments) on
+  /// demand. Returns a short status fragment for the "OK FLUSH <...>"
+  /// response line. Unset = FLUSH answers ERR bad_request.
+  std::function<std::string()> flush;
 };
 
 /// Stateful protocol handler: owns the per-token circuit cache and turns

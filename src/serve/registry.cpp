@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "core_util/error.hpp"
+#include "core_util/hash.hpp"
 #include "tensor/serialize.hpp"
 
 namespace moss::serve {
@@ -16,6 +17,37 @@ std::uint64_t next_session_uid() {
 }  // namespace
 
 MossSession::MossSession() : uid_(next_session_uid()) {}
+
+void MossSession::seal() {
+  // Everything a deterministic forward pass reads: parameter tensors (with
+  // names and shapes — a renamed or reshaped head must not collide), the
+  // frozen encoder's table/pooling weights/centering vector, and the config
+  // fields that steer propagation (rounds changes outputs at identical
+  // parameters). Batch-side inputs (features, schedule) are hashed
+  // separately into each cache key's batch content hash.
+  HashBuilder hb;
+  hb.mix(std::string_view("MOSSFPR1"));
+  const core::MossConfig& mc = model_->config();
+  hb.mix(static_cast<std::uint64_t>(mc.hidden));
+  hb.mix(static_cast<std::int64_t>(mc.rounds));
+  hb.mix(static_cast<std::uint64_t>(mc.alignment ? 1 : 0));
+  hb.mix(static_cast<std::uint64_t>(mc.attention ? 1 : 0));
+  const tensor::ParameterSet& ps = model_->params();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    hb.mix(ps.names()[i]);
+    const tensor::Tensor& t = ps.tensors()[i];
+    hb.mix(static_cast<std::uint64_t>(t.rows()));
+    hb.mix(static_cast<std::uint64_t>(t.cols()));
+    hb.mix(t.data());
+  }
+  const lm::TextEncoder& enc = *encoder_;
+  hb.mix(static_cast<std::uint64_t>(enc.config().vocab_size));
+  hb.mix(static_cast<std::uint64_t>(enc.dim()));
+  hb.mix(enc.table().data());
+  hb.mix(enc.token_weights());
+  hb.mix(enc.center());
+  fingerprint_ = hb.digest();
+}
 
 std::shared_ptr<const MossSession> MossSession::load(
     const core::WorkflowConfig& cfg, const std::vector<std::string>& corpus,
@@ -35,6 +67,7 @@ std::shared_ptr<const MossSession> MossSession::load(
   }
   s->encoder_ = s->owned_encoder_.get();
   s->model_ = s->owned_model_.get();
+  s->seal();
   return s;
 }
 
@@ -43,6 +76,7 @@ std::shared_ptr<const MossSession> MossSession::adopt(
   auto s = std::shared_ptr<MossSession>(new MossSession());
   s->encoder_ = &encoder;
   s->model_ = &model;
+  s->seal();
   return s;
 }
 

@@ -19,9 +19,16 @@ namespace moss::serve {
 /// in-flight request via shared_ptr<const>, so a hot-swap never invalidates
 /// work already dispatched.
 ///
-/// Each session carries a process-unique `uid` that is mixed into every
-/// embedding-cache key: after a reload/hot-swap, the new session's results
-/// can never alias the old session's cached embeddings.
+/// Each session carries a process-unique `uid` (registry bookkeeping: swap
+/// observability, outcome-report guards) and a content-derived
+/// `fingerprint` — a hash of every model parameter, the encoder state and
+/// the forward-pass config. The *fingerprint* is what embedding-cache keys
+/// mix in: sessions with different parameters can never alias each other's
+/// cached embeddings, while a respawned process that loads the same
+/// checkpoint over the same corpus reproduces the same fingerprint — the
+/// property that makes an on-disk embedding cache (moss::cluster) sound
+/// across restarts. Inference is deterministic, so two sessions sharing a
+/// fingerprint produce bit-identical embeddings by construction.
 class MossSession {
  public:
   /// Owning load: construct the encoder from `cfg.encoder`, fine-tune it on
@@ -45,6 +52,12 @@ class MossSession {
   const lm::TextEncoder& encoder() const { return *encoder_; }
   const core::MossConfig& config() const { return model_->config(); }
   std::uint64_t uid() const { return uid_; }
+  /// Content hash of everything a forward pass depends on: model parameter
+  /// tensors (names, shapes, values), encoder table/token-weights/center,
+  /// and the config fields that steer propagation. Computed once at
+  /// load()/adopt() — sessions are immutable afterwards. Equal fingerprints
+  /// ⇒ bit-identical outputs for equal inputs.
+  std::uint64_t fingerprint() const { return fingerprint_; }
 
   /// Build a model-ready batch for a labeled circuit with this session's
   /// encoder and feature config.
@@ -52,8 +65,10 @@ class MossSession {
 
  private:
   MossSession();
+  void seal();  ///< compute fingerprint_ once encoder_/model_ are final
 
   std::uint64_t uid_;
+  std::uint64_t fingerprint_ = 0;
   std::unique_ptr<lm::TextEncoder> owned_encoder_;
   std::unique_ptr<core::MossModel> owned_model_;
   const lm::TextEncoder* encoder_ = nullptr;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -162,6 +163,46 @@ TEST_F(NegativeProtocol, CaseInsensitiveCommandsAndQuit) {
   bool quit = false;
   EXPECT_EQ(handler_->handle_line("quit", &quit), "OK BYE");
   EXPECT_TRUE(quit);
+}
+
+TEST_F(NegativeProtocol, OversizeRequestLineIsRefusedTyped) {
+  // run() must bound per-line buffering: a hostile client streaming an
+  // endless line gets a typed bad_request and the stream keeps serving
+  // later (honest) lines instead of buffering without limit.
+  serve::ProtocolConfig pcfg;
+  pcfg.load_design = [](const std::string&)
+      -> std::shared_ptr<const data::LabeledCircuit> { return nullptr; };
+  pcfg.max_line_bytes = 64;
+  serve::ProtocolHandler bounded(engine_, std::move(pcfg));
+
+  std::istringstream in("ATP " + std::string(1 << 20, 'x') + "\nHELP\nQUIT\n");
+  std::ostringstream out;
+  const std::size_t handled = bounded.run(in, out);
+  const std::string output = out.str();
+  EXPECT_NE(output.find("ERR bad_request line exceeds 64 byte limit"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("OK HELP"), std::string::npos)
+      << "stream must recover after the oversize line: " << output;
+  EXPECT_NE(output.find("OK BYE"), std::string::npos) << output;
+  EXPECT_EQ(handled, 3u);  // oversize + HELP + QUIT
+}
+
+TEST_F(NegativeProtocol, OversizeLineWithoutNewlineStopsAtEof) {
+  serve::ProtocolConfig pcfg;
+  pcfg.load_design = [](const std::string&)
+      -> std::shared_ptr<const data::LabeledCircuit> { return nullptr; };
+  pcfg.max_line_bytes = 64;
+  serve::ProtocolHandler bounded(engine_, std::move(pcfg));
+
+  // No terminating newline at all: refuse typed, then hit EOF — no hang,
+  // no unbounded growth.
+  std::istringstream in(std::string(4096, 'y'));
+  std::ostringstream out;
+  bounded.run(in, out);
+  EXPECT_NE(out.str().find("ERR bad_request line exceeds"),
+            std::string::npos)
+      << out.str();
 }
 
 TEST_F(NegativeProtocol, AdminCommandsWorkWithoutAnyModel) {
