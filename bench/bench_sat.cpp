@@ -1,0 +1,214 @@
+// SAT oracle economics: what the miter-based equivalence oracle costs per
+// proof, with floors.
+//
+// 1. Variant proofs. Every design family is synthesized twice (default
+//    options vs. gate-tree merging and inverter fusion disabled) and the
+//    oracle must prove the pair EQUIVALENT. These are UNSAT instances —
+//    the expensive direction — and most settle on the combinational cut.
+//
+// 2. Mutant refutations. Seeded single-site mutations of each golden
+//    netlist are checked; the oracle proves them NOT_EQUIVALENT with an
+//    aig_sim-confirmed counterexample (or, rarely, EQUIVALENT when the
+//    mutation lands on a don't-care). These are the instances hard-negative
+//    mining feeds on, so their throughput bounds mining throughput.
+//
+// 3. Mining yield. mine_hard_negatives over one family with a
+//    scores-everything-equivalent head stub: every proven-inequivalent
+//    candidate must be kept, the run must be deterministic (two runs,
+//    identical negatives), and the yield floor is >= 1 mined negative.
+//
+// Floors (enforced at every MOSS_BENCH_SCALE, exit 1 when missed):
+//   - variant proofs  >= 2/s   (observed ~600/s on one core)
+//   - mutant proofs   >= 5/s   (observed ~1900/s on one core)
+//   - mined negatives >= 1, byte-deterministic across two runs
+//
+// Output: stdout tables + results/bench_sat.json. MOSS_BENCH_SCALE=0
+// shrinks the family/mutant counts (CI smoke); 2 widens them.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/mutate.hpp"
+#include "harness.hpp"
+#include "json_report.hpp"
+#include "sat/mine.hpp"
+#include "sat/oracle.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace moss;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int scale_from_env() {
+  const char* env = std::getenv("MOSS_BENCH_SCALE");
+  return env != nullptr ? std::atoi(env) : 1;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = scale_from_env();
+  const std::size_t family_cap = scale == 0 ? 4 : data::families().size();
+  const std::size_t mutants_per_family = scale == 0 ? 2 : scale == 1 ? 6 : 12;
+  const int size_hint = scale >= 2 ? 2 : 1;
+  const auto& lib = cell::standard_library();
+
+  bench::JsonReport report("bench_sat");
+  report.metric("scale", static_cast<std::int64_t>(scale));
+
+  // ---- build golden + variant netlists per family ------------------------
+  struct FamilyPair {
+    std::string family;
+    netlist::Netlist golden;
+    netlist::Netlist variant;
+  };
+  std::vector<FamilyPair> pairs;
+  for (const auto& fam : data::families()) {
+    if (pairs.size() >= family_cap) break;
+    data::DesignSpec spec{fam, size_hint, 7, fam + "_bench"};
+    const rtl::Module m = data::generate(spec);
+    synth::SynthOptions variant_opts;
+    variant_opts.merge_gate_trees = false;
+    variant_opts.fuse_inverters = false;
+    variant_opts.name_suffix = "_variant";
+    pairs.push_back({fam, synth::synthesize(m, lib),
+                     synth::synthesize(m, lib, variant_opts)});
+  }
+
+  // ---- 1. variant proofs (UNSAT direction) -------------------------------
+  const sat::EquivOracle oracle;
+  std::printf("%-16s %-16s %10s %8s %6s\n", "family", "verdict", "conflicts",
+              "cut", "ms");
+  bench::print_rule(5);
+  std::size_t variant_equivalent = 0;
+  std::uint64_t variant_conflicts = 0;
+  const auto t_variant = Clock::now();
+  for (const auto& p : pairs) {
+    const auto t0 = Clock::now();
+    const sat::OracleResult res = oracle.check(p.golden, p.variant);
+    const double ms = seconds_since(t0) * 1e3;
+    if (res.verdict == sat::Verdict::kEquivalent) ++variant_equivalent;
+    variant_conflicts += res.stats.conflicts;
+    std::printf("%-16s %-16s %10llu %8s %6.1f\n", p.family.c_str(),
+                sat::to_string(res.verdict),
+                static_cast<unsigned long long>(res.stats.conflicts),
+                res.proven_by_cut ? "yes" : "no", ms);
+    report.row("variant_proofs",
+               {{"family", p.family},
+                {"verdict", std::string(sat::to_string(res.verdict))},
+                {"conflicts", static_cast<std::int64_t>(res.stats.conflicts)},
+                {"proven_by_cut", res.proven_by_cut},
+                {"ms", ms}});
+  }
+  const double variant_s = seconds_since(t_variant);
+  const double variant_qps = static_cast<double>(pairs.size()) / variant_s;
+  const bool variant_all_ok = variant_equivalent == pairs.size();
+  std::printf("variant proofs: %zu/%zu equivalent, %.1f proofs/s "
+              "(%llu conflicts total)\n\n",
+              variant_equivalent, pairs.size(), variant_qps,
+              static_cast<unsigned long long>(variant_conflicts));
+
+  // ---- 2. mutant refutations (SAT direction + BMC) -----------------------
+  std::size_t mutant_checks = 0, mutant_neq = 0, mutant_eq = 0,
+              mutant_unknown = 0, cex_confirmed = 0;
+  const auto t_mutant = Clock::now();
+  for (const auto& p : pairs) {
+    Rng rng(13);
+    const auto muts =
+        data::sample_mutations(p.golden, mutants_per_family, rng);
+    for (const auto& mut : muts) {
+      const netlist::Netlist bad = data::apply_mutation(p.golden, mut, "_m");
+      const sat::OracleResult res = oracle.check(p.golden, bad);
+      ++mutant_checks;
+      switch (res.verdict) {
+        case sat::Verdict::kNotEquivalent:
+          ++mutant_neq;
+          if (res.cex.confirmed) ++cex_confirmed;
+          break;
+        case sat::Verdict::kEquivalent: ++mutant_eq; break;
+        case sat::Verdict::kUnknown: ++mutant_unknown; break;
+      }
+    }
+  }
+  const double mutant_s = seconds_since(t_mutant);
+  const double mutant_qps = static_cast<double>(mutant_checks) / mutant_s;
+  // Every NOT_EQUIVALENT verdict must carry a replay-confirmed cex.
+  const bool cex_all_confirmed = cex_confirmed == mutant_neq;
+  std::printf("mutant proofs: %zu checks, %zu inequivalent (%zu cex "
+              "confirmed), %zu equivalent, %zu unknown, %.1f proofs/s\n\n",
+              mutant_checks, mutant_neq, cex_confirmed, mutant_eq,
+              mutant_unknown, mutant_qps);
+
+  // ---- 3. mining yield + determinism -------------------------------------
+  sat::MinerConfig mcfg;
+  mcfg.seed = 9;
+  mcfg.candidates = scale == 0 ? 4 : 12;
+  const auto fooled_head = [](const netlist::Netlist&) { return 1.0f; };
+  const auto t_mine = Clock::now();
+  const sat::MineReport mine_a =
+      sat::mine_hard_negatives(pairs.front().golden, fooled_head, mcfg);
+  const double mine_s = seconds_since(t_mine);
+  const sat::MineReport mine_b =
+      sat::mine_hard_negatives(pairs.front().golden, fooled_head, mcfg);
+  bool mine_deterministic = mine_a.negatives.size() == mine_b.negatives.size();
+  for (std::size_t i = 0; mine_deterministic && i < mine_a.negatives.size();
+       ++i) {
+    mine_deterministic = mine_a.negatives[i].name == mine_b.negatives[i].name &&
+                         mine_a.negatives[i].verilog ==
+                             mine_b.negatives[i].verilog &&
+                         mine_a.negatives[i].conflicts ==
+                             mine_b.negatives[i].conflicts;
+  }
+  std::printf("mining (%s, %zu candidates): %zu negatives in %.2fs, "
+              "deterministic=%s\n\n",
+              pairs.front().family.c_str(), mcfg.candidates,
+              mine_a.negatives.size(), mine_s,
+              mine_deterministic ? "yes" : "no");
+
+  // ---- floors -------------------------------------------------------------
+  const double variant_floor = 2.0, mutant_floor = 5.0;
+  const bool variant_floor_ok = variant_qps >= variant_floor;
+  const bool mutant_floor_ok = mutant_qps >= mutant_floor;
+  const bool mine_floor_ok = !mine_a.negatives.empty() && mine_deterministic;
+  const bool ok = variant_all_ok && cex_all_confirmed && variant_floor_ok &&
+                  mutant_floor_ok && mine_floor_ok;
+
+  report.metric("families", static_cast<std::int64_t>(pairs.size()));
+  report.metric("variant_all_equivalent", variant_all_ok);
+  report.metric("variant_proofs_per_s", variant_qps);
+  report.metric("variant_conflicts",
+                static_cast<std::int64_t>(variant_conflicts));
+  report.metric("mutant_checks", static_cast<std::int64_t>(mutant_checks));
+  report.metric("mutant_proven_inequivalent",
+                static_cast<std::int64_t>(mutant_neq));
+  report.metric("mutant_cex_confirmed",
+                static_cast<std::int64_t>(cex_confirmed));
+  report.metric("mutant_proven_equivalent",
+                static_cast<std::int64_t>(mutant_eq));
+  report.metric("mutant_unknown", static_cast<std::int64_t>(mutant_unknown));
+  report.metric("mutant_proofs_per_s", mutant_qps);
+  report.metric("mined_negatives",
+                static_cast<std::int64_t>(mine_a.negatives.size()));
+  report.metric("mine_deterministic", mine_deterministic);
+  report.metric("variant_floor_ok", variant_floor_ok);
+  report.metric("mutant_floor_ok", mutant_floor_ok);
+  report.metric("mine_floor_ok", mine_floor_ok);
+  report.metric("pass", ok);
+  if (!report.write()) std::fprintf(stderr, "warning: json write failed\n");
+
+  std::printf("floors: variant %.1f/s (>= %.1f) %s | mutant %.1f/s (>= %.1f) "
+              "%s | mined %zu (>= 1, deterministic) %s\n",
+              variant_qps, variant_floor, variant_floor_ok ? "ok" : "MISS",
+              mutant_qps, mutant_floor, mutant_floor_ok ? "ok" : "MISS",
+              mine_a.negatives.size(), mine_floor_ok ? "ok" : "MISS");
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

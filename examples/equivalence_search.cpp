@@ -4,13 +4,21 @@
 // serves it through the moss::serve inference engine (the candidates are a
 // registered FEP-rank pool, so repeated queries hit the embedding cache),
 // and verifies the winner with the golden co-simulation checker.
+//
+// With --exact [K], the learned top-K is additionally routed through the
+// miter-based SAT oracle (moss::sat), which PROVES each candidate
+// equivalent or inequivalent and reports where the learned ranking and the
+// proofs disagree — co-simulation can only ever say "no mismatch found".
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "core/evaluate.hpp"
 #include "core/trainer.hpp"
+#include "sat/oracle.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
@@ -18,7 +26,18 @@
 
 using namespace moss;
 
-int main() {
+int main(int argc, char** argv) {
+  bool exact = false;
+  std::size_t exact_k = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exact") == 0) {
+      exact = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        exact_k = static_cast<std::size_t>(
+            std::max(1, std::atoi(argv[++i])));
+      }
+    }
+  }
   const auto& lib = cell::standard_library();
   data::DatasetConfig dcfg;
   dcfg.sim_cycles = 800;
@@ -99,6 +118,35 @@ int main() {
   for (std::size_t r = 0; r < std::min<std::size_t>(5, hits.size()); ++r) {
     std::printf("%-5zu %-24s %-10.3f %s\n", r + 1, hits[r].name.c_str(),
                 hits[r].score, hits[r].index == query ? "<- true match" : "");
+  }
+
+  // Exact mode: prove (not just score) the top-K. Each candidate netlist
+  // is checked against the query RTL by the SAT oracle; the learned
+  // ranking claims rank 1 is the equivalent one, so every proven verdict
+  // that contradicts the ranking is a disagreement — exactly the cases
+  // hard-negative mining exists to harvest.
+  if (exact) {
+    const sat::EquivOracle oracle;
+    const std::size_t k = std::min<std::size_t>(exact_k, hits.size());
+    std::size_t disagreements = 0;
+    std::printf("\nexact top-%zu (SAT oracle):\n", k);
+    for (std::size_t r = 0; r < k; ++r) {
+      const sat::OracleResult res = oracle.check(
+          pool_lcs[query].module, pool_lcs[hits[r].index].netlist);
+      const bool learned_says_equiv = r == 0;
+      const bool disagree =
+          (res.verdict == sat::Verdict::kEquivalent && !learned_says_equiv) ||
+          (res.verdict == sat::Verdict::kNotEquivalent && learned_says_equiv);
+      if (disagree) ++disagreements;
+      std::printf("  rank %zu %-24s score=%.3f proven=%s conflicts=%llu%s\n",
+                  r + 1, hits[r].name.c_str(),
+                  static_cast<double>(hits[r].score),
+                  sat::to_string(res.verdict),
+                  static_cast<unsigned long long>(res.stats.conflicts),
+                  disagree ? "  <- disagrees with learned ranking" : "");
+    }
+    std::printf("learned-vs-proven disagreements: %zu/%zu\n", disagreements,
+                k);
   }
 
   // Confirm the top hit with the golden equivalence checker.

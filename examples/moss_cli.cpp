@@ -5,6 +5,8 @@
 //   moss_cli report <design>             stats + timing + power report
 //   moss_cli fault  <design> [cycles]    stuck-at coverage
 //   moss_cli formal <design_a> <design_b>  equivalence (BDD, sim fallback)
+//   moss_cli sat verify <design_a> <design_b>  exact SAT equivalence
+//   moss_cli sat mine <design>           mutate -> prove -> export negatives
 //   moss_cli vcd    <design> <out.vcd> [cycles]  waveform dump
 //   moss_cli train  <design>... [--threads N] [--checkpoint BASE]
 //                   [--checkpoint-every N] [--resume] [--save CKPT]
@@ -140,6 +142,80 @@ int cmd_formal(const std::string& a_arg, const std::string& b_arg) {
     }
   }
   return 2;
+}
+
+// sat verify: exact miter-based equivalence via the CDCL oracle. Unlike
+// `formal` (BDD with a simulation fallback that can only say "no mismatch
+// found"), every answer here is definitive or typed UNKNOWN — and every
+// NOT_EQUIVALENT ships a counterexample replayed through aig_sim.
+int cmd_sat_verify(const std::string& a_arg, const std::string& b_arg,
+                   int frames, std::uint64_t conflicts) {
+  const netlist::Netlist a = synth_design(a_arg);
+  const netlist::Netlist b = synth_design(b_arg);
+  sat::OracleConfig cfg;
+  cfg.max_frames = frames;
+  cfg.conflict_budget = conflicts;
+  const sat::EquivOracle oracle(cfg);
+  const sat::OracleResult res = oracle.check(a, b);
+  std::printf("%s: %s\n", sat::to_string(res.verdict), res.detail.c_str());
+  std::printf("  conflicts=%llu decisions=%llu solver_calls=%zu "
+              "miter_ands=%zu frames_checked=%d\n",
+              static_cast<unsigned long long>(res.stats.conflicts),
+              static_cast<unsigned long long>(res.stats.decisions),
+              res.stats.solver_calls, res.stats.miter_ands,
+              res.frames_checked);
+  if (res.verdict == sat::Verdict::kNotEquivalent &&
+      !res.cex.inputs.empty()) {
+    std::printf("  counterexample (%s, %zu frame(s), mismatch at %s):\n",
+                res.cex.confirmed ? "sim-confirmed" : "unconfirmed",
+                res.cex.frames.size(), res.cex.mismatch_output.c_str());
+    for (std::size_t f = 0; f < res.cex.frames.size(); ++f) {
+      std::printf("    f%zu:", f);
+      for (std::size_t i = 0; i < res.cex.inputs.size(); ++i) {
+        std::printf(" %s=%d", res.cex.inputs[i].c_str(),
+                    res.cex.frames[f][i] != 0 ? 1 : 0);
+      }
+      std::printf("\n");
+    }
+  }
+  switch (res.verdict) {
+    case sat::Verdict::kEquivalent: return 0;
+    case sat::Verdict::kNotEquivalent: return 1;
+    case sat::Verdict::kUnknown: return 4;
+  }
+  return 2;
+}
+
+int cmd_sat_mine(const std::string& arg, std::size_t count,
+                 std::uint64_t seed, const std::string& out_dir,
+                 float margin) {
+  const netlist::Netlist golden = synth_design(arg);
+  sat::MinerConfig cfg;
+  cfg.seed = seed;
+  cfg.candidates = count;
+  cfg.margin = margin;
+  // No trained FEP head on the CLI path: every proven-inequivalent mutant
+  // is a negative. Tests and the bench wire a real scorer through the
+  // library API.
+  const sat::MineReport rep =
+      sat::mine_hard_negatives(golden, sat::FepScorer{}, cfg);
+  std::printf("%s: %zu candidate(s) -> %zu inequivalent, %zu benign, "
+              "%zu unknown; %zu negative(s) mined\n",
+              golden.name().c_str(), rep.candidates,
+              rep.proven_inequivalent, rep.proven_equivalent, rep.unknown,
+              rep.negatives.size());
+  for (const auto& neg : rep.negatives) {
+    std::printf("  %-28s %s node=%s conflicts=%llu cex_frames=%d\n",
+                neg.name.c_str(), data::to_string(neg.mutation.kind),
+                neg.mutation.node.c_str(),
+                static_cast<unsigned long long>(neg.conflicts),
+                neg.cex_frames);
+  }
+  if (!out_dir.empty()) {
+    const std::size_t files = sat::export_mined(rep, out_dir);
+    std::printf("wrote %zu file(s) to %s\n", files, out_dir.c_str());
+  }
+  return rep.negatives.empty() ? 1 : 0;
 }
 
 int cmd_reset(const std::string& arg) {
@@ -445,6 +521,9 @@ void usage() {
       "  report <design>\n"
       "  fault  <design> [cycles]\n"
       "  formal <design_a> <design_b>\n"
+      "  sat    verify <design_a> <design_b> [--frames N] [--conflicts N]\n"
+      "  sat    mine <design> [--count N] [--seed S] [--out DIR]\n"
+      "         [--margin F]\n"
       "  reset  <design>\n"
       "  vcd    <design> <out.vcd> [cycles]\n"
       "  train  <design>... [--threads N] [--checkpoint BASE]\n"
@@ -456,7 +535,9 @@ void usage() {
       "  plan   compile <design> --out <file.mossplan> [--threads N]\n"
       "  plan   inspect <file.mossplan>\n"
       "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
-      "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad checkpoint\n",
+      "exit codes: 0 ok, 1 analysis failed, 2 usage/error, 3 bad "
+      "checkpoint,\n"
+      "            4 sat verify inconclusive (depth/conflict bound)\n",
       stderr);
 }
 
@@ -483,6 +564,65 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_formal(argv[2], argv[3]);
+    }
+    if (cmd == "sat") {
+      const std::string sub = argv[2];
+      if (sub == "verify") {
+        std::vector<std::string> designs;
+        int frames = 16;
+        std::uint64_t conflicts = 200000;
+        for (int i = 3; i < argc; ++i) {
+          const std::string a = argv[i];
+          if (a == "--frames" && i + 1 < argc) {
+            frames = std::max(1, std::atoi(argv[++i]));
+          } else if (a == "--conflicts" && i + 1 < argc) {
+            conflicts = std::strtoull(argv[++i], nullptr, 10);
+          } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown sat verify option %s\n", a.c_str());
+            usage();
+            return 2;
+          } else {
+            designs.push_back(a);
+          }
+        }
+        if (designs.size() != 2) {
+          usage();
+          return 2;
+        }
+        return cmd_sat_verify(designs[0], designs[1], frames, conflicts);
+      }
+      if (sub == "mine") {
+        std::string design, out_dir;
+        std::size_t count = 24;
+        std::uint64_t seed = 1;
+        float margin = 0.0f;
+        for (int i = 3; i < argc; ++i) {
+          const std::string a = argv[i];
+          if (a == "--count" && i + 1 < argc) {
+            count = static_cast<std::size_t>(
+                std::max(1, std::atoi(argv[++i])));
+          } else if (a == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+          } else if (a == "--out" && i + 1 < argc) {
+            out_dir = argv[++i];
+          } else if (a == "--margin" && i + 1 < argc) {
+            margin = static_cast<float>(std::atof(argv[++i]));
+          } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown sat mine option %s\n", a.c_str());
+            usage();
+            return 2;
+          } else {
+            design = a;
+          }
+        }
+        if (design.empty()) {
+          usage();
+          return 2;
+        }
+        return cmd_sat_mine(design, count, seed, out_dir, margin);
+      }
+      usage();
+      return 2;
     }
     if (cmd == "vcd") {
       if (argc < 4) {

@@ -1,0 +1,195 @@
+#include "data/mutate.hpp"
+
+#include <algorithm>
+
+#include "core_util/error.hpp"
+
+namespace moss::data {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kStuckAt0: return "stuck_at_0";
+    case MutationKind::kStuckAt1: return "stuck_at_1";
+    case MutationKind::kGateTypeFlip: return "gate_type_flip";
+    case MutationKind::kSwapFanins: return "swap_fanins";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Does the cell function distinguish pins a and b? True iff swapping the
+/// two input bits changes the output for some assignment.
+bool pins_asymmetric(const cell::CellType& t, int a, int b) {
+  const std::uint32_t rows = 1u << t.num_inputs;
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const std::uint32_t bit_a = (row >> a) & 1u;
+    const std::uint32_t bit_b = (row >> b) & 1u;
+    if (bit_a == bit_b) continue;
+    std::uint32_t swapped = row;
+    swapped &= ~((1u << a) | (1u << b));
+    swapped |= bit_a << b;
+    swapped |= bit_b << a;
+    if (t.eval(row) != t.eval(swapped)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Mutation> enumerate_mutations(const Netlist& nl) {
+  MOSS_CHECK(nl.finalized(), "enumerate_mutations needs a finalized netlist");
+  const cell::CellLibrary& lib = nl.library();
+  std::vector<Mutation> out;
+  for (NodeId id = 0; id < static_cast<NodeId>(nl.num_nodes()); ++id) {
+    const netlist::Node& n = nl.node(id);
+    if (n.kind != NodeKind::kCell) continue;
+    const cell::CellType& t = lib.type(n.type);
+    if (!t.is_comb()) continue;
+
+    out.push_back({MutationKind::kStuckAt0, n.name,
+                   t.name + " output tied low", cell::kInvalidCellType, 0, 0});
+    out.push_back({MutationKind::kStuckAt1, n.name,
+                   t.name + " output tied high", cell::kInvalidCellType, 0, 0});
+
+    for (cell::CellTypeId alt = 0;
+         alt < static_cast<cell::CellTypeId>(lib.size()); ++alt) {
+      if (alt == n.type) continue;
+      const cell::CellType& at = lib.type(alt);
+      if (!at.is_comb() || at.num_inputs != t.num_inputs ||
+          at.truth_table == t.truth_table) {
+        continue;
+      }
+      out.push_back({MutationKind::kGateTypeFlip, n.name,
+                     t.name + "->" + at.name, alt, 0, 0});
+    }
+
+    for (int a = 0; a < t.num_inputs; ++a) {
+      for (int b = a + 1; b < t.num_inputs; ++b) {
+        if (n.fanin[static_cast<std::size_t>(a)] ==
+            n.fanin[static_cast<std::size_t>(b)]) {
+          continue;
+        }
+        if (!pins_asymmetric(t, a, b)) continue;
+        out.push_back({MutationKind::kSwapFanins, n.name,
+                       t.name + " pins " + t.pin_names[static_cast<std::size_t>(a)] +
+                           "<->" + t.pin_names[static_cast<std::size_t>(b)],
+                       cell::kInvalidCellType, a, b});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Mutation> sample_mutations(const Netlist& nl, std::size_t count,
+                                       Rng& rng) {
+  std::vector<Mutation> all = enumerate_mutations(nl);
+  if (all.size() <= count) return all;
+  // Partial Fisher–Yates: draw `count` without replacement, order by draw.
+  std::vector<Mutation> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.index(all.size() - i);
+    std::swap(all[i], all[j]);
+    out.push_back(all[i]);
+  }
+  return out;
+}
+
+Netlist apply_mutation(const Netlist& nl, const Mutation& mut,
+                       const std::string& name_suffix) {
+  MOSS_CHECK(nl.finalized(), "apply_mutation needs a finalized netlist");
+  const cell::CellLibrary& lib = nl.library();
+  const NodeId target = nl.find(mut.node);
+  if (target == netlist::kInvalidNode ||
+      nl.node(target).kind != NodeKind::kCell ||
+      !lib.type(nl.node(target).type).is_comb()) {
+    throw ContextError("mutation target is not a combinational cell",
+                       {{"node", mut.node}, {"kind", to_string(mut.kind)}});
+  }
+
+  const cell::CellTypeId tie0 = lib.find("TIE0");
+  const cell::CellTypeId tie1 = lib.find("TIE1");
+
+  Netlist out(lib, nl.name() + name_suffix);
+  // Pass 1: recreate every node (same order -> same ids) with placeholder
+  // fanins; the mutation rewrites the target's type/arity here.
+  for (NodeId id = 0; id < static_cast<NodeId>(nl.num_nodes()); ++id) {
+    const netlist::Node& n = nl.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        out.add_input(n.name);
+        break;
+      case NodeKind::kPrimaryOutput:
+        out.add_output(n.name);
+        break;
+      case NodeKind::kCell: {
+        cell::CellTypeId type = n.type;
+        if (id == target) {
+          switch (mut.kind) {
+            case MutationKind::kStuckAt0:
+              MOSS_CHECK(tie0 != cell::kInvalidCellType, "library lacks TIE0");
+              type = tie0;
+              break;
+            case MutationKind::kStuckAt1:
+              MOSS_CHECK(tie1 != cell::kInvalidCellType, "library lacks TIE1");
+              type = tie1;
+              break;
+            case MutationKind::kGateTypeFlip: {
+              const cell::CellType& t = lib.type(n.type);
+              const cell::CellType& at = lib.type(mut.new_type);
+              if (!at.is_comb() || at.num_inputs != t.num_inputs) {
+                throw ContextError(
+                    "gate flip replacement has mismatched arity",
+                    {{"node", mut.node}, {"new_type", at.name}});
+              }
+              type = mut.new_type;
+              break;
+            }
+            case MutationKind::kSwapFanins:
+              break;  // fanins handled in pass 2
+          }
+        }
+        const auto pins =
+            static_cast<std::size_t>(lib.type(type).num_inputs);
+        const NodeId nid = out.add_cell(
+            type, n.name,
+            std::vector<NodeId>(pins, netlist::kInvalidNode));
+        if (lib.type(type).is_flop() && !n.rtl_register.empty()) {
+          out.set_rtl_register(nid, n.rtl_register);
+        }
+        break;
+      }
+    }
+  }
+  // Pass 2: connect fanins (ids carried over unchanged).
+  for (NodeId id = 0; id < static_cast<NodeId>(nl.num_nodes()); ++id) {
+    const netlist::Node& n = nl.node(id);
+    if (id == target &&
+        (mut.kind == MutationKind::kStuckAt0 ||
+         mut.kind == MutationKind::kStuckAt1)) {
+      continue;  // tie cell has no pins
+    }
+    std::vector<NodeId> fanin = n.fanin;
+    if (id == target && mut.kind == MutationKind::kSwapFanins) {
+      const auto a = static_cast<std::size_t>(mut.pin_a);
+      const auto b = static_cast<std::size_t>(mut.pin_b);
+      if (a >= fanin.size() || b >= fanin.size()) {
+        throw ContextError("swap pins out of range",
+                           {{"node", mut.node}});
+      }
+      std::swap(fanin[a], fanin[b]);
+    }
+    for (std::size_t p = 0; p < fanin.size(); ++p) {
+      out.connect(id, static_cast<int>(p), fanin[p]);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace moss::data

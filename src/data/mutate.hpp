@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core_util/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace moss::data {
+
+/// Single-site netlist mutations used to manufacture plausible-but-wrong
+/// circuits: the hard-negative candidates the SAT oracle then sorts into
+/// proven-inequivalent (keep) and accidentally-equivalent (drop).
+enum class MutationKind : std::uint8_t {
+  kStuckAt0,      ///< replace a cell's output with constant 0 (TIE0)
+  kStuckAt1,      ///< replace a cell's output with constant 1 (TIE1)
+  kGateTypeFlip,  ///< swap the cell for a same-arity type (AND2 -> OR2, ...)
+  kSwapFanins,    ///< exchange two input pins the function distinguishes
+};
+const char* to_string(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kStuckAt0;
+  std::string node;    ///< target cell instance name
+  std::string detail;  ///< human-readable description, e.g. "XOR2->XNOR2"
+  cell::CellTypeId new_type = cell::kInvalidCellType;  ///< kGateTypeFlip
+  int pin_a = 0, pin_b = 0;                            ///< kSwapFanins
+};
+
+/// Every structurally valid single-site mutation of `nl`, in deterministic
+/// order (cells by node id; gate-flip alternatives by cell-type id; pin
+/// pairs lexicographic). Only combinational cells are mutated; fanin swaps
+/// are emitted only for pin pairs the truth table actually distinguishes
+/// and distinct drivers, so candidates are rarely trivially equivalent.
+std::vector<Mutation> enumerate_mutations(const netlist::Netlist& nl);
+
+/// Seeded sample (without replacement) of up to `count` mutations.
+std::vector<Mutation> sample_mutations(const netlist::Netlist& nl,
+                                       std::size_t count, Rng& rng);
+
+/// Apply a mutation, producing a fresh finalized netlist named
+/// `nl.name() + name_suffix` with identical node ids. Throws ContextError
+/// if the target cell no longer matches the mutation.
+netlist::Netlist apply_mutation(const netlist::Netlist& nl,
+                                const Mutation& mut,
+                                const std::string& name_suffix);
+
+}  // namespace moss::data

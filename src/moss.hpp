@@ -29,6 +29,7 @@
 #include "core_util/strings.hpp"     // IWYU pragma: export
 #include "data/dataset.hpp"          // IWYU pragma: export
 #include "data/generators.hpp"       // IWYU pragma: export
+#include "data/mutate.hpp"           // IWYU pragma: export
 #include "data/stats.hpp"            // IWYU pragma: export
 #include "gnn/two_phase_gnn.hpp"     // IWYU pragma: export
 #include "lm/encoder.hpp"            // IWYU pragma: export
@@ -41,6 +42,9 @@
 #include "rtl/parser.hpp"            // IWYU pragma: export
 #include "rtl/printer.hpp"           // IWYU pragma: export
 #include "rtl/prompts.hpp"           // IWYU pragma: export
+#include "sat/mine.hpp"              // IWYU pragma: export
+#include "sat/oracle.hpp"            // IWYU pragma: export
+#include "sat/solver.hpp"            // IWYU pragma: export
 #include "serve/cache.hpp"           // IWYU pragma: export
 #include "serve/engine.hpp"          // IWYU pragma: export
 #include "serve/metrics.hpp"         // IWYU pragma: export

@@ -1,0 +1,77 @@
+#include "sat/cnf.hpp"
+
+#include "core_util/check.hpp"
+
+namespace moss::sat {
+
+Lit CnfEncoding::lit(aig::Lit al) const {
+  const std::uint32_t n = aig::lit_node(al);
+  MOSS_CHECK(n < node_var_.size() && node_var_[n] != kInvalidVar,
+             "AIG node not in the encoded cone");
+  return mk_lit(node_var_[n], aig::lit_compl(al));
+}
+
+CnfEncoding encode_cone(const aig::Aig& g, const std::vector<aig::Lit>& roots,
+                        Solver& solver) {
+  CnfEncoding enc;
+  enc.node_var_.assign(g.num_nodes(), kInvalidVar);
+
+  // Mark the cone with an explicit DFS stack.
+  std::vector<std::uint8_t> in_cone(g.num_nodes(), 0);
+  std::vector<std::uint32_t> stack;
+  for (const aig::Lit r : roots) {
+    const std::uint32_t n = aig::lit_node(r);
+    if (!in_cone[n]) {
+      in_cone[n] = 1;
+      stack.push_back(n);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    const aig::AigNode& node = g.node(n);
+    if (node.kind != aig::AigKind::kAnd) continue;
+    for (const aig::Lit f : {node.fanin0, node.fanin1}) {
+      const std::uint32_t fn = aig::lit_node(f);
+      if (!in_cone[fn]) {
+        in_cone[fn] = 1;
+        stack.push_back(fn);
+      }
+    }
+  }
+
+  // Allocate variables in ascending node-id order (deterministic), then
+  // emit the Tseitin clauses. AND fanins always precede the gate, so
+  // variables exist by the time a gate's clauses are written.
+  const std::size_t before = solver.num_clauses();
+  for (std::uint32_t n = 0; n < g.num_nodes(); ++n) {
+    if (!in_cone[n]) continue;
+    enc.node_var_[n] = solver.new_var();
+    ++enc.cone_nodes_;
+  }
+  for (std::uint32_t n = 0; n < g.num_nodes(); ++n) {
+    if (!in_cone[n]) continue;
+    const aig::AigNode& node = g.node(n);
+    const Lit c = mk_lit(enc.node_var_[n], false);
+    switch (node.kind) {
+      case aig::AigKind::kConst0:
+        solver.add_clause({lit_neg(c)});
+        break;
+      case aig::AigKind::kPi:
+      case aig::AigKind::kLatch:
+        break;  // free variable
+      case aig::AigKind::kAnd: {
+        const Lit a = enc.lit(node.fanin0);
+        const Lit b = enc.lit(node.fanin1);
+        solver.add_clause({lit_neg(c), a});
+        solver.add_clause({lit_neg(c), b});
+        solver.add_clause({c, lit_neg(a), lit_neg(b)});
+        break;
+      }
+    }
+  }
+  enc.clauses_added_ = solver.num_clauses() - before;
+  return enc;
+}
+
+}  // namespace moss::sat

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace moss::sat {
+
+/// Mapping from AIG nodes inside an encoded cone to solver variables.
+/// Nodes outside the cone have no variable; asking for their literal is a
+/// checked error.
+class CnfEncoding {
+ public:
+  /// Solver literal realizing an AIG literal (node must be in the cone).
+  Lit lit(aig::Lit al) const;
+  bool encoded(aig::Lit al) const {
+    const auto n = aig::lit_node(al);
+    return n < node_var_.size() && node_var_[n] != kInvalidVar;
+  }
+
+  std::size_t cone_nodes() const { return cone_nodes_; }
+  std::size_t clauses_added() const { return clauses_added_; }
+
+ private:
+  friend CnfEncoding encode_cone(const aig::Aig& g,
+                                 const std::vector<aig::Lit>& roots,
+                                 Solver& solver);
+  std::vector<Var> node_var_;  ///< per AIG node id; kInvalidVar = not encoded
+  std::size_t cone_nodes_ = 0;
+  std::size_t clauses_added_ = 0;
+};
+
+/// Tseitin-encode the transitive fanin cone of `roots` into `solver`:
+/// one variable per cone node, three clauses per AND gate
+/// (c = a·b  →  (¬c∨a)(¬c∨b)(c∨¬a∨¬b)), a unit-forced variable for the
+/// constant node, and free variables for PIs/latches. Variables are
+/// allocated in ascending node-id order so the encoding is deterministic.
+/// The roots themselves are not asserted — callers add unit clauses via
+/// `solver.add_clause({enc.lit(root)})`.
+CnfEncoding encode_cone(const aig::Aig& g, const std::vector<aig::Lit>& roots,
+                        Solver& solver);
+
+}  // namespace moss::sat

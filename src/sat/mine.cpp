@@ -1,0 +1,139 @@
+#include "sat/mine.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core_util/error.hpp"
+#include "netlist/writer.hpp"
+
+namespace moss::sat {
+
+MineReport mine_hard_negatives(const netlist::Netlist& golden,
+                               const FepScorer& scorer,
+                               const MinerConfig& cfg) {
+  MineReport rep;
+  Rng rng(cfg.seed);
+  const std::vector<data::Mutation> muts =
+      data::sample_mutations(golden, cfg.candidates, rng);
+  rep.candidates = muts.size();
+  rep.original_score = scorer ? scorer(golden) : 0.0f;
+
+  EquivOracle oracle(cfg.oracle);
+  for (std::size_t i = 0; i < muts.size(); ++i) {
+    const netlist::Netlist mutant = data::apply_mutation(
+        golden, muts[i], "__mut" + std::to_string(i));
+    const OracleResult r = oracle.check(golden, mutant);
+    rep.stats.conflicts += r.stats.conflicts;
+    rep.stats.decisions += r.stats.decisions;
+    rep.stats.propagations += r.stats.propagations;
+    rep.stats.solver_calls += r.stats.solver_calls;
+    rep.stats.cnf_vars += r.stats.cnf_vars;
+    rep.stats.cnf_clauses += r.stats.cnf_clauses;
+    rep.stats.miter_ands += r.stats.miter_ands;
+    switch (r.verdict) {
+      case Verdict::kEquivalent:
+        ++rep.proven_equivalent;
+        continue;
+      case Verdict::kUnknown:
+        ++rep.unknown;
+        continue;
+      case Verdict::kNotEquivalent:
+        break;
+    }
+    ++rep.proven_inequivalent;
+
+    float score = 0.0f;
+    if (scorer) {
+      score = scorer(mutant);
+      // Head not fooled: it already separates the mutant from the golden
+      // design — no training signal in keeping it.
+      if (score < rep.original_score - cfg.margin) continue;
+    }
+    ++rep.fooled_head;
+
+    MinedNegative neg;
+    neg.mutation = muts[i];
+    neg.name = mutant.name();
+    neg.score = score;
+    neg.conflicts = r.stats.conflicts;
+    neg.cex_frames = static_cast<int>(r.cex.frames.size());
+    neg.verilog = netlist::to_structural_verilog(mutant);
+    neg.cex = r.cex;
+    rep.negatives.push_back(std::move(neg));
+  }
+  return rep;
+}
+
+namespace {
+
+void ensure_dir(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      if (!partial.empty() && partial != "/") {
+        ::mkdir(partial.c_str(), 0755);
+      }
+    }
+    if (i < dir.size()) partial.push_back(dir[i]);
+  }
+  struct stat st {};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw ContextError("cannot create mined-negative directory",
+                       {{"dir", dir}});
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t export_mined(const MineReport& rep, const std::string& dir) {
+  ensure_dir(dir);
+  std::size_t files = 0;
+
+  std::ofstream jsonl(dir + "/mined.jsonl",
+                      std::ios::out | std::ios::trunc);
+  if (!jsonl) {
+    throw ContextError("cannot open mined.jsonl for writing",
+                       {{"dir", dir}});
+  }
+  for (const MinedNegative& neg : rep.negatives) {
+    const std::string vpath = dir + "/" + neg.name + ".v";
+    std::ofstream vf(vpath, std::ios::out | std::ios::trunc);
+    if (!vf) {
+      throw ContextError("cannot write mined mutant", {{"file", vpath}});
+    }
+    vf << neg.verilog;
+    vf.close();
+    ++files;
+
+    char score_buf[32];
+    std::snprintf(score_buf, sizeof(score_buf), "%.9g",
+                  static_cast<double>(neg.score));
+    jsonl << "{\"name\":\"" << json_escape(neg.name) << "\""
+          << ",\"kind\":\"" << data::to_string(neg.mutation.kind) << "\""
+          << ",\"node\":\"" << json_escape(neg.mutation.node) << "\""
+          << ",\"detail\":\"" << json_escape(neg.mutation.detail) << "\""
+          << ",\"score\":" << score_buf
+          << ",\"conflicts\":" << neg.conflicts
+          << ",\"cex_frames\":" << neg.cex_frames
+          << ",\"mismatch_output\":\""
+          << json_escape(neg.cex.mismatch_output) << "\""
+          << ",\"file\":\"" << json_escape(neg.name) << ".v\"}\n";
+  }
+  jsonl.close();
+  ++files;
+  return files;
+}
+
+}  // namespace moss::sat

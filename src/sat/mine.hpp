@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/mutate.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/oracle.hpp"
+
+namespace moss::sat {
+
+/// FEP-head callback: higher score = the learned head believes the mutant
+/// is equivalent to the reference RTL. Supplied by the caller (CLI, tests)
+/// so moss::sat stays below moss::core in the dependency stack.
+using FepScorer = std::function<float(const netlist::Netlist&)>;
+
+struct MinerConfig {
+  std::uint64_t seed = 1;
+  std::size_t candidates = 24;  ///< mutations sampled per design
+  /// A mutant "fools" the head when score >= original_score - margin.
+  float margin = 0.0f;
+  OracleConfig oracle;  ///< per-mutant proof budget
+};
+
+struct MinedNegative {
+  data::Mutation mutation;
+  std::string name;      ///< mutant netlist name (golden + __mutN)
+  float score = 0.0f;    ///< FEP head score of the mutant (0 w/o scorer)
+  std::uint64_t conflicts = 0;  ///< solver work to prove inequivalence
+  int cex_frames = 0;           ///< counterexample depth
+  std::string verilog;          ///< structural export for retraining
+  Counterexample cex;
+};
+
+struct MineReport {
+  std::size_t candidates = 0;
+  std::size_t proven_inequivalent = 0;
+  std::size_t proven_equivalent = 0;  ///< mutation was accidentally benign
+  std::size_t unknown = 0;
+  std::size_t fooled_head = 0;  ///< inequivalent AND scored as equivalent
+  float original_score = 0.0f;
+  std::vector<MinedNegative> negatives;
+  OracleStats stats;  ///< summed over all oracle calls
+};
+
+/// Mutate -> prove -> filter. Samples seeded single-site mutations of
+/// `golden`, keeps only mutants the oracle proves inequivalent; when a
+/// scorer is supplied, further restricts to mutants the FEP head still
+/// scores as equivalent (the hard negatives worth retraining on).
+/// Deterministic for a fixed config: same mutations, same verdicts, same
+/// export bytes.
+MineReport mine_hard_negatives(const netlist::Netlist& golden,
+                               const FepScorer& scorer,
+                               const MinerConfig& cfg);
+
+/// Write `<dir>/<name>.v` per negative plus `<dir>/mined.jsonl` (one
+/// stable-field-order record per line). Creates `dir` if needed; returns
+/// the number of files written. Byte-identical across runs for a fixed
+/// config.
+std::size_t export_mined(const MineReport& rep, const std::string& dir);
+
+}  // namespace moss::sat

@@ -1,0 +1,459 @@
+#include "sat/oracle.hpp"
+
+#include <map>
+
+#include "aig/aig.hpp"
+#include "aig/aig_sim.hpp"
+#include "core_util/check.hpp"
+#include "sat/cnf.hpp"
+#include "synth/synthesize.hpp"
+
+namespace moss::sat {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kEquivalent: return "EQUIVALENT";
+    case Verdict::kNotEquivalent: return "NOT_EQUIVALENT";
+    case Verdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+const char* to_string(UnknownReason r) {
+  switch (r) {
+    case UnknownReason::kNone: return "none";
+    case UnknownReason::kDepthBound: return "depth_bound";
+    case UnknownReason::kConflictBudget: return "conflict_budget";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string flop_key(const Netlist& nl, NodeId f) {
+  const auto& n = nl.node(f);
+  return n.rtl_register.empty() ? n.name : n.rtl_register;
+}
+
+/// Shannon-expand a cell truth table over AIG fanin literals (mirrors the
+/// private tt_to_aig in aig.cpp; shared strash folds duplicates anyway).
+aig::Lit tt_to_lit(aig::Aig& g, std::uint64_t table,
+                   const std::vector<aig::Lit>& ins, int num_vars) {
+  if (num_vars == 0) return (table & 1ull) ? aig::kLitTrue : aig::kLitFalse;
+  const int v = num_vars - 1;
+  const std::uint32_t half = 1u << v;
+  std::uint64_t lo = 0, hi = 0;
+  for (std::uint32_t row = 0; row < (1u << num_vars); ++row) {
+    if (!((table >> row) & 1ull)) continue;
+    if (row & half) {
+      hi |= 1ull << (row & (half - 1));
+    } else {
+      lo |= 1ull << (row & (half - 1));
+    }
+  }
+  const aig::Lit f0 = tt_to_lit(g, lo, ins, v);
+  const aig::Lit f1 = tt_to_lit(g, hi, ins, v);
+  if (f0 == f1) return f0;
+  return g.mux(ins[static_cast<std::size_t>(v)], f1, f0);
+}
+
+/// Combinational functions of every node of `nl` built into the shared
+/// miter AIG, with primary inputs and flop outputs taken from the supplied
+/// literal maps (keyed by PI name / flop key for per-netlist state).
+std::vector<aig::Lit> build_frame(
+    aig::Aig& g, const Netlist& nl,
+    const std::map<std::string, aig::Lit>& pi_lits,
+    const std::map<std::string, aig::Lit>& state_lits) {
+  std::vector<aig::Lit> fn(nl.num_nodes(), aig::kLitFalse);
+  for (const NodeId id : nl.topo_order()) {
+    const auto& n = nl.node(id);
+    const auto idx = static_cast<std::size_t>(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        fn[idx] = pi_lits.at(n.name);
+        break;
+      case NodeKind::kPrimaryOutput:
+        fn[idx] = fn[static_cast<std::size_t>(n.fanin[0])];
+        break;
+      case NodeKind::kCell: {
+        const cell::CellType& t = nl.library().type(n.type);
+        if (t.is_flop()) {
+          fn[idx] = state_lits.at(flop_key(nl, id));
+          break;
+        }
+        if (t.is_tie()) {
+          fn[idx] = t.eval(0) ? aig::kLitTrue : aig::kLitFalse;
+          break;
+        }
+        std::vector<aig::Lit> ins;
+        ins.reserve(n.fanin.size());
+        for (const NodeId f : n.fanin) {
+          ins.push_back(fn[static_cast<std::size_t>(f)]);
+        }
+        fn[idx] = tt_to_lit(g, t.truth_table, ins, t.num_inputs);
+        break;
+      }
+    }
+  }
+  return fn;
+}
+
+/// Effective next-state literal of a flop: R ? reset_value : (E ? D : Q).
+aig::Lit flop_next(aig::Aig& g, const Netlist& nl, NodeId f,
+                   const std::vector<aig::Lit>& fn, aig::Lit q) {
+  const auto& n = nl.node(f);
+  const cell::CellType& t = nl.library().type(n.type);
+  const auto pin = [&](const char* name) {
+    const int p = t.pin_index(name);
+    MOSS_CHECK(p >= 0, "missing flop pin");
+    return fn[static_cast<std::size_t>(n.fanin[static_cast<std::size_t>(p)])];
+  };
+  aig::Lit next = pin("D");
+  if (t.has_enable) next = g.mux(pin("E"), next, q);
+  if (t.has_reset) {
+    next = g.mux(pin("R"),
+                 t.reset_value ? aig::kLitTrue : aig::kLitFalse, next);
+  }
+  return next;
+}
+
+/// XOR of same-named primary outputs, OR-accumulated into one miter
+/// literal. Output name sets were already checked to match.
+aig::Lit output_miter(aig::Aig& g, const Netlist& a,
+                      const std::vector<aig::Lit>& fa, const Netlist& b,
+                      const std::vector<aig::Lit>& fb) {
+  aig::Lit diff = aig::kLitFalse;
+  for (const NodeId oa : a.outputs()) {
+    const NodeId ob = b.find(a.node(oa).name);
+    diff = g.or2(diff, g.xor2(fa[static_cast<std::size_t>(oa)],
+                              fb[static_cast<std::size_t>(ob)]));
+  }
+  return diff;
+}
+
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kUnknown;
+  const Solver* solver = nullptr;
+};
+
+/// One solver episode: encode the cone of `root`, assert it, solve under
+/// the remaining budget, and fold the solver's work into `stats`.
+class MiterSolve {
+ public:
+  MiterSolve(const aig::Aig& g, aig::Lit root, std::uint64_t seed,
+             std::uint64_t budget)
+      : solver_(SolverConfig{seed, 0.95, 100}) {
+    enc_ = encode_cone(g, {root}, solver_);
+    solver_.add_clause({enc_.lit(root)});
+    status_ = solver_.solve(budget);
+  }
+
+  SolveStatus status() const { return status_; }
+  bool model_of(aig::Lit l) const {
+    // Literals outside the cone cannot influence the asserted miter; any
+    // value works for counterexample extraction — use 0.
+    if (!enc_.encoded(l)) return false;
+    return solver_.model_value_lit(enc_.lit(l));
+  }
+
+  void accumulate(OracleStats& st) const {
+    const SolverStats& s = solver_.stats();
+    st.conflicts += s.conflicts;
+    st.decisions += s.decisions;
+    st.propagations += s.propagations;
+    st.solver_calls += 1;
+    st.cnf_vars += solver_.num_vars();
+    st.cnf_clauses += solver_.num_clauses();
+  }
+
+ private:
+  Solver solver_;
+  CnfEncoding enc_;
+  SolveStatus status_ = SolveStatus::kUnknown;
+};
+
+/// Replay a counterexample through two independent aig::from_netlist
+/// simulators and record the first differing output. Returns false when
+/// the stimulus does not actually distinguish the circuits.
+bool replay_cex(const Netlist& a, const Netlist& b, Counterexample& cex) {
+  const aig::AigConversion ca = aig::from_netlist(a);
+  const aig::AigConversion cb = aig::from_netlist(b);
+  aig::AigSimulator sa(ca.aig);
+  aig::AigSimulator sb(cb.aig);
+
+  const auto pi_vector = [&](const Netlist& nl,
+                             const std::vector<std::uint8_t>& frame) {
+    std::vector<std::uint8_t> v;
+    v.reserve(nl.inputs().size());
+    for (const NodeId id : nl.inputs()) {
+      const auto& name = nl.node(id).name;
+      std::uint8_t bit = 0;
+      for (std::size_t i = 0; i < cex.inputs.size(); ++i) {
+        if (cex.inputs[i] == name) {
+          bit = frame[i];
+          break;
+        }
+      }
+      v.push_back(bit);
+    }
+    return v;
+  };
+
+  for (const auto& frame : cex.frames) {
+    sa.step(pi_vector(a, frame));
+    sb.step(pi_vector(b, frame));
+  }
+  const std::vector<std::uint8_t> oa = sa.output_values();
+  const std::vector<std::uint8_t> ob = sb.output_values();
+  // output_values() follows PO insertion order = netlist outputs() order.
+  std::map<std::string, std::uint8_t> b_out;
+  for (std::size_t i = 0; i < b.outputs().size(); ++i) {
+    b_out[b.node(b.outputs()[i]).name] = ob[i];
+  }
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const auto& name = a.node(a.outputs()[i]).name;
+    if (oa[i] != b_out.at(name)) {
+      cex.mismatch_output = name;
+      cex.confirmed = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+OracleResult EquivOracle::check(const rtl::Module& m,
+                                const Netlist& b) const {
+  return check(synth::synthesize(m, b.library()), b);
+}
+
+OracleResult EquivOracle::check(const Netlist& a, const Netlist& b) const {
+  MOSS_CHECK(a.finalized() && b.finalized(),
+             "equivalence check needs finalized netlists");
+  OracleResult res;
+
+  // ---- 1. Interface correspondence (PI and PO name sets). ---------------
+  std::map<std::string, aig::Lit> pi_names;
+  for (const NodeId id : a.inputs()) pi_names.emplace(a.node(id).name, 0);
+  const std::size_t a_pis = pi_names.size();
+  for (const NodeId id : b.inputs()) pi_names.emplace(b.node(id).name, 0);
+  if (pi_names.size() != a_pis || a.inputs().size() != b.inputs().size()) {
+    res.verdict = Verdict::kNotEquivalent;
+    res.unknown_reason = UnknownReason::kNone;
+    res.detail = "interface mismatch: primary inputs differ";
+    return res;
+  }
+  if (a.outputs().size() != b.outputs().size()) {
+    res.verdict = Verdict::kNotEquivalent;
+    res.unknown_reason = UnknownReason::kNone;
+    res.detail = "interface mismatch: primary output counts differ";
+    return res;
+  }
+  for (const NodeId oa : a.outputs()) {
+    const NodeId ob = b.find(a.node(oa).name);
+    if (ob == netlist::kInvalidNode ||
+        b.node(ob).kind != NodeKind::kPrimaryOutput) {
+      res.verdict = Verdict::kNotEquivalent;
+      res.unknown_reason = UnknownReason::kNone;
+      res.detail = "output '" + a.node(oa).name + "' missing in b";
+      return res;
+    }
+  }
+
+  const bool sequential = !a.flops().empty() || !b.flops().empty();
+  std::uint64_t budget = cfg_.conflict_budget;
+  const auto spend = [&](const MiterSolve& ms) {
+    ms.accumulate(res.stats);
+    const std::uint64_t used = res.stats.conflicts;
+    budget = cfg_.conflict_budget > used ? cfg_.conflict_budget - used : 0;
+  };
+
+  // Deterministic counterexample input order: sorted PI names.
+  Counterexample cex;
+  for (const auto& [name, lit] : pi_names) cex.inputs.push_back(name);
+
+  // ---- 2/3. Single-frame miter over the combinational cut. -------------
+  // Matching state keys let the cut prove sequential equivalence: flop
+  // outputs become shared free variables and every output + effective
+  // next-state must agree. Without matching keys we go straight to BMC.
+  bool state_keys_match = a.flops().size() == b.flops().size();
+  if (state_keys_match) {
+    std::map<std::string, NodeId> b_flops;
+    for (const NodeId f : b.flops()) b_flops.emplace(flop_key(b, f), f);
+    for (const NodeId f : a.flops()) {
+      if (b_flops.find(flop_key(a, f)) == b_flops.end()) {
+        state_keys_match = false;
+        break;
+      }
+    }
+  }
+
+  if (state_keys_match) {
+    aig::Aig g;
+    std::map<std::string, aig::Lit> pis;
+    for (const auto& [name, unused] : pi_names) {
+      pis[name] = aig::make_lit(g.add_pi(), false);
+    }
+    std::map<std::string, aig::Lit> state;
+    for (const NodeId f : a.flops()) {
+      state[flop_key(a, f)] = aig::make_lit(g.add_pi(), false);
+    }
+    const std::vector<aig::Lit> fa = build_frame(g, a, pis, state);
+    const std::vector<aig::Lit> fb = build_frame(g, b, pis, state);
+    aig::Lit miter = output_miter(g, a, fa, b, fb);
+    std::map<std::string, NodeId> b_flops;
+    for (const NodeId f : b.flops()) b_flops.emplace(flop_key(b, f), f);
+    for (const NodeId f : a.flops()) {
+      const std::string key = flop_key(a, f);
+      const aig::Lit q = state.at(key);
+      miter = g.or2(miter, g.xor2(flop_next(g, a, f, fa, q),
+                                  flop_next(g, b, b_flops.at(key), fb, q)));
+    }
+    res.stats.miter_ands += g.num_ands();
+
+    SolveStatus status = SolveStatus::kUnsat;
+    if (miter != aig::kLitFalse) {
+      if (budget == 0) {
+        res.verdict = Verdict::kUnknown;
+        res.unknown_reason = UnknownReason::kConflictBudget;
+        res.detail = "conflict budget exhausted before the cut check";
+        return res;
+      }
+      MiterSolve ms(g, miter, cfg_.seed, budget);
+      spend(ms);
+      status = ms.status();
+      if (status == SolveStatus::kSat && !sequential) {
+        // Combinational: the model is a one-frame counterexample.
+        cex.frames.push_back({});
+        auto& frame = cex.frames.back();
+        for (const auto& name : cex.inputs) {
+          frame.push_back(ms.model_of(pis.at(name)) ? 1 : 0);
+        }
+      }
+    }
+
+    if (status == SolveStatus::kUnsat) {
+      res.verdict = Verdict::kEquivalent;
+      res.unknown_reason = UnknownReason::kNone;
+      res.proven_by_cut = sequential;
+      res.frames_checked = sequential ? 0 : 1;
+      res.detail = sequential
+                       ? "outputs and next-state functions proven equal "
+                         "over the combinational cut"
+                       : "single-frame miter unsatisfiable";
+      return res;
+    }
+    if (status == SolveStatus::kUnknown) {
+      res.verdict = Verdict::kUnknown;
+      res.unknown_reason = UnknownReason::kConflictBudget;
+      res.detail = "conflict budget exhausted on the cut miter";
+      return res;
+    }
+    if (!sequential) {
+      if (cfg_.cross_check) {
+        MOSS_CHECK(replay_cex(a, b, cex),
+                   "SAT model failed aig_sim counterexample replay");
+      }
+      res.verdict = Verdict::kNotEquivalent;
+      res.unknown_reason = UnknownReason::kNone;
+      res.cex = std::move(cex);
+      res.detail = "combinational counterexample on output '" +
+                   res.cex.mismatch_output + "'";
+      return res;
+    }
+    // Sequential cut SAT: the distinguishing state may be unreachable —
+    // fall through to bounded unrolling from the power-on state.
+  }
+
+  // ---- 4. Time-frame unrolling from the all-zero power-on state. --------
+  aig::Aig g;
+  std::map<std::string, aig::Lit> state_a, state_b;
+  for (const NodeId f : a.flops()) state_a[flop_key(a, f)] = aig::kLitFalse;
+  for (const NodeId f : b.flops()) state_b[flop_key(b, f)] = aig::kLitFalse;
+
+  std::vector<std::map<std::string, aig::Lit>> frame_pis;
+  for (int frame = 0; frame < cfg_.max_frames; ++frame) {
+    frame_pis.push_back({});
+    std::map<std::string, aig::Lit>& pis = frame_pis.back();
+    for (const auto& [name, unused] : pi_names) {
+      pis[name] = aig::make_lit(g.add_pi(), false);
+    }
+    const std::vector<aig::Lit> fa = build_frame(g, a, pis, state_a);
+    const std::vector<aig::Lit> fb = build_frame(g, b, pis, state_b);
+    const aig::Lit diff = output_miter(g, a, fa, b, fb);
+
+    if (diff != aig::kLitFalse) {
+      if (budget == 0) {
+        res.verdict = Verdict::kUnknown;
+        res.unknown_reason = UnknownReason::kConflictBudget;
+        res.detail = "conflict budget exhausted at frame " +
+                     std::to_string(frame);
+        res.frames_checked = frame;
+        return res;
+      }
+      MiterSolve ms(g, diff, cfg_.seed + static_cast<std::uint64_t>(frame),
+                    budget);
+      spend(ms);
+      if (ms.status() == SolveStatus::kUnknown) {
+        res.verdict = Verdict::kUnknown;
+        res.unknown_reason = UnknownReason::kConflictBudget;
+        res.detail = "conflict budget exhausted at frame " +
+                     std::to_string(frame);
+        res.frames_checked = frame;
+        return res;
+      }
+      if (ms.status() == SolveStatus::kSat) {
+        for (int f = 0; f <= frame; ++f) {
+          cex.frames.push_back({});
+          auto& fr = cex.frames.back();
+          for (const auto& name : cex.inputs) {
+            fr.push_back(ms.model_of(frame_pis[static_cast<std::size_t>(f)]
+                                         .at(name))
+                             ? 1
+                             : 0);
+          }
+        }
+        if (cfg_.cross_check) {
+          MOSS_CHECK(replay_cex(a, b, cex),
+                     "BMC model failed aig_sim counterexample replay");
+        }
+        res.verdict = Verdict::kNotEquivalent;
+        res.unknown_reason = UnknownReason::kNone;
+        res.cex = std::move(cex);
+        res.frames_checked = frame;
+        res.detail = "sequential counterexample at frame " +
+                     std::to_string(frame) + " on output '" +
+                     res.cex.mismatch_output + "'";
+        return res;
+      }
+    }
+    res.frames_checked = frame + 1;
+
+    // Advance both state vectors through their own next-state functions.
+    std::map<std::string, aig::Lit> next_a, next_b;
+    for (const NodeId f : a.flops()) {
+      const std::string key = flop_key(a, f);
+      next_a[key] = flop_next(g, a, f, fa, state_a.at(key));
+    }
+    for (const NodeId f : b.flops()) {
+      const std::string key = flop_key(b, f);
+      next_b[key] = flop_next(g, b, f, fb, state_b.at(key));
+    }
+    state_a = std::move(next_a);
+    state_b = std::move(next_b);
+  }
+  res.stats.miter_ands += g.num_ands();
+
+  res.verdict = Verdict::kUnknown;
+  res.unknown_reason = UnknownReason::kDepthBound;
+  res.detail = "no difference within " + std::to_string(cfg_.max_frames) +
+               " frames (depth-bounded)";
+  return res;
+}
+
+}  // namespace moss::sat

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rtl/module.hpp"
+#include "sat/solver.hpp"
+
+namespace moss::sat {
+
+enum class Verdict : std::uint8_t {
+  kEquivalent,     ///< proven: no distinguishing input/state assignment
+  kNotEquivalent,  ///< a confirmed counterexample exists
+  kUnknown,        ///< bounded resources exhausted before a proof
+};
+const char* to_string(Verdict v);
+
+enum class UnknownReason : std::uint8_t {
+  kNone,            ///< verdict is not kUnknown
+  kDepthBound,      ///< BMC found no difference within max_frames
+  kConflictBudget,  ///< solver conflict budget exhausted
+};
+const char* to_string(UnknownReason r);
+
+/// A distinguishing stimulus: per-frame values for the shared primary
+/// inputs, applied from the all-zero power-on state. Combinational
+/// counterexamples have exactly one frame.
+struct Counterexample {
+  std::vector<std::string> inputs;  ///< PI names, sorted (stable order)
+  std::vector<std::vector<std::uint8_t>> frames;  ///< frames[f][i] = inputs[i]@cycle f
+  std::string mismatch_output;  ///< primary output that differs after replay
+  bool confirmed = false;  ///< replay through aig::AigSimulator reproduced it
+};
+
+struct OracleStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::size_t solver_calls = 0;
+  std::size_t cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  std::size_t miter_ands = 0;  ///< AND nodes in the shared miter AIG
+};
+
+struct OracleResult {
+  Verdict verdict = Verdict::kUnknown;
+  UnknownReason unknown_reason = UnknownReason::kConflictBudget;
+  std::string detail;
+  Counterexample cex;      ///< kNotEquivalent with a functional difference
+  int frames_checked = 0;  ///< frames proven difference-free (comb: 1)
+  bool proven_by_cut = false;  ///< sequential proof via next-state matching
+  OracleStats stats;
+};
+
+struct OracleConfig {
+  std::uint64_t seed = 1;
+  /// Total solver conflicts permitted across all solve calls of one check;
+  /// exhausting it yields kUnknown / kConflictBudget.
+  std::uint64_t conflict_budget = 200000;
+  /// Bounded-model-check unroll depth for sequential pairs whose state
+  /// encodings don't line up (or whose cut check is inconclusive).
+  int max_frames = 16;
+  /// Replay every counterexample through aig::AigSimulator and hard-fail
+  /// (MOSS_CHECK) if the solver's model does not reproduce a mismatch.
+  bool cross_check = true;
+};
+
+/// Miter-based exact equivalence oracle over the AIG module. Both circuits
+/// are built into ONE structurally-hashed AIG so shared subfunctions fold
+/// before any CNF is emitted — equivalent synthesis variants frequently
+/// reduce to a constant-false miter with zero solver work.
+///
+/// Verdict ladder:
+///   1. interface mismatch (PI/PO names, counts)      -> kNotEquivalent
+///   2. combinational pair: single-frame miter         -> SAT/UNSAT decide
+///   3. sequential, matching state keys: cut check
+///      (outputs + effective next-states, shared Q)    -> UNSAT proves
+///   4. cut SAT or state keys differ: BMC unrolling
+///      from the all-zero power-on state               -> SAT disproves,
+///      UNSAT to max_frames                            -> kUnknown/depth
+/// Deterministic for a fixed config (seeded solver, index-ordered ties).
+class EquivOracle {
+ public:
+  explicit EquivOracle(OracleConfig cfg = {}) : cfg_(cfg) {}
+
+  OracleResult check(const netlist::Netlist& a,
+                     const netlist::Netlist& b) const;
+  /// Lowered-RTL-vs-netlist: synthesize `m` against b's library, then
+  /// compare netlists.
+  OracleResult check(const rtl::Module& m, const netlist::Netlist& b) const;
+
+  const OracleConfig& config() const { return cfg_; }
+
+ private:
+  OracleConfig cfg_;
+};
+
+}  // namespace moss::sat

@@ -1,0 +1,343 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+#include "core_util/check.hpp"
+
+namespace moss::sat {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "SAT";
+    case SolveStatus::kUnsat: return "UNSAT";
+    case SolveStatus::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+Solver::Solver(SolverConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  // Var 0 is reserved so literal 0 stays an "undefined" sentinel.
+  watches_.resize(2);
+  assigns_.push_back(0);
+  polarity_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  watches_.resize(watches_.size() + 2);
+  assigns_.push_back(0);
+  // Seeded initial phase: makes the seed observable while staying
+  // bit-deterministic (one rng draw per variable, in creation order).
+  polarity_.push_back(rng_.bernoulli(0.5) ? 1 : 0);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  MOSS_CHECK(!solved_, "add_clause after solve()");
+  if (!ok_) return false;
+  // Canonicalize: sort by (var, sign), drop duplicates, detect tautology,
+  // and strip literals already false at level 0.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> c;
+  c.reserve(lits.size());
+  for (const Lit l : lits) {
+    MOSS_CHECK(lit_var(l) != 0 && lit_var(l) < assigns_.size(),
+               "clause literal over unknown variable");
+    if (!c.empty()) {
+      if (c.back() == l) continue;                 // duplicate
+      if (c.back() == lit_neg(l)) return true;     // tautology
+    }
+    if (value_lit(l) > 0) return true;             // satisfied at level 0
+    if (value_lit(l) < 0) continue;                // false at level 0
+    c.push_back(l);
+  }
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (c.size() == 1) {
+    unchecked_enqueue(c[0], kNoClause);
+    return ok_;
+  }
+  const auto cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(std::move(c));
+  attach_clause(cr);
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cr) {
+  const auto& c = clauses_[cr];
+  watches_[lit_neg(c[0])].push_back(cr);
+  watches_[lit_neg(c[1])].push_back(cr);
+}
+
+void Solver::unchecked_enqueue(Lit l, ClauseRef reason) {
+  const Var v = lit_var(l);
+  assigns_[v] = lit_sign(l) ? -1 : 1;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef confl = kNoClause;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p];  // clauses watching ¬p (indexed by the true lit)
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const ClauseRef cr = ws[i++];
+      auto& c = clauses_[cr];
+      const Lit false_lit = lit_neg(p);
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (value_lit(c[0]) > 0) {  // clause already satisfied
+        ws[j++] = cr;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value_lit(c[k]) >= 0) {
+          std::swap(c[1], c[k]);
+          watches_[lit_neg(c[1])].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[j++] = cr;
+      if (value_lit(c[0]) < 0) {  // conflict
+        confl = cr;
+        while (i < ws.size()) ws[j++] = ws[i++];
+        break;
+      }
+      unchecked_enqueue(c[0], cr);
+    }
+    ws.resize(j);
+    if (confl != kNoClause) break;
+  }
+  return confl;
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     int& bt_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  int path = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+  std::vector<Var> to_clear;
+  do {
+    MOSS_CHECK(confl != kNoClause, "conflict analysis lost its reason");
+    const auto& c = clauses_[confl];
+    for (std::size_t k = (p == kLitUndef ? 0 : 1); k < c.size(); ++k) {
+      const Lit q = c[k];
+      const Var v = lit_var(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      to_clear.push_back(v);
+      bump_var(v);
+      if (level_[v] >= decision_level()) {
+        ++path;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    while (!seen_[lit_var(trail_[--index])]) {}
+    p = trail_[index];
+    confl = reason_[lit_var(p)];
+    seen_[lit_var(p)] = 0;
+    --path;
+  } while (path > 0);
+  learnt[0] = lit_neg(p);
+
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    // Second-highest decision level goes to watch position 1.
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[lit_var(learnt[k])] > level_[lit_var(learnt[max_i])]) {
+        max_i = k;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[lit_var(learnt[1])];
+  }
+  for (const Var v : to_clear) seen_[v] = 0;
+  stats_.learned_clauses += 1;
+  stats_.learned_literals += learnt.size();
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const std::size_t bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Lit l = trail_[i - 1];
+    const Var v = lit_var(l);
+    polarity_[v] = lit_sign(l) ? 1 : 0;  // phase saving
+    assigns_[v] = 0;
+    reason_[v] = kNoClause;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = bound;
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value_var(v) == 0) {
+      return mk_lit(v, polarity_[v] != 0);
+    }
+  }
+  return kLitUndef;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (std::size_t i = 1; i < activity_.size(); ++i) activity_[i] *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_up(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+void Solver::decay_activities() { var_inc_ /= cfg_.var_decay; }
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_lt(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_down(std::size_t i) {
+  const Var v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && heap_lt(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!heap_lt(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+std::uint32_t Solver::luby(std::uint32_t x) {
+  // Luby sequence 1,1,2,1,1,2,4,... (0-based index).
+  std::uint32_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return 1u << seq;
+}
+
+SolveStatus Solver::solve(std::uint64_t conflict_budget) {
+  MOSS_CHECK(!solved_, "Solver instances are single-shot");
+  solved_ = true;
+  if (!ok_) return SolveStatus::kUnsat;
+
+  std::uint32_t restart_index = 0;
+  std::uint64_t restart_limit =
+      static_cast<std::uint64_t>(luby(restart_index)) * cfg_.restart_base;
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) return SolveStatus::kUnsat;
+      if (conflict_budget != 0 && stats_.conflicts > conflict_budget) {
+        cancel_until(0);
+        return SolveStatus::kUnknown;
+      }
+      int bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], kNoClause);
+      } else {
+        const auto cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(learnt);
+        attach_clause(cr);
+        unchecked_enqueue(learnt[0], cr);
+      }
+      decay_activities();
+      continue;
+    }
+    if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
+      cancel_until(0);
+      return SolveStatus::kUnknown;
+    }
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_limit =
+          static_cast<std::uint64_t>(luby(++restart_index)) *
+          cfg_.restart_base;
+      cancel_until(0);
+      continue;
+    }
+    const Lit next = pick_branch();
+    if (next == kLitUndef) {
+      model_ = assigns_;
+      cancel_until(0);
+      return SolveStatus::kSat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    unchecked_enqueue(next, kNoClause);
+  }
+}
+
+}  // namespace moss::sat

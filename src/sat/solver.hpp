@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core_util/rng.hpp"
+
+namespace moss::sat {
+
+/// Solver variable (1-based; 0 is reserved/invalid) and literal. A literal
+/// packs variable and sign as 2*var + sign, sign 1 meaning negated — the
+/// same scheme moss::aig uses for AND-graph literals, so encodings map 1:1.
+using Var = std::uint32_t;
+using Lit = std::uint32_t;
+inline constexpr Var kInvalidVar = 0;
+inline constexpr Lit kLitUndef = 0;
+
+inline Lit mk_lit(Var v, bool neg) { return (v << 1) | (neg ? 1u : 0u); }
+inline Var lit_var(Lit l) { return l >> 1; }
+inline bool lit_sign(Lit l) { return (l & 1u) != 0; }
+inline Lit lit_neg(Lit l) { return l ^ 1u; }
+
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+const char* to_string(SolveStatus s);
+
+struct SolverConfig {
+  std::uint64_t seed = 1;      ///< initial decision polarities
+  double var_decay = 0.95;     ///< VSIDS activity decay per conflict
+  std::uint32_t restart_base = 100;  ///< conflicts per Luby restart unit
+};
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+};
+
+/// A small, self-contained CDCL SAT solver: two-watched-literal
+/// propagation, VSIDS-style decision heap, first-UIP conflict learning
+/// with phase saving, Luby restarts. Fully deterministic for a fixed seed:
+/// no wall clock, no pointer-order iteration, ties broken by variable
+/// index. Intended for the miter-sized problems the equivalence oracle
+/// produces, not industrial CNF; clause deletion is deliberately omitted.
+class Solver {
+ public:
+  explicit Solver(SolverConfig cfg = {});
+
+  /// Allocate a fresh variable (ids start at 1).
+  Var new_var();
+  std::size_t num_vars() const { return activity_.size() - 1; }
+
+  /// Add a clause over existing variables. Returns false if the database
+  /// became trivially unsatisfiable (empty clause after simplification).
+  /// Must be called before solve().
+  bool add_clause(std::vector<Lit> lits);
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Solve the current database. `conflict_budget` bounds the search
+  /// (0 = unlimited); exceeding it yields kUnknown. Callable once per
+  /// Solver instance.
+  SolveStatus solve(std::uint64_t conflict_budget = 0);
+
+  /// Model access, valid after solve() returned kSat.
+  bool model_value(Var v) const { return model_[v] > 0; }
+  bool model_value_lit(Lit l) const {
+    return lit_sign(l) ? !model_value(lit_var(l)) : model_value(lit_var(l));
+  }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = 0xffffffffu;
+
+  // -1 false, 0 unassigned, +1 true (for the literal/variable).
+  std::int8_t value_var(Var v) const { return assigns_[v]; }
+  std::int8_t value_lit(Lit l) const {
+    const std::int8_t a = assigns_[lit_var(l)];
+    return lit_sign(l) ? static_cast<std::int8_t>(-a) : a;
+  }
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  void unchecked_enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, int& bt_level);
+  void cancel_until(int level);
+  Lit pick_branch();
+  void attach_clause(ClauseRef cr);
+  void bump_var(Var v);
+  void decay_activities();
+
+  // Indexed max-heap over variable activity (ties -> smaller index).
+  bool heap_lt(Var a, Var b) const {
+    return activity_[a] > activity_[b] ||
+           (activity_[a] == activity_[b] && a < b);
+  }
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+
+  static std::uint32_t luby(std::uint32_t i);
+
+  SolverConfig cfg_;
+  Rng rng_;
+  bool ok_ = true;
+  bool solved_ = false;
+
+  std::vector<std::vector<Lit>> clauses_;       // problem + learnt
+  std::vector<std::vector<ClauseRef>> watches_; // per literal
+  std::vector<std::int8_t> assigns_;            // per var
+  std::vector<std::uint8_t> polarity_;          // saved phase per var
+  std::vector<int> level_;                      // per var
+  std::vector<ClauseRef> reason_;               // per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_pos_;          // -1 = not in heap
+
+  std::vector<std::uint8_t> seen_;              // analyze() scratch
+  std::vector<std::int8_t> model_;
+  SolverStats stats_;
+};
+
+}  // namespace moss::sat

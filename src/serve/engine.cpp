@@ -7,6 +7,7 @@
 #include "core_util/fault.hpp"
 #include "plan/plan.hpp"
 #include "power/power.hpp"
+#include "sat/oracle.hpp"
 
 namespace moss::serve {
 
@@ -120,6 +121,26 @@ std::future<Response> InferenceEngine::submit(Request req) {
       fail_typed("queue_full", "serve queue full — request rejected",
                  {{"capacity", std::to_string(cfg_.queue_capacity)}},
                  ErrorClass::kTransient);
+    }
+    if (p.req.kind == RequestKind::kVerify) {
+      // VERIFY latency class: admission is capped by summed conflict
+      // budgets, not request count — one huge check and many small ones
+      // load the solver the same way. Reserved here (under mu_, so
+      // concurrent submits serialize against the cap) and released by the
+      // dispatch worker once the promise settles.
+      const std::uint64_t budget = verify_budget(p.req);
+      const std::uint64_t inflight =
+          verify_inflight_.load(std::memory_order_relaxed);
+      if (inflight + budget > cfg_.verify_inflight_budget) {
+        metrics_.record_verify_shed();
+        fail_typed("verify_capacity",
+                   "VERIFY conflict budget in flight exceeds engine cap",
+                   {{"inflight", std::to_string(inflight)},
+                    {"requested", std::to_string(budget)},
+                    {"cap", std::to_string(cfg_.verify_inflight_budget)}},
+                   ErrorClass::kTransient);
+      }
+      verify_inflight_.fetch_add(budget, std::memory_order_relaxed);
     }
     queue_.push_back(std::move(p));
     metrics_.set_queue_depth(queue_.size());
@@ -275,6 +296,12 @@ void InferenceEngine::dispatch(std::vector<Pending>& batch) {
       metrics_.record(p.req.kind, 0.0, /*ok=*/false);
       p.promise.set_exception(std::current_exception());
     }
+    // Release the conflict budget submit() reserved — on every outcome
+    // (success, typed failure, deadline), or the cap would leak shut.
+    if (p.req.kind == RequestKind::kVerify) {
+      verify_inflight_.fetch_sub(verify_budget(p.req),
+                                 std::memory_order_relaxed);
+    }
   });
 }
 
@@ -348,7 +375,67 @@ InferenceEngine::ResolvedBatch InferenceEngine::resolve_batch(
   return rb;
 }
 
+std::uint64_t InferenceEngine::verify_budget(const Request& req) const {
+  if (req.verify_conflict_budget == 0) return cfg_.verify_conflict_limit;
+  return std::min(req.verify_conflict_budget, cfg_.verify_conflict_limit);
+}
+
+Response InferenceEngine::process_verify(const Request& req) {
+  if (!req.circuit || !req.circuit_b) {
+    fail_typed("bad_request",
+               "VERIFY needs two circuits (circuit and circuit_b)");
+  }
+  sat::OracleConfig ocfg;
+  ocfg.seed = cfg_.verify_seed;
+  ocfg.conflict_budget = verify_budget(req);
+  ocfg.max_frames = cfg_.verify_max_frames;
+  const sat::EquivOracle oracle(ocfg);
+  const sat::OracleResult res =
+      oracle.check(req.circuit->netlist, req.circuit_b->netlist);
+  if (res.verdict == sat::Verdict::kUnknown &&
+      res.unknown_reason == sat::UnknownReason::kConflictBudget) {
+    // Budget exhaustion is the VERIFY analogue of a deadline: permanent,
+    // because retrying the identical budget re-runs the identical
+    // (deterministic) search. The caller must raise the budget to make
+    // progress.
+    metrics_.record_verify_timeout();
+    fail_typed("verify_timeout",
+               "SAT conflict budget exhausted before a verdict",
+               {{"conflicts", std::to_string(res.stats.conflicts)},
+                {"budget", std::to_string(ocfg.conflict_budget)}});
+  }
+  Response r;
+  r.kind = RequestKind::kVerify;
+  r.model = req.model;
+  r.verdict = sat::to_string(res.verdict);
+  r.verify_detail = res.detail;
+  r.verify_conflicts = res.stats.conflicts;
+  r.verify_frames = res.frames_checked;
+  if (res.verdict == sat::Verdict::kNotEquivalent &&
+      !res.cex.inputs.empty()) {
+    // Render the sim-confirmed counterexample compactly: one `fN` group
+    // per frame, inputs in the oracle's sorted order.
+    std::string cex;
+    for (std::size_t f = 0; f < res.cex.frames.size(); ++f) {
+      if (f > 0) cex += " | ";
+      cex += "f" + std::to_string(f) + ":";
+      for (std::size_t i = 0; i < res.cex.inputs.size(); ++i) {
+        cex += " " + res.cex.inputs[i] + "=" +
+               (res.cex.frames[f][i] != 0 ? "1" : "0");
+      }
+    }
+    if (!res.cex.mismatch_output.empty()) {
+      cex += " -> " + res.cex.mismatch_output;
+    }
+    r.verify_cex = std::move(cex);
+  }
+  return r;
+}
+
 Response InferenceEngine::process(const Request& req) {
+  // VERIFY never touches a model session, the cache or the breaker: it is
+  // a pure solver call with its own admission cap and failure taxonomy.
+  if (req.kind == RequestKind::kVerify) return process_verify(req);
   ModelRegistry::Acquired acq;
   try {
     acq = registry_.acquire(req.model);
@@ -571,6 +658,8 @@ Response InferenceEngine::process_with(const MossSession& s,
     }
     case RequestKind::kFepRank:
       break;  // handled above
+    case RequestKind::kVerify:
+      break;  // never reaches a session: process() routed it already
   }
   fail_typed("bad_request", "unknown request kind");
 }

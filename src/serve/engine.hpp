@@ -44,6 +44,14 @@ struct Request {
   std::shared_ptr<const plan::ExecutionPlan> plan;
   std::string rtl_text;             ///< FEP-rank query RTL
   std::string pool;                 ///< FEP-rank target pool name
+  /// VERIFY: the second circuit of the equivalence pair (`circuit` is the
+  /// first). Both must carry netlists; anything else is a typed
+  /// bad_request.
+  std::shared_ptr<const data::LabeledCircuit> circuit_b;
+  /// VERIFY: per-request CDCL conflict budget. 0 = the engine's
+  /// verify_conflict_limit. Values above the engine limit are clamped —
+  /// a client cannot buy more solver time than the operator configured.
+  std::uint64_t verify_conflict_budget = 0;
   std::string model = "default";    ///< registry name to serve with
   /// Soft deadline from submit time; 0 = none. A request still queued when
   /// its deadline passes is failed with a typed ContextError instead of
@@ -66,6 +74,18 @@ struct Response {
   std::vector<float> embedding;        ///< EMBED: pooled netlist embedding
   std::vector<float> rtl_embedding;    ///< EMBED: RTL text embedding
   std::vector<RankEntry> ranking;      ///< FEP-rank: pool sorted by score
+  /// VERIFY: "EQUIVALENT", "NOT_EQUIVALENT" or "UNKNOWN" (depth bound hit
+  /// with no counterexample — the answer is typed, not an error; conflict
+  /// budget exhaustion IS an error, reason=verify_timeout). Empty for every
+  /// other request kind.
+  std::string verdict;
+  std::string verify_detail;           ///< VERIFY: human-readable one-liner
+  std::uint64_t verify_conflicts = 0;  ///< VERIFY: CDCL conflicts spent
+  int verify_frames = 0;               ///< VERIFY: time frames checked
+  /// VERIFY: rendered counterexample ("f0 a=1 b=0 ... out=<name>"), empty
+  /// unless NOT_EQUIVALENT. Every counterexample was replayed through
+  /// aig_sim before it got here.
+  std::string verify_cex;
   std::string model;                   ///< session name that served it
   std::uint64_t session_uid = 0;
   double latency_us = 0.0;             ///< queue wait + compute
@@ -95,6 +115,16 @@ struct EngineConfig {
   /// reject the request), EMBED and FEP-rank answers may be served from
   /// stale EmbeddingCache entries with Response::degraded set.
   bool allow_stale = false;
+  /// VERIFY latency class. SAT checks are orders of magnitude more
+  /// expensive than a forward pass, so they get their own admission cap:
+  /// the summed conflict budgets of in-flight VERIFY requests may not
+  /// exceed verify_inflight_budget — beyond that, submits are refused with
+  /// a typed transient `verify_capacity` error (counted as verify_shed)
+  /// instead of wedging the batch pipeline behind solver calls.
+  std::uint64_t verify_conflict_limit = 50000;   ///< per-request default/cap
+  std::uint64_t verify_inflight_budget = 200000; ///< summed in-flight cap
+  int verify_max_frames = 8;                     ///< BMC unroll depth
+  std::uint64_t verify_seed = 1;                 ///< solver determinism seed
 };
 
 /// Batched inference engine over registered MossSessions.
@@ -186,6 +216,14 @@ class InferenceEngine {
   void scheduler_loop();
   void dispatch(std::vector<Pending>& batch);
   Response process(const Request& req);
+  /// VERIFY path: no model session, no cache — a seeded EquivOracle run.
+  /// Depth-bound UNKNOWN is a normal response; conflict-budget exhaustion
+  /// throws typed `verify_timeout` (permanent: retrying the same budget
+  /// cannot succeed).
+  Response process_verify(const Request& req);
+  /// The effective conflict budget of a VERIFY request (request override
+  /// clamped to the engine limit).
+  std::uint64_t verify_budget(const Request& req) const;
   Response process_with(const MossSession& s, const Request& req,
                         const ResolvedBatch& rb);
   ResolvedBatch resolve_batch(const MossSession& s, const Request& req) const;
@@ -215,6 +253,9 @@ class InferenceEngine {
   AdmissionController admission_;
   std::atomic<std::uint64_t> submit_seq_{0};
   std::atomic<double> cached_p95_us_{0.0};
+  /// Summed conflict budgets of admitted-but-unfinished VERIFY requests.
+  /// Reserved in submit(), released when dispatch settles the promise.
+  std::atomic<std::uint64_t> verify_inflight_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -12,6 +12,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kTrpPp: return "trp_pp";
     case RequestKind::kEmbed: return "embed";
     case RequestKind::kFepRank: return "fep_rank";
+    case RequestKind::kVerify: return "verify";
   }
   return "unknown";
 }
@@ -88,6 +89,16 @@ void ServeMetrics::record_retry() {
   ++retries_;
 }
 
+void ServeMetrics::record_verify_timeout() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++verify_timeouts_;
+}
+
+void ServeMetrics::record_verify_shed() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++verify_shed_;
+}
+
 void ServeMetrics::set_resilience(const std::string& health,
                                   std::size_t breakers_open,
                                   std::uint64_t open_events,
@@ -156,6 +167,8 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.shed = shed_;
   s.degraded = degraded_;
   s.retries = retries_;
+  s.verify_timeouts = verify_timeouts_;
+  s.verify_shed = verify_shed_;
   s.health = health_;
   s.breakers_open = breakers_open_;
   s.breaker_open_events = breaker_open_events_;
@@ -213,6 +226,11 @@ std::string ServeMetrics::text() const {
                 static_cast<unsigned long long>(s.breaker_close_events));
   out += line;
   std::snprintf(line, sizeof(line),
+                "verify: %llu timeouts, %llu shed\n",
+                static_cast<unsigned long long>(s.verify_timeouts),
+                static_cast<unsigned long long>(s.verify_shed));
+  out += line;
+  std::snprintf(line, sizeof(line),
                 "cache: %llu hits, %llu misses, %llu evictions, "
                 "%llu oversize, %zu entries, %zu bytes\n",
                 static_cast<unsigned long long>(s.cache_hits),
@@ -266,6 +284,11 @@ std::string ServeMetrics::json() const {
                 static_cast<unsigned long long>(s.breaker_open_events),
                 static_cast<unsigned long long>(s.breaker_half_open_events),
                 static_cast<unsigned long long>(s.breaker_close_events));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"verify\":{\"timeouts\":%llu,\"shed\":%llu},",
+                static_cast<unsigned long long>(s.verify_timeouts),
+                static_cast<unsigned long long>(s.verify_shed));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"

@@ -16,8 +16,9 @@ enum class RequestKind : std::uint8_t {
   kTrpPp = 1,   ///< per-cell toggle rates + derived circuit power
   kEmbed = 2,   ///< netlist + RTL embeddings
   kFepRank = 3, ///< rank a registered pool against a query RTL
+  kVerify = 4,  ///< exact SAT equivalence check (no model session)
 };
-inline constexpr std::size_t kNumRequestKinds = 4;
+inline constexpr std::size_t kNumRequestKinds = 5;
 
 const char* to_string(RequestKind kind);
 
@@ -65,6 +66,8 @@ struct MetricsSnapshot {
   std::uint64_t shed = 0;              ///< admission-control load shedding
   std::uint64_t degraded = 0;          ///< responses served degraded/stale
   std::uint64_t retries = 0;           ///< retry attempts (protocol layer)
+  std::uint64_t verify_timeouts = 0;   ///< VERIFY conflict budgets exhausted
+  std::uint64_t verify_shed = 0;       ///< VERIFY admission-cap rejections
   std::uint64_t batches = 0;           ///< micro-batches dispatched
   double mean_batch_size = 0.0;
   std::size_t queue_depth = 0;   ///< at snapshot time
@@ -97,6 +100,8 @@ class ServeMetrics {
   void record_shed();
   void record_degraded();
   void record_retry();
+  void record_verify_timeout();
+  void record_verify_shed();
   void record_batch(std::size_t batch_size);
   void set_queue_depth(std::size_t depth);
   /// Cache counters are pushed by the engine at snapshot time (the cache
@@ -126,6 +131,8 @@ class ServeMetrics {
   std::uint64_t shed_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t verify_timeouts_ = 0;
+  std::uint64_t verify_shed_ = 0;
   std::string health_ = "ok";
   std::size_t breakers_open_ = 0;
   std::uint64_t breaker_open_events_ = 0;

@@ -52,6 +52,7 @@ constexpr const char* kHelp =
     "TRP <design>      per-cell toggle rates + power\n"
     "EMBED <design>    netlist + RTL embeddings\n"
     "RANK <design>     rank registered pool against the design's RTL\n"
+    "VERIFY <a> <b>    exact SAT equivalence check of two designs\n"
     "METRICS [json]    serving metrics\n"
     "HEALTH            one-line health report\n"
     "FLUSH             persist cache segments now (when configured)\n"
@@ -189,6 +190,28 @@ std::string ProtocolHandler::handle_line(const std::string& line,
       std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
       out += buf;
       if (r.degraded) out += " degraded=1";
+      return out;
+    }
+
+    if (cmd == "VERIFY") {
+      if (tok.size() < 3) {
+        return "ERR bad_request VERIFY needs two design operands";
+      }
+      Request req;
+      req.kind = RequestKind::kVerify;
+      req.circuit = circuit_for(design);
+      req.circuit_b = circuit_for(tok[2]);
+      req.model = cfg_.model_name;
+      req.deadline_ms = cfg_.deadline_ms;
+      const Response r = call_with_retry(std::move(req));
+      std::snprintf(buf, sizeof(buf),
+                    "OK VERIFY %s conflicts=%llu frames=%d", r.verdict.c_str(),
+                    static_cast<unsigned long long>(r.verify_conflicts),
+                    r.verify_frames);
+      std::string out = buf;
+      if (!r.verify_cex.empty()) out += " cex: " + r.verify_cex;
+      std::snprintf(buf, sizeof(buf), " latency_us=%.0f", r.latency_us);
+      out += buf;
       return out;
     }
 

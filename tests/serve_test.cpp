@@ -1,7 +1,9 @@
 // moss::serve test suite: embedding-cache LRU/budget/concurrency semantics,
-// bit-identical cached-vs-direct inference for all four request kinds,
-// micro-batching overload behavior (typed queue-full rejections, deadlines),
-// fault-injection request isolation, registry hot-swap, and metrics output.
+// bit-identical cached-vs-direct inference for all four model-backed request
+// kinds, micro-batching overload behavior (typed queue-full rejections,
+// deadlines), fault-injection request isolation, registry hot-swap, metrics
+// output, and the VERIFY latency class (SAT-oracle verdicts end to end,
+// conflict-budget admission, typed verify_timeout/bad_request errors).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -14,11 +16,14 @@
 #include "core_util/error.hpp"
 #include "core_util/fault.hpp"
 #include "core_util/thread_pool.hpp"
+#include "data/mutate.hpp"
 #include "plan/plan.hpp"
 #include "power/power.hpp"
+#include "sat/oracle.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 
 namespace moss {
@@ -631,6 +636,207 @@ TEST(ServeMetrics, EngineCountsRequestsPerEndpoint) {
   EXPECT_EQ(
       snap.endpoints[static_cast<std::size_t>(RequestKind::kEmbed)].requests,
       2u);
+}
+
+// ---------------------------------------------------------------------------
+// VERIFY: the SAT-oracle latency class. No model session is ever touched —
+// every test below runs against an empty registry on purpose.
+
+std::shared_ptr<const data::LabeledCircuit> mutant_of(
+    const data::LabeledCircuit& golden, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto muts = data::sample_mutations(golden.netlist, 1, rng);
+  auto lc = std::make_shared<data::LabeledCircuit>(golden);
+  lc->netlist = data::apply_mutation(golden.netlist, muts.at(0), "__mut");
+  return lc;
+}
+
+TEST(ServeVerify, EquivalentAndInequivalentEndToEnd) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  InferenceEngine eng(reg, nullptr, {});
+
+  Request rq;
+  rq.kind = RequestKind::kVerify;
+  rq.circuit = w.lcs[0];
+  rq.circuit_b = w.lcs[0];
+  const Response same = eng.call(rq);
+  EXPECT_EQ(same.kind, RequestKind::kVerify);
+  EXPECT_EQ(same.verdict, "EQUIVALENT");
+  EXPECT_TRUE(same.verify_cex.empty());
+  EXPECT_FALSE(same.verify_detail.empty());
+
+  // A seeded mutant must be PROVEN different, and the proof must carry a
+  // rendered counterexample (replayed through aig_sim inside the oracle).
+  bool proven_inequivalent = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !proven_inequivalent; ++seed) {
+    rq.circuit_b = mutant_of(*w.lcs[0], seed);
+    const Response r = eng.call(rq);
+    if (r.verdict != "NOT_EQUIVALENT") continue;  // mutation hit a don't-care
+    proven_inequivalent = true;
+    EXPECT_FALSE(r.verify_cex.empty()) << r.verify_detail;
+    EXPECT_NE(r.verify_detail.find("counterexample"), std::string::npos)
+        << r.verify_detail;
+  }
+  EXPECT_TRUE(proven_inequivalent)
+      << "no mutant of srv_alu was proven inequivalent in 8 seeds";
+
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_GE(
+      snap.endpoints[static_cast<std::size_t>(RequestKind::kVerify)].requests,
+      2u);
+  EXPECT_NE(eng.metrics_json().find("\"verify\""), std::string::npos);
+  EXPECT_NE(eng.metrics().text().find("verify"), std::string::npos);
+}
+
+TEST(ServeVerify, MissingOperandIsTypedBadRequest) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  InferenceEngine eng(reg, nullptr, {});
+  Request rq;
+  rq.kind = RequestKind::kVerify;
+  rq.circuit = w.lcs[0];  // circuit_b deliberately absent
+  try {
+    eng.call(rq);
+    FAIL() << "VERIFY without a second circuit must be a typed bad_request";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "bad_request") << e.what();
+  }
+}
+
+TEST(ServeVerify, ConflictBudgetExhaustionIsPermanentVerifyTimeout) {
+  const ServeWorld& w = world();
+  // Pick a pair the solver provably cannot settle within ONE conflict.
+  // The oracle is deterministic, so probing it directly with the same
+  // seed/budget/frames the engine will use predicts the engine exactly.
+  std::shared_ptr<const data::LabeledCircuit> golden, hard;
+  for (std::size_t c = 1; c < w.lcs.size() && !hard; ++c) {
+    for (std::uint64_t seed = 1; seed <= 8 && !hard; ++seed) {
+      auto cand = mutant_of(*w.lcs[c], seed);
+      sat::OracleConfig oc;
+      oc.conflict_budget = 1;
+      const sat::EquivOracle probe(oc);
+      const sat::OracleResult res =
+          probe.check(w.lcs[c]->netlist, cand->netlist);
+      if (res.verdict == sat::Verdict::kUnknown &&
+          res.unknown_reason == sat::UnknownReason::kConflictBudget) {
+        hard = std::move(cand);
+        golden = w.lcs[c];
+      }
+    }
+  }
+  ASSERT_TRUE(hard) << "no probe pair exhausted a 1-conflict budget";
+
+  ModelRegistry reg;
+  serve::EngineConfig ec;
+  ec.verify_conflict_limit = 1;  // also clamps any client-supplied budget
+  InferenceEngine eng(reg, nullptr, ec);
+  Request rq;
+  rq.kind = RequestKind::kVerify;
+  rq.circuit = golden;
+  rq.circuit_b = hard;
+  rq.verify_conflict_budget = 999999;  // clamped down to the engine limit
+  try {
+    eng.call(rq);
+    FAIL() << "1-conflict budget must exhaust into a typed verify_timeout";
+  } catch (const ContextError& e) {
+    EXPECT_EQ(e.context_value("reason"), "verify_timeout") << e.what();
+    // Deterministic search: retrying with the same budget cannot succeed,
+    // so the failure class is permanent, unlike a deadline or a shed.
+    EXPECT_FALSE(e.transient()) << e.what();
+  }
+  EXPECT_EQ(eng.metrics().snapshot().verify_timeouts, 1u);
+}
+
+TEST(ServeVerify, DepthBoundIsTypedUnknownResponseNotAnError) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  serve::EngineConfig ec;
+  ec.verify_max_frames = 0;  // BMC disabled: sequential cut-SAT -> UNKNOWN
+  InferenceEngine eng(reg, nullptr, ec);
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !exercised; ++seed) {
+    Request rq;
+    rq.kind = RequestKind::kVerify;
+    rq.circuit = w.lcs[1];  // srv_crc is sequential
+    rq.circuit_b = mutant_of(*w.lcs[1], seed);
+    const Response r = eng.call(rq);  // must NOT throw: UNKNOWN is an answer
+    if (r.verdict != "UNKNOWN") continue;  // cut proved this mutant outright
+    exercised = true;
+    EXPECT_EQ(r.verify_frames, 0) << r.verify_detail;
+    EXPECT_TRUE(r.verify_cex.empty());
+    EXPECT_NE(r.verify_detail.find("depth"), std::string::npos)
+        << r.verify_detail;
+  }
+  EXPECT_TRUE(exercised)
+      << "no crc mutant reached the depth bound in 8 seeds";
+}
+
+TEST(ServeVerify, InflightConflictBudgetCapShedsAndReleases) {
+  const ServeWorld& w = world();
+  Request rq;
+  rq.kind = RequestKind::kVerify;
+  rq.circuit = w.lcs[0];
+  rq.circuit_b = w.lcs[0];
+
+  // Cap below one request's budget: admission must refuse it up front with
+  // the VERIFY-specific transient error (counted as verify_shed), without
+  // ever reaching the solver.
+  {
+    ModelRegistry reg;
+    serve::EngineConfig ec;
+    ec.verify_conflict_limit = 50000;
+    ec.verify_inflight_budget = 10;
+    InferenceEngine eng(reg, nullptr, ec);
+    try {
+      eng.submit(rq);
+      FAIL() << "VERIFY above the in-flight conflict cap must be refused";
+    } catch (const ContextError& e) {
+      EXPECT_EQ(e.context_value("reason"), "verify_capacity") << e.what();
+      EXPECT_EQ(error_class(e), ErrorClass::kTransient);
+    }
+    EXPECT_EQ(eng.metrics().snapshot().verify_shed, 1u);
+  }
+
+  // Cap exactly one request wide: back-to-back calls only both succeed if
+  // the reservation is released when a request settles.
+  {
+    ModelRegistry reg;
+    serve::EngineConfig ec;
+    ec.verify_inflight_budget = ec.verify_conflict_limit;
+    InferenceEngine eng(reg, nullptr, ec);
+    EXPECT_EQ(eng.call(rq).verdict, "EQUIVALENT");
+    EXPECT_EQ(eng.call(rq).verdict, "EQUIVALENT");
+    EXPECT_EQ(eng.metrics().snapshot().verify_shed, 0u);
+  }
+}
+
+TEST(ServeVerify, ProtocolLineRoundTrips) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  InferenceEngine eng(reg, nullptr, {});
+  const auto mut = mutant_of(*w.lcs[0], 1);
+  serve::ProtocolConfig pcfg;
+  pcfg.load_design = [&](const std::string& name)
+      -> std::shared_ptr<const data::LabeledCircuit> {
+    if (name == "golden") return w.lcs[0];
+    if (name == "mutant") return mut;
+    return nullptr;
+  };
+  serve::ProtocolHandler handler(eng, std::move(pcfg));
+
+  const std::string same = handler.handle_line("VERIFY golden golden");
+  EXPECT_EQ(same.rfind("OK VERIFY EQUIVALENT", 0), 0u) << same;
+  EXPECT_NE(same.find("conflicts="), std::string::npos) << same;
+  EXPECT_NE(same.find("frames="), std::string::npos) << same;
+
+  const std::string one_operand = handler.handle_line("VERIFY golden");
+  EXPECT_EQ(one_operand.rfind("ERR bad_request", 0), 0u) << one_operand;
+  const std::string unknown = handler.handle_line("VERIFY golden nosuch");
+  EXPECT_EQ(unknown.rfind("ERR unknown_design", 0), 0u) << unknown;
+
+  const std::string help = handler.handle_line("HELP");
+  EXPECT_NE(help.find("VERIFY"), std::string::npos);
 }
 
 }  // namespace
