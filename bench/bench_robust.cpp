@@ -1,0 +1,248 @@
+// Robustness harness: does noise-tolerant alignment actually buy anything
+// on imperfect RTL?
+//
+// Two models are trained on the same workbench:
+//
+//   clean   — MOSS full(), the Table-I training recipe, untouched.
+//   robust  — the same recipe plus the imperfection model: corrupted code
+//             views attached to every train batch (data::corrupt_module,
+//             training seed), the rejection terms of core::align enabled,
+//             and oracle-proven mutant netlists (sat::mine_hard_negatives)
+//             folded in as in-batch hard negatives.
+//
+// Both are then scored on an EVAL pool the robust model never saw: the
+// Table-I circuits with corrupted views drawn from a disjoint seed, plus
+// mutant netlists mined from the eval circuits themselves.
+//
+//   FEP(clean inputs)   retrieval@1 on the unmodified eval pool — the
+//                       robustness training must not cost clean accuracy.
+//   corrupt rejection   fraction of (circuit, corrupted view) pairs where
+//                       the clean RTL outscores the corrupted one against
+//                       the circuit's own netlist (evaluate_corrupt_rejection).
+//   detection AUC       Mann–Whitney AUC separating genuine pairs from
+//                       (corrupted RTL, netlist) and (RTL, mutant netlist)
+//                       pairs (evaluate_detection_auc).
+//
+// Floors (exit 1 when missed, any MOSS_BENCH_SCALE):
+//   - robust rejection  >= clean rejection  (training must not hurt it)
+//   - robust AUC        >= clean AUC - 0.02 and >= 0.55 absolute
+//   - robust clean FEP  >= clean FEP - 0.25 (one miss on the 8-circuit
+//     Table-I pool costs 0.125; allow two at smoke scale)
+//   - corruption determinism: same (seed, module) twice -> byte-identical
+//     Verilog and provenance
+//
+// Output: stdout tables + results/bench_robust.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/corrupt.hpp"
+#include "data/mutate.hpp"
+#include "harness.hpp"
+#include "json_report.hpp"
+#include "rtl/printer.hpp"
+#include "sat/mine.hpp"
+
+using namespace moss;
+
+namespace {
+
+struct Scores {
+  double fep_clean = 0.0;
+  double rejection = 0.0;
+  double auc = 0.0;
+};
+
+Scores score_model(const core::MossModel& model,
+                   const std::vector<core::CircuitBatch>& clean_pool,
+                   const std::vector<core::CircuitBatch>& eval_pool,
+                   const std::vector<core::CircuitBatch>& mutants,
+                   const std::vector<std::size_t>& owners) {
+  Scores s;
+  s.fep_clean = core::evaluate_fep(model, clean_pool);
+  s.rejection = core::evaluate_corrupt_rejection(model, eval_pool);
+  s.auc = core::evaluate_detection_auc(model, eval_pool, mutants, owners);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::Scale scale = bench::Scale::from_env();
+  // Alignment is where the rejection terms live, and at smoke scale the
+  // default budget is a handful of Adam steps — too few for ANY alignment
+  // signal to move the weights. Both models get the same raised budget, so
+  // the comparison stays fair.
+  scale.align_epochs = std::max(scale.align_epochs, 40);
+  bench::JsonReport report("bench_robust");
+
+  std::printf("=== Robustness: noise-tolerant alignment on imperfect RTL "
+              "===\n");
+  std::printf("(scale: %zu train circuits, %d+%d epochs, hidden=%zu)\n\n",
+              scale.train_circuits, scale.pretrain_epochs, scale.align_epochs,
+              scale.hidden);
+
+  const bench::Workbench wb = bench::Workbench::make(scale);
+
+  // ---- 0. corruption determinism (cheap, gate everything on it) ----------
+  {
+    const rtl::Module& probe = wb.train.front().module;
+    data::CorruptConfig ccfg;
+    ccfg.seed = 0xD0;
+    ccfg.severity = 2;
+    const data::CorruptedRtl a = data::corrupt_module(probe, ccfg);
+    const data::CorruptedRtl b = data::corrupt_module(probe, ccfg);
+    const bool deterministic =
+        rtl::to_verilog(a.module) == rtl::to_verilog(b.module) &&
+        data::provenance_json(probe.name, ccfg.seed, ccfg.severity,
+                              a.applied) ==
+            data::provenance_json(probe.name, ccfg.seed, ccfg.severity,
+                                  b.applied);
+    report.metric("corrupt_deterministic", deterministic);
+    std::printf("corruption determinism: %s\n\n",
+                deterministic ? "byte-identical" : "MISMATCH");
+    if (!deterministic) {
+      report.metric("pass", false);
+      report.write();
+      return 1;
+    }
+  }
+
+  // ---- 1. oracle-proven hard negatives from the TRAIN circuits -----------
+  const core::MossConfig cfg = core::MossConfig::full();
+  bench::RobustTraining robust;
+  robust.noise.enabled = true;
+  robust.noise.weight = 1.0f;
+  robust.noise.corrupt_fraction = 0.75f;
+  const std::size_t train_mine_cap = scale.train_circuits <= 8 ? 4 : 8;
+  const std::size_t negatives_per_circuit = 2;
+  std::size_t train_candidates = 0, train_proven = 0;
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = scale.sim_cycles;
+  for (std::size_t i = 0; i < wb.train.size() && i < train_mine_cap; ++i) {
+    sat::MinerConfig mcfg;
+    mcfg.seed = 0xA11 + i;
+    mcfg.candidates = negatives_per_circuit * 3;
+    const sat::MineReport rep =
+        sat::mine_hard_negatives(wb.train[i].netlist, /*scorer=*/{}, mcfg);
+    train_candidates += rep.candidates;
+    train_proven += rep.proven_inequivalent;
+    std::size_t kept = 0;
+    for (const sat::MinedNegative& neg : rep.negatives) {
+      if (kept >= negatives_per_circuit) break;
+      const netlist::Netlist mutant = data::apply_mutation(
+          wb.train[i].netlist, neg.mutation, "__hn" + std::to_string(kept));
+      const data::LabeledCircuit lc = data::label_netlist(mutant, dcfg);
+      robust.negatives.push_back(
+          {i, core::build_batch(lc, wb.encoder, cfg.features)});
+      ++kept;
+    }
+  }
+  std::printf("train-side mining: %zu candidates, %zu proven inequivalent, "
+              "%zu folded into alignment\n\n",
+              train_candidates, train_proven, robust.negatives.size());
+  report.metric("train_mine_candidates",
+                static_cast<std::int64_t>(train_candidates));
+  report.metric("train_mine_proven",
+                static_cast<std::int64_t>(train_proven));
+  report.metric("train_negatives",
+                static_cast<std::int64_t>(robust.negatives.size()));
+
+  // ---- 2. train both models ----------------------------------------------
+  std::printf("[training clean model]\n");
+  const bench::TrainedMoss clean = bench::train_moss(wb, cfg);
+  std::printf("[training robust model]\n");
+  const bench::TrainedMoss tough = bench::train_moss(wb, cfg, &robust);
+  std::printf("align loss     clean %.4f -> %.4f   robust %.4f -> %.4f\n",
+              clean.align_report.total.front(), clean.align_report.total.back(),
+              tough.align_report.total.front(), tough.align_report.total.back());
+  if (!tough.align_report.reject.empty()) {
+    std::printf("rejection loss  %s  %.4f -> %.4f\n\n",
+                bench::sparkline(tough.align_report.reject).c_str(),
+                tough.align_report.reject.front(),
+                tough.align_report.reject.back());
+  }
+
+  // ---- 3. eval pool: Table-I circuits + DISJOINT-seed corruption ---------
+  // Training corrupts with RobustTraining::view_seed (0x5EED); the eval
+  // views use a different seed so the robust model is scored on corrupted
+  // texts it never trained against.
+  std::vector<core::CircuitBatch> eval_pool = clean.test_batches;
+  std::size_t eval_views = 0;
+  for (std::size_t i = 0; i < wb.test.size(); ++i) {
+    eval_views += core::attach_corrupt_views(eval_pool[i], wb.test[i],
+                                             /*count=*/3,
+                                             /*seed=*/0xE7A1 + 17 * i);
+  }
+
+  // Eval-side mutant netlists, mined from the eval circuits themselves.
+  std::vector<core::CircuitBatch> eval_mutants;
+  std::vector<std::size_t> eval_owners;
+  for (std::size_t i = 0; i < wb.test.size(); ++i) {
+    sat::MinerConfig mcfg;
+    mcfg.seed = 0xB22 + i;
+    mcfg.candidates = 4;
+    const sat::MineReport rep =
+        sat::mine_hard_negatives(wb.test[i].netlist, /*scorer=*/{}, mcfg);
+    for (const sat::MinedNegative& neg : rep.negatives) {
+      const netlist::Netlist mutant = data::apply_mutation(
+          wb.test[i].netlist, neg.mutation,
+          "__ev" + std::to_string(eval_mutants.size()));
+      const data::LabeledCircuit lc = data::label_netlist(mutant, dcfg);
+      eval_mutants.push_back(core::build_batch(lc, wb.encoder, cfg.features));
+      eval_owners.push_back(i);
+      break;  // one mutant per eval circuit keeps the AUC class balance sane
+    }
+  }
+  std::printf("eval pool: %zu circuits, %zu corrupted views, %zu mutant "
+              "netlists\n\n",
+              eval_pool.size(), eval_views, eval_mutants.size());
+  report.metric("eval_views", static_cast<std::int64_t>(eval_views));
+  report.metric("eval_mutants",
+                static_cast<std::int64_t>(eval_mutants.size()));
+
+  // ---- 4. score both models ----------------------------------------------
+  const Scores cs = score_model(clean.model, clean.test_batches, eval_pool,
+                                eval_mutants, eval_owners);
+  const Scores rs = score_model(tough.model, tough.test_batches, eval_pool,
+                                eval_mutants, eval_owners);
+
+  std::printf("%-10s %12s %12s %12s\n", "model", "FEP(clean)", "rejection",
+              "det. AUC");
+  bench::print_rule(50);
+  std::printf("%-10s %12.3f %12.3f %12.3f\n", "clean", cs.fep_clean,
+              cs.rejection, cs.auc);
+  std::printf("%-10s %12.3f %12.3f %12.3f\n\n", "robust", rs.fep_clean,
+              rs.rejection, rs.auc);
+  for (const auto& [name, s] :
+       {std::pair<const char*, const Scores&>{"clean", cs},
+        std::pair<const char*, const Scores&>{"robust", rs}}) {
+    report.row("models", {{"model", std::string(name)},
+                          {"fep_clean", s.fep_clean},
+                          {"rejection", s.rejection},
+                          {"detection_auc", s.auc}});
+  }
+
+  // ---- 5. floors ----------------------------------------------------------
+  const bool rejection_ok = rs.rejection >= cs.rejection;
+  const bool auc_ok = rs.auc >= cs.auc - 0.02 && rs.auc >= 0.55;
+  const bool fep_ok = rs.fep_clean >= cs.fep_clean - 0.25;
+  report.metric("floor_rejection", rejection_ok);
+  report.metric("floor_auc", auc_ok);
+  report.metric("floor_fep_clean", fep_ok);
+  std::printf("floors: rejection %s (%.3f vs %.3f), AUC %s (%.3f vs %.3f), "
+              "clean FEP %s (%.3f vs %.3f)\n",
+              rejection_ok ? "ok" : "MISS", rs.rejection, cs.rejection,
+              auc_ok ? "ok" : "MISS", rs.auc, cs.auc,
+              fep_ok ? "ok" : "MISS", rs.fep_clean, cs.fep_clean);
+
+  const bool ok = rejection_ok && auc_ok && fep_ok;
+  report.metric("pass", ok);
+  if (!report.write()) {
+    std::fprintf(stderr, "warning: could not write results/bench_robust.json\n");
+  }
+  std::printf("\n%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -88,7 +88,14 @@ int main() {
       eval_moss("MOSS w/o A", wb, core::MossConfig::without_alignment()));
   std::printf("[trained MOSS w/o A]\n");
   results.push_back(eval_moss("MOSS", wb, core::MossConfig::full()));
-  std::printf("[trained MOSS]\n\n");
+  std::printf("[trained MOSS]\n");
+  // DeepSeq2-style disentangling ablation: the hidden state is split into
+  // function / toggle / structure bands and each task head reads only its
+  // band. Same budget as full MOSS; the question is whether forcing the
+  // sub-embeddings apart helps or hurts at this scale.
+  results.push_back(
+      eval_moss("MOSS disentangled", wb, core::MossConfig::disentangled()));
+  std::printf("[trained MOSS disentangled]\n\n");
 
   std::printf("%-18s %6s |", "Circuit", "#Cells");
   for (const auto& r : results) std::printf(" %-22s |", r.name.c_str());

@@ -59,7 +59,8 @@ Workbench Workbench::make(const Scale& scale) {
   return wb;
 }
 
-TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg_in) {
+TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg_in,
+                       const RobustTraining* robust) {
   core::MossConfig cfg = cfg_in;
   cfg.hidden = wb.scale.hidden;
   cfg.rounds = wb.scale.rounds;
@@ -76,6 +77,13 @@ TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg_in) {
     out.test_batches.push_back(
         core::build_batch(lc, wb.encoder, cfg.features));
   }
+  if (robust != nullptr) {
+    for (std::size_t i = 0; i < wb.train.size(); ++i) {
+      core::attach_corrupt_views(out.train_batches[i], wb.train[i],
+                                 robust->views_per_circuit,
+                                 robust->view_seed);
+    }
+  }
   core::PretrainConfig pcfg;
   pcfg.lr = wb.scale.lr;
   pcfg.epochs = cfg.alignment
@@ -87,8 +95,13 @@ TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg_in) {
     acfg.epochs = wb.scale.align_epochs;
     acfg.lr = wb.scale.lr;
     acfg.batch_size = std::min<std::size_t>(8, out.train_batches.size());
+    if (robust != nullptr) acfg.noise = robust->noise;
     Rng rng(6);
-    out.align_report = core::align(out.model, out.train_batches, acfg, rng);
+    out.align_report =
+        core::align(out.model, out.train_batches, acfg, rng,
+                    robust != nullptr && !robust->negatives.empty()
+                        ? &robust->negatives
+                        : nullptr);
   }
   return out;
 }

@@ -56,7 +56,20 @@ struct TrainedMoss {
   core::AlignReport align_report;
 };
 
-TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg);
+/// Optional robustness add-on for train_moss: noise-tolerant alignment
+/// (corrupted code views attached to the train batches per
+/// `views_per_circuit`/`view_seed`) plus oracle-proven hard negatives.
+struct RobustTraining {
+  core::AlignNoise noise;
+  /// Corrupted views attached to every train batch before alignment.
+  std::size_t views_per_circuit = 3;
+  std::uint64_t view_seed = 0x5EED;
+  /// Mutant-netlist negatives folded into alignment (may be empty).
+  std::vector<core::HardNegative> negatives;
+};
+
+TrainedMoss train_moss(const Workbench& wb, const core::MossConfig& cfg,
+                       const RobustTraining* robust = nullptr);
 
 /// Train the DeepSeq2-style baseline on the same circuits (AIG modality).
 struct TrainedBaseline {

@@ -7,6 +7,8 @@
 //   moss_cli formal <design_a> <design_b>  equivalence (BDD, sim fallback)
 //   moss_cli sat verify <design_a> <design_b>  exact SAT equivalence
 //   moss_cli sat mine <design>           mutate -> prove -> export negatives
+//   moss_cli corrupt <design>            emit corrupted-but-parseable RTL
+//                                        variants + provenance JSONL
 //   moss_cli vcd    <design> <out.vcd> [cycles]  waveform dump
 //   moss_cli train  <design>... [--threads N] [--checkpoint BASE]
 //                   [--checkpoint-every N] [--resume] [--save CKPT]
@@ -18,6 +20,9 @@
 //
 // Exit codes: 0 success, 1 analysis found problems (lint/formal/reset
 // mismatches), 2 usage or general error, 3 checkpoint missing/corrupt.
+
+#include <sys/stat.h>
+#include <sys/types.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -216,6 +221,74 @@ int cmd_sat_mine(const std::string& arg, std::size_t count,
     std::printf("wrote %zu file(s) to %s\n", files, out_dir.c_str());
   }
   return rep.negatives.empty() ? 1 : 0;
+}
+
+void ensure_out_dir(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      if (!partial.empty() && partial != "/") {
+        ::mkdir(partial.c_str(), 0755);
+      }
+    }
+    if (i < dir.size()) partial.push_back(dir[i]);
+  }
+  struct stat st {};
+  MOSS_CHECK(::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode),
+             "cannot create output directory " + dir);
+}
+
+int cmd_corrupt(const std::string& arg, std::size_t count,
+                std::uint64_t seed, const std::vector<std::string>& passes,
+                const std::string& out_dir) {
+  const rtl::Module golden = load_design(arg);
+  std::vector<data::CorruptionKind> kinds;
+  for (const std::string& name : passes) {
+    data::CorruptionKind kind;
+    if (!data::corruption_kind_from_string(name, &kind)) {
+      std::fprintf(stderr, "unknown corruption pass '%s' (known:", name.c_str());
+      for (const data::CorruptionKind k : data::all_corruption_kinds()) {
+        std::fprintf(stderr, " %s", data::to_string(k));
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    kinds.push_back(kind);
+  }
+  if (!out_dir.empty()) ensure_out_dir(out_dir);
+  std::ofstream jsonl;
+  if (!out_dir.empty()) {
+    jsonl.open(out_dir + "/corrupt.jsonl", std::ios::out | std::ios::trunc);
+    MOSS_CHECK(jsonl.is_open(), "cannot write " + out_dir + "/corrupt.jsonl");
+  }
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    data::CorruptConfig ccfg;
+    ccfg.seed = seed + i;
+    ccfg.severity = 1 + static_cast<int>(i % 3);
+    ccfg.passes = kinds;
+    const data::CorruptedRtl corr = data::corrupt_module(golden, ccfg);
+    if (corr.applied.empty()) continue;  // no eligible site under these passes
+    rtl::Module variant = corr.module;
+    variant.name = golden.name + "__corr" + std::to_string(i);
+    const std::string provenance = data::provenance_json(
+        variant.name, ccfg.seed, ccfg.severity, corr.applied);
+    std::printf("%s: %zu corruption(s) [%s]\n", variant.name.c_str(),
+                corr.applied.size(), data::to_string(corr.applied[0].kind));
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/" + variant.name + ".v";
+      std::ofstream vf(path, std::ios::out | std::ios::trunc);
+      MOSS_CHECK(vf.is_open(), "cannot write " + path);
+      vf << rtl::to_verilog(variant);
+      jsonl << provenance << "\n";
+    }
+    ++emitted;
+  }
+  if (!out_dir.empty()) {
+    std::printf("wrote %zu variant(s) + corrupt.jsonl to %s\n", emitted,
+                out_dir.c_str());
+  }
+  return emitted > 0 ? 0 : 1;
 }
 
 int cmd_reset(const std::string& arg) {
@@ -524,6 +597,8 @@ void usage() {
       "  sat    verify <design_a> <design_b> [--frames N] [--conflicts N]\n"
       "  sat    mine <design> [--count N] [--seed S] [--out DIR]\n"
       "         [--margin F]\n"
+      "  corrupt <design> [--count N] [--seed S] [--passes a,b,...]\n"
+      "         [--out DIR]\n"
       "  reset  <design>\n"
       "  vcd    <design> <out.vcd> [cycles]\n"
       "  train  <design>... [--threads N] [--checkpoint BASE]\n"
@@ -623,6 +698,39 @@ int main(int argc, char** argv) {
       }
       usage();
       return 2;
+    }
+    if (cmd == "corrupt") {
+      std::string design, out_dir;
+      std::vector<std::string> passes;
+      std::size_t count = 4;
+      std::uint64_t seed = 1;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--count" && i + 1 < argc) {
+          count = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
+        } else if (a == "--seed" && i + 1 < argc) {
+          seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--out" && i + 1 < argc) {
+          out_dir = argv[++i];
+        } else if (a == "--passes" && i + 1 < argc) {
+          std::stringstream ss(argv[++i]);
+          std::string tok;
+          while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) passes.push_back(tok);
+          }
+        } else if (a.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "unknown corrupt option %s\n", a.c_str());
+          usage();
+          return 2;
+        } else {
+          design = a;
+        }
+      }
+      if (design.empty()) {
+        usage();
+        return 2;
+      }
+      return cmd_corrupt(design, count, seed, passes, out_dir);
     }
     if (cmd == "vcd") {
       if (argc < 4) {

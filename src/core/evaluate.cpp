@@ -117,4 +117,80 @@ double evaluate_fep(const MossModel& model,
   return static_cast<double>(hits) / static_cast<double>(pool.size());
 }
 
+double evaluate_corrupt_rejection(const MossModel& model,
+                                  const std::vector<CircuitBatch>& pool) {
+  std::size_t wins = 0, comparisons = 0;
+  for (const CircuitBatch& b : pool) {
+    if (b.corrupt_texts.empty()) continue;
+    const Tensor h = model.node_embeddings(b);
+    const Tensor n_e = model.netlist_embedding(b, h).detach();
+    const float clean =
+        model.pair_score(model.rtl_embedding(b.module_text).detach(), n_e);
+    for (const std::string& text : b.corrupt_texts) {
+      const float wrong =
+          model.pair_score(model.rtl_embedding(text).detach(), n_e);
+      wins += clean > wrong ? 1 : 0;
+      ++comparisons;
+    }
+  }
+  return comparisons == 0
+             ? 1.0
+             : static_cast<double>(wins) / static_cast<double>(comparisons);
+}
+
+double detection_auc(const std::vector<DetectionSample>& samples) {
+  // Mann–Whitney U: P(score_pos > score_neg) + 0.5·P(tie), computed by
+  // rank without any threshold sweep.
+  std::size_t pos = 0, neg = 0;
+  double u = 0.0;
+  for (const DetectionSample& p : samples) {
+    if (!p.positive) continue;
+    ++pos;
+    for (const DetectionSample& n : samples) {
+      if (n.positive) continue;
+      if (p.score > n.score) {
+        u += 1.0;
+      } else if (p.score == n.score) {
+        u += 0.5;
+      }
+    }
+  }
+  for (const DetectionSample& s : samples) neg += s.positive ? 0 : 1;
+  if (pos == 0 || neg == 0) return 0.5;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double evaluate_detection_auc(const MossModel& model,
+                              const std::vector<CircuitBatch>& pool,
+                              const std::vector<CircuitBatch>& mutants,
+                              const std::vector<std::size_t>& mutant_owner) {
+  MOSS_CHECK(mutants.size() == mutant_owner.size(),
+             "detection: one owner index per mutant");
+  std::vector<Tensor> n_e, r_e;
+  for (const CircuitBatch& b : pool) {
+    const Tensor h = model.node_embeddings(b);
+    n_e.push_back(model.netlist_embedding(b, h).detach());
+    r_e.push_back(model.rtl_embedding(b.module_text).detach());
+  }
+  std::vector<DetectionSample> samples;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    samples.push_back(
+        {static_cast<double>(model.pair_score(r_e[i], n_e[i])), true});
+    for (const std::string& text : pool[i].corrupt_texts) {
+      const Tensor c_e = model.rtl_embedding(text).detach();
+      samples.push_back(
+          {static_cast<double>(model.pair_score(c_e, n_e[i])), false});
+    }
+  }
+  for (std::size_t k = 0; k < mutants.size(); ++k) {
+    const std::size_t owner = mutant_owner[k];
+    MOSS_CHECK(owner < pool.size(), "detection: mutant owner out of range");
+    const Tensor h = model.node_embeddings(mutants[k]);
+    const Tensor m_e = model.netlist_embedding(mutants[k], h).detach();
+    samples.push_back(
+        {static_cast<double>(model.pair_score(r_e[owner], m_e)), false});
+  }
+  return detection_auc(samples);
+}
+
 }  // namespace moss::core

@@ -31,4 +31,33 @@ double evaluate_fep(const MossModel& model,
 double accuracy_from_errors(const std::vector<double>& pred,
                             const std::vector<double>& truth, double floor);
 
+/// Robustness: for every circuit with attached corrupt_texts, the CLEAN
+/// RTL must outscore every corrupted variant of itself against the
+/// circuit's own netlist. Returns the fraction of (circuit, variant)
+/// comparisons the clean pair wins. Circuits without corrupt views are
+/// skipped; returns 1.0 when nothing is comparable.
+double evaluate_corrupt_rejection(const MossModel& model,
+                                  const std::vector<CircuitBatch>& pool);
+
+/// One scored detection sample: `score` is pair_score, `positive` marks a
+/// genuine RTL↔netlist pair (negatives are mutants / corrupted views).
+struct DetectionSample {
+  double score = 0.0;
+  bool positive = false;
+};
+
+/// Rank-based (Mann–Whitney) AUC of separating positives from negatives by
+/// score; ties contribute 0.5. Returns 0.5 when either class is empty.
+double detection_auc(const std::vector<DetectionSample>& samples);
+
+/// FEP detection AUC over a pool: positives are each circuit's clean
+/// (RTL, netlist) pair; negatives are (clean RTL, mutant netlist) pairs —
+/// `mutant_owner[k]` gives the pool index whose RTL mutant k is scored
+/// against — plus (corrupted RTL, clean netlist) pairs from each pool
+/// batch's corrupt_texts.
+double evaluate_detection_auc(const MossModel& model,
+                              const std::vector<CircuitBatch>& pool,
+                              const std::vector<CircuitBatch>& mutants,
+                              const std::vector<std::size_t>& mutant_owner);
+
 }  // namespace moss::core

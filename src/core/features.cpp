@@ -5,6 +5,7 @@
 #include "clustering/clustering.hpp"
 #include "core_util/check.hpp"
 #include "core_util/hash.hpp"
+#include "data/corrupt.hpp"
 
 namespace moss::core {
 
@@ -214,6 +215,24 @@ CircuitBatch build_batch(const data::LabeledCircuit& lc,
   batch.reg_prompt_emb = std::move(reg_emb);
   batch.content_hash = batch_content_hash(batch);
   return batch;
+}
+
+std::size_t attach_corrupt_views(CircuitBatch& batch,
+                                 const data::LabeledCircuit& lc,
+                                 std::size_t count, std::uint64_t seed,
+                                 int max_severity) {
+  std::size_t added = 0;
+  const int sev_cycle = std::max(max_severity, 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    data::CorruptConfig cc;
+    cc.seed = seed + i;
+    cc.severity = 1 + static_cast<int>(i) % sev_cycle;
+    const data::CorruptedRtl corrupted = data::corrupt_module(lc.module, cc);
+    if (corrupted.applied.empty()) continue;  // no applicable sites
+    batch.corrupt_texts.push_back(rtl::module_prompt(corrupted.module));
+    ++added;
+  }
+  return added;
 }
 
 namespace {

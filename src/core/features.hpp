@@ -55,6 +55,11 @@ struct CircuitBatch {
   std::vector<float> flop_arrival_norm;  ///< per flop_rows entry
   double power_uw = 0.0;
   std::string module_text;
+  /// Corrupted variants of module_text (imperfection-model output), used by
+  /// noise-tolerant alignment as rejection targets. Empty unless
+  /// attach_corrupt_views was called; not part of content_hash (the model's
+  /// node_embeddings never reads them).
+  std::vector<std::string> corrupt_texts;
   std::string name;
   std::size_t num_cells = 0;
   /// batch_content_hash(*this), computed once at build time (build_batch,
@@ -79,6 +84,16 @@ std::vector<int> cluster_cell_types(const cell::CellLibrary& lib,
 CircuitBatch build_batch(const data::LabeledCircuit& lc,
                          const lm::TextEncoder& enc,
                          const FeatureConfig& cfg);
+
+/// Attach up to `count` corrupted RTL views of lc.module to the batch
+/// (variant i uses seed `seed + i` and severity `1 + i % max_severity`).
+/// Views where the imperfection model finds no applicable site are skipped,
+/// so fewer than `count` may be added (zero for module-less circuits).
+/// Deterministic in (lc.module, seed). Returns the number attached.
+std::size_t attach_corrupt_views(CircuitBatch& batch,
+                                 const data::LabeledCircuit& lc,
+                                 std::size_t count, std::uint64_t seed,
+                                 int max_severity = 3);
 
 /// Feature width produced by build_batch for a given config and library.
 std::size_t feature_dim(const cell::CellLibrary& lib,

@@ -30,14 +30,23 @@ MossModel::MossModel(const MossConfig& cfg, const cell::CellLibrary& lib,
                                 "gnn");
       }()) {
   Rng rng(cfg.seed ^ 0xabcdef);
-  const std::size_t head_in =
-      cfg.hidden + feature_dim(lib, enc, cfg.features);
-  prob_head_ = tensor::Linear(head_in, 1, rng, params_, "prob_head");
-  toggle_head_ = tensor::Linear(head_in, 1, rng, params_, "toggle_head");
+  if (cfg.disentangle) {
+    MOSS_CHECK(cfg.hidden >= 3,
+               "disentangle needs hidden >= 3 (one column per band)");
+    tog_w_ = cfg.hidden / 3;
+    str_w_ = cfg.hidden / 3;
+    func_w_ = cfg.hidden - tog_w_ - str_w_;
+  } else {
+    func_w_ = tog_w_ = str_w_ = cfg.hidden;
+  }
+  const std::size_t fdim = feature_dim(lib, enc, cfg.features);
+  prob_head_ = tensor::Linear(func_w_ + fdim, 1, rng, params_, "prob_head");
+  toggle_head_ =
+      tensor::Linear(tog_w_ + fdim, 1, rng, params_, "toggle_head");
   arrival_head_ =
-      tensor::Mlp(head_in, cfg.hidden, 1, rng, params_, "arrival_head");
+      tensor::Mlp(str_w_ + fdim, cfg.hidden, 1, rng, params_, "arrival_head");
   netlist_proj_ =
-      tensor::Linear(cfg.hidden, enc.dim(), rng, params_, "netlist_proj",
+      tensor::Linear(func_w_, enc.dim(), rng, params_, "netlist_proj",
                      /*bias=*/false);
   rnm_head_ = tensor::Mlp(2 * enc.dim(), enc.dim(), 1, rng, params_, "rnm");
   temperature_ = params_.add("temperature", Tensor::scalar(1.0f, true));
@@ -49,11 +58,26 @@ Tensor MossModel::node_embeddings(const CircuitBatch& batch) const {
 
 namespace {
 
-/// Head input: node embedding with a raw-feature skip connection.
+/// Columns [begin, begin + width) of x, differentiable. No column-slice
+/// kernel exists, so this composes transpose ∘ gather_rows ∘ transpose;
+/// returns x unchanged when the band spans every column (the entangled
+/// default stays op-for-op identical).
+Tensor slice_cols(const Tensor& x, std::size_t begin, std::size_t width) {
+  if (begin == 0 && width == x.cols()) return x;
+  std::vector<int> idx(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    idx[i] = static_cast<int>(begin + i);
+  }
+  return tensor::transpose(tensor::gather_rows(tensor::transpose(x), idx));
+}
+
+/// Head input: node embedding band with a raw-feature skip connection.
 Tensor head_input(const CircuitBatch& batch, const Tensor& node_h,
-                  const std::vector<int>& rows) {
-  return tensor::concat_cols(tensor::gather_rows(node_h, rows),
-                             tensor::gather_rows(batch.graph.features, rows));
+                  const std::vector<int>& rows, std::size_t band_begin,
+                  std::size_t band_width) {
+  return tensor::concat_cols(
+      slice_cols(tensor::gather_rows(node_h, rows), band_begin, band_width),
+      tensor::gather_rows(batch.graph.features, rows));
 }
 
 }  // namespace
@@ -61,9 +85,19 @@ Tensor head_input(const CircuitBatch& batch, const Tensor& node_h,
 LocalPredictions MossModel::predict_local(const CircuitBatch& batch,
                                           const Tensor& node_h) const {
   LocalPredictions out;
-  const Tensor cell_in = head_input(batch, node_h, batch.cell_rows);
-  out.one_prob = tensor::sigmoid(prob_head_(cell_in));
-  out.toggle = tensor::sigmoid(toggle_head_(cell_in));
+  if (!cfg_.disentangle) {
+    const Tensor cell_in =
+        head_input(batch, node_h, batch.cell_rows, 0, func_w_);
+    out.one_prob = tensor::sigmoid(prob_head_(cell_in));
+    out.toggle = tensor::sigmoid(toggle_head_(cell_in));
+  } else {
+    // Each head reads only its band, so its loss shapes a disjoint
+    // sub-embedding (the shared GNN still feels all three gradients).
+    out.one_prob = tensor::sigmoid(prob_head_(
+        head_input(batch, node_h, batch.cell_rows, 0, func_w_)));
+    out.toggle = tensor::sigmoid(toggle_head_(
+        head_input(batch, node_h, batch.cell_rows, func_w_, tog_w_)));
+  }
   if (!batch.arrival_rows.empty()) {
     out.arrival = predict_arrival(batch, node_h, batch.arrival_rows);
   }
@@ -76,14 +110,19 @@ Tensor MossModel::predict_arrival(const CircuitBatch& batch,
   // Arrival times are nonnegative; softplus keeps the head in range
   // without saturating like a sigmoid for deep circuits, and (unlike a relu
   // output) never has a dead gradient.
-  return tensor::softplus(arrival_head_(head_input(batch, node_h, rows)));
+  const std::size_t str_begin = cfg_.disentangle ? func_w_ + tog_w_ : 0;
+  return tensor::softplus(
+      arrival_head_(head_input(batch, node_h, rows, str_begin, str_w_)));
 }
 
 Tensor MossModel::netlist_embedding(const CircuitBatch& batch,
                                     const Tensor& node_h) const {
   const Tensor pooled = tensor::mean_rows(
       tensor::gather_rows(node_h, batch.graph.readout_nodes));
-  return tensor::l2_normalize_rows(netlist_proj_(pooled));
+  // Alignment reads the function band: cross-modal retrieval is about what
+  // the circuit computes, not how it toggles or how late it settles.
+  return tensor::l2_normalize_rows(
+      netlist_proj_(slice_cols(pooled, 0, func_w_)));
 }
 
 Tensor MossModel::rtl_embedding(const std::string& module_text) const {
@@ -95,7 +134,8 @@ Tensor MossModel::dff_projections(const CircuitBatch& batch,
                                   const Tensor& node_h) const {
   MOSS_CHECK(!batch.flop_rows.empty(), "circuit has no flops");
   const Tensor flop_h = tensor::gather_rows(node_h, batch.flop_rows);
-  return tensor::l2_normalize_rows(netlist_proj_(flop_h));
+  return tensor::l2_normalize_rows(
+      netlist_proj_(slice_cols(flop_h, 0, func_w_)));
 }
 
 Tensor MossModel::rnm_logits(const Tensor& r_e, const Tensor& n_e) const {

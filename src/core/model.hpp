@@ -18,9 +18,21 @@ struct MossConfig {
   std::size_t hidden = 32;
   int rounds = 2;          ///< two-phase propagation iterations
   bool attention = true;
+  /// DeepSeq2-style disentangled embedding space: the hidden vector is
+  /// split into function / toggle / structure bands and each task head
+  /// reads only its band (function → one_prob + the alignment projection,
+  /// toggle → toggle, structure → arrival), so the per-head losses shape
+  /// disjoint sub-embeddings instead of one entangled code.
+  bool disentangle = false;
   std::uint64_t seed = 1;
 
   static MossConfig full() { return {}; }
+  /// "MOSS disentangled": the DeepSeq2-style ablation.
+  static MossConfig disentangled() {
+    MossConfig c;
+    c.disentangle = true;
+    return c;
+  }
   /// "MOSS w/o A": no alignment strategy.
   static MossConfig without_alignment() {
     MossConfig c;
@@ -106,6 +118,12 @@ class MossModel {
   /// similarity plus (when alignment heads exist) the RNM logit.
   float pair_score(const tensor::Tensor& r_e, const tensor::Tensor& n_e) const;
 
+  /// Disentangled band widths (function, toggle, structure); all equal to
+  /// `hidden` when disentangle is off (every head sees the full vector).
+  std::size_t function_band() const { return func_w_; }
+  std::size_t toggle_band() const { return tog_w_; }
+  std::size_t structure_band() const { return str_w_; }
+
  private:
   MossConfig cfg_;
   const lm::TextEncoder* enc_;
@@ -114,9 +132,15 @@ class MossModel {
   tensor::Linear prob_head_;
   tensor::Linear toggle_head_;
   tensor::Mlp arrival_head_;
-  tensor::Linear netlist_proj_;  ///< W_n: hidden -> d_lm
+  tensor::Linear netlist_proj_;  ///< W_n: hidden (or function band) -> d_lm
   tensor::Mlp rnm_head_;         ///< 2·d_lm -> 1
   tensor::Tensor temperature_;
+  /// Band layout: [0, func_w_) function, [func_w_, func_w_ + tog_w_)
+  /// toggle, the rest structure. With disentangle off, every band spans
+  /// the whole hidden vector (func_w_ == tog_w_ == str_w_ == hidden).
+  std::size_t func_w_ = 0;
+  std::size_t tog_w_ = 0;
+  std::size_t str_w_ = 0;
 };
 
 }  // namespace moss::core

@@ -126,6 +126,7 @@ void save_align_checkpoint(const std::string& path,
   w.f64s(st.report.rnc);
   w.f64s(st.report.rnm);
   w.f64s(st.report.rrndm);
+  w.f64s(st.report.reject);
   std::vector<std::uint64_t> seen(st.report.circuits_seen.begin(),
                                   st.report.circuits_seen.end());
   w.u64s(seen);
@@ -157,6 +158,7 @@ bool load_align_checkpoint(const std::string& path,
   loaded.report.rnc = r.f64s();
   loaded.report.rnm = r.f64s();
   loaded.report.rrndm = r.f64s();
+  loaded.report.reject = r.f64s();
   const std::vector<std::uint64_t> seen = r.u64s();
   loaded.report.circuits_seen.assign(seen.begin(), seen.end());
   r.expect_end();
@@ -186,8 +188,18 @@ namespace {
 /// the scalar loss terms.
 struct SpanGrads {
   tensor::GradSandbox::Buffers grads;
-  double total = 0, rnc = 0, rnm = 0, rrndm = 0;
+  double total = 0, rnc = 0, rnm = 0, rrndm = 0, reject = 0;
 };
+
+/// Deterministic per-(epoch, circuit) noise stream: participation and view
+/// choice are pure functions of the noise seed, never a shared RNG draw, so
+/// the schedule is identical at any thread count and grad_accum grouping.
+Rng noise_stream(const AlignNoise& noise, int epoch, std::size_t ci) {
+  return Rng(noise.seed ^
+             (0x9e3779b97f4a7c15ull *
+              (static_cast<std::uint64_t>(epoch) + 1)) ^
+             (0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(ci) + 1)));
+}
 
 /// Split [0, n) into contiguous minibatch spans of `bs`. The tail is kept:
 /// as its own span when >= 2 circuits remain (RNC needs at least two rows),
@@ -208,7 +220,8 @@ std::vector<std::pair<std::size_t, std::size_t>> batch_spans(std::size_t n,
 }  // namespace
 
 AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
-                  const AlignConfig& cfg, Rng& rng) {
+                  const AlignConfig& cfg, Rng& rng,
+                  const std::vector<HardNegative>* negatives) {
   AlignReport rep;
   if (!model.config().alignment) return rep;
   MOSS_CHECK(data.size() >= 2, "align: need at least two circuits");
@@ -249,7 +262,8 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
 
   // One alignment minibatch (circuits order[span.first, span.second)) run
   // forward + backward with gradients collected in a worker-local sandbox.
-  const auto run_span = [&](std::pair<std::size_t, std::size_t> span) {
+  const auto run_span = [&](std::pair<std::size_t, std::size_t> span,
+                            int epoch) {
     const std::size_t bs_k = span.second - span.first;
     tensor::GradSandbox sandbox;
     // Recycle forward/backward intermediates across minibatches.
@@ -293,6 +307,35 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
     const Tensor n_e = tensor::concat_rows(n_rows);  // bs_k × d
     const Tensor r_e = tensor::concat_rows(r_rows);  // bs_k × d
 
+    // Noise-tolerant extras. Corrupted code views of this minibatch's
+    // circuits (schedule hashed per (epoch, circuit)) and oracle-proven
+    // mutant netlists owned by them. Both are additive and guarded: with
+    // noise off and no negatives, the clean path below is op-for-op
+    // identical to a build without this feature.
+    std::vector<Tensor> c_rows, m_rows;
+    if (cfg.noise.enabled) {
+      for (std::size_t k = 0; k < bs_k; ++k) {
+        const std::size_t ci = order[span.first + k];
+        const CircuitBatch& batch = data[ci];
+        if (batch.corrupt_texts.empty()) continue;
+        Rng draw = noise_stream(cfg.noise, epoch, ci);
+        if (!draw.bernoulli(cfg.noise.corrupt_fraction)) continue;
+        const std::size_t vi = draw.index(batch.corrupt_texts.size());
+        c_rows.push_back(model.rtl_embedding(batch.corrupt_texts[vi]));
+      }
+    }
+    if (negatives != nullptr) {
+      for (const HardNegative& neg : *negatives) {
+        bool owned = false;
+        for (std::size_t k = 0; k < bs_k && !owned; ++k) {
+          owned = order[span.first + k] == neg.owner;
+        }
+        if (!owned) continue;
+        const Tensor hm = model.node_embeddings(neg.batch);
+        m_rows.push_back(model.netlist_embedding(neg.batch, hm));
+      }
+    }
+
     // RNC: symmetric InfoNCE with learnable temperature (Fig. 6).
     const Tensor logits = tensor::scale_by(
         tensor::matmul(r_e, tensor::transpose(n_e)),
@@ -320,6 +363,44 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
 
     Tensor loss = tensor::add(tensor::add(tensor::add(rnc, rnm), rrndm),
                               local_total);
+
+    // Rejection terms: extended-column InfoNCE — the clean pair must beat
+    // every mutant netlist (RTL→netlist direction) and every corrupted code
+    // view (netlist→RTL direction) — plus RNM targets of zero on each
+    // corrupted/mutant pair, which is what trains pair_score (and hence
+    // FEP retrieval) to score them below the clean match.
+    Tensor reject;
+    if (!m_rows.empty() || !c_rows.empty()) {
+      Tensor rej = Tensor::scalar(0.0f);
+      if (!m_rows.empty()) {
+        const Tensor m_e = tensor::concat_rows(m_rows);
+        const Tensor cols = tensor::concat_rows({n_e, m_e});
+        const Tensor lg =
+            tensor::scale_by(tensor::matmul(r_e, tensor::transpose(cols)),
+                             tensor::exp_t(model.temperature()));
+        rej = tensor::add(rej, tensor::cross_entropy_rows(lg, labels));
+        const Tensor rnm_m = model.rnm_logits(r_e, m_e);
+        rej = tensor::add(
+            rej, tensor::smooth_l1_loss(
+                     tensor::sigmoid(rnm_m),
+                     Tensor::zeros(bs_k * m_rows.size(), 1)));
+      }
+      if (!c_rows.empty()) {
+        const Tensor c_e = tensor::concat_rows(c_rows);
+        const Tensor cols = tensor::concat_rows({r_e, c_e});
+        const Tensor lg =
+            tensor::scale_by(tensor::matmul(n_e, tensor::transpose(cols)),
+                             tensor::exp_t(model.temperature()));
+        rej = tensor::add(rej, tensor::cross_entropy_rows(lg, labels));
+        const Tensor rnm_c = model.rnm_logits(c_e, n_e);
+        rej = tensor::add(
+            rej, tensor::smooth_l1_loss(
+                     tensor::sigmoid(rnm_c),
+                     Tensor::zeros(c_rows.size() * bs_k, 1)));
+      }
+      reject = tensor::scale(rej, cfg.noise.weight);
+      loss = tensor::add(loss, reject);
+    }
     loss.backward();
 
     SpanGrads out;
@@ -328,18 +409,21 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
     out.rnc = rnc.item();
     out.rnm = rnm.item();
     out.rrndm = rrndm.item();
+    out.reject = reject.defined() ? reject.item() : 0.0;
     return out;
   };
 
   for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
-    double e_total = 0, e_rnc = 0, e_rnm = 0, e_rr = 0;
+    double e_total = 0, e_rnc = 0, e_rnm = 0, e_rr = 0, e_rej = 0;
     std::size_t steps = 0, seen = 0;
     for (std::size_t g0 = 0; g0 < spans.size(); g0 += cfg.grad_accum) {
       MOSS_FAULT_POINT("trainer.align.step");
       const std::size_t g1 = std::min(g0 + cfg.grad_accum, spans.size());
-      std::vector<SpanGrads> parts = pool.parallel_map(
-          g1 - g0, [&](std::size_t k) { return run_span(spans[g0 + k]); });
+      std::vector<SpanGrads> parts =
+          pool.parallel_map(g1 - g0, [&](std::size_t k) {
+            return run_span(spans[g0 + k], epoch);
+          });
 
       // Reduce worker-local gradients in span-index order (fixed float
       // accumulation order regardless of thread count) and step.
@@ -374,6 +458,7 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
         e_rnc += part.rnc;
         e_rnm += part.rnm;
         e_rr += part.rrndm;
+        e_rej += part.reject;
         ++steps;
       }
     }
@@ -382,6 +467,7 @@ AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
     rep.rnc.push_back(e_rnc / n);
     rep.rnm.push_back(e_rnm / n);
     rep.rrndm.push_back(e_rr / n);
+    rep.reject.push_back(e_rej / n);
     rep.circuits_seen.push_back(seen);
 
     if (cfg.checkpoint_every > 0 &&

@@ -67,6 +67,10 @@ struct AlignReport {
   std::vector<double> rnc;
   std::vector<double> rnm;
   std::vector<double> rrndm;
+  /// Per-epoch mean rejection loss (noise-tolerant training: corrupted RTL
+  /// views and mined mutant netlists pushed away from the clean pair).
+  /// All-zero when AlignConfig::noise is disabled and no negatives given.
+  std::vector<double> reject;
   /// Circuits trained per epoch — data.size() in a healthy run: the tail
   /// minibatch is trained too (as its own batch when >= 2 circuits remain,
   /// folded into the previous batch for a lone leftover). Skipped
@@ -74,6 +78,31 @@ struct AlignReport {
   std::vector<std::size_t> circuits_seen;
   /// Optimizer steps skipped because a loss or gradient went non-finite.
   std::size_t bad_steps = 0;
+};
+
+/// Noise injection for robust alignment: a fraction of circuits per epoch
+/// contribute corrupted code-side views (CircuitBatch::corrupt_texts,
+/// produced by the data::corrupt imperfection model) that the contrastive
+/// losses learn to REJECT rather than align. Participation is a pure hash
+/// of (seed, epoch, circuit index) — never a shared RNG draw — so training
+/// stays bit-identical at any thread count.
+struct AlignNoise {
+  bool enabled = false;
+  /// Fraction of circuits contributing a corrupted view each epoch.
+  float corrupt_fraction = 0.5f;
+  /// Per-sample weight of every rejection loss term.
+  float weight = 0.5f;
+  std::uint64_t seed = 0xC032;
+};
+
+/// An oracle-proven hard negative for one training circuit: a mutant
+/// netlist (sat::mine_hard_negatives output, labeled via
+/// data::label_netlist) that provably does NOT implement its owner's RTL.
+/// During alignment its embedding joins the owner's minibatch as an extra
+/// contrastive column and an RNM/FEP pair trained toward "no match".
+struct HardNegative {
+  std::size_t owner = 0;  ///< index into the training data vector
+  CircuitBatch batch;     ///< the mutant netlist (module_text empty)
 };
 
 struct AlignConfig {
@@ -85,6 +114,9 @@ struct AlignConfig {
   std::size_t threads = 1;
   /// Minibatches whose gradients are averaged per optimizer step.
   std::size_t grad_accum = 1;
+  /// Noise-tolerant training (off by default: the clean path is op-for-op
+  /// identical to a build without this feature).
+  AlignNoise noise;
 
   // -- fault tolerance (same semantics as PretrainConfig) --------------------
   int checkpoint_every = 0;
@@ -97,8 +129,11 @@ struct AlignConfig {
 /// RNM (pairwise matching MLP against the identity matrix, smooth-L1 per
 /// the paper's pseudocode) and the local RrNdM register-to-DFF matching
 /// loss. No-op (empty report) if the model was built without alignment.
+/// `negatives` (optional) supplies oracle-proven mutant netlists folded in
+/// as rejection targets whenever their owner circuit is in the minibatch.
 AlignReport align(MossModel& model, std::vector<CircuitBatch>& data,
-                  const AlignConfig& cfg, Rng& rng);
+                  const AlignConfig& cfg, Rng& rng,
+                  const std::vector<HardNegative>* negatives = nullptr);
 
 namespace detail {
 

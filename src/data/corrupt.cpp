@@ -1,0 +1,531 @@
+#include "data/corrupt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core_util/rng.hpp"
+#include "core_util/strings.hpp"
+#include "rtl/printer.hpp"
+
+namespace moss::data {
+
+using rtl::Expr;
+using rtl::ExprId;
+using rtl::ExprOp;
+using rtl::Module;
+
+const char* to_string(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kSwapOperands: return "swap_operands";
+    case CorruptionKind::kStuckConstant: return "stuck_constant";
+    case CorruptionKind::kDropReset: return "drop_reset";
+    case CorruptionKind::kInvertReset: return "invert_reset";
+    case CorruptionKind::kWidthOffByOne: return "width_off_by_one";
+  }
+  return "?";
+}
+
+bool corruption_kind_from_string(const std::string& s, CorruptionKind* out) {
+  for (const CorruptionKind k : all_corruption_kinds()) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CorruptionKind> all_corruption_kinds() {
+  return {CorruptionKind::kSwapOperands, CorruptionKind::kStuckConstant,
+          CorruptionKind::kDropReset, CorruptionKind::kInvertReset,
+          CorruptionKind::kWidthOffByOne};
+}
+
+namespace {
+
+/// One eligible corruption site, identified stably by its position in the
+/// deterministic enumeration (reset sites by register index, width sites by
+/// declaration, expression sites by root + preorder ordinal).
+struct Site {
+  CorruptionKind kind = CorruptionKind::kSwapOperands;
+  int reg = -1;             ///< kDropReset / kInvertReset
+  std::string symbol;       ///< kWidthOffByOne (decl) / kStuckConstant (var)
+  int width = 0;            ///< symbol width at the site
+  int root = -1;            ///< expression sites: root index
+  int ord = -1;             ///< expression sites: preorder ordinal in root
+  std::string root_label;   ///< "wire acc", "next q", "output y", ...
+  ExprOp op = ExprOp::kConst;  ///< kSwapOperands: the operator swapped
+};
+
+/// Expression roots of a module in fixed order: wires, then per register
+/// enable/next, then output assigns. Site ordinals are preorder positions
+/// within one root, so they survive unrelated edits elsewhere.
+struct Root {
+  std::string label;
+  ExprId expr;
+};
+
+std::vector<Root> roots_of(const Module& m) {
+  std::vector<Root> roots;
+  for (const rtl::Wire& w : m.wires) {
+    roots.push_back({"wire " + w.name, w.expr});
+  }
+  for (const rtl::Register& r : m.regs) {
+    if (r.enable != rtl::kInvalidExpr) {
+      roots.push_back({"enable " + r.name, r.enable});
+    }
+    roots.push_back({"next " + r.name, r.next});
+  }
+  for (const auto& [name, e] : m.output_assigns) {
+    roots.push_back({"output " + name, e});
+  }
+  return roots;
+}
+
+const char* swap_op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::kSub: return "-";
+    case ExprOp::kShl: return "<<";
+    case ExprOp::kShr: return ">>";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kMux: return "?:";
+    default: return "?";
+  }
+}
+
+bool pass_enabled(const CorruptConfig& cfg, CorruptionKind k) {
+  if (cfg.passes.empty()) return true;
+  return std::find(cfg.passes.begin(), cfg.passes.end(), k) !=
+         cfg.passes.end();
+}
+
+/// Symbols that appear under a sign-extension anywhere in the module: the
+/// printer emits sext as a replication of the symbol's top bit, so widening
+/// such a symbol would change which bit replicates. They sit out the
+/// width pass.
+void collect_sext_vars(const Module& m, ExprId id,
+                       std::set<std::string>* out) {
+  const Expr& e = m.arena.at(id);
+  if (e.op == ExprOp::kSext) {
+    const Expr& a = m.arena.at(e.args[0]);
+    if (a.op == ExprOp::kVar) out->insert(a.var);
+  }
+  for (const ExprId a : e.args) collect_sext_vars(m, a, out);
+}
+
+/// Preorder site enumeration over one root. Must mirror the rebuild
+/// traversal exactly so ordinals line up; kBit/kSlice/kSext consume their
+/// named-symbol child's ordinal without descending (the rebuild handles
+/// those children inline).
+void enumerate_expr(const Module& m, ExprId id, ExprOp parent, int root,
+                    const std::string& root_label, int* ord,
+                    const CorruptConfig& cfg, std::vector<Site>* sites) {
+  const Expr& e = m.arena.at(id);
+  const int my = (*ord)++;
+
+  if (pass_enabled(cfg, CorruptionKind::kSwapOperands)) {
+    const bool swappable_binary =
+        (e.op == ExprOp::kSub || e.op == ExprOp::kLt ||
+         e.op == ExprOp::kLe ||
+         ((e.op == ExprOp::kShl || e.op == ExprOp::kShr) &&
+          m.arena.at(e.args[0]).width == m.arena.at(e.args[1]).width));
+    if (swappable_binary &&
+        rtl::expr_to_string(m, e.args[0]) !=
+            rtl::expr_to_string(m, e.args[1])) {
+      Site s;
+      s.kind = CorruptionKind::kSwapOperands;
+      s.root = root;
+      s.ord = my;
+      s.root_label = root_label;
+      s.op = e.op;
+      sites->push_back(std::move(s));
+    }
+    if (e.op == ExprOp::kMux &&
+        rtl::expr_to_string(m, e.args[1]) !=
+            rtl::expr_to_string(m, e.args[2])) {
+      Site s;
+      s.kind = CorruptionKind::kSwapOperands;
+      s.root = root;
+      s.ord = my;
+      s.root_label = root_label;
+      s.op = ExprOp::kMux;
+      sites->push_back(std::move(s));
+    }
+  }
+
+  if (e.op == ExprOp::kVar && pass_enabled(cfg, CorruptionKind::kStuckConstant)
+      && parent != ExprOp::kBit && parent != ExprOp::kSlice &&
+      parent != ExprOp::kSext) {
+    Site s;
+    s.kind = CorruptionKind::kStuckConstant;
+    s.symbol = e.var;
+    s.width = e.width;
+    s.root = root;
+    s.ord = my;
+    s.root_label = root_label;
+    sites->push_back(std::move(s));
+  }
+
+  // Mirror the rebuild: named-symbol children of bit/slice/sext are consumed
+  // inline (one ordinal, no recursion, no sites of their own).
+  if ((e.op == ExprOp::kBit || e.op == ExprOp::kSlice ||
+       e.op == ExprOp::kSext) &&
+      m.arena.at(e.args[0]).op == ExprOp::kVar) {
+    ++(*ord);
+    return;
+  }
+  for (const ExprId a : e.args) {
+    enumerate_expr(m, a, e.op, root, root_label, ord, cfg, sites);
+  }
+}
+
+std::vector<Site> enumerate_sites(const Module& m, const CorruptConfig& cfg) {
+  std::vector<Site> sites;
+
+  for (std::size_t i = 0; i < m.regs.size(); ++i) {
+    const rtl::Register& r = m.regs[i];
+    if (!r.has_reset) continue;
+    if (pass_enabled(cfg, CorruptionKind::kDropReset)) {
+      Site s;
+      s.kind = CorruptionKind::kDropReset;
+      s.reg = static_cast<int>(i);
+      s.symbol = r.name;
+      s.width = r.width;
+      sites.push_back(std::move(s));
+    }
+    if (pass_enabled(cfg, CorruptionKind::kInvertReset)) {
+      Site s;
+      s.kind = CorruptionKind::kInvertReset;
+      s.reg = static_cast<int>(i);
+      s.symbol = r.name;
+      s.width = r.width;
+      sites.push_back(std::move(s));
+    }
+  }
+
+  if (pass_enabled(cfg, CorruptionKind::kWidthOffByOne)) {
+    std::set<std::string> sext_vars;
+    for (const Root& r : roots_of(m)) collect_sext_vars(m, r.expr, &sext_vars);
+    const auto width_site = [&](const std::string& name, int width) {
+      if (width < 2 || width > 63) return;
+      if (sext_vars.count(name) != 0) return;
+      Site s;
+      s.kind = CorruptionKind::kWidthOffByOne;
+      s.symbol = name;
+      s.width = width;
+      sites.push_back(std::move(s));
+    };
+    for (const rtl::Wire& w : m.wires) width_site(w.name, w.width);
+    for (const rtl::Register& r : m.regs) width_site(r.name, r.width);
+  }
+
+  const std::vector<Root> roots = roots_of(m);
+  for (std::size_t ri = 0; ri < roots.size(); ++ri) {
+    int ord = 0;
+    enumerate_expr(m, roots[ri].expr, ExprOp::kConst, static_cast<int>(ri),
+                   roots[ri].label, &ord, cfg, &sites);
+  }
+  return sites;
+}
+
+/// All actions of one corruption run, pre-resolved so the rebuild is a pure
+/// deterministic rewrite.
+struct Actions {
+  std::set<int> drop_reset;            ///< register indices
+  std::set<int> invert_reset;          ///< register indices
+  std::set<std::string> widen;         ///< symbols growing by one bit
+  std::map<std::pair<int, int>, bool> swap;  ///< (root, ord) -> present
+  std::map<std::pair<int, int>, std::uint64_t> stuck;  ///< (root, ord) -> v
+};
+
+/// Rebuilds `m` into a fresh module with `act` applied. Traversal order
+/// matches enumerate_expr exactly (shared ordinal discipline).
+class Rewriter {
+ public:
+  Rewriter(const Module& m, const Actions& act) : m_(m), act_(act) {
+    out_.name = m.name;
+    out_.reset_port = m.reset_port;
+    for (const rtl::Port& p : m.inputs) out_.add_input(p.name, p.width);
+    for (const rtl::Wire& w : m.wires) {
+      out_.declare_wire(w.name, new_width(w.name, w.width));
+    }
+    for (const rtl::Register& r : m.regs) {
+      const bool dropped = act.drop_reset.count(reg_index(r.name)) != 0;
+      std::uint64_t reset = r.reset_value;
+      if (act.invert_reset.count(reg_index(r.name)) != 0) {
+        reset = (~reset) & rtl::width_mask(r.width);
+      }
+      out_.add_reg(r.name, new_width(r.name, r.width),
+                   r.has_reset && !dropped, reset);
+      out_.set_role(r.name, r.role_hint);
+    }
+  }
+
+  Module take() {
+    int root = 0;
+    for (const rtl::Wire& w : m_.wires) {
+      int ord = 0;
+      ExprId e = rebuild(w.expr, root, &ord);
+      if (act_.widen.count(w.name) != 0) {
+        e = out_.arena.zext(e, w.width + 1);
+      }
+      out_.set_wire_expr(w.name, e);
+      ++root;
+    }
+    for (const rtl::Register& r : m_.regs) {
+      ExprId enable = rtl::kInvalidExpr;
+      if (r.enable != rtl::kInvalidExpr) {
+        int ord = 0;
+        enable = rebuild(r.enable, root, &ord);
+        ++root;
+      }
+      int ord = 0;
+      ExprId next = rebuild(r.next, root, &ord);
+      if (act_.widen.count(r.name) != 0) {
+        next = out_.arena.zext(next, r.width + 1);
+      }
+      out_.set_next(r.name, next, enable);
+      ++root;
+    }
+    for (const auto& [name, e] : m_.output_assigns) {
+      int ord = 0;
+      const ExprId rebuilt = rebuild(e, root, &ord);
+      out_.assign_output(name, out_port_width(name), rebuilt);
+      ++root;
+    }
+    out_.validate();
+    return std::move(out_);
+  }
+
+ private:
+  int reg_index(const std::string& name) const {
+    for (std::size_t i = 0; i < m_.regs.size(); ++i) {
+      if (m_.regs[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int out_port_width(const std::string& name) const {
+    for (const rtl::Port& p : m_.outputs) {
+      if (p.name == name) return p.width;
+    }
+    return 1;
+  }
+
+  int new_width(const std::string& name, int width) const {
+    return act_.widen.count(name) != 0 ? width + 1 : width;
+  }
+
+  /// Read of a named symbol, shifted down one bit position when the symbol
+  /// was widened (name[w:1] — the off-by-one part-select).
+  ExprId read_var(const std::string& name, int width) {
+    if (act_.widen.count(name) == 0) return out_.arena.var(name, width);
+    const ExprId v = out_.arena.var(name, width + 1);
+    return out_.arena.slice(v, width, 1);
+  }
+
+  ExprId rebuild(ExprId id, int root, int* ord) {
+    const Expr& e = m_.arena.at(id);
+    const int my = (*ord)++;
+    const std::pair<int, int> key{root, my};
+
+    if (const auto it = act_.stuck.find(key); it != act_.stuck.end()) {
+      // Eligibility restricted this to kVar nodes outside bit/slice/sext.
+      return out_.arena.constant(e.width, it->second);
+    }
+    const bool swapped = act_.swap.count(key) != 0;
+
+    switch (e.op) {
+      case ExprOp::kConst:
+        return out_.arena.constant(e.width, e.value);
+      case ExprOp::kVar:
+        return read_var(e.var, e.width);
+      case ExprOp::kBit:
+      case ExprOp::kSlice:
+      case ExprOp::kSext: {
+        const Expr& a = m_.arena.at(e.args[0]);
+        if (a.op == ExprOp::kVar) {
+          ++(*ord);  // the child's ordinal, consumed inline
+          const bool widened = act_.widen.count(a.var) != 0;
+          const ExprId v =
+              out_.arena.var(a.var, widened ? a.width + 1 : a.width);
+          const int shift = widened ? 1 : 0;
+          if (e.op == ExprOp::kBit) return out_.arena.bit(v, e.lo + shift);
+          if (e.op == ExprOp::kSlice) {
+            return out_.arena.slice(v, e.hi + shift, e.lo + shift);
+          }
+          return out_.arena.sext(v, e.width);  // sext vars are never widened
+        }
+        const ExprId c = rebuild(e.args[0], root, ord);
+        if (e.op == ExprOp::kBit) return out_.arena.bit(c, e.lo);
+        if (e.op == ExprOp::kSlice) return out_.arena.slice(c, e.hi, e.lo);
+        return out_.arena.sext(c, e.width);
+      }
+      case ExprOp::kZext:
+        return out_.arena.zext(rebuild(e.args[0], root, ord), e.width);
+      case ExprOp::kNot:
+      case ExprOp::kNeg:
+      case ExprOp::kRedAnd:
+      case ExprOp::kRedOr:
+      case ExprOp::kRedXor:
+        return out_.arena.unary(e.op, rebuild(e.args[0], root, ord));
+      case ExprOp::kMux: {
+        const ExprId s = rebuild(e.args[0], root, ord);
+        const ExprId t = rebuild(e.args[1], root, ord);
+        const ExprId f = rebuild(e.args[2], root, ord);
+        return swapped ? out_.arena.mux(s, f, t) : out_.arena.mux(s, t, f);
+      }
+      case ExprOp::kConcat: {
+        std::vector<ExprId> parts;
+        parts.reserve(e.args.size());
+        for (const ExprId a : e.args) {
+          parts.push_back(rebuild(a, root, ord));
+        }
+        return out_.arena.concat(std::move(parts));
+      }
+      default: {  // binary operators
+        const ExprId a = rebuild(e.args[0], root, ord);
+        const ExprId b = rebuild(e.args[1], root, ord);
+        return swapped ? out_.arena.binary(e.op, b, a)
+                       : out_.arena.binary(e.op, a, b);
+      }
+    }
+  }
+
+  const Module& m_;
+  const Actions& act_;
+  Module out_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t count_corruption_sites(const Module& m,
+                                   const CorruptConfig& cfg) {
+  return enumerate_sites(m, cfg).size();
+}
+
+CorruptedRtl corrupt_module(const Module& m, const CorruptConfig& cfg) {
+  const std::vector<Site> sites = enumerate_sites(m, cfg);
+  const std::size_t severity = std::min<std::size_t>(
+      sites.size(), static_cast<std::size_t>(std::max(cfg.severity, 0)));
+  if (severity == 0) return {m, {}};
+
+  // Select sites without replacement; the stream depends only on
+  // (seed, module name), never on thread count or call order.
+  const std::uint64_t base = cfg.seed ^ fnv1a64(m.name);
+  std::vector<std::size_t> idx(sites.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng sel(base);
+  sel.shuffle(idx);
+  idx.resize(severity);
+  std::sort(idx.begin(), idx.end());  // apply in enumeration order
+
+  Actions act;
+  std::vector<Corruption> applied;
+  for (const std::size_t si : idx) {
+    const Site& s = sites[si];
+    // Per-site randomness is keyed by the site's enumeration index, so one
+    // site's choices never shift another's.
+    Rng site_rng(base ^ (0x9e3779b97f4a7c15ull * (si + 1)));
+    Corruption c;
+    c.kind = s.kind;
+    switch (s.kind) {
+      case CorruptionKind::kDropReset: {
+        const rtl::Register& r = m.regs[static_cast<std::size_t>(s.reg)];
+        act.drop_reset.insert(s.reg);
+        c.target = s.symbol;
+        c.site = "reg " + s.symbol;
+        c.detail = strprintf("reset branch removed (was %d'd%llu)", r.width,
+                             static_cast<unsigned long long>(r.reset_value));
+        break;
+      }
+      case CorruptionKind::kInvertReset: {
+        const rtl::Register& r = m.regs[static_cast<std::size_t>(s.reg)];
+        const std::uint64_t inv =
+            (~r.reset_value) & rtl::width_mask(r.width);
+        act.invert_reset.insert(s.reg);
+        c.target = s.symbol;
+        c.site = "reg " + s.symbol;
+        c.detail = strprintf(
+            "reset value %d'd%llu -> %d'd%llu", r.width,
+            static_cast<unsigned long long>(r.reset_value), r.width,
+            static_cast<unsigned long long>(inv));
+        break;
+      }
+      case CorruptionKind::kWidthOffByOne:
+        act.widen.insert(s.symbol);
+        c.target = s.symbol;
+        c.site = "decl " + s.symbol;
+        c.detail = strprintf("width %d -> %d, reads shifted to [%d:1]",
+                             s.width, s.width + 1, s.width);
+        break;
+      case CorruptionKind::kSwapOperands:
+        act.swap[{s.root, s.ord}] = true;
+        c.target = s.root_label;
+        c.site = strprintf("%s#%d", s.root_label.c_str(), s.ord);
+        c.detail = s.op == ExprOp::kMux
+                       ? std::string("mux arms exchanged")
+                       : strprintf("operands of '%s' exchanged",
+                                   swap_op_name(s.op));
+        break;
+      case CorruptionKind::kStuckConstant: {
+        const std::uint64_t value =
+            (site_rng() & 1) != 0 ? 0 : rtl::width_mask(s.width);
+        act.stuck[{s.root, s.ord}] = value;
+        c.target = s.symbol;
+        c.site = strprintf("%s#%d", s.root_label.c_str(), s.ord);
+        c.detail = strprintf("use of '%s' stuck at %d'd%llu",
+                             s.symbol.c_str(), s.width,
+                             static_cast<unsigned long long>(value));
+        break;
+      }
+    }
+    applied.push_back(std::move(c));
+  }
+
+  Rewriter rw(m, act);
+  return {rw.take(), std::move(applied)};
+}
+
+std::string provenance_json(const std::string& design, std::uint64_t seed,
+                            int severity,
+                            const std::vector<Corruption>& applied) {
+  std::string out = "{\"design\":\"" + json_escape(design) + "\"";
+  out += strprintf(",\"seed\":%llu,\"severity\":%d,\"applied\":[",
+                   static_cast<unsigned long long>(seed), severity);
+  for (std::size_t i = 0; i < applied.size(); ++i) {
+    const Corruption& c = applied[i];
+    if (i != 0) out += ",";
+    out += "{\"kind\":\"";
+    out += to_string(c.kind);
+    out += "\",\"target\":\"" + json_escape(c.target) + "\",\"site\":\"" +
+           json_escape(c.site) + "\",\"detail\":\"" + json_escape(c.detail) +
+           "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace moss::data

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace moss::data {
+
+/// RTL-level imperfection passes: seeded, composable mutations on a parsed
+/// module that stay syntactically valid (the output always re-parses with no
+/// diagnostic) but go semantically wrong — the "valid but buggy" RTL a
+/// public-facing alignment service actually receives. The netlist-level
+/// analogue is data::Mutation (mutate.hpp); these operate one level up, on
+/// the code modality itself, so the corrupted view keeps the surface
+/// statistics of real RTL.
+enum class CorruptionKind : std::uint8_t {
+  /// Exchange the operands of a non-commutative operator (a-b -> b-a,
+  /// a<<b -> b<<a, a<b -> b<a) or the arms of a mux (sel?t:f -> sel?f:t).
+  kSwapOperands,
+  /// Replace one use of a named signal with a same-width constant
+  /// (all-zeros or all-ones), leaving every other use intact.
+  kStuckConstant,
+  /// Remove a register's synchronous reset branch entirely.
+  kDropReset,
+  /// Bitwise-invert a register's reset value.
+  kInvertReset,
+  /// Off-by-one width bug: grow a wire/register by one bit and shift every
+  /// read of it up by one position (reads become name[w:1]), the classic
+  /// mis-sized-declaration/mis-indexed-part-select pattern.
+  kWidthOffByOne,
+};
+
+const char* to_string(CorruptionKind kind);
+/// Parse the to_string form ("swap_operands", ...). Returns false (and
+/// leaves `out` untouched) for unknown names.
+bool corruption_kind_from_string(const std::string& s, CorruptionKind* out);
+/// All passes, in enum order (the default pass set).
+std::vector<CorruptionKind> all_corruption_kinds();
+
+/// Provenance of one applied corruption: which pass, where, and what it did.
+/// Byte-stable for a fixed (module, config) — the corpus exporter writes
+/// these verbatim.
+struct Corruption {
+  CorruptionKind kind = CorruptionKind::kSwapOperands;
+  std::string target;  ///< affected symbol (register/wire) or root name
+  std::string site;    ///< stable site id, e.g. "wire acc#3" (preorder pos)
+  std::string detail;  ///< human-readable description of the wrongness
+};
+
+struct CorruptConfig {
+  std::uint64_t seed = 1;
+  /// Number of corruption sites to apply (clamped to the available sites).
+  /// Higher severity = more simultaneous bugs.
+  int severity = 1;
+  /// Which passes may fire; empty = all of them.
+  std::vector<CorruptionKind> passes;
+};
+
+struct CorruptedRtl {
+  rtl::Module module;
+  std::vector<Corruption> applied;
+};
+
+/// Number of eligible corruption sites in `m` under `cfg.passes` — the
+/// ceiling of any severity schedule.
+std::size_t count_corruption_sites(const rtl::Module& m,
+                                   const CorruptConfig& cfg);
+
+/// Apply `cfg.severity` corruptions to a copy of `m`. Site selection and
+/// every per-site choice are deterministic in (cfg.seed, module name, site):
+/// two calls with equal inputs produce byte-identical Verilog and
+/// provenance. The result always validates and re-parses; `applied` may be
+/// shorter than `severity` when the module has fewer eligible sites (and
+/// empty when it has none, in which case the module is returned unchanged).
+CorruptedRtl corrupt_module(const rtl::Module& m, const CorruptConfig& cfg);
+
+/// One-line JSON provenance record with stable field order:
+/// {"design":...,"seed":...,"severity":...,"applied":[{...},...]}
+std::string provenance_json(const std::string& design, std::uint64_t seed,
+                            int severity,
+                            const std::vector<Corruption>& applied);
+
+}  // namespace moss::data

@@ -4,27 +4,27 @@
 #include "core_util/thread_pool.hpp"
 #include "power/power.hpp"
 #include "rtl/printer.hpp"
+#include "sat/oracle.hpp"
 #include "sim/simulator.hpp"
 #include "sta/sta.hpp"
 #include "synth/synthesize.hpp"
 
 namespace moss::data {
 
-LabeledCircuit label_circuit(const DesignSpec& spec,
-                             const cell::CellLibrary& lib,
-                             const DatasetConfig& cfg) {
-  LabeledCircuit lc = label_module(generate(spec), lib, cfg);
-  lc.spec = spec;
-  return lc;
+const char* to_string(FepLabelSource s) {
+  switch (s) {
+    case FepLabelSource::kGenerator: return "generator";
+    case FepLabelSource::kOracleProven: return "oracle_proven";
+    case FepLabelSource::kOracleRefuted: return "oracle_refuted";
+  }
+  return "?";
 }
 
-LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
-                            const DatasetConfig& cfg) {
-  LabeledCircuit lc{.spec = DesignSpec{"custom", 1, cfg.seed, m.name},
-                    .module = std::move(m),
-                    .netlist = netlist::Netlist(lib)};
-  lc.netlist = synth::synthesize(lc.module, lib);
+namespace {
 
+/// Runs sim/STA/power on lc.netlist and fills the shared label fields.
+/// Identical Rng discipline for RTL-backed and bare-netlist circuits.
+void collect_labels(LabeledCircuit& lc, const DatasetConfig& cfg) {
   Rng rng(cfg.seed ^ fnv1a64(lc.netlist.name()));
   const sim::ActivityReport act =
       sim::random_activity(lc.netlist, cfg.sim_cycles, rng,
@@ -41,9 +41,72 @@ LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
   }
 
   lc.power_uw = power::analyze_power(lc.netlist, lc.toggle).total_uw;
+}
+
+/// Upgrade the generator's assumed-equivalent FEP label to an oracle-proven
+/// one. A typed UNKNOWN keeps the generator label; a refutation would mean
+/// the synthesis flow itself is wrong, so it is recorded (and loud in
+/// fep_label_detail) rather than silently trusted.
+void prove_fep_label(LabeledCircuit& lc, const DatasetConfig& cfg) {
+  if (!cfg.oracle_labels) return;
+  sat::OracleConfig ocfg;
+  ocfg.seed = cfg.seed;
+  ocfg.conflict_budget = cfg.oracle_conflict_budget;
+  ocfg.max_frames = cfg.oracle_max_frames;
+  const sat::EquivOracle oracle(ocfg);
+  const sat::OracleResult res = oracle.check(lc.module, lc.netlist);
+  switch (res.verdict) {
+    case sat::Verdict::kEquivalent:
+      lc.fep_equivalent = true;
+      lc.fep_label_source = FepLabelSource::kOracleProven;
+      lc.fep_label_detail = res.proven_by_cut ? "proven (inductive cut)"
+                                              : "proven";
+      break;
+    case sat::Verdict::kNotEquivalent:
+      lc.fep_equivalent = false;
+      lc.fep_label_source = FepLabelSource::kOracleRefuted;
+      lc.fep_label_detail =
+          "counterexample at output '" + res.cex.mismatch_output + "'";
+      break;
+    case sat::Verdict::kUnknown:
+      // Keep the generator label, but say why the proof fell through.
+      lc.fep_label_detail =
+          std::string("oracle unknown: ") + to_string(res.unknown_reason);
+      break;
+  }
+}
+
+}  // namespace
+
+LabeledCircuit label_circuit(const DesignSpec& spec,
+                             const cell::CellLibrary& lib,
+                             const DatasetConfig& cfg) {
+  LabeledCircuit lc = label_module(generate(spec), lib, cfg);
+  lc.spec = spec;
+  return lc;
+}
+
+LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
+                            const DatasetConfig& cfg) {
+  LabeledCircuit lc{.spec = DesignSpec{"custom", 1, cfg.seed, m.name},
+                    .module = std::move(m),
+                    .netlist = netlist::Netlist(lib)};
+  lc.netlist = synth::synthesize(lc.module, lib);
+  collect_labels(lc, cfg);
+  prove_fep_label(lc, cfg);
 
   lc.module_text = rtl::module_prompt(lc.module);
   lc.reg_prompts = rtl::register_prompts(lc.module);
+  return lc;
+}
+
+LabeledCircuit label_netlist(netlist::Netlist nl, const DatasetConfig& cfg) {
+  LabeledCircuit lc{.spec = DesignSpec{"netlist", 1, cfg.seed, nl.name()},
+                    .netlist = std::move(nl)};
+  collect_labels(lc, cfg);
+  lc.fep_equivalent = false;
+  lc.fep_label_source = FepLabelSource::kOracleRefuted;
+  lc.fep_label_detail = "no RTL modality";
   return lc;
 }
 

@@ -9,6 +9,17 @@
 
 namespace moss::data {
 
+/// Where a circuit's functional-equivalence label came from. Generator
+/// labels are an article of faith (the RTL and netlist are equivalent
+/// because synthesis says so); oracle labels are SAT-proven.
+enum class FepLabelSource : std::uint8_t {
+  kGenerator,     ///< assumed equivalent (oracle off, or typed UNKNOWN)
+  kOracleProven,  ///< sat::EquivOracle proved RTL ≡ netlist
+  kOracleRefuted, ///< oracle found a counterexample (labeling flow bug,
+                  ///< or a deliberately inequivalent mutant)
+};
+const char* to_string(FepLabelSource s);
+
 /// One fully labeled circuit: both modalities plus all ground-truth labels
 /// the tasks train against (collected with the in-repo EDA flow standing in
 /// for DC / VCS / PrimePower).
@@ -16,6 +27,13 @@ struct LabeledCircuit {
   DesignSpec spec;
   rtl::Module module;         ///< RTL modality (golden functional model)
   netlist::Netlist netlist;   ///< structural modality (synthesized)
+
+  /// FEP ground truth: does the netlist implement the RTL? True for every
+  /// normally-labeled circuit; false for mutant netlists labeled via
+  /// label_netlist (no RTL modality) or oracle-refuted pairs.
+  bool fep_equivalent = true;
+  FepLabelSource fep_label_source = FepLabelSource::kGenerator;
+  std::string fep_label_detail;  ///< e.g. UNKNOWN reason, cex output name
 
   // Ground truth labels.
   std::vector<double> toggle;        ///< per node (by NodeId)
@@ -39,6 +57,14 @@ struct DatasetConfig {
   /// each circuit draws from its own Rng (seeded from `seed` and the
   /// netlist name), so the labels are identical at any thread count.
   std::size_t threads = 1;
+
+  /// Prove each RTL↔netlist pair with sat::EquivOracle instead of trusting
+  /// the generator. The module folds against its own synthesis in the
+  /// shared-strash miter, so the common case costs no solver work; a typed
+  /// UNKNOWN keeps the generator label (recorded in fep_label_detail).
+  bool oracle_labels = true;
+  std::uint64_t oracle_conflict_budget = 50000;
+  int oracle_max_frames = 8;
 };
 
 /// Generate, synthesize and label one circuit.
@@ -50,6 +76,13 @@ LabeledCircuit label_circuit(const DesignSpec& spec,
 /// Verilog) through the same flow.
 LabeledCircuit label_module(rtl::Module m, const cell::CellLibrary& lib,
                             const DatasetConfig& cfg);
+
+/// Label a bare netlist with no RTL modality (e.g. a mined or mutated
+/// variant): sim/STA/power labels are collected as usual, module_text and
+/// reg_prompts stay empty, and fep_equivalent is false — the netlist does
+/// NOT implement any golden RTL, which is exactly what makes it a hard
+/// negative for FEP training.
+LabeledCircuit label_netlist(netlist::Netlist nl, const DatasetConfig& cfg);
 
 /// Label a whole corpus.
 std::vector<LabeledCircuit> build_dataset(const std::vector<DesignSpec>& specs,

@@ -27,6 +27,7 @@
 #include "core/workflow.hpp"         // IWYU pragma: export
 #include "core_util/rng.hpp"         // IWYU pragma: export
 #include "core_util/strings.hpp"     // IWYU pragma: export
+#include "data/corrupt.hpp"          // IWYU pragma: export
 #include "data/dataset.hpp"          // IWYU pragma: export
 #include "data/generators.hpp"       // IWYU pragma: export
 #include "data/mutate.hpp"           // IWYU pragma: export

@@ -110,6 +110,40 @@ TEST(Dataset, LabelsAreComplete) {
   for (const double at : lc.flop_arrival) EXPECT_GE(at, 0.0);
 }
 
+TEST(Dataset, FepLabelsAreOracleProvenByDefault) {
+  DesignSpec s{"gray_counter", 1, 3, "gc_oracle"};
+  DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  const LabeledCircuit lc = label_circuit(s, standard_library(), cfg);
+  // The module folds against its own synthesis in the shared-strash miter,
+  // so the default config proves every generator circuit.
+  EXPECT_TRUE(lc.fep_equivalent);
+  EXPECT_EQ(lc.fep_label_source, FepLabelSource::kOracleProven);
+  EXPECT_FALSE(lc.fep_label_detail.empty());
+
+  // Opting out falls back to the generator article of faith.
+  cfg.oracle_labels = false;
+  const LabeledCircuit trusted = label_circuit(s, standard_library(), cfg);
+  EXPECT_TRUE(trusted.fep_equivalent);
+  EXPECT_EQ(trusted.fep_label_source, FepLabelSource::kGenerator);
+}
+
+TEST(Dataset, LabelNetlistIsAnInherentHardNegative) {
+  DesignSpec s{"gray_counter", 1, 3, "gc_neg"};
+  DatasetConfig cfg;
+  cfg.sim_cycles = 200;
+  const LabeledCircuit golden = label_circuit(s, standard_library(), cfg);
+  const LabeledCircuit neg = label_netlist(golden.netlist, cfg);
+  EXPECT_FALSE(neg.fep_equivalent);
+  EXPECT_EQ(neg.fep_label_source, FepLabelSource::kOracleRefuted);
+  EXPECT_TRUE(neg.module_text.empty());
+  EXPECT_TRUE(neg.reg_prompts.empty());
+  // The EDA labels are still collected — identically to the golden run.
+  EXPECT_EQ(neg.toggle.size(), golden.toggle.size());
+  EXPECT_EQ(neg.toggle, golden.toggle);
+  EXPECT_EQ(neg.power_uw, golden.power_uw);
+}
+
 TEST(DatasetStats, SummarizesCorrectly) {
   DatasetConfig cfg;
   cfg.sim_cycles = 150;

@@ -9,7 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "data/corrupt.hpp"
+#include "data/generators.hpp"
 #include "rtl/parser.hpp"
+#include "rtl/printer.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
@@ -104,6 +107,109 @@ TEST(NegativeRtl, ParserRecoversAfterFailure) {
   for (int i = 0; i < 256; ++i) deep += ')';
   deep += "; endmodule";
   EXPECT_NO_THROW(rtl::parse_verilog(deep));
+}
+
+// ---------------------------------------------------------------------------
+// Imperfection model — "valid but wrong" is the contract: every corruption
+// pass's output must re-parse with no diagnostic, validate, and (when a
+// corruption actually applied) differ textually from the clean source.
+
+std::vector<rtl::Module> corruption_fixture_modules() {
+  std::vector<rtl::Module> mods;
+  for (const std::string& family : data::families()) {
+    for (const int size : {1, 2}) {
+      data::DesignSpec spec;
+      spec.family = family;
+      spec.size_hint = size;
+      spec.seed = 11 + static_cast<std::uint64_t>(size);
+      mods.push_back(data::generate(spec));
+    }
+  }
+  return mods;
+}
+
+TEST(NegativeCorrupt, EveryPassRoundTripsThroughTheParser) {
+  std::size_t fired[8] = {};
+  for (const rtl::Module& m : corruption_fixture_modules()) {
+    const std::string clean = rtl::to_verilog(m);
+    for (const data::CorruptionKind kind : data::all_corruption_kinds()) {
+      data::CorruptConfig cfg;
+      cfg.seed = 21;
+      cfg.severity = 3;
+      cfg.passes = {kind};
+      const data::CorruptedRtl corrupted = data::corrupt_module(m, cfg);
+      SCOPED_TRACE(m.name + " / " + data::to_string(kind));
+      ASSERT_NO_THROW(corrupted.module.validate());
+      const std::string text = rtl::to_verilog(corrupted.module);
+      rtl::Module reparsed;
+      ASSERT_NO_THROW(reparsed = rtl::parse_verilog(text))
+          << "corrupted RTL must stay syntactically valid:\n" << text;
+      ASSERT_NO_THROW(reparsed.validate());
+      if (!corrupted.applied.empty()) {
+        EXPECT_NE(text, clean)
+            << "an applied corruption must change the source";
+        fired[static_cast<std::size_t>(kind)] += corrupted.applied.size();
+      }
+    }
+  }
+  // Every pass must find sites somewhere across the generator families —
+  // a pass that never fires is dead code, not robustness coverage.
+  for (const data::CorruptionKind kind : data::all_corruption_kinds()) {
+    EXPECT_GT(fired[static_cast<std::size_t>(kind)], 0u)
+        << data::to_string(kind) << " never applied on any fixture module";
+  }
+}
+
+TEST(NegativeCorrupt, SameSeedIsByteIdenticalAcrossRuns) {
+  for (const rtl::Module& m : corruption_fixture_modules()) {
+    data::CorruptConfig cfg;
+    cfg.seed = 77;
+    cfg.severity = 4;
+    const data::CorruptedRtl a = data::corrupt_module(m, cfg);
+    const data::CorruptedRtl b = data::corrupt_module(m, cfg);
+    EXPECT_EQ(rtl::to_verilog(a.module), rtl::to_verilog(b.module));
+    EXPECT_EQ(data::provenance_json(m.name, cfg.seed, cfg.severity, a.applied),
+              data::provenance_json(m.name, cfg.seed, cfg.severity,
+                                    b.applied));
+    // A different seed must be able to pick a different site set.
+    cfg.seed = 78;
+    const data::CorruptedRtl c = data::corrupt_module(m, cfg);
+    EXPECT_EQ(a.applied.size(), c.applied.size());
+  }
+}
+
+TEST(NegativeCorrupt, SeverityIsClampedToAvailableSites) {
+  data::DesignSpec spec;
+  spec.family = data::families().front();
+  spec.size_hint = 1;
+  spec.seed = 3;
+  const rtl::Module m = data::generate(spec);
+  data::CorruptConfig cfg;
+  cfg.seed = 5;
+  const std::size_t sites = data::count_corruption_sites(m, cfg);
+  ASSERT_GT(sites, 0u);
+  cfg.severity = static_cast<int>(sites) + 100;
+  const data::CorruptedRtl corrupted = data::corrupt_module(m, cfg);
+  EXPECT_EQ(corrupted.applied.size(), sites);
+  cfg.severity = 1;
+  EXPECT_EQ(data::corrupt_module(m, cfg).applied.size(), 1u);
+  // Zero severity (or a module with no sites) returns the module unchanged.
+  cfg.severity = 0;
+  const data::CorruptedRtl untouched = data::corrupt_module(m, cfg);
+  EXPECT_TRUE(untouched.applied.empty());
+  EXPECT_EQ(rtl::to_verilog(untouched.module), rtl::to_verilog(m));
+}
+
+TEST(NegativeCorrupt, KindNamesRoundTripAndRejectUnknown) {
+  for (const data::CorruptionKind kind : data::all_corruption_kinds()) {
+    data::CorruptionKind parsed;
+    ASSERT_TRUE(data::corruption_kind_from_string(data::to_string(kind),
+                                                  &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  data::CorruptionKind parsed = data::CorruptionKind::kDropReset;
+  EXPECT_FALSE(data::corruption_kind_from_string("solar_flare", &parsed));
+  EXPECT_EQ(parsed, data::CorruptionKind::kDropReset) << "out left untouched";
 }
 
 // ---------------------------------------------------------------------------

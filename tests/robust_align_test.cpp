@@ -1,0 +1,270 @@
+// Noise-tolerant alignment (core::AlignNoise + HardNegative): the rejection
+// terms must actually train, stay bit-deterministic at any thread count,
+// round-trip through checkpoints, and — crucially — leave the default
+// (noise-off) path op-for-op identical whether or not corrupted views are
+// attached to the batches.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/evaluate.hpp"
+#include "core/features.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "data/corrupt.hpp"
+#include "data/mutate.hpp"
+
+namespace moss::core {
+namespace {
+
+using cell::standard_library;
+
+const lm::TextEncoder& enc() {
+  static lm::TextEncoder e({2048, 16, 13});
+  return e;
+}
+
+struct Fixture {
+  std::vector<data::LabeledCircuit> circuits;
+  std::vector<CircuitBatch> batches;
+};
+
+Fixture make_fixture(const FeatureConfig& fcfg, int n = 4) {
+  Fixture f;
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = 300;
+  const auto specs = data::corpus_specs(static_cast<std::size_t>(n), 21, 1, 1);
+  for (const auto& s : specs) {
+    f.circuits.push_back(data::label_circuit(s, standard_library(), dcfg));
+    f.batches.push_back(build_batch(f.circuits.back(), enc(), fcfg));
+  }
+  return f;
+}
+
+MossConfig small_config() {
+  MossConfig cfg;
+  cfg.hidden = 16;
+  cfg.rounds = 1;
+  return cfg;
+}
+
+void attach_views(Fixture& f, std::uint64_t seed = 0x5EED) {
+  for (std::size_t i = 0; i < f.batches.size(); ++i) {
+    attach_corrupt_views(f.batches[i], f.circuits[i], /*count=*/2, seed + i);
+  }
+}
+
+bool params_identical(MossModel& a, MossModel& b) {
+  const auto& ta = a.params().tensors();
+  const auto& tb = b.params().tensors();
+  if (ta.size() != tb.size()) return false;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].size() != tb[i].size()) return false;
+    if (std::memcmp(ta[i].data().data(), tb[i].data().data(),
+                    ta[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AlignConfig small_align(int epochs = 3) {
+  AlignConfig acfg;
+  acfg.epochs = epochs;
+  acfg.batch_size = 2;
+  acfg.lr = 2e-3f;
+  return acfg;
+}
+
+/// One oracle-style hard negative for circuit `owner`: a single-site
+/// mutation of its netlist, labeled and batched like the bench does.
+HardNegative make_negative(const Fixture& f, std::size_t owner,
+                           const FeatureConfig& fcfg) {
+  const netlist::Netlist& golden = f.circuits[owner].netlist;
+  Rng rng(7);
+  const auto muts = data::sample_mutations(golden, 1, rng);
+  EXPECT_FALSE(muts.empty());
+  const netlist::Netlist mutant =
+      data::apply_mutation(golden, muts[0], "__hn");
+  data::DatasetConfig dcfg;
+  dcfg.sim_cycles = 300;
+  const data::LabeledCircuit lc = data::label_netlist(mutant, dcfg);
+  return {owner, build_batch(lc, enc(), fcfg)};
+}
+
+TEST(RobustAlign, NoiseOffIgnoresAttachedCorruptViews) {
+  const MossConfig cfg = small_config();
+  Fixture plain = make_fixture(cfg.features);
+  Fixture noisy = make_fixture(cfg.features);
+  attach_views(noisy);
+
+  MossModel a(cfg, standard_library(), enc());
+  MossModel b(cfg, standard_library(), enc());
+  const AlignConfig acfg = small_align();  // noise defaults off
+  Rng ra(3), rb(3);
+  const AlignReport rep_a = align(a, plain.batches, acfg, ra);
+  const AlignReport rep_b = align(b, noisy.batches, acfg, rb);
+
+  EXPECT_TRUE(params_identical(a, b));
+  ASSERT_EQ(rep_a.total.size(), rep_b.total.size());
+  ASSERT_EQ(rep_b.reject.size(), rep_b.total.size());
+  for (std::size_t e = 0; e < rep_a.total.size(); ++e) {
+    EXPECT_EQ(rep_a.total[e], rep_b.total[e]);
+    EXPECT_EQ(rep_b.reject[e], 0.0);
+  }
+}
+
+TEST(RobustAlign, NoiseEnabledTrainsTheRejectionTerms) {
+  const MossConfig cfg = small_config();
+  Fixture clean = make_fixture(cfg.features);
+  Fixture noisy = make_fixture(cfg.features);
+  attach_views(noisy);
+
+  MossModel a(cfg, standard_library(), enc());
+  MossModel b(cfg, standard_library(), enc());
+  AlignConfig acfg = small_align();
+  AlignConfig ncfg = acfg;
+  ncfg.noise.enabled = true;
+  ncfg.noise.corrupt_fraction = 1.0f;  // every circuit contributes a view
+  Rng ra(3), rb(3);
+  align(a, clean.batches, acfg, ra);
+  const AlignReport rep = align(b, noisy.batches, ncfg, rb);
+
+  ASSERT_EQ(rep.reject.size(), rep.total.size());
+  double max_rej = 0.0;
+  for (const double r : rep.reject) {
+    EXPECT_TRUE(std::isfinite(r));
+    max_rej = std::max(max_rej, r);
+  }
+  EXPECT_GT(max_rej, 0.0);
+  for (const double t : rep.total) EXPECT_TRUE(std::isfinite(t));
+  // The extra loss terms must actually reach the weights.
+  EXPECT_FALSE(params_identical(a, b));
+}
+
+TEST(RobustAlign, HardNegativesJoinTheirOwnersMinibatch) {
+  const MossConfig cfg = small_config();
+  Fixture f = make_fixture(cfg.features);
+  std::vector<HardNegative> negs;
+  negs.push_back(make_negative(f, 0, cfg.features));
+  negs.push_back(make_negative(f, 2, cfg.features));
+
+  MossModel a(cfg, standard_library(), enc());
+  MossModel b(cfg, standard_library(), enc());
+  const AlignConfig acfg = small_align();
+  Rng ra(3), rb(3);
+  align(a, f.batches, acfg, ra);
+  const AlignReport rep = align(b, f.batches, acfg, rb, &negs);
+
+  double max_rej = 0.0;
+  for (const double r : rep.reject) {
+    EXPECT_TRUE(std::isfinite(r));
+    max_rej = std::max(max_rej, r);
+  }
+  EXPECT_GT(max_rej, 0.0);
+  EXPECT_FALSE(params_identical(a, b));
+}
+
+TEST(RobustAlign, BitIdenticalAtAnyThreadCount) {
+  const MossConfig cfg = small_config();
+  Fixture f1 = make_fixture(cfg.features);
+  Fixture f3 = make_fixture(cfg.features);
+  attach_views(f1);
+  attach_views(f3);
+  std::vector<HardNegative> negs1, negs3;
+  negs1.push_back(make_negative(f1, 1, cfg.features));
+  negs3.push_back(make_negative(f3, 1, cfg.features));
+
+  AlignConfig acfg = small_align();
+  acfg.noise.enabled = true;
+  acfg.grad_accum = 2;  // give the pool concurrent spans to race on
+  MossModel a(cfg, standard_library(), enc());
+  MossModel b(cfg, standard_library(), enc());
+  AlignConfig c1 = acfg, c3 = acfg;
+  c1.threads = 1;
+  c3.threads = 3;
+  Rng ra(3), rb(3);
+  const AlignReport rep1 = align(a, f1.batches, c1, ra, &negs1);
+  const AlignReport rep3 = align(b, f3.batches, c3, rb, &negs3);
+
+  EXPECT_TRUE(params_identical(a, b));
+  ASSERT_EQ(rep1.reject.size(), rep3.reject.size());
+  for (std::size_t e = 0; e < rep1.reject.size(); ++e) {
+    EXPECT_EQ(rep1.reject[e], rep3.reject[e]);
+    EXPECT_EQ(rep1.total[e], rep3.total[e]);
+  }
+}
+
+TEST(RobustAlign, CheckpointResumeReproducesTheRejectCurve) {
+  const MossConfig cfg = small_config();
+  Fixture straight = make_fixture(cfg.features);
+  Fixture resumed = make_fixture(cfg.features);
+  attach_views(straight);
+  attach_views(resumed);
+
+  AlignConfig base = small_align(/*epochs=*/4);
+  base.noise.enabled = true;
+  base.noise.corrupt_fraction = 1.0f;
+
+  MossModel a(cfg, standard_library(), enc());
+  Rng ra(3);
+  const AlignReport uninterrupted = align(a, straight.batches, base, ra);
+
+  const std::string path = ::testing::TempDir() + "robust_align_ckpt_" +
+                           std::to_string(::getpid()) + ".ckpt";
+  MossModel b(cfg, standard_library(), enc());
+  AlignConfig first = base;
+  first.epochs = 2;
+  first.checkpoint_every = 1;
+  first.checkpoint_path = path;
+  Rng rb(3);
+  align(b, resumed.batches, first, rb);
+
+  MossModel c(cfg, standard_library(), enc());
+  AlignConfig second = base;
+  second.checkpoint_every = 1;
+  second.checkpoint_path = path;
+  second.resume = true;
+  Rng rc(3);
+  const AlignReport continued = align(c, resumed.batches, second, rc);
+  std::remove(path.c_str());
+  std::remove((path + ".best").c_str());
+
+  EXPECT_TRUE(params_identical(a, c));
+  ASSERT_EQ(continued.reject.size(), uninterrupted.reject.size());
+  for (std::size_t e = 0; e < continued.reject.size(); ++e) {
+    EXPECT_EQ(continued.reject[e], uninterrupted.reject[e]);
+  }
+}
+
+TEST(RobustAlign, EvaluateHelpersScoreTheNoisyPool) {
+  const MossConfig cfg = small_config();
+  Fixture f = make_fixture(cfg.features);
+  attach_views(f, /*seed=*/0xE7A1);
+  MossModel model(cfg, standard_library(), enc());
+
+  const double rejection = evaluate_corrupt_rejection(model, f.batches);
+  EXPECT_GE(rejection, 0.0);
+  EXPECT_LE(rejection, 1.0);
+
+  std::vector<CircuitBatch> mutants;
+  std::vector<std::size_t> owners;
+  mutants.push_back(make_negative(f, 0, cfg.features).batch);
+  owners.push_back(0);
+  const double auc = evaluate_detection_auc(model, f.batches, mutants, owners);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+
+  // Degenerate AUC inputs take the documented fallbacks.
+  EXPECT_EQ(detection_auc({}), 0.5);
+  EXPECT_EQ(detection_auc({{1.0, true}}), 0.5);
+  EXPECT_EQ(detection_auc({{1.0, true}, {0.0, false}}), 1.0);
+  EXPECT_EQ(detection_auc({{1.0, true}, {1.0, false}}), 0.5);
+}
+
+}  // namespace
+}  // namespace moss::core
