@@ -2,7 +2,8 @@
 //
 //   moss_serve <design>... [--ckpt FILE] [--cache-mb N] [--max-batch N]
 //              [--max-delay-ms N] [--threads N] [--socket PATH]
-//              [--cache-dir DIR] [--shard-name NAME]
+//              [--cache-dir DIR] [--shard-name NAME] [--mmap]
+//              [--no-fused-batching]
 //
 // Boots a warm MossSession (loaded from a `moss_cli train --save`
 // checkpoint when --ckpt is given — pass the same design list so the
@@ -66,6 +67,8 @@ struct Options {
   int max_retries = 2;          ///< retries after the first attempt
   double shed_threshold = 0.75; ///< queue fraction; >=1 disables shedding
   bool allow_stale = false;
+  bool use_mmap = false;  ///< mmap MOSSSEG1 cache segments instead of reading
+  bool no_fused = false;  ///< disable cross-request fused batching
 };
 
 void usage() {
@@ -74,7 +77,11 @@ void usage() {
       "       [--max-batch N] [--max-delay-ms N] [--threads N]\n"
       "       [--socket PATH] [--max-retries N] [--shed-threshold F]\n"
       "       [--allow-stale] [--cache-dir DIR] [--shard-name NAME]\n"
-      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n",
+      "       [--mmap] [--no-fused-batching]\n"
+      "<design> = verilog file (*.v) or family:size (e.g. alu:2)\n"
+      "--mmap maps MOSSSEG1 cache segments read-only at load instead of\n"
+      "reading them whole; --no-fused-batching dispatches every request\n"
+      "through the sequential per-request path.\n",
       stderr);
 }
 
@@ -291,6 +298,10 @@ int main(int argc, char** argv) {
       opt.shard_name = v;
     } else if (a == "--allow-stale") {
       opt.allow_stale = true;
+    } else if (a == "--mmap") {
+      opt.use_mmap = true;
+    } else if (a == "--no-fused-batching") {
+      opt.no_fused = true;
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage();
@@ -369,6 +380,7 @@ int main(int argc, char** argv) {
     ecfg.admission.enabled = opt.shed_threshold < 1.0;
     ecfg.admission.shed_queue_fraction = opt.shed_threshold;
     ecfg.allow_stale = opt.allow_stale;
+    ecfg.fused_batching = !opt.no_fused;
     serve::InferenceEngine engine(registry, &cache, ecfg);
 
     // Persistent cache: warm-start from the previous generation's MOSSSEG1
@@ -377,7 +389,8 @@ int main(int argc, char** argv) {
     // corrupt or mismatched segments cost only themselves (cold keys).
     if (!opt.cache_dir.empty()) {
       const cluster::LoadReport lr =
-          cluster::load_cache(opt.cache_dir, cache, session->fingerprint());
+          cluster::load_cache(opt.cache_dir, cache, session->fingerprint(),
+                              opt.use_mmap);
       std::fprintf(stderr,
                    "moss_serve: cache warm-start from %s: segments=%zu "
                    "entries=%zu rejected=%zu\n",

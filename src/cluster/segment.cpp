@@ -69,15 +69,6 @@ std::string_view unframe(const char magic[8], std::string_view blob,
   return payload;
 }
 
-std::string read_file(const std::string& path, const ErrorContext& ctx) {
-  std::ifstream in(path, std::ios::binary);
-  ctx.check(static_cast<bool>(in), "cannot open file");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  ctx.check(!in.bad(), "read failed");
-  return ss.str();
-}
-
 void ensure_dir(const std::string& dir, const ErrorContext& ctx) {
   struct stat st;
   if (::stat(dir.c_str(), &st) == 0) {
@@ -285,7 +276,7 @@ SaveReport save_cache(const std::string& dir,
 }
 
 LoadReport load_cache(const std::string& dir, serve::EmbeddingCache& cache,
-                      std::uint64_t model_fingerprint) {
+                      std::uint64_t model_fingerprint, bool use_mmap) {
   LoadReport report;
   const auto note_rejection = [&](const std::exception& e) {
     ++report.segments_rejected;
@@ -305,8 +296,9 @@ LoadReport load_cache(const std::string& dir, serve::EmbeddingCache& cache,
       ErrorContext ctx;
       ctx.add("file", manifest_path);
       try {
-        const std::string blob = read_file(manifest_path, ctx);
-        for (ManifestRecord& rec : deserialize_manifest(blob, ctx)) {
+        const tensor::FileBlob blob =
+            tensor::FileBlob::read(manifest_path, ctx, use_mmap);
+        for (ManifestRecord& rec : deserialize_manifest(blob.view(), ctx)) {
           names.push_back(std::move(rec.filename));
         }
       } catch (const std::exception& e) {
@@ -323,9 +315,12 @@ LoadReport load_cache(const std::string& dir, serve::EmbeddingCache& cache,
     ErrorContext ctx;
     ctx.add("file", path);
     try {
-      const std::string blob = read_file(path, ctx);
+      // Segments are CRC-checked and copied entry-by-entry into the cache,
+      // so the mmap backing only lives for this scope; the page cache still
+      // saves the up-front full-file read for segments that fail early.
+      const tensor::FileBlob blob = tensor::FileBlob::read(path, ctx, use_mmap);
       const std::vector<SegmentEntry> entries =
-          deserialize_segment(blob, model_fingerprint, ctx);
+          deserialize_segment(blob.view(), model_fingerprint, ctx);
       for (const SegmentEntry& e : entries) {
         cache.put(e.key, e.value);
         ++report.entries;

@@ -103,7 +103,10 @@ SaveReport save_cache(const std::string& dir,
 /// missing or unreadable), load each segment, and put() every entry whose
 /// segment validates. Per-segment failures are skipped and counted;
 /// load_cache itself only throws on programmer error (never on bad data).
+/// With `use_mmap` segment files are mapped read-only instead of slurped
+/// (falls back to the one-read path when mapping is unavailable); the
+/// restored cache is identical either way.
 LoadReport load_cache(const std::string& dir, serve::EmbeddingCache& cache,
-                      std::uint64_t model_fingerprint);
+                      std::uint64_t model_fingerprint, bool use_mmap = false);
 
 }  // namespace moss::cluster

@@ -690,15 +690,11 @@ void save(const ExecutionPlan& p, const std::string& path) {
   });
 }
 
-ExecutionPlan load(const std::string& path) {
+ExecutionPlan load(const std::string& path, bool use_mmap) {
   ErrorContext ctx;
   ctx.add("file", path);
-  std::ifstream in(path, std::ios::binary);
-  ctx.check(in.good(), "cannot open plan file");
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  ctx.check(!in.bad(), "plan file read failed");
-  return deserialize(blob, std::move(ctx));
+  const tensor::FileBlob blob = tensor::FileBlob::read(path, ctx, use_mmap);
+  return deserialize(blob.view(), std::move(ctx));
 }
 
 // ---------------------------------------------------------------------------

@@ -147,7 +147,11 @@ core::CircuitBatch to_batch(const ExecutionPlan& plan);
 std::string serialize(const ExecutionPlan& plan);
 ExecutionPlan deserialize(std::string_view blob, ErrorContext ctx);
 void save(const ExecutionPlan& plan, const std::string& path);
-ExecutionPlan load(const std::string& path);
+/// With `use_mmap` the MOSSPLN1 blob is mapped read-only instead of slurped
+/// (one page-cache walk instead of a full copy; falls back to the one-read
+/// path when mapping is unavailable). The result is identical either way —
+/// deserialization copies what it keeps.
+ExecutionPlan load(const std::string& path, bool use_mmap = false);
 
 /// Nodes of `next` whose cone hash does not occur anywhere in `prev` — the
 /// cones an incremental edit dirtied (everything else can reuse cached

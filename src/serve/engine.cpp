@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "core_util/error.hpp"
@@ -8,6 +9,7 @@
 #include "plan/plan.hpp"
 #include "power/power.hpp"
 #include "sat/oracle.hpp"
+#include "serve/fused.hpp"
 
 namespace moss::serve {
 
@@ -250,59 +252,420 @@ void InferenceEngine::scheduler_loop() {
   }
 }
 
+namespace {
+
+/// Dispatch order of fusable groups within a window: alignment-facing kinds
+/// (EMBED, FEP-rank) first, then the timing/power kinds.
+int fused_priority(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kEmbed: return 0;
+    case RequestKind::kFepRank: return 1;
+    case RequestKind::kAtp: return 2;
+    case RequestKind::kTrpPp: return 3;
+    case RequestKind::kVerify: break;
+  }
+  return 4;
+}
+
+}  // namespace
+
 void InferenceEngine::dispatch(std::vector<Pending>& batch) {
   metrics_.record_batch(batch.size());
   const auto dispatch_time = Clock::now();
-  // Request isolation: every failure mode — bad request, missing model,
-  // injected fault, deadline — is captured into that request's promise;
-  // the worker, the rest of the batch and the scheduler keep going.
-  workers_.parallel_for(0, batch.size(), [&](std::size_t i) {
+  // Partition the window: model-backed requests of one (kind, model) form a
+  // fusable group; VERIFY and singleton non-rank groups take the sequential
+  // path unchanged. A singleton FEP-rank request still fuses — its pool
+  // members stack into one propagation.
+  std::vector<std::vector<Pending*>> groups;
+  std::vector<std::pair<RequestKind, std::string>> keys;
+  std::vector<Pending*> solo;
+  for (Pending& p : batch) {
+    if (!cfg_.fused_batching || p.req.kind == RequestKind::kVerify) {
+      solo.push_back(&p);
+      continue;
+    }
+    std::size_t gi = groups.size();
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      if (keys[k].first == p.req.kind && keys[k].second == p.req.model) {
+        gi = k;
+        break;
+      }
+    }
+    if (gi == groups.size()) {
+      keys.emplace_back(p.req.kind, p.req.model);
+      groups.emplace_back();
+    }
+    groups[gi].push_back(&p);
+  }
+  for (std::size_t k = 0; k < groups.size();) {
+    if (groups[k].size() == 1 && keys[k].first != RequestKind::kFepRank) {
+      solo.push_back(groups[k][0]);  // nothing to stack for a lone circuit
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(k));
+      keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      ++k;
+    }
+  }
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return fused_priority(keys[a].first) <
+                            fused_priority(keys[b].first);
+                   });
+  // One work item per solo request and per fused group. Request isolation
+  // is unchanged: every failure mode — bad request, missing model, injected
+  // fault, deadline — is captured into that request's promise; the worker,
+  // the rest of the batch and the scheduler keep going.
+  const std::size_t n_solo = solo.size();
+  workers_.parallel_for(0, n_solo + order.size(), [&](std::size_t i) {
     // Route the worker's intermediate tensor allocations through the
     // engine-lifetime arena so steady-state inference stops hitting the
     // allocator. Response tensors keep the pool alive past the scope.
     const tensor::kernels::ScratchArena::Scope scratch_scope(arena_);
-    Pending& p = batch[i];
-    const auto deadline =
-        p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
+    if (i < n_solo) {
+      dispatch_one(*solo[i], dispatch_time);
+    } else {
+      dispatch_fused(groups[order[i - n_solo]], dispatch_time);
+    }
+  });
+}
+
+void InferenceEngine::dispatch_one(Pending& p,
+                                   Clock::time_point dispatch_time) {
+  const auto deadline =
+      p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
+  try {
+    // Deadline expiry is permanent by design: re-submitting a request
+    // whose deadline already passed can never succeed, and the retries
+    // would land exactly when the queue is congested. The caller gets
+    // the timeout immediately and decides itself whether to try again.
+    if (p.req.deadline_ms > 0 && dispatch_time >= deadline) {
+      metrics_.record_deadline_expired();
+      fail_typed("deadline_expired", "request deadline expired in queue",
+                 {{"deadline_ms", std::to_string(p.req.deadline_ms)},
+                  {"stage", "queue"}});
+    }
+    MOSS_FAULT_POINT("serve.engine.dispatch");
+    Response r = process(p.req);
+    // Deadline covers dispatch too: a request that finished computing
+    // after its deadline must fail typed, not return a stale success the
+    // caller has already given up on.
+    if (p.req.deadline_ms > 0 && Clock::now() >= deadline) {
+      metrics_.record_deadline_expired();
+      fail_typed("deadline_expired",
+                 "request deadline expired during dispatch",
+                 {{"deadline_ms", std::to_string(p.req.deadline_ms)},
+                  {"stage", "dispatch"}});
+    }
+    r.latency_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - p.enqueued)
+            .count();
+    metrics_.record(p.req.kind, r.latency_us, /*ok=*/true);
+    p.promise.set_value(std::move(r));
+  } catch (...) {
+    metrics_.record(p.req.kind, 0.0, /*ok=*/false);
+    p.promise.set_exception(std::current_exception());
+  }
+  // Release the conflict budget submit() reserved — on every outcome
+  // (success, typed failure, deadline), or the cap would leak shut.
+  if (p.req.kind == RequestKind::kVerify) {
+    verify_inflight_.fetch_sub(verify_budget(p.req),
+                               std::memory_order_relaxed);
+  }
+}
+
+void InferenceEngine::dispatch_fused(std::vector<Pending*>& group,
+                                     Clock::time_point dispatch_time) {
+  // Pre-checks mirror the sequential path exactly: a queue-expired deadline
+  // or a firing dispatch fault fails that request alone, up front, before
+  // it can occupy rows in the stacked batch.
+  std::vector<Pending*> live;
+  live.reserve(group.size());
+  for (Pending* p : group) {
     try {
-      // Deadline expiry is permanent by design: re-submitting a request
-      // whose deadline already passed can never succeed, and the retries
-      // would land exactly when the queue is congested. The caller gets
-      // the timeout immediately and decides itself whether to try again.
-      if (p.req.deadline_ms > 0 && dispatch_time >= deadline) {
+      const auto deadline =
+          p->enqueued + std::chrono::milliseconds(p->req.deadline_ms);
+      if (p->req.deadline_ms > 0 && dispatch_time >= deadline) {
         metrics_.record_deadline_expired();
         fail_typed("deadline_expired", "request deadline expired in queue",
-                   {{"deadline_ms", std::to_string(p.req.deadline_ms)},
+                   {{"deadline_ms", std::to_string(p->req.deadline_ms)},
                     {"stage", "queue"}});
       }
       MOSS_FAULT_POINT("serve.engine.dispatch");
-      Response r = process(p.req);
-      // Deadline covers dispatch too: a request that finished computing
-      // after its deadline must fail typed, not return a stale success the
-      // caller has already given up on.
-      if (p.req.deadline_ms > 0 && Clock::now() >= deadline) {
+      live.push_back(p);
+    } catch (...) {
+      metrics_.record(p->req.kind, 0.0, /*ok=*/false);
+      p->promise.set_exception(std::current_exception());
+    }
+  }
+  if (live.empty()) return;
+  std::vector<char> settled(live.size(), 0);
+  try {
+    fused_group(live, settled);
+  } catch (...) {
+    // The stacked compute failed as a whole (injected forward fault,
+    // breaker-open acquire, cache-insert fault, ...). Degrade gracefully:
+    // every member not yet settled is retried solo below, so one poisoned
+    // unit never takes its batchmates down with it.
+  }
+  // Count retries BEFORE settling them solo, so the counter is already
+  // visible when the retried requests' futures resolve.
+  std::size_t retried = 0;
+  for (const char f : settled) retried += static_cast<std::size_t>(f == 0);
+  if (retried > 0) metrics_.record_fused_retries(retried);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!settled[i]) dispatch_one(*live[i], dispatch_time);
+  }
+}
+
+void InferenceEngine::fused_group(std::vector<Pending*>& group,
+                                  std::vector<char>& settled) {
+  const RequestKind kind = group[0]->req.kind;
+  const std::string& model = group[0]->req.model;
+  // One session acquisition serves the whole group; an acquire failure
+  // (unknown model, breaker open) sends every member to the solo path,
+  // which owns the stale-fallback and error-reporting logic.
+  ModelRegistry::Acquired acq = registry_.acquire(model);
+  const MossSession& s = *acq.session;
+
+  // Per-request preparation. Requests this stage cannot prepare (bad
+  // request, unknown pool, resolve failure) are left unsettled for the solo
+  // retry, which reproduces the identical typed error with the sequential
+  // path's breaker accounting.
+  struct Slot {
+    ResolvedBatch rb;                      // circuit-bound kinds
+    std::shared_ptr<const Pool> pool;      // FEP-rank
+    std::string text;                      // FEP-rank query RTL
+    std::vector<std::size_t> member_unit;  // FEP-rank: pool member -> unit
+    std::size_t unit = 0;                  // circuit-bound kinds
+    bool ok = false;
+  };
+  std::vector<Slot> slots(group.size());
+  std::vector<FusedUnit> units;
+  std::unordered_map<std::uint64_t, std::size_t> unit_index;
+  const auto intern_unit = [&](std::shared_ptr<const core::CircuitBatch> b,
+                               std::uint64_t h) {
+    const auto [it, fresh] = unit_index.try_emplace(h, units.size());
+    if (fresh) units.push_back(FusedUnit{std::move(b), h});
+    return it->second;
+  };
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const Request& req = group[i]->req;
+    Slot& sl = slots[i];
+    if (kind == RequestKind::kFepRank) {
+      {
+        const std::lock_guard<std::mutex> lock(pools_mu_);
+        const auto it = pools_.find(req.pool);
+        if (it != pools_.end()) sl.pool = it->second;
+      }
+      sl.text = !req.rtl_text.empty()
+                    ? req.rtl_text
+                    : (req.circuit ? req.circuit->module_text : req.rtl_text);
+      if (!sl.pool || sl.text.empty()) continue;  // solo retry -> typed error
+      sl.member_unit.reserve(sl.pool->members.size());
+      for (std::size_t j = 0; j < sl.pool->members.size(); ++j) {
+        sl.member_unit.push_back(
+            intern_unit(sl.pool->members[j], sl.pool->hashes[j]));
+      }
+      sl.ok = true;
+    } else {
+      if (kind == RequestKind::kTrpPp && !req.circuit) continue;
+      try {
+        sl.rb = resolve_batch(s, req);
+      } catch (...) {
+        continue;  // solo retry reproduces the typed resolve error
+      }
+      sl.unit = intern_unit(sl.rb.batch, sl.rb.hash);
+      sl.ok = true;
+    }
+  }
+  if (units.empty()) return;  // nothing fusable: everyone retries solo
+
+  // Cache probe per unit: a warm unit skips propagation entirely (and for
+  // the embedding kinds even the netlist head), exactly like the
+  // sequential get_or_compute path. Only misses are fused.
+  const bool want_netlist =
+      kind == RequestKind::kEmbed || kind == RequestKind::kFepRank;
+  const std::size_t U = units.size();
+  std::vector<Tensor> node_h(U), netlist_e(U);
+  std::vector<std::size_t> need;
+  for (std::size_t u = 0; u < U; ++u) {
+    if (cache_ != nullptr) {
+      if (want_netlist) {
+        if (std::optional<Tensor> e =
+                cache_->get(netlist_key(s.fingerprint(), units[u].hash))) {
+          netlist_e[u] = std::move(*e);
+          continue;
+        }
+      }
+      if (std::optional<Tensor> h = cache_->get(
+              node_embedding_key(s.fingerprint(), units[u].hash))) {
+        node_h[u] = std::move(*h);
+        continue;
+      }
+    }
+    need.push_back(u);
+  }
+
+  // Stacked propagation over the misses, chunked by the row cap. Computed
+  // rows are inserted under the same keys the sequential path uses, so the
+  // warm path stays bit-identical whichever path filled the cache.
+  std::size_t begin = 0;
+  while (begin < need.size()) {
+    std::vector<FusedUnit> chunk;
+    std::vector<std::size_t> chunk_ids;
+    std::size_t rows = 0;
+    std::size_t end = begin;
+    while (end < need.size()) {
+      const std::size_t r = units[need[end]].batch->graph.num_nodes;
+      if (!chunk.empty() && rows + r > cfg_.fused_max_rows) break;
+      chunk.push_back(units[need[end]]);
+      chunk_ids.push_back(need[end]);
+      rows += r;
+      ++end;
+    }
+    const FusedForward ff = fused_node_embeddings(s, chunk);
+    metrics_.record_fused_batch(chunk.size(), ff.rows);
+    for (std::size_t k = 0; k < chunk_ids.size(); ++k) {
+      node_h[chunk_ids[k]] = ff.node_h[k];
+      if (cache_ != nullptr) {
+        cache_->put(node_embedding_key(s.fingerprint(),
+                                       units[chunk_ids[k]].hash),
+                    node_h[chunk_ids[k]]);
+      }
+    }
+    begin = end;
+  }
+
+  if (want_netlist) {
+    for (std::size_t u = 0; u < U; ++u) {
+      if (netlist_e[u].defined()) continue;
+      MOSS_FAULT_POINT("serve.session.forward");
+      netlist_e[u] =
+          s.model().netlist_embedding(*units[u].batch, node_h[u]).detach();
+      if (cache_ != nullptr) {
+        cache_->put(netlist_key(s.fingerprint(), units[u].hash),
+                    netlist_e[u]);
+      }
+    }
+  }
+
+  // Per-request heads + settlement. A head failure leaves that request
+  // unsettled for the solo retry; everything else in the group still
+  // settles here.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (settled[i] != 0 || !slots[i].ok) continue;
+    Pending& p = *group[i];
+    const Request& req = p.req;
+    try {
+      Response r;
+      r.kind = kind;
+      r.model = req.model;
+      r.session_uid = s.uid();
+      switch (kind) {
+        case RequestKind::kFepRank: {
+          const Tensor r_e = rtl_embedding(s, slots[i].text);
+          r.ranking.reserve(slots[i].member_unit.size());
+          for (std::size_t j = 0; j < slots[i].member_unit.size(); ++j) {
+            const std::size_t u = slots[i].member_unit[j];
+            r.ranking.push_back(RankEntry{
+                j, units[u].batch->name,
+                s.model().pair_score(r_e, netlist_e[u])});
+          }
+          std::sort(r.ranking.begin(), r.ranking.end(),
+                    [](const RankEntry& a, const RankEntry& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.index < b.index;
+                    });
+          break;
+        }
+        case RequestKind::kAtp: {
+          const core::CircuitBatch& batch = *units[slots[i].unit].batch;
+          MOSS_FAULT_POINT("serve.session.forward");
+          const Tensor flop = s.model().predict_arrival(
+              batch, node_h[slots[i].unit], batch.flop_rows);
+          r.values.reserve(batch.flop_rows.size());
+          for (std::size_t k = 0; k < batch.flop_rows.size(); ++k) {
+            r.values.push_back(static_cast<double>(flop.at(k, 0)) *
+                               core::kArrivalScale);
+          }
+          break;
+        }
+        case RequestKind::kTrpPp: {
+          const core::CircuitBatch& batch = *units[slots[i].unit].batch;
+          MOSS_FAULT_POINT("serve.session.forward");
+          const core::LocalPredictions pred =
+              s.model().predict_local(batch, node_h[slots[i].unit]);
+          r.values.reserve(batch.cell_rows.size());
+          std::vector<double> rates(req.circuit->netlist.num_nodes(), 0.0);
+          for (std::size_t k = 0; k < batch.cell_rows.size(); ++k) {
+            const double t = static_cast<double>(pred.toggle.at(k, 0));
+            r.values.push_back(t);
+            rates[static_cast<std::size_t>(batch.cell_rows[k])] = t;
+          }
+          r.power_uw =
+              power::analyze_power(req.circuit->netlist, rates).total_uw;
+          break;
+        }
+        case RequestKind::kEmbed: {
+          r.embedding = netlist_e[slots[i].unit].data();
+          const std::string& text =
+              !req.rtl_text.empty() ? req.rtl_text
+                                    : units[slots[i].unit].batch->module_text;
+          if (!text.empty()) {
+            r.rtl_embedding = rtl_embedding(s, text).data();
+          }
+          break;
+        }
+        case RequestKind::kVerify:
+          break;  // never grouped
+      }
+      // Breaker accounting first (a successful forward is a successful
+      // forward even if the caller's deadline then expires — the
+      // sequential path reports from inside process() the same way).
+      registry_.report(model, s.uid(), /*ok=*/true,
+                       /*transient_failure=*/false, acq.probe);
+      if (acq.fallback) {
+        r.degraded = true;
+        metrics_.record_degraded();
+      }
+      // Deadline re-check *after* the fused compute and split: a slow
+      // mega-batch must yield a typed expiry per victim, not a late
+      // success the caller has already abandoned. Permanent and never
+      // solo-retried — a retry could only finish even later.
+      // Counters are bumped BEFORE the promise settles: a caller that reads
+      // the metrics right after its future resolves must see its own
+      // request accounted for.
+      if (req.deadline_ms > 0 &&
+          Clock::now() >=
+              p.enqueued + std::chrono::milliseconds(req.deadline_ms)) {
         metrics_.record_deadline_expired();
-        fail_typed("deadline_expired",
-                   "request deadline expired during dispatch",
-                   {{"deadline_ms", std::to_string(p.req.deadline_ms)},
-                    {"stage", "dispatch"}});
+        try {
+          fail_typed("deadline_expired",
+                     "request deadline expired during fused dispatch",
+                     {{"deadline_ms", std::to_string(req.deadline_ms)},
+                      {"stage", "dispatch"}});
+        } catch (...) {
+          metrics_.record(req.kind, 0.0, /*ok=*/false);
+          metrics_.record_fused_requests(1);
+          settled[i] = 1;
+          p.promise.set_exception(std::current_exception());
+        }
+        continue;
       }
       r.latency_us =
           std::chrono::duration<double, std::micro>(Clock::now() - p.enqueued)
               .count();
-      metrics_.record(p.req.kind, r.latency_us, /*ok=*/true);
+      metrics_.record(req.kind, r.latency_us, /*ok=*/true);
+      metrics_.record_fused_requests(1);
+      settled[i] = 1;
       p.promise.set_value(std::move(r));
     } catch (...) {
-      metrics_.record(p.req.kind, 0.0, /*ok=*/false);
-      p.promise.set_exception(std::current_exception());
+      // Head computation failed for this request alone: leave it for the
+      // solo retry.
     }
-    // Release the conflict budget submit() reserved — on every outcome
-    // (success, typed failure, deadline), or the cap would leak shut.
-    if (p.req.kind == RequestKind::kVerify) {
-      verify_inflight_.fetch_sub(verify_budget(p.req),
-                                 std::memory_order_relaxed);
-    }
-  });
+  }
 }
 
 Tensor InferenceEngine::node_embeddings(const MossSession& s,

@@ -125,6 +125,18 @@ struct EngineConfig {
   std::uint64_t verify_inflight_budget = 200000; ///< summed in-flight cap
   int verify_max_frames = 8;                     ///< BMC unroll depth
   std::uint64_t verify_seed = 1;                 ///< solver determinism seed
+  /// Cross-request fused batching: model-backed requests of the same kind
+  /// and model within one dispatch window are packed into a single stacked
+  /// two-phase propagation — one GEMM per layer per cluster across all
+  /// grouped circuits (FEP-rank additionally dedupes pool members shared
+  /// between concurrent requests, so a pool is propagated once per window,
+  /// not once per request). Responses are bit-identical to the sequential
+  /// per-request path; a request that fails inside a fused batch is retried
+  /// solo, so it can never poison its batchmates.
+  bool fused_batching = true;
+  /// Stacked-row cap per fused propagation; unit sets beyond it run in
+  /// chunks (bounds peak ScratchArena growth for mega-batches).
+  std::size_t fused_max_rows = 1u << 20;
 };
 
 /// Batched inference engine over registered MossSessions.
@@ -215,6 +227,22 @@ class InferenceEngine {
 
   void scheduler_loop();
   void dispatch(std::vector<Pending>& batch);
+  /// Sequential per-request dispatch body: deadline checks, the
+  /// "serve.engine.dispatch" fault site, process(), metrics, promise
+  /// settlement. Also the solo-retry path for members of a fused group
+  /// that could not be served fused.
+  void dispatch_one(Pending& p,
+                    std::chrono::steady_clock::time_point dispatch_time);
+  /// Fused path for one same-kind/same-model group: per-request pre-checks
+  /// (queue deadline, dispatch fault site) with the same isolation as the
+  /// sequential path, then one stacked propagation; members the fused pass
+  /// cannot settle fall back to dispatch_one individually.
+  void dispatch_fused(std::vector<Pending*>& group,
+                      std::chrono::steady_clock::time_point dispatch_time);
+  /// The fused compute. Settles the promises it can serve (marking
+  /// `settled`); throws only for group-wide failures, leaving every
+  /// unsettled member for the caller's solo retry.
+  void fused_group(std::vector<Pending*>& group, std::vector<char>& settled);
   Response process(const Request& req);
   /// VERIFY path: no model session, no cache — a seeded EquivOracle run.
   /// Depth-bound UNKNOWN is a normal response; conflict-budget exhaustion

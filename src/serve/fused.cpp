@@ -1,0 +1,122 @@
+#include "serve/fused.hpp"
+
+#include <cstddef>
+
+#include "core_util/check.hpp"
+#include "core_util/fault.hpp"
+#include "gnn/two_phase_gnn.hpp"
+#include "tensor/kernels.hpp"
+
+namespace moss::serve {
+
+namespace {
+
+using gnn::UpdateGroup;
+using gnn::UpdateStep;
+
+/// Append one unit's group to the merged step, offsetting node and edge ids
+/// by the unit's row base. Groups are coalesced per aggregator cluster; the
+/// unit's nodes land behind every node already in the merged group, so its
+/// edge_dst_local values shift by the merged group's current node count.
+/// Whole groups are appended in unit order, which keeps each destination
+/// node's edges contiguous and in their original order — the invariant the
+/// segment softmax/sum reductions key on.
+void append_group(UpdateStep& step, const UpdateGroup& src, int base) {
+  UpdateGroup* dst = nullptr;
+  for (UpdateGroup& g : step.groups) {
+    if (g.cluster == src.cluster) {
+      dst = &g;
+      break;
+    }
+  }
+  if (dst == nullptr) {
+    step.groups.emplace_back();
+    dst = &step.groups.back();
+    dst->cluster = src.cluster;
+  }
+  const int local_base = static_cast<int>(dst->nodes.size());
+  dst->nodes.reserve(dst->nodes.size() + src.nodes.size());
+  for (const int n : src.nodes) dst->nodes.push_back(n + base);
+  dst->edge_src.reserve(dst->edge_src.size() + src.edge_src.size());
+  for (const int e : src.edge_src) dst->edge_src.push_back(e + base);
+  dst->edge_dst.reserve(dst->edge_dst.size() + src.edge_dst.size());
+  for (const int e : src.edge_dst) dst->edge_dst.push_back(e + base);
+  dst->edge_dst_local.reserve(dst->edge_dst_local.size() +
+                              src.edge_dst_local.size());
+  for (const int e : src.edge_dst_local) {
+    dst->edge_dst_local.push_back(e + local_base);
+  }
+  dst->edge_pos.insert(dst->edge_pos.end(), src.edge_pos.begin(),
+                       src.edge_pos.end());
+}
+
+/// Merge one unit's phase schedule into the running merged schedule,
+/// aligned by level index.
+void merge_phase(std::vector<UpdateStep>& merged,
+                 const std::vector<UpdateStep>& steps, int base) {
+  if (merged.size() < steps.size()) merged.resize(steps.size());
+  for (std::size_t l = 0; l < steps.size(); ++l) {
+    for (const UpdateGroup& g : steps[l].groups) {
+      append_group(merged[l], g, base);
+    }
+  }
+}
+
+}  // namespace
+
+MergedGraph merge_graphs(const std::vector<FusedUnit>& units) {
+  MOSS_CHECK(!units.empty(), "merge_graphs: no units");
+  MOSS_CHECK(units[0].batch != nullptr, "merge_graphs: null unit batch");
+  const gnn::Graph& g0 = units[0].batch->graph;
+  MOSS_CHECK(g0.features.defined(), "merge_graphs: unit graph has no features");
+
+  MergedGraph m;
+  m.row_offset.reserve(units.size() + 1);
+  m.row_offset.push_back(0);
+  std::vector<const tensor::Tensor*> features;
+  features.reserve(units.size());
+  std::size_t base = 0;
+  for (const FusedUnit& u : units) {
+    MOSS_CHECK(u.batch != nullptr, "merge_graphs: null unit batch");
+    const gnn::Graph& g = u.batch->graph;
+    MOSS_CHECK(g.features.defined() && g.features.rows() == g.num_nodes,
+               "merge_graphs: unit features row count mismatch");
+    MOSS_CHECK(g.features.cols() == g0.features.cols(),
+               "merge_graphs: feature width mismatch across units");
+    MOSS_CHECK(g.num_clusters == g0.num_clusters,
+               "merge_graphs: cluster count mismatch across units");
+    merge_phase(m.graph.forward_steps, g.forward_steps,
+                static_cast<int>(base));
+    merge_phase(m.graph.turnaround_steps, g.turnaround_steps,
+                static_cast<int>(base));
+    m.graph.readout_nodes.reserve(m.graph.readout_nodes.size() +
+                                  g.readout_nodes.size());
+    for (const int r : g.readout_nodes) {
+      m.graph.readout_nodes.push_back(r + static_cast<int>(base));
+    }
+    features.push_back(&g.features);
+    base += g.num_nodes;
+    m.row_offset.push_back(base);
+  }
+  m.graph.num_nodes = base;
+  m.graph.num_clusters = g0.num_clusters;
+  m.graph.features = tensor::kernels::pack_rows(features);
+  return m;
+}
+
+FusedForward fused_node_embeddings(const MossSession& s,
+                                   const std::vector<FusedUnit>& units) {
+  MOSS_FAULT_POINT("serve.session.forward");
+  const MergedGraph m = merge_graphs(units);
+  const tensor::Tensor h = s.model().gnn().run(m.graph).detach();
+  FusedForward out;
+  out.rows = m.graph.num_nodes;
+  out.node_h.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    out.node_h.push_back(tensor::kernels::slice_rows(
+        h, m.row_offset[i], m.row_offset[i + 1] - m.row_offset[i]));
+  }
+  return out;
+}
+
+}  // namespace moss::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/features.hpp"
+#include "gnn/graph.hpp"
+#include "serve/registry.hpp"
+
+namespace moss::serve {
+
+/// One circuit inside a fused cross-request batch: the resolved batch plus
+/// its content hash (the cache key every embedding derived from it uses).
+/// Units are deduplicated by hash before merging, so pool members shared
+/// between concurrent FEP-rank requests are propagated exactly once.
+struct FusedUnit {
+  std::shared_ptr<const core::CircuitBatch> batch;
+  std::uint64_t hash = 0;
+};
+
+/// A stacked multi-circuit graph. Unit i's nodes occupy rows
+/// [row_offset[i], row_offset[i+1]) of the merged feature matrix and of
+/// every hidden state derived from it.
+struct MergedGraph {
+  gnn::Graph graph;
+  std::vector<std::size_t> row_offset;  ///< units + 1 entries
+};
+
+/// Level-align and merge the units' update schedules into one graph: merged
+/// forward (turnaround) step l holds every unit's forward (turnaround) step
+/// l — units with shallower schedules simply sit out the deeper steps —
+/// groups with the same aggregator cluster are coalesced, and all node /
+/// edge ids are offset by the unit's row base. One TwoPhaseGnn pass over
+/// the result costs one GEMM per layer per cluster across *all* units,
+/// which is where the kernels' large-M advantage lives.
+///
+/// Bit-identity: every op in TwoPhaseGnn::apply_step is row- or
+/// segment-local — gather_matmul and the update GEMMs accumulate each
+/// output element as one serial chain over its own inputs, and the segment
+/// softmax/sum reduce per destination node over that node's contiguous,
+/// order-preserved edge run — so a unit's rows evolve exactly as in its
+/// solo run no matter which other units share the stacked matrix.
+MergedGraph merge_graphs(const std::vector<FusedUnit>& units);
+
+/// Result of one fused propagation.
+struct FusedForward {
+  std::vector<tensor::Tensor> node_h;  ///< per unit, in unit order
+  std::size_t rows = 0;                ///< stacked feature rows propagated
+};
+
+/// Run one fused propagation over `units` and split the stacked hidden
+/// state back per unit. Each returned matrix is bit-identical to
+/// s.model().node_embeddings(*units[i].batch). Fires the
+/// "serve.session.forward" fault site once per call, like a solo forward.
+FusedForward fused_node_embeddings(const MossSession& s,
+                                   const std::vector<FusedUnit>& units);
+
+}  // namespace moss::serve

@@ -128,6 +128,27 @@ void ServeMetrics::record_batch(std::size_t batch_size) {
   batched_requests_ += batch_size;
 }
 
+void ServeMetrics::record_fused_batch(std::size_t units, std::size_t rows) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++fused_batches_;
+  fused_rows_ += rows;
+  const std::size_t bucket =
+      units == 0 ? 0
+                 : std::min(units - 1,
+                            MetricsSnapshot::kFusedOccupancyBuckets - 1);
+  ++fused_occupancy_[bucket];
+}
+
+void ServeMetrics::record_fused_requests(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fused_requests_ += n;
+}
+
+void ServeMetrics::record_fused_retries(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fused_retries_ += n;
+}
+
 void ServeMetrics::set_queue_depth(std::size_t depth) {
   const std::lock_guard<std::mutex> lock(mu_);
   queue_depth_ = depth;
@@ -179,6 +200,11 @@ MetricsSnapshot ServeMetrics::snapshot() const {
       batches_ == 0 ? 0.0
                     : static_cast<double>(batched_requests_) /
                           static_cast<double>(batches_);
+  s.fused_batches = fused_batches_;
+  s.fused_rows = fused_rows_;
+  s.fused_requests = fused_requests_;
+  s.fused_retries = fused_retries_;
+  s.fused_occupancy = fused_occupancy_;
   s.queue_depth = queue_depth_;
   s.queue_peak = queue_peak_;
   s.uptime_s = std::chrono::duration<double>(
@@ -225,6 +251,25 @@ std::string ServeMetrics::text() const {
                 static_cast<unsigned long long>(s.breaker_half_open_events),
                 static_cast<unsigned long long>(s.breaker_close_events));
   out += line;
+  {
+    double mean_occ = 0.0;
+    std::uint64_t occ_total = 0;
+    for (std::size_t i = 0; i < MetricsSnapshot::kFusedOccupancyBuckets;
+         ++i) {
+      occ_total += s.fused_occupancy[i];
+      mean_occ += static_cast<double>(s.fused_occupancy[i]) *
+                  static_cast<double>(i + 1);
+    }
+    if (occ_total > 0) mean_occ /= static_cast<double>(occ_total);
+    std::snprintf(line, sizeof(line),
+                  "fused: %llu batches, %llu rows, %llu requests, "
+                  "%llu retries (mean occupancy %.2f)\n",
+                  static_cast<unsigned long long>(s.fused_batches),
+                  static_cast<unsigned long long>(s.fused_rows),
+                  static_cast<unsigned long long>(s.fused_requests),
+                  static_cast<unsigned long long>(s.fused_retries), mean_occ);
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "verify: %llu timeouts, %llu shed\n",
                 static_cast<unsigned long long>(s.verify_timeouts),
@@ -290,6 +335,21 @@ std::string ServeMetrics::json() const {
                 static_cast<unsigned long long>(s.verify_timeouts),
                 static_cast<unsigned long long>(s.verify_shed));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"fused\":{\"fused_batches\":%llu,\"fused_rows\":%llu,"
+                "\"fused_requests\":%llu,\"fused_retries\":%llu,"
+                "\"occupancy\":[",
+                static_cast<unsigned long long>(s.fused_batches),
+                static_cast<unsigned long long>(s.fused_rows),
+                static_cast<unsigned long long>(s.fused_requests),
+                static_cast<unsigned long long>(s.fused_retries));
+  out += buf;
+  for (std::size_t i = 0; i < MetricsSnapshot::kFusedOccupancyBuckets; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(s.fused_occupancy[i]));
+    out += buf;
+  }
+  out += "]},";
   std::snprintf(buf, sizeof(buf),
                 "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
                 "\"oversize_rejections\":%llu,\"entries\":%zu,\"bytes\":%zu},"

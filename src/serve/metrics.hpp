@@ -70,6 +70,16 @@ struct MetricsSnapshot {
   std::uint64_t verify_shed = 0;       ///< VERIFY admission-cap rejections
   std::uint64_t batches = 0;           ///< micro-batches dispatched
   double mean_batch_size = 0.0;
+  // Cross-request fused batching.
+  std::uint64_t fused_batches = 0;   ///< stacked propagations run
+  std::uint64_t fused_rows = 0;      ///< feature rows propagated fused
+  std::uint64_t fused_requests = 0;  ///< requests served via the fused path
+  std::uint64_t fused_retries = 0;   ///< fused members retried solo
+  /// Batch-occupancy histogram: circuits stacked per fused propagation.
+  /// Bucket i counts propagations of exactly i+1 units; the last bucket
+  /// collects >= kFusedOccupancyBuckets units.
+  static constexpr std::size_t kFusedOccupancyBuckets = 16;
+  std::array<std::uint64_t, kFusedOccupancyBuckets> fused_occupancy{};
   std::size_t queue_depth = 0;   ///< at snapshot time
   std::size_t queue_peak = 0;    ///< high-water mark
   double uptime_s = 0.0;
@@ -103,6 +113,14 @@ class ServeMetrics {
   void record_verify_timeout();
   void record_verify_shed();
   void record_batch(std::size_t batch_size);
+  /// One stacked propagation: `units` circuits packed into `rows` feature
+  /// rows. Feeds the batch-occupancy histogram.
+  void record_fused_batch(std::size_t units, std::size_t rows);
+  /// Requests settled through the fused path (per group, whether their
+  /// units were propagated or came warm from the cache).
+  void record_fused_requests(std::size_t n);
+  /// Fused-group members that fell back to a solo dispatch.
+  void record_fused_retries(std::size_t n);
   void set_queue_depth(std::size_t depth);
   /// Cache counters are pushed by the engine at snapshot time (the cache
   /// keeps its own atomics; metrics just report them).
@@ -140,6 +158,12 @@ class ServeMetrics {
   std::uint64_t breaker_close_events_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
+  std::uint64_t fused_batches_ = 0;
+  std::uint64_t fused_rows_ = 0;
+  std::uint64_t fused_requests_ = 0;
+  std::uint64_t fused_retries_ = 0;
+  std::array<std::uint64_t, MetricsSnapshot::kFusedOccupancyBuckets>
+      fused_occupancy_{};
   std::size_t queue_depth_ = 0;
   std::size_t queue_peak_ = 0;
   std::uint64_t cache_hits_ = 0, cache_misses_ = 0, cache_evictions_ = 0;

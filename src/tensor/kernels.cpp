@@ -13,6 +13,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "core_util/check.hpp"
 #include "core_util/thread_pool.hpp"
@@ -528,6 +529,36 @@ Tensor gather_matmul(const Tensor& x, const std::vector<int>& idx,
       gemm_dB(E, K, N, tx.data().data(), G, tw.grad().data(), idx.data());
     }
   };
+  return out;
+}
+
+Tensor pack_rows(const std::vector<const Tensor*>& parts) {
+  MOSS_CHECK(!parts.empty(), "pack_rows: no parts");
+  MOSS_CHECK(parts[0] != nullptr && parts[0]->defined(),
+             "pack_rows: undefined part");
+  const std::size_t C = parts[0]->cols();
+  std::size_t R = 0;
+  for (const Tensor* p : parts) {
+    MOSS_CHECK(p != nullptr && p->defined(), "pack_rows: undefined part");
+    MOSS_CHECK(p->cols() == C, "pack_rows: column count mismatch");
+    R += p->rows();
+  }
+  Tensor out = Tensor::make(R, C, {});
+  float* dst = out.data().data();
+  for (const Tensor* p : parts) {
+    std::memcpy(dst, p->data().data(), p->size() * sizeof(float));
+    dst += p->size();
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& x, std::size_t begin, std::size_t count) {
+  MOSS_CHECK(x.defined(), "slice_rows: undefined tensor");
+  MOSS_CHECK(begin + count <= x.rows(), "slice_rows: range out of bounds");
+  const std::size_t C = x.cols();
+  Tensor out = Tensor::make(count, C, {});
+  std::memcpy(out.data().data(), x.data().data() + begin * C,
+              count * C * sizeof(float));
   return out;
 }
 

@@ -167,4 +167,19 @@ Tensor matmul_bias_tanh(const Tensor& x, const Tensor& w, const Tensor& addend,
 Tensor gather_matmul(const Tensor& x, const std::vector<int>& idx,
                      const Tensor& w);
 
+// ---------------------------------------------------------------------------
+// Row pack / split (cross-request fused batching)
+// ---------------------------------------------------------------------------
+
+/// Stack row-major matrices vertically into one (Σ rows)×cols matrix by
+/// strided row copy. Every part must share the column count. Each output
+/// row is byte-identical to its source row, and the result is a detached
+/// leaf (no tape node): the fused serve path packs inference-only feature
+/// matrices and detaches everything it derives from them.
+Tensor pack_rows(const std::vector<const Tensor*>& parts);
+
+/// Rows [begin, begin + count) of x as a fresh detached matrix (byte-exact
+/// row copies) — the per-request split of a fused batch result.
+Tensor slice_rows(const Tensor& x, std::size_t begin, std::size_t count);
+
 }  // namespace moss::tensor::kernels

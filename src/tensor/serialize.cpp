@@ -12,6 +12,8 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -545,6 +547,85 @@ CheckpointFile read_checkpoint_file(const std::string& path) {
   ErrorContext ctx;
   ctx.add("file", path);
   return CheckpointFile::read(in, ctx);
+}
+
+void FileBlob::reset() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+  map_ = nullptr;
+  map_size_ = 0;
+  owned_.clear();
+}
+
+FileBlob::~FileBlob() { reset(); }
+
+FileBlob::FileBlob(FileBlob&& other) noexcept
+    : map_(other.map_),
+      map_size_(other.map_size_),
+      owned_(std::move(other.owned_)) {
+  other.map_ = nullptr;
+  other.map_size_ = 0;
+}
+
+FileBlob& FileBlob::operator=(FileBlob&& other) noexcept {
+  if (this != &other) {
+    reset();
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    owned_ = std::move(other.owned_);
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+  }
+  return *this;
+}
+
+FileBlob FileBlob::read(const std::string& path, const ErrorContext& ctx,
+                        bool use_mmap) {
+  FileBlob blob;
+#if defined(__unix__) || defined(__APPLE__)
+  if (use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      ErrorContext c = ctx;
+      c.set("file", path);
+      c.fail("cannot open file");
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        // Zero-length mmap is an error on POSIX; an empty blob is not.
+        ::close(fd);
+        return blob;
+      }
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        // The mapping holds its own reference to the file; the descriptor
+        // is no longer needed.
+        ::close(fd);
+        blob.map_ = p;
+        blob.map_size_ = static_cast<std::size_t>(st.st_size);
+        return blob;
+      }
+    }
+    // Mapping refused (pipe, special file, filesystem without mmap):
+    // fall back to the copying path below.
+    ::close(fd);
+  }
+#else
+  (void)use_mmap;
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    ErrorContext c = ctx;
+    c.set("file", path);
+    c.fail("cannot open file");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  blob.owned_ = std::move(buf).str();
+  return blob;
 }
 
 }  // namespace moss::tensor

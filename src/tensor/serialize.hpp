@@ -140,4 +140,44 @@ void load_parameters_file(const std::string& path, ParameterSet& params);
 void write_checkpoint_file(const std::string& path, const CheckpointFile& ckpt);
 CheckpointFile read_checkpoint_file(const std::string& path);
 
+/// A file's bytes, either mmap'd read-only (zero-copy, demand-paged — the
+/// kernel reads only the pages a deserializer actually touches) or slurped
+/// into an owned buffer. `view()` is valid for the blob's lifetime either
+/// way, so deserializers that take a string_view (plan::deserialize,
+/// cluster::unframe) work over both backings unchanged.
+///
+/// Movable, not copyable. On non-POSIX builds — or when mmap fails for any
+/// reason (network filesystems, exotic mounts) — read() silently falls back
+/// to the owned-buffer path; `use_mmap` is a hint, not a contract.
+class FileBlob {
+ public:
+  FileBlob() = default;
+  ~FileBlob();
+  FileBlob(FileBlob&& other) noexcept;
+  FileBlob& operator=(FileBlob&& other) noexcept;
+  FileBlob(const FileBlob&) = delete;
+  FileBlob& operator=(const FileBlob&) = delete;
+
+  /// Read `path`. With `use_mmap` the file is mapped read-only when the
+  /// platform allows; otherwise (and on any mapping failure) the bytes are
+  /// copied into an owned buffer. Missing/unreadable files fail with a
+  /// ContextError carrying `ctx`'s frames.
+  static FileBlob read(const std::string& path, const ErrorContext& ctx,
+                       bool use_mmap = false);
+
+  std::string_view view() const {
+    return map_ != nullptr ? std::string_view(static_cast<const char*>(map_),
+                                              map_size_)
+                           : std::string_view(owned_);
+  }
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  void reset();
+
+  void* map_ = nullptr;       ///< non-null iff mmap backing
+  std::size_t map_size_ = 0;  ///< mapped length (may be 0 for empty files)
+  std::string owned_;         ///< fallback backing
+};
+
 }  // namespace moss::tensor

@@ -6,6 +6,7 @@
 // conflict-budget admission, typed verify_timeout/bad_request errors).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "tensor/kernels.hpp"
 
 namespace moss {
 namespace {
@@ -837,6 +839,447 @@ TEST(ServeVerify, ProtocolLineRoundTrips) {
 
   const std::string help = handler.handle_line("HELP");
   EXPECT_NE(help.find("VERIFY"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// cross-request fused batching: one stacked propagation per (kind, model)
+// group per dispatch window, bit-identical to the sequential path
+
+/// Submit `reqs` back-to-back (they land in one dispatch window when the
+/// engine's max_batch >= reqs.size()) and wait for every response.
+/// Failures propagate to the caller via futures' exceptions.
+std::vector<Response> run_window(InferenceEngine& eng,
+                                 const std::vector<Request>& reqs) {
+  std::vector<std::future<Response>> futs;
+  futs.reserve(reqs.size());
+  for (const Request& r : reqs) futs.push_back(eng.submit(r));
+  std::vector<Response> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+void expect_bit_identical(const Response& fused, const Response& seq) {
+  EXPECT_EQ(fused.kind, seq.kind);
+  EXPECT_EQ(fused.values, seq.values);
+  EXPECT_EQ(fused.power_uw, seq.power_uw);
+  EXPECT_EQ(fused.embedding, seq.embedding);
+  EXPECT_EQ(fused.rtl_embedding, seq.rtl_embedding);
+  ASSERT_EQ(fused.ranking.size(), seq.ranking.size());
+  for (std::size_t i = 0; i < fused.ranking.size(); ++i) {
+    EXPECT_EQ(fused.ranking[i].index, seq.ranking[i].index);
+    EXPECT_EQ(fused.ranking[i].name, seq.ranking[i].name);
+    EXPECT_EQ(fused.ranking[i].score, seq.ranking[i].score);
+  }
+  EXPECT_FALSE(fused.degraded);
+  EXPECT_EQ(fused.degraded, seq.degraded);
+}
+
+/// A mixed-kind window covering every model-backed kind and all three
+/// circuits: one ATP/TRP+PP/EMBED per circuit plus one FEP-rank per query
+/// text — 12 requests, four fusable groups.
+std::vector<Request> mixed_window(const ServeWorld& w) {
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < w.lcs.size(); ++i) {
+    Request atp;
+    atp.kind = RequestKind::kAtp;
+    atp.batch = w.batches[i];
+    reqs.push_back(atp);
+    Request trp;
+    trp.kind = RequestKind::kTrpPp;
+    trp.circuit = w.lcs[i];
+    trp.batch = w.batches[i];
+    reqs.push_back(trp);
+    Request emb;
+    emb.kind = RequestKind::kEmbed;
+    emb.batch = w.batches[i];
+    reqs.push_back(emb);
+    Request rank;
+    rank.kind = RequestKind::kFepRank;
+    rank.rtl_text = w.lcs[i]->module_text;
+    rank.pool = "pool";
+    reqs.push_back(rank);
+  }
+  return reqs;
+}
+
+TEST(ServeFused, FusedWindowBitIdenticalToSequentialAllFourKinds) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  const std::vector<Request> reqs = mixed_window(w);
+
+  serve::EngineConfig fused_cfg;
+  fused_cfg.fused_batching = true;
+  fused_cfg.max_batch = reqs.size();
+  fused_cfg.max_delay_ms = 50;  // window closes when all requests are queued
+  serve::EngineConfig seq_cfg = fused_cfg;
+  seq_cfg.fused_batching = false;
+
+  EmbeddingCache fused_cache(8u << 20);
+  EmbeddingCache seq_cache(8u << 20);
+  InferenceEngine fused_eng(reg, &fused_cache, fused_cfg);
+  InferenceEngine seq_eng(reg, &seq_cache, seq_cfg);
+  fused_eng.register_pool("pool", w.batches);
+  seq_eng.register_pool("pool", w.batches);
+
+  for (int pass = 0; pass < 2; ++pass) {  // pass 0: cold caches, 1: warm
+    SCOPED_TRACE(pass == 0 ? "cold" : "warm");
+    const std::vector<Response> fused = run_window(fused_eng, reqs);
+    const std::vector<Response> seq = run_window(seq_eng, reqs);
+    ASSERT_EQ(fused.size(), seq.size());
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      expect_bit_identical(fused[i], seq[i]);
+    }
+  }
+
+  const serve::MetricsSnapshot snap = fused_eng.metrics().snapshot();
+  EXPECT_GT(snap.fused_batches, 0u) << "cold pass must stack a propagation";
+  EXPECT_GT(snap.fused_rows, 0u);
+  EXPECT_GT(snap.fused_requests, 0u);
+  EXPECT_EQ(snap.fused_retries, 0u) << "no member should have gone solo";
+  EXPECT_EQ(seq_eng.metrics().snapshot().fused_batches, 0u)
+      << "the sequential engine must never stack";
+}
+
+TEST(ServeFused, AdversarialRowCountsSingleMaxBatchAndDuplicates) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+
+  const auto run_pair = [&](const std::vector<Request>& reqs) {
+    serve::EngineConfig fc;
+    fc.fused_batching = true;
+    fc.max_batch = std::max<std::size_t>(reqs.size(), 1);
+    fc.max_delay_ms = 50;
+    serve::EngineConfig sc = fc;
+    sc.fused_batching = false;
+    EmbeddingCache ca(8u << 20), cb(8u << 20);
+    InferenceEngine fe(reg, &ca, fc), se(reg, &cb, sc);
+    fe.register_pool("pool", w.batches);
+    se.register_pool("pool", w.batches);
+    const std::vector<Response> fr = run_window(fe, reqs);
+    const std::vector<Response> sr = run_window(se, reqs);
+    ASSERT_EQ(fr.size(), sr.size());
+    for (std::size_t i = 0; i < fr.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      expect_bit_identical(fr[i], sr[i]);
+    }
+  };
+
+  {
+    SCOPED_TRACE("window of 1 (singleton demotes to the solo path)");
+    Request one;
+    one.kind = RequestKind::kEmbed;
+    one.batch = w.batches[0];
+    run_pair({one});
+  }
+  {
+    SCOPED_TRACE("window of 1 FEP-rank (pool members still stack)");
+    Request rank;
+    rank.kind = RequestKind::kFepRank;
+    rank.rtl_text = w.lcs[0]->module_text;
+    rank.pool = "pool";
+    run_pair({rank});
+  }
+  {
+    SCOPED_TRACE("max_batch window of one kind with duplicate circuits");
+    std::vector<Request> reqs;
+    for (std::size_t i = 0; i < 8; ++i) {
+      Request atp;
+      atp.kind = RequestKind::kAtp;
+      atp.batch = w.batches[i % w.batches.size()];  // duplicates dedupe
+      reqs.push_back(atp);
+    }
+    run_pair(reqs);
+  }
+  {
+    SCOPED_TRACE("mixed kinds in one window");
+    run_pair(mixed_window(w));
+  }
+}
+
+TEST(ServeFused, KernelThreadCountsOneAndSevenBitIdentical) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  const std::size_t restore = tensor::kernels::threads();
+  const std::vector<Request> reqs = mixed_window(w);
+
+  serve::EngineConfig fc;
+  fc.fused_batching = true;
+  fc.max_batch = reqs.size();
+  fc.max_delay_ms = 50;
+
+  std::vector<std::vector<Response>> per_threads;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}}) {
+    tensor::kernels::set_threads(n);
+    EmbeddingCache cache(8u << 20);
+    InferenceEngine eng(reg, &cache, fc);
+    eng.register_pool("pool", w.batches);
+    per_threads.push_back(run_window(eng, reqs));
+  }
+  tensor::kernels::set_threads(restore);
+
+  ASSERT_EQ(per_threads[0].size(), per_threads[1].size());
+  for (std::size_t i = 0; i < per_threads[0].size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    expect_bit_identical(per_threads[0][i], per_threads[1][i]);
+  }
+}
+
+TEST(ServeFused, DispatchFaultInsideFusedGroupFailsExactlyOneMember) {
+  const ServeWorld& w = world();
+  FaultGuard guard;
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 4;
+  ec.max_delay_ms = 50;
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+
+  testing::arm_fault("serve.engine.dispatch");
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kEmbed;
+    rq.batch = w.batches[i % w.batches.size()];
+    reqs.push_back(rq);
+  }
+  std::vector<std::future<Response>> futs;
+  for (const Request& r : reqs) futs.push_back(eng.submit(r));
+  int injected = 0, ok = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const testing::InjectedFault&) {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 1) << "exactly the poisoned member must fail";
+  EXPECT_EQ(ok, 3) << "its batchmates must still be served fused";
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_GE(snap.fused_requests, 3u);
+  EXPECT_EQ(snap.fused_retries, 0u)
+      << "a pre-check fault settles up front, not via solo retry";
+}
+
+TEST(ServeFused, ForwardFaultInFusedComputeRetriesEveryMemberSolo) {
+  const ServeWorld& w = world();
+  FaultGuard guard;
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 3;
+  ec.max_delay_ms = 50;
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+
+  // One-shot fault inside the *stacked* forward: the whole fused compute
+  // throws, and every member must be retried solo (where the consumed
+  // fault no longer fires) — one poisoned propagation never takes its
+  // batchmates down.
+  testing::arm_fault("serve.session.forward");
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kEmbed;
+    rq.batch = w.batches[i];
+    reqs.push_back(rq);
+  }
+  const std::vector<Response> rs = run_window(eng, reqs);
+  const core::MossModel& model = w.session->model();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    SCOPED_TRACE(w.batches[i]->name);
+    const core::CircuitBatch& b = *w.batches[i];
+    EXPECT_EQ(rs[i].embedding,
+              model.netlist_embedding(b, model.node_embeddings(b)).data());
+  }
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_EQ(snap.fused_retries, 3u)
+      << "every member of the poisoned group must have gone solo";
+  EXPECT_EQ(snap.total_errors, 0u);
+}
+
+TEST(ServeFused, MetricsExposeOccupancyHistogramInTextAndJson) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 3;
+  ec.max_delay_ms = 50;
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kEmbed;
+    rq.batch = w.batches[i];
+    reqs.push_back(rq);
+  }
+  run_window(eng, reqs);
+
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  ASSERT_GT(snap.fused_batches, 0u);
+  EXPECT_GT(snap.fused_rows, 0u);
+  EXPECT_EQ(snap.fused_requests, 3u);
+  std::uint64_t occ_total = 0;
+  for (const std::uint64_t c : snap.fused_occupancy) occ_total += c;
+  EXPECT_EQ(occ_total, snap.fused_batches)
+      << "every stacked propagation lands in exactly one occupancy bucket";
+  // All three circuits fused into one propagation -> occupancy bucket 3.
+  EXPECT_EQ(snap.fused_occupancy[2], 1u);
+
+  const std::string text = eng.metrics_text();
+  EXPECT_NE(text.find("fused:"), std::string::npos) << text;
+  const std::string json = eng.metrics_json();
+  EXPECT_NE(json.find("\"fused_batches\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fused_rows\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"occupancy\":["), std::string::npos) << json;
+}
+
+TEST(ServeFused, RowCapChunksTheWindowWithoutChangingResults) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 3;
+  ec.max_delay_ms = 50;
+  ec.fused_max_rows = 1;  // every unit gets its own chunk (cap still packs
+                          // at least one unit, or nothing would ever run)
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kEmbed;
+    rq.batch = w.batches[i];
+    reqs.push_back(rq);
+  }
+  const std::vector<Response> rs = run_window(eng, reqs);
+  const core::MossModel& model = w.session->model();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    SCOPED_TRACE(w.batches[i]->name);
+    const core::CircuitBatch& b = *w.batches[i];
+    EXPECT_EQ(rs[i].embedding,
+              model.netlist_embedding(b, model.node_embeddings(b)).data());
+  }
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_EQ(snap.fused_batches, 3u) << "a 1-row cap must chunk per unit";
+  EXPECT_EQ(snap.fused_occupancy[0], 3u);
+}
+
+TEST(ServeFused, QueueExpiredMembersFailTypedBeforeFusing) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 16;      // 8 submits never fill the window...
+  ec.max_delay_ms = 80;   // ...so it holds for 80ms, past every deadline
+  EmbeddingCache cache(8u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+  eng.register_pool("pool", w.batches);
+
+  std::vector<std::future<Response>> futs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kFepRank;
+    rq.rtl_text = w.lcs[i % w.lcs.size()]->module_text;
+    rq.pool = "pool";
+    rq.deadline_ms = 5;
+    futs.push_back(eng.submit(rq));
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+      FAIL() << "request expired in the queue must not be served";
+    } catch (const ContextError& e) {
+      EXPECT_EQ(e.context_value("reason"), "deadline_expired") << e.what();
+      EXPECT_EQ(e.context_value("stage"), "queue") << e.what();
+      EXPECT_FALSE(e.transient()) << e.what();
+    }
+  }
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_EQ(snap.deadline_expired, futs.size());
+  EXPECT_EQ(snap.fused_batches, 0u)
+      << "an all-expired group must never reach the stacked compute";
+  // The engine is not wedged afterwards.
+  Request probe;
+  probe.kind = RequestKind::kEmbed;
+  probe.batch = w.batches[0];
+  EXPECT_FALSE(eng.call(probe).embedding.empty());
+}
+
+TEST(ServeFused, PostSplitDeadlineRecheckFailsTypedPerVictim) {
+  const ServeWorld& w = world();
+  ModelRegistry reg;
+  reg.install("default", w.session);
+  serve::EngineConfig ec;
+  ec.fused_batching = true;
+  ec.max_batch = 64;
+  ec.max_delay_ms = 200;
+  ec.queue_capacity = 256;
+  ec.threads = 1;  // groups run one after another on a single worker
+  EmbeddingCache cache(32u << 20);
+  InferenceEngine eng(reg, &cache, ec);
+  eng.register_pool("pool", w.batches);
+
+  // One window: a large cold EMBED group (56 distinct RTL texts, each
+  // forcing a fresh encoder forward at settle) dispatched FIRST (EMBED
+  // outranks FEP-rank in the fused dispatch order), then the FEP-rank
+  // group. The rank requests' queue pre-check compares against the
+  // window-start timestamp, taken before the embed group's compute — it
+  // passes. By the time the rank group has computed and split, the 1ms
+  // deadline is long gone: the post-split re-check must fail each rank
+  // victim typed (stage=dispatch), permanent, and never retried solo.
+  std::vector<std::future<Response>> embeds;
+  for (std::size_t i = 0; i < 56; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kEmbed;
+    rq.batch = w.batches[i % w.batches.size()];
+    // Distinct non-comment prefix: canonical_rtl strips comments, so a
+    // comment would collapse all 56 texts onto one cache key.
+    rq.rtl_text = "wire q" + std::to_string(i) + ";\n" +
+                  w.lcs[i % w.lcs.size()]->module_text;
+    embeds.push_back(eng.submit(rq));
+  }
+  std::vector<std::future<Response>> ranks;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Request rq;
+    rq.kind = RequestKind::kFepRank;
+    rq.rtl_text = w.lcs[i % w.lcs.size()]->module_text;
+    rq.pool = "pool";
+    rq.deadline_ms = 1;
+    ranks.push_back(eng.submit(rq));
+  }
+  for (auto& f : embeds) EXPECT_FALSE(f.get().embedding.empty());
+  std::size_t expired = 0;
+  for (auto& f : ranks) {
+    try {
+      f.get();  // a rank that beat the clock is legal, just unexpected
+    } catch (const ContextError& e) {
+      EXPECT_EQ(e.context_value("reason"), "deadline_expired") << e.what();
+      EXPECT_EQ(e.context_value("stage"), "dispatch") << e.what();
+      EXPECT_FALSE(e.transient()) << e.what();
+      ++expired;
+    }
+  }
+  EXPECT_GE(expired, 1u) << "1ms deadlines behind a 56-request cold embed "
+                            "group must hit the post-split re-check";
+  const serve::MetricsSnapshot snap = eng.metrics().snapshot();
+  EXPECT_EQ(snap.deadline_expired, expired);
+  EXPECT_EQ(snap.fused_retries, 0u)
+      << "post-split expiry is permanent: victims must not be retried solo";
 }
 
 }  // namespace
